@@ -1,0 +1,162 @@
+//! Edge-device hardware profiles.
+//!
+//! Each profile is a coarse roofline model of one of the paper's evaluation
+//! platforms: sustained compute throughput for GEMM/conv-class kernels,
+//! memory bandwidth for IO-bound kernels, a fixed per-kernel launch cost, and
+//! the memory capacity used for out-of-memory checks in Table 4. Absolute
+//! numbers are public-spec approximations; what the experiments rely on is
+//! the *relative* picture across devices and frameworks.
+
+/// Broad device category, used by framework profiles to pick kernel
+/// efficiency (e.g. PyTorch ships tuned CUDA kernels but slow ARM NEON ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// ARM application CPU (Raspberry Pi, Snapdragon CPU cores).
+    EdgeCpu,
+    /// Embedded NVIDIA GPU (Jetson family).
+    EdgeGpu,
+    /// Mobile DSP / NPU (Qualcomm Hexagon).
+    Dsp,
+    /// Apple-Silicon integrated GPU.
+    AppleSoc,
+    /// Cortex-M class microcontroller.
+    Mcu,
+}
+
+/// A roofline-style hardware profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Marketing name used in reports.
+    pub name: String,
+    /// Device category.
+    pub class: DeviceClass,
+    /// Sustained throughput for compute-intensive kernels, in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Sustained memory bandwidth, in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Fixed cost of dispatching one kernel, in microseconds.
+    pub kernel_launch_us: f64,
+    /// Usable memory for training, in bytes.
+    pub memory_bytes: usize,
+}
+
+impl DeviceProfile {
+    /// Raspberry Pi 4 (quad Cortex-A72 CPU).
+    pub fn raspberry_pi4() -> Self {
+        DeviceProfile {
+            name: "Raspberry Pi 4 CPU".to_string(),
+            class: DeviceClass::EdgeCpu,
+            peak_gflops: 24.0,
+            bandwidth_gbs: 4.0,
+            kernel_launch_us: 4.0,
+            memory_bytes: 1 << 30, // 1 GB usable
+        }
+    }
+
+    /// NVIDIA Jetson Nano (128-core Maxwell GPU).
+    pub fn jetson_nano() -> Self {
+        DeviceProfile {
+            name: "Jetson Nano GPU".to_string(),
+            class: DeviceClass::EdgeGpu,
+            peak_gflops: 235.0,
+            bandwidth_gbs: 25.6,
+            kernel_launch_us: 12.0,
+            memory_bytes: 4 * (1 << 30),
+        }
+    }
+
+    /// NVIDIA Jetson AGX Orin (Ampere GPU).
+    pub fn jetson_agx_orin() -> Self {
+        DeviceProfile {
+            name: "Jetson AGX Orin GPU".to_string(),
+            class: DeviceClass::EdgeGpu,
+            peak_gflops: 5_000.0,
+            bandwidth_gbs: 204.0,
+            kernel_launch_us: 8.0,
+            memory_bytes: 60 * (1 << 30),
+        }
+    }
+
+    /// Qualcomm Snapdragon 8 Gen 1 CPU cluster.
+    pub fn snapdragon_cpu() -> Self {
+        DeviceProfile {
+            name: "Snapdragon 8Gen1 CPU".to_string(),
+            class: DeviceClass::EdgeCpu,
+            peak_gflops: 56.0,
+            bandwidth_gbs: 12.0,
+            kernel_launch_us: 3.0,
+            memory_bytes: 6 * (1 << 30),
+        }
+    }
+
+    /// Qualcomm Hexagon DSP on the Snapdragon 8 Gen 1.
+    pub fn snapdragon_dsp() -> Self {
+        DeviceProfile {
+            name: "Snapdragon 8Gen1 DSP".to_string(),
+            class: DeviceClass::Dsp,
+            peak_gflops: 1_200.0,
+            bandwidth_gbs: 40.0,
+            kernel_launch_us: 15.0,
+            memory_bytes: 2 * (1 << 30),
+        }
+    }
+
+    /// Apple M1 integrated GPU.
+    pub fn apple_m1() -> Self {
+        DeviceProfile {
+            name: "Apple M1 GPU".to_string(),
+            class: DeviceClass::AppleSoc,
+            peak_gflops: 2_600.0,
+            bandwidth_gbs: 68.0,
+            kernel_launch_us: 10.0,
+            memory_bytes: 8 * (1 << 30),
+        }
+    }
+
+    /// STM32F746 microcontroller (Cortex-M7 @ 216 MHz, 320 KB SRAM).
+    pub fn stm32f746() -> Self {
+        DeviceProfile {
+            name: "STM32F746 MCU".to_string(),
+            class: DeviceClass::Mcu,
+            peak_gflops: 0.1,
+            bandwidth_gbs: 0.6,
+            kernel_launch_us: 0.5,
+            memory_bytes: 320 * 1024,
+        }
+    }
+
+    /// All seven evaluation platforms of the paper, in Figure 9 order.
+    pub fn all_paper_devices() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile::jetson_nano(),
+            DeviceProfile::jetson_agx_orin(),
+            DeviceProfile::stm32f746(),
+            DeviceProfile::apple_m1(),
+            DeviceProfile::snapdragon_cpu(),
+            DeviceProfile::raspberry_pi4(),
+            DeviceProfile::snapdragon_dsp(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        assert!(DeviceProfile::jetson_agx_orin().peak_gflops > DeviceProfile::jetson_nano().peak_gflops);
+        assert!(DeviceProfile::jetson_nano().peak_gflops > DeviceProfile::raspberry_pi4().peak_gflops);
+        assert!(DeviceProfile::raspberry_pi4().peak_gflops > DeviceProfile::stm32f746().peak_gflops);
+        assert!(DeviceProfile::stm32f746().memory_bytes < 1 << 20);
+    }
+
+    #[test]
+    fn all_devices_listed_once() {
+        let devices = DeviceProfile::all_paper_devices();
+        assert_eq!(devices.len(), 7);
+        let mut names: Vec<String> = devices.iter().map(|d| d.name.clone()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

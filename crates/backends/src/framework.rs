@@ -1,0 +1,274 @@
+//! Training-framework overhead profiles (the "who are we comparing against"
+//! half of Figure 9 and Table 5).
+//!
+//! A framework profile captures the properties the paper argues dominate
+//! on-device training speed:
+//!
+//! * how efficient its kernels are on each device class (cloud frameworks
+//!   ship excellent CUDA kernels but poor ARM/DSP ones);
+//! * how much per-operator dispatch overhead the host-language runtime adds;
+//! * how much fixed per-step work it does at runtime (graph construction,
+//!   runtime autodiff, Python optimizer loops);
+//! * whether it can execute a *pruned* sparse-backpropagation graph and
+//!   whether it applies compile-time graph optimisations at all;
+//! * whether it can run on the device class in the first place (cloud
+//!   frameworks cannot target DSPs or microcontrollers).
+
+use crate::device::DeviceClass;
+
+/// Feature flags of a framework, mirroring the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameworkFeatures {
+    /// Supports training at all.
+    pub supports_training: bool,
+    /// Realises measured savings from sparse backpropagation.
+    pub supports_sparse_bp: bool,
+    /// Runs without a host language (Python).
+    pub runs_without_host_language: bool,
+    /// Ships kernels tuned for edge devices.
+    pub kernels_optimized_for_edge: bool,
+    /// Derives the backward graph at compile time.
+    pub compile_time_autodiff: bool,
+    /// Applies graph optimisations to the training graph.
+    pub graph_optimizations: bool,
+}
+
+/// A training-framework profile used by the latency model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkProfile {
+    /// Framework name.
+    pub name: String,
+    /// Per-operator dispatch overhead, in microseconds.
+    pub per_op_overhead_us: f64,
+    /// Fixed per-step overhead, in microseconds (runtime autodiff, Python
+    /// optimizer loop, graph bookkeeping).
+    pub per_step_overhead_us: f64,
+    /// Qualitative feature set (Table 1).
+    pub features: FrameworkFeatures,
+    /// Kernel efficiency per device class in `(0, 1]`; `None` means the
+    /// framework cannot target that device class at all.
+    efficiency: Vec<(DeviceClass, f64)>,
+}
+
+impl FrameworkProfile {
+    /// Kernel efficiency on a device class, or `None` when unsupported.
+    pub fn efficiency(&self, class: DeviceClass) -> Option<f64> {
+        self.efficiency.iter().find(|(c, _)| *c == class).map(|(_, e)| *e)
+    }
+
+    /// Whether the framework can run training on the device class.
+    pub fn supports_device(&self, class: DeviceClass) -> bool {
+        self.efficiency(class).is_some() && self.features.supports_training
+    }
+
+    /// TensorFlow (cloud-first, Python host, runtime autodiff).
+    pub fn tensorflow() -> Self {
+        FrameworkProfile {
+            name: "TensorFlow".to_string(),
+            per_op_overhead_us: 140.0,
+            per_step_overhead_us: 9_000.0,
+            features: FrameworkFeatures {
+                supports_training: true,
+                supports_sparse_bp: false,
+                runs_without_host_language: false,
+                kernels_optimized_for_edge: false,
+                compile_time_autodiff: false,
+                graph_optimizations: false,
+            },
+            efficiency: vec![
+                (DeviceClass::EdgeCpu, 0.055),
+                (DeviceClass::EdgeGpu, 0.32),
+                (DeviceClass::AppleSoc, 0.18),
+            ],
+        }
+    }
+
+    /// PyTorch (cloud-first, Python host, eager runtime autodiff).
+    pub fn pytorch() -> Self {
+        FrameworkProfile {
+            name: "PyTorch".to_string(),
+            per_op_overhead_us: 110.0,
+            per_step_overhead_us: 7_000.0,
+            features: FrameworkFeatures {
+                supports_training: true,
+                supports_sparse_bp: false,
+                runs_without_host_language: false,
+                kernels_optimized_for_edge: false,
+                compile_time_autodiff: false,
+                graph_optimizations: false,
+            },
+            efficiency: vec![
+                (DeviceClass::EdgeCpu, 0.065),
+                (DeviceClass::EdgeGpu, 0.35),
+                (DeviceClass::AppleSoc, 0.20),
+            ],
+        }
+    }
+
+    /// Jax (XLA-compiled but still Python-hosted and cloud-first).
+    pub fn jax() -> Self {
+        FrameworkProfile {
+            name: "Jax".to_string(),
+            per_op_overhead_us: 60.0,
+            per_step_overhead_us: 12_000.0,
+            features: FrameworkFeatures {
+                supports_training: true,
+                supports_sparse_bp: false,
+                runs_without_host_language: false,
+                kernels_optimized_for_edge: false,
+                compile_time_autodiff: false,
+                graph_optimizations: false,
+            },
+            efficiency: vec![
+                (DeviceClass::EdgeCpu, 0.06),
+                (DeviceClass::EdgeGpu, 0.34),
+                (DeviceClass::AppleSoc, 0.16),
+            ],
+        }
+    }
+
+    /// MNN (edge inference engine with preliminary CNN training support).
+    pub fn mnn() -> Self {
+        FrameworkProfile {
+            name: "MNN".to_string(),
+            per_op_overhead_us: 25.0,
+            per_step_overhead_us: 800.0,
+            features: FrameworkFeatures {
+                supports_training: true,
+                supports_sparse_bp: false,
+                runs_without_host_language: true,
+                kernels_optimized_for_edge: true,
+                compile_time_autodiff: false,
+                graph_optimizations: false,
+            },
+            efficiency: vec![(DeviceClass::EdgeCpu, 0.085), (DeviceClass::AppleSoc, 0.12)],
+        }
+    }
+
+    /// TVM (inference-only compiler; listed for the Table 1 feature matrix).
+    pub fn tvm() -> Self {
+        FrameworkProfile {
+            name: "TVM".to_string(),
+            per_op_overhead_us: 5.0,
+            per_step_overhead_us: 100.0,
+            features: FrameworkFeatures {
+                supports_training: false,
+                supports_sparse_bp: false,
+                runs_without_host_language: true,
+                kernels_optimized_for_edge: true,
+                compile_time_autodiff: false,
+                graph_optimizations: true,
+            },
+            efficiency: vec![
+                (DeviceClass::EdgeCpu, 0.7),
+                (DeviceClass::EdgeGpu, 0.8),
+                (DeviceClass::AppleSoc, 0.6),
+            ],
+        }
+    }
+
+    /// PockEngine (this work): compiled training graph, vendor-library or
+    /// tuned kernels, no host language at runtime.
+    pub fn pockengine() -> Self {
+        FrameworkProfile {
+            name: "PockEngine".to_string(),
+            per_op_overhead_us: 2.0,
+            per_step_overhead_us: 60.0,
+            features: FrameworkFeatures {
+                supports_training: true,
+                supports_sparse_bp: true,
+                runs_without_host_language: true,
+                kernels_optimized_for_edge: true,
+                compile_time_autodiff: true,
+                graph_optimizations: true,
+            },
+            efficiency: vec![
+                (DeviceClass::EdgeCpu, 0.72),
+                (DeviceClass::EdgeGpu, 0.80),
+                (DeviceClass::AppleSoc, 0.55),
+                (DeviceClass::Dsp, 0.85),
+                (DeviceClass::Mcu, 0.5),
+            ],
+        }
+    }
+
+    /// The baseline frameworks compared against in Figure 9.
+    pub fn baselines() -> Vec<FrameworkProfile> {
+        vec![Self::tensorflow(), Self::pytorch(), Self::jax(), Self::mnn()]
+    }
+}
+
+/// One row of the paper's Table 1 feature matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureRow {
+    /// Framework name.
+    pub framework: String,
+    /// Qualitative feature flags.
+    pub features: FrameworkFeatures,
+}
+
+/// The Table 1 feature matrix.
+pub fn feature_matrix() -> Vec<FeatureRow> {
+    [
+        FrameworkProfile::pytorch(),
+        FrameworkProfile::tensorflow(),
+        FrameworkProfile::jax(),
+        FrameworkProfile::tvm(),
+        FrameworkProfile::mnn(),
+        FrameworkProfile::pockengine(),
+    ]
+    .into_iter()
+    .map(|f| FeatureRow { framework: f.name.clone(), features: f.features })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pockengine_is_the_only_sparse_bp_framework() {
+        let rows = feature_matrix();
+        let sparse: Vec<&FeatureRow> = rows.iter().filter(|r| r.features.supports_sparse_bp).collect();
+        assert_eq!(sparse.len(), 1);
+        assert_eq!(sparse[0].framework, "PockEngine");
+    }
+
+    #[test]
+    fn cloud_frameworks_cannot_target_dsp_or_mcu() {
+        for fw in [FrameworkProfile::tensorflow(), FrameworkProfile::pytorch(), FrameworkProfile::jax()] {
+            assert!(!fw.supports_device(DeviceClass::Dsp), "{}", fw.name);
+            assert!(!fw.supports_device(DeviceClass::Mcu), "{}", fw.name);
+            assert!(fw.supports_device(DeviceClass::EdgeCpu));
+        }
+        assert!(FrameworkProfile::pockengine().supports_device(DeviceClass::Dsp));
+        assert!(FrameworkProfile::pockengine().supports_device(DeviceClass::Mcu));
+    }
+
+    #[test]
+    fn tvm_supports_inference_only() {
+        let tvm = FrameworkProfile::tvm();
+        assert!(!tvm.features.supports_training);
+        assert!(!tvm.supports_device(DeviceClass::EdgeCpu), "training unsupported even where kernels exist");
+    }
+
+    #[test]
+    fn pockengine_kernels_are_more_efficient_on_edge_cpu() {
+        let pe = FrameworkProfile::pockengine().efficiency(DeviceClass::EdgeCpu).unwrap();
+        let tf = FrameworkProfile::tensorflow().efficiency(DeviceClass::EdgeCpu).unwrap();
+        assert!(pe / tf > 5.0, "edge-CPU efficiency gap should be large ({pe} vs {tf})");
+    }
+
+    #[test]
+    fn table1_matches_paper_shape() {
+        let rows = feature_matrix();
+        assert_eq!(rows.len(), 6);
+        let pe = rows.iter().find(|r| r.framework == "PockEngine").unwrap();
+        assert!(pe.features.supports_training);
+        assert!(pe.features.compile_time_autodiff);
+        assert!(pe.features.graph_optimizations);
+        let pt = rows.iter().find(|r| r.framework == "PyTorch").unwrap();
+        assert!(pt.features.supports_training);
+        assert!(!pt.features.compile_time_autodiff);
+    }
+}

@@ -1,0 +1,259 @@
+//! Roofline latency model for a scheduled training graph on a device under a
+//! given framework profile.
+//!
+//! Per node: `time = max(flops / throughput, bytes / bandwidth) + launch +
+//! per-op dispatch overhead`; per step a fixed framework overhead is added
+//! (runtime autodiff, Python optimizer loop, ...). Frameworks that cannot
+//! execute a pruned sparse graph are charged for the *full* backward graph —
+//! the caller passes whichever graph the framework would actually run, which
+//! is how "theoretical savings without system support" fail to materialise.
+
+use pe_graph::{node_cost, Graph, NodeId};
+
+use crate::device::DeviceProfile;
+use crate::framework::FrameworkProfile;
+
+/// Breakdown of one training-step latency estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Time spent in compute-bound kernel work (µs).
+    pub compute_us: f64,
+    /// Time spent in memory-bound kernel work (µs).
+    pub memory_us: f64,
+    /// Kernel-launch cost (µs).
+    pub launch_us: f64,
+    /// Host-side per-operator dispatch overhead (µs).
+    pub dispatch_us: f64,
+    /// Fixed per-step framework overhead (µs).
+    pub framework_us: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total step latency in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.compute_us + self.memory_us + self.launch_us + self.dispatch_us + self.framework_us
+    }
+
+    /// Total step latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_us() / 1_000.0
+    }
+
+    /// Training throughput in samples per second for the given batch size.
+    pub fn throughput(&self, batch: usize) -> f64 {
+        batch as f64 / (self.total_us() / 1e6)
+    }
+}
+
+/// Why a latency estimate could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatencyError {
+    /// The framework cannot run training on this device class.
+    Unsupported {
+        /// Framework name.
+        framework: String,
+        /// Device name.
+        device: String,
+    },
+}
+
+impl std::fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyError::Unsupported { framework, device } => {
+                write!(f, "{framework} cannot run training on {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatencyError {}
+
+/// Estimates one training-step latency for `order` (an execution order over
+/// `graph`) on `device` under `framework`.
+///
+/// # Errors
+///
+/// Returns [`LatencyError::Unsupported`] when the framework cannot target the
+/// device class (e.g. PyTorch on a DSP or a microcontroller).
+pub fn estimate_step_latency(
+    graph: &Graph,
+    order: &[NodeId],
+    device: &DeviceProfile,
+    framework: &FrameworkProfile,
+) -> Result<LatencyBreakdown, LatencyError> {
+    let Some(efficiency) = framework.efficiency(device.class).filter(|_| framework.features.supports_training)
+    else {
+        return Err(LatencyError::Unsupported {
+            framework: framework.name.clone(),
+            device: device.name.clone(),
+        });
+    };
+
+    let mut out = LatencyBreakdown { framework_us: framework.per_step_overhead_us, ..Default::default() };
+    for &id in order {
+        let node = graph.node(id);
+        if node.op.is_leaf() {
+            continue;
+        }
+        let cost = node_cost(graph, id);
+        let compute_us = cost.flops as f64 / (device.peak_gflops * efficiency * 1e3);
+        let memory_us = cost.bytes as f64 / (device.bandwidth_gbs * 1e3);
+        if compute_us >= memory_us {
+            out.compute_us += compute_us;
+        } else {
+            out.memory_us += memory_us;
+        }
+        out.launch_us += device.kernel_launch_us;
+        out.dispatch_us += framework.per_op_overhead_us;
+    }
+    Ok(out)
+}
+
+/// Estimated peak training memory against the device capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFit {
+    /// Required bytes.
+    pub required_bytes: usize,
+    /// Device capacity in bytes.
+    pub capacity_bytes: usize,
+}
+
+impl MemoryFit {
+    /// Whether the workload fits in device memory.
+    pub fn fits(&self) -> bool {
+        self.required_bytes <= self.capacity_bytes
+    }
+}
+
+/// Checks a memory requirement against a device profile (used for the "-"
+/// entries of Table 4, where a configuration does not fit on the device).
+pub fn memory_fit(required_bytes: usize, device: &DeviceProfile) -> MemoryFit {
+    MemoryFit { required_bytes, capacity_bytes: device.memory_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+    use crate::framework::FrameworkProfile;
+    use pe_graph::build_training_graph;
+    use pe_models::{build_mobilenet, MobileNetV2Config};
+    use pe_passes::{optimize, OptimizeOptions, ScheduleStrategy};
+    use pe_sparse::{apply_rule, paper_scheme_mobilenetv2, UpdateRule};
+    use pe_tensor::Rng;
+
+    fn mobilenet_graphs() -> (pe_graph::TrainingGraph, pe_passes::Schedule, pe_graph::TrainingGraph, pe_passes::Schedule)
+    {
+        let mut rng = Rng::seed_from_u64(0);
+        let cfg = MobileNetV2Config::paper(0.35, 8);
+        let model = build_mobilenet(&cfg, &mut rng);
+
+        let full_spec = apply_rule(&model, &UpdateRule::Full);
+        let tg_full = build_training_graph(model.graph.clone(), model.loss, &full_spec);
+        let (tg_full, sched_full, _) = optimize(tg_full, OptimizeOptions::default());
+
+        let sparse_spec = apply_rule(&model, &UpdateRule::Sparse(paper_scheme_mobilenetv2()));
+        let tg_sparse = build_training_graph(model.graph.clone(), model.loss, &sparse_spec);
+        let (tg_sparse, sched_sparse, _) = optimize(tg_sparse, OptimizeOptions::default());
+
+        (tg_full, sched_full, tg_sparse, sched_sparse)
+    }
+
+    #[test]
+    fn pockengine_is_much_faster_than_cloud_frameworks_on_edge_cpu() {
+        let (tg, sched, _, _) = mobilenet_graphs();
+        let device = DeviceProfile::raspberry_pi4();
+        let pe = estimate_step_latency(&tg.graph, &sched.order, &device, &FrameworkProfile::pockengine())
+            .unwrap();
+        let tf = estimate_step_latency(&tg.graph, &sched.order, &device, &FrameworkProfile::tensorflow())
+            .unwrap();
+        let speedup = tf.total_us() / pe.total_us();
+        assert!(
+            (5.0..60.0).contains(&speedup),
+            "Figure 9 shape: PockEngine should be roughly an order of magnitude faster than TF on a Pi, got {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn sparse_backward_graph_is_faster_than_full() {
+        let (tg_full, sched_full, tg_sparse, sched_sparse) = mobilenet_graphs();
+        let device = DeviceProfile::raspberry_pi4();
+        let fw = FrameworkProfile::pockengine();
+        let full = estimate_step_latency(&tg_full.graph, &sched_full.order, &device, &fw).unwrap();
+        let sparse = estimate_step_latency(&tg_sparse.graph, &sched_sparse.order, &device, &fw).unwrap();
+        let speedup = full.total_us() / sparse.total_us();
+        assert!(
+            (1.15..3.0).contains(&speedup),
+            "sparse-BP speedup should be in the paper's 1.3-1.6x ballpark, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn edge_gpu_speedup_is_smaller_but_real() {
+        let (tg, sched, _, _) = mobilenet_graphs();
+        let device = DeviceProfile::jetson_nano();
+        let pe = estimate_step_latency(&tg.graph, &sched.order, &device, &FrameworkProfile::pockengine())
+            .unwrap();
+        let pt = estimate_step_latency(&tg.graph, &sched.order, &device, &FrameworkProfile::pytorch())
+            .unwrap();
+        let speedup = pt.total_us() / pe.total_us();
+        assert!(
+            (1.5..8.0).contains(&speedup),
+            "edge-GPU speedup should be in the 2-3x ballpark, got {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn unsupported_framework_device_pairs_error() {
+        let (tg, sched, _, _) = mobilenet_graphs();
+        let err = estimate_step_latency(
+            &tg.graph,
+            &sched.order,
+            &DeviceProfile::snapdragon_dsp(),
+            &FrameworkProfile::pytorch(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot run"));
+    }
+
+    #[test]
+    fn breakdown_totals_and_throughput() {
+        let (tg, sched, _, _) = mobilenet_graphs();
+        let b = estimate_step_latency(
+            &tg.graph,
+            &sched.order,
+            &DeviceProfile::jetson_agx_orin(),
+            &FrameworkProfile::pockengine(),
+        )
+        .unwrap();
+        let total = b.compute_us + b.memory_us + b.launch_us + b.dispatch_us + b.framework_us;
+        assert!((b.total_us() - total).abs() < 1e-6);
+        assert!(b.throughput(8) > 0.0);
+        assert!(b.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn memory_fit_checks_capacity() {
+        let mcu = DeviceProfile::stm32f746();
+        assert!(!memory_fit(10 << 20, &mcu).fits());
+        assert!(memory_fit(100 << 10, &mcu).fits());
+    }
+
+    #[test]
+    fn reordered_schedule_does_not_change_latency_estimate_materially() {
+        // Reordering changes memory, not work; the latency model should agree
+        // to within the per-node rounding.
+        let mut rng = Rng::seed_from_u64(1);
+        let model = build_mobilenet(&MobileNetV2Config::tiny(2, 4), &mut rng);
+        let spec = apply_rule(&model, &UpdateRule::Full);
+        let tg = build_training_graph(model.graph.clone(), model.loss, &spec);
+        let sched_a = pe_passes::build_schedule(&tg.graph, ScheduleStrategy::Conventional);
+        let sched_b = pe_passes::build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let device = DeviceProfile::raspberry_pi4();
+        let fw = FrameworkProfile::pockengine();
+        let a = estimate_step_latency(&tg.graph, &sched_a.order, &device, &fw).unwrap();
+        let b = estimate_step_latency(&tg.graph, &sched_b.order, &device, &fw).unwrap();
+        assert!((a.total_us() - b.total_us()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,27 @@
+//! # pe-backends
+//!
+//! Edge-device hardware profiles, training-framework overhead profiles and
+//! the roofline latency / memory-fit models used to reproduce the paper's
+//! cross-platform comparisons (Table 1, Table 4's capacity checks, Table 5's
+//! iteration latency, Figure 9's throughput charts).
+//!
+//! The real hardware (Raspberry Pi, Jetson Nano/Orin, Snapdragon CPU/DSP,
+//! Apple M1, STM32 microcontroller) and the vendor libraries (SNPE, TensorRT,
+//! TinyEngine, Metal) are not available in this environment, so each platform
+//! is modelled as a roofline (sustained GFLOP/s, memory bandwidth, kernel
+//! launch cost, memory capacity) and each framework as an overhead profile
+//! (kernel efficiency per device class, per-op dispatch cost, per-step
+//! runtime cost, and whether it can execute pruned sparse graphs). The
+//! estimates are driven by the *real* compiled training graphs produced by
+//! the rest of the engine, so relative claims — who wins, by roughly what
+//! factor, where things stop fitting in memory — are preserved.
+
+#![deny(missing_docs)]
+
+pub mod device;
+pub mod framework;
+pub mod latency;
+
+pub use device::{DeviceClass, DeviceProfile};
+pub use framework::{feature_matrix, FeatureRow, FrameworkFeatures, FrameworkProfile};
+pub use latency::{estimate_step_latency, memory_fit, LatencyBreakdown, LatencyError, MemoryFit};

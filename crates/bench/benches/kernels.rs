@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the shared kernel library: the GEMM and
+//! convolution kernels that dominate training time, plus the Winograd kernel
+//! used for frozen layers (backend switching, §3.2).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pockengine::pe_tensor::kernels::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dParams};
+use pockengine::pe_tensor::kernels::gemm::matmul;
+use pockengine::pe_tensor::kernels::winograd::{conv2d_winograd, WinogradWeight};
+use pockengine::pe_tensor::{Rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(0);
+    let a = Tensor::randn(&[64, 128], 1.0, &mut rng);
+    let b = Tensor::randn(&[128, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x128x64", |bencher| {
+        bencher.iter(|| std::hint::black_box(matmul(&a, &b, false, false)))
+    });
+    let bt = Tensor::randn(&[64, 128], 1.0, &mut rng);
+    c.bench_function("matmul_64x128x64_transposed_rhs", |bencher| {
+        bencher.iter(|| std::hint::black_box(matmul(&a, &bt, false, true)))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(1);
+    let x = Tensor::randn(&[1, 16, 32, 32], 1.0, &mut rng);
+    let w = Tensor::randn(&[16, 16, 3, 3], 0.5, &mut rng);
+    let p = Conv2dParams::new(1, 1);
+    c.bench_function("conv2d_direct_16x32x32", |bencher| {
+        bencher.iter(|| std::hint::black_box(conv2d(&x, &w, p)))
+    });
+    let wino = WinogradWeight::from_dense(&w);
+    c.bench_function("conv2d_winograd_16x32x32", |bencher| {
+        bencher.iter(|| std::hint::black_box(conv2d_winograd(&x, &wino, 1)))
+    });
+    let dy = conv2d(&x, &w, p);
+    c.bench_function("conv2d_grad_input_16x32x32", |bencher| {
+        bencher.iter(|| std::hint::black_box(conv2d_grad_input(&dy, &w, x.dims(), p)))
+    });
+    c.bench_function("conv2d_grad_weight_16x32x32", |bencher| {
+        bencher.iter(|| std::hint::black_box(conv2d_grad_weight(&x, &dy, w.dims(), p)))
+    });
+    // Sparse (channel-pruned) weight gradient: only the first 4 of 16 output
+    // channels — the kernel-level effect behind the sub-layer sparse scheme.
+    let dy_sliced = pockengine::pe_tensor::kernels::layout::slice_axis(&dy, 1, 0, 4);
+    c.bench_function("conv2d_grad_weight_channel_sparse_4_of_16", |bencher| {
+        bencher.iter_batched(
+            || dy_sliced.clone(),
+            |d| std::hint::black_box(conv2d_grad_weight(&x, &d, w.dims(), p)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_conv
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of one end-to-end training step on the host CPU:
+//! compiled engine (full and sparse BP) versus the eager runtime-autodiff
+//! baseline, on a tiny MobileNetV2 workload. This is the measured analogue of
+//! Figure 7 / Figure 9's framework comparison, executed with real kernels.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pockengine::pe_data::{generate_vision_task, VisionTaskConfig};
+use pockengine::pe_models::{build_mobilenet, MobileNetV2Config};
+use pockengine::pe_runtime::{EagerEngine, Optimizer};
+use pockengine::pe_sparse::{apply_rule, UpdateRule};
+use pockengine::pe_tensor::{Rng, Tensor};
+use pockengine::{compile, CompileOptions};
+
+fn inputs() -> HashMap<String, Tensor> {
+    let mut rng = Rng::seed_from_u64(1);
+    let task = generate_vision_task(
+        "bench",
+        VisionTaskConfig {
+            num_classes: 3,
+            resolution: 16,
+            batch: 4,
+            train_batches: 1,
+            test_batches: 1,
+            noise: 0.5,
+            signal: 1.0,
+        },
+        &mut rng,
+    );
+    let (x, y) = &task.train[0];
+    HashMap::from([("x".to_string(), x.clone()), ("labels".to_string(), y.clone())])
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(0);
+    let cfg = MobileNetV2Config::tiny(4, 3);
+    let model = build_mobilenet(&cfg, &mut rng);
+    let data = inputs();
+
+    let program = compile(
+        &model,
+        &CompileOptions { optimizer: Optimizer::sgd(0.01), ..CompileOptions::default() },
+    );
+    let mut exec_full = program.executor;
+    c.bench_function("step_compiled_full_bp", |b| {
+        b.iter(|| std::hint::black_box(exec_full.run_step(&data).unwrap()))
+    });
+
+    let program = compile(
+        &model,
+        &CompileOptions {
+            update_rule: UpdateRule::BiasOnly,
+            optimizer: Optimizer::sgd(0.01),
+            ..CompileOptions::default()
+        },
+    );
+    let mut exec_bias = program.executor;
+    c.bench_function("step_compiled_bias_only", |b| {
+        b.iter(|| std::hint::black_box(exec_bias.run_step(&data).unwrap()))
+    });
+
+    let spec = apply_rule(&model, &UpdateRule::Full);
+    let mut eager = EagerEngine::new(model.graph.clone(), model.loss, spec, Optimizer::sgd(0.01));
+    c.bench_function("step_eager_runtime_autodiff", |b| {
+        b.iter(|| std::hint::black_box(eager.run_step(&data).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training_step
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Reproduces the sparse-backpropagation speedup chart (companion to
+//! Figure 2): per-model training-step speedup of bias-only and sparse-BP over
+//! full backpropagation, estimated on a Raspberry Pi 4 class CPU.
+
+use pe_bench::speed::{scheme_speedups, PaperModel};
+use pe_bench::TextTable;
+
+fn main() {
+    let models = vec![
+        PaperModel::McuNet,
+        PaperModel::MobileNetV2,
+        PaperModel::ResNet50,
+        PaperModel::Bert,
+        PaperModel::DistilBert,
+    ];
+    println!("Sparse-BP speedup over Full-BP (Raspberry Pi 4 cost model, batch 8)\n");
+    let points = scheme_speedups(&models, 8);
+    let mut table = TextTable::new(&["Model", "Full-BP", "Bias-only", "Sparse-BP"]);
+    for m in &models {
+        let get = |scheme: &str| {
+            points
+                .iter()
+                .find(|p| p.model == m.name() && p.scheme == scheme)
+                .map(|p| format!("{:.2}x", p.speedup))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        table.row(vec![m.name().to_string(), get("full-bp"), get("bias-only"), get("sparse-bp")]);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: MCUNet 1.3x, MobileNetV2 1.3x, ResNet 1.6x, BERT 1.5x (sparse vs full).");
+}

@@ -1,0 +1,30 @@
+//! Reproduces Table 1: the qualitative framework feature matrix.
+
+use pe_bench::pe_backends::feature_matrix;
+use pe_bench::TextTable;
+
+fn main() {
+    let mut table = TextTable::new(&[
+        "Framework",
+        "Training",
+        "Sparse-BP",
+        "No host language",
+        "Edge kernels",
+        "Compile-time AD",
+        "Graph opts",
+    ]);
+    let tick = |b: bool| if b { "yes" } else { "no" }.to_string();
+    for row in feature_matrix() {
+        let f = row.features;
+        table.row(vec![
+            row.framework,
+            tick(f.supports_training),
+            tick(f.supports_sparse_bp),
+            tick(f.runs_without_host_language),
+            tick(f.kernels_optimized_for_edge),
+            tick(f.compile_time_autodiff),
+            tick(f.graph_optimizations),
+        ]);
+    }
+    println!("Table 1: framework comparison\n\n{}", table.render());
+}

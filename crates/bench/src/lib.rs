@@ -1,0 +1,29 @@
+//! # pe-bench
+//!
+//! Reproduction harness for every table and figure in the paper's evaluation.
+//! The logic lives in this library (so the unit tests and Criterion benches
+//! can exercise it); the `repro_*` binaries in `src/bin/` print the tables.
+//!
+//! | Paper artefact | Module / binary |
+//! |---|---|
+//! | Table 1 (framework features)        | `pe_backends::feature_matrix`, `repro_table1` |
+//! | Speedup chart (bias/sparse vs full) | [`speed::scheme_speedups`], `repro_fig2_speedup` |
+//! | Table 2 (vision accuracy)           | [`accuracy::vision_accuracy`], `repro_table2` |
+//! | Table 3 (NLP accuracy)              | [`accuracy::nlp_accuracy`], `repro_table3` |
+//! | Table 4 (training memory)           | [`memory::table4_memory`], `repro_table4` |
+//! | Table 5 (Llama fine-tuning)         | [`speed::table5_llama_system`] + [`accuracy::llama_quality`], `repro_table5` |
+//! | Figure 7 (autodiff overhead)        | [`overhead::measure_autodiff_overhead`], `repro_fig7_overhead` |
+//! | Figure 8 (loss curves)              | [`accuracy::loss_curves`], `repro_fig8_loss_curves` |
+//! | Figure 9 (throughput)               | [`speed::figure9_for_device`], `repro_fig9_throughput` |
+//! | §3.2 graph-opt ablation             | [`speed::graph_optimization_ablation`], `repro_ablation_graphopt` |
+
+#![deny(missing_docs)]
+
+pub mod accuracy;
+pub mod memory;
+pub mod overhead;
+pub mod speed;
+pub mod table;
+
+pub use pockengine::pe_backends;
+pub use table::TextTable;

@@ -1,0 +1,249 @@
+//! # PockEngine-RS
+//!
+//! A Rust reproduction of **PockEngine: Sparse and Efficient Fine-tuning in a
+//! Pocket** (MICRO 2023): a compilation-first training engine for edge
+//! devices with system-level support for sparse backpropagation.
+//!
+//! This crate is the top-level API. It ties together the workspace crates:
+//!
+//! * [`pe_tensor`] — tensors and the shared forward/backward kernel library;
+//! * [`pe_graph`] — the unified IR, graph builder and compile-time autodiff;
+//! * [`pe_passes`] — training-graph optimisations (pruning/DCE, fusion,
+//!   Winograd backend switching, operator reordering) and scheduling;
+//! * [`pe_memplan`] — tensor lifetime analysis and memory planning;
+//! * [`pe_runtime`] — the slim executor, optimizers and the eager baseline;
+//! * [`pe_sparse`] — update schemes and the scheme search;
+//! * [`pe_models`] — the model zoo (MCUNet, MobileNetV2, ResNet, BERT,
+//!   DistilBERT, Llama);
+//! * [`pe_backends`] — device / framework cost models;
+//! * [`pe_data`] — synthetic workloads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pockengine::prelude::*;
+//!
+//! let mut rng = Rng::seed_from_u64(0);
+//! let model = build_bert(&BertConfig::tiny(4, 2), &mut rng);
+//! let options = CompileOptions {
+//!     update_rule: UpdateRule::BiasOnly,
+//!     optimizer: Optimizer::sgd(0.05),
+//!     ..CompileOptions::default()
+//! };
+//! let program = compile(&model, &options);
+//! assert!(program.analysis.memory.total_bytes() > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use pe_backends;
+pub use pe_data;
+pub use pe_graph;
+pub use pe_memplan;
+pub use pe_models;
+pub use pe_passes;
+pub use pe_runtime;
+pub use pe_sparse;
+pub use pe_tensor;
+
+use pe_graph::{build_training_graph, TrainingGraph};
+use pe_memplan::{memory_report, MemoryReport};
+use pe_models::BuiltModel;
+use pe_passes::{optimize, OptimizeOptions, OptimizeStats, Schedule, ScheduleStrategy};
+use pe_runtime::{Executor, Optimizer, Trainer};
+use pe_sparse::{apply_rule, trainable_elements, UpdateRule};
+
+/// Everything most users need, in one import.
+pub mod prelude {
+    pub use crate::{analyze, compile, CompileOptions, CompiledProgram, ProgramAnalysis};
+    pub use pe_backends::{DeviceProfile, FrameworkProfile};
+    pub use pe_data::{
+        generate_instruct_dataset, generate_nlp_task, generate_vision_task, InstructConfig,
+        NlpTaskConfig, VisionTaskConfig,
+    };
+    pub use pe_graph::{GraphBuilder, TrainKind, TrainSpec};
+    pub use pe_models::{
+        build_bert, build_llama, build_mobilenet, build_resnet, mcunet_5fps_config,
+        mcunet_tiny_config, BertConfig, BuiltModel, LlamaConfig, MobileNetV2Config, ResNetConfig,
+    };
+    pub use pe_passes::{OptimizeOptions, ScheduleStrategy};
+    pub use pe_runtime::{Batch, Executor, Optimizer, Trainer};
+    pub use pe_sparse::{
+        apply_rule, paper_scheme_bert, paper_scheme_distilbert, paper_scheme_llama,
+        paper_scheme_mcunet, paper_scheme_mobilenetv2, paper_scheme_resnet50, SparseScheme,
+        UpdateRule,
+    };
+    pub use pe_tensor::{Rng, Tensor};
+}
+
+/// How to compile a training program from a model.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Which parameters to update (the sparse backpropagation scheme).
+    pub update_rule: UpdateRule,
+    /// Optimizer applied by the `ApplyUpdate` nodes.
+    pub optimizer: Optimizer,
+    /// Graph optimisation pipeline configuration.
+    pub optimize: OptimizeOptions,
+    /// Execution order policy (reordered updates vs conventional).
+    pub schedule: ScheduleStrategy,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            update_rule: UpdateRule::Full,
+            optimizer: Optimizer::sgd(0.01),
+            optimize: OptimizeOptions::default(),
+            schedule: ScheduleStrategy::Reordered,
+        }
+    }
+}
+
+/// Compile-time analysis of a training program (no executor, no parameter
+/// materialisation) — everything the cost models and memory planner need.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// The optimized training graph.
+    pub training_graph: TrainingGraph,
+    /// The execution schedule.
+    pub schedule: Schedule,
+    /// Optimisation statistics (fusion counts, DCE, Winograd conversions).
+    pub stats: OptimizeStats,
+    /// Training-memory breakdown.
+    pub memory: MemoryReport,
+    /// Number of parameter elements that receive updates.
+    pub trainable_elements: usize,
+    /// Name of the logits output node.
+    pub logits_name: String,
+}
+
+/// A fully compiled training program, ready to execute.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// The compile-time analysis (graph, schedule, memory breakdown).
+    pub analysis: ProgramAnalysis,
+    /// The executor holding parameters and optimizer state.
+    pub executor: Executor,
+    /// Name of the model's feature input.
+    pub feature_input: String,
+    /// Name of the model's label input.
+    pub label_input: String,
+}
+
+impl CompiledProgram {
+    /// Wraps the program in a [`Trainer`] for classification workloads.
+    pub fn into_trainer(self) -> Trainer {
+        let logits = self.analysis.logits_name.clone();
+        Trainer::new(self.executor, self.feature_input, self.label_input, logits)
+    }
+}
+
+/// Analyses a model under the given options without materialising parameters
+/// or building an executor.
+///
+/// Use this for paper-scale configurations (ResNet-50 at 224x224, BERT-base,
+/// Llama-7B) whose graphs are only consumed by the memory planner and the
+/// device cost models.
+pub fn analyze(model: &BuiltModel, options: &CompileOptions) -> ProgramAnalysis {
+    let spec = apply_rule(model, &options.update_rule);
+    let trainable = trainable_elements(model, &spec);
+    let tg = build_training_graph(model.graph.clone(), model.loss, &spec);
+    let mut opts = options.optimize;
+    opts.reorder_updates = options.schedule == ScheduleStrategy::Reordered;
+    let (tg, schedule, stats) = optimize(tg, opts);
+    let memory = memory_report(&tg.graph, &schedule, trainable, options.optimizer.state_slots());
+    let logits_name = model.logits_name();
+    ProgramAnalysis { training_graph: tg, schedule, stats, memory, trainable_elements: trainable, logits_name }
+}
+
+/// Compiles a model into an executable training program.
+///
+/// The entire pipeline runs at compile time: scheme application, backward
+/// graph derivation, graph optimisation, scheduling and memory planning. The
+/// returned program's executor performs no graph work at runtime.
+pub fn compile(model: &BuiltModel, options: &CompileOptions) -> CompiledProgram {
+    let analysis = analyze(model, options);
+    let executor =
+        Executor::new(analysis.training_graph.clone(), analysis.schedule.clone(), options.optimizer);
+    CompiledProgram {
+        analysis,
+        executor,
+        feature_input: model.feature_input.clone(),
+        label_input: model.label_input.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_models::{build_mobilenet, MobileNetV2Config};
+    use pe_runtime::Batch;
+    use pe_sparse::paper_scheme_mobilenetv2;
+    use pe_sparse::SparseScheme;
+    use pe_sparse::WeightRule;
+    use pe_sparse::BlockSelector;
+    use pe_tensor::Rng;
+
+    #[test]
+    fn analyze_reports_smaller_memory_for_sparse_schemes() {
+        let mut rng = Rng::seed_from_u64(0);
+        let model = build_mobilenet(&MobileNetV2Config::paper(0.35, 8), &mut rng);
+        let full = analyze(&model, &CompileOptions::default());
+        let sparse = analyze(
+            &model,
+            &CompileOptions {
+                update_rule: UpdateRule::Sparse(paper_scheme_mobilenetv2()),
+                optimizer: Optimizer::adam(1e-3),
+                ..CompileOptions::default()
+            },
+        );
+        assert!(sparse.memory.transient_peak_bytes < full.memory.transient_peak_bytes);
+        assert!(sparse.trainable_elements < full.trainable_elements);
+        assert!(sparse.training_graph.graph.len() < full.training_graph.graph.len());
+    }
+
+    #[test]
+    fn compiled_tiny_model_trains_end_to_end() {
+        let mut rng = Rng::seed_from_u64(1);
+        let model = build_mobilenet(&MobileNetV2Config::tiny(8, 3), &mut rng);
+        let scheme = SparseScheme {
+            name: "tiny".to_string(),
+            bias_last_blocks: 2,
+            weight_rules: vec![WeightRule::full("conv1", BlockSelector::LastK(2))],
+            train_head: true,
+            train_norm: false,
+        };
+        let program = compile(
+            &model,
+            &CompileOptions {
+                update_rule: UpdateRule::Sparse(scheme),
+                optimizer: Optimizer::sgd(0.05),
+                ..CompileOptions::default()
+            },
+        );
+        let mut trainer = program.into_trainer();
+        let mut data_rng = Rng::seed_from_u64(2);
+        let task = pe_data::generate_vision_task(
+            "smoke",
+            pe_data::VisionTaskConfig { num_classes: 3, resolution: 16, batch: 8, train_batches: 6, test_batches: 2, noise: 0.3, signal: 1.2 },
+            &mut data_rng,
+        );
+        let batches: Vec<Batch> =
+            task.train.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect();
+        let first = trainer.train_epoch(&batches).unwrap();
+        let mut last = first;
+        for _ in 0..3 {
+            last = trainer.train_epoch(&batches).unwrap();
+        }
+        assert!(last < first, "loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn default_options_are_full_bp_with_all_optimizations() {
+        let o = CompileOptions::default();
+        assert_eq!(o.update_rule, UpdateRule::Full);
+        assert_eq!(o.schedule, ScheduleStrategy::Reordered);
+        assert!(o.optimize.fuse && o.optimize.dce);
+    }
+}

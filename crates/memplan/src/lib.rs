@@ -1,0 +1,358 @@
+//! # pe-memplan
+//!
+//! Tensor lifetime analysis and training memory planning.
+//!
+//! Because the entire training step (forward, backward, parameter updates) is
+//! a static graph with a static schedule, the compiler can compute every
+//! buffer's lifetime ahead of time, assign arena offsets, and report the peak
+//! training memory — the quantity Table 4 of the paper measures. The effects
+//! reproduced here:
+//!
+//! * sparse backpropagation shrinks the set of saved activations, so peak
+//!   memory drops even at larger batch sizes;
+//! * operator reordering (updates issued right after their gradients) lets
+//!   gradient buffers die immediately instead of all being co-resident.
+
+#![deny(missing_docs)]
+
+use pe_graph::{Graph, NodeId, OpKind};
+use pe_passes::Schedule;
+
+/// Lifetime of a transient buffer in schedule positions: `[def, last_use]`.
+pub type Lifetime = (usize, usize);
+
+/// Per-node buffer placement produced by [`plan_memory`].
+#[derive(Debug, Clone)]
+pub struct MemoryPlan {
+    /// Lifetime of each node's output buffer (indexed by node id); `None`
+    /// for persistent values (parameters, constants) and unscheduled nodes.
+    pub lifetimes: Vec<Option<Lifetime>>,
+    /// Arena byte offset for each transient buffer.
+    pub offsets: Vec<Option<usize>>,
+    /// Size of the activation arena produced by best-fit assignment.
+    pub arena_bytes: usize,
+    /// Peak of the sum of simultaneously-live transient buffers (a lower
+    /// bound on any arena assignment).
+    pub peak_transient_bytes: usize,
+}
+
+impl MemoryPlan {
+    /// Position-indexed total of live transient bytes (the memory profile
+    /// over the step). Useful for plotting and for locating the peak.
+    pub fn live_bytes_profile(&self, graph: &Graph, schedule: &Schedule) -> Vec<usize> {
+        let mut profile = vec![0usize; schedule.len()];
+        for (idx, lt) in self.lifetimes.iter().enumerate() {
+            if let Some((def, last)) = lt {
+                let sz = graph.node(NodeId(idx)).size_bytes();
+                for p in profile.iter_mut().take(*last + 1).skip(*def) {
+                    *p += sz;
+                }
+            }
+        }
+        profile
+    }
+}
+
+/// Breakdown of the memory needed by one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryReport {
+    /// Bytes held by model parameters.
+    pub params_bytes: usize,
+    /// Bytes held by optimizer state (momentum/Adam moments), which only
+    /// exists for *trainable* elements.
+    pub optimizer_bytes: usize,
+    /// Bytes of step inputs (mini-batch and labels).
+    pub input_bytes: usize,
+    /// Peak bytes of transient buffers (activations + gradients).
+    pub transient_peak_bytes: usize,
+    /// Arena size chosen by the planner (>= `transient_peak_bytes`).
+    pub arena_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Total training memory: parameters + optimizer state + inputs + arena.
+    pub fn total_bytes(&self) -> usize {
+        self.params_bytes + self.optimizer_bytes + self.input_bytes + self.arena_bytes
+    }
+
+    /// Total in mebibytes.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+fn is_persistent(graph: &Graph, id: NodeId) -> bool {
+    matches!(graph.node(id).op, OpKind::Parameter | OpKind::Constant | OpKind::Input)
+}
+
+/// Computes the lifetime of every transient buffer under the given schedule.
+///
+/// Graph outputs are kept alive until the end of the step (they must be
+/// readable after execution).
+pub fn analyze_lifetimes(graph: &Graph, schedule: &Schedule) -> Vec<Option<Lifetime>> {
+    let positions = schedule.positions(graph.len());
+    let consumers = graph.consumers();
+    let mut lifetimes: Vec<Option<Lifetime>> = vec![None; graph.len()];
+
+    for node in graph.nodes() {
+        let id = node.id;
+        if is_persistent(graph, id) {
+            continue;
+        }
+        let def = positions[id.index()];
+        if def == usize::MAX {
+            continue; // not scheduled (dead)
+        }
+        let mut last = def;
+        for &c in &consumers[id.index()] {
+            let p = positions[c.index()];
+            if p != usize::MAX {
+                last = last.max(p);
+            }
+        }
+        if graph.outputs().contains(&id) {
+            last = schedule.len().saturating_sub(1);
+        }
+        lifetimes[id.index()] = Some((def, last));
+    }
+    lifetimes
+}
+
+/// Greedy best-fit arena assignment over the computed lifetimes.
+///
+/// Buffers are placed in order of decreasing size; each buffer takes the
+/// lowest offset that does not overlap (in both address range and lifetime)
+/// any previously placed buffer.
+pub fn plan_memory(graph: &Graph, schedule: &Schedule) -> MemoryPlan {
+    let lifetimes = analyze_lifetimes(graph, schedule);
+
+    // Peak of simultaneously live bytes.
+    let mut events: Vec<(usize, isize)> = Vec::new();
+    for (idx, lt) in lifetimes.iter().enumerate() {
+        if let Some((def, last)) = lt {
+            let sz = graph.node(NodeId(idx)).size_bytes() as isize;
+            events.push((*def, sz));
+            events.push((last + 1, -sz));
+        }
+    }
+    events.sort();
+    let mut live = 0isize;
+    let mut peak = 0isize;
+    for (_, delta) in events {
+        live += delta;
+        peak = peak.max(live);
+    }
+    let peak_transient_bytes = peak as usize;
+
+    // Best-fit offsets.
+    let mut order: Vec<usize> = (0..graph.len()).filter(|&i| lifetimes[i].is_some()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(graph.node(NodeId(i)).size_bytes()));
+    let mut placed: Vec<(usize, usize, Lifetime)> = Vec::new(); // (offset, size, lifetime)
+    let mut offsets: Vec<Option<usize>> = vec![None; graph.len()];
+    let mut arena_bytes = 0usize;
+
+    for idx in order {
+        let size = graph.node(NodeId(idx)).size_bytes();
+        if size == 0 {
+            offsets[idx] = Some(0);
+            continue;
+        }
+        let (def, last) = lifetimes[idx].expect("filtered to Some");
+        // Collect blocking intervals that overlap in time.
+        let mut blockers: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|(_, _, (d, l))| !(last < *d || *l < def))
+            .map(|(off, sz, _)| (*off, *sz))
+            .collect();
+        blockers.sort();
+        // First gap that fits.
+        let mut candidate = 0usize;
+        for (off, sz) in blockers {
+            if candidate + size <= off {
+                break;
+            }
+            candidate = candidate.max(off + sz);
+        }
+        offsets[idx] = Some(candidate);
+        arena_bytes = arena_bytes.max(candidate + size);
+        placed.push((candidate, size, (def, last)));
+    }
+
+    MemoryPlan { lifetimes, offsets, arena_bytes, peak_transient_bytes }
+}
+
+/// Produces the full training-memory breakdown for a scheduled graph.
+///
+/// `trainable_elements` is the number of parameter elements that receive
+/// updates (see `TrainingGraph::trainable_element_count`), and
+/// `optimizer_slots` is the number of extra per-element state tensors the
+/// optimizer keeps (0 for SGD, 1 for momentum/Lion, 2 for Adam).
+pub fn memory_report(
+    graph: &Graph,
+    schedule: &Schedule,
+    trainable_elements: usize,
+    optimizer_slots: usize,
+) -> MemoryReport {
+    let plan = plan_memory(graph, schedule);
+    let params_bytes: usize =
+        graph.params().keys().map(|id| graph.node(*id).size_bytes()).sum();
+    let input_bytes: usize = graph.inputs().iter().map(|id| graph.node(*id).size_bytes()).sum();
+    MemoryReport {
+        params_bytes,
+        optimizer_bytes: trainable_elements * 4 * optimizer_slots,
+        input_bytes,
+        transient_peak_bytes: plan.peak_transient_bytes,
+        arena_bytes: plan.arena_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_graph::{build_training_graph, GraphBuilder, TrainKind, TrainSpec, TrainingGraph};
+    use pe_passes::{build_schedule, ScheduleStrategy};
+    use pe_tensor::Rng;
+
+    /// A deep MLP so that activation and gradient memory dominate.
+    fn mlp(depth: usize, spec_of: impl Fn(usize, &str) -> TrainKind) -> TrainingGraph {
+        let mut rng = Rng::seed_from_u64(0);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [8, 64]);
+        let labels = b.input("labels", [8]);
+        let mut h = x;
+        let mut spec = TrainSpec::new();
+        for i in 0..depth {
+            let w = b.weight(&format!("fc{i}.weight"), [64, 64], &mut rng);
+            let bias = b.bias(&format!("fc{i}.bias"), 64);
+            spec.insert(w, spec_of(i, "weight"));
+            spec.insert(bias, spec_of(i, "bias"));
+            h = b.linear(h, w, Some(bias));
+            h = b.relu(h);
+        }
+        let wout = b.weight("head.weight", [10, 64], &mut rng);
+        spec.insert(wout, spec_of(depth, "weight"));
+        let logits = b.linear(h, wout, None);
+        let loss = b.cross_entropy(logits, labels);
+        let g = b.finish(vec![loss]);
+        build_training_graph(g, loss, &spec)
+    }
+
+    #[test]
+    fn lifetimes_are_well_formed() {
+        let tg = mlp(3, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let lifetimes = analyze_lifetimes(&tg.graph, &schedule);
+        for (idx, lt) in lifetimes.iter().enumerate() {
+            let id = NodeId(idx);
+            match lt {
+                Some((def, last)) => {
+                    assert!(def <= last);
+                    assert!(!matches!(tg.graph.node(id).op, OpKind::Parameter | OpKind::Input));
+                }
+                None => {
+                    assert!(is_persistent(&tg.graph, id) || !schedule.order.contains(&id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_never_smaller_than_peak() {
+        let tg = mlp(4, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let plan = plan_memory(&tg.graph, &schedule);
+        assert!(plan.arena_bytes >= plan.peak_transient_bytes);
+        assert!(plan.peak_transient_bytes > 0);
+    }
+
+    #[test]
+    fn offsets_do_not_overlap_for_concurrent_buffers() {
+        let tg = mlp(3, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let plan = plan_memory(&tg.graph, &schedule);
+        let n = tg.graph.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (Some((da, la)), Some((db, lb))) = (plan.lifetimes[a], plan.lifetimes[b]) else {
+                    continue;
+                };
+                // Overlapping lifetimes must not overlap in the arena.
+                if la < db || lb < da {
+                    continue;
+                }
+                let (oa, ob) = (plan.offsets[a].unwrap(), plan.offsets[b].unwrap());
+                let (sa, sb) =
+                    (tg.graph.node(NodeId(a)).size_bytes(), tg.graph.node(NodeId(b)).size_bytes());
+                if sa == 0 || sb == 0 {
+                    continue;
+                }
+                assert!(
+                    oa + sa <= ob || ob + sb <= oa,
+                    "buffers {a} and {b} overlap in time and space"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_updates_reduce_peak_memory() {
+        let tg = mlp(8, |_, _| TrainKind::Full);
+        let conventional = build_schedule(&tg.graph, ScheduleStrategy::Conventional);
+        let reordered = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let peak_conv = plan_memory(&tg.graph, &conventional).peak_transient_bytes;
+        let peak_reord = plan_memory(&tg.graph, &reordered).peak_transient_bytes;
+        assert!(
+            peak_reord < peak_conv,
+            "reordered peak {peak_reord} should be below conventional {peak_conv}"
+        );
+    }
+
+    #[test]
+    fn sparse_bp_reduces_peak_memory() {
+        let full = mlp(8, |_, _| TrainKind::Full);
+        // Only the last two layers train (layer-sparse scheme).
+        let sparse = mlp(8, |i, _| if i >= 7 { TrainKind::Full } else { TrainKind::Frozen });
+        let sched_full = build_schedule(&full.graph, ScheduleStrategy::Reordered);
+        let sched_sparse = build_schedule(&sparse.graph, ScheduleStrategy::Reordered);
+        let peak_full = plan_memory(&full.graph, &sched_full).peak_transient_bytes;
+        let peak_sparse = plan_memory(&sparse.graph, &sched_sparse).peak_transient_bytes;
+        assert!(
+            peak_sparse < peak_full,
+            "sparse peak {peak_sparse} should be below full {peak_full}"
+        );
+    }
+
+    #[test]
+    fn report_totals_add_up() {
+        let tg = mlp(2, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let report =
+            memory_report(&tg.graph, &schedule, tg.trainable_element_count(), 2);
+        assert_eq!(
+            report.total_bytes(),
+            report.params_bytes + report.optimizer_bytes + report.input_bytes + report.arena_bytes
+        );
+        assert!(report.optimizer_bytes > 0);
+        assert!(report.total_mib() > 0.0);
+    }
+
+    #[test]
+    fn optimizer_state_scales_with_trainable_elements() {
+        let full = mlp(4, |_, _| TrainKind::Full);
+        let bias_only = mlp(4, |_, role| if role == "bias" { TrainKind::Full } else { TrainKind::Frozen });
+        let s_full = build_schedule(&full.graph, ScheduleStrategy::Reordered);
+        let s_bias = build_schedule(&bias_only.graph, ScheduleStrategy::Reordered);
+        let r_full = memory_report(&full.graph, &s_full, full.trainable_element_count(), 2);
+        let r_bias = memory_report(&bias_only.graph, &s_bias, bias_only.trainable_element_count(), 2);
+        assert!(r_bias.optimizer_bytes < r_full.optimizer_bytes / 10);
+    }
+
+    #[test]
+    fn live_profile_peak_matches_plan() {
+        let tg = mlp(3, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let plan = plan_memory(&tg.graph, &schedule);
+        let profile = plan.live_bytes_profile(&tg.graph, &schedule);
+        assert_eq!(profile.iter().copied().max().unwrap_or(0), plan.peak_transient_bytes);
+    }
+}

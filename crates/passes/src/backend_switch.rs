@@ -1,0 +1,124 @@
+//! Backend / kernel switching for frozen layers.
+//!
+//! Winograd convolution needs a weight pre-transform, so conventional
+//! frameworks never use it during training. Under sparse backpropagation many
+//! convolution weights are *frozen*; the compiler knows this statically, so it
+//! can bind those layers to the faster Winograd kernel (paper §3.2,
+//! "Functional-Preserving Graph Transformation"). Trainable convolutions keep
+//! the direct/im2col kernel.
+
+use std::collections::HashSet;
+
+use pe_graph::{NodeId, OpKind, TrainingGraph};
+
+/// Statistics from the backend-switching pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BackendSwitchStats {
+    /// Convolutions converted to Winograd kernels.
+    pub winograd_converted: usize,
+    /// Convolutions eligible by shape but kept dense because their weight is
+    /// trainable.
+    pub kept_dense_trainable: usize,
+}
+
+/// Converts eligible frozen 3x3 / stride-1 / group-1 convolutions to
+/// Winograd kernels.
+pub fn switch_frozen_convs_to_winograd(tg: &mut TrainingGraph) -> BackendSwitchStats {
+    let mut stats = BackendSwitchStats::default();
+    let updated_params: HashSet<NodeId> = tg.param_grads.keys().copied().collect();
+    let graph = &mut tg.graph;
+
+    for idx in 0..graph.len() {
+        let id = NodeId(idx);
+        let node = graph.node(id);
+        let OpKind::Conv2d(params) = node.op else { continue };
+        let weight = node.inputs[1];
+        let wdims = graph.node(weight).shape.dims().to_vec();
+        let eligible = params.stride == 1
+            && params.groups == 1
+            && wdims.len() == 4
+            && wdims[2] == 3
+            && wdims[3] == 3
+            && matches!(graph.node(weight).op, OpKind::Parameter);
+        if !eligible {
+            continue;
+        }
+        if updated_params.contains(&weight) {
+            stats.kept_dense_trainable += 1;
+            continue;
+        }
+        graph.node_mut(id).op = OpKind::WinogradConv2d { padding: params.padding };
+        stats.winograd_converted += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_graph::{build_training_graph, GraphBuilder, TrainKind, TrainSpec};
+    use pe_tensor::kernels::conv::Conv2dParams;
+    use pe_tensor::Rng;
+
+    fn conv_net(freeze_first: bool) -> TrainingGraph {
+        let mut rng = Rng::seed_from_u64(0);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 4, 16, 16]);
+        let labels = b.input("labels", [1]);
+        let w1 = b.weight("conv1.weight", [8, 4, 3, 3], &mut rng);
+        let h = b.conv2d(x, w1, Conv2dParams::new(1, 1));
+        let h = b.relu(h);
+        let w2 = b.weight("conv2.weight", [8, 8, 3, 3], &mut rng);
+        let h = b.conv2d(h, w2, Conv2dParams::new(1, 1));
+        let p = b.global_avg_pool(h);
+        let wfc = b.weight("fc.weight", [4, 8], &mut rng);
+        let logits = b.linear(p, wfc, None);
+        let loss = b.cross_entropy(logits, labels);
+        let g = b.finish(vec![loss]);
+        let mut spec = TrainSpec::new();
+        if freeze_first {
+            spec.insert(w1, TrainKind::Frozen);
+        }
+        build_training_graph(g, loss, &spec)
+    }
+
+    #[test]
+    fn frozen_conv_becomes_winograd() {
+        let mut tg = conv_net(true);
+        let stats = switch_frozen_convs_to_winograd(&mut tg);
+        assert_eq!(stats.winograd_converted, 1);
+        assert_eq!(stats.kept_dense_trainable, 1);
+        assert!(tg.graph.nodes().iter().any(|n| matches!(n.op, OpKind::WinogradConv2d { .. })));
+    }
+
+    #[test]
+    fn trainable_convs_stay_dense() {
+        let mut tg = conv_net(false);
+        let stats = switch_frozen_convs_to_winograd(&mut tg);
+        assert_eq!(stats.winograd_converted, 0);
+        assert_eq!(stats.kept_dense_trainable, 2);
+    }
+
+    #[test]
+    fn strided_or_non_3x3_convs_are_not_eligible() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 4, 16, 16]);
+        let labels = b.input("labels", [1]);
+        let w1 = b.weight("conv1.weight", [8, 4, 3, 3], &mut rng);
+        let h = b.conv2d(x, w1, Conv2dParams::new(2, 1)); // stride 2
+        let w2 = b.weight("conv2.weight", [8, 8, 1, 1], &mut rng);
+        let h = b.conv2d(h, w2, Conv2dParams::new(1, 0)); // 1x1
+        let p = b.global_avg_pool(h);
+        let wfc = b.weight("fc.weight", [4, 8], &mut rng);
+        let logits = b.linear(p, wfc, None);
+        let loss = b.cross_entropy(logits, labels);
+        let g = b.finish(vec![loss]);
+        let mut spec = TrainSpec::new();
+        spec.insert(w1, TrainKind::Frozen);
+        spec.insert(w2, TrainKind::Frozen);
+        let mut tg = build_training_graph(g, loss, &spec);
+        let stats = switch_frozen_convs_to_winograd(&mut tg);
+        assert_eq!(stats.winograd_converted, 0);
+    }
+}

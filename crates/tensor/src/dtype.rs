@@ -1,0 +1,67 @@
+//! Logical element types.
+//!
+//! All computation in the reference kernels is carried out in `f32`; the
+//! [`DType`] of a tensor is metadata used by the compiler and memory planner
+//! to account for storage size (e.g. int8 activations on DSP backends, or
+//! fp16 on edge GPUs) exactly as PockEngine does when targeting
+//! vendor libraries.
+
+/// Logical element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (default compute type).
+    #[default]
+    F32,
+    /// 16-bit float (storage accounting for GPU backends).
+    F16,
+    /// 32-bit signed integer (index tensors).
+    I32,
+    /// 8-bit signed integer (quantised storage accounting for DSP/MCU).
+    I8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 => 2,
+            DType::I8 => 1,
+        }
+    }
+
+    /// Short lowercase name, e.g. `"f32"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::I32 => "i32",
+            DType::I8 => "i8",
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::I8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(DType::default(), DType::F32);
+        assert_eq!(DType::F16.to_string(), "f16");
+    }
+}

@@ -1,0 +1,345 @@
+//! 2-D convolution kernels (NCHW) with grouped/depthwise support, plus the
+//! input- and weight-gradient kernels used by the compiled backward graph.
+
+use crate::Tensor;
+
+/// Static convolution geometry shared by the forward and backward kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Spatial stride (same for height and width).
+    pub stride: usize,
+    /// Zero padding (same for all four sides).
+    pub padding: usize,
+    /// Number of groups; `groups == in_channels` gives a depthwise conv.
+    pub groups: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams { stride: 1, padding: 0, groups: 1 }
+    }
+}
+
+impl Conv2dParams {
+    /// Creates parameters with the given stride and padding and one group.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        Conv2dParams { stride, padding, groups: 1 }
+    }
+
+    /// Sets the group count.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Output spatial size for an input spatial size and kernel size.
+    pub fn out_size(&self, in_size: usize, kernel: usize) -> usize {
+        (in_size + 2 * self.padding - kernel) / self.stride + 1
+    }
+}
+
+/// Output shape `[N, Cout, OH, OW]` of a convolution.
+pub fn conv2d_out_dims(x_dims: &[usize], w_dims: &[usize], p: Conv2dParams) -> [usize; 4] {
+    let (n, h, w) = (x_dims[0], x_dims[2], x_dims[3]);
+    let (cout, kh, kw) = (w_dims[0], w_dims[2], w_dims[3]);
+    [n, cout, p.out_size(h, kh), p.out_size(w, kw)]
+}
+
+/// Forward 2-D convolution.
+///
+/// `x` is `[N, Cin, H, W]`, `weight` is `[Cout, Cin/groups, KH, KW]`.
+///
+/// # Panics
+///
+/// Panics if the channel counts are inconsistent with the group count.
+pub fn conv2d(x: &Tensor, weight: &Tensor, p: Conv2dParams) -> Tensor {
+    let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+    let [cout, cing, kh, kw] = [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+    assert_eq!(cin, cing * p.groups, "conv2d channel/group mismatch");
+    assert_eq!(cout % p.groups, 0, "conv2d out channels not divisible by groups");
+    let od = conv2d_out_dims(x.dims(), weight.dims(), p);
+    let (oh, ow) = (od[2], od[3]);
+    let cout_g = cout / p.groups;
+
+    let mut out = Tensor::zeros(&od[..]);
+    let xd = x.data();
+    let wd = weight.data();
+    let outd = out.data_mut();
+
+    for ni in 0..n {
+        for oc in 0..cout {
+            let g = oc / cout_g;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = 0.0f32;
+                    for icg in 0..cing {
+                        let ic = g * cing + icg;
+                        for khi in 0..kh {
+                            let ih = (ohi * p.stride + khi) as isize - p.padding as isize;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            for kwi in 0..kw {
+                                let iw = (owi * p.stride + kwi) as isize - p.padding as isize;
+                                if iw < 0 || iw >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((ni * cin + ic) * h + ih as usize) * w + iw as usize;
+                                let wi = ((oc * cing + icg) * kh + khi) * kw + kwi;
+                                acc += xd[xi] * wd[wi];
+                            }
+                        }
+                    }
+                    outd[((ni * cout + oc) * oh + ohi) * ow + owi] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of a convolution with respect to its input (`dL/dX`).
+///
+/// `dy` is `[N, Cout, OH, OW]`; the result has the shape of the forward input
+/// `x_dims = [N, Cin, H, W]`.
+pub fn conv2d_grad_input(dy: &Tensor, weight: &Tensor, x_dims: &[usize], p: Conv2dParams) -> Tensor {
+    let [n, cin, h, w] = [x_dims[0], x_dims[1], x_dims[2], x_dims[3]];
+    let [cout, cing, kh, kw] = [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+    let (oh, ow) = (dy.dims()[2], dy.dims()[3]);
+    let cout_g = cout / p.groups;
+
+    let mut dx = Tensor::zeros(&[n, cin, h, w]);
+    let dyd = dy.data();
+    let wd = weight.data();
+    let dxd = dx.data_mut();
+
+    for ni in 0..n {
+        for oc in 0..cout {
+            let g = oc / cout_g;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let gval = dyd[((ni * cout + oc) * oh + ohi) * ow + owi];
+                    if gval == 0.0 {
+                        continue;
+                    }
+                    for icg in 0..cing {
+                        let ic = g * cing + icg;
+                        for khi in 0..kh {
+                            let ih = (ohi * p.stride + khi) as isize - p.padding as isize;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            for kwi in 0..kw {
+                                let iw = (owi * p.stride + kwi) as isize - p.padding as isize;
+                                if iw < 0 || iw >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((ni * cin + ic) * h + ih as usize) * w + iw as usize;
+                                let wi = ((oc * cing + icg) * kh + khi) * kw + kwi;
+                                dxd[xi] += gval * wd[wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Gradient of a convolution with respect to its weight (`dL/dW`).
+///
+/// `dy` may have fewer output channels than the full layer (its channel count
+/// determines the produced weight-gradient channel count), which is how the
+/// sub-layer (channel-sparse) backpropagation scheme computes gradients for
+/// only the first `k` output channels.
+pub fn conv2d_grad_weight(
+    x: &Tensor,
+    dy: &Tensor,
+    w_dims: &[usize],
+    p: Conv2dParams,
+) -> Tensor {
+    let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+    let [full_cout, cing, kh, kw] = [w_dims[0], w_dims[1], w_dims[2], w_dims[3]];
+    let grad_cout = dy.dims()[1];
+    assert!(grad_cout <= full_cout, "dy has more channels than the weight");
+    let (oh, ow) = (dy.dims()[2], dy.dims()[3]);
+    let cout_g = full_cout / p.groups;
+
+    let mut dw = Tensor::zeros(&[grad_cout, cing, kh, kw]);
+    let xd = x.data();
+    let dyd = dy.data();
+    let dwd = dw.data_mut();
+
+    for ni in 0..n {
+        for oc in 0..grad_cout {
+            let g = oc / cout_g;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let gval = dyd[((ni * grad_cout + oc) * oh + ohi) * ow + owi];
+                    if gval == 0.0 {
+                        continue;
+                    }
+                    for icg in 0..cing {
+                        let ic = g * cing + icg;
+                        for khi in 0..kh {
+                            let ih = (ohi * p.stride + khi) as isize - p.padding as isize;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            for kwi in 0..kw {
+                                let iw = (owi * p.stride + kwi) as isize - p.padding as isize;
+                                if iw < 0 || iw >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((ni * cin + ic) * h + ih as usize) * w + iw as usize;
+                                let wi = ((oc * cing + icg) * kh + khi) * kw + kwi;
+                                dwd[wi] += gval * xd[xi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dw
+}
+
+/// FLOP count of a forward convolution (multiply-add = 2 FLOPs).
+pub fn conv2d_flops(x_dims: &[usize], w_dims: &[usize], p: Conv2dParams) -> u64 {
+    let od = conv2d_out_dims(x_dims, w_dims, p);
+    let cing = w_dims[1];
+    let (kh, kw) = (w_dims[2], w_dims[3]);
+    2 * od.iter().product::<usize>() as u64 * (cing * kh * kw) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// Finite-difference gradient check for both conv gradients.
+    fn grad_check(p: Conv2dParams, x_dims: [usize; 4], w_dims: [usize; 4]) {
+        let mut rng = Rng::seed_from_u64(42);
+        let x = Tensor::randn(&x_dims[..], 1.0, &mut rng);
+        let w = Tensor::randn(&w_dims[..], 0.5, &mut rng);
+        let dy = Tensor::randn(&conv2d_out_dims(x.dims(), w.dims(), p)[..], 1.0, &mut rng);
+
+        let loss = |x: &Tensor, w: &Tensor| -> f32 {
+            conv2d(x, w, p).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+        };
+
+        let dx = conv2d_grad_input(&dy, &w, x.dims(), p);
+        let dw = conv2d_grad_weight(&x, &dy, w.dims(), p);
+        let eps = 1e-2;
+        // Spot-check a handful of entries to keep the test fast.
+        for i in (0..x.numel()).step_by(x.numel() / 7 + 1) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 0.05, "dx[{i}] fd {fd} vs {}", dx.data()[i]);
+        }
+        for i in (0..w.numel()).step_by(w.numel() / 7 + 1) {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((fd - dw.data()[i]).abs() < 0.05, "dw[{i}] fd {fd} vs {}", dw.data()[i]);
+        }
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 conv with identity weight acts per-pixel as a matrix multiply.
+        let x = Tensor::from_vec((0..18).map(|v| v as f32).collect(), &[1, 2, 3, 3]);
+        let mut w = Tensor::zeros(&[2, 2, 1, 1]);
+        w.set(&[0, 0, 0, 0], 1.0);
+        w.set(&[1, 1, 0, 0], 1.0);
+        let y = conv2d(&x, &w, Conv2dParams::default());
+        assert!(y.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn known_3x3_result() {
+        // Single-channel 3x3 input with a 3x3 all-ones kernel and padding 1:
+        // the centre output equals the sum of all inputs.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(&x, &w, Conv2dParams::new(1, 1));
+        assert_eq!(y.dims(), &[1, 1, 3, 3]);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 9.0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn stride_and_padding_output_dims() {
+        let p = Conv2dParams::new(2, 1);
+        assert_eq!(p.out_size(8, 3), 4);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        assert_eq!(conv2d_out_dims(x.dims(), w.dims(), p), [2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_groups_match_manual() {
+        // Depthwise conv: each channel convolved with its own 1-channel filter.
+        let mut rng = Rng::seed_from_u64(7);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 1, 3, 3], 1.0, &mut rng);
+        let p = Conv2dParams::new(1, 1).with_groups(2);
+        let y = conv2d(&x, &w, p);
+        // Compare channel 1 against a single-channel convolution.
+        let x1 = Tensor::from_vec(x.data()[16..32].to_vec(), &[1, 1, 4, 4]);
+        let w1 = Tensor::from_vec(w.data()[9..18].to_vec(), &[1, 1, 3, 3]);
+        let y1 = conv2d(&x1, &w1, Conv2dParams::new(1, 1));
+        let got = Tensor::from_vec(y.data()[16..32].to_vec(), &[1, 1, 4, 4]);
+        assert!(got.allclose(&y1, 1e-5));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_dense() {
+        grad_check(Conv2dParams::new(1, 1), [1, 2, 5, 5], [3, 2, 3, 3]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_strided() {
+        grad_check(Conv2dParams::new(2, 1), [1, 2, 6, 6], [2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_depthwise() {
+        grad_check(Conv2dParams::new(1, 1).with_groups(3), [1, 3, 5, 5], [3, 1, 3, 3]);
+    }
+
+    #[test]
+    fn partial_weight_gradient_matches_full_prefix() {
+        let mut rng = Rng::seed_from_u64(11);
+        let p = Conv2dParams::new(1, 1);
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        let dy = Tensor::randn(&conv2d_out_dims(x.dims(), w.dims(), p)[..], 1.0, &mut rng);
+        let full = conv2d_grad_weight(&x, &dy, w.dims(), p);
+        // First two channels only.
+        let dy_sliced = super::super::layout::slice_axis(&dy, 1, 0, 2);
+        let partial = conv2d_grad_weight(&x, &dy_sliced, w.dims(), p);
+        assert_eq!(partial.dims(), &[2, 3, 3, 3]);
+        let full_prefix = Tensor::from_vec(full.data()[..partial.numel()].to_vec(), partial.dims());
+        assert!(partial.allclose(&full_prefix, 1e-4));
+    }
+
+    #[test]
+    fn flops_counts_macs_twice() {
+        let p = Conv2dParams::new(1, 0);
+        // 1x1x2x2 output, 1 input channel, 2x2 kernel: 4 outputs * 4 MACs * 2.
+        assert_eq!(conv2d_flops(&[1, 1, 3, 3], &[1, 1, 2, 2], p), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel/group mismatch")]
+    fn mismatched_channels_panic() {
+        conv2d(&Tensor::zeros(&[1, 3, 4, 4]), &Tensor::zeros(&[2, 2, 3, 3]), Conv2dParams::default());
+    }
+}

@@ -1,0 +1,444 @@
+//! Element-wise kernels: arithmetic with broadcasting, activations and their
+//! vector-Jacobian products.
+
+use crate::{Shape, Tensor};
+
+/// A binary element-wise arithmetic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise multiplication.
+    Mul,
+    /// Element-wise division.
+    Div,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl BinaryOp {
+    fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Applies a binary op with NumPy-style broadcasting.
+///
+/// # Panics
+///
+/// Panics if the shapes are not broadcast-compatible.
+pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Tensor {
+    let out_shape = a
+        .shape()
+        .broadcast_with(b.shape())
+        .unwrap_or_else(|| panic!("shapes {} and {} are not broadcastable", a.shape(), b.shape()));
+    if a.shape() == b.shape() {
+        // Fast path: same shape, no index arithmetic.
+        let data = a.data().iter().zip(b.data()).map(|(&x, &y)| op.apply(x, y)).collect();
+        return Tensor::from_vec(data, out_shape);
+    }
+    let mut out = Tensor::zeros(out_shape.clone());
+    let r = out_shape.rank();
+    let a_dims = pad_dims(a.shape(), r);
+    let b_dims = pad_dims(b.shape(), r);
+    let a_strides = padded_strides(&a_dims);
+    let b_strides = padded_strides(&b_dims);
+    for flat in 0..out.numel() {
+        let idx = out_shape.unravel(flat);
+        let mut ai = 0;
+        let mut bi = 0;
+        for d in 0..r {
+            let ia = if a_dims[d] == 1 { 0 } else { idx[d] };
+            let ib = if b_dims[d] == 1 { 0 } else { idx[d] };
+            ai += ia * a_strides[d];
+            bi += ib * b_strides[d];
+        }
+        out.data_mut()[flat] = op.apply(a.data()[ai], b.data()[bi]);
+    }
+    out
+}
+
+fn pad_dims(shape: &Shape, rank: usize) -> Vec<usize> {
+    let mut dims = vec![1usize; rank - shape.rank()];
+    dims.extend_from_slice(shape.dims());
+    dims
+}
+
+fn padded_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Element-wise addition with broadcasting.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    binary(BinaryOp::Add, a, b)
+}
+
+/// Element-wise subtraction with broadcasting.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    binary(BinaryOp::Sub, a, b)
+}
+
+/// Element-wise multiplication with broadcasting.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    binary(BinaryOp::Mul, a, b)
+}
+
+/// Element-wise division with broadcasting.
+pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    binary(BinaryOp::Div, a, b)
+}
+
+/// Scales every element by a constant.
+pub fn scale(a: &Tensor, factor: f32) -> Tensor {
+    a.map(|x| x * factor)
+}
+
+/// Reduces a broadcasted gradient back to the original operand shape by
+/// summing over the broadcast dimensions. This is the VJP of broadcasting.
+pub fn reduce_to_shape(grad: &Tensor, target: &Shape) -> Tensor {
+    if grad.shape() == target {
+        return grad.clone();
+    }
+    let r = grad.shape().rank();
+    let t_dims = pad_dims(target, r);
+    let mut out = Tensor::zeros(Shape::new(t_dims.clone()));
+    let t_strides = padded_strides(&t_dims);
+    for flat in 0..grad.numel() {
+        let idx = grad.shape().unravel(flat);
+        let mut ti = 0;
+        for d in 0..r {
+            let i = if t_dims[d] == 1 { 0 } else { idx[d] };
+            ti += i * t_strides[d];
+        }
+        out.data_mut()[ti] += grad.data()[flat];
+    }
+    out.reshape(target.clone())
+}
+
+/// Rectified linear unit.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// VJP of ReLU: passes the gradient where the forward input was positive.
+pub fn relu_grad(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), dy.shape(), "relu_grad shape mismatch");
+    let data = x.data().iter().zip(dy.data()).map(|(&xi, &gi)| if xi > 0.0 { gi } else { 0.0 }).collect();
+    Tensor::from_vec(data, x.shape().clone())
+}
+
+/// ReLU6 (used by MobileNet-family blocks).
+pub fn relu6(x: &Tensor) -> Tensor {
+    x.map(|v| v.clamp(0.0, 6.0))
+}
+
+/// VJP of ReLU6.
+pub fn relu6_grad(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), dy.shape(), "relu6_grad shape mismatch");
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&xi, &gi)| if xi > 0.0 && xi < 6.0 { gi } else { 0.0 })
+        .collect();
+    Tensor::from_vec(data, x.shape().clone())
+}
+
+/// Gaussian error linear unit (tanh approximation, as used by BERT/Llama).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+fn gelu_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * v * (1.0 + (C * (v + 0.044_715 * v * v * v)).tanh())
+}
+
+/// VJP of GELU (tanh approximation).
+pub fn gelu_grad(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), dy.shape(), "gelu_grad shape mismatch");
+    const C: f32 = 0.797_884_6;
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&v, &g)| {
+            let inner = C * (v + 0.044_715 * v * v * v);
+            let t = inner.tanh();
+            let sech2 = 1.0 - t * t;
+            let d_inner = C * (1.0 + 3.0 * 0.044_715 * v * v);
+            g * (0.5 * (1.0 + t) + 0.5 * v * sech2 * d_inner)
+        })
+        .collect();
+    Tensor::from_vec(data, x.shape().clone())
+}
+
+/// SiLU / swish activation (used by Llama FFNs).
+pub fn silu(x: &Tensor) -> Tensor {
+    x.map(|v| v * sigmoid_scalar(v))
+}
+
+/// VJP of SiLU.
+pub fn silu_grad(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), dy.shape(), "silu_grad shape mismatch");
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&v, &g)| {
+            let s = sigmoid_scalar(v);
+            g * (s + v * s * (1.0 - s))
+        })
+        .collect();
+    Tensor::from_vec(data, x.shape().clone())
+}
+
+fn sigmoid_scalar(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(sigmoid_scalar)
+}
+
+/// VJP of sigmoid, given the forward *output* `y`.
+pub fn sigmoid_grad_from_output(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), dy.shape(), "sigmoid_grad shape mismatch");
+    let data = y.data().iter().zip(dy.data()).map(|(&yi, &gi)| gi * yi * (1.0 - yi)).collect();
+    Tensor::from_vec(data, y.shape().clone())
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(|v| v.tanh())
+}
+
+/// VJP of tanh, given the forward *output* `y`.
+pub fn tanh_grad_from_output(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), dy.shape(), "tanh_grad shape mismatch");
+    let data = y.data().iter().zip(dy.data()).map(|(&yi, &gi)| gi * (1.0 - yi * yi)).collect();
+    Tensor::from_vec(data, y.shape().clone())
+}
+
+/// Adds a per-channel bias to an activation.
+///
+/// For rank-4 activations `[N, C, H, W]` the bias has shape `[C]`; for rank-2
+/// activations `[N, F]` the bias has shape `[F]`; rank-3 `[N, T, F]` uses a
+/// `[F]` bias over the trailing dimension.
+pub fn add_bias(x: &Tensor, bias: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    add_bias_inplace(&mut out, bias);
+    out
+}
+
+/// In-place variant of [`add_bias`].
+pub fn add_bias_inplace(x: &mut Tensor, bias: &Tensor) {
+    let dims = x.dims().to_vec();
+    match dims.len() {
+        2 | 3 => {
+            let f = *dims.last().expect("rank >= 2");
+            assert_eq!(bias.numel(), f, "bias length mismatch");
+            for (i, v) in x.data_mut().iter_mut().enumerate() {
+                *v += bias.data()[i % f];
+            }
+        }
+        4 => {
+            let (c, h, w) = (dims[1], dims[2], dims[3]);
+            assert_eq!(bias.numel(), c, "bias length mismatch");
+            let hw = h * w;
+            for (i, v) in x.data_mut().iter_mut().enumerate() {
+                let ch = (i / hw) % c;
+                *v += bias.data()[ch];
+            }
+        }
+        r => panic!("add_bias unsupported rank {r}"),
+    }
+}
+
+/// VJP of [`add_bias`] with respect to the bias: sums the upstream gradient
+/// over every non-channel dimension.
+pub fn bias_grad(dy: &Tensor) -> Tensor {
+    let dims = dy.dims().to_vec();
+    match dims.len() {
+        2 | 3 => {
+            let f = *dims.last().expect("rank >= 2");
+            let mut out = vec![0.0f32; f];
+            for (i, &g) in dy.data().iter().enumerate() {
+                out[i % f] += g;
+            }
+            Tensor::from_vec(out, &[f])
+        }
+        4 => {
+            let (c, h, w) = (dims[1], dims[2], dims[3]);
+            let hw = h * w;
+            let mut out = vec![0.0f32; c];
+            for (i, &g) in dy.data().iter().enumerate() {
+                out[(i / hw) % c] += g;
+            }
+            Tensor::from_vec(out, &[c])
+        }
+        r => panic!("bias_grad unsupported rank {r}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(add(&a, &b).data(), &[11.0, 22.0]);
+        assert_eq!(sub(&a, &b).data(), &[-9.0, -18.0]);
+        assert_eq!(mul(&a, &b).data(), &[10.0, 40.0]);
+        assert_eq!(div(&b, &a).data(), &[10.0, 10.0]);
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let c = add(&a, &b);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_column_vector() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let c = mul(&a, &b);
+        assert_eq!(c.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_undoes_broadcast() {
+        let g = Tensor::ones(&[2, 3]);
+        let r = reduce_to_shape(&g, &Shape::new(vec![3]));
+        assert_eq!(r.dims(), &[3]);
+        assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
+        let r = reduce_to_shape(&g, &Shape::new(vec![2, 1]));
+        assert_eq!(r.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]);
+        let dy = Tensor::ones(&[3]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.5, 2.0]);
+        assert_eq!(relu_grad(&x, &dy).data(), &[0.0, 1.0, 1.0]);
+        let x6 = Tensor::from_vec(vec![-1.0, 3.0, 8.0], &[3]);
+        assert_eq!(relu6(&x6).data(), &[0.0, 3.0, 6.0]);
+        assert_eq!(relu6_grad(&x6, &dy).data(), &[0.0, 1.0, 0.0]);
+    }
+
+    /// Finite-difference check for a scalar activation and its VJP.
+    fn check_grad(f: impl Fn(&Tensor) -> Tensor, g: impl Fn(&Tensor, &Tensor) -> Tensor) {
+        let mut rng = Rng::seed_from_u64(9);
+        let x = Tensor::randn(&[16], 1.0, &mut rng);
+        let dy = Tensor::ones(&[16]);
+        let analytic = g(&x, &dy);
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (f(&xp).data()[i] - f(&xm).data()[i]) / (2.0 * eps);
+            assert!(
+                (fd - analytic.data()[i]).abs() < 2e-2,
+                "index {i}: fd {fd} vs analytic {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        check_grad(gelu, gelu_grad);
+    }
+
+    #[test]
+    fn silu_grad_matches_finite_difference() {
+        check_grad(silu, silu_grad);
+    }
+
+    #[test]
+    fn sigmoid_tanh_grads_from_output() {
+        let mut rng = Rng::seed_from_u64(10);
+        let x = Tensor::randn(&[8], 1.0, &mut rng);
+        let dy = Tensor::ones(&[8]);
+        let y = sigmoid(&x);
+        let analytic = sigmoid_grad_from_output(&y, &dy);
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (sigmoid(&xp).data()[i] - sigmoid(&xm).data()[i]) / (2.0 * eps);
+            assert!((fd - analytic.data()[i]).abs() < 1e-2);
+        }
+        let y = tanh(&x);
+        let analytic = tanh_grad_from_output(&y, &dy);
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (tanh(&xp).data()[i] - tanh(&xm).data()[i]) / (2.0 * eps);
+            assert!((fd - analytic.data()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bias_add_rank2_and_rank4() {
+        let x = Tensor::zeros(&[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(add_bias(&x, &b).data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 7.0], &[2]);
+        let y = add_bias(&x, &b);
+        assert_eq!(y.data(), &[5.0, 5.0, 5.0, 5.0, 7.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn bias_grad_sums_over_non_channel_dims() {
+        let dy = Tensor::ones(&[2, 3]);
+        assert_eq!(bias_grad(&dy).data(), &[2.0, 2.0, 2.0]);
+        let dy = Tensor::ones(&[2, 3, 4, 4]);
+        assert_eq!(bias_grad(&dy).data(), &[32.0, 32.0, 32.0]);
+        let dy = Tensor::ones(&[2, 5, 3]);
+        assert_eq!(bias_grad(&dy).data(), &[10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        assert_eq!(scale(&x, 0.5).data(), &[0.5, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not broadcastable")]
+    fn incompatible_broadcast_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        add(&a, &b);
+    }
+}

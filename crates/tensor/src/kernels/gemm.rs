@@ -1,0 +1,224 @@
+//! General matrix multiplication (GEMM) kernels.
+//!
+//! `matmul` is the workhorse shared by linear layers, attention, and — via
+//! the transpose flags — by every backward pass of a linear layer, exactly as
+//! in the paper's Figure 3 where `dY/dW = X^T · G` and `dY/dX = G · W^T` are
+//! expressed with the same MatMul primitive.
+
+use crate::Tensor;
+
+/// 2-D matrix multiplication with optional transposes: `C = op(A) · op(B)`.
+///
+/// `a` is `[m, k]` (or `[k, m]` when `trans_a`), `b` is `[k, n]`
+/// (or `[n, k]` when `trans_b`); the result is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or the contraction dimensions do not
+/// agree.
+pub fn matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = if trans_a { (a.dims()[1], a.dims()[0]) } else { (a.dims()[0], a.dims()[1]) };
+    let (kb, n) = if trans_b { (b.dims()[1], b.dims()[0]) } else { (b.dims()[0], b.dims()[1]) };
+    assert_eq!(k, kb, "matmul contraction dimension mismatch: {k} vs {kb}");
+
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    match (trans_a, trans_b) {
+        (false, false) => {
+            // C[i, j] += A[i, p] * B[p, j]  -- i-p-j loop order for locality.
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                let crow = &mut out[i * n..(i + 1) * n];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for j in 0..n {
+                        crow[j] += av * brow[j];
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // C[i, j] += A[i, p] * B[j, p]  -- dot products of contiguous rows.
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                let crow = &mut out[i * n..(i + 1) * n];
+                for (j, c) in crow.iter_mut().enumerate() {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for p in 0..k {
+                        acc += arow[p] * brow[p];
+                    }
+                    *c += acc;
+                }
+            }
+        }
+        (true, false) => {
+            // A is [k, m]: C[i, j] += A[p, i] * B[p, j].
+            for p in 0..k {
+                let arow = &ad[p * m..(p + 1) * m];
+                let brow = &bd[p * n..(p + 1) * n];
+                for i in 0..m {
+                    let av = arow[i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut out[i * n..(i + 1) * n];
+                    for j in 0..n {
+                        crow[j] += av * brow[j];
+                    }
+                }
+            }
+        }
+        (true, true) => {
+            // A is [k, m], B is [n, k]: C[i, j] += A[p, i] * B[j, p].
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for p in 0..k {
+                        acc += ad[p * m + i] * bd[j * k + p];
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+    }
+
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Batched matrix multiplication over the leading dimensions.
+///
+/// `a` is `[..., m, k]` and `b` is `[..., k, n]` (transposes apply to the two
+/// trailing dimensions); the leading batch dimensions must match exactly.
+///
+/// # Panics
+///
+/// Panics on rank < 2 or mismatched batch/contraction dimensions.
+pub fn batched_matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+    let ra = a.shape().rank();
+    let rb = b.shape().rank();
+    assert!(ra >= 2 && rb >= 2, "batched_matmul needs rank >= 2");
+    if ra == 2 && rb == 2 {
+        return matmul(a, b, trans_a, trans_b);
+    }
+    assert_eq!(ra, rb, "batched_matmul requires equal ranks (after broadcasting in the compiler)");
+    let batch_dims = &a.dims()[..ra - 2];
+    assert_eq!(batch_dims, &b.dims()[..rb - 2], "batch dimensions mismatch");
+    let batch: usize = batch_dims.iter().product();
+
+    let (am, ak) = (a.dims()[ra - 2], a.dims()[ra - 1]);
+    let (bm, bk) = (b.dims()[rb - 2], b.dims()[rb - 1]);
+    let (m, k) = if trans_a { (ak, am) } else { (am, ak) };
+    let (kb, n) = if trans_b { (bk, bm) } else { (bm, bk) };
+    assert_eq!(k, kb, "batched_matmul contraction mismatch");
+
+    let mut out = vec![0.0f32; batch * m * n];
+    let a_stride = am * ak;
+    let b_stride = bm * bk;
+    for bi in 0..batch {
+        let asub = Tensor::from_vec(a.data()[bi * a_stride..(bi + 1) * a_stride].to_vec(), &[am, ak]);
+        let bsub = Tensor::from_vec(b.data()[bi * b_stride..(bi + 1) * b_stride].to_vec(), &[bm, bk]);
+        let c = matmul(&asub, &bsub, trans_a, trans_b);
+        out[bi * m * n..(bi + 1) * m * n].copy_from_slice(c.data());
+    }
+
+    let mut out_dims = batch_dims.to_vec();
+    out_dims.push(m);
+    out_dims.push(n);
+    Tensor::from_vec(out, out_dims)
+}
+
+/// Floating-point operation count of a (batched) matmul with the given
+/// operand shapes, counting one multiply-add as two FLOPs.
+pub fn matmul_flops(m: usize, k: usize, n: usize, batch: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64) * (batch as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_no_transpose() {
+        let mut rng = Rng::seed_from_u64(1);
+        let a = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 9], 1.0, &mut rng);
+        assert!(matmul(&a, &b, false, false).allclose(&naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn transpose_flags_are_consistent() {
+        let mut rng = Rng::seed_from_u64(2);
+        let a = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 3], 1.0, &mut rng);
+        let reference = matmul(&a, &b, false, false);
+
+        let at = super::super::layout::transpose2d(&a);
+        let bt = super::super::layout::transpose2d(&b);
+        assert!(matmul(&at, &b, true, false).allclose(&reference, 1e-4));
+        assert!(matmul(&a, &bt, false, true).allclose(&reference, 1e-4));
+        assert!(matmul(&at, &bt, true, true).allclose(&reference, 1e-4));
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut rng = Rng::seed_from_u64(3);
+        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        let i = Tensor::eye(5);
+        assert!(matmul(&a, &i, false, false).allclose(&a, 1e-6));
+        assert!(matmul(&i, &a, false, false).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn batched_matches_per_batch() {
+        let mut rng = Rng::seed_from_u64(4);
+        let a = Tensor::randn(&[2, 3, 4, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[2, 3, 5, 6], 1.0, &mut rng);
+        let c = batched_matmul(&a, &b, false, false);
+        assert_eq!(c.dims(), &[2, 3, 4, 6]);
+        // Check one arbitrary batch element against a 2-D matmul.
+        let a_sub = Tensor::from_vec(a.data()[5 * 20..6 * 20].to_vec(), &[4, 5]);
+        let b_sub = Tensor::from_vec(b.data()[5 * 30..6 * 30].to_vec(), &[5, 6]);
+        let expect = matmul(&a_sub, &b_sub, false, false);
+        let got = Tensor::from_vec(c.data()[5 * 24..6 * 24].to_vec(), &[4, 6]);
+        assert!(got.allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(matmul_flops(2, 3, 4, 1), 48);
+        assert_eq!(matmul_flops(2, 3, 4, 5), 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "contraction dimension mismatch")]
+    fn mismatched_inner_dim_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        matmul(&a, &b, false, false);
+    }
+}

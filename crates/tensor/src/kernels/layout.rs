@@ -1,0 +1,249 @@
+//! Layout transformation kernels: transpose, permute, NCHW/NHWC conversion,
+//! concatenation and channel slicing.
+//!
+//! Layout transforms are one of the training-graph optimisations the paper
+//! applies at compile time (§3.2): NCHW is preferred on server GPUs but NHWC
+//! is faster on mobile CPUs/DSPs, so the compiler rewrites layouts before
+//! code generation.
+
+use crate::{Shape, Tensor};
+
+/// Transposes a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 2.
+pub fn transpose2d(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "transpose2d requires rank 2");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = x.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Permutes tensor dimensions according to `perm` (a permutation of
+/// `0..rank`).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of the axes.
+pub fn permute(x: &Tensor, perm: &[usize]) -> Tensor {
+    let r = x.shape().rank();
+    assert_eq!(perm.len(), r, "perm length must equal rank");
+    let mut seen = vec![false; r];
+    for &p in perm {
+        assert!(p < r && !seen[p], "perm must be a permutation of 0..rank");
+        seen[p] = true;
+    }
+    let in_dims = x.dims();
+    let out_dims: Vec<usize> = perm.iter().map(|&p| in_dims[p]).collect();
+    let out_shape = Shape::new(out_dims);
+    let mut out = Tensor::zeros(out_shape.clone());
+    let in_shape = x.shape();
+    for flat in 0..x.numel() {
+        let in_idx = in_shape.unravel(flat);
+        let out_idx: Vec<usize> = perm.iter().map(|&p| in_idx[p]).collect();
+        out.data_mut()[out_shape.ravel(&out_idx)] = x.data()[flat];
+    }
+    out
+}
+
+/// Inverse permutation, such that `permute(permute(x, p), inverse_perm(p)) == x`.
+pub fn inverse_perm(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Converts an NCHW activation to NHWC.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4.
+pub fn nchw_to_nhwc(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 4, "nchw_to_nhwc requires rank 4");
+    permute(x, &[0, 2, 3, 1])
+}
+
+/// Converts an NHWC activation to NCHW.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4.
+pub fn nhwc_to_nchw(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 4, "nhwc_to_nchw requires rank 4");
+    permute(x, &[0, 3, 1, 2])
+}
+
+/// Concatenates tensors along `axis`. All other dimensions must agree.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, ranks differ, or non-concat dims mismatch.
+pub fn concat(inputs: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!inputs.is_empty(), "concat requires at least one input");
+    let r = inputs[0].shape().rank();
+    assert!(axis < r, "concat axis out of range");
+    let mut out_dims = inputs[0].dims().to_vec();
+    let mut axis_total = 0;
+    for t in inputs {
+        assert_eq!(t.shape().rank(), r, "concat rank mismatch");
+        for d in 0..r {
+            if d != axis {
+                assert_eq!(t.dims()[d], out_dims[d], "concat non-axis dim mismatch");
+            }
+        }
+        axis_total += t.dims()[axis];
+    }
+    out_dims[axis] = axis_total;
+    let out_shape = Shape::new(out_dims);
+    let mut out = Tensor::zeros(out_shape.clone());
+
+    // Views as [outer, axis, inner].
+    let outer: usize = inputs[0].dims()[..axis].iter().product();
+    let inner: usize = inputs[0].dims()[axis + 1..].iter().product();
+    let out_axis = axis_total;
+    let mut axis_off = 0;
+    for t in inputs {
+        let a = t.dims()[axis];
+        for o in 0..outer {
+            for ai in 0..a {
+                let src = (o * a + ai) * inner;
+                let dst = (o * out_axis + axis_off + ai) * inner;
+                out.data_mut()[dst..dst + inner].copy_from_slice(&t.data()[src..src + inner]);
+            }
+        }
+        axis_off += a;
+    }
+    out
+}
+
+/// Extracts `[start, start + len)` along `axis`.
+///
+/// # Panics
+///
+/// Panics if the slice is out of bounds.
+pub fn slice_axis(x: &Tensor, axis: usize, start: usize, len: usize) -> Tensor {
+    let r = x.shape().rank();
+    assert!(axis < r, "slice axis out of range");
+    assert!(start + len <= x.dims()[axis], "slice out of bounds");
+    let mut out_dims = x.dims().to_vec();
+    out_dims[axis] = len;
+    let out_shape = Shape::new(out_dims);
+    let mut out = Tensor::zeros(out_shape);
+
+    let outer: usize = x.dims()[..axis].iter().product();
+    let inner: usize = x.dims()[axis + 1..].iter().product();
+    let a = x.dims()[axis];
+    for o in 0..outer {
+        for ai in 0..len {
+            let src = (o * a + start + ai) * inner;
+            let dst = (o * len + ai) * inner;
+            out.data_mut()[dst..dst + inner].copy_from_slice(&x.data()[src..src + inner]);
+        }
+    }
+    out
+}
+
+/// Scatter-adds `src` into a zero tensor shaped like `full_dims` at
+/// `[start, start + src_len)` along `axis`. This is the VJP of
+/// [`slice_axis`].
+pub fn unslice_axis(src: &Tensor, axis: usize, start: usize, full_dims: &[usize]) -> Tensor {
+    let out_shape = Shape::new(full_dims.to_vec());
+    let mut out = Tensor::zeros(out_shape);
+    let len = src.dims()[axis];
+    let outer: usize = full_dims[..axis].iter().product();
+    let inner: usize = full_dims[axis + 1..].iter().product();
+    let a = full_dims[axis];
+    for o in 0..outer {
+        for ai in 0..len {
+            let dst = (o * a + start + ai) * inner;
+            let srci = (o * len + ai) * inner;
+            for k in 0..inner {
+                out.data_mut()[dst + k] += src.data()[srci + k];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = Rng::seed_from_u64(1);
+        let x = Tensor::randn(&[3, 5], 1.0, &mut rng);
+        let t = transpose2d(&x);
+        assert_eq!(t.dims(), &[5, 3]);
+        assert_eq!(t.at(&[4, 2]), x.at(&[2, 4]));
+        assert!(transpose2d(&t).allclose(&x, 0.0));
+    }
+
+    #[test]
+    fn permute_and_inverse() {
+        let mut rng = Rng::seed_from_u64(2);
+        let x = Tensor::randn(&[2, 3, 4], 1.0, &mut rng);
+        let p = permute(&x, &[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert_eq!(p.at(&[3, 1, 2]), x.at(&[1, 2, 3]));
+        let back = permute(&p, &inverse_perm(&[2, 0, 1]));
+        assert!(back.allclose(&x, 0.0));
+    }
+
+    #[test]
+    fn nchw_nhwc_roundtrip() {
+        let mut rng = Rng::seed_from_u64(3);
+        let x = Tensor::randn(&[2, 3, 4, 5], 1.0, &mut rng);
+        let nhwc = nchw_to_nhwc(&x);
+        assert_eq!(nhwc.dims(), &[2, 4, 5, 3]);
+        assert_eq!(nhwc.at(&[1, 2, 3, 0]), x.at(&[1, 0, 2, 3]));
+        assert!(nhwc_to_nchw(&nhwc).allclose(&x, 0.0));
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]);
+        let c0 = concat(&[&a, &b], 0);
+        assert_eq!(c0.dims(), &[2, 2]);
+        assert_eq!(c0.data(), &[1.0, 2.0, 3.0, 4.0]);
+        let c1 = concat(&[&a, &b], 1);
+        assert_eq!(c1.dims(), &[1, 4]);
+        assert_eq!(c1.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_then_unslice_restores_positions() {
+        let mut rng = Rng::seed_from_u64(4);
+        let x = Tensor::randn(&[2, 6, 3], 1.0, &mut rng);
+        let s = slice_axis(&x, 1, 2, 3);
+        assert_eq!(s.dims(), &[2, 3, 3]);
+        assert_eq!(s.at(&[1, 0, 2]), x.at(&[1, 2, 2]));
+        let u = unslice_axis(&s, 1, 2, &[2, 6, 3]);
+        assert_eq!(u.at(&[1, 2, 2]), x.at(&[1, 2, 2]));
+        assert_eq!(u.at(&[1, 0, 0]), 0.0);
+        assert_eq!(u.at(&[1, 5, 0]), 0.0);
+    }
+
+    #[test]
+    fn slice_full_is_identity() {
+        let mut rng = Rng::seed_from_u64(5);
+        let x = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        assert!(slice_axis(&x, 0, 0, 4).allclose(&x, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        slice_axis(&Tensor::zeros(&[2, 3]), 1, 2, 2);
+    }
+}

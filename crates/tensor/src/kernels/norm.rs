@@ -1,0 +1,376 @@
+//! Normalisation and loss kernels: softmax, layer norm, RMS norm,
+//! cross-entropy, and their gradients.
+//!
+//! BatchNorm does not appear here: following the paper's setup (§4.1), all
+//! normalisation layers of the vision models are fused into the preceding
+//! linear operations at export time, so the training graph only contains
+//! Conv/Linear/activation ops for CNNs and LayerNorm/RMSNorm for
+//! transformers.
+
+use crate::Tensor;
+
+/// Softmax along the last axis.
+pub fn softmax(x: &Tensor) -> Tensor {
+    let dims = x.dims().to_vec();
+    let cols = *dims.last().expect("softmax requires rank >= 1");
+    let rows = x.numel() / cols;
+    let mut out = x.clone();
+    for r in 0..rows {
+        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// VJP of softmax given the forward *output* `y`:
+/// `dx = y * (dy - sum(dy * y, last_axis))`.
+pub fn softmax_grad_from_output(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), dy.shape(), "softmax_grad shape mismatch");
+    let cols = *y.dims().last().expect("rank >= 1");
+    let rows = y.numel() / cols;
+    let mut dx = Tensor::zeros(y.shape().clone());
+    for r in 0..rows {
+        let ys = &y.data()[r * cols..(r + 1) * cols];
+        let gs = &dy.data()[r * cols..(r + 1) * cols];
+        let dot: f32 = ys.iter().zip(gs).map(|(a, b)| a * b).sum();
+        let out = &mut dx.data_mut()[r * cols..(r + 1) * cols];
+        for j in 0..cols {
+            out[j] = ys[j] * (gs[j] - dot);
+        }
+    }
+    dx
+}
+
+/// Numerically-stable log-softmax along the last axis.
+pub fn log_softmax(x: &Tensor) -> Tensor {
+    let cols = *x.dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    let mut out = x.clone();
+    for r in 0..rows {
+        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let logsum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= logsum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy loss between logits `[N, C]` (or `[N, T, C]` flattened
+/// by the caller) and integer class targets stored as floats.
+///
+/// Returns a scalar tensor.
+///
+/// # Panics
+///
+/// Panics if the number of targets does not equal the number of logit rows.
+pub fn cross_entropy_loss(logits: &Tensor, targets: &Tensor) -> Tensor {
+    let cols = *logits.dims().last().expect("rank >= 1");
+    let rows = logits.numel() / cols;
+    assert_eq!(targets.numel(), rows, "one target per logit row required");
+    let ls = log_softmax(logits);
+    let mut loss = 0.0;
+    for r in 0..rows {
+        let t = targets.data()[r] as usize;
+        loss -= ls.data()[r * cols + t];
+    }
+    Tensor::scalar(loss / rows as f32)
+}
+
+/// Gradient of the mean cross-entropy loss with respect to the logits,
+/// scaled by the upstream scalar gradient `dloss`.
+pub fn cross_entropy_grad(logits: &Tensor, targets: &Tensor, dloss: f32) -> Tensor {
+    let cols = *logits.dims().last().expect("rank >= 1");
+    let rows = logits.numel() / cols;
+    let mut grad = softmax(logits);
+    let scale = dloss / rows as f32;
+    for r in 0..rows {
+        let t = targets.data()[r] as usize;
+        grad.data_mut()[r * cols + t] -= 1.0;
+    }
+    for v in grad.data_mut() {
+        *v *= scale;
+    }
+    grad
+}
+
+/// Layer normalisation along the last axis with affine parameters.
+///
+/// `gamma` and `beta` have the size of the last axis.
+pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let cols = *x.dims().last().expect("rank >= 1");
+    assert_eq!(gamma.numel(), cols, "gamma size mismatch");
+    assert_eq!(beta.numel(), cols, "beta size mismatch");
+    let rows = x.numel() / cols;
+    let mut out = Tensor::zeros(x.shape().clone());
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let mean = xs.iter().sum::<f32>() / cols as f32;
+        let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let os = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        for j in 0..cols {
+            os[j] = (xs[j] - mean) * inv_std * gamma.data()[j] + beta.data()[j];
+        }
+    }
+    out
+}
+
+/// Gradients of layer normalisation: returns `(dx, dgamma, dbeta)`.
+pub fn layer_norm_grad(
+    x: &Tensor,
+    gamma: &Tensor,
+    dy: &Tensor,
+    eps: f32,
+) -> (Tensor, Tensor, Tensor) {
+    let cols = *x.dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let mut dgamma = Tensor::zeros(&[cols]);
+    let mut dbeta = Tensor::zeros(&[cols]);
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let gs = &dy.data()[r * cols..(r + 1) * cols];
+        let mean = xs.iter().sum::<f32>() / cols as f32;
+        let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let xhat: Vec<f32> = xs.iter().map(|v| (v - mean) * inv_std).collect();
+
+        for j in 0..cols {
+            dgamma.data_mut()[j] += gs[j] * xhat[j];
+            dbeta.data_mut()[j] += gs[j];
+        }
+
+        // dx = (1/std) * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))
+        let dxhat: Vec<f32> = (0..cols).map(|j| gs[j] * gamma.data()[j]).collect();
+        let mean_dxhat = dxhat.iter().sum::<f32>() / cols as f32;
+        let mean_dxhat_xhat =
+            dxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / cols as f32;
+        let os = &mut dx.data_mut()[r * cols..(r + 1) * cols];
+        for j in 0..cols {
+            os[j] = inv_std * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+/// RMS normalisation along the last axis (as used by Llama blocks).
+pub fn rms_norm(x: &Tensor, gamma: &Tensor, eps: f32) -> Tensor {
+    let cols = *x.dims().last().expect("rank >= 1");
+    assert_eq!(gamma.numel(), cols, "gamma size mismatch");
+    let rows = x.numel() / cols;
+    let mut out = Tensor::zeros(x.shape().clone());
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let ms = xs.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        let os = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        for j in 0..cols {
+            os[j] = xs[j] * inv * gamma.data()[j];
+        }
+    }
+    out
+}
+
+/// Gradients of RMS normalisation: returns `(dx, dgamma)`.
+pub fn rms_norm_grad(x: &Tensor, gamma: &Tensor, dy: &Tensor, eps: f32) -> (Tensor, Tensor) {
+    let cols = *x.dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let mut dgamma = Tensor::zeros(&[cols]);
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let gs = &dy.data()[r * cols..(r + 1) * cols];
+        let ms = xs.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+
+        for j in 0..cols {
+            dgamma.data_mut()[j] += gs[j] * xs[j] * inv;
+        }
+        // dx_j = inv * g_j * gamma_j - inv^3 / cols * x_j * sum_k(g_k * gamma_k * x_k)
+        let dot: f32 = (0..cols).map(|k| gs[k] * gamma.data()[k] * xs[k]).sum();
+        let os = &mut dx.data_mut()[r * cols..(r + 1) * cols];
+        for j in 0..cols {
+            os[j] = inv * gs[j] * gamma.data()[j] - inv * inv * inv / cols as f32 * xs[j] * dot;
+        }
+    }
+    (dx, dgamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::seed_from_u64(1);
+        let x = Tensor::randn(&[4, 7], 2.0, &mut rng);
+        let y = softmax(&x);
+        for r in 0..4 {
+            let s: f32 = y.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(y.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let shifted = x.map(|v| v + 100.0);
+        assert!(softmax(&x).allclose(&softmax(&shifted), 1e-5));
+    }
+
+    #[test]
+    fn softmax_grad_matches_finite_difference() {
+        let mut rng = Rng::seed_from_u64(2);
+        let x = Tensor::randn(&[2, 5], 1.0, &mut rng);
+        let dy = Tensor::randn(&[2, 5], 1.0, &mut rng);
+        let y = softmax(&x);
+        let analytic = softmax_grad_from_output(&y, &dy);
+        let loss = |x: &Tensor| -> f32 {
+            softmax(x).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((fd - analytic.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_on_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0], &[2, 3]);
+        let targets = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let loss = cross_entropy_loss(&logits, &targets);
+        assert!(loss.data()[0] < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let targets = Tensor::from_vec(vec![0.0, 3.0, 7.0, 9.0], &[4]);
+        let loss = cross_entropy_loss(&logits, &targets);
+        assert!((loss.data()[0] - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let mut rng = Rng::seed_from_u64(3);
+        let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let targets = Tensor::from_vec(vec![1.0, 3.0, 0.0], &[3]);
+        let analytic = cross_entropy_grad(&logits, &targets, 1.0);
+        let eps = 1e-3;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fd = (cross_entropy_loss(&lp, &targets).data()[0]
+                - cross_entropy_loss(&lm, &targets).data()[0])
+                / (2.0 * eps);
+            assert!((fd - analytic.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalised() {
+        let mut rng = Rng::seed_from_u64(4);
+        let x = Tensor::randn(&[3, 16], 3.0, &mut rng);
+        let gamma = Tensor::ones(&[16]);
+        let beta = Tensor::zeros(&[16]);
+        let y = layer_norm(&x, &gamma, &beta, 1e-5);
+        for r in 0..3 {
+            let row = &y.data()[r * 16..(r + 1) * 16];
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layer_norm_grad_matches_finite_difference() {
+        let mut rng = Rng::seed_from_u64(5);
+        let x = Tensor::randn(&[2, 8], 1.0, &mut rng);
+        let gamma = Tensor::rand_uniform(&[8], 0.5, 1.5, &mut rng);
+        let beta = Tensor::randn(&[8], 0.2, &mut rng);
+        let dy = Tensor::randn(&[2, 8], 1.0, &mut rng);
+        let (dx, dgamma, dbeta) = layer_norm_grad(&x, &gamma, &dy, 1e-5);
+        let loss = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
+            layer_norm(x, g, b, 1e-5).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 2e-2, "dx[{i}] {fd} vs {}", dx.data()[i]);
+        }
+        for i in 0..8 {
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((fd - dgamma.data()[i]).abs() < 1e-2);
+            let mut bp = beta.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = beta.clone();
+            bm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((fd - dbeta.data()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rms_norm_matches_definition_and_grad() {
+        let mut rng = Rng::seed_from_u64(6);
+        let x = Tensor::randn(&[2, 6], 1.0, &mut rng);
+        let gamma = Tensor::rand_uniform(&[6], 0.5, 1.5, &mut rng);
+        let y = rms_norm(&x, &gamma, 1e-6);
+        // Manual check of one element.
+        let row = &x.data()[..6];
+        let rms = (row.iter().map(|v| v * v).sum::<f32>() / 6.0 + 1e-6).sqrt();
+        assert!((y.data()[0] - row[0] / rms * gamma.data()[0]).abs() < 1e-5);
+
+        let dy = Tensor::randn(&[2, 6], 1.0, &mut rng);
+        let (dx, dgamma) = rms_norm_grad(&x, &gamma, &dy, 1e-6);
+        let loss = |x: &Tensor, g: &Tensor| -> f32 {
+            rms_norm(x, g, 1e-6).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &gamma) - loss(&xm, &gamma)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 2e-2);
+        }
+        for i in 0..6 {
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &gp) - loss(&x, &gm)) / (2.0 * eps);
+            assert!((fd - dgamma.data()[i]).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Winograd F(2x2, 3x3) convolution.
+//!
+//! Winograd convolution reduces the multiplication count of 3x3/stride-1
+//! convolutions by ~2.25x at the cost of a weight pre-transform. The paper
+//! (§3.2, "Functional-Preserving Graph Transformation") points out that this
+//! pre-transform makes Winograd unattractive for layers whose weights change
+//! every step, but *frozen* layers under sparse backpropagation keep static
+//! weights, so PockEngine's backend-switching pass can bind them to Winograd
+//! kernels. This module provides the kernel and the pre-transformed weight
+//! representation that the pass targets.
+
+use super::conv::{conv2d_out_dims, Conv2dParams};
+use crate::Tensor;
+
+/// A weight tensor pre-transformed into the Winograd domain
+/// (`U = G·g·Gᵀ` per output/input channel pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinogradWeight {
+    /// Transformed filters, shape `[Cout, Cin, 4, 4]`.
+    u: Tensor,
+    /// Original output channels.
+    cout: usize,
+    /// Original input channels.
+    cin: usize,
+}
+
+impl WinogradWeight {
+    /// Pre-transforms a dense `[Cout, Cin, 3, 3]` weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the kernel is 3x3 with a single group.
+    pub fn from_dense(weight: &Tensor) -> Self {
+        let [cout, cin, kh, kw] =
+            [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+        assert_eq!((kh, kw), (3, 3), "winograd F(2x2,3x3) requires a 3x3 kernel");
+        // G is 4x3.
+        const G: [[f32; 3]; 4] =
+            [[1.0, 0.0, 0.0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0.0, 0.0, 1.0]];
+        let mut u = Tensor::zeros(&[cout, cin, 4, 4]);
+        for oc in 0..cout {
+            for ic in 0..cin {
+                let base = (oc * cin + ic) * 9;
+                let g = &weight.data()[base..base + 9];
+                // tmp = G * g  (4x3)
+                let mut tmp = [[0.0f32; 3]; 4];
+                for i in 0..4 {
+                    for j in 0..3 {
+                        for k in 0..3 {
+                            tmp[i][j] += G[i][k] * g[k * 3 + j];
+                        }
+                    }
+                }
+                // u = tmp * G^T (4x4)
+                for i in 0..4 {
+                    for j in 0..4 {
+                        let mut acc = 0.0;
+                        for k in 0..3 {
+                            acc += tmp[i][k] * G[j][k];
+                        }
+                        u.data_mut()[(oc * cin + ic) * 16 + i * 4 + j] = acc;
+                    }
+                }
+            }
+        }
+        WinogradWeight { u, cout, cin }
+    }
+
+    /// Output channel count of the original weight.
+    pub fn out_channels(&self) -> usize {
+        self.cout
+    }
+
+    /// Input channel count of the original weight.
+    pub fn in_channels(&self) -> usize {
+        self.cin
+    }
+
+    /// The transformed filter tensor (`[Cout, Cin, 4, 4]`).
+    pub fn transformed(&self) -> &Tensor {
+        &self.u
+    }
+}
+
+/// Winograd F(2x2,3x3) forward convolution (stride 1).
+///
+/// Numerically equivalent to [`super::conv::conv2d`] with a 3x3 kernel and
+/// stride 1, using the pre-transformed weight.
+///
+/// # Panics
+///
+/// Panics if the input channel count does not match the weight.
+pub fn conv2d_winograd(x: &Tensor, weight: &WinogradWeight, padding: usize) -> Tensor {
+    let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+    assert_eq!(cin, weight.cin, "winograd channel mismatch");
+    let p = Conv2dParams { stride: 1, padding, groups: 1 };
+    let od = conv2d_out_dims(x.dims(), &[weight.cout, weight.cin, 3, 3], p);
+    let (cout, oh, ow) = (od[1], od[2], od[3]);
+    let mut out = Tensor::zeros(&od[..]);
+
+    // Number of 2x2 output tiles in each direction.
+    let tiles_h = oh.div_ceil(2);
+    let tiles_w = ow.div_ceil(2);
+
+    let xd = x.data();
+    let ud = weight.u.data();
+
+    // B^T (4x4) applied to the 4x4 input tile d: V = B^T d B.
+    #[inline]
+    fn input_transform(d: &[[f32; 4]; 4]) -> [[f32; 4]; 4] {
+        // B^T rows: [1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]
+        let mut tmp = [[0.0f32; 4]; 4];
+        for j in 0..4 {
+            tmp[0][j] = d[0][j] - d[2][j];
+            tmp[1][j] = d[1][j] + d[2][j];
+            tmp[2][j] = -d[1][j] + d[2][j];
+            tmp[3][j] = d[1][j] - d[3][j];
+        }
+        let mut v = [[0.0f32; 4]; 4];
+        for i in 0..4 {
+            v[i][0] = tmp[i][0] - tmp[i][2];
+            v[i][1] = tmp[i][1] + tmp[i][2];
+            v[i][2] = -tmp[i][1] + tmp[i][2];
+            v[i][3] = tmp[i][1] - tmp[i][3];
+        }
+        v
+    }
+
+    // A^T (2x4) applied to the 4x4 product M: Y = A^T M A (2x2).
+    #[inline]
+    fn output_transform(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
+        let mut tmp = [[0.0f32; 4]; 2];
+        for j in 0..4 {
+            tmp[0][j] = m[0][j] + m[1][j] + m[2][j];
+            tmp[1][j] = m[1][j] - m[2][j] - m[3][j];
+        }
+        let mut y = [[0.0f32; 2]; 2];
+        for i in 0..2 {
+            y[i][0] = tmp[i][0] + tmp[i][1] + tmp[i][2];
+            y[i][1] = tmp[i][1] - tmp[i][2] - tmp[i][3];
+        }
+        y
+    }
+
+    for ni in 0..n {
+        for th in 0..tiles_h {
+            for tw in 0..tiles_w {
+                // Top-left corner of this tile in output coordinates.
+                let oh0 = th * 2;
+                let ow0 = tw * 2;
+                // Accumulate M per output channel over input channels.
+                let mut m_acc = vec![[[0.0f32; 4]; 4]; cout];
+                for ic in 0..cin {
+                    // Gather the 4x4 input tile (with padding).
+                    let mut d = [[0.0f32; 4]; 4];
+                    for (r, drow) in d.iter_mut().enumerate() {
+                        let ih = (oh0 + r) as isize - padding as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for (c, dval) in drow.iter_mut().enumerate() {
+                            let iw = (ow0 + c) as isize - padding as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            *dval = xd[((ni * cin + ic) * h + ih as usize) * w + iw as usize];
+                        }
+                    }
+                    let v = input_transform(&d);
+                    for (oc, m) in m_acc.iter_mut().enumerate() {
+                        let ubase = (oc * cin + ic) * 16;
+                        for i in 0..4 {
+                            for j in 0..4 {
+                                m[i][j] += ud[ubase + i * 4 + j] * v[i][j];
+                            }
+                        }
+                    }
+                }
+                for (oc, m) in m_acc.iter().enumerate() {
+                    let y = output_transform(m);
+                    for (r, yrow) in y.iter().enumerate() {
+                        let ohi = oh0 + r;
+                        if ohi >= oh {
+                            continue;
+                        }
+                        for (c, &yv) in yrow.iter().enumerate() {
+                            let owi = ow0 + c;
+                            if owi >= ow {
+                                continue;
+                            }
+                            out.data_mut()[((ni * cout + oc) * oh + ohi) * ow + owi] = yv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multiplication count of a Winograd F(2x2,3x3) convolution (for the cost
+/// model): 16 multiplies per 2x2 output tile per (Cin x Cout) pair, i.e.
+/// 4 multiplies per output element versus 9 for direct convolution.
+pub fn winograd_flops(x_dims: &[usize], cout: usize, padding: usize) -> u64 {
+    let p = Conv2dParams { stride: 1, padding, groups: 1 };
+    let od = conv2d_out_dims(x_dims, &[cout, x_dims[1], 3, 3], p);
+    let tiles = (od[2].div_ceil(2) * od[3].div_ceil(2)) as u64;
+    // 16 elementwise multiplies per tile per channel pair, x2 for MAC convention.
+    2 * 16 * tiles * (x_dims[1] as u64) * (cout as u64) * (od[0] as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::conv::{conv2d, Conv2dParams};
+    use crate::Rng;
+
+    #[test]
+    fn matches_direct_convolution_no_padding() {
+        let mut rng = Rng::seed_from_u64(1);
+        let x = Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        let direct = conv2d(&x, &w, Conv2dParams::new(1, 0));
+        let wino = conv2d_winograd(&x, &WinogradWeight::from_dense(&w), 0);
+        assert!(wino.allclose(&direct, 1e-3), "max diff too large");
+    }
+
+    #[test]
+    fn matches_direct_convolution_with_padding() {
+        let mut rng = Rng::seed_from_u64(2);
+        let x = Tensor::randn(&[2, 2, 7, 9], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.5, &mut rng);
+        let direct = conv2d(&x, &w, Conv2dParams::new(1, 1));
+        let wino = conv2d_winograd(&x, &WinogradWeight::from_dense(&w), 1);
+        assert_eq!(wino.dims(), direct.dims());
+        assert!(wino.allclose(&direct, 1e-3));
+    }
+
+    #[test]
+    fn odd_output_sizes_are_handled() {
+        let mut rng = Rng::seed_from_u64(3);
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(&[1, 1, 3, 3], 1.0, &mut rng);
+        let direct = conv2d(&x, &w, Conv2dParams::new(1, 0));
+        let wino = conv2d_winograd(&x, &WinogradWeight::from_dense(&w), 0);
+        assert_eq!(direct.dims(), &[1, 1, 3, 3]);
+        assert!(wino.allclose(&direct, 1e-3));
+    }
+
+    #[test]
+    fn fewer_multiplies_than_direct() {
+        let x_dims = [1, 16, 32, 32];
+        let direct = super::super::conv::conv2d_flops(&x_dims, &[16, 16, 3, 3], Conv2dParams::new(1, 1));
+        let wino = winograd_flops(&x_dims, 16, 1);
+        assert!(wino < direct, "winograd {wino} should be < direct {direct}");
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3 kernel")]
+    fn rejects_non_3x3() {
+        WinogradWeight::from_dense(&Tensor::zeros(&[1, 1, 5, 5]));
+    }
+}

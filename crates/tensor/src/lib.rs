@@ -1,0 +1,95 @@
+//! # pe-tensor
+//!
+//! Tensor substrate for PockEngine-RS: a small, dependency-light numerical
+//! library providing the dense tensor type and the CPU kernels that the
+//! PockEngine runtime executes.
+//!
+//! The crate deliberately mirrors the primitive operator set that the paper's
+//! compiler shares between inference and training (§2.5): GEMM, convolution
+//! (im2col and Winograd variants), depthwise convolution, pooling,
+//! element-wise math, reductions, normalisation, softmax and embedding
+//! lookups, together with the vector-Jacobian products needed to express
+//! backpropagation with the same primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_tensor::{Tensor, kernels};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = kernels::gemm::matmul(&a, &b, false, false);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod dtype;
+pub mod kernels;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use dtype::DType;
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Error type for tensor-level operations.
+///
+/// Most kernels validate their inputs with assertions (shape mismatches are
+/// programming errors inside the engine); `TensorError` is reserved for
+/// conditions that a caller may reasonably want to handle, such as
+/// constructing a tensor from mismatched data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape dims.
+    DataLengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A requested axis is out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::DataLengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for tensor of rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = TensorError::DataLengthMismatch { expected: 4, actual: 3 };
+        assert!(!e.to_string().is_empty());
+        let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
+        assert!(e.to_string().contains("axis 5"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+        assert_send_sync::<TensorError>();
+    }
+}

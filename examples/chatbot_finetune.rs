@@ -1,0 +1,82 @@
+//! Instruction-tuning a (tiny) Llama-style chatbot with full versus sparse
+//! backpropagation — the workflow of the paper's §5, on the synthetic Alpaca
+//! substitute.
+//!
+//! ```bash
+//! cargo run --release -p pe-examples --bin chatbot_finetune
+//! ```
+
+use std::collections::HashMap;
+
+use pockengine::pe_data::{generate_instruct_dataset, response_accuracy, InstructConfig};
+use pockengine::prelude::*;
+
+fn main() {
+    let cfg = InstructConfig { batch: 8, train_batches: 24, test_batches: 4, ..InstructConfig::default() };
+    let llama_cfg = LlamaConfig { vocab: cfg.vocab, ..LlamaConfig::tiny(cfg.batch, cfg.seq_len) };
+
+    // The paper's Llama scheme: attention + first FFN linear of the last
+    // blocks; layer norms frozen. Scaled to the tiny model's 2 blocks.
+    let sparse = SparseScheme {
+        name: "llama-tiny".to_string(),
+        bias_last_blocks: 1,
+        weight_rules: vec![
+            pockengine::pe_sparse::WeightRule::full("attn.", pockengine::pe_sparse::BlockSelector::LastK(1)),
+            pockengine::pe_sparse::WeightRule::full("ffn.gate", pockengine::pe_sparse::BlockSelector::LastK(1)),
+        ],
+        train_head: true,
+        train_norm: false,
+    };
+
+    println!("{:<10} {:>12} {:>12} {:>22} {:>16}", "method", "loss", "latency/step", "instruction accuracy", "trainable elems");
+    for (label, rule) in [("FT-Full", UpdateRule::Full), ("Sparse", UpdateRule::Sparse(sparse))] {
+        let mut rng = Rng::seed_from_u64(11);
+        let data = generate_instruct_dataset(cfg, &mut rng);
+        let model = build_llama(&llama_cfg, &mut rng);
+        let logits_name = model.logits_name();
+        let program = compile(
+            &model,
+            &CompileOptions {
+                update_rule: rule,
+                optimizer: Optimizer::adam(3e-3),
+                ..CompileOptions::default()
+            },
+        );
+        let trainable = program.analysis.trainable_elements;
+        let mut exec = program.executor;
+
+        let start = std::time::Instant::now();
+        let mut steps = 0usize;
+        let mut loss = f32::NAN;
+        for _ in 0..4 {
+            for (ids, labels) in &data.train {
+                let inputs = HashMap::from([
+                    ("ids".to_string(), ids.clone()),
+                    ("labels".to_string(), labels.clone()),
+                ]);
+                loss = exec.run_step(&inputs).expect("training step").loss.unwrap_or(f32::NAN);
+                steps += 1;
+            }
+        }
+        let per_step_ms = start.elapsed().as_secs_f64() * 1e3 / steps as f64;
+
+        let mut accs = Vec::new();
+        for (ids, labels) in &data.test {
+            let inputs =
+                HashMap::from([("ids".to_string(), ids.clone()), ("labels".to_string(), labels.clone())]);
+            let out = exec.run_eval(&inputs).expect("evaluation");
+            let logits = out.outputs.get(&logits_name).expect("logits");
+            accs.push(response_accuracy(logits, ids, labels, cfg.num_args));
+        }
+        let acc = accs.iter().sum::<f32>() / accs.len().max(1) as f32;
+        println!(
+            "{:<10} {:>12.3} {:>10.1}ms {:>21.1}% {:>16}",
+            label,
+            loss,
+            per_step_ms,
+            acc * 100.0,
+            trainable
+        );
+    }
+    println!("\nExpected shape (Table 5): the sparse scheme is faster per step and matches full fine-tuning quality.");
+}

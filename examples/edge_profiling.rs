@@ -1,0 +1,60 @@
+//! Edge-deployment profiling: compile paper-scale models, then use the device
+//! cost models to estimate training throughput and memory across edge
+//! platforms and frameworks (the workflow behind Table 4 / Figure 9).
+//!
+//! ```bash
+//! cargo run --release -p pe-examples --bin edge_profiling
+//! ```
+
+use pockengine::pe_backends::{estimate_step_latency, memory_fit, DeviceProfile, FrameworkProfile};
+use pockengine::prelude::*;
+
+fn main() {
+    let batch = 8;
+    let mut rng = Rng::seed_from_u64(0);
+
+    // Paper-scale MobileNetV2: parameters stay deferred (never allocated);
+    // the graph is consumed only by the planner and the cost models.
+    let model = build_mobilenet(&MobileNetV2Config::paper(1.0, batch), &mut rng);
+    let full = pockengine::analyze(&model, &CompileOptions::default());
+    let sparse = pockengine::analyze(
+        &model,
+        &CompileOptions {
+            update_rule: UpdateRule::Sparse(paper_scheme_mobilenetv2()),
+            ..CompileOptions::default()
+        },
+    );
+
+    println!("MobileNetV2 (batch {batch}) — training memory");
+    println!("  full-bp  : {:>8.1} MiB", full.memory.total_bytes() as f64 / (1024.0 * 1024.0));
+    println!("  sparse-bp: {:>8.1} MiB\n", sparse.memory.total_bytes() as f64 / (1024.0 * 1024.0));
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>18} {:>10}",
+        "device", "TF (img/s)", "PyTorch", "PockEngine sparse", "fits?"
+    );
+    for device in DeviceProfile::all_paper_devices() {
+        let tf = estimate_step_latency(&full.training_graph.graph, &full.schedule.order, &device, &FrameworkProfile::tensorflow());
+        let pt = estimate_step_latency(&full.training_graph.graph, &full.schedule.order, &device, &FrameworkProfile::pytorch());
+        let pe = estimate_step_latency(
+            &sparse.training_graph.graph,
+            &sparse.schedule.order,
+            &device,
+            &FrameworkProfile::pockengine(),
+        );
+        let fmt = |r: Result<pockengine::pe_backends::LatencyBreakdown, _>| match r {
+            Ok(l) => format!("{:.2}", l.throughput(batch)),
+            Err(_) => "n/a".to_string(),
+        };
+        let fits = memory_fit(sparse.memory.total_bytes(), &device).fits();
+        println!(
+            "{:<26} {:>14} {:>14} {:>18} {:>10}",
+            device.name,
+            fmt(tf),
+            fmt(pt),
+            fmt(pe),
+            if fits { "yes" } else { "no" }
+        );
+    }
+    println!("\nn/a = the framework cannot target that device class (no DSP/MCU backend).");
+}

@@ -1,0 +1,7 @@
+//! Cross-crate integration tests for PockEngine-RS.
+//!
+//! The test files under `tests/` exercise the whole pipeline — frontend,
+//! compile-time autodiff, graph optimisation, scheduling, memory planning and
+//! execution — across crates, including numerical equivalence against the
+//! eager baseline, end-to-end sparse backpropagation behaviour, the scheme
+//! search, and property-based invariants.

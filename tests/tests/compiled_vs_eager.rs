@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the compiled engine (compile-time autodiff
+//! plus all graph optimisations) must be numerically equivalent to the eager
+//! runtime-autodiff baseline, for both CNN and transformer workloads. This is
+//! the functional-preservation guarantee behind every optimisation the
+//! compiler applies.
+
+use std::collections::HashMap;
+
+use pockengine::pe_data::{generate_nlp_task, generate_vision_task, NlpTaskConfig, VisionTaskConfig};
+use pockengine::pe_runtime::EagerEngine;
+use pockengine::prelude::*;
+
+fn run_both(
+    model: &BuiltModel,
+    inputs: &HashMap<String, Tensor>,
+    steps: usize,
+    lr: f32,
+) -> (Vec<f32>, Vec<f32>, Vec<(String, Tensor, Tensor)>) {
+    // Compiled engine with every optimisation enabled.
+    let program = compile(
+        model,
+        &CompileOptions { optimizer: Optimizer::sgd(lr), ..CompileOptions::default() },
+    );
+    let mut exec = program.executor;
+    // Eager baseline: runtime autodiff, no optimisations, updates at the end.
+    let spec = apply_rule(model, &UpdateRule::Full);
+    let mut eager = EagerEngine::new(model.graph.clone(), model.loss, spec, Optimizer::sgd(lr));
+
+    let mut losses_compiled = Vec::new();
+    let mut losses_eager = Vec::new();
+    for _ in 0..steps {
+        losses_compiled.push(exec.run_step(inputs).unwrap().loss.unwrap());
+        losses_eager.push(eager.run_step(inputs).unwrap().loss.unwrap());
+    }
+    let params = model
+        .named_params()
+        .into_iter()
+        .filter_map(|(_, name)| {
+            let a = exec.param_by_name(&name)?.clone();
+            let b = eager.param_by_name(&name)?.clone();
+            Some((name, a, b))
+        })
+        .collect();
+    (losses_compiled, losses_eager, params)
+}
+
+#[test]
+fn cnn_training_is_equivalent_to_eager_baseline() {
+    let mut rng = Rng::seed_from_u64(0);
+    let model = build_mobilenet(&MobileNetV2Config::tiny(4, 3), &mut rng);
+    let mut data_rng = Rng::seed_from_u64(1);
+    let task = generate_vision_task(
+        "equiv",
+        VisionTaskConfig {
+            num_classes: 3,
+            resolution: 16,
+            batch: 4,
+            train_batches: 1,
+            test_batches: 1,
+            noise: 0.5,
+            signal: 1.0,
+        },
+        &mut data_rng,
+    );
+    let (x, y) = &task.train[0];
+    let inputs = HashMap::from([("x".to_string(), x.clone()), ("labels".to_string(), y.clone())]);
+
+    let (compiled, eager, params) = run_both(&model, &inputs, 3, 0.05);
+    for (a, b) in compiled.iter().zip(&eager) {
+        assert!((a - b).abs() < 1e-4, "loss mismatch: {a} vs {b}");
+    }
+    for (name, a, b) in params {
+        assert!(a.allclose(&b, 1e-3), "parameter '{name}' diverged after training");
+    }
+}
+
+#[test]
+fn transformer_training_is_equivalent_to_eager_baseline() {
+    let mut rng = Rng::seed_from_u64(2);
+    let model = build_bert(&BertConfig::tiny(4, 2), &mut rng);
+    let mut data_rng = Rng::seed_from_u64(3);
+    let task = generate_nlp_task(
+        "equiv",
+        NlpTaskConfig {
+            num_classes: 2,
+            vocab: 100,
+            seq_len: 16,
+            batch: 4,
+            train_batches: 1,
+            test_batches: 1,
+            marker_dropout: 0.0,
+        },
+        &mut data_rng,
+    );
+    let (ids, labels) = &task.train[0];
+    let inputs =
+        HashMap::from([("ids".to_string(), ids.clone()), ("labels".to_string(), labels.clone())]);
+
+    let (compiled, eager, params) = run_both(&model, &inputs, 2, 0.01);
+    for (a, b) in compiled.iter().zip(&eager) {
+        assert!((a - b).abs() < 1e-4, "loss mismatch: {a} vs {b}");
+    }
+    for (name, a, b) in params {
+        assert!(a.allclose(&b, 1e-3), "parameter '{name}' diverged after training");
+    }
+}
+
+#[test]
+fn compiled_gradients_match_finite_differences_through_the_whole_stack() {
+    // End-to-end gradient check: perturb one weight element of a small MLP
+    // and compare the loss change against the update applied by the engine
+    // (SGD with lr=1 makes the applied update equal to minus the gradient).
+    let mut rng = Rng::seed_from_u64(4);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", [4, 6]);
+    let labels = b.input("labels", [4]);
+    let w1 = b.weight("fc1.weight", [8, 6], &mut rng);
+    let b1 = b.bias("fc1.bias", 8);
+    let h = b.linear(x, w1, Some(b1));
+    let h = b.gelu(h);
+    let w2 = b.weight("fc2.weight", [3, 8], &mut rng);
+    let logits = b.linear(h, w2, None);
+    let loss = b.cross_entropy(logits, labels);
+    let graph = b.finish(vec![loss, logits]);
+
+    let mut data_rng = Rng::seed_from_u64(5);
+    let xs = Tensor::randn(&[4, 6], 1.0, &mut data_rng);
+    let ys = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], &[4]);
+    let inputs = HashMap::from([("x".to_string(), xs.clone()), ("labels".to_string(), ys.clone())]);
+
+    // The model handle for compile() comes from the zoo normally; build one
+    // by hand for this synthetic graph.
+    let model = BuiltModel {
+        loss,
+        logits,
+        feature_input: "x".to_string(),
+        label_input: "labels".to_string(),
+        num_blocks: 0,
+        name: "gradcheck-mlp".to_string(),
+        graph,
+    };
+
+    // Loss at theta, via an eval-only pass.
+    let program = compile(
+        &model,
+        &CompileOptions { optimizer: Optimizer::sgd(1.0), ..CompileOptions::default() },
+    );
+    let mut exec = program.executor;
+    let w_before = exec.param_by_name("fc1.weight").unwrap().clone();
+    let loss0 = exec.run_eval(&inputs).unwrap().loss.unwrap();
+
+    // One training step with lr = 1: w_after = w_before - grad.
+    exec.run_step(&inputs).unwrap();
+    let w_after = exec.param_by_name("fc1.weight").unwrap().clone();
+
+    // Finite differences on a handful of elements.
+    let eps = 1e-2;
+    for idx in [0usize, 7, 13, 29, 41] {
+        let grad_engine = w_before.data()[idx] - w_after.data()[idx];
+        // Perturb and re-evaluate through a fresh program.
+        let mut perturbed = compile(
+            &model,
+            &CompileOptions { optimizer: Optimizer::sgd(1.0), ..CompileOptions::default() },
+        );
+        let wid = perturbed.executor.training_graph().graph.find_param("fc1.weight").unwrap();
+        let mut w = w_before.clone();
+        w.data_mut()[idx] += eps;
+        perturbed.executor.set_param(wid, w);
+        let loss1 = perturbed.executor.run_eval(&inputs).unwrap().loss.unwrap();
+        let fd = (loss1 - loss0) / eps;
+        assert!(
+            (fd - grad_engine).abs() < 0.05,
+            "gradient mismatch at element {idx}: finite-difference {fd} vs engine {grad_engine}"
+        );
+    }
+}

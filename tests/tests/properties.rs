@@ -1,0 +1,158 @@
+//! Property-based tests over the core data structures and invariants:
+//! kernel equivalences (Winograd vs direct convolution, matmul transpose
+//! identities), schedule validity, memory-planner non-overlap, and
+//! autodiff/DCE invariants over randomly shaped MLPs.
+
+use proptest::prelude::*;
+
+use pockengine::pe_graph::{build_training_graph, graph_cost, GraphBuilder, TrainKind, TrainSpec};
+use pockengine::pe_memplan::{analyze_lifetimes, plan_memory};
+use pockengine::pe_passes::{build_schedule, optimize, OptimizeOptions, ScheduleStrategy};
+use pockengine::pe_tensor::kernels::conv::{conv2d, Conv2dParams};
+use pockengine::pe_tensor::kernels::gemm::matmul;
+use pockengine::pe_tensor::kernels::layout::transpose2d;
+use pockengine::pe_tensor::kernels::winograd::{conv2d_winograd, WinogradWeight};
+use pockengine::pe_tensor::{Rng, Tensor};
+
+/// Builds a random MLP training graph from a shape description.
+fn random_mlp(widths: &[usize], batch: usize, frozen_prefix: usize) -> pockengine::pe_graph::TrainingGraph {
+    let mut rng = Rng::seed_from_u64(9);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", [batch, widths[0]]);
+    let labels = b.input("labels", [batch]);
+    let mut h = x;
+    let mut spec = TrainSpec::new();
+    for (i, pair) in widths.windows(2).enumerate() {
+        let w = b.weight(&format!("fc{i}.weight"), [pair[1], pair[0]], &mut rng);
+        let bias = b.bias(&format!("fc{i}.bias"), pair[1]);
+        if i < frozen_prefix {
+            spec.insert(w, TrainKind::Frozen);
+            spec.insert(bias, TrainKind::Frozen);
+        }
+        h = b.linear(h, w, Some(bias));
+        h = b.relu(h);
+    }
+    let head = b.weight("head.weight", [3, *widths.last().unwrap()], &mut rng);
+    let logits = b.linear(h, head, None);
+    let loss = b.cross_entropy(logits, labels);
+    let g = b.finish(vec![loss, logits]);
+    build_training_graph(g, loss, &spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Winograd F(2x2,3x3) must agree with direct convolution for any
+    /// geometry it supports (stride 1, 3x3 kernels).
+    #[test]
+    fn winograd_equals_direct_convolution(
+        h in 4usize..12,
+        w in 4usize..12,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let x = Tensor::randn(&[1, cin, h, w], 1.0, &mut rng);
+        let weight = Tensor::randn(&[cout, cin, 3, 3], 0.5, &mut rng);
+        let direct = conv2d(&x, &weight, Conv2dParams::new(1, padding));
+        let wino = conv2d_winograd(&x, &WinogradWeight::from_dense(&weight), padding);
+        prop_assert!(wino.allclose(&direct, 1e-2), "winograd diverged from direct convolution");
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ for random shapes.
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..8,
+        k in 1usize..8,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let left = transpose2d(&matmul(&a, &b, false, false));
+        let right = matmul(&transpose2d(&b), &transpose2d(&a), false, false);
+        prop_assert!(left.allclose(&right, 1e-4));
+    }
+
+    /// Every schedule strategy yields a complete, dependency-respecting order,
+    /// and the memory planner never overlaps two live buffers.
+    #[test]
+    fn schedules_and_memory_plans_are_valid(
+        depth in 1usize..5,
+        width in 4usize..24,
+        batch in 1usize..6,
+        frozen_prefix in 0usize..3,
+        reorder in proptest::bool::ANY,
+    ) {
+        let widths: Vec<usize> = std::iter::repeat_n(width, depth + 1).collect();
+        let tg = random_mlp(&widths, batch, frozen_prefix.min(depth));
+        let strategy = if reorder { ScheduleStrategy::Reordered } else { ScheduleStrategy::Conventional };
+        let schedule = build_schedule(&tg.graph, strategy);
+        prop_assert_eq!(schedule.len(), tg.graph.len());
+        let pos = schedule.positions(tg.graph.len());
+        for node in tg.graph.nodes() {
+            for input in &node.inputs {
+                prop_assert!(pos[input.index()] < pos[node.id.index()], "dependency violated");
+            }
+        }
+
+        let plan = plan_memory(&tg.graph, &schedule);
+        prop_assert!(plan.arena_bytes >= plan.peak_transient_bytes);
+        let lifetimes = analyze_lifetimes(&tg.graph, &schedule);
+        for a in 0..tg.graph.len() {
+            for b in (a + 1)..tg.graph.len() {
+                let (Some((da, la)), Some((db, lb))) = (lifetimes[a], lifetimes[b]) else { continue };
+                if la < db || lb < da { continue; }
+                let (sa, sb) = (
+                    tg.graph.node(pockengine::pe_graph::NodeId(a)).size_bytes(),
+                    tg.graph.node(pockengine::pe_graph::NodeId(b)).size_bytes(),
+                );
+                if sa == 0 || sb == 0 { continue; }
+                let (oa, ob) = (plan.offsets[a].unwrap(), plan.offsets[b].unwrap());
+                prop_assert!(oa + sa <= ob || ob + sb <= oa, "overlapping buffers in arena");
+            }
+        }
+    }
+
+    /// Freezing a prefix of the network can only shrink the training graph
+    /// and its FLOP count, and the optimisation pipeline preserves validity.
+    #[test]
+    fn freezing_monotonically_shrinks_the_graph(
+        depth in 2usize..5,
+        width in 4usize..16,
+        batch in 1usize..4,
+    ) {
+        let widths: Vec<usize> = std::iter::repeat_n(width, depth + 1).collect();
+        let full = random_mlp(&widths, batch, 0);
+        let frozen = random_mlp(&widths, batch, depth - 1);
+        prop_assert!(frozen.graph.len() <= full.graph.len());
+        prop_assert!(graph_cost(&frozen.graph).flops <= graph_cost(&full.graph).flops);
+        prop_assert!(frozen.updates.len() <= full.updates.len());
+
+        let (opt, schedule, _) = optimize(frozen, OptimizeOptions::default());
+        prop_assert!(opt.graph.validate().is_empty());
+        prop_assert_eq!(schedule.len(), opt.graph.len());
+    }
+
+    /// Broadcast-add then reduce-to-shape is the identity on the gradient
+    /// path (the autodiff invariant used for every residual connection).
+    #[test]
+    fn broadcast_reduce_roundtrip(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        use pockengine::pe_tensor::kernels::elementwise::{add, reduce_to_shape};
+        let mut rng = Rng::seed_from_u64(seed);
+        let big = Tensor::randn(&[rows, cols], 1.0, &mut rng);
+        let small = Tensor::randn(&[cols], 1.0, &mut rng);
+        let sum = add(&big, &small);
+        prop_assert_eq!(sum.dims(), big.dims());
+        // The VJP of broadcasting `small` is a row-sum: check linearity.
+        let reduced = reduce_to_shape(&Tensor::ones(&[rows, cols]), small.shape());
+        prop_assert!(reduced.data().iter().all(|&v| (v - rows as f32).abs() < 1e-5));
+    }
+}

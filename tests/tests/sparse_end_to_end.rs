@@ -1,0 +1,179 @@
+//! End-to-end behaviour of sparse backpropagation: pruning really shrinks the
+//! training graph and the planned memory, frozen parameters never move, and
+//! the sparse scheme still learns.
+
+use std::collections::HashMap;
+
+use pockengine::pe_data::{generate_vision_task, VisionTaskConfig};
+use pockengine::prelude::*;
+
+fn tiny_task(seed: u64) -> (Vec<Batch>, Vec<Batch>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let task = generate_vision_task(
+        "sparse-e2e",
+        VisionTaskConfig {
+            num_classes: 3,
+            resolution: 16,
+            batch: 8,
+            train_batches: 8,
+            test_batches: 2,
+            noise: 0.4,
+            signal: 1.2,
+        },
+        &mut rng,
+    );
+    (
+        task.train.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect(),
+        task.test.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect(),
+    )
+}
+
+fn tiny_scheme() -> SparseScheme {
+    SparseScheme {
+        name: "e2e".to_string(),
+        bias_last_blocks: 2,
+        weight_rules: vec![pockengine::pe_sparse::WeightRule::full(
+            "conv1",
+            pockengine::pe_sparse::BlockSelector::LastK(2),
+        )],
+        train_head: true,
+        train_norm: false,
+    }
+}
+
+#[test]
+fn sparse_scheme_shrinks_graph_memory_and_compute() {
+    let mut rng = Rng::seed_from_u64(0);
+    let model = build_mobilenet(&MobileNetV2Config::tiny(8, 3), &mut rng);
+    let full = pockengine::analyze(&model, &CompileOptions::default());
+    let sparse = pockengine::analyze(
+        &model,
+        &CompileOptions {
+            update_rule: UpdateRule::Sparse(tiny_scheme()),
+            ..CompileOptions::default()
+        },
+    );
+    assert!(sparse.training_graph.graph.len() < full.training_graph.graph.len());
+    assert!(
+        sparse.training_graph.graph.backward_node_count()
+            < full.training_graph.graph.backward_node_count()
+    );
+    assert!(sparse.memory.transient_peak_bytes < full.memory.transient_peak_bytes);
+    assert!(sparse.trainable_elements < full.trainable_elements / 2);
+    let full_cost = pockengine::pe_graph::graph_cost(&full.training_graph.graph).flops;
+    let sparse_cost = pockengine::pe_graph::graph_cost(&sparse.training_graph.graph).flops;
+    assert!(sparse_cost < full_cost, "pruned graph must do fewer FLOPs");
+}
+
+#[test]
+fn frozen_parameters_never_change_and_sparse_still_learns() {
+    let mut rng = Rng::seed_from_u64(1);
+    let model = build_mobilenet(&MobileNetV2Config::tiny(8, 3), &mut rng);
+    let program = compile(
+        &model,
+        &CompileOptions {
+            update_rule: UpdateRule::Sparse(tiny_scheme()),
+            optimizer: Optimizer::sgd(0.08),
+            ..CompileOptions::default()
+        },
+    );
+    let frozen_names: Vec<String> = model
+        .named_params()
+        .into_iter()
+        .map(|(_, n)| n)
+        .filter(|n| n.starts_with("stem.") || n.starts_with("blocks.0."))
+        .collect();
+    assert!(!frozen_names.is_empty());
+    let before: HashMap<String, Tensor> = frozen_names
+        .iter()
+        .map(|n| (n.clone(), program.executor.param_by_name(n).unwrap().clone()))
+        .collect();
+
+    let mut trainer = program.into_trainer();
+    let (train, test) = tiny_task(2);
+    let acc_before = trainer.evaluate(&test).unwrap();
+    for _ in 0..4 {
+        trainer.train_epoch(&train).unwrap();
+    }
+    let acc_after = trainer.evaluate(&test).unwrap();
+    assert!(acc_after > acc_before, "sparse scheme should learn: {acc_before} -> {acc_after}");
+
+    for name in &frozen_names {
+        let now = trainer.executor().param_by_name(name).unwrap();
+        assert!(before[name].allclose(now, 0.0), "frozen parameter '{name}' changed during training");
+    }
+}
+
+#[test]
+fn channel_sparse_update_touches_only_selected_rows() {
+    let mut rng = Rng::seed_from_u64(3);
+    let model = build_mobilenet(&MobileNetV2Config::tiny(8, 3), &mut rng);
+    // 50% channel-sparse update on the last block's first conv.
+    let scheme = SparseScheme {
+        name: "channel".to_string(),
+        bias_last_blocks: 0,
+        weight_rules: vec![pockengine::pe_sparse::WeightRule::partial(
+            "conv1",
+            pockengine::pe_sparse::BlockSelector::LastK(1),
+            0.5,
+        )],
+        train_head: true,
+        train_norm: false,
+    };
+    let target = "blocks.3.conv1.weight";
+    let program = compile(
+        &model,
+        &CompileOptions {
+            update_rule: UpdateRule::Sparse(scheme),
+            optimizer: Optimizer::sgd(0.1),
+            ..CompileOptions::default()
+        },
+    );
+    let before = program.executor.param_by_name(target).unwrap().clone();
+    let mut trainer = program.into_trainer();
+    let (train, _) = tiny_task(4);
+    trainer.train_epoch(&train).unwrap();
+    let after = trainer.executor().param_by_name(target).unwrap().clone();
+
+    let dims = after.dims().to_vec();
+    let rows = dims[0];
+    let row_elems: usize = dims[1..].iter().product();
+    let updated_rows = rows.div_ceil(2);
+    let mut changed_updated = 0;
+    let mut changed_frozen = 0;
+    for r in 0..rows {
+        let a = &before.data()[r * row_elems..(r + 1) * row_elems];
+        let b = &after.data()[r * row_elems..(r + 1) * row_elems];
+        let diff: f32 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+        if r < updated_rows && diff > 0.0 {
+            changed_updated += 1;
+        }
+        if r >= updated_rows && diff > 0.0 {
+            changed_frozen += 1;
+        }
+    }
+    assert!(changed_updated > 0, "the selected channels must receive updates");
+    assert_eq!(changed_frozen, 0, "channels outside the scheme must stay frozen");
+}
+
+#[test]
+fn bias_only_memory_is_much_smaller_with_adam_state() {
+    let mut rng = Rng::seed_from_u64(5);
+    let model = build_mobilenet(&MobileNetV2Config::tiny(8, 3), &mut rng);
+    let adam = Optimizer::adam(1e-3);
+    let full = pockengine::analyze(
+        &model,
+        &CompileOptions { optimizer: adam, ..CompileOptions::default() },
+    );
+    let bias = pockengine::analyze(
+        &model,
+        &CompileOptions { update_rule: UpdateRule::BiasOnly, optimizer: adam, ..CompileOptions::default() },
+    );
+    assert!(
+        bias.memory.optimizer_bytes < full.memory.optimizer_bytes / 5,
+        "bias-only Adam state {} should be far below full {}",
+        bias.memory.optimizer_bytes,
+        full.memory.optimizer_bytes
+    );
+    assert!(bias.memory.total_bytes() < full.memory.total_bytes());
+}
