@@ -145,9 +145,15 @@ mod tests {
 
     #[test]
     fn profiles_are_ordered_sensibly() {
-        assert!(DeviceProfile::jetson_agx_orin().peak_gflops > DeviceProfile::jetson_nano().peak_gflops);
-        assert!(DeviceProfile::jetson_nano().peak_gflops > DeviceProfile::raspberry_pi4().peak_gflops);
-        assert!(DeviceProfile::raspberry_pi4().peak_gflops > DeviceProfile::stm32f746().peak_gflops);
+        assert!(
+            DeviceProfile::jetson_agx_orin().peak_gflops > DeviceProfile::jetson_nano().peak_gflops
+        );
+        assert!(
+            DeviceProfile::jetson_nano().peak_gflops > DeviceProfile::raspberry_pi4().peak_gflops
+        );
+        assert!(
+            DeviceProfile::raspberry_pi4().peak_gflops > DeviceProfile::stm32f746().peak_gflops
+        );
         assert!(DeviceProfile::stm32f746().memory_bytes < 1 << 20);
     }
 

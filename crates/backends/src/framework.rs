@@ -53,7 +53,10 @@ pub struct FrameworkProfile {
 impl FrameworkProfile {
     /// Kernel efficiency on a device class, or `None` when unsupported.
     pub fn efficiency(&self, class: DeviceClass) -> Option<f64> {
-        self.efficiency.iter().find(|(c, _)| *c == class).map(|(_, e)| *e)
+        self.efficiency
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, e)| *e)
     }
 
     /// Whether the framework can run training on the device class.
@@ -194,7 +197,12 @@ impl FrameworkProfile {
 
     /// The baseline frameworks compared against in Figure 9.
     pub fn baselines() -> Vec<FrameworkProfile> {
-        vec![Self::tensorflow(), Self::pytorch(), Self::jax(), Self::mnn()]
+        vec![
+            Self::tensorflow(),
+            Self::pytorch(),
+            Self::jax(),
+            Self::mnn(),
+        ]
     }
 }
 
@@ -218,7 +226,10 @@ pub fn feature_matrix() -> Vec<FeatureRow> {
         FrameworkProfile::pockengine(),
     ]
     .into_iter()
-    .map(|f| FeatureRow { framework: f.name.clone(), features: f.features })
+    .map(|f| FeatureRow {
+        framework: f.name.clone(),
+        features: f.features,
+    })
     .collect()
 }
 
@@ -229,14 +240,21 @@ mod tests {
     #[test]
     fn pockengine_is_the_only_sparse_bp_framework() {
         let rows = feature_matrix();
-        let sparse: Vec<&FeatureRow> = rows.iter().filter(|r| r.features.supports_sparse_bp).collect();
+        let sparse: Vec<&FeatureRow> = rows
+            .iter()
+            .filter(|r| r.features.supports_sparse_bp)
+            .collect();
         assert_eq!(sparse.len(), 1);
         assert_eq!(sparse[0].framework, "PockEngine");
     }
 
     #[test]
     fn cloud_frameworks_cannot_target_dsp_or_mcu() {
-        for fw in [FrameworkProfile::tensorflow(), FrameworkProfile::pytorch(), FrameworkProfile::jax()] {
+        for fw in [
+            FrameworkProfile::tensorflow(),
+            FrameworkProfile::pytorch(),
+            FrameworkProfile::jax(),
+        ] {
             assert!(!fw.supports_device(DeviceClass::Dsp), "{}", fw.name);
             assert!(!fw.supports_device(DeviceClass::Mcu), "{}", fw.name);
             assert!(fw.supports_device(DeviceClass::EdgeCpu));
@@ -249,14 +267,24 @@ mod tests {
     fn tvm_supports_inference_only() {
         let tvm = FrameworkProfile::tvm();
         assert!(!tvm.features.supports_training);
-        assert!(!tvm.supports_device(DeviceClass::EdgeCpu), "training unsupported even where kernels exist");
+        assert!(
+            !tvm.supports_device(DeviceClass::EdgeCpu),
+            "training unsupported even where kernels exist"
+        );
     }
 
     #[test]
     fn pockengine_kernels_are_more_efficient_on_edge_cpu() {
-        let pe = FrameworkProfile::pockengine().efficiency(DeviceClass::EdgeCpu).unwrap();
-        let tf = FrameworkProfile::tensorflow().efficiency(DeviceClass::EdgeCpu).unwrap();
-        assert!(pe / tf > 5.0, "edge-CPU efficiency gap should be large ({pe} vs {tf})");
+        let pe = FrameworkProfile::pockengine()
+            .efficiency(DeviceClass::EdgeCpu)
+            .unwrap();
+        let tf = FrameworkProfile::tensorflow()
+            .efficiency(DeviceClass::EdgeCpu)
+            .unwrap();
+        assert!(
+            pe / tf > 5.0,
+            "edge-CPU efficiency gap should be large ({pe} vs {tf})"
+        );
     }
 
     #[test]

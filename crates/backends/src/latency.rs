@@ -82,7 +82,9 @@ pub fn estimate_step_latency(
     device: &DeviceProfile,
     framework: &FrameworkProfile,
 ) -> Result<LatencyBreakdown, LatencyError> {
-    let Some(efficiency) = framework.efficiency(device.class).filter(|_| framework.features.supports_training)
+    let Some(efficiency) = framework
+        .efficiency(device.class)
+        .filter(|_| framework.features.supports_training)
     else {
         return Err(LatencyError::Unsupported {
             framework: framework.name.clone(),
@@ -90,7 +92,10 @@ pub fn estimate_step_latency(
         });
     };
 
-    let mut out = LatencyBreakdown { framework_us: framework.per_step_overhead_us, ..Default::default() };
+    let mut out = LatencyBreakdown {
+        framework_us: framework.per_step_overhead_us,
+        ..Default::default()
+    };
     for &id in order {
         let node = graph.node(id);
         if node.op.is_leaf() {
@@ -129,7 +134,10 @@ impl MemoryFit {
 /// Checks a memory requirement against a device profile (used for the "-"
 /// entries of Table 4, where a configuration does not fit on the device).
 pub fn memory_fit(required_bytes: usize, device: &DeviceProfile) -> MemoryFit {
-    MemoryFit { required_bytes, capacity_bytes: device.memory_bytes }
+    MemoryFit {
+        required_bytes,
+        capacity_bytes: device.memory_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -143,8 +151,12 @@ mod tests {
     use pe_sparse::{apply_rule, paper_scheme_mobilenetv2, UpdateRule};
     use pe_tensor::Rng;
 
-    fn mobilenet_graphs() -> (pe_graph::TrainingGraph, pe_passes::Schedule, pe_graph::TrainingGraph, pe_passes::Schedule)
-    {
+    fn mobilenet_graphs() -> (
+        pe_graph::TrainingGraph,
+        pe_passes::Schedule,
+        pe_graph::TrainingGraph,
+        pe_passes::Schedule,
+    ) {
         let mut rng = Rng::seed_from_u64(0);
         let cfg = MobileNetV2Config::paper(0.35, 8);
         let model = build_mobilenet(&cfg, &mut rng);
@@ -164,10 +176,20 @@ mod tests {
     fn pockengine_is_much_faster_than_cloud_frameworks_on_edge_cpu() {
         let (tg, sched, _, _) = mobilenet_graphs();
         let device = DeviceProfile::raspberry_pi4();
-        let pe = estimate_step_latency(&tg.graph, &sched.order, &device, &FrameworkProfile::pockengine())
-            .unwrap();
-        let tf = estimate_step_latency(&tg.graph, &sched.order, &device, &FrameworkProfile::tensorflow())
-            .unwrap();
+        let pe = estimate_step_latency(
+            &tg.graph,
+            &sched.order,
+            &device,
+            &FrameworkProfile::pockengine(),
+        )
+        .unwrap();
+        let tf = estimate_step_latency(
+            &tg.graph,
+            &sched.order,
+            &device,
+            &FrameworkProfile::tensorflow(),
+        )
+        .unwrap();
         let speedup = tf.total_us() / pe.total_us();
         assert!(
             (5.0..60.0).contains(&speedup),
@@ -181,7 +203,8 @@ mod tests {
         let device = DeviceProfile::raspberry_pi4();
         let fw = FrameworkProfile::pockengine();
         let full = estimate_step_latency(&tg_full.graph, &sched_full.order, &device, &fw).unwrap();
-        let sparse = estimate_step_latency(&tg_sparse.graph, &sched_sparse.order, &device, &fw).unwrap();
+        let sparse =
+            estimate_step_latency(&tg_sparse.graph, &sched_sparse.order, &device, &fw).unwrap();
         let speedup = full.total_us() / sparse.total_us();
         assert!(
             (1.15..3.0).contains(&speedup),
@@ -193,10 +216,20 @@ mod tests {
     fn edge_gpu_speedup_is_smaller_but_real() {
         let (tg, sched, _, _) = mobilenet_graphs();
         let device = DeviceProfile::jetson_nano();
-        let pe = estimate_step_latency(&tg.graph, &sched.order, &device, &FrameworkProfile::pockengine())
-            .unwrap();
-        let pt = estimate_step_latency(&tg.graph, &sched.order, &device, &FrameworkProfile::pytorch())
-            .unwrap();
+        let pe = estimate_step_latency(
+            &tg.graph,
+            &sched.order,
+            &device,
+            &FrameworkProfile::pockengine(),
+        )
+        .unwrap();
+        let pt = estimate_step_latency(
+            &tg.graph,
+            &sched.order,
+            &device,
+            &FrameworkProfile::pytorch(),
+        )
+        .unwrap();
         let speedup = pt.total_us() / pe.total_us();
         assert!(
             (1.5..8.0).contains(&speedup),

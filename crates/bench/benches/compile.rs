@@ -18,10 +18,18 @@ fn bench_autodiff(c: &mut Criterion) {
     let sparse = apply_rule(&model, &UpdateRule::Sparse(paper_scheme_mobilenetv2()));
 
     c.bench_function("autodiff_mobilenetv2_full", |b| {
-        b.iter(|| std::hint::black_box(build_training_graph(model.graph.clone(), model.loss, &full)))
+        b.iter(|| {
+            std::hint::black_box(build_training_graph(model.graph.clone(), model.loss, &full))
+        })
     });
     c.bench_function("autodiff_mobilenetv2_sparse", |b| {
-        b.iter(|| std::hint::black_box(build_training_graph(model.graph.clone(), model.loss, &sparse)))
+        b.iter(|| {
+            std::hint::black_box(build_training_graph(
+                model.graph.clone(),
+                model.loss,
+                &sparse,
+            ))
+        })
     });
 }
 

@@ -3,19 +3,21 @@
 //! used for frozen layers (backend switching, §3.2).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pockengine::pe_tensor::kernels::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dParams};
+use pockengine::pe_tensor::kernels::conv::{
+    conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dParams,
+};
 use pockengine::pe_tensor::kernels::gemm::matmul;
 use pockengine::pe_tensor::kernels::winograd::{conv2d_winograd, WinogradWeight};
 use pockengine::pe_tensor::{Rng, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = Rng::seed_from_u64(0);
-    let a = Tensor::randn(&[64, 128], 1.0, &mut rng);
-    let b = Tensor::randn(&[128, 64], 1.0, &mut rng);
+    let a = Tensor::randn([64, 128], 1.0, &mut rng);
+    let b = Tensor::randn([128, 64], 1.0, &mut rng);
     c.bench_function("matmul_64x128x64", |bencher| {
         bencher.iter(|| std::hint::black_box(matmul(&a, &b, false, false)))
     });
-    let bt = Tensor::randn(&[64, 128], 1.0, &mut rng);
+    let bt = Tensor::randn([64, 128], 1.0, &mut rng);
     c.bench_function("matmul_64x128x64_transposed_rhs", |bencher| {
         bencher.iter(|| std::hint::black_box(matmul(&a, &bt, false, true)))
     });
@@ -23,8 +25,8 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     let mut rng = Rng::seed_from_u64(1);
-    let x = Tensor::randn(&[1, 16, 32, 32], 1.0, &mut rng);
-    let w = Tensor::randn(&[16, 16, 3, 3], 0.5, &mut rng);
+    let x = Tensor::randn([1, 16, 32, 32], 1.0, &mut rng);
+    let w = Tensor::randn([16, 16, 3, 3], 0.5, &mut rng);
     let p = Conv2dParams::new(1, 1);
     c.bench_function("conv2d_direct_16x32x32", |bencher| {
         bencher.iter(|| std::hint::black_box(conv2d(&x, &w, p)))

@@ -29,7 +29,10 @@ fn inputs() -> HashMap<String, Tensor> {
         &mut rng,
     );
     let (x, y) = &task.train[0];
-    HashMap::from([("x".to_string(), x.clone()), ("labels".to_string(), y.clone())])
+    HashMap::from([
+        ("x".to_string(), x.clone()),
+        ("labels".to_string(), y.clone()),
+    ])
 }
 
 fn bench_training_step(c: &mut Criterion) {
@@ -40,7 +43,10 @@ fn bench_training_step(c: &mut Criterion) {
 
     let program = compile(
         &model,
-        &CompileOptions { optimizer: Optimizer::sgd(0.01), ..CompileOptions::default() },
+        &CompileOptions {
+            optimizer: Optimizer::sgd(0.01),
+            ..CompileOptions::default()
+        },
     );
     let mut exec_full = program.executor;
     c.bench_function("step_compiled_full_bp", |b| {

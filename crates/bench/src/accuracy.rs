@@ -17,7 +17,9 @@ use pockengine::pe_data::{
     generate_nlp_task, generate_vision_task, NlpTask, NlpTaskConfig, VisionTask, VisionTaskConfig,
 };
 use pockengine::pe_models::{build_bert, build_llama, build_mobilenet, build_resnet, BuiltModel};
-use pockengine::pe_models::{mcunet_tiny_config, BertConfig, LlamaConfig, MobileNetV2Config, ResNetConfig};
+use pockengine::pe_models::{
+    mcunet_tiny_config, BertConfig, LlamaConfig, MobileNetV2Config, ResNetConfig,
+};
 use pockengine::pe_runtime::{Batch, Optimizer, Trainer};
 use pockengine::pe_sparse::{BlockSelector, SparseScheme, UpdateRule, WeightRule};
 use pockengine::pe_tensor::{Rng, Tensor};
@@ -60,14 +62,28 @@ impl TinyModel {
         vec![TinyModel::DistilBert, TinyModel::Bert]
     }
 
-    fn build(self, batch: usize, num_classes: usize, vocab: usize, seq: usize, rng: &mut Rng) -> BuiltModel {
+    fn build(
+        self,
+        batch: usize,
+        num_classes: usize,
+        vocab: usize,
+        seq: usize,
+        rng: &mut Rng,
+    ) -> BuiltModel {
         match self {
             TinyModel::McuNet => build_mobilenet(&mcunet_tiny_config(batch, num_classes), rng),
-            TinyModel::MobileNetV2 => build_mobilenet(&MobileNetV2Config::tiny(batch, num_classes), rng),
-            TinyModel::ResNet => build_resnet(&ResNetConfig::tiny(batch, num_classes), rng),
-            TinyModel::Bert => {
-                build_bert(&BertConfig { vocab, seq_len: seq, ..BertConfig::tiny(batch, num_classes) }, rng)
+            TinyModel::MobileNetV2 => {
+                build_mobilenet(&MobileNetV2Config::tiny(batch, num_classes), rng)
             }
+            TinyModel::ResNet => build_resnet(&ResNetConfig::tiny(batch, num_classes), rng),
+            TinyModel::Bert => build_bert(
+                &BertConfig {
+                    vocab,
+                    seq_len: seq,
+                    ..BertConfig::tiny(batch, num_classes)
+                },
+                rng,
+            ),
             TinyModel::DistilBert => build_bert(
                 &BertConfig {
                     name: "distilbert-tiny".to_string(),
@@ -107,7 +123,10 @@ impl TinyModel {
     }
 
     fn is_vision(self) -> bool {
-        matches!(self, TinyModel::McuNet | TinyModel::MobileNetV2 | TinyModel::ResNet)
+        matches!(
+            self,
+            TinyModel::McuNet | TinyModel::MobileNetV2 | TinyModel::ResNet
+        )
     }
 }
 
@@ -161,7 +180,12 @@ pub struct TrainSettings {
 
 impl Default for TrainSettings {
     fn default() -> Self {
-        TrainSettings { pretrain_epochs: 3, epochs: 4, seeds: 2, lr_milli: 60 }
+        TrainSettings {
+            pretrain_epochs: 3,
+            epochs: 4,
+            seeds: 2,
+            lr_milli: 60,
+        }
     }
 }
 
@@ -187,14 +211,22 @@ fn mean_std(xs: &[f32]) -> (f32, f32) {
 }
 
 fn to_batches(pairs: &[(Tensor, Tensor)]) -> Vec<Batch> {
-    pairs.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect()
+    pairs
+        .iter()
+        .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+        .collect()
 }
 
 fn extract_params(trainer: &Trainer, model: &BuiltModel) -> Vec<(String, Tensor)> {
     model
         .named_params()
         .into_iter()
-        .filter_map(|(_, name)| trainer.executor().param_by_name(&name).map(|t| (name, t.clone())))
+        .filter_map(|(_, name)| {
+            trainer
+                .executor()
+                .param_by_name(&name)
+                .map(|t| (name, t.clone()))
+        })
         .collect()
 }
 
@@ -216,7 +248,11 @@ fn pretrain(
 ) -> Vec<(String, Tensor)> {
     let program = compile(
         model,
-        &CompileOptions { update_rule: UpdateRule::Full, optimizer, ..CompileOptions::default() },
+        &CompileOptions {
+            update_rule: UpdateRule::Full,
+            optimizer,
+            ..CompileOptions::default()
+        },
     );
     let mut trainer = program.into_trainer();
     for _ in 0..epochs {
@@ -285,9 +321,17 @@ pub fn finetune_methods(
         };
 
         let base_lr = settings.lr_milli as f32 / 1000.0;
-        let pretrain_opt =
-            if model_kind.is_vision() { Optimizer::sgd(base_lr) } else { Optimizer::adam(base_lr / 20.0) };
-        let pretrained = pretrain(&model, &source_train, settings.pretrain_epochs, pretrain_opt);
+        let pretrain_opt = if model_kind.is_vision() {
+            Optimizer::sgd(base_lr)
+        } else {
+            Optimizer::adam(base_lr / 20.0)
+        };
+        let pretrained = pretrain(
+            &model,
+            &source_train,
+            settings.pretrain_epochs,
+            pretrain_opt,
+        );
 
         for method in Method::all() {
             // Frozen-backbone methods benefit from a slightly larger step
@@ -331,13 +375,37 @@ pub fn finetune_methods(
 }
 
 /// Table 2 helper: fine-tunes one vision model on one task with all methods.
-pub fn vision_methods(model_kind: TinyModel, task: &VisionTask, settings: TrainSettings) -> Vec<(Method, f32, f32)> {
-    finetune_methods(model_kind, &task.name, task.num_classes, 0, &task.train, &task.test, settings)
+pub fn vision_methods(
+    model_kind: TinyModel,
+    task: &VisionTask,
+    settings: TrainSettings,
+) -> Vec<(Method, f32, f32)> {
+    finetune_methods(
+        model_kind,
+        &task.name,
+        task.num_classes,
+        0,
+        &task.train,
+        &task.test,
+        settings,
+    )
 }
 
 /// Table 3 helper: fine-tunes one language model on one task with all methods.
-pub fn nlp_methods(model_kind: TinyModel, task: &NlpTask, settings: TrainSettings) -> Vec<(Method, f32, f32)> {
-    finetune_methods(model_kind, &task.name, task.num_classes, task.vocab, &task.train, &task.test, settings)
+pub fn nlp_methods(
+    model_kind: TinyModel,
+    task: &NlpTask,
+    settings: TrainSettings,
+) -> Vec<(Method, f32, f32)> {
+    finetune_methods(
+        model_kind,
+        &task.name,
+        task.num_classes,
+        task.vocab,
+        &task.train,
+        &task.test,
+        settings,
+    )
 }
 
 /// Figure 8: per-step training losses of full vs sparse BP on one NLP task.
@@ -373,52 +441,67 @@ pub fn loss_curves(task: &NlpTask, epochs: usize) -> Vec<(String, Vec<f32>)> {
 /// rate).
 pub fn llama_quality(epochs: usize) -> Vec<(String, f32, f32)> {
     use pockengine::pe_data::{generate_instruct_dataset, response_accuracy, InstructConfig};
-    let cfg = InstructConfig { batch: 8, train_batches: 20, test_batches: 3, ..InstructConfig::default() };
+    let cfg = InstructConfig {
+        batch: 8,
+        train_batches: 20,
+        test_batches: 3,
+        ..InstructConfig::default()
+    };
 
-    [("FT-Full", UpdateRule::Full), ("Sparse", UpdateRule::Sparse(llama_tiny_scheme()))]
-        .into_iter()
-        .map(|(label, rule)| {
-            let mut rng = Rng::seed_from_u64(11);
-            let data = generate_instruct_dataset(cfg, &mut rng);
-            let model = build_llama(
-                &LlamaConfig { vocab: cfg.vocab, ..LlamaConfig::tiny(cfg.batch, cfg.seq_len) },
-                &mut rng,
-            );
-            let logits_name = model.logits_name();
-            let program = compile(
-                &model,
-                &CompileOptions {
-                    update_rule: rule,
-                    optimizer: Optimizer::adam(3e-3),
-                    ..CompileOptions::default()
-                },
-            );
-            let mut exec = program.executor;
-            let mut final_loss = f32::NAN;
-            for _ in 0..epochs {
-                for (ids, labels) in &data.train {
-                    let inputs = HashMap::from([
-                        ("ids".to_string(), ids.clone()),
-                        ("labels".to_string(), labels.clone()),
-                    ]);
-                    final_loss = exec.run_step(&inputs).expect("step").loss.unwrap_or(f32::NAN);
-                }
-            }
-            // Instruction-following accuracy on held-out prompts.
-            let mut accs = Vec::new();
-            for (ids, labels) in &data.test {
+    [
+        ("FT-Full", UpdateRule::Full),
+        ("Sparse", UpdateRule::Sparse(llama_tiny_scheme())),
+    ]
+    .into_iter()
+    .map(|(label, rule)| {
+        let mut rng = Rng::seed_from_u64(11);
+        let data = generate_instruct_dataset(cfg, &mut rng);
+        let model = build_llama(
+            &LlamaConfig {
+                vocab: cfg.vocab,
+                ..LlamaConfig::tiny(cfg.batch, cfg.seq_len)
+            },
+            &mut rng,
+        );
+        let logits_name = model.logits_name();
+        let program = compile(
+            &model,
+            &CompileOptions {
+                update_rule: rule,
+                optimizer: Optimizer::adam(3e-3),
+                ..CompileOptions::default()
+            },
+        );
+        let mut exec = program.executor;
+        let mut final_loss = f32::NAN;
+        for _ in 0..epochs {
+            for (ids, labels) in &data.train {
                 let inputs = HashMap::from([
                     ("ids".to_string(), ids.clone()),
                     ("labels".to_string(), labels.clone()),
                 ]);
-                let out = exec.run_eval(&inputs).expect("eval");
-                let logits = out.outputs.get(&logits_name).expect("logits output");
-                accs.push(response_accuracy(logits, ids, labels, cfg.num_args));
+                final_loss = exec
+                    .run_step(&inputs)
+                    .expect("step")
+                    .loss
+                    .unwrap_or(f32::NAN);
             }
-            let acc = accs.iter().sum::<f32>() / accs.len().max(1) as f32;
-            (label.to_string(), final_loss, acc)
-        })
-        .collect()
+        }
+        // Instruction-following accuracy on held-out prompts.
+        let mut accs = Vec::new();
+        for (ids, labels) in &data.test {
+            let inputs = HashMap::from([
+                ("ids".to_string(), ids.clone()),
+                ("labels".to_string(), labels.clone()),
+            ]);
+            let out = exec.run_eval(&inputs).expect("eval");
+            let logits = out.outputs.get(&logits_name).expect("logits output");
+            accs.push(response_accuracy(logits, ids, labels, cfg.num_args));
+        }
+        let acc = accs.iter().sum::<f32>() / accs.len().max(1) as f32;
+        (label.to_string(), final_loss, acc)
+    })
+    .collect()
 }
 
 fn llama_tiny_scheme() -> SparseScheme {
@@ -455,15 +538,30 @@ mod tests {
             },
             &mut rng,
         );
-        let settings = TrainSettings { pretrain_epochs: 2, epochs: 3, seeds: 1, lr_milli: 80 };
+        let settings = TrainSettings {
+            pretrain_epochs: 2,
+            epochs: 3,
+            seeds: 1,
+            lr_milli: 80,
+        };
         let results = vision_methods(TinyModel::MobileNetV2, &task, settings);
         let get = |m: Method| results.iter().find(|(mm, _, _)| *mm == m).unwrap().1;
-        let (full, sparse, bias) = (get(Method::FullBp), get(Method::SparseBp), get(Method::BiasOnly));
+        let (full, sparse, bias) = (
+            get(Method::FullBp),
+            get(Method::SparseBp),
+            get(Method::BiasOnly),
+        );
         // Table 2 shape: full learns the task, sparse stays within a modest
         // gap of full, and bias-only does not beat sparse.
         assert!(full > 0.5, "full-BP should learn the task, got {full}");
-        assert!(sparse > full - 0.3, "sparse {sparse} too far below full {full}");
-        assert!(bias <= sparse + 0.1, "bias-only {bias} should not beat sparse {sparse}");
+        assert!(
+            sparse > full - 0.3,
+            "sparse {sparse} too far below full {full}"
+        );
+        assert!(
+            bias <= sparse + 0.1,
+            "bias-only {bias} should not beat sparse {sparse}"
+        );
     }
 
     #[test]

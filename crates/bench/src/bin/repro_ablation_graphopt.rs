@@ -8,8 +8,17 @@ use pe_bench::TextTable;
 fn main() {
     println!("Graph optimization ablation (MobileNetV2, sparse-BP, Raspberry Pi 4)\n");
     let rows = graph_optimization_ablation();
-    let baseline = rows.iter().find(|r| r.config == "all optimizations").map(|r| r.latency_ms).unwrap_or(1.0);
-    let mut table = TextTable::new(&["Configuration", "Latency (ms)", "Slowdown", "Peak transient (MiB)"]);
+    let baseline = rows
+        .iter()
+        .find(|r| r.config == "all optimizations")
+        .map(|r| r.latency_ms)
+        .unwrap_or(1.0);
+    let mut table = TextTable::new(&[
+        "Configuration",
+        "Latency (ms)",
+        "Slowdown",
+        "Peak transient (MiB)",
+    ]);
     for r in &rows {
         table.row(vec![
             r.config.clone(),
@@ -19,5 +28,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("Paper reference: training-graph optimizations bring up to ~1.2x speedup (§2.4/§3.2).");
+    println!(
+        "Paper reference: training-graph optimizations bring up to ~1.2x speedup (§2.4/§3.2)."
+    );
 }

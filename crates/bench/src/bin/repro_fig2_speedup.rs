@@ -24,8 +24,15 @@ fn main() {
                 .map(|p| format!("{:.2}x", p.speedup))
                 .unwrap_or_else(|| "-".to_string())
         };
-        table.row(vec![m.name().to_string(), get("full-bp"), get("bias-only"), get("sparse-bp")]);
+        table.row(vec![
+            m.name().to_string(),
+            get("full-bp"),
+            get("bias-only"),
+            get("sparse-bp"),
+        ]);
     }
     println!("{}", table.render());
-    println!("Paper reference: MCUNet 1.3x, MobileNetV2 1.3x, ResNet 1.6x, BERT 1.5x (sparse vs full).");
+    println!(
+        "Paper reference: MCUNet 1.3x, MobileNetV2 1.3x, ResNet 1.6x, BERT 1.5x (sparse vs full)."
+    );
 }

@@ -10,7 +10,11 @@ fn main() {
         let task = tasks.iter().find(|t| t.name == name).expect("task exists");
         println!("=== {} ===", name.to_uppercase());
         for (label, losses) in loss_curves(task, 4) {
-            let series: Vec<String> = losses.iter().step_by(2).map(|l| format!("{l:.3}")).collect();
+            let series: Vec<String> = losses
+                .iter()
+                .step_by(2)
+                .map(|l| format!("{l:.3}"))
+                .collect();
             println!("{label:>10}: {}", series.join(" "));
         }
         println!();

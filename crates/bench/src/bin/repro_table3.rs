@@ -9,13 +9,22 @@ use pockengine::pe_data::table3_nlp_tasks;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let settings = if quick {
-        TrainSettings { pretrain_epochs: 2, epochs: 2, seeds: 1, lr_milli: 60 }
+        TrainSettings {
+            pretrain_epochs: 2,
+            epochs: 2,
+            seeds: 1,
+            lr_milli: 60,
+        }
     } else {
         TrainSettings::default()
     };
     let tasks = table3_nlp_tasks(16, 16, 100, 17);
     let tasks = if quick { tasks[..3].to_vec() } else { tasks };
-    let models = if quick { vec![TinyModel::DistilBert] } else { TinyModel::table3_models() };
+    let models = if quick {
+        vec![TinyModel::DistilBert]
+    } else {
+        TinyModel::table3_models()
+    };
 
     println!("Table 3: language-model fine-tuning accuracy (synthetic GLUE substitutes)\n");
     for model in models {
@@ -29,13 +38,22 @@ fn main() {
         for task in &tasks {
             let results = nlp_methods(model, task, settings);
             for (method, mean, std) in results {
-                per_method.iter_mut().find(|(m, _)| *m == method).unwrap().1.push((mean, std));
+                per_method
+                    .iter_mut()
+                    .find(|(m, _)| *m == method)
+                    .unwrap()
+                    .1
+                    .push((mean, std));
             }
         }
         for (method, cells) in &per_method {
             let avg: f32 = cells.iter().map(|(m, _)| m).sum::<f32>() / cells.len().max(1) as f32;
             let mut row = vec![method.label().to_string(), format!("{:.1}%", avg * 100.0)];
-            row.extend(cells.iter().map(|(m, s)| format!("{:.1}±{:.1}%", m * 100.0, s * 100.0)));
+            row.extend(
+                cells
+                    .iter()
+                    .map(|(m, s)| format!("{:.1}±{:.1}%", m * 100.0, s * 100.0)),
+            );
             table.row(row);
         }
         println!("--- {} ---\n{}", model.name(), table.render());

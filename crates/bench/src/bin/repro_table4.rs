@@ -17,11 +17,20 @@ fn main() {
     for (device, model, method) in keys {
         let cell = |bs: usize| {
             rows.iter()
-                .find(|r| r.device == device && r.model == model && r.method == method && r.batch == bs)
+                .find(|r| {
+                    r.device == device && r.model == model && r.method == method && r.batch == bs
+                })
                 .map(|r| r.formatted())
                 .unwrap_or_else(|| "-".to_string())
         };
-        table.row(vec![device.clone(), model.clone(), method.clone(), cell(1), cell(4), cell(16)]);
+        table.row(vec![
+            device.clone(),
+            model.clone(),
+            method.clone(),
+            cell(1),
+            cell(4),
+            cell(16),
+        ]);
     }
     println!("{}", table.render());
 

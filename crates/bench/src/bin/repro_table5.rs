@@ -10,17 +10,31 @@ use pe_bench::TextTable;
 
 fn main() {
     println!("Table 5 (system): LlamaV2-7B fine-tuning on Jetson AGX Orin (cost model)\n");
-    let mut table = TextTable::new(&["Framework / method", "Iteration latency (s)", "Memory (GiB)"]);
+    let mut table = TextTable::new(&[
+        "Framework / method",
+        "Iteration latency (s)",
+        "Memory (GiB)",
+    ]);
     for row in table5_llama_system(1) {
-        table.row(vec![row.label, format!("{:.2}", row.iteration_s), format!("{:.1}", row.memory_gib)]);
+        table.row(vec![
+            row.label,
+            format!("{:.2}", row.iteration_s),
+            format!("{:.1}", row.memory_gib),
+        ]);
     }
     println!("{}", table.render());
     println!("Paper reference: PyTorch FT-Full 7.7 s / 45.1 GB; PockEngine FT-Full 1.8 s / 43.1 GB; PockEngine Sparse 0.9 s / 31.2 GB.\n");
 
-    println!("Table 5 (quality): tiny-Llama instruction tuning on the synthetic Alpaca substitute\n");
+    println!(
+        "Table 5 (quality): tiny-Llama instruction tuning on the synthetic Alpaca substitute\n"
+    );
     let mut table = TextTable::new(&["Method", "Final loss", "Instruction-following accuracy"]);
     for (label, loss, acc) in llama_quality(4) {
-        table.row(vec![label, format!("{loss:.3}"), format!("{:.1}%", acc * 100.0)]);
+        table.row(vec![
+            label,
+            format!("{loss:.3}"),
+            format!("{:.1}%", acc * 100.0),
+        ]);
     }
     println!("{}", table.render());
     println!("Paper reference: Sparse-BP matches Full-BP response quality (43.1 vs 43.7 Alpaca-Eval win rate).");

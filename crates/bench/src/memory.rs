@@ -40,11 +40,31 @@ impl MemoryRow {
 /// The (platform, model, optimizer) combinations of Table 4.
 pub fn table4_workloads() -> Vec<(DeviceProfile, PaperModel, Optimizer)> {
     vec![
-        (DeviceProfile::stm32f746(), PaperModel::McuNet, Optimizer::sgd(0.01)),
-        (DeviceProfile::jetson_nano(), PaperModel::MobileNetV2, Optimizer::sgd(0.01)),
-        (DeviceProfile::jetson_nano(), PaperModel::ResNet50, Optimizer::sgd(0.01)),
-        (DeviceProfile::jetson_agx_orin(), PaperModel::Bert, Optimizer::adam(1e-4)),
-        (DeviceProfile::jetson_agx_orin(), PaperModel::Llama7b, Optimizer::lion(1e-4)),
+        (
+            DeviceProfile::stm32f746(),
+            PaperModel::McuNet,
+            Optimizer::sgd(0.01),
+        ),
+        (
+            DeviceProfile::jetson_nano(),
+            PaperModel::MobileNetV2,
+            Optimizer::sgd(0.01),
+        ),
+        (
+            DeviceProfile::jetson_nano(),
+            PaperModel::ResNet50,
+            Optimizer::sgd(0.01),
+        ),
+        (
+            DeviceProfile::jetson_agx_orin(),
+            PaperModel::Bert,
+            Optimizer::adam(1e-4),
+        ),
+        (
+            DeviceProfile::jetson_agx_orin(),
+            PaperModel::Llama7b,
+            Optimizer::lion(1e-4),
+        ),
     ]
 }
 
@@ -53,9 +73,10 @@ pub fn table4_workloads() -> Vec<(DeviceProfile, PaperModel, Optimizer)> {
 pub fn table4_memory(batch_sizes: &[usize]) -> Vec<MemoryRow> {
     let mut rows = Vec::new();
     for (device, pm, optimizer) in table4_workloads() {
-        for (method, rule) in
-            [("full-bp", UpdateRule::Full), ("sparse-bp", UpdateRule::Sparse(pm.paper_scheme()))]
-        {
+        for (method, rule) in [
+            ("full-bp", UpdateRule::Full),
+            ("sparse-bp", UpdateRule::Sparse(pm.paper_scheme())),
+        ] {
             for &batch in batch_sizes {
                 // MCU and Llama only report batch size 1 in the paper; larger
                 // batches are still computed (they simply will not fit).
@@ -109,11 +130,17 @@ pub fn mcu_reordering_saving() -> (usize, usize) {
         &CompileOptions {
             update_rule: rule,
             optimizer: Optimizer::sgd(0.01),
-            optimize: OptimizeOptions { reorder_updates: false, ..OptimizeOptions::default() },
+            optimize: OptimizeOptions {
+                reorder_updates: false,
+                ..OptimizeOptions::default()
+            },
             schedule: ScheduleStrategy::Conventional,
         },
     );
-    (conventional.memory.transient_peak_bytes, reordered.memory.transient_peak_bytes)
+    (
+        conventional.memory.transient_peak_bytes,
+        reordered.memory.transient_peak_bytes,
+    )
 }
 
 #[cfg(test)]
@@ -132,7 +159,9 @@ mod tests {
                 .unwrap();
             let sparse = rows
                 .iter()
-                .find(|r| r.device == device.name && r.model == pm.name() && r.method == "sparse-bp")
+                .find(|r| {
+                    r.device == device.name && r.model == pm.name() && r.method == "sparse-bp"
+                })
                 .unwrap();
             match (full.total_bytes, sparse.total_bytes) {
                 (Some(f), Some(s)) => assert!(s < f, "{}: sparse {s} >= full {f}", pm.name()),
@@ -154,13 +183,19 @@ mod tests {
             total_bytes: Some(200 * 1024),
         };
         assert!(kb.formatted().ends_with("KB"));
-        let none = MemoryRow { total_bytes: None, ..kb.clone() };
+        let none = MemoryRow {
+            total_bytes: None,
+            ..kb.clone()
+        };
         assert_eq!(none.formatted(), "-");
     }
 
     #[test]
     fn mcu_reordering_reduces_peak_memory() {
         let (conventional, reordered) = mcu_reordering_saving();
-        assert!(reordered < conventional, "reordering should reduce MCU peak memory");
+        assert!(
+            reordered < conventional,
+            "reordering should reduce MCU peak memory"
+        );
     }
 }

@@ -71,14 +71,19 @@ pub fn measure_autodiff_overhead(steps: usize) -> OverheadReport {
         &mut data_rng,
     );
     let (x, y) = &task.train[0];
-    let inputs: HashMap<String, Tensor> =
-        HashMap::from([("x".to_string(), x.clone()), ("labels".to_string(), y.clone())]);
+    let inputs: HashMap<String, Tensor> = HashMap::from([
+        ("x".to_string(), x.clone()),
+        ("labels".to_string(), y.clone()),
+    ]);
 
     // Compiled engine: all graph work happens once, up front.
     let start = Instant::now();
     let program = compile(
         &model,
-        &CompileOptions { optimizer: Optimizer::sgd(0.01), ..CompileOptions::default() },
+        &CompileOptions {
+            optimizer: Optimizer::sgd(0.01),
+            ..CompileOptions::default()
+        },
     );
     let compile_us = start.elapsed().as_secs_f64() * 1e6;
     let mut exec = program.executor;
@@ -102,7 +107,12 @@ pub fn measure_autodiff_overhead(steps: usize) -> OverheadReport {
     let compiled_step_us = compiled_total * 1e6 / steps as f64;
     let eager_step_us = eager_total * 1e6 / steps as f64;
 
-    OverheadReport { compile_us, compiled_step_us, eager_step_us, steps }
+    OverheadReport {
+        compile_us,
+        compiled_step_us,
+        eager_step_us,
+        steps,
+    }
 }
 
 #[cfg(test)]

@@ -84,7 +84,11 @@ impl PaperModel {
 }
 
 /// Analyses one model under a rule, with all graph optimisations enabled.
-pub fn analyze_model(model: &BuiltModel, rule: UpdateRule, optimizer: Optimizer) -> ProgramAnalysis {
+pub fn analyze_model(
+    model: &BuiltModel,
+    rule: UpdateRule,
+    optimizer: Optimizer,
+) -> ProgramAnalysis {
     analyze(
         model,
         &CompileOptions {
@@ -115,17 +119,29 @@ pub struct ThroughputPoint {
 /// Baseline frameworks execute the *full* unpruned backward graph (they
 /// cannot realise sparse savings); PockEngine is reported twice, once with
 /// full backpropagation and once with the paper's sparse scheme.
-pub fn figure9_for_device(device: &DeviceProfile, models: &[PaperModel], batch: usize) -> Vec<ThroughputPoint> {
+pub fn figure9_for_device(
+    device: &DeviceProfile,
+    models: &[PaperModel],
+    batch: usize,
+) -> Vec<ThroughputPoint> {
     let mut rng = Rng::seed_from_u64(0);
     let mut points = Vec::new();
     for &pm in models {
         let model = pm.build(batch, &mut rng);
         let full = analyze_model(&model, UpdateRule::Full, Optimizer::sgd(0.01));
-        let sparse =
-            analyze_model(&model, UpdateRule::Sparse(pm.paper_scheme()), Optimizer::sgd(0.01));
+        let sparse = analyze_model(
+            &model,
+            UpdateRule::Sparse(pm.paper_scheme()),
+            Optimizer::sgd(0.01),
+        );
 
         for fw in FrameworkProfile::baselines() {
-            let lat = estimate_step_latency(&full.training_graph.graph, &full.schedule.order, device, &fw);
+            let lat = estimate_step_latency(
+                &full.training_graph.graph,
+                &full.schedule.order,
+                device,
+                &fw,
+            );
             points.push(ThroughputPoint {
                 framework: fw.name.clone(),
                 model: pm.name().to_string(),
@@ -134,7 +150,10 @@ pub fn figure9_for_device(device: &DeviceProfile, models: &[PaperModel], batch: 
             });
         }
         let pe = FrameworkProfile::pockengine();
-        for (label, analysis) in [("PockEngine (full-bp)", &full), ("PockEngine (sparse-bp)", &sparse)] {
+        for (label, analysis) in [
+            ("PockEngine (full-bp)", &full),
+            ("PockEngine (sparse-bp)", &sparse),
+        ] {
             let lat = estimate_step_latency(
                 &analysis.training_graph.graph,
                 &analysis.schedule.order,
@@ -173,7 +192,7 @@ pub fn scheme_speedups(models: &[PaperModel], batch: usize) -> Vec<SpeedupPoint>
     let mut out = Vec::new();
     for &pm in models {
         let model = pm.build(batch, &mut rng);
-        let mut latency_of = |rule: UpdateRule| -> f64 {
+        let latency_of = |rule: UpdateRule| -> f64 {
             let a = analyze_model(&model, rule, Optimizer::sgd(0.01));
             estimate_step_latency(&a.training_graph.graph, &a.schedule.order, &device, &fw)
                 .expect("pockengine supports every device")
@@ -182,7 +201,11 @@ pub fn scheme_speedups(models: &[PaperModel], batch: usize) -> Vec<SpeedupPoint>
         let full = latency_of(UpdateRule::Full);
         let bias = latency_of(UpdateRule::BiasOnly);
         let sparse = latency_of(UpdateRule::Sparse(pm.paper_scheme()));
-        out.push(SpeedupPoint { model: pm.name().to_string(), scheme: "full-bp".into(), speedup: 1.0 });
+        out.push(SpeedupPoint {
+            model: pm.name().to_string(),
+            scheme: "full-bp".into(),
+            speedup: 1.0,
+        });
         out.push(SpeedupPoint {
             model: pm.name().to_string(),
             scheme: "bias-only".into(),
@@ -242,7 +265,11 @@ pub fn table5_llama_system(batch: usize) -> Vec<LlamaRow> {
 
     let full = analyze_model(&model, UpdateRule::Full, optimizer);
     let lora = analyze_model(&model, lora_rule, optimizer);
-    let sparse = analyze_model(&model, UpdateRule::Sparse(PaperModel::Llama7b.paper_scheme()), optimizer);
+    let sparse = analyze_model(
+        &model,
+        UpdateRule::Sparse(PaperModel::Llama7b.paper_scheme()),
+        optimizer,
+    );
 
     let gib = |bytes: usize| bytes as f64 / (1024.0 * 1024.0 * 1024.0);
     let latency = |a: &ProgramAnalysis, fw: &FrameworkProfile| {
@@ -297,19 +324,37 @@ pub fn graph_optimization_ablation() -> Vec<AblationRow> {
     let rule = UpdateRule::Sparse(PaperModel::MobileNetV2.paper_scheme());
 
     let configs: Vec<(&str, OptimizeOptions, ScheduleStrategy)> = vec![
-        ("all optimizations", OptimizeOptions::default(), ScheduleStrategy::Reordered),
+        (
+            "all optimizations",
+            OptimizeOptions::default(),
+            ScheduleStrategy::Reordered,
+        ),
         (
             "no fusion",
-            OptimizeOptions { fuse: false, ..OptimizeOptions::default() },
+            OptimizeOptions {
+                fuse: false,
+                ..OptimizeOptions::default()
+            },
             ScheduleStrategy::Reordered,
         ),
         (
             "no winograd",
-            OptimizeOptions { winograd: false, ..OptimizeOptions::default() },
+            OptimizeOptions {
+                winograd: false,
+                ..OptimizeOptions::default()
+            },
             ScheduleStrategy::Reordered,
         ),
-        ("no reordering", OptimizeOptions::default(), ScheduleStrategy::Conventional),
-        ("none", OptimizeOptions::none(), ScheduleStrategy::Conventional),
+        (
+            "no reordering",
+            OptimizeOptions::default(),
+            ScheduleStrategy::Conventional,
+        ),
+        (
+            "none",
+            OptimizeOptions::none(),
+            ScheduleStrategy::Conventional,
+        ),
     ];
 
     configs
@@ -351,7 +396,12 @@ mod tests {
         for p in &points {
             match p.scheme.as_str() {
                 "full-bp" => assert!((p.speedup - 1.0).abs() < 1e-9),
-                _ => assert!(p.speedup > 1.0, "{} {} should beat full-bp", p.model, p.scheme),
+                _ => assert!(
+                    p.speedup > 1.0,
+                    "{} {} should beat full-bp",
+                    p.model,
+                    p.scheme
+                ),
             }
         }
         // ResNet's sparse speedup should exceed MCUNet's (paper: 1.6x vs 1.3x).
@@ -376,7 +426,10 @@ mod tests {
         // Shape of Table 5: PockEngine much faster than PyTorch; sparse faster
         // than full; LoRA saves memory but not much time versus PyTorch full.
         let speedup_full = pytorch_full.iteration_s / pe_full.iteration_s;
-        assert!((2.0..12.0).contains(&speedup_full), "speedup {speedup_full:.1}");
+        assert!(
+            (2.0..12.0).contains(&speedup_full),
+            "speedup {speedup_full:.1}"
+        );
         assert!(pe_sparse.iteration_s < pe_full.iteration_s);
         assert!(lora.memory_gib < pytorch_full.memory_gib);
         assert!(lora.iteration_s > pe_full.iteration_s);
@@ -386,9 +439,15 @@ mod tests {
     #[test]
     fn ablation_shows_every_pass_helps() {
         let rows = graph_optimization_ablation();
-        let all = rows.iter().find(|r| r.config == "all optimizations").unwrap();
+        let all = rows
+            .iter()
+            .find(|r| r.config == "all optimizations")
+            .unwrap();
         let none = rows.iter().find(|r| r.config == "none").unwrap();
-        assert!(none.latency_ms > all.latency_ms, "optimizations must reduce latency");
+        assert!(
+            none.latency_ms > all.latency_ms,
+            "optimizations must reduce latency"
+        );
         // Reordering never hurts memory; for this large-activation workload
         // the peak can be activation-bound, so only require "no worse" here
         // (the MCU case in `memory::mcu_reordering_saving` shows the strict

@@ -54,6 +54,51 @@ use pe_runtime::{Executor, Optimizer, Trainer};
 use pe_sparse::{apply_rule, trainable_elements, UpdateRule};
 
 /// Everything most users need, in one import.
+///
+/// The full round-trip — build a model, compile it, train — goes through
+/// this module alone, and training reduces the loss:
+///
+/// ```
+/// use pockengine::prelude::*;
+///
+/// // Build: a tiny BERT-style classifier on a synthetic GLUE-style task.
+/// let mut rng = Rng::seed_from_u64(0);
+/// let model = build_bert(&BertConfig::tiny(4, 2), &mut rng);
+/// let mut data_rng = Rng::seed_from_u64(1);
+/// let task = generate_nlp_task(
+///     "doc",
+///     NlpTaskConfig {
+///         num_classes: 2,
+///         vocab: 100,
+///         seq_len: 16,
+///         batch: 4,
+///         train_batches: 2,
+///         test_batches: 1,
+///         marker_dropout: 0.0,
+///     },
+///     &mut data_rng,
+/// );
+///
+/// // Compile: full backpropagation with every graph optimisation enabled.
+/// let program = compile(
+///     &model,
+///     &CompileOptions {
+///         optimizer: Optimizer::sgd(0.05),
+///         ..CompileOptions::default()
+///     },
+/// );
+///
+/// // Train: epochs over the task reduce the loss.
+/// let mut trainer = program.into_trainer();
+/// let batches: Vec<Batch> =
+///     task.train.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect();
+/// let first = trainer.train_epoch(&batches).unwrap();
+/// let mut last = first;
+/// for _ in 0..4 {
+///     last = trainer.train_epoch(&batches).unwrap();
+/// }
+/// assert!(last < first, "loss should decrease: {first} -> {last}");
+/// ```
 pub mod prelude {
     pub use crate::{analyze, compile, CompileOptions, CompiledProgram, ProgramAnalysis};
     pub use pe_backends::{DeviceProfile, FrameworkProfile};
@@ -152,9 +197,21 @@ pub fn analyze(model: &BuiltModel, options: &CompileOptions) -> ProgramAnalysis 
     let mut opts = options.optimize;
     opts.reorder_updates = options.schedule == ScheduleStrategy::Reordered;
     let (tg, schedule, stats) = optimize(tg, opts);
-    let memory = memory_report(&tg.graph, &schedule, trainable, options.optimizer.state_slots());
+    let memory = memory_report(
+        &tg.graph,
+        &schedule,
+        trainable,
+        options.optimizer.state_slots(),
+    );
     let logits_name = model.logits_name();
-    ProgramAnalysis { training_graph: tg, schedule, stats, memory, trainable_elements: trainable, logits_name }
+    ProgramAnalysis {
+        training_graph: tg,
+        schedule,
+        stats,
+        memory,
+        trainable_elements: trainable,
+        logits_name,
+    }
 }
 
 /// Compiles a model into an executable training program.
@@ -164,8 +221,11 @@ pub fn analyze(model: &BuiltModel, options: &CompileOptions) -> ProgramAnalysis 
 /// returned program's executor performs no graph work at runtime.
 pub fn compile(model: &BuiltModel, options: &CompileOptions) -> CompiledProgram {
     let analysis = analyze(model, options);
-    let executor =
-        Executor::new(analysis.training_graph.clone(), analysis.schedule.clone(), options.optimizer);
+    let executor = Executor::new(
+        analysis.training_graph.clone(),
+        analysis.schedule.clone(),
+        options.optimizer,
+    );
     CompiledProgram {
         analysis,
         executor,
@@ -180,9 +240,9 @@ mod tests {
     use pe_models::{build_mobilenet, MobileNetV2Config};
     use pe_runtime::Batch;
     use pe_sparse::paper_scheme_mobilenetv2;
+    use pe_sparse::BlockSelector;
     use pe_sparse::SparseScheme;
     use pe_sparse::WeightRule;
-    use pe_sparse::BlockSelector;
     use pe_tensor::Rng;
 
     #[test]
@@ -226,11 +286,22 @@ mod tests {
         let mut data_rng = Rng::seed_from_u64(2);
         let task = pe_data::generate_vision_task(
             "smoke",
-            pe_data::VisionTaskConfig { num_classes: 3, resolution: 16, batch: 8, train_batches: 6, test_batches: 2, noise: 0.3, signal: 1.2 },
+            pe_data::VisionTaskConfig {
+                num_classes: 3,
+                resolution: 16,
+                batch: 8,
+                train_batches: 6,
+                test_batches: 2,
+                noise: 0.3,
+                signal: 1.2,
+            },
             &mut data_rng,
         );
-        let batches: Vec<Batch> =
-            task.train.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect();
+        let batches: Vec<Batch> = task
+            .train
+            .iter()
+            .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+            .collect();
         let first = trainer.train_epoch(&batches).unwrap();
         let mut last = first;
         for _ in 0..3 {

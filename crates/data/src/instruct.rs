@@ -59,7 +59,14 @@ pub struct InstructConfig {
 
 impl Default for InstructConfig {
     fn default() -> Self {
-        InstructConfig { vocab: 64, seq_len: 16, num_args: 5, batch: 8, train_batches: 24, test_batches: 4 }
+        InstructConfig {
+            vocab: 64,
+            seq_len: 16,
+            num_args: 5,
+            batch: 8,
+            train_batches: 24,
+            test_batches: 4,
+        }
     }
 }
 
@@ -84,15 +91,21 @@ fn response_for(task: usize, args: &[usize], vocab: usize) -> Vec<usize> {
 
 /// Generates a synthetic instruction-tuning dataset with next-token labels.
 pub fn generate_instruct_dataset(cfg: InstructConfig, rng: &mut Rng) -> InstructDataset {
-    assert!(cfg.vocab >= 16, "vocabulary must hold the special tokens plus arguments");
-    assert!(cfg.seq_len >= 2 * cfg.num_args + 2, "sequence too short for instruction + response");
+    assert!(
+        cfg.vocab >= 16,
+        "vocabulary must hold the special tokens plus arguments"
+    );
+    assert!(
+        cfg.seq_len >= 2 * cfg.num_args + 2,
+        "sequence too short for instruction + response"
+    );
     let tasks = [tokens::TASK_COPY, tokens::TASK_REVERSE, tokens::TASK_SHIFT];
 
-    let mut make = |n_batches: usize, rng: &mut Rng| -> Vec<(Tensor, Tensor)> {
+    let make = |n_batches: usize, rng: &mut Rng| -> Vec<(Tensor, Tensor)> {
         (0..n_batches)
             .map(|_| {
-                let mut ids = Tensor::zeros(&[cfg.batch, cfg.seq_len]);
-                let mut labels = Tensor::zeros(&[cfg.batch, cfg.seq_len]);
+                let mut ids = Tensor::zeros([cfg.batch, cfg.seq_len]);
+                let mut labels = Tensor::zeros([cfg.batch, cfg.seq_len]);
                 for i in 0..cfg.batch {
                     let task = tasks[rng.next_usize(tasks.len())];
                     let args: Vec<usize> = (0..cfg.num_args)
@@ -108,7 +121,11 @@ pub fn generate_instruct_dataset(cfg: InstructConfig, rng: &mut Rng) -> Instruct
                     for t in 0..cfg.seq_len {
                         ids.set(&[i, t], seq[t] as f32);
                         // Next-token labels (teacher forcing): label[t] = seq[t+1].
-                        let next = if t + 1 < cfg.seq_len { seq[t + 1] } else { tokens::PAD };
+                        let next = if t + 1 < cfg.seq_len {
+                            seq[t + 1]
+                        } else {
+                            tokens::PAD
+                        };
                         labels.set(&[i, t], next as f32);
                     }
                 }
@@ -140,7 +157,13 @@ pub fn response_accuracy(logits: &Tensor, ids: &Tensor, labels: &Tensor, num_arg
             let pred = row
                 .iter()
                 .enumerate()
-                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (j, &v)| if v > bv { (j, v) } else { (bi, bv) })
+                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (j, &v)| {
+                    if v > bv {
+                        (j, v)
+                    } else {
+                        (bi, bv)
+                    }
+                })
                 .0;
             let truth = labels.at(&[i, t]) as usize;
             if truth == tokens::PAD {
@@ -191,20 +214,32 @@ mod tests {
     fn copy_task_response_matches_args() {
         let args = vec![10, 12, 14];
         assert_eq!(response_for(tokens::TASK_COPY, &args, 64), vec![10, 12, 14]);
-        assert_eq!(response_for(tokens::TASK_REVERSE, &args, 64), vec![14, 12, 10]);
-        assert_eq!(response_for(tokens::TASK_SHIFT, &args, 64), vec![11, 13, 15]);
-        assert_eq!(response_for(tokens::TASK_SHIFT, &[63], 64), vec![tokens::ARG_BASE]);
+        assert_eq!(
+            response_for(tokens::TASK_REVERSE, &args, 64),
+            vec![14, 12, 10]
+        );
+        assert_eq!(
+            response_for(tokens::TASK_SHIFT, &args, 64),
+            vec![11, 13, 15]
+        );
+        assert_eq!(
+            response_for(tokens::TASK_SHIFT, &[63], 64),
+            vec![tokens::ARG_BASE]
+        );
     }
 
     #[test]
     fn response_accuracy_of_perfect_predictions_is_one() {
         let mut rng = Rng::seed_from_u64(2);
-        let cfg = InstructConfig { batch: 4, ..InstructConfig::default() };
+        let cfg = InstructConfig {
+            batch: 4,
+            ..InstructConfig::default()
+        };
         let d = generate_instruct_dataset(cfg, &mut rng);
         let (ids, labels) = &d.test[0];
         // Build one-hot logits that exactly match the labels.
         let (b, s) = (ids.dims()[0], ids.dims()[1]);
-        let mut logits = Tensor::zeros(&[b, s, cfg.vocab]);
+        let mut logits = Tensor::zeros([b, s, cfg.vocab]);
         for i in 0..b {
             for t in 0..s {
                 let truth = labels.at(&[i, t]) as usize;
@@ -214,7 +249,7 @@ mod tests {
         let acc = response_accuracy(&logits, ids, labels, cfg.num_args);
         assert!((acc - 1.0).abs() < 1e-6);
         // Uniform logits should be far from perfect.
-        let uniform = Tensor::zeros(&[b, s, cfg.vocab]);
+        let uniform = Tensor::zeros([b, s, cfg.vocab]);
         assert!(response_accuracy(&uniform, ids, labels, cfg.num_args) < 0.5);
     }
 }

@@ -63,18 +63,26 @@ impl Default for NlpTaskConfig {
 /// (for the second half of the classes) in ascending positions relative to a
 /// shared pivot token, forcing some order sensitivity.
 pub fn generate_nlp_task(name: &str, cfg: NlpTaskConfig, rng: &mut Rng) -> NlpTask {
-    assert!(cfg.vocab > 10 + cfg.num_classes, "vocab too small for marker tokens");
-    let mut make = |n_batches: usize, rng: &mut Rng| -> Vec<(Tensor, Tensor)> {
+    assert!(
+        cfg.vocab > 10 + cfg.num_classes,
+        "vocab too small for marker tokens"
+    );
+    let make = |n_batches: usize, rng: &mut Rng| -> Vec<(Tensor, Tensor)> {
         (0..n_batches)
             .map(|_| {
-                let mut ids = Tensor::zeros(&[cfg.batch, cfg.seq_len]);
-                let mut labels = Tensor::zeros(&[cfg.batch]);
+                let mut ids = Tensor::zeros([cfg.batch, cfg.seq_len]);
+                let mut labels = Tensor::zeros([cfg.batch]);
                 for i in 0..cfg.batch {
                     let cls = rng.next_usize(cfg.num_classes);
                     labels.data_mut()[i] = cls as f32;
                     // Background tokens.
                     for t in 0..cfg.seq_len {
-                        ids.set(&[i, t], (10 + cfg.num_classes + rng.next_usize(cfg.vocab - 10 - cfg.num_classes)) as f32);
+                        ids.set(
+                            &[i, t],
+                            (10 + cfg.num_classes
+                                + rng.next_usize(cfg.vocab - 10 - cfg.num_classes))
+                                as f32,
+                        );
                     }
                     // Insert class markers (possibly dropped to add noise).
                     let marker = (10 + cls) as f32;
@@ -150,7 +158,10 @@ mod tests {
     #[test]
     fn sequences_contain_class_markers() {
         let mut rng = Rng::seed_from_u64(1);
-        let cfg = NlpTaskConfig { marker_dropout: 0.0, ..NlpTaskConfig::default() };
+        let cfg = NlpTaskConfig {
+            marker_dropout: 0.0,
+            ..NlpTaskConfig::default()
+        };
         let t = generate_nlp_task("demo", cfg, &mut rng);
         let (x, y) = &t.train[0];
         for i in 0..16 {
@@ -165,7 +176,10 @@ mod tests {
     fn table3_covers_the_seven_tasks() {
         let tasks = table3_nlp_tasks(16, 8, 64, 3);
         assert_eq!(tasks.len(), 7);
-        assert_eq!(tasks.iter().find(|t| t.name == "mnli").unwrap().num_classes, 3);
+        assert_eq!(
+            tasks.iter().find(|t| t.name == "mnli").unwrap().num_classes,
+            3
+        );
         assert!(tasks.iter().all(|t| !t.train.is_empty()));
     }
 
@@ -173,6 +187,13 @@ mod tests {
     #[should_panic(expected = "vocab too small")]
     fn tiny_vocab_is_rejected() {
         let mut rng = Rng::seed_from_u64(0);
-        generate_nlp_task("bad", NlpTaskConfig { vocab: 8, ..NlpTaskConfig::default() }, &mut rng);
+        generate_nlp_task(
+            "bad",
+            NlpTaskConfig {
+                vocab: 8,
+                ..NlpTaskConfig::default()
+            },
+            &mut rng,
+        );
     }
 }

@@ -64,17 +64,17 @@ pub fn generate_vision_task(name: &str, cfg: VisionTaskConfig, rng: &mut Rng) ->
     let r = cfg.resolution;
     // Class templates: a first-order template per class plus a pair of masks
     // whose *product* carries extra class evidence (non-linear component).
-    let templates: Vec<Tensor> = (0..c).map(|_| Tensor::randn(&[3, r, r], 1.0, rng)).collect();
-    let mask_a: Vec<Tensor> = (0..c).map(|_| Tensor::randn(&[r, r], 1.0, rng)).collect();
-    let mask_b: Vec<Tensor> = (0..c).map(|_| Tensor::randn(&[r, r], 1.0, rng)).collect();
+    let templates: Vec<Tensor> = (0..c).map(|_| Tensor::randn([3, r, r], 1.0, rng)).collect();
+    let mask_a: Vec<Tensor> = (0..c).map(|_| Tensor::randn([r, r], 1.0, rng)).collect();
+    let mask_b: Vec<Tensor> = (0..c).map(|_| Tensor::randn([r, r], 1.0, rng)).collect();
     // Domain shift shared by every sample of the task.
-    let shift = Tensor::randn(&[3, r, r], 0.3, rng);
+    let shift = Tensor::randn([3, r, r], 0.3, rng);
 
-    let mut make_batches = |n_batches: usize, rng: &mut Rng| -> Vec<(Tensor, Tensor)> {
+    let make_batches = |n_batches: usize, rng: &mut Rng| -> Vec<(Tensor, Tensor)> {
         (0..n_batches)
             .map(|_| {
-                let mut images = Tensor::zeros(&[cfg.batch, 3, r, r]);
-                let mut labels = Tensor::zeros(&[cfg.batch]);
+                let mut images = Tensor::zeros([cfg.batch, 3, r, r]);
+                let mut labels = Tensor::zeros([cfg.batch]);
                 for i in 0..cfg.batch {
                     let cls = rng.next_usize(c);
                     labels.data_mut()[i] = cls as f32;
@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn different_classes_have_different_means() {
         let mut rng = Rng::seed_from_u64(1);
-        let cfg = VisionTaskConfig { noise: 0.1, ..VisionTaskConfig::default() };
+        let cfg = VisionTaskConfig {
+            noise: 0.1,
+            ..VisionTaskConfig::default()
+        };
         let t = generate_vision_task("demo", cfg, &mut rng);
         // Average images per class across the training set; class means must
         // be distinguishable.
@@ -168,8 +171,11 @@ mod tests {
         for i in 0..16 {
             let cls = y.data()[i] as usize;
             counts[cls] += 1;
-            for j in 0..plane {
-                per_class[cls][j] += x.data()[i * plane + j];
+            for (acc, &v) in per_class[cls]
+                .iter_mut()
+                .zip(&x.data()[i * plane..(i + 1) * plane])
+            {
+                *acc += v;
             }
         }
         let mut distinct_pairs = 0;
@@ -198,7 +204,10 @@ mod tests {
         assert_eq!(tasks.len(), 7);
         let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
         assert!(names.contains(&"vww") && names.contains(&"cars"));
-        assert_eq!(tasks.iter().find(|t| t.name == "vww").unwrap().num_classes, 2);
+        assert_eq!(
+            tasks.iter().find(|t| t.name == "vww").unwrap().num_classes,
+            2
+        );
     }
 
     #[test]

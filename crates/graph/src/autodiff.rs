@@ -73,7 +73,7 @@ impl TrainingGraph {
 /// Panics if `loss` is not a scalar node, or if the graph contains an op with
 /// no registered VJP rule on a path that requires gradients.
 pub fn build_training_graph(graph: Graph, loss: NodeId, spec: &TrainSpec) -> TrainingGraph {
-    let mut ad = Autodiff::new(graph, spec.clone());
+    let ad = Autodiff::new(graph, spec.clone());
     ad.run(loss)
 }
 
@@ -90,7 +90,12 @@ struct Autodiff {
 impl Autodiff {
     fn new(graph: Graph, spec: TrainSpec) -> Self {
         let n = graph.len();
-        Autodiff { graph, spec, requires_grad: vec![false; n], partials: HashMap::new() }
+        Autodiff {
+            graph,
+            spec,
+            requires_grad: vec![false; n],
+            partials: HashMap::new(),
+        }
     }
 
     fn train_kind(&self, param: NodeId) -> TrainKind {
@@ -110,8 +115,15 @@ impl Autodiff {
         }
     }
 
-    fn emit(&mut self, op: OpKind, inputs: Vec<NodeId>, shape: impl Into<Shape>, name: String) -> NodeId {
-        self.graph.push_node(op, inputs, shape.into(), DType::F32, name)
+    fn emit(
+        &mut self,
+        op: OpKind,
+        inputs: Vec<NodeId>,
+        shape: impl Into<Shape>,
+        name: String,
+    ) -> NodeId {
+        self.graph
+            .push_node(op, inputs, shape.into(), DType::F32, name)
     }
 
     fn dims(&self, id: NodeId) -> Vec<usize> {
@@ -144,17 +156,33 @@ impl Autodiff {
             grad
         } else {
             let name = format!("grad_bcast.{}", self.graph.node(operand).name);
-            self.emit(OpKind::BroadcastGradTo { dims: o_dims.clone() }, vec![grad], o_dims, name)
+            self.emit(
+                OpKind::BroadcastGradTo {
+                    dims: o_dims.clone(),
+                },
+                vec![grad],
+                o_dims,
+                name,
+            )
         }
     }
 
     fn run(mut self, loss: NodeId) -> TrainingGraph {
-        assert_eq!(self.graph.node(loss).shape.rank(), 0, "the loss must be a scalar node");
+        assert_eq!(
+            self.graph.node(loss).shape.rank(),
+            0,
+            "the loss must be a scalar node"
+        );
         self.compute_requires_grad();
 
         // Seed: dL/dL = 1.
         let seed = {
-            let id = self.emit(OpKind::Constant, vec![], Shape::scalar(), "grad.seed".to_string());
+            let id = self.emit(
+                OpKind::Constant,
+                vec![],
+                Shape::scalar(),
+                "grad.seed".to_string(),
+            );
             self.graph.mark_constant(id, Tensor::scalar(1.0));
             id
         };
@@ -168,7 +196,9 @@ impl Autodiff {
             if !self.requires_grad[idx] {
                 continue;
             }
-            let Some(grad) = self.finalize_grad(id) else { continue };
+            let Some(grad) = self.finalize_grad(id) else {
+                continue;
+            };
 
             let node = self.graph.node(id).clone();
             match node.op {
@@ -190,7 +220,12 @@ impl Autodiff {
                 _ => None,
             };
             let name = format!("update.{}", self.graph.node(pid).name);
-            let u = self.emit(OpKind::ApplyUpdate { param: pid, rows }, vec![grad], Shape::scalar(), name);
+            let u = self.emit(
+                OpKind::ApplyUpdate { param: pid, rows },
+                vec![grad],
+                Shape::scalar(),
+                name,
+            );
             updates.push(u);
         }
 
@@ -200,12 +235,22 @@ impl Autodiff {
             self.graph.push_output(u);
         }
 
-        TrainingGraph { graph: self.graph, loss, param_grads, updates }
+        TrainingGraph {
+            graph: self.graph,
+            loss,
+            param_grads,
+            updates,
+        }
     }
 
     /// Emits vector-Jacobian products of `node` given the gradient of its
     /// output, accumulating partials into the node's inputs.
-    fn emit_vjps(&mut self, node: &crate::graph::Node, dy: NodeId, param_grads: &mut HashMap<NodeId, NodeId>) {
+    fn emit_vjps(
+        &mut self,
+        node: &crate::graph::Node,
+        dy: NodeId,
+        param_grads: &mut HashMap<NodeId, NodeId>,
+    ) {
         let id = node.id;
         let inputs = node.inputs.clone();
         let needs: Vec<bool> = inputs.iter().map(|i| self.requires_grad[i.0]).collect();
@@ -213,11 +258,17 @@ impl Autodiff {
 
         match node.op.clone() {
             OpKind::MatMul { trans_a, trans_b } => {
-                assert!(!trans_a, "autodiff supports matmul with trans_a = false only");
+                assert!(
+                    !trans_a,
+                    "autodiff supports matmul with trans_a = false only"
+                );
                 let (a, b) = (inputs[0], inputs[1]);
                 if needs[0] {
                     let da = self.emit(
-                        OpKind::MatMul { trans_a: false, trans_b: !trans_b },
+                        OpKind::MatMul {
+                            trans_a: false,
+                            trans_b: !trans_b,
+                        },
                         vec![dy, b],
                         self.dims(a),
                         gname("lhs"),
@@ -236,14 +287,21 @@ impl Autodiff {
                         TrainKind::Channels(k) if trans_b => {
                             let dyd = self.dims(dy);
                             let sliced = self.emit(
-                                OpKind::Slice { axis: 1, start: 0, len: k },
+                                OpKind::Slice {
+                                    axis: 1,
+                                    start: 0,
+                                    len: k,
+                                },
                                 vec![dy],
                                 vec![dyd[0], k],
                                 gname("dy_rows"),
                             );
                             let bd = self.dims(b);
                             let db = self.emit(
-                                OpKind::MatMul { trans_a: true, trans_b: false },
+                                OpKind::MatMul {
+                                    trans_a: true,
+                                    trans_b: false,
+                                },
                                 vec![sliced, a],
                                 vec![k, bd[1]],
                                 gname("rhs_rows"),
@@ -254,7 +312,10 @@ impl Autodiff {
                             let db = if trans_b {
                                 // y = a bᵀ, b is [n, k]: db = dyᵀ a.
                                 self.emit(
-                                    OpKind::MatMul { trans_a: true, trans_b: false },
+                                    OpKind::MatMul {
+                                        trans_a: true,
+                                        trans_b: false,
+                                    },
                                     vec![dy, a],
                                     self.dims(b),
                                     gname("rhs"),
@@ -262,7 +323,10 @@ impl Autodiff {
                             } else {
                                 // y = a b: db = aᵀ dy.
                                 self.emit(
-                                    OpKind::MatMul { trans_a: true, trans_b: false },
+                                    OpKind::MatMul {
+                                        trans_a: true,
+                                        trans_b: false,
+                                    },
                                     vec![a, dy],
                                     self.dims(b),
                                     gname("rhs"),
@@ -274,11 +338,17 @@ impl Autodiff {
                 }
             }
             OpKind::BatchMatMul { trans_a, trans_b } => {
-                assert!(!trans_a, "autodiff supports batch_matmul with trans_a = false only");
+                assert!(
+                    !trans_a,
+                    "autodiff supports batch_matmul with trans_a = false only"
+                );
                 let (a, b) = (inputs[0], inputs[1]);
                 if needs[0] {
                     let da = self.emit(
-                        OpKind::BatchMatMul { trans_a: false, trans_b: !trans_b },
+                        OpKind::BatchMatMul {
+                            trans_a: false,
+                            trans_b: !trans_b,
+                        },
                         vec![dy, b],
                         self.dims(a),
                         gname("lhs"),
@@ -288,14 +358,20 @@ impl Autodiff {
                 if needs[1] {
                     let db = if trans_b {
                         self.emit(
-                            OpKind::BatchMatMul { trans_a: true, trans_b: false },
+                            OpKind::BatchMatMul {
+                                trans_a: true,
+                                trans_b: false,
+                            },
                             vec![dy, a],
                             self.dims(b),
                             gname("rhs"),
                         )
                     } else {
                         self.emit(
-                            OpKind::BatchMatMul { trans_a: true, trans_b: false },
+                            OpKind::BatchMatMul {
+                                trans_a: true,
+                                trans_b: false,
+                            },
                             vec![a, dy],
                             self.dims(b),
                             gname("rhs"),
@@ -308,7 +384,10 @@ impl Autodiff {
                 let (x, w) = (inputs[0], inputs[1]);
                 if needs[0] {
                     let dx = self.emit(
-                        OpKind::Conv2dGradInput { params, x_dims: self.dims(x) },
+                        OpKind::Conv2dGradInput {
+                            params,
+                            x_dims: self.dims(x),
+                        },
                         vec![dy, w],
                         self.dims(x),
                         gname("input"),
@@ -324,10 +403,17 @@ impl Autodiff {
                     let w_dims = self.dims(w);
                     match kind {
                         TrainKind::Channels(k) => {
-                            assert_eq!(params.groups, 1, "channel-sparse conv update requires groups == 1");
+                            assert_eq!(
+                                params.groups, 1,
+                                "channel-sparse conv update requires groups == 1"
+                            );
                             let dyd = self.dims(dy);
                             let sliced = self.emit(
-                                OpKind::Slice { axis: 1, start: 0, len: k },
+                                OpKind::Slice {
+                                    axis: 1,
+                                    start: 0,
+                                    len: k,
+                                },
                                 vec![dy],
                                 vec![dyd[0], k, dyd[2], dyd[3]],
                                 gname("dy_channels"),
@@ -335,7 +421,10 @@ impl Autodiff {
                             let mut gshape = w_dims.clone();
                             gshape[0] = k;
                             let dw = self.emit(
-                                OpKind::Conv2dGradWeight { params, w_dims: w_dims.clone() },
+                                OpKind::Conv2dGradWeight {
+                                    params,
+                                    w_dims: w_dims.clone(),
+                                },
                                 vec![x, sliced],
                                 gshape,
                                 gname("weight_channels"),
@@ -344,7 +433,10 @@ impl Autodiff {
                         }
                         _ => {
                             let dw = self.emit(
-                                OpKind::Conv2dGradWeight { params, w_dims: w_dims.clone() },
+                                OpKind::Conv2dGradWeight {
+                                    params,
+                                    w_dims: w_dims.clone(),
+                                },
                                 vec![x, dy],
                                 w_dims,
                                 gname("weight"),
@@ -368,7 +460,12 @@ impl Autodiff {
                     self.add_partial(inputs[0], g);
                 }
                 if needs[1] {
-                    let neg = self.emit(OpKind::Scale { factor: -1.0 }, vec![dy], self.dims(dy), gname("neg"));
+                    let neg = self.emit(
+                        OpKind::Scale { factor: -1.0 },
+                        vec![dy],
+                        self.dims(dy),
+                        gname("neg"),
+                    );
                     let g = self.reduce_to_operand(neg, inputs[1]);
                     self.add_partial(inputs[1], g);
                 }
@@ -396,9 +493,14 @@ impl Autodiff {
                 if needs[1] {
                     // db = -dy * a / b^2
                     let b2 = self.emit(OpKind::Mul, vec![b, b], self.dims(b), gname("den"));
-                    let quotient = self.emit(OpKind::Div, vec![a, b2], self.dims(dy), gname("quot"));
-                    let scaled =
-                        self.emit(OpKind::Scale { factor: -1.0 }, vec![quotient], self.dims(dy), gname("negquot"));
+                    let quotient =
+                        self.emit(OpKind::Div, vec![a, b2], self.dims(dy), gname("quot"));
+                    let scaled = self.emit(
+                        OpKind::Scale { factor: -1.0 },
+                        vec![quotient],
+                        self.dims(dy),
+                        gname("negquot"),
+                    );
                     let db = self.emit(OpKind::Mul, vec![dy, scaled], self.dims(dy), gname("rhs"));
                     let g = self.reduce_to_operand(db, b);
                     self.add_partial(b, g);
@@ -406,7 +508,12 @@ impl Autodiff {
             }
             OpKind::Scale { factor } => {
                 if needs[0] {
-                    let g = self.emit(OpKind::Scale { factor }, vec![dy], self.dims(dy), gname("x"));
+                    let g = self.emit(
+                        OpKind::Scale { factor },
+                        vec![dy],
+                        self.dims(dy),
+                        gname("x"),
+                    );
                     self.add_partial(inputs[0], g);
                 }
             }
@@ -439,7 +546,12 @@ impl Autodiff {
                         OpKind::Gelu => OpKind::GeluGrad,
                         _ => OpKind::SiluGrad,
                     };
-                    let g = self.emit(grad_op, vec![inputs[0], dy], self.dims(inputs[0]), gname("x"));
+                    let g = self.emit(
+                        grad_op,
+                        vec![inputs[0], dy],
+                        self.dims(inputs[0]),
+                        gname("x"),
+                    );
                     self.add_partial(inputs[0], g);
                 }
             }
@@ -458,20 +570,37 @@ impl Autodiff {
             OpKind::Reshape { .. } => {
                 if needs[0] {
                     let x_dims = self.dims(inputs[0]);
-                    let g = self.emit(OpKind::Reshape { dims: x_dims.clone() }, vec![dy], x_dims, gname("x"));
+                    let g = self.emit(
+                        OpKind::Reshape {
+                            dims: x_dims.clone(),
+                        },
+                        vec![dy],
+                        x_dims,
+                        gname("x"),
+                    );
                     self.add_partial(inputs[0], g);
                 }
             }
             OpKind::Transpose2d => {
                 if needs[0] {
-                    let g = self.emit(OpKind::Transpose2d, vec![dy], self.dims(inputs[0]), gname("x"));
+                    let g = self.emit(
+                        OpKind::Transpose2d,
+                        vec![dy],
+                        self.dims(inputs[0]),
+                        gname("x"),
+                    );
                     self.add_partial(inputs[0], g);
                 }
             }
             OpKind::Permute { perm } => {
                 if needs[0] {
                     let inv = pe_tensor::kernels::layout::inverse_perm(&perm);
-                    let g = self.emit(OpKind::Permute { perm: inv }, vec![dy], self.dims(inputs[0]), gname("x"));
+                    let g = self.emit(
+                        OpKind::Permute { perm: inv },
+                        vec![dy],
+                        self.dims(inputs[0]),
+                        gname("x"),
+                    );
                     self.add_partial(inputs[0], g);
                 }
             }
@@ -479,7 +608,11 @@ impl Autodiff {
                 if needs[0] {
                     let full = self.dims(inputs[0]);
                     let g = self.emit(
-                        OpKind::Unslice { axis, start, full_dims: full.clone() },
+                        OpKind::Unslice {
+                            axis,
+                            start,
+                            full_dims: full.clone(),
+                        },
                         vec![dy],
                         full,
                         gname("x"),
@@ -493,7 +626,11 @@ impl Autodiff {
                     let len = self.dims(input)[axis];
                     if needs[slot] {
                         let g = self.emit(
-                            OpKind::Slice { axis, start: offset, len },
+                            OpKind::Slice {
+                                axis,
+                                start: offset,
+                                len,
+                            },
                             vec![dy],
                             self.dims(input),
                             gname("part"),
@@ -507,7 +644,10 @@ impl Autodiff {
                 if needs[0] {
                     let x_dims = self.dims(inputs[0]);
                     let g = self.emit(
-                        OpKind::AvgPool2dGrad { params, x_dims: x_dims.clone() },
+                        OpKind::AvgPool2dGrad {
+                            params,
+                            x_dims: x_dims.clone(),
+                        },
                         vec![dy],
                         x_dims,
                         gname("x"),
@@ -530,7 +670,9 @@ impl Autodiff {
                 if needs[0] {
                     let x_dims = self.dims(inputs[0]);
                     let g = self.emit(
-                        OpKind::GlobalAvgPoolGrad { x_dims: x_dims.clone() },
+                        OpKind::GlobalAvgPoolGrad {
+                            x_dims: x_dims.clone(),
+                        },
                         vec![dy],
                         x_dims,
                         gname("x"),
@@ -589,7 +731,10 @@ impl Autodiff {
                 if needs[0] {
                     let td = self.dims(table);
                     let g = self.emit(
-                        OpKind::EmbeddingGrad { vocab: td[0], dim: td[1] },
+                        OpKind::EmbeddingGrad {
+                            vocab: td[0],
+                            dim: td[1],
+                        },
                         vec![ids, dy],
                         td,
                         gname("table"),
@@ -610,11 +755,18 @@ impl Autodiff {
                 }
             }
             OpKind::Reduce { op, axes, .. } => {
-                assert!(op != ReduceOp::Max, "max-reduce differentiation is not supported");
+                assert!(
+                    op != ReduceOp::Max,
+                    "max-reduce differentiation is not supported"
+                );
                 if needs[0] {
                     let input_dims = self.dims(inputs[0]);
                     let g = self.emit(
-                        OpKind::ReduceGrad { op, axes, input_dims: input_dims.clone() },
+                        OpKind::ReduceGrad {
+                            op,
+                            axes,
+                            input_dims: input_dims.clone(),
+                        },
                         vec![dy],
                         input_dims,
                         gname("x"),
@@ -679,14 +831,23 @@ mod tests {
 
     #[test]
     fn bias_only_skips_weight_gradients() {
-        let (tg, _) = mlp(|name| if name.ends_with("bias") { TrainKind::Full } else { TrainKind::Frozen });
+        let (tg, _) = mlp(|name| {
+            if name.ends_with("bias") {
+                TrainKind::Full
+            } else {
+                TrainKind::Frozen
+            }
+        });
         assert_eq!(tg.trainable_param_count(), 3);
         // No Conv2dGradWeight / weight-producing matmul gradients: every grad
         // feeding an update must be a BiasGrad.
         for &u in &tg.updates {
             let gid = tg.graph.node(u).inputs[0];
-            assert!(matches!(tg.graph.node(gid).op, OpKind::BiasGrad), "expected BiasGrad, got {:?}",
-                tg.graph.node(gid).op);
+            assert!(
+                matches!(tg.graph.node(gid).op, OpKind::BiasGrad),
+                "expected BiasGrad, got {:?}",
+                tg.graph.node(gid).op
+            );
         }
     }
 
@@ -694,7 +855,13 @@ mod tests {
     fn sparse_bp_stops_backprop_before_frozen_prefix() {
         // Only the last layer trains: no gradient should flow through the
         // first linear layer at all.
-        let (tg_last, _) = mlp(|name| if name.starts_with("fc2") { TrainKind::Full } else { TrainKind::Frozen });
+        let (tg_last, _) = mlp(|name| {
+            if name.starts_with("fc2") {
+                TrainKind::Full
+            } else {
+                TrainKind::Frozen
+            }
+        });
         let (tg_full, _) = mlp(|_| TrainKind::Full);
         assert!(
             tg_last.graph.backward_node_count() < tg_full.graph.backward_node_count(),
@@ -706,7 +873,10 @@ mod tests {
             .nodes()
             .iter()
             .any(|n| n.name.contains("grad.") && n.name.contains("fc0"));
-        assert!(!has_fc0_grad, "no gradient nodes should reference the frozen first layer");
+        assert!(
+            !has_fc0_grad,
+            "no gradient nodes should reference the frozen first layer"
+        );
     }
 
     #[test]
@@ -764,7 +934,11 @@ mod tests {
         let loss = b.cross_entropy(y, labels);
         let g = b.finish(vec![loss]);
         let tg = build_training_graph(g, loss, &TrainSpec::new());
-        let has_acc = tg.graph.nodes().iter().any(|n| n.name.starts_with("grad_acc."));
+        let has_acc = tg
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| n.name.starts_with("grad_acc."));
         assert!(has_acc, "expected a gradient accumulation node");
         assert!(tg.graph.validate().is_empty());
     }

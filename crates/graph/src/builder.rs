@@ -41,7 +41,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        GraphBuilder { graph: Graph::new(), defer_init: false }
+        GraphBuilder {
+            graph: Graph::new(),
+            defer_init: false,
+        }
     }
 
     /// Creates a builder that defers parameter initialisation.
@@ -50,7 +53,10 @@ impl GraphBuilder {
     /// billions of parameters) that are only analysed by the cost models and
     /// memory planner, never executed: no initial tensors are allocated.
     pub fn new_deferred() -> Self {
-        GraphBuilder { graph: Graph::new(), defer_init: true }
+        GraphBuilder {
+            graph: Graph::new(),
+            defer_init: true,
+        }
     }
 
     /// Whether parameters are being created without materialised initial
@@ -80,8 +86,15 @@ impl GraphBuilder {
         &self.graph
     }
 
-    fn push(&mut self, op: OpKind, inputs: Vec<NodeId>, shape: impl Into<Shape>, name: String) -> NodeId {
-        self.graph.push_node(op, inputs, shape.into(), DType::F32, name)
+    fn push(
+        &mut self,
+        op: OpKind,
+        inputs: Vec<NodeId>,
+        shape: impl Into<Shape>,
+        name: String,
+    ) -> NodeId {
+        self.graph
+            .push_node(op, inputs, shape.into(), DType::F32, name)
     }
 
     fn auto_name(&self, mnemonic: &str) -> String {
@@ -101,15 +114,26 @@ impl GraphBuilder {
 
     /// Adds a parameter with explicit role and initial value.
     pub fn parameter(&mut self, name: &str, role: ParamRole, init: Tensor) -> NodeId {
-        let id = self.push(OpKind::Parameter, vec![], init.shape().clone(), name.to_string());
+        let id = self.push(
+            OpKind::Parameter,
+            vec![],
+            init.shape().clone(),
+            name.to_string(),
+        );
         self.graph.mark_param(id, role, init);
         id
     }
 
     /// Adds a parameter whose initial value is deferred (never allocated).
-    pub fn parameter_deferred(&mut self, name: &str, role: ParamRole, dims: impl Into<Shape>) -> NodeId {
+    pub fn parameter_deferred(
+        &mut self,
+        name: &str,
+        role: ParamRole,
+        dims: impl Into<Shape>,
+    ) -> NodeId {
         let id = self.push(OpKind::Parameter, vec![], dims, name.to_string());
-        self.graph.mark_param(id, role, crate::graph::ParamInit::Deferred);
+        self.graph
+            .mark_param(id, role, crate::graph::ParamInit::Deferred);
         id
     }
 
@@ -130,7 +154,7 @@ impl GraphBuilder {
         if self.defer_init {
             return self.parameter_deferred(name, ParamRole::Bias, [n]);
         }
-        self.parameter(name, ParamRole::Bias, Tensor::zeros(&[n]))
+        self.parameter(name, ParamRole::Bias, Tensor::zeros([n]))
     }
 
     /// Adds a ones-initialised normalisation scale parameter of length `n`.
@@ -138,7 +162,7 @@ impl GraphBuilder {
         if self.defer_init {
             return self.parameter_deferred(name, ParamRole::NormScale, [n]);
         }
-        self.parameter(name, ParamRole::NormScale, Tensor::ones(&[n]))
+        self.parameter(name, ParamRole::NormScale, Tensor::ones([n]))
     }
 
     /// Adds a zeros-initialised normalisation shift parameter of length `n`.
@@ -146,21 +170,32 @@ impl GraphBuilder {
         if self.defer_init {
             return self.parameter_deferred(name, ParamRole::NormBias, [n]);
         }
-        self.parameter(name, ParamRole::NormBias, Tensor::zeros(&[n]))
+        self.parameter(name, ParamRole::NormBias, Tensor::zeros([n]))
     }
 
     /// Adds an embedding table parameter `[vocab, dim]`.
-    pub fn embedding_table(&mut self, name: &str, vocab: usize, dim: usize, rng: &mut Rng) -> NodeId {
+    pub fn embedding_table(
+        &mut self,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut Rng,
+    ) -> NodeId {
         if self.defer_init {
             return self.parameter_deferred(name, ParamRole::Embedding, [vocab, dim]);
         }
-        let init = Tensor::randn(&[vocab, dim], 0.02, rng);
+        let init = Tensor::randn([vocab, dim], 0.02, rng);
         self.parameter(name, ParamRole::Embedding, init)
     }
 
     /// Adds a constant tensor whose value is baked into the graph.
     pub fn constant(&mut self, name: &str, value: Tensor) -> NodeId {
-        let id = self.push(OpKind::Constant, vec![], value.shape().clone(), name.to_string());
+        let id = self.push(
+            OpKind::Constant,
+            vec![],
+            value.shape().clone(),
+            name.to_string(),
+        );
         self.graph.mark_constant(id, value);
         id
     }
@@ -175,11 +210,24 @@ impl GraphBuilder {
         let bd = self.dims_of(b);
         assert_eq!(ad.len(), 2, "matmul lhs must be rank 2");
         assert_eq!(bd.len(), 2, "matmul rhs must be rank 2");
-        let (m, k) = if trans_a { (ad[1], ad[0]) } else { (ad[0], ad[1]) };
-        let (kb, n) = if trans_b { (bd[1], bd[0]) } else { (bd[0], bd[1]) };
+        let (m, k) = if trans_a {
+            (ad[1], ad[0])
+        } else {
+            (ad[0], ad[1])
+        };
+        let (kb, n) = if trans_b {
+            (bd[1], bd[0])
+        } else {
+            (bd[0], bd[1])
+        };
         assert_eq!(k, kb, "matmul contraction mismatch");
         let name = self.auto_name("matmul");
-        self.push(OpKind::MatMul { trans_a, trans_b }, vec![a, b], [m, n], name)
+        self.push(
+            OpKind::MatMul { trans_a, trans_b },
+            vec![a, b],
+            [m, n],
+            name,
+        )
     }
 
     /// Batched matrix multiply over identical leading dims.
@@ -187,7 +235,10 @@ impl GraphBuilder {
         let ad = self.dims_of(a);
         let bd = self.dims_of(b);
         let r = ad.len();
-        assert!(r >= 3 && bd.len() == r, "batch_matmul requires equal rank >= 3");
+        assert!(
+            r >= 3 && bd.len() == r,
+            "batch_matmul requires equal rank >= 3"
+        );
         assert_eq!(&ad[..r - 2], &bd[..r - 2], "batch dims mismatch");
         let (am, ak) = (ad[r - 2], ad[r - 1]);
         let (bm, bk) = (bd[r - 2], bd[r - 1]);
@@ -198,7 +249,12 @@ impl GraphBuilder {
         out.push(m);
         out.push(n);
         let name = self.auto_name("bmm");
-        self.push(OpKind::BatchMatMul { trans_a, trans_b }, vec![a, b], out, name)
+        self.push(
+            OpKind::BatchMatMul { trans_a, trans_b },
+            vec![a, b],
+            out,
+            name,
+        )
     }
 
     /// Fully-connected layer `y = x · Wᵀ (+ bias)`.
@@ -434,19 +490,40 @@ impl GraphBuilder {
     /// Mean cross-entropy loss (scalar output).
     pub fn cross_entropy(&mut self, logits: NodeId, targets: NodeId) -> NodeId {
         let name = self.auto_name("cross_entropy");
-        self.push(OpKind::CrossEntropyLoss, vec![logits, targets], Shape::scalar(), name)
+        self.push(
+            OpKind::CrossEntropyLoss,
+            vec![logits, targets],
+            Shape::scalar(),
+            name,
+        )
     }
 
     /// Reduction over axes.
     pub fn reduce(&mut self, x: NodeId, op: ReduceOp, axes: Vec<usize>, keep_dims: bool) -> NodeId {
         let d = self.dims_of(x);
         let out: Vec<usize> = if keep_dims {
-            d.iter().enumerate().map(|(i, &s)| if axes.contains(&i) { 1 } else { s }).collect()
+            d.iter()
+                .enumerate()
+                .map(|(i, &s)| if axes.contains(&i) { 1 } else { s })
+                .collect()
         } else {
-            d.iter().enumerate().filter(|(i, _)| !axes.contains(i)).map(|(_, &s)| s).collect()
+            d.iter()
+                .enumerate()
+                .filter(|(i, _)| !axes.contains(i))
+                .map(|(_, &s)| s)
+                .collect()
         };
         let name = self.auto_name("reduce");
-        self.push(OpKind::Reduce { op, axes, keep_dims }, vec![x], out, name)
+        self.push(
+            OpKind::Reduce {
+                op,
+                axes,
+                keep_dims,
+            },
+            vec![x],
+            out,
+            name,
+        )
     }
 }
 

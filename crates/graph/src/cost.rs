@@ -20,7 +20,10 @@ pub struct NodeCost {
 impl NodeCost {
     /// Sums two costs.
     pub fn combine(self, other: NodeCost) -> NodeCost {
-        NodeCost { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+        NodeCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
     }
 }
 
@@ -28,7 +31,11 @@ impl NodeCost {
 pub fn node_cost(graph: &Graph, id: NodeId) -> NodeCost {
     let node = graph.node(id);
     let out_elems = node.shape.numel() as u64;
-    let in_bytes: u64 = node.inputs.iter().map(|&i| graph.node(i).size_bytes() as u64).sum();
+    let in_bytes: u64 = node
+        .inputs
+        .iter()
+        .map(|&i| graph.node(i).size_bytes() as u64)
+        .sum();
     let bytes = in_bytes + node.size_bytes() as u64;
 
     let dims_of = |i: usize| graph.node(node.inputs[i]).shape.dims().to_vec();
@@ -47,7 +54,11 @@ pub fn node_cost(graph: &Graph, id: NodeId) -> NodeCost {
             let b = dims_of(1);
             let r = a.len();
             let batch: usize = a[..r - 2].iter().product();
-            let (m, k) = if *trans_a { (a[r - 1], a[r - 2]) } else { (a[r - 2], a[r - 1]) };
+            let (m, k) = if *trans_a {
+                (a[r - 1], a[r - 2])
+            } else {
+                (a[r - 2], a[r - 1])
+            };
             let n = if *trans_b { b[r - 2] } else { b[r - 1] };
             matmul_flops(m, k, n, batch)
         }
@@ -102,7 +113,11 @@ pub fn node_cost(graph: &Graph, id: NodeId) -> NodeCost {
         | OpKind::Softmax
         | OpKind::SoftmaxGrad => 8 * out_elems,
         OpKind::Reduce { .. } | OpKind::ReduceGrad { .. } => {
-            let in_elems: u64 = node.inputs.iter().map(|&i| graph.node(i).shape.numel() as u64).sum();
+            let in_elems: u64 = node
+                .inputs
+                .iter()
+                .map(|&i| graph.node(i).shape.numel() as u64)
+                .sum();
             in_elems.max(out_elems)
         }
         OpKind::AvgPool2d(p) | OpKind::MaxPool2d(p) => out_elems * (p.kernel * p.kernel) as u64,
@@ -129,7 +144,9 @@ pub fn node_cost(graph: &Graph, id: NodeId) -> NodeCost {
 
 /// Total cost of a set of nodes (e.g. a schedule).
 pub fn total_cost(graph: &Graph, ids: &[NodeId]) -> NodeCost {
-    ids.iter().fold(NodeCost::default(), |acc, &id| acc.combine(node_cost(graph, id)))
+    ids.iter().fold(NodeCost::default(), |acc, &id| {
+        acc.combine(node_cost(graph, id))
+    })
 }
 
 /// Total cost of every node in the graph.
@@ -140,8 +157,8 @@ pub fn graph_cost(graph: &Graph) -> NodeCost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::GraphBuilder;
     use crate::autodiff::{build_training_graph, TrainSpec};
+    use crate::builder::GraphBuilder;
     use crate::op::TrainKind;
     use pe_tensor::kernels::conv::Conv2dParams;
     use pe_tensor::Rng;
@@ -188,7 +205,10 @@ mod tests {
             let tg = build_training_graph(graph, loss, &spec);
             graph_cost(&tg.graph).flops
         };
-        assert!(sparse < full, "channel-sparse training graph must be cheaper ({sparse} vs {full})");
+        assert!(
+            sparse < full,
+            "channel-sparse training graph must be cheaper ({sparse} vs {full})"
+        );
     }
 
     #[test]

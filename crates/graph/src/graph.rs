@@ -172,12 +172,18 @@ impl Graph {
 
     /// Looks up a parameter node by name.
     pub fn find_param(&self, name: &str) -> Option<NodeId> {
-        self.params.keys().copied().find(|id| self.node(*id).name == name)
+        self.params
+            .keys()
+            .copied()
+            .find(|id| self.node(*id).name == name)
     }
 
     /// Total number of parameter elements.
     pub fn param_count(&self) -> usize {
-        self.params.keys().map(|id| self.node(*id).shape.numel()).sum()
+        self.params
+            .keys()
+            .map(|id| self.node(*id).shape.numel())
+            .sum()
     }
 
     /// Appends a node, assigning the next id.
@@ -193,7 +199,14 @@ impl Graph {
             assert!(i.0 < self.nodes.len(), "input {i} does not exist yet");
         }
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, op, inputs, shape, dtype, name: name.into() });
+        self.nodes.push(Node {
+            id,
+            op,
+            inputs,
+            shape,
+            dtype,
+            name: name.into(),
+        });
         id
     }
 
@@ -208,8 +221,15 @@ impl Graph {
     ///
     /// Panics if the node is not a constant or the value shape mismatches.
     pub fn mark_constant(&mut self, id: NodeId, value: Tensor) {
-        assert!(matches!(self.node(id).op, OpKind::Constant), "not a constant node");
-        assert_eq!(value.shape(), &self.node(id).shape, "constant value shape mismatch");
+        assert!(
+            matches!(self.node(id).op, OpKind::Constant),
+            "not a constant node"
+        );
+        assert_eq!(
+            value.shape(),
+            &self.node(id).shape,
+            "constant value shape mismatch"
+        );
         self.constants.insert(id, value);
     }
 
@@ -233,7 +253,14 @@ impl Graph {
                 "parameter init shape must match the node shape"
             );
         }
-        self.params.insert(id, ParamInfo { node: id, role, init });
+        self.params.insert(
+            id,
+            ParamInfo {
+                node: id,
+                role,
+                init,
+            },
+        );
     }
 
     /// Consumers of each node, indexed by node id.
@@ -300,7 +327,9 @@ impl Graph {
         }
         for id in self.params.keys() {
             if !matches!(self.node(*id).op, OpKind::Parameter) {
-                problems.push(format!("param metadata attached to non-parameter node {id}"));
+                problems.push(format!(
+                    "param metadata attached to non-parameter node {id}"
+                ));
             }
         }
         problems
@@ -338,12 +367,27 @@ mod tests {
 
     fn tiny_graph() -> Graph {
         let mut g = Graph::new();
-        let x = g.push_node(OpKind::Input, vec![], Shape::new(vec![2, 3]), DType::F32, "x");
+        let x = g.push_node(
+            OpKind::Input,
+            vec![],
+            Shape::new(vec![2, 3]),
+            DType::F32,
+            "x",
+        );
         g.mark_input(x);
-        let w = g.push_node(OpKind::Parameter, vec![], Shape::new(vec![4, 3]), DType::F32, "w");
-        g.mark_param(w, ParamRole::Weight, Tensor::zeros(&[4, 3]));
+        let w = g.push_node(
+            OpKind::Parameter,
+            vec![],
+            Shape::new(vec![4, 3]),
+            DType::F32,
+            "w",
+        );
+        g.mark_param(w, ParamRole::Weight, Tensor::zeros([4, 3]));
         let y = g.push_node(
-            OpKind::MatMul { trans_a: false, trans_b: true },
+            OpKind::MatMul {
+                trans_a: false,
+                trans_b: true,
+            },
             vec![x, w],
             Shape::new(vec![2, 4]),
             DType::F32,
@@ -388,15 +432,27 @@ mod tests {
     #[should_panic(expected = "does not exist yet")]
     fn forward_reference_panics() {
         let mut g = Graph::new();
-        g.push_node(OpKind::Relu, vec![NodeId(5)], Shape::new(vec![1]), DType::F32, "bad");
+        g.push_node(
+            OpKind::Relu,
+            vec![NodeId(5)],
+            Shape::new(vec![1]),
+            DType::F32,
+            "bad",
+        );
     }
 
     #[test]
     fn param_init_shape_checked() {
         let mut g = Graph::new();
-        let w = g.push_node(OpKind::Parameter, vec![], Shape::new(vec![2, 2]), DType::F32, "w");
+        let w = g.push_node(
+            OpKind::Parameter,
+            vec![],
+            Shape::new(vec![2, 2]),
+            DType::F32,
+            "w",
+        );
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            g.mark_param(w, ParamRole::Weight, Tensor::zeros(&[3, 3]));
+            g.mark_param(w, ParamRole::Weight, Tensor::zeros([3, 3]));
         }));
         assert!(result.is_err());
     }
@@ -416,7 +472,11 @@ mod tests {
         let bad = NodeId(2);
         g.params.insert(
             bad,
-            ParamInfo { node: bad, role: ParamRole::Weight, init: Tensor::zeros(&[2, 4]).into() },
+            ParamInfo {
+                node: bad,
+                role: ParamRole::Weight,
+                init: Tensor::zeros([2, 4]).into(),
+            },
         );
         assert!(!g.validate().is_empty());
     }

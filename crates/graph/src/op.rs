@@ -469,13 +469,24 @@ mod tests {
     fn op_classification() {
         assert!(OpKind::Input.is_leaf());
         assert!(!OpKind::Add.is_leaf());
-        assert!(OpKind::Conv2dGradWeight { params: Conv2dParams::default(), w_dims: vec![1, 1, 3, 3] }
-            .is_backward());
+        assert!(OpKind::Conv2dGradWeight {
+            params: Conv2dParams::default(),
+            w_dims: vec![1, 1, 3, 3]
+        }
+        .is_backward());
         assert!(!OpKind::Conv2d(Conv2dParams::default()).is_backward());
-        assert!(OpKind::MatMul { trans_a: false, trans_b: false }.is_compute_intensive());
+        assert!(OpKind::MatMul {
+            trans_a: false,
+            trans_b: false
+        }
+        .is_compute_intensive());
         assert!(!OpKind::Relu.is_compute_intensive());
         assert!(OpKind::Relu.is_fusible_activation());
-        assert!(OpKind::ApplyUpdate { param: NodeId(0), rows: None }.is_update());
+        assert!(OpKind::ApplyUpdate {
+            param: NodeId(0),
+            rows: None
+        }
+        .is_update());
     }
 
     #[test]

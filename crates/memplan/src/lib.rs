@@ -82,7 +82,10 @@ impl MemoryReport {
 }
 
 fn is_persistent(graph: &Graph, id: NodeId) -> bool {
-    matches!(graph.node(id).op, OpKind::Parameter | OpKind::Constant | OpKind::Input)
+    matches!(
+        graph.node(id).op,
+        OpKind::Parameter | OpKind::Constant | OpKind::Input
+    )
 }
 
 /// Computes the lifetime of every transient buffer under the given schedule.
@@ -145,7 +148,9 @@ pub fn plan_memory(graph: &Graph, schedule: &Schedule) -> MemoryPlan {
     let peak_transient_bytes = peak as usize;
 
     // Best-fit offsets.
-    let mut order: Vec<usize> = (0..graph.len()).filter(|&i| lifetimes[i].is_some()).collect();
+    let mut order: Vec<usize> = (0..graph.len())
+        .filter(|&i| lifetimes[i].is_some())
+        .collect();
     order.sort_by_key(|&i| std::cmp::Reverse(graph.node(NodeId(i)).size_bytes()));
     let mut placed: Vec<(usize, usize, Lifetime)> = Vec::new(); // (offset, size, lifetime)
     let mut offsets: Vec<Option<usize>> = vec![None; graph.len()];
@@ -178,7 +183,12 @@ pub fn plan_memory(graph: &Graph, schedule: &Schedule) -> MemoryPlan {
         placed.push((candidate, size, (def, last)));
     }
 
-    MemoryPlan { lifetimes, offsets, arena_bytes, peak_transient_bytes }
+    MemoryPlan {
+        lifetimes,
+        offsets,
+        arena_bytes,
+        peak_transient_bytes,
+    }
 }
 
 /// Produces the full training-memory breakdown for a scheduled graph.
@@ -194,9 +204,16 @@ pub fn memory_report(
     optimizer_slots: usize,
 ) -> MemoryReport {
     let plan = plan_memory(graph, schedule);
-    let params_bytes: usize =
-        graph.params().keys().map(|id| graph.node(*id).size_bytes()).sum();
-    let input_bytes: usize = graph.inputs().iter().map(|id| graph.node(*id).size_bytes()).sum();
+    let params_bytes: usize = graph
+        .params()
+        .keys()
+        .map(|id| graph.node(*id).size_bytes())
+        .sum();
+    let input_bytes: usize = graph
+        .inputs()
+        .iter()
+        .map(|id| graph.node(*id).size_bytes())
+        .sum();
     MemoryReport {
         params_bytes,
         optimizer_bytes: trainable_elements * 4 * optimizer_slots,
@@ -247,7 +264,10 @@ mod tests {
             match lt {
                 Some((def, last)) => {
                     assert!(def <= last);
-                    assert!(!matches!(tg.graph.node(id).op, OpKind::Parameter | OpKind::Input));
+                    assert!(!matches!(
+                        tg.graph.node(id).op,
+                        OpKind::Parameter | OpKind::Input
+                    ));
                 }
                 None => {
                     assert!(is_persistent(&tg.graph, id) || !schedule.order.contains(&id));
@@ -273,7 +293,8 @@ mod tests {
         let n = tg.graph.len();
         for a in 0..n {
             for b in (a + 1)..n {
-                let (Some((da, la)), Some((db, lb))) = (plan.lifetimes[a], plan.lifetimes[b]) else {
+                let (Some((da, la)), Some((db, lb))) = (plan.lifetimes[a], plan.lifetimes[b])
+                else {
                     continue;
                 };
                 // Overlapping lifetimes must not overlap in the arena.
@@ -281,8 +302,10 @@ mod tests {
                     continue;
                 }
                 let (oa, ob) = (plan.offsets[a].unwrap(), plan.offsets[b].unwrap());
-                let (sa, sb) =
-                    (tg.graph.node(NodeId(a)).size_bytes(), tg.graph.node(NodeId(b)).size_bytes());
+                let (sa, sb) = (
+                    tg.graph.node(NodeId(a)).size_bytes(),
+                    tg.graph.node(NodeId(b)).size_bytes(),
+                );
                 if sa == 0 || sb == 0 {
                     continue;
                 }
@@ -311,7 +334,13 @@ mod tests {
     fn sparse_bp_reduces_peak_memory() {
         let full = mlp(8, |_, _| TrainKind::Full);
         // Only the last two layers train (layer-sparse scheme).
-        let sparse = mlp(8, |i, _| if i >= 7 { TrainKind::Full } else { TrainKind::Frozen });
+        let sparse = mlp(8, |i, _| {
+            if i >= 7 {
+                TrainKind::Full
+            } else {
+                TrainKind::Frozen
+            }
+        });
         let sched_full = build_schedule(&full.graph, ScheduleStrategy::Reordered);
         let sched_sparse = build_schedule(&sparse.graph, ScheduleStrategy::Reordered);
         let peak_full = plan_memory(&full.graph, &sched_full).peak_transient_bytes;
@@ -326,8 +355,7 @@ mod tests {
     fn report_totals_add_up() {
         let tg = mlp(2, |_, _| TrainKind::Full);
         let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
-        let report =
-            memory_report(&tg.graph, &schedule, tg.trainable_element_count(), 2);
+        let report = memory_report(&tg.graph, &schedule, tg.trainable_element_count(), 2);
         assert_eq!(
             report.total_bytes(),
             report.params_bytes + report.optimizer_bytes + report.input_bytes + report.arena_bytes
@@ -339,11 +367,22 @@ mod tests {
     #[test]
     fn optimizer_state_scales_with_trainable_elements() {
         let full = mlp(4, |_, _| TrainKind::Full);
-        let bias_only = mlp(4, |_, role| if role == "bias" { TrainKind::Full } else { TrainKind::Frozen });
+        let bias_only = mlp(4, |_, role| {
+            if role == "bias" {
+                TrainKind::Full
+            } else {
+                TrainKind::Frozen
+            }
+        });
         let s_full = build_schedule(&full.graph, ScheduleStrategy::Reordered);
         let s_bias = build_schedule(&bias_only.graph, ScheduleStrategy::Reordered);
         let r_full = memory_report(&full.graph, &s_full, full.trainable_element_count(), 2);
-        let r_bias = memory_report(&bias_only.graph, &s_bias, bias_only.trainable_element_count(), 2);
+        let r_bias = memory_report(
+            &bias_only.graph,
+            &s_bias,
+            bias_only.trainable_element_count(),
+            2,
+        );
         assert!(r_bias.optimizer_bytes < r_full.optimizer_bytes / 10);
     }
 
@@ -353,6 +392,9 @@ mod tests {
         let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
         let plan = plan_memory(&tg.graph, &schedule);
         let profile = plan.live_bytes_profile(&tg.graph, &schedule);
-        assert_eq!(profile.iter().copied().max().unwrap_or(0), plan.peak_transient_bytes);
+        assert_eq!(
+            profile.iter().copied().max().unwrap_or(0),
+            plan.peak_transient_bytes
+        );
     }
 }

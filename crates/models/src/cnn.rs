@@ -28,7 +28,12 @@ pub struct MbBlockSpec {
 impl MbBlockSpec {
     /// Convenience constructor.
     pub fn new(expansion: usize, out_channels: usize, stride: usize, kernel: usize) -> Self {
-        MbBlockSpec { expansion, out_channels, stride, kernel }
+        MbBlockSpec {
+            expansion,
+            out_channels,
+            stride,
+            kernel,
+        }
     }
 }
 
@@ -122,7 +127,9 @@ pub fn mcunet_5fps_config(batch: usize) -> MobileNetV2Config {
     // Kernel sizes follow the MCUNet block listing in the paper's Figure 5
     // (3/5/7 mixture); channels follow a compact TinyML progression.
     let kernels = [3, 5, 3, 7, 3, 5, 5, 7, 5, 5, 5, 5, 5, 7, 7, 5, 7];
-    let channels = [8, 16, 16, 16, 24, 24, 24, 40, 40, 40, 48, 48, 96, 96, 96, 160, 160];
+    let channels = [
+        8, 16, 16, 16, 24, 24, 24, 40, 40, 40, 48, 48, 96, 96, 96, 160, 160,
+    ];
     let strides = [1, 2, 1, 1, 2, 1, 1, 2, 1, 1, 1, 1, 2, 1, 1, 1, 1];
     let expansions = [1, 3, 3, 3, 3, 3, 3, 6, 3, 3, 6, 3, 3, 3, 6, 3, 6];
     let blocks = (0..17)
@@ -164,7 +171,11 @@ pub fn mcunet_tiny_config(batch: usize, num_classes: usize) -> MobileNetV2Config
 
 /// Builds a MobileNetV2 / MCUNet-style model.
 pub fn build_mobilenet(config: &MobileNetV2Config, rng: &mut Rng) -> BuiltModel {
-    let mut b = if config.deferred { GraphBuilder::new_deferred() } else { GraphBuilder::new() };
+    let mut b = if config.deferred {
+        GraphBuilder::new_deferred()
+    } else {
+        GraphBuilder::new()
+    };
     let r = config.resolution;
     let x = b.input("x", [config.batch, 3, r, r]);
     let labels = b.input("labels", [config.batch]);
@@ -187,7 +198,11 @@ pub fn build_mobilenet(config: &MobileNetV2Config, rng: &mut Rng) -> BuiltModel 
 
         // conv1: point-wise expansion (the layer the paper finds most
         // important to update in each block).
-        let w1 = b.weight(&format!("{prefix}.conv1.weight"), [hidden, in_ch, 1, 1], rng);
+        let w1 = b.weight(
+            &format!("{prefix}.conv1.weight"),
+            [hidden, in_ch, 1, 1],
+            rng,
+        );
         let b1 = b.bias(&format!("{prefix}.conv1.bias"), hidden);
         h = b.conv2d(h, w1, Conv2dParams::new(1, 0));
         h = b.add_bias(h, b1);
@@ -195,14 +210,26 @@ pub fn build_mobilenet(config: &MobileNetV2Config, rng: &mut Rng) -> BuiltModel 
 
         // conv2: depthwise.
         let pad = spec.kernel / 2;
-        let w2 = b.weight(&format!("{prefix}.conv2.weight"), [hidden, 1, spec.kernel, spec.kernel], rng);
+        let w2 = b.weight(
+            &format!("{prefix}.conv2.weight"),
+            [hidden, 1, spec.kernel, spec.kernel],
+            rng,
+        );
         let b2 = b.bias(&format!("{prefix}.conv2.bias"), hidden);
-        h = b.conv2d(h, w2, Conv2dParams::new(spec.stride, pad).with_groups(hidden));
+        h = b.conv2d(
+            h,
+            w2,
+            Conv2dParams::new(spec.stride, pad).with_groups(hidden),
+        );
         h = b.add_bias(h, b2);
         h = b.relu6(h);
 
         // conv3: point-wise projection (linear bottleneck, no activation).
-        let w3 = b.weight(&format!("{prefix}.conv3.weight"), [out_ch, hidden, 1, 1], rng);
+        let w3 = b.weight(
+            &format!("{prefix}.conv3.weight"),
+            [out_ch, hidden, 1, 1],
+            rng,
+        );
         let b3 = b.bias(&format!("{prefix}.conv3.bias"), out_ch);
         h = b.conv2d(h, w3, Conv2dParams::new(1, 0));
         h = b.add_bias(h, b3);
@@ -292,7 +319,11 @@ impl ResNetConfig {
 
 /// Builds a ResNet-style model from bottleneck blocks.
 pub fn build_resnet(config: &ResNetConfig, rng: &mut Rng) -> BuiltModel {
-    let mut b = if config.deferred { GraphBuilder::new_deferred() } else { GraphBuilder::new() };
+    let mut b = if config.deferred {
+        GraphBuilder::new_deferred()
+    } else {
+        GraphBuilder::new()
+    };
     let r = config.resolution;
     let x = b.input("x", [config.batch, 3, r, r]);
     let labels = b.input("labels", [config.batch]);
@@ -338,7 +369,11 @@ pub fn build_resnet(config: &ResNetConfig, rng: &mut Rng) -> BuiltModel {
 
             // Projection shortcut when the shape changes.
             let shortcut = if stride != 1 || in_ch != out_ch {
-                let ws = b.weight(&format!("{prefix}.downsample.weight"), [out_ch, in_ch, 1, 1], rng);
+                let ws = b.weight(
+                    &format!("{prefix}.downsample.weight"),
+                    [out_ch, in_ch, 1, 1],
+                    rng,
+                );
                 let bs = b.bias(&format!("{prefix}.downsample.bias"), out_ch);
                 let s = b.conv2d(block_in, ws, Conv2dParams::new(stride, 0));
                 b.add_bias(s, bs)
@@ -383,7 +418,10 @@ mod tests {
         assert_eq!(m.num_blocks, 4);
         assert_eq!(m.graph.node(m.logits).shape.dims(), &[2, 5]);
         assert!(m.param_count() > 0);
-        assert!(m.named_params().iter().any(|(_, n)| n == "blocks.1.conv1.weight"));
+        assert!(m
+            .named_params()
+            .iter()
+            .any(|(_, n)| n == "blocks.1.conv1.weight"));
     }
 
     #[test]
@@ -395,7 +433,10 @@ mod tests {
         // MobileNetV2-1.0 has ~3.4M parameters; our BN-fused variant with
         // biases should land in the same ballpark.
         let params = m.param_count();
-        assert!((2_000_000..6_000_000).contains(&params), "params = {params}");
+        assert!(
+            (2_000_000..6_000_000).contains(&params),
+            "params = {params}"
+        );
     }
 
     #[test]
@@ -427,7 +468,10 @@ mod tests {
         assert!(m.graph.validate().is_empty());
         assert_eq!(m.num_blocks, 2);
         assert_eq!(m.graph.node(m.logits).shape.dims(), &[2, 4]);
-        assert!(m.named_params().iter().any(|(_, n)| n == "blocks.0.downsample.weight"));
+        assert!(m
+            .named_params()
+            .iter()
+            .any(|(_, n)| n == "blocks.0.downsample.weight"));
     }
 
     #[test]
@@ -436,7 +480,10 @@ mod tests {
         let m = build_resnet(&ResNetConfig::resnet50(4), &mut rng);
         let params = m.param_count();
         // ResNet-50 has ~25.6M parameters.
-        assert!((20_000_000..30_000_000).contains(&params), "params = {params}");
+        assert!(
+            (20_000_000..30_000_000).contains(&params),
+            "params = {params}"
+        );
         assert_eq!(m.num_blocks, 16);
     }
 }

@@ -56,7 +56,11 @@ impl BertConfig {
 
     /// DistilBERT-base (6 blocks, hidden 768).
     pub fn distilbert(batch: usize, num_classes: usize) -> Self {
-        BertConfig { name: "distilbert".to_string(), num_blocks: 6, ..Self::bert_base(batch, num_classes) }
+        BertConfig {
+            name: "distilbert".to_string(),
+            num_blocks: 6,
+            ..Self::bert_base(batch, num_classes)
+        }
     }
 
     /// An ALBERT-like configuration (12 blocks, hidden 768, small FFN).
@@ -65,7 +69,11 @@ impl BertConfig {
     /// parameters (the IR has no aliasing), so only the *compute* graph
     /// matches — which is what the latency experiments use it for.
     pub fn albert(batch: usize, num_classes: usize) -> Self {
-        BertConfig { name: "albert".to_string(), ffn: 3072, ..Self::bert_base(batch, num_classes) }
+        BertConfig {
+            name: "albert".to_string(),
+            ffn: 3072,
+            ..Self::bert_base(batch, num_classes)
+        }
     }
 
     /// A tiny encoder that trains in milliseconds, for tests and examples.
@@ -102,9 +110,17 @@ fn attention(
     rng: &mut Rng,
 ) -> NodeId {
     let dh = hidden / heads;
-    let mut proj = |b: &mut GraphBuilder, name: &str, rng: &mut Rng| {
-        let w = b.weight(&format!("{prefix}.attn.{name}.weight"), [hidden, hidden], rng);
-        let bias = if with_bias { Some(b.bias(&format!("{prefix}.attn.{name}.bias"), hidden)) } else { None };
+    let proj = |b: &mut GraphBuilder, name: &str, rng: &mut Rng| {
+        let w = b.weight(
+            &format!("{prefix}.attn.{name}.weight"),
+            [hidden, hidden],
+            rng,
+        );
+        let bias = if with_bias {
+            Some(b.bias(&format!("{prefix}.attn.{name}.bias"), hidden))
+        } else {
+            None
+        };
         (w, bias)
     };
     let (wq, bq) = proj(b, "q", rng);
@@ -140,7 +156,11 @@ fn attention(
 /// Builds a BERT-style sequence classifier (token embedding + positional
 /// embedding, post-LN encoder blocks, CLS-token classification head).
 pub fn build_bert(config: &BertConfig, rng: &mut Rng) -> BuiltModel {
-    let mut b = if config.deferred { GraphBuilder::new_deferred() } else { GraphBuilder::new() };
+    let mut b = if config.deferred {
+        GraphBuilder::new_deferred()
+    } else {
+        GraphBuilder::new()
+    };
     let (n, t, h) = (config.batch, config.seq_len, config.hidden);
 
     let ids = b.input("ids", [n, t]);
@@ -150,7 +170,7 @@ pub fn build_bert(config: &BertConfig, rng: &mut Rng) -> BuiltModel {
     let pos_table = b.embedding_table("embed.positions", t, h, rng);
     let pos_ids = b.constant(
         "embed.position_ids",
-        Tensor::from_vec((0..t).map(|i| i as f32).collect(), &[t]),
+        Tensor::from_vec((0..t).map(|i| i as f32).collect(), [t]),
     );
     let tok = b.embedding(tok_table, ids);
     let pos = b.embedding(pos_table, pos_ids); // [T, H] broadcasts over batch
@@ -267,7 +287,11 @@ impl LlamaConfig {
 /// Inputs: `ids` of shape `[batch, seq_len]` and `labels` of shape
 /// `[batch, seq_len]` (already shifted by the data pipeline).
 pub fn build_llama(config: &LlamaConfig, rng: &mut Rng) -> BuiltModel {
-    let mut b = if config.deferred { GraphBuilder::new_deferred() } else { GraphBuilder::new() };
+    let mut b = if config.deferred {
+        GraphBuilder::new_deferred()
+    } else {
+        GraphBuilder::new()
+    };
     let (n, t, h) = (config.batch, config.seq_len, config.hidden);
 
     let ids = b.input("ids", [n, t]);
@@ -277,7 +301,7 @@ pub fn build_llama(config: &LlamaConfig, rng: &mut Rng) -> BuiltModel {
     let mut hid = b.embedding(tok_table, ids);
 
     // Additive causal mask: 0 on/below the diagonal, -1e9 above.
-    let mut mask = Tensor::zeros(&[t, t]);
+    let mut mask = Tensor::zeros([t, t]);
     for i in 0..t {
         for j in (i + 1)..t {
             mask.set(&[i, j], -1e9);
@@ -289,8 +313,18 @@ pub fn build_llama(config: &LlamaConfig, rng: &mut Rng) -> BuiltModel {
         let prefix = format!("blocks.{i}");
         let g1 = b.norm_scale(&format!("{prefix}.norm1.gamma"), h);
         let normed = b.rms_norm(hid, g1, 1e-6);
-        let attn_out =
-            attention(&mut b, normed, &prefix, h, config.heads, n, t, false, Some(mask), rng);
+        let attn_out = attention(
+            &mut b,
+            normed,
+            &prefix,
+            h,
+            config.heads,
+            n,
+            t,
+            false,
+            Some(mask),
+            rng,
+        );
         let res1 = b.add(hid, attn_out);
 
         let g2 = b.norm_scale(&format!("{prefix}.norm2.gamma"), h);
@@ -335,8 +369,14 @@ mod tests {
         let m = build_bert(&BertConfig::tiny(2, 3), &mut rng);
         assert!(m.graph.validate().is_empty());
         assert_eq!(m.graph.node(m.logits).shape.dims(), &[2, 3]);
-        assert!(m.named_params().iter().any(|(_, n)| n == "blocks.1.attn.q.weight"));
-        assert!(m.named_params().iter().any(|(_, n)| n == "blocks.0.ffn.fc1.weight"));
+        assert!(m
+            .named_params()
+            .iter()
+            .any(|(_, n)| n == "blocks.1.attn.q.weight"));
+        assert!(m
+            .named_params()
+            .iter()
+            .any(|(_, n)| n == "blocks.0.ffn.fc1.weight"));
     }
 
     #[test]
@@ -345,7 +385,10 @@ mod tests {
         let m = build_bert(&BertConfig::bert_base(1, 2), &mut rng);
         // BERT-base has ~110M parameters.
         let params = m.param_count();
-        assert!((90_000_000..130_000_000).contains(&params), "params = {params}");
+        assert!(
+            (90_000_000..130_000_000).contains(&params),
+            "params = {params}"
+        );
         assert_eq!(m.num_blocks, 12);
     }
 
@@ -362,8 +405,14 @@ mod tests {
         let m = build_llama(&LlamaConfig::tiny(2, 8), &mut rng);
         assert!(m.graph.validate().is_empty());
         assert_eq!(m.graph.node(m.logits).shape.dims(), &[2, 8, 64]);
-        assert!(m.named_params().iter().any(|(_, n)| n == "blocks.0.ffn.gate.weight"));
-        assert!(m.named_params().iter().any(|(_, n)| n == "blocks.1.norm2.gamma"));
+        assert!(m
+            .named_params()
+            .iter()
+            .any(|(_, n)| n == "blocks.0.ffn.gate.weight"));
+        assert!(m
+            .named_params()
+            .iter()
+            .any(|(_, n)| n == "blocks.1.norm2.gamma"));
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub fn switch_frozen_convs_to_winograd(tg: &mut TrainingGraph) -> BackendSwitchS
     for idx in 0..graph.len() {
         let id = NodeId(idx);
         let node = graph.node(id);
-        let OpKind::Conv2d(params) = node.op else { continue };
+        let OpKind::Conv2d(params) = node.op else {
+            continue;
+        };
         let weight = node.inputs[1];
         let wdims = graph.node(weight).shape.dims().to_vec();
         let eligible = params.stride == 1
@@ -47,7 +49,9 @@ pub fn switch_frozen_convs_to_winograd(tg: &mut TrainingGraph) -> BackendSwitchS
             stats.kept_dense_trainable += 1;
             continue;
         }
-        graph.node_mut(id).op = OpKind::WinogradConv2d { padding: params.padding };
+        graph.node_mut(id).op = OpKind::WinogradConv2d {
+            padding: params.padding,
+        };
         stats.winograd_converted += 1;
     }
     stats
@@ -88,7 +92,11 @@ mod tests {
         let stats = switch_frozen_convs_to_winograd(&mut tg);
         assert_eq!(stats.winograd_converted, 1);
         assert_eq!(stats.kept_dense_trainable, 1);
-        assert!(tg.graph.nodes().iter().any(|n| matches!(n.op, OpKind::WinogradConv2d { .. })));
+        assert!(tg
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, OpKind::WinogradConv2d { .. })));
     }
 
     #[test]

@@ -67,7 +67,13 @@ pub fn eliminate_dead_code(tg: &TrainingGraph) -> (TrainingGraph, DceStats) {
             new_graph.mark_input(ni);
         }
     }
-    new_graph.set_outputs(graph.outputs().iter().filter_map(|o| remap[o.index()]).collect());
+    new_graph.set_outputs(
+        graph
+            .outputs()
+            .iter()
+            .filter_map(|o| remap[o.index()])
+            .collect(),
+    );
     for (id, info) in graph.params() {
         if let Some(ni) = remap[id.index()] {
             new_graph.mark_param(ni, info.role, info.init.clone());
@@ -84,7 +90,10 @@ pub fn eliminate_dead_code(tg: &TrainingGraph) -> (TrainingGraph, DceStats) {
         let id = NodeId(idx);
         if let pe_graph::OpKind::ApplyUpdate { param, rows } = new_graph.node(id).op.clone() {
             let new_param = remap[param.index()].expect("updated parameter must stay live");
-            new_graph.node_mut(id).op = pe_graph::OpKind::ApplyUpdate { param: new_param, rows };
+            new_graph.node_mut(id).op = pe_graph::OpKind::ApplyUpdate {
+                param: new_param,
+                rows,
+            };
         }
     }
 
@@ -98,8 +107,16 @@ pub fn eliminate_dead_code(tg: &TrainingGraph) -> (TrainingGraph, DceStats) {
 
     let nodes_after = new_graph.len();
     (
-        TrainingGraph { graph: new_graph, loss, param_grads, updates },
-        DceStats { nodes_before, nodes_after },
+        TrainingGraph {
+            graph: new_graph,
+            loss,
+            param_grads,
+            updates,
+        },
+        DceStats {
+            nodes_before,
+            nodes_after,
+        },
     )
 }
 
@@ -129,9 +146,16 @@ mod tests {
     fn removes_unreachable_nodes() {
         let tg = fixture();
         let (pruned, stats) = eliminate_dead_code(&tg);
-        assert!(stats.removed() >= 2, "the dangling relu/scale chain must be removed");
+        assert!(
+            stats.removed() >= 2,
+            "the dangling relu/scale chain must be removed"
+        );
         assert!(pruned.graph.validate().is_empty());
-        assert!(!pruned.graph.nodes().iter().any(|n| n.name.starts_with("scale_")));
+        assert!(!pruned
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| n.name.starts_with("scale_")));
     }
 
     #[test]

@@ -124,8 +124,16 @@ mod tests {
         assert_eq!(stats.bias_activation, 1);
         assert_eq!(stats.add_relu, 1);
         assert_eq!(stats.total(), 2);
-        assert!(tg.graph.nodes().iter().any(|n| matches!(n.op, OpKind::BiasRelu)));
-        assert!(tg.graph.nodes().iter().any(|n| matches!(n.op, OpKind::AddRelu)));
+        assert!(tg
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, OpKind::BiasRelu)));
+        assert!(tg
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, OpKind::AddRelu)));
     }
 
     #[test]
@@ -153,7 +161,11 @@ mod tests {
         let mut tg = build_training_graph(g, loss, &spec);
         let stats = fuse_operators(&mut tg);
         assert!(stats.bias_activation >= 1);
-        assert!(tg.graph.nodes().iter().any(|n| matches!(n.op, OpKind::BiasGelu)));
+        assert!(tg
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, OpKind::BiasGelu)));
     }
 
     #[test]
@@ -164,7 +176,10 @@ mod tests {
         fuse_operators(&mut fused);
         let (pruned, _) = eliminate_dead_code(&fused);
         let after = launch_count(&pruned.graph);
-        assert!(after < before, "fusion + DCE must reduce kernel launches ({after} vs {before})");
+        assert!(
+            after < before,
+            "fusion + DCE must reduce kernel launches ({after} vs {before})"
+        );
     }
 
     #[test]

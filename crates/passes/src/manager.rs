@@ -23,14 +23,24 @@ pub struct OptimizeOptions {
 
 impl Default for OptimizeOptions {
     fn default() -> Self {
-        OptimizeOptions { fuse: true, winograd: true, dce: true, reorder_updates: true }
+        OptimizeOptions {
+            fuse: true,
+            winograd: true,
+            dce: true,
+            reorder_updates: true,
+        }
     }
 }
 
 impl OptimizeOptions {
     /// Disables every optimisation (the "conventional framework" baseline).
     pub fn none() -> Self {
-        OptimizeOptions { fuse: false, winograd: false, dce: false, reorder_updates: false }
+        OptimizeOptions {
+            fuse: false,
+            winograd: false,
+            dce: false,
+            reorder_updates: false,
+        }
     }
 }
 
@@ -62,8 +72,14 @@ impl OptimizeStats {
 
 /// Runs the optimisation pipeline over a training graph and produces the
 /// execution schedule.
-pub fn optimize(mut tg: TrainingGraph, opts: OptimizeOptions) -> (TrainingGraph, Schedule, OptimizeStats) {
-    let mut stats = OptimizeStats { launches_before: launch_count(&tg.graph), ..Default::default() };
+pub fn optimize(
+    mut tg: TrainingGraph,
+    opts: OptimizeOptions,
+) -> (TrainingGraph, Schedule, OptimizeStats) {
+    let mut stats = OptimizeStats {
+        launches_before: launch_count(&tg.graph),
+        ..Default::default()
+    };
 
     if opts.fuse {
         stats.fusion = fuse_operators(&mut tg);

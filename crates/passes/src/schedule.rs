@@ -71,7 +71,10 @@ fn conventional(graph: &Graph) -> Schedule {
     // Ensure updates sit at the very end even if a pass inserted nodes after
     // them.
     order.sort_by_key(|&id| (graph.node(id).op.is_update(), id.index()));
-    Schedule { order, strategy: ScheduleStrategy::Conventional }
+    Schedule {
+        order,
+        strategy: ScheduleStrategy::Conventional,
+    }
 }
 
 fn reordered(graph: &Graph) -> Schedule {
@@ -87,7 +90,10 @@ fn reordered(graph: &Graph) -> Schedule {
     let mut ready: BinaryHeap<(bool, std::cmp::Reverse<usize>)> = BinaryHeap::new();
     for (idx, &d) in indegree.iter().enumerate() {
         if d == 0 {
-            ready.push((graph.node(NodeId(idx)).op.is_update(), std::cmp::Reverse(idx)));
+            ready.push((
+                graph.node(NodeId(idx)).op.is_update(),
+                std::cmp::Reverse(idx),
+            ));
         }
     }
 
@@ -103,7 +109,10 @@ fn reordered(graph: &Graph) -> Schedule {
         }
     }
     assert_eq!(order.len(), n, "cycle detected while scheduling");
-    Schedule { order, strategy: ScheduleStrategy::Reordered }
+    Schedule {
+        order,
+        strategy: ScheduleStrategy::Reordered,
+    }
 }
 
 /// For every `ApplyUpdate` node, the number of schedule slots between the
@@ -160,7 +169,10 @@ mod tests {
         for strategy in [ScheduleStrategy::Conventional, ScheduleStrategy::Reordered] {
             let s = build_schedule(&tg.graph, strategy);
             assert_eq!(s.len(), tg.graph.len());
-            assert!(is_topological(&tg.graph, &s), "{strategy:?} violated dependencies");
+            assert!(
+                is_topological(&tg.graph, &s),
+                "{strategy:?} violated dependencies"
+            );
         }
     }
 

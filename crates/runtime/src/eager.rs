@@ -39,7 +39,14 @@ impl EagerEngine {
             .iter()
             .map(|(id, info)| (*id, info.init.materialize(&forward.node(*id).shape)))
             .collect();
-        EagerEngine { forward, loss, spec, optimizer, params, steps: 0 }
+        EagerEngine {
+            forward,
+            loss,
+            spec,
+            optimizer,
+            params,
+            steps: 0,
+        }
     }
 
     /// Number of completed steps.
@@ -104,8 +111,8 @@ mod tests {
     }
 
     fn batch(rng: &mut Rng) -> HashMap<String, Tensor> {
-        let mut x = Tensor::zeros(&[4, 8]);
-        let mut labels = Tensor::zeros(&[4]);
+        let mut x = Tensor::zeros([4, 8]);
+        let mut labels = Tensor::zeros([4]);
         for i in 0..4 {
             let c = rng.next_usize(3);
             x.set(&[i, c], 1.5);
@@ -147,6 +154,9 @@ mod tests {
 
         let w_eager = eager.param_by_name("fc.weight").unwrap();
         let w_compiled = compiled.param_by_name("fc.weight").unwrap();
-        assert!(w_eager.allclose(w_compiled, 1e-5), "parameters diverge after one step");
+        assert!(
+            w_eager.allclose(w_compiled, 1e-5),
+            "parameters diverge after one step"
+        );
     }
 }

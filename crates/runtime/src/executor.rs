@@ -12,7 +12,9 @@ use std::collections::HashMap;
 use pe_graph::{NodeId, OpKind, TrainingGraph};
 use pe_memplan::analyze_lifetimes;
 use pe_passes::Schedule;
-use pe_tensor::kernels::{conv, elementwise as ew, embedding, gemm, layout, norm, pool, reduce, winograd};
+use pe_tensor::kernels::{
+    conv, elementwise as ew, embedding, gemm, layout, norm, pool, reduce, winograd,
+};
 use pe_tensor::{Shape, Tensor};
 
 use crate::optimizer::Optimizer;
@@ -37,8 +39,15 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::MissingInput(name) => write!(f, "missing step input '{name}'"),
-            ExecError::InputShapeMismatch { name, expected, actual } => {
-                write!(f, "input '{name}' has shape {actual:?}, expected {expected:?}")
+            ExecError::InputShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "input '{name}' has shape {actual:?}, expected {expected:?}"
+                )
             }
         }
     }
@@ -175,7 +184,11 @@ impl Executor {
         self.execute(inputs, false)
     }
 
-    fn execute(&mut self, inputs: &HashMap<String, Tensor>, train: bool) -> Result<StepResult, ExecError> {
+    fn execute(
+        &mut self,
+        inputs: &HashMap<String, Tensor>,
+        train: bool,
+    ) -> Result<StepResult, ExecError> {
         let n = self.tg.graph.len();
         let mut values: Vec<Option<Tensor>> = vec![None; n];
 
@@ -264,7 +277,10 @@ impl Executor {
 
     fn apply_update(&mut self, param: NodeId, rows: Option<usize>, grad: &Tensor) {
         let slots = self.optimizer.state_slots();
-        let p = self.params.get_mut(&param).expect("unknown parameter in update");
+        let p = self
+            .params
+            .get_mut(&param)
+            .expect("unknown parameter in update");
         let state = self
             .opt_state
             .entry(param)
@@ -277,7 +293,11 @@ impl Executor {
             }
             None => p.numel(),
         };
-        assert_eq!(grad.numel(), updated_len, "gradient size mismatch for update");
+        assert_eq!(
+            grad.numel(),
+            updated_len,
+            "gradient size mismatch for update"
+        );
 
         let opt = self.optimizer;
         let pdata = &mut p.data_mut()[..updated_len];
@@ -298,9 +318,9 @@ impl Executor {
         if let Some(c) = self.tg.graph.constants().get(&id) {
             return c;
         }
-        values[id.index()]
-            .as_ref()
-            .unwrap_or_else(|| panic!("value {id} requested before being computed or after being freed"))
+        values[id.index()].as_ref().unwrap_or_else(|| {
+            panic!("value {id} requested before being computed or after being freed")
+        })
     }
 
     fn compute_node(&mut self, node: &pe_graph::Node, values: &[Option<Tensor>]) -> Tensor {
@@ -359,23 +379,34 @@ impl Executor {
             OpKind::BiasRelu6 => ew::relu6(&ew::add_bias(inp(0), inp(1))),
             OpKind::BiasGelu => ew::gelu(&ew::add_bias(inp(0), inp(1))),
             OpKind::AddRelu => ew::relu(&ew::add(inp(0), inp(1))),
-            OpKind::Reduce { op, axes, keep_dims } => reduce::reduce(inp(0), *op, axes, *keep_dims),
-            OpKind::ReduceGrad { op, axes, input_dims } => {
-                reduce::reduce_grad(inp(0), *op, input_dims, axes)
-            }
+            OpKind::Reduce {
+                op,
+                axes,
+                keep_dims,
+            } => reduce::reduce(inp(0), *op, axes, *keep_dims),
+            OpKind::ReduceGrad {
+                op,
+                axes,
+                input_dims,
+            } => reduce::reduce_grad(inp(0), *op, input_dims, axes),
             OpKind::Reshape { dims } => inp(0).reshape(dims.clone()),
             OpKind::Transpose2d => layout::transpose2d(inp(0)),
             OpKind::Permute { perm } => layout::permute(inp(0), perm),
             OpKind::Slice { axis, start, len } => layout::slice_axis(inp(0), *axis, *start, *len),
-            OpKind::Unslice { axis, start, full_dims } => {
-                layout::unslice_axis(inp(0), *axis, *start, full_dims)
-            }
+            OpKind::Unslice {
+                axis,
+                start,
+                full_dims,
+            } => layout::unslice_axis(inp(0), *axis, *start, full_dims),
             OpKind::Concat { axis } => {
-                let tensors: Vec<&Tensor> = node.inputs.iter().map(|&i| self.value(values, i)).collect();
+                let tensors: Vec<&Tensor> =
+                    node.inputs.iter().map(|&i| self.value(values, i)).collect();
                 layout::concat(&tensors, *axis)
             }
             OpKind::AvgPool2d(p) => pool::avg_pool2d(inp(0), *p),
-            OpKind::AvgPool2dGrad { params, x_dims } => pool::avg_pool2d_grad(inp(0), x_dims, *params),
+            OpKind::AvgPool2dGrad { params, x_dims } => {
+                pool::avg_pool2d_grad(inp(0), x_dims, *params)
+            }
             OpKind::MaxPool2d(p) => pool::max_pool2d_with_indices(inp(0), *p).0,
             OpKind::MaxPool2dGrad { params } => {
                 let x = inp(0);
@@ -387,24 +418,24 @@ impl Executor {
             OpKind::Softmax => norm::softmax(inp(0)),
             OpKind::SoftmaxGrad => norm::softmax_grad_from_output(inp(0), inp(1)),
             OpKind::LayerNorm { eps } => norm::layer_norm(inp(0), inp(1), inp(2), *eps),
-            OpKind::LayerNormGradX { eps } => {
-                norm::layer_norm_grad(inp(0), inp(1), inp(2), *eps).0
-            }
+            OpKind::LayerNormGradX { eps } => norm::layer_norm_grad(inp(0), inp(1), inp(2), *eps).0,
             OpKind::LayerNormGradGamma { eps } => {
                 // gamma does not influence dgamma; pass a ones vector.
                 let cols = *inp(0).dims().last().expect("rank >= 1");
-                let ones = Tensor::ones(&[cols]);
+                let ones = Tensor::ones([cols]);
                 norm::layer_norm_grad(inp(0), &ones, inp(1), *eps).1
             }
             OpKind::RmsNorm { eps } => norm::rms_norm(inp(0), inp(1), *eps),
             OpKind::RmsNormGradX { eps } => norm::rms_norm_grad(inp(0), inp(1), inp(2), *eps).0,
             OpKind::RmsNormGradGamma { eps } => {
                 let cols = *inp(0).dims().last().expect("rank >= 1");
-                let ones = Tensor::ones(&[cols]);
+                let ones = Tensor::ones([cols]);
                 norm::rms_norm_grad(inp(0), &ones, inp(1), *eps).1
             }
             OpKind::Embedding => embedding::gather(inp(0), inp(1)),
-            OpKind::EmbeddingGrad { vocab, dim } => embedding::gather_grad(inp(0), inp(1), *vocab, *dim),
+            OpKind::EmbeddingGrad { vocab, dim } => {
+                embedding::gather_grad(inp(0), inp(1), *vocab, *dim)
+            }
             OpKind::CrossEntropyLoss => norm::cross_entropy_loss(inp(0), inp(1)),
             OpKind::CrossEntropyGrad => {
                 let dloss = inp(2).data()[0];
@@ -440,7 +471,7 @@ mod tests {
         let loss = b.cross_entropy(logits, labels);
         let g = b.finish(vec![loss, logits]);
         let mut spec = TrainSpec::new();
-        for (id, _) in g.params() {
+        for id in g.params().keys() {
             spec.insert(*id, spec_for(&g.node(*id).name));
         }
         let tg = build_training_graph(g, loss, &spec);
@@ -450,8 +481,8 @@ mod tests {
 
     fn batch(rng: &mut Rng) -> HashMap<String, Tensor> {
         // Simple separable task: class = argmax of the first 3 features.
-        let mut x = Tensor::zeros(&[8, 4]);
-        let mut labels = Tensor::zeros(&[8]);
+        let mut x = Tensor::zeros([8, 4]);
+        let mut labels = Tensor::zeros([8]);
         for i in 0..8 {
             let c = rng.next_usize(3);
             for j in 0..4 {
@@ -472,14 +503,22 @@ mod tests {
         for _ in 0..30 {
             last = exec.run_step(&batch(&mut rng)).unwrap().loss.unwrap();
         }
-        assert!(last < first * 0.7, "loss should drop: first {first}, last {last}");
+        assert!(
+            last < first * 0.7,
+            "loss should drop: first {first}, last {last}"
+        );
         assert_eq!(exec.steps_completed(), 31);
     }
 
     #[test]
     fn bias_only_training_still_learns_but_freezes_weights() {
-        let mut exec =
-            compile_mlp(|name| if name.ends_with("bias") { TrainKind::Full } else { TrainKind::Frozen });
+        let mut exec = compile_mlp(|name| {
+            if name.ends_with("bias") {
+                TrainKind::Full
+            } else {
+                TrainKind::Frozen
+            }
+        });
         let w_before = exec.param_by_name("fc1.weight").unwrap().clone();
         let b_before = exec.param_by_name("fc2.bias").unwrap().clone();
         let mut rng = Rng::seed_from_u64(8);
@@ -488,8 +527,14 @@ mod tests {
         }
         let w_after = exec.param_by_name("fc1.weight").unwrap();
         let b_after = exec.param_by_name("fc2.bias").unwrap();
-        assert!(w_before.allclose(w_after, 0.0), "frozen weight must not change");
-        assert!(!b_before.allclose(b_after, 1e-7), "trainable bias must change");
+        assert!(
+            w_before.allclose(w_after, 0.0),
+            "frozen weight must not change"
+        );
+        assert!(
+            !b_before.allclose(b_after, 1e-7),
+            "trainable bias must change"
+        );
     }
 
     #[test]
@@ -516,8 +561,8 @@ mod tests {
     fn wrong_shape_is_reported() {
         let mut exec = compile_mlp(|_| TrainKind::Full);
         let inputs = HashMap::from([
-            ("x".to_string(), Tensor::zeros(&[8, 5])),
-            ("labels".to_string(), Tensor::zeros(&[8])),
+            ("x".to_string(), Tensor::zeros([8, 5])),
+            ("labels".to_string(), Tensor::zeros([8])),
         ]);
         let err = exec.run_step(&inputs).unwrap_err();
         assert!(matches!(err, ExecError::InputShapeMismatch { .. }));
@@ -530,7 +575,10 @@ mod tests {
         let result = exec.run_step(&batch(&mut rng)).unwrap();
         // The logits node is the second declared output; find it by shape.
         let logits = result.outputs.values().find(|t| t.dims() == [8, 3]);
-        assert!(logits.is_some(), "expected a [8, 3] logits output, got {:?}",
-            result.outputs.keys().collect::<Vec<_>>());
+        assert!(
+            logits.is_some(),
+            "expected a [8, 3] logits output, got {:?}",
+            result.outputs.keys().collect::<Vec<_>>()
+        );
     }
 }

@@ -58,12 +58,21 @@ impl Optimizer {
 
     /// Convenience constructor for Adam with standard betas.
     pub fn adam(lr: f32) -> Self {
-        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Convenience constructor for Lion with standard betas.
     pub fn lion(lr: f32) -> Self {
-        Optimizer::Lion { lr, beta1: 0.9, beta2: 0.99 }
+        Optimizer::Lion {
+            lr,
+            beta1: 0.9,
+            beta2: 0.99,
+        }
     }
 
     /// Number of per-element state tensors this optimizer keeps.
@@ -95,7 +104,12 @@ impl Optimizer {
                     param[i] -= lr * v[i];
                 }
             }
-            Optimizer::Adam { lr, beta1, beta2, eps } => {
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 let t = step.max(1) as f32;
                 let bc1 = 1.0 - beta1.powf(t);
                 let bc2 = 1.0 - beta2.powf(t);
@@ -144,7 +158,14 @@ mod tests {
 
     #[test]
     fn momentum_converges() {
-        converges_on_quadratic(Optimizer::Momentum { lr: 0.05, momentum: 0.9 }, 300, 1e-2);
+        converges_on_quadratic(
+            Optimizer::Momentum {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            300,
+            1e-2,
+        );
     }
 
     #[test]
@@ -164,7 +185,14 @@ mod tests {
     #[test]
     fn state_slot_counts() {
         assert_eq!(Optimizer::sgd(0.1).state_slots(), 0);
-        assert_eq!(Optimizer::Momentum { lr: 0.1, momentum: 0.9 }.state_slots(), 1);
+        assert_eq!(
+            Optimizer::Momentum {
+                lr: 0.1,
+                momentum: 0.9
+            }
+            .state_slots(),
+            1
+        );
         assert_eq!(Optimizer::adam(0.1).state_slots(), 2);
         assert_eq!(Optimizer::lion(0.1).state_slots(), 1);
     }

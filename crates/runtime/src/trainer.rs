@@ -182,15 +182,20 @@ mod tests {
         let g = b.finish(vec![loss, logits]);
         let tg = build_training_graph(g, loss, &TrainSpec::new());
         let (tg, schedule, _) = optimize(tg, OptimizeOptions::default());
-        Trainer::new(Executor::new(tg, schedule, Optimizer::sgd(lr)), "x", "labels", logits_name)
+        Trainer::new(
+            Executor::new(tg, schedule, Optimizer::sgd(lr)),
+            "x",
+            "labels",
+            logits_name,
+        )
     }
 
     fn toy_batches(n: usize, seed: u64) -> Vec<Batch> {
         let mut rng = Rng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
-                let mut x = Tensor::zeros(&[16, 8]);
-                let mut y = Tensor::zeros(&[16]);
+                let mut x = Tensor::zeros([16, 8]);
+                let mut y = Tensor::zeros([16]);
                 for i in 0..16 {
                     let c = rng.next_usize(4);
                     for j in 0..8 {
@@ -214,8 +219,14 @@ mod tests {
             trainer.train_epoch(&train).unwrap();
         }
         let after = trainer.evaluate(&test).unwrap();
-        assert!(after > before, "accuracy should improve: {before} -> {after}");
-        assert!(after > 0.9, "this separable task should be learned, got {after}");
+        assert!(
+            after > before,
+            "accuracy should improve: {before} -> {after}"
+        );
+        assert!(
+            after > 0.9,
+            "this separable task should be learned, got {after}"
+        );
         assert!(trainer.history().final_loss().unwrap() < trainer.history().losses[0]);
     }
 
@@ -230,7 +241,7 @@ mod tests {
 
     #[test]
     fn batch_accessors() {
-        let b = Batch::new(Tensor::zeros(&[4, 2]), Tensor::zeros(&[4]));
+        let b = Batch::new(Tensor::zeros([4, 2]), Tensor::zeros([4]));
         assert_eq!(b.len(), 4);
         assert!(!b.is_empty());
     }

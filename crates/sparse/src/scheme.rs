@@ -49,12 +49,20 @@ impl WeightRule {
     /// Creates a rule updating the full tensors matching `pattern` in the
     /// selected blocks.
     pub fn full(pattern: &str, blocks: BlockSelector) -> Self {
-        WeightRule { pattern: pattern.to_string(), blocks, channel_ratio: 1.0 }
+        WeightRule {
+            pattern: pattern.to_string(),
+            blocks,
+            channel_ratio: 1.0,
+        }
     }
 
     /// Creates a rule updating a fraction of output channels.
     pub fn partial(pattern: &str, blocks: BlockSelector, channel_ratio: f32) -> Self {
-        WeightRule { pattern: pattern.to_string(), blocks, channel_ratio }
+        WeightRule {
+            pattern: pattern.to_string(),
+            blocks,
+            channel_ratio,
+        }
     }
 }
 
@@ -142,7 +150,11 @@ fn decide(model: &BuiltModel, rule: &UpdateRule, id: NodeId, name: &str) -> Trai
         }
         UpdateRule::Sparse(s) => {
             if is_head {
-                return if s.train_head { TrainKind::Full } else { TrainKind::Frozen };
+                return if s.train_head {
+                    TrainKind::Full
+                } else {
+                    TrainKind::Frozen
+                };
             }
             let Some(block) = block_index(name) else {
                 // Stem, embeddings and other non-block parameters stay frozen
@@ -166,7 +178,8 @@ fn decide(model: &BuiltModel, rule: &UpdateRule, id: NodeId, name: &str) -> Trai
                 }
                 ParamRole::Weight | ParamRole::Embedding => {
                     for wr in &s.weight_rules {
-                        if name.contains(&wr.pattern) && wr.blocks.matches(block, model.num_blocks) {
+                        if name.contains(&wr.pattern) && wr.blocks.matches(block, model.num_blocks)
+                        {
                             if wr.channel_ratio >= 1.0 {
                                 return TrainKind::Full;
                             }
@@ -222,7 +235,9 @@ pub fn paper_scheme_mcunet(num_blocks: usize) -> SparseScheme {
         bias_last_blocks: 7,
         weight_rules: picks
             .iter()
-            .map(|&(idx, ratio)| WeightRule::partial("conv1", BlockSelector::Indices(vec![idx]), ratio))
+            .map(|&(idx, ratio)| {
+                WeightRule::partial("conv1", BlockSelector::Indices(vec![idx]), ratio)
+            })
             .collect(),
         train_head: true,
         train_norm: false,
@@ -333,7 +348,9 @@ mod tests {
         let frozen_weights = model
             .named_params()
             .iter()
-            .filter(|(id, n)| n.contains("conv") && n.ends_with("weight") && bias_only[id] == TrainKind::Frozen)
+            .filter(|(id, n)| {
+                n.contains("conv") && n.ends_with("weight") && bias_only[id] == TrainKind::Frozen
+            })
             .count();
         assert!(frozen_weights > 0);
         assert!(trainable_elements(&model, &bias_only) < trainable_elements(&model, &full));
@@ -368,7 +385,11 @@ mod tests {
         let scheme = SparseScheme {
             name: "half".to_string(),
             bias_last_blocks: 0,
-            weight_rules: vec![WeightRule::partial("conv1", BlockSelector::Indices(vec![1]), 0.5)],
+            weight_rules: vec![WeightRule::partial(
+                "conv1",
+                BlockSelector::Indices(vec![1]),
+                0.5,
+            )],
             train_head: false,
             train_norm: false,
         };
@@ -412,13 +433,18 @@ mod tests {
         assert_eq!(paper_scheme_llama().weight_rules.len(), 2);
         let mc = paper_scheme_mcunet(17);
         assert_eq!(mc.weight_rules.len(), 4);
-        assert!(mc.weight_rules.iter().any(|r| (r.channel_ratio - 0.5).abs() < 1e-6));
+        assert!(mc
+            .weight_rules
+            .iter()
+            .any(|r| (r.channel_ratio - 0.5).abs() < 1e-6));
     }
 
     #[test]
     fn rule_labels_are_informative() {
         assert_eq!(UpdateRule::Full.label(), "full-bp");
         assert_eq!(UpdateRule::BiasOnly.label(), "bias-only");
-        assert!(UpdateRule::Sparse(paper_scheme_bert()).label().contains("bert"));
+        assert!(UpdateRule::Sparse(paper_scheme_bert())
+            .label()
+            .contains("bert"));
     }
 }

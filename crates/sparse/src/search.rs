@@ -37,7 +37,12 @@ pub struct Candidate {
 
 impl Candidate {
     /// Creates a full-tensor-only candidate.
-    pub fn new(param: NodeId, name: impl Into<String>, contribution: f32, memory_cost: usize) -> Self {
+    pub fn new(
+        param: NodeId,
+        name: impl Into<String>,
+        contribution: f32,
+        memory_cost: usize,
+    ) -> Self {
         Candidate {
             param,
             name: name.into(),
@@ -161,16 +166,25 @@ pub fn evolutionary_search(
             best = scored[0].1.clone();
         }
         // Elitism + mutation/crossover of the top half.
-        let survivors: Vec<Genome> = scored.iter().take(pop.len() / 2).map(|(_, g)| g.clone()).collect();
+        let survivors: Vec<Genome> = scored
+            .iter()
+            .take(pop.len() / 2)
+            .map(|(_, g)| g.clone())
+            .collect();
         let mut next = survivors.clone();
         while next.len() < pop.len() {
             let a = &survivors[rng.next_usize(survivors.len())];
             let b = &survivors[rng.next_usize(survivors.len())];
-            let mut child: Genome =
-                (0..n).map(|i| if rng.bernoulli(0.5) { a[i] } else { b[i] }).collect();
+            let mut child: Genome = (0..n)
+                .map(|i| if rng.bernoulli(0.5) { a[i] } else { b[i] })
+                .collect();
             // Point mutation.
             let m = rng.next_usize(n);
-            child[m] = if rng.bernoulli(0.5) { 0 } else { 1 + rng.next_usize(cands[m].ratio_options.len()) };
+            child[m] = if rng.bernoulli(0.5) {
+                0
+            } else {
+                1 + rng.next_usize(cands[m].ratio_options.len())
+            };
             next.push(child);
         }
         pop = next;
@@ -187,7 +201,11 @@ pub fn evolutionary_search(
             ratio: c.ratio_options[choice - 1],
         })
         .collect();
-    SearchResult { selections, total_contribution, total_memory }
+    SearchResult {
+        selections,
+        total_contribution,
+        total_memory,
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +228,11 @@ mod tests {
     fn respects_memory_budget() {
         let mut rng = Rng::seed_from_u64(0);
         let result = evolutionary_search(&candidates(), 100, 60, 24, &mut rng);
-        assert!(result.total_memory <= 100, "memory {} over budget", result.total_memory);
+        assert!(
+            result.total_memory <= 100,
+            "memory {} over budget",
+            result.total_memory
+        );
     }
 
     #[test]
@@ -218,7 +240,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         let result = evolutionary_search(&candidates(), 100, 80, 32, &mut rng);
         let names: Vec<&str> = result.selections.iter().map(|s| s.name.as_str()).collect();
-        assert!(names.contains(&"a") && names.contains(&"c"), "got {names:?}");
+        assert!(
+            names.contains(&"a") && names.contains(&"c"),
+            "got {names:?}"
+        );
         assert!((result.total_contribution - 5.0).abs() < 1e-5);
     }
 
@@ -242,7 +267,10 @@ mod tests {
         let result = evolutionary_search(&cands, 150, 100, 32, &mut rng);
         assert!(result.total_memory <= 150);
         let big = result.selections.iter().find(|s| s.name == "big");
-        assert!(big.is_some(), "the high-contribution tensor should be selected at a partial ratio");
+        assert!(
+            big.is_some(),
+            "the high-contribution tensor should be selected at a partial ratio"
+        );
         assert!((big.unwrap().ratio - 0.5).abs() < 1e-6);
     }
 
@@ -252,7 +280,8 @@ mod tests {
             (NodeId(1), "w1".to_string(), 10usize),
             (NodeId(2), "w2".to_string(), 20usize),
         ];
-        let cands = sensitivity_analysis(&params, 0.5, |id| if id == NodeId(1) { 0.7 } else { 0.55 });
+        let cands =
+            sensitivity_analysis(&params, 0.5, |id| if id == NodeId(1) { 0.7 } else { 0.55 });
         assert!((cands[0].contribution - 0.2).abs() < 1e-6);
         assert!((cands[1].contribution - 0.05).abs() < 1e-6);
         assert_eq!(cands[0].memory_cost, 10);

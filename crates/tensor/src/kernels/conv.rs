@@ -16,14 +16,22 @@ pub struct Conv2dParams {
 
 impl Default for Conv2dParams {
     fn default() -> Self {
-        Conv2dParams { stride: 1, padding: 0, groups: 1 }
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        }
     }
 }
 
 impl Conv2dParams {
     /// Creates parameters with the given stride and padding and one group.
     pub fn new(stride: usize, padding: usize) -> Self {
-        Conv2dParams { stride, padding, groups: 1 }
+        Conv2dParams {
+            stride,
+            padding,
+            groups: 1,
+        }
     }
 
     /// Sets the group count.
@@ -54,9 +62,18 @@ pub fn conv2d_out_dims(x_dims: &[usize], w_dims: &[usize], p: Conv2dParams) -> [
 /// Panics if the channel counts are inconsistent with the group count.
 pub fn conv2d(x: &Tensor, weight: &Tensor, p: Conv2dParams) -> Tensor {
     let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
-    let [cout, cing, kh, kw] = [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+    let [cout, cing, kh, kw] = [
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    ];
     assert_eq!(cin, cing * p.groups, "conv2d channel/group mismatch");
-    assert_eq!(cout % p.groups, 0, "conv2d out channels not divisible by groups");
+    assert_eq!(
+        cout % p.groups,
+        0,
+        "conv2d out channels not divisible by groups"
+    );
     let od = conv2d_out_dims(x.dims(), weight.dims(), p);
     let (oh, ow) = (od[2], od[3]);
     let cout_g = cout / p.groups;
@@ -102,13 +119,23 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, p: Conv2dParams) -> Tensor {
 ///
 /// `dy` is `[N, Cout, OH, OW]`; the result has the shape of the forward input
 /// `x_dims = [N, Cin, H, W]`.
-pub fn conv2d_grad_input(dy: &Tensor, weight: &Tensor, x_dims: &[usize], p: Conv2dParams) -> Tensor {
+pub fn conv2d_grad_input(
+    dy: &Tensor,
+    weight: &Tensor,
+    x_dims: &[usize],
+    p: Conv2dParams,
+) -> Tensor {
     let [n, cin, h, w] = [x_dims[0], x_dims[1], x_dims[2], x_dims[3]];
-    let [cout, cing, kh, kw] = [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
+    let [cout, cing, kh, kw] = [
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    ];
     let (oh, ow) = (dy.dims()[2], dy.dims()[3]);
     let cout_g = cout / p.groups;
 
-    let mut dx = Tensor::zeros(&[n, cin, h, w]);
+    let mut dx = Tensor::zeros([n, cin, h, w]);
     let dyd = dy.data();
     let wd = weight.data();
     let dxd = dx.data_mut();
@@ -153,20 +180,18 @@ pub fn conv2d_grad_input(dy: &Tensor, weight: &Tensor, x_dims: &[usize], p: Conv
 /// determines the produced weight-gradient channel count), which is how the
 /// sub-layer (channel-sparse) backpropagation scheme computes gradients for
 /// only the first `k` output channels.
-pub fn conv2d_grad_weight(
-    x: &Tensor,
-    dy: &Tensor,
-    w_dims: &[usize],
-    p: Conv2dParams,
-) -> Tensor {
+pub fn conv2d_grad_weight(x: &Tensor, dy: &Tensor, w_dims: &[usize], p: Conv2dParams) -> Tensor {
     let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
     let [full_cout, cing, kh, kw] = [w_dims[0], w_dims[1], w_dims[2], w_dims[3]];
     let grad_cout = dy.dims()[1];
-    assert!(grad_cout <= full_cout, "dy has more channels than the weight");
+    assert!(
+        grad_cout <= full_cout,
+        "dy has more channels than the weight"
+    );
     let (oh, ow) = (dy.dims()[2], dy.dims()[3]);
     let cout_g = full_cout / p.groups;
 
-    let mut dw = Tensor::zeros(&[grad_cout, cing, kh, kw]);
+    let mut dw = Tensor::zeros([grad_cout, cing, kh, kw]);
     let xd = x.data();
     let dyd = dy.data();
     let dwd = dw.data_mut();
@@ -226,7 +251,12 @@ mod tests {
         let dy = Tensor::randn(&conv2d_out_dims(x.dims(), w.dims(), p)[..], 1.0, &mut rng);
 
         let loss = |x: &Tensor, w: &Tensor| -> f32 {
-            conv2d(x, w, p).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+            conv2d(x, w, p)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum()
         };
 
         let dx = conv2d_grad_input(&dy, &w, x.dims(), p);
@@ -239,7 +269,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
-            assert!((fd - dx.data()[i]).abs() < 0.05, "dx[{i}] fd {fd} vs {}", dx.data()[i]);
+            assert!(
+                (fd - dx.data()[i]).abs() < 0.05,
+                "dx[{i}] fd {fd} vs {}",
+                dx.data()[i]
+            );
         }
         for i in (0..w.numel()).step_by(w.numel() / 7 + 1) {
             let mut wp = w.clone();
@@ -247,15 +281,19 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
             let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
-            assert!((fd - dw.data()[i]).abs() < 0.05, "dw[{i}] fd {fd} vs {}", dw.data()[i]);
+            assert!(
+                (fd - dw.data()[i]).abs() < 0.05,
+                "dw[{i}] fd {fd} vs {}",
+                dw.data()[i]
+            );
         }
     }
 
     #[test]
     fn identity_kernel_preserves_input() {
         // 1x1 conv with identity weight acts per-pixel as a matrix multiply.
-        let x = Tensor::from_vec((0..18).map(|v| v as f32).collect(), &[1, 2, 3, 3]);
-        let mut w = Tensor::zeros(&[2, 2, 1, 1]);
+        let x = Tensor::from_vec((0..18).map(|v| v as f32).collect(), [1, 2, 3, 3]);
+        let mut w = Tensor::zeros([2, 2, 1, 1]);
         w.set(&[0, 0, 0, 0], 1.0);
         w.set(&[1, 1, 0, 0], 1.0);
         let y = conv2d(&x, &w, Conv2dParams::default());
@@ -266,8 +304,8 @@ mod tests {
     fn known_3x3_result() {
         // Single-channel 3x3 input with a 3x3 all-ones kernel and padding 1:
         // the centre output equals the sum of all inputs.
-        let x = Tensor::ones(&[1, 1, 3, 3]);
-        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let w = Tensor::ones([1, 1, 3, 3]);
         let y = conv2d(&x, &w, Conv2dParams::new(1, 1));
         assert_eq!(y.dims(), &[1, 1, 3, 3]);
         assert_eq!(y.at(&[0, 0, 1, 1]), 9.0);
@@ -278,8 +316,8 @@ mod tests {
     fn stride_and_padding_output_dims() {
         let p = Conv2dParams::new(2, 1);
         assert_eq!(p.out_size(8, 3), 4);
-        let x = Tensor::zeros(&[2, 3, 8, 8]);
-        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        let x = Tensor::zeros([2, 3, 8, 8]);
+        let w = Tensor::zeros([4, 3, 3, 3]);
         assert_eq!(conv2d_out_dims(x.dims(), w.dims(), p), [2, 4, 4, 4]);
     }
 
@@ -287,15 +325,15 @@ mod tests {
     fn depthwise_groups_match_manual() {
         // Depthwise conv: each channel convolved with its own 1-channel filter.
         let mut rng = Rng::seed_from_u64(7);
-        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
-        let w = Tensor::randn(&[2, 1, 3, 3], 1.0, &mut rng);
+        let x = Tensor::randn([1, 2, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn([2, 1, 3, 3], 1.0, &mut rng);
         let p = Conv2dParams::new(1, 1).with_groups(2);
         let y = conv2d(&x, &w, p);
         // Compare channel 1 against a single-channel convolution.
-        let x1 = Tensor::from_vec(x.data()[16..32].to_vec(), &[1, 1, 4, 4]);
-        let w1 = Tensor::from_vec(w.data()[9..18].to_vec(), &[1, 1, 3, 3]);
+        let x1 = Tensor::from_vec(x.data()[16..32].to_vec(), [1, 1, 4, 4]);
+        let w1 = Tensor::from_vec(w.data()[9..18].to_vec(), [1, 1, 3, 3]);
         let y1 = conv2d(&x1, &w1, Conv2dParams::new(1, 1));
-        let got = Tensor::from_vec(y.data()[16..32].to_vec(), &[1, 1, 4, 4]);
+        let got = Tensor::from_vec(y.data()[16..32].to_vec(), [1, 1, 4, 4]);
         assert!(got.allclose(&y1, 1e-5));
     }
 
@@ -311,15 +349,19 @@ mod tests {
 
     #[test]
     fn gradients_match_finite_difference_depthwise() {
-        grad_check(Conv2dParams::new(1, 1).with_groups(3), [1, 3, 5, 5], [3, 1, 3, 3]);
+        grad_check(
+            Conv2dParams::new(1, 1).with_groups(3),
+            [1, 3, 5, 5],
+            [3, 1, 3, 3],
+        );
     }
 
     #[test]
     fn partial_weight_gradient_matches_full_prefix() {
         let mut rng = Rng::seed_from_u64(11);
         let p = Conv2dParams::new(1, 1);
-        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
-        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        let x = Tensor::randn([2, 3, 6, 6], 1.0, &mut rng);
+        let w = Tensor::randn([4, 3, 3, 3], 0.5, &mut rng);
         let dy = Tensor::randn(&conv2d_out_dims(x.dims(), w.dims(), p)[..], 1.0, &mut rng);
         let full = conv2d_grad_weight(&x, &dy, w.dims(), p);
         // First two channels only.
@@ -340,6 +382,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "channel/group mismatch")]
     fn mismatched_channels_panic() {
-        conv2d(&Tensor::zeros(&[1, 3, 4, 4]), &Tensor::zeros(&[2, 2, 3, 3]), Conv2dParams::default());
+        conv2d(
+            &Tensor::zeros([1, 3, 4, 4]),
+            &Tensor::zeros([2, 2, 3, 3]),
+            Conv2dParams::default(),
+        );
     }
 }

@@ -36,13 +36,21 @@ impl BinaryOp {
 ///
 /// Panics if the shapes are not broadcast-compatible.
 pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Tensor {
-    let out_shape = a
-        .shape()
-        .broadcast_with(b.shape())
-        .unwrap_or_else(|| panic!("shapes {} and {} are not broadcastable", a.shape(), b.shape()));
+    let out_shape = a.shape().broadcast_with(b.shape()).unwrap_or_else(|| {
+        panic!(
+            "shapes {} and {} are not broadcastable",
+            a.shape(),
+            b.shape()
+        )
+    });
     if a.shape() == b.shape() {
         // Fast path: same shape, no index arithmetic.
-        let data = a.data().iter().zip(b.data()).map(|(&x, &y)| op.apply(x, y)).collect();
+        let data = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| op.apply(x, y))
+            .collect();
         return Tensor::from_vec(data, out_shape);
     }
     let mut out = Tensor::zeros(out_shape.clone());
@@ -135,7 +143,12 @@ pub fn relu(x: &Tensor) -> Tensor {
 /// VJP of ReLU: passes the gradient where the forward input was positive.
 pub fn relu_grad(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.shape(), dy.shape(), "relu_grad shape mismatch");
-    let data = x.data().iter().zip(dy.data()).map(|(&xi, &gi)| if xi > 0.0 { gi } else { 0.0 }).collect();
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&xi, &gi)| if xi > 0.0 { gi } else { 0.0 })
+        .collect();
     Tensor::from_vec(data, x.shape().clone())
 }
 
@@ -217,7 +230,12 @@ pub fn sigmoid(x: &Tensor) -> Tensor {
 /// VJP of sigmoid, given the forward *output* `y`.
 pub fn sigmoid_grad_from_output(y: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(y.shape(), dy.shape(), "sigmoid_grad shape mismatch");
-    let data = y.data().iter().zip(dy.data()).map(|(&yi, &gi)| gi * yi * (1.0 - yi)).collect();
+    let data = y
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&yi, &gi)| gi * yi * (1.0 - yi))
+        .collect();
     Tensor::from_vec(data, y.shape().clone())
 }
 
@@ -229,7 +247,12 @@ pub fn tanh(x: &Tensor) -> Tensor {
 /// VJP of tanh, given the forward *output* `y`.
 pub fn tanh_grad_from_output(y: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(y.shape(), dy.shape(), "tanh_grad shape mismatch");
-    let data = y.data().iter().zip(dy.data()).map(|(&yi, &gi)| gi * (1.0 - yi * yi)).collect();
+    let data = y
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&yi, &gi)| gi * (1.0 - yi * yi))
+        .collect();
     Tensor::from_vec(data, y.shape().clone())
 }
 
@@ -279,7 +302,7 @@ pub fn bias_grad(dy: &Tensor) -> Tensor {
             for (i, &g) in dy.data().iter().enumerate() {
                 out[i % f] += g;
             }
-            Tensor::from_vec(out, &[f])
+            Tensor::from_vec(out, [f])
         }
         4 => {
             let (c, h, w) = (dims[1], dims[2], dims[3]);
@@ -288,7 +311,7 @@ pub fn bias_grad(dy: &Tensor) -> Tensor {
             for (i, &g) in dy.data().iter().enumerate() {
                 out[(i / hw) % c] += g;
             }
-            Tensor::from_vec(out, &[c])
+            Tensor::from_vec(out, [c])
         }
         r => panic!("bias_grad unsupported rank {r}"),
     }
@@ -301,8 +324,8 @@ mod tests {
 
     #[test]
     fn add_same_shape() {
-        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
-        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], [2]);
         assert_eq!(add(&a, &b).data(), &[11.0, 22.0]);
         assert_eq!(sub(&a, &b).data(), &[-9.0, -18.0]);
         assert_eq!(mul(&a, &b).data(), &[10.0, 40.0]);
@@ -311,8 +334,8 @@ mod tests {
 
     #[test]
     fn broadcast_row_vector() {
-        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
-        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]);
         let c = add(&a, &b);
         assert_eq!(c.dims(), &[2, 3]);
         assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
@@ -320,15 +343,15 @@ mod tests {
 
     #[test]
     fn broadcast_column_vector() {
-        let a = Tensor::ones(&[2, 3]);
-        let b = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let a = Tensor::ones([2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0], [2, 1]);
         let c = mul(&a, &b);
         assert_eq!(c.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
     }
 
     #[test]
     fn reduce_to_shape_undoes_broadcast() {
-        let g = Tensor::ones(&[2, 3]);
+        let g = Tensor::ones([2, 3]);
         let r = reduce_to_shape(&g, &Shape::new(vec![3]));
         assert_eq!(r.dims(), &[3]);
         assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
@@ -338,11 +361,11 @@ mod tests {
 
     #[test]
     fn relu_and_grad() {
-        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]);
-        let dy = Tensor::ones(&[3]);
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], [3]);
+        let dy = Tensor::ones([3]);
         assert_eq!(relu(&x).data(), &[0.0, 0.5, 2.0]);
         assert_eq!(relu_grad(&x, &dy).data(), &[0.0, 1.0, 1.0]);
-        let x6 = Tensor::from_vec(vec![-1.0, 3.0, 8.0], &[3]);
+        let x6 = Tensor::from_vec(vec![-1.0, 3.0, 8.0], [3]);
         assert_eq!(relu6(&x6).data(), &[0.0, 3.0, 6.0]);
         assert_eq!(relu6_grad(&x6, &dy).data(), &[0.0, 1.0, 0.0]);
     }
@@ -350,8 +373,8 @@ mod tests {
     /// Finite-difference check for a scalar activation and its VJP.
     fn check_grad(f: impl Fn(&Tensor) -> Tensor, g: impl Fn(&Tensor, &Tensor) -> Tensor) {
         let mut rng = Rng::seed_from_u64(9);
-        let x = Tensor::randn(&[16], 1.0, &mut rng);
-        let dy = Tensor::ones(&[16]);
+        let x = Tensor::randn([16], 1.0, &mut rng);
+        let dy = Tensor::ones([16]);
         let analytic = g(&x, &dy);
         let eps = 1e-3;
         for i in 0..x.numel() {
@@ -381,8 +404,8 @@ mod tests {
     #[test]
     fn sigmoid_tanh_grads_from_output() {
         let mut rng = Rng::seed_from_u64(10);
-        let x = Tensor::randn(&[8], 1.0, &mut rng);
-        let dy = Tensor::ones(&[8]);
+        let x = Tensor::randn([8], 1.0, &mut rng);
+        let dy = Tensor::ones([8]);
         let y = sigmoid(&x);
         let analytic = sigmoid_grad_from_output(&y, &dy);
         let eps = 1e-3;
@@ -408,37 +431,37 @@ mod tests {
 
     #[test]
     fn bias_add_rank2_and_rank4() {
-        let x = Tensor::zeros(&[2, 3]);
-        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let x = Tensor::zeros([2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
         assert_eq!(add_bias(&x, &b).data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
 
-        let x = Tensor::zeros(&[1, 2, 2, 2]);
-        let b = Tensor::from_vec(vec![5.0, 7.0], &[2]);
+        let x = Tensor::zeros([1, 2, 2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 7.0], [2]);
         let y = add_bias(&x, &b);
         assert_eq!(y.data(), &[5.0, 5.0, 5.0, 5.0, 7.0, 7.0, 7.0, 7.0]);
     }
 
     #[test]
     fn bias_grad_sums_over_non_channel_dims() {
-        let dy = Tensor::ones(&[2, 3]);
+        let dy = Tensor::ones([2, 3]);
         assert_eq!(bias_grad(&dy).data(), &[2.0, 2.0, 2.0]);
-        let dy = Tensor::ones(&[2, 3, 4, 4]);
+        let dy = Tensor::ones([2, 3, 4, 4]);
         assert_eq!(bias_grad(&dy).data(), &[32.0, 32.0, 32.0]);
-        let dy = Tensor::ones(&[2, 5, 3]);
+        let dy = Tensor::ones([2, 5, 3]);
         assert_eq!(bias_grad(&dy).data(), &[10.0, 10.0, 10.0]);
     }
 
     #[test]
     fn scale_multiplies() {
-        let x = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let x = Tensor::from_vec(vec![1.0, -2.0], [2]);
         assert_eq!(scale(&x, 0.5).data(), &[0.5, -1.0]);
     }
 
     #[test]
     #[should_panic(expected = "not broadcastable")]
     fn incompatible_broadcast_panics() {
-        let a = Tensor::zeros(&[2, 3]);
-        let b = Tensor::zeros(&[4, 5]);
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 5]);
         add(&a, &b);
     }
 }

@@ -18,7 +18,8 @@ pub fn gather(table: &Tensor, ids: &Tensor) -> Tensor {
     for (i, &idf) in ids.data().iter().enumerate() {
         let id = idf as usize;
         assert!(id < vocab, "token id {id} out of range for vocab {vocab}");
-        out.data_mut()[i * dim..(i + 1) * dim].copy_from_slice(&table.data()[id * dim..(id + 1) * dim]);
+        out.data_mut()[i * dim..(i + 1) * dim]
+            .copy_from_slice(&table.data()[id * dim..(id + 1) * dim]);
     }
     out
 }
@@ -26,7 +27,7 @@ pub fn gather(table: &Tensor, ids: &Tensor) -> Tensor {
 /// Gradient of [`gather`] with respect to the table: scatter-adds `dy` rows
 /// into a zero table of shape `[vocab, dim]`.
 pub fn gather_grad(ids: &Tensor, dy: &Tensor, vocab: usize, dim: usize) -> Tensor {
-    let mut dtable = Tensor::zeros(&[vocab, dim]);
+    let mut dtable = Tensor::zeros([vocab, dim]);
     for (i, &idf) in ids.data().iter().enumerate() {
         let id = idf as usize;
         let src = &dy.data()[i * dim..(i + 1) * dim];
@@ -44,8 +45,8 @@ mod tests {
 
     #[test]
     fn gather_rows() {
-        let table = Tensor::from_vec(vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1], &[3, 2]);
-        let ids = Tensor::from_vec(vec![2.0, 0.0], &[2]);
+        let table = Tensor::from_vec(vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1], [3, 2]);
+        let ids = Tensor::from_vec(vec![2.0, 0.0], [2]);
         let out = gather(&table, &ids);
         assert_eq!(out.dims(), &[2, 2]);
         assert_eq!(out.data(), &[2.0, 2.1, 0.0, 0.1]);
@@ -53,8 +54,8 @@ mod tests {
 
     #[test]
     fn gather_batched_shape() {
-        let table = Tensor::from_vec((0..20).map(|v| v as f32).collect(), &[5, 4]);
-        let ids = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 0.0, 1.0], &[2, 3]);
+        let table = Tensor::from_vec((0..20).map(|v| v as f32).collect(), [5, 4]);
+        let ids = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 0.0, 1.0], [2, 3]);
         let out = gather(&table, &ids);
         assert_eq!(out.dims(), &[2, 3, 4]);
         assert_eq!(&out.data()[..4], &[4.0, 5.0, 6.0, 7.0]);
@@ -62,8 +63,8 @@ mod tests {
 
     #[test]
     fn gather_grad_accumulates_repeats() {
-        let ids = Tensor::from_vec(vec![1.0, 1.0, 0.0], &[3]);
-        let dy = Tensor::ones(&[3, 2]);
+        let ids = Tensor::from_vec(vec![1.0, 1.0, 0.0], [3]);
+        let dy = Tensor::ones([3, 2]);
         let g = gather_grad(&ids, &dy, 4, 2);
         assert_eq!(g.at(&[1, 0]), 2.0);
         assert_eq!(g.at(&[0, 0]), 1.0);
@@ -73,8 +74,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn gather_out_of_range_panics() {
-        let table = Tensor::zeros(&[2, 2]);
-        let ids = Tensor::from_vec(vec![5.0], &[1]);
+        let table = Tensor::zeros([2, 2]);
+        let ids = Tensor::from_vec(vec![5.0], [1]);
         gather(&table, &ids);
     }
 }

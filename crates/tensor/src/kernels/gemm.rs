@@ -19,8 +19,16 @@ use crate::Tensor;
 pub fn matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
     assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2");
     assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2");
-    let (m, k) = if trans_a { (a.dims()[1], a.dims()[0]) } else { (a.dims()[0], a.dims()[1]) };
-    let (kb, n) = if trans_b { (b.dims()[1], b.dims()[0]) } else { (b.dims()[0], b.dims()[1]) };
+    let (m, k) = if trans_a {
+        (a.dims()[1], a.dims()[0])
+    } else {
+        (a.dims()[0], a.dims()[1])
+    };
+    let (kb, n) = if trans_b {
+        (b.dims()[1], b.dims()[0])
+    } else {
+        (b.dims()[0], b.dims()[1])
+    };
     assert_eq!(k, kb, "matmul contraction dimension mismatch: {k} vs {kb}");
 
     let mut out = vec![0.0f32; m * n];
@@ -90,7 +98,7 @@ pub fn matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
         }
     }
 
-    Tensor::from_vec(out, &[m, n])
+    Tensor::from_vec(out, [m, n])
 }
 
 /// Batched matrix multiplication over the leading dimensions.
@@ -108,7 +116,10 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> T
     if ra == 2 && rb == 2 {
         return matmul(a, b, trans_a, trans_b);
     }
-    assert_eq!(ra, rb, "batched_matmul requires equal ranks (after broadcasting in the compiler)");
+    assert_eq!(
+        ra, rb,
+        "batched_matmul requires equal ranks (after broadcasting in the compiler)"
+    );
     let batch_dims = &a.dims()[..ra - 2];
     assert_eq!(batch_dims, &b.dims()[..rb - 2], "batch dimensions mismatch");
     let batch: usize = batch_dims.iter().product();
@@ -123,8 +134,14 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> T
     let a_stride = am * ak;
     let b_stride = bm * bk;
     for bi in 0..batch {
-        let asub = Tensor::from_vec(a.data()[bi * a_stride..(bi + 1) * a_stride].to_vec(), &[am, ak]);
-        let bsub = Tensor::from_vec(b.data()[bi * b_stride..(bi + 1) * b_stride].to_vec(), &[bm, bk]);
+        let asub = Tensor::from_vec(
+            a.data()[bi * a_stride..(bi + 1) * a_stride].to_vec(),
+            [am, ak],
+        );
+        let bsub = Tensor::from_vec(
+            b.data()[bi * b_stride..(bi + 1) * b_stride].to_vec(),
+            [bm, bk],
+        );
         let c = matmul(&asub, &bsub, trans_a, trans_b);
         out[bi * m * n..(bi + 1) * m * n].copy_from_slice(c.data());
     }
@@ -149,7 +166,7 @@ mod tests {
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);
         let n = b.dims()[1];
-        let mut out = Tensor::zeros(&[m, n]);
+        let mut out = Tensor::zeros([m, n]);
         for i in 0..m {
             for j in 0..n {
                 let mut acc = 0.0;
@@ -165,16 +182,16 @@ mod tests {
     #[test]
     fn matches_naive_no_transpose() {
         let mut rng = Rng::seed_from_u64(1);
-        let a = Tensor::randn(&[7, 5], 1.0, &mut rng);
-        let b = Tensor::randn(&[5, 9], 1.0, &mut rng);
+        let a = Tensor::randn([7, 5], 1.0, &mut rng);
+        let b = Tensor::randn([5, 9], 1.0, &mut rng);
         assert!(matmul(&a, &b, false, false).allclose(&naive(&a, &b), 1e-4));
     }
 
     #[test]
     fn transpose_flags_are_consistent() {
         let mut rng = Rng::seed_from_u64(2);
-        let a = Tensor::randn(&[4, 6], 1.0, &mut rng);
-        let b = Tensor::randn(&[6, 3], 1.0, &mut rng);
+        let a = Tensor::randn([4, 6], 1.0, &mut rng);
+        let b = Tensor::randn([6, 3], 1.0, &mut rng);
         let reference = matmul(&a, &b, false, false);
 
         let at = super::super::layout::transpose2d(&a);
@@ -187,7 +204,7 @@ mod tests {
     #[test]
     fn identity_is_noop() {
         let mut rng = Rng::seed_from_u64(3);
-        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        let a = Tensor::randn([5, 5], 1.0, &mut rng);
         let i = Tensor::eye(5);
         assert!(matmul(&a, &i, false, false).allclose(&a, 1e-6));
         assert!(matmul(&i, &a, false, false).allclose(&a, 1e-6));
@@ -196,15 +213,15 @@ mod tests {
     #[test]
     fn batched_matches_per_batch() {
         let mut rng = Rng::seed_from_u64(4);
-        let a = Tensor::randn(&[2, 3, 4, 5], 1.0, &mut rng);
-        let b = Tensor::randn(&[2, 3, 5, 6], 1.0, &mut rng);
+        let a = Tensor::randn([2, 3, 4, 5], 1.0, &mut rng);
+        let b = Tensor::randn([2, 3, 5, 6], 1.0, &mut rng);
         let c = batched_matmul(&a, &b, false, false);
         assert_eq!(c.dims(), &[2, 3, 4, 6]);
         // Check one arbitrary batch element against a 2-D matmul.
-        let a_sub = Tensor::from_vec(a.data()[5 * 20..6 * 20].to_vec(), &[4, 5]);
-        let b_sub = Tensor::from_vec(b.data()[5 * 30..6 * 30].to_vec(), &[5, 6]);
+        let a_sub = Tensor::from_vec(a.data()[5 * 20..6 * 20].to_vec(), [4, 5]);
+        let b_sub = Tensor::from_vec(b.data()[5 * 30..6 * 30].to_vec(), [5, 6]);
         let expect = matmul(&a_sub, &b_sub, false, false);
-        let got = Tensor::from_vec(c.data()[5 * 24..6 * 24].to_vec(), &[4, 6]);
+        let got = Tensor::from_vec(c.data()[5 * 24..6 * 24].to_vec(), [4, 6]);
         assert!(got.allclose(&expect, 1e-4));
     }
 
@@ -217,8 +234,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "contraction dimension mismatch")]
     fn mismatched_inner_dim_panics() {
-        let a = Tensor::zeros(&[2, 3]);
-        let b = Tensor::zeros(&[4, 5]);
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 5]);
         matmul(&a, &b, false, false);
     }
 }

@@ -22,7 +22,7 @@ pub fn transpose2d(x: &Tensor) -> Tensor {
             out[j * m + i] = x.data()[i * n + j];
         }
     }
-    Tensor::from_vec(out, &[n, m])
+    Tensor::from_vec(out, [n, m])
 }
 
 /// Permutes tensor dimensions according to `perm` (a permutation of
@@ -94,9 +94,9 @@ pub fn concat(inputs: &[&Tensor], axis: usize) -> Tensor {
     let mut axis_total = 0;
     for t in inputs {
         assert_eq!(t.shape().rank(), r, "concat rank mismatch");
-        for d in 0..r {
+        for (d, (&td, &od)) in t.dims().iter().zip(out_dims.iter()).enumerate() {
             if d != axis {
-                assert_eq!(t.dims()[d], out_dims[d], "concat non-axis dim mismatch");
+                assert_eq!(td, od, "concat non-axis dim mismatch");
             }
         }
         axis_total += t.dims()[axis];
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn transpose_roundtrip() {
         let mut rng = Rng::seed_from_u64(1);
-        let x = Tensor::randn(&[3, 5], 1.0, &mut rng);
+        let x = Tensor::randn([3, 5], 1.0, &mut rng);
         let t = transpose2d(&x);
         assert_eq!(t.dims(), &[5, 3]);
         assert_eq!(t.at(&[4, 2]), x.at(&[2, 4]));
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn permute_and_inverse() {
         let mut rng = Rng::seed_from_u64(2);
-        let x = Tensor::randn(&[2, 3, 4], 1.0, &mut rng);
+        let x = Tensor::randn([2, 3, 4], 1.0, &mut rng);
         let p = permute(&x, &[2, 0, 1]);
         assert_eq!(p.dims(), &[4, 2, 3]);
         assert_eq!(p.at(&[3, 1, 2]), x.at(&[1, 2, 3]));
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn nchw_nhwc_roundtrip() {
         let mut rng = Rng::seed_from_u64(3);
-        let x = Tensor::randn(&[2, 3, 4, 5], 1.0, &mut rng);
+        let x = Tensor::randn([2, 3, 4, 5], 1.0, &mut rng);
         let nhwc = nchw_to_nhwc(&x);
         assert_eq!(nhwc.dims(), &[2, 4, 5, 3]);
         assert_eq!(nhwc.at(&[1, 2, 3, 0]), x.at(&[1, 0, 2, 3]));
@@ -211,8 +211,8 @@ mod tests {
 
     #[test]
     fn concat_axis0_and_axis1() {
-        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
-        let b = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]);
+        let a = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], [1, 2]);
         let c0 = concat(&[&a, &b], 0);
         assert_eq!(c0.dims(), &[2, 2]);
         assert_eq!(c0.data(), &[1.0, 2.0, 3.0, 4.0]);
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn slice_then_unslice_restores_positions() {
         let mut rng = Rng::seed_from_u64(4);
-        let x = Tensor::randn(&[2, 6, 3], 1.0, &mut rng);
+        let x = Tensor::randn([2, 6, 3], 1.0, &mut rng);
         let s = slice_axis(&x, 1, 2, 3);
         assert_eq!(s.dims(), &[2, 3, 3]);
         assert_eq!(s.at(&[1, 0, 2]), x.at(&[1, 2, 2]));
@@ -237,13 +237,13 @@ mod tests {
     #[test]
     fn slice_full_is_identity() {
         let mut rng = Rng::seed_from_u64(5);
-        let x = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let x = Tensor::randn([4, 5], 1.0, &mut rng);
         assert!(slice_axis(&x, 0, 0, 4).allclose(&x, 0.0));
     }
 
     #[test]
     #[should_panic(expected = "slice out of bounds")]
     fn slice_out_of_bounds_panics() {
-        slice_axis(&Tensor::zeros(&[2, 3]), 1, 2, 2);
+        slice_axis(&Tensor::zeros([2, 3]), 1, 2, 2);
     }
 }

@@ -136,8 +136,8 @@ pub fn layer_norm_grad(
     let cols = *x.dims().last().expect("rank >= 1");
     let rows = x.numel() / cols;
     let mut dx = Tensor::zeros(x.shape().clone());
-    let mut dgamma = Tensor::zeros(&[cols]);
-    let mut dbeta = Tensor::zeros(&[cols]);
+    let mut dgamma = Tensor::zeros([cols]);
+    let mut dbeta = Tensor::zeros([cols]);
     for r in 0..rows {
         let xs = &x.data()[r * cols..(r + 1) * cols];
         let gs = &dy.data()[r * cols..(r + 1) * cols];
@@ -187,7 +187,7 @@ pub fn rms_norm_grad(x: &Tensor, gamma: &Tensor, dy: &Tensor, eps: f32) -> (Tens
     let cols = *x.dims().last().expect("rank >= 1");
     let rows = x.numel() / cols;
     let mut dx = Tensor::zeros(x.shape().clone());
-    let mut dgamma = Tensor::zeros(&[cols]);
+    let mut dgamma = Tensor::zeros([cols]);
     for r in 0..rows {
         let xs = &x.data()[r * cols..(r + 1) * cols];
         let gs = &dy.data()[r * cols..(r + 1) * cols];
@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn softmax_rows_sum_to_one() {
         let mut rng = Rng::seed_from_u64(1);
-        let x = Tensor::randn(&[4, 7], 2.0, &mut rng);
+        let x = Tensor::randn([4, 7], 2.0, &mut rng);
         let y = softmax(&x);
         for r in 0..4 {
             let s: f32 = y.data()[r * 7..(r + 1) * 7].iter().sum();
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn softmax_is_shift_invariant() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]);
         let shifted = x.map(|v| v + 100.0);
         assert!(softmax(&x).allclose(&softmax(&shifted), 1e-5));
     }
@@ -234,12 +234,17 @@ mod tests {
     #[test]
     fn softmax_grad_matches_finite_difference() {
         let mut rng = Rng::seed_from_u64(2);
-        let x = Tensor::randn(&[2, 5], 1.0, &mut rng);
-        let dy = Tensor::randn(&[2, 5], 1.0, &mut rng);
+        let x = Tensor::randn([2, 5], 1.0, &mut rng);
+        let dy = Tensor::randn([2, 5], 1.0, &mut rng);
         let y = softmax(&x);
         let analytic = softmax_grad_from_output(&y, &dy);
         let loss = |x: &Tensor| -> f32 {
-            softmax(x).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+            softmax(x)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-3;
         for i in 0..x.numel() {
@@ -254,16 +259,16 @@ mod tests {
 
     #[test]
     fn cross_entropy_on_perfect_prediction_is_small() {
-        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0], &[2, 3]);
-        let targets = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0], [2, 3]);
+        let targets = Tensor::from_vec(vec![0.0, 1.0], [2]);
         let loss = cross_entropy_loss(&logits, &targets);
         assert!(loss.data()[0] < 1e-3);
     }
 
     #[test]
     fn cross_entropy_uniform_is_log_c() {
-        let logits = Tensor::zeros(&[4, 10]);
-        let targets = Tensor::from_vec(vec![0.0, 3.0, 7.0, 9.0], &[4]);
+        let logits = Tensor::zeros([4, 10]);
+        let targets = Tensor::from_vec(vec![0.0, 3.0, 7.0, 9.0], [4]);
         let loss = cross_entropy_loss(&logits, &targets);
         assert!((loss.data()[0] - (10.0f32).ln()).abs() < 1e-5);
     }
@@ -271,8 +276,8 @@ mod tests {
     #[test]
     fn cross_entropy_grad_matches_finite_difference() {
         let mut rng = Rng::seed_from_u64(3);
-        let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
-        let targets = Tensor::from_vec(vec![1.0, 3.0, 0.0], &[3]);
+        let logits = Tensor::randn([3, 4], 1.0, &mut rng);
+        let targets = Tensor::from_vec(vec![1.0, 3.0, 0.0], [3]);
         let analytic = cross_entropy_grad(&logits, &targets, 1.0);
         let eps = 1e-3;
         for i in 0..logits.numel() {
@@ -290,9 +295,9 @@ mod tests {
     #[test]
     fn layer_norm_output_is_normalised() {
         let mut rng = Rng::seed_from_u64(4);
-        let x = Tensor::randn(&[3, 16], 3.0, &mut rng);
-        let gamma = Tensor::ones(&[16]);
-        let beta = Tensor::zeros(&[16]);
+        let x = Tensor::randn([3, 16], 3.0, &mut rng);
+        let gamma = Tensor::ones([16]);
+        let beta = Tensor::zeros([16]);
         let y = layer_norm(&x, &gamma, &beta, 1e-5);
         for r in 0..3 {
             let row = &y.data()[r * 16..(r + 1) * 16];
@@ -306,13 +311,18 @@ mod tests {
     #[test]
     fn layer_norm_grad_matches_finite_difference() {
         let mut rng = Rng::seed_from_u64(5);
-        let x = Tensor::randn(&[2, 8], 1.0, &mut rng);
-        let gamma = Tensor::rand_uniform(&[8], 0.5, 1.5, &mut rng);
-        let beta = Tensor::randn(&[8], 0.2, &mut rng);
-        let dy = Tensor::randn(&[2, 8], 1.0, &mut rng);
+        let x = Tensor::randn([2, 8], 1.0, &mut rng);
+        let gamma = Tensor::rand_uniform([8], 0.5, 1.5, &mut rng);
+        let beta = Tensor::randn([8], 0.2, &mut rng);
+        let dy = Tensor::randn([2, 8], 1.0, &mut rng);
         let (dx, dgamma, dbeta) = layer_norm_grad(&x, &gamma, &dy, 1e-5);
         let loss = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
-            layer_norm(x, g, b, 1e-5).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+            layer_norm(x, g, b, 1e-5)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-3;
         for i in 0..x.numel() {
@@ -321,7 +331,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let fd = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
-            assert!((fd - dx.data()[i]).abs() < 2e-2, "dx[{i}] {fd} vs {}", dx.data()[i]);
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}] {fd} vs {}",
+                dx.data()[i]
+            );
         }
         for i in 0..8 {
             let mut gp = gamma.clone();
@@ -342,18 +356,23 @@ mod tests {
     #[test]
     fn rms_norm_matches_definition_and_grad() {
         let mut rng = Rng::seed_from_u64(6);
-        let x = Tensor::randn(&[2, 6], 1.0, &mut rng);
-        let gamma = Tensor::rand_uniform(&[6], 0.5, 1.5, &mut rng);
+        let x = Tensor::randn([2, 6], 1.0, &mut rng);
+        let gamma = Tensor::rand_uniform([6], 0.5, 1.5, &mut rng);
         let y = rms_norm(&x, &gamma, 1e-6);
         // Manual check of one element.
         let row = &x.data()[..6];
         let rms = (row.iter().map(|v| v * v).sum::<f32>() / 6.0 + 1e-6).sqrt();
         assert!((y.data()[0] - row[0] / rms * gamma.data()[0]).abs() < 1e-5);
 
-        let dy = Tensor::randn(&[2, 6], 1.0, &mut rng);
+        let dy = Tensor::randn([2, 6], 1.0, &mut rng);
         let (dx, dgamma) = rms_norm_grad(&x, &gamma, &dy, 1e-6);
         let loss = |x: &Tensor, g: &Tensor| -> f32 {
-            rms_norm(x, g, 1e-6).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+            rms_norm(x, g, 1e-6)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-3;
         for i in 0..x.numel() {

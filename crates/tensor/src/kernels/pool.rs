@@ -16,7 +16,11 @@ pub struct Pool2dParams {
 impl Pool2dParams {
     /// Creates pooling parameters.
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
-        Pool2dParams { kernel, stride, padding }
+        Pool2dParams {
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output spatial size for the given input size.
@@ -29,7 +33,7 @@ impl Pool2dParams {
 pub fn avg_pool2d(x: &Tensor, p: Pool2dParams) -> Tensor {
     let [n, c, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
     let (oh, ow) = (p.out_size(h), p.out_size(w));
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = Tensor::zeros([n, c, oh, ow]);
     let norm = 1.0 / (p.kernel * p.kernel) as f32;
     for ni in 0..n {
         for ci in 0..c {
@@ -61,7 +65,7 @@ pub fn avg_pool2d(x: &Tensor, p: Pool2dParams) -> Tensor {
 pub fn avg_pool2d_grad(dy: &Tensor, x_dims: &[usize], p: Pool2dParams) -> Tensor {
     let [n, c, h, w] = [x_dims[0], x_dims[1], x_dims[2], x_dims[3]];
     let (oh, ow) = (dy.dims()[2], dy.dims()[3]);
-    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let mut dx = Tensor::zeros([n, c, h, w]);
     let norm = 1.0 / (p.kernel * p.kernel) as f32;
     for ni in 0..n {
         for ci in 0..c {
@@ -93,7 +97,7 @@ pub fn avg_pool2d_grad(dy: &Tensor, x_dims: &[usize], p: Pool2dParams) -> Tensor
 pub fn max_pool2d_with_indices(x: &Tensor, p: Pool2dParams) -> (Tensor, Vec<usize>) {
     let [n, c, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
     let (oh, ow) = (p.out_size(h), p.out_size(w));
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = Tensor::zeros([n, c, oh, ow]);
     let mut indices = vec![0usize; n * c * oh * ow];
     for ni in 0..n {
         for ci in 0..c {
@@ -140,7 +144,7 @@ pub fn max_pool2d_grad(dy: &Tensor, indices: &[usize], x_dims: &[usize]) -> Tens
 /// Global average pooling: `[N, C, H, W] -> [N, C]`.
 pub fn global_avg_pool(x: &Tensor) -> Tensor {
     let [n, c, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
-    let mut out = Tensor::zeros(&[n, c]);
+    let mut out = Tensor::zeros([n, c]);
     let norm = 1.0 / (h * w) as f32;
     for ni in 0..n {
         for ci in 0..c {
@@ -176,7 +180,7 @@ mod tests {
 
     #[test]
     fn avg_pool_known_values() {
-        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), [1, 1, 4, 4]);
         let y = avg_pool2d(&x, Pool2dParams::new(2, 2, 0));
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
@@ -184,17 +188,17 @@ mod tests {
 
     #[test]
     fn avg_pool_grad_distributes_evenly() {
-        let dy = Tensor::ones(&[1, 1, 2, 2]);
+        let dy = Tensor::ones([1, 1, 2, 2]);
         let dx = avg_pool2d_grad(&dy, &[1, 1, 4, 4], Pool2dParams::new(2, 2, 0));
         assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
     }
 
     #[test]
     fn max_pool_picks_max_and_routes_gradient() {
-        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), [1, 1, 4, 4]);
         let (y, idx) = max_pool2d_with_indices(&x, Pool2dParams::new(2, 2, 0));
         assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
-        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]);
         let dx = max_pool2d_grad(&dy, &idx, &[1, 1, 4, 4]);
         assert_eq!(dx.at(&[0, 0, 1, 1]), 1.0);
         assert_eq!(dx.at(&[0, 0, 3, 3]), 4.0);
@@ -204,13 +208,13 @@ mod tests {
     #[test]
     fn global_avg_pool_and_grad() {
         let mut rng = Rng::seed_from_u64(5);
-        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng);
+        let x = Tensor::randn([2, 3, 4, 4], 1.0, &mut rng);
         let y = global_avg_pool(&x);
         assert_eq!(y.dims(), &[2, 3]);
         let manual: f32 = x.data()[..16].iter().sum::<f32>() / 16.0;
         assert!((y.data()[0] - manual).abs() < 1e-5);
 
-        let dy = Tensor::ones(&[2, 3]);
+        let dy = Tensor::ones([2, 3]);
         let dx = global_avg_pool_grad(&dy, &[2, 3, 4, 4]);
         assert!((dx.sum() - 6.0).abs() < 1e-4);
     }
@@ -219,7 +223,7 @@ mod tests {
     fn pool_with_padding_output_size() {
         let p = Pool2dParams::new(3, 2, 1);
         assert_eq!(p.out_size(8), 4);
-        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let x = Tensor::ones([1, 1, 8, 8]);
         let y = avg_pool2d(&x, p);
         assert_eq!(y.dims(), &[1, 1, 4, 4]);
     }

@@ -25,8 +25,12 @@ pub fn reduce(x: &Tensor, op: ReduceOp, axes: &[usize], keep_dims: bool) -> Tens
         assert!(a < r, "reduce axis {a} out of range for rank {r}");
     }
     let reduce_mask: Vec<bool> = (0..r).map(|d| axes.contains(&d)).collect();
-    let out_dims_kept: Vec<usize> =
-        x.dims().iter().enumerate().map(|(d, &s)| if reduce_mask[d] { 1 } else { s }).collect();
+    let out_dims_kept: Vec<usize> = x
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(d, &s)| if reduce_mask[d] { 1 } else { s })
+        .collect();
     let out_shape_kept = Shape::new(out_dims_kept.clone());
     let init = match op {
         ReduceOp::Sum | ReduceOp::Mean => 0.0,
@@ -36,8 +40,11 @@ pub fn reduce(x: &Tensor, op: ReduceOp, axes: &[usize], keep_dims: bool) -> Tens
 
     for flat in 0..x.numel() {
         let idx = x.shape().unravel(flat);
-        let out_idx: Vec<usize> =
-            idx.iter().enumerate().map(|(d, &i)| if reduce_mask[d] { 0 } else { i }).collect();
+        let out_idx: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| if reduce_mask[d] { 0 } else { i })
+            .collect();
         let o = out_shape_kept.ravel(&out_idx);
         let v = x.data()[flat];
         match op {
@@ -85,7 +92,10 @@ pub fn reduce_all_sum(x: &Tensor) -> Tensor {
 /// Gradient of a sum/mean reduction: broadcasts `dy` back to `input_dims`,
 /// dividing by the reduction count for mean.
 pub fn reduce_grad(dy: &Tensor, op: ReduceOp, input_dims: &[usize], axes: &[usize]) -> Tensor {
-    assert!(op != ReduceOp::Max, "max reduction gradient requires the forward input; not supported here");
+    assert!(
+        op != ReduceOp::Max,
+        "max reduction gradient requires the forward input; not supported here"
+    );
     let r = input_dims.len();
     let reduce_mask: Vec<bool> = (0..r).map(|d| axes.contains(&d)).collect();
     let count: usize = input_dims
@@ -95,12 +105,19 @@ pub fn reduce_grad(dy: &Tensor, op: ReduceOp, input_dims: &[usize], axes: &[usiz
         .map(|(_, &s)| s)
         .product::<usize>()
         .max(1);
-    let scale = if op == ReduceOp::Mean { 1.0 / count as f32 } else { 1.0 };
+    let scale = if op == ReduceOp::Mean {
+        1.0 / count as f32
+    } else {
+        1.0
+    };
 
     // dy may have been produced with or without keep_dims; rebuild the kept
     // shape for indexing.
-    let kept_dims: Vec<usize> =
-        input_dims.iter().enumerate().map(|(d, &s)| if reduce_mask[d] { 1 } else { s }).collect();
+    let kept_dims: Vec<usize> = input_dims
+        .iter()
+        .enumerate()
+        .map(|(d, &s)| if reduce_mask[d] { 1 } else { s })
+        .collect();
     let dy_kept = dy.reshape(Shape::new(kept_dims.clone()));
     let kept_shape = Shape::new(kept_dims);
 
@@ -108,8 +125,11 @@ pub fn reduce_grad(dy: &Tensor, op: ReduceOp, input_dims: &[usize], axes: &[usiz
     let mut out = Tensor::zeros(in_shape.clone());
     for flat in 0..out.numel() {
         let idx = in_shape.unravel(flat);
-        let out_idx: Vec<usize> =
-            idx.iter().enumerate().map(|(d, &i)| if reduce_mask[d] { 0 } else { i }).collect();
+        let out_idx: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| if reduce_mask[d] { 0 } else { i })
+            .collect();
         out.data_mut()[flat] = dy_kept.data()[kept_shape.ravel(&out_idx)] * scale;
     }
     out
@@ -121,7 +141,7 @@ mod tests {
 
     #[test]
     fn sum_over_axis0() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
         let s = reduce(&x, ReduceOp::Sum, &[0], false);
         assert_eq!(s.dims(), &[3]);
         assert_eq!(s.data(), &[5.0, 7.0, 9.0]);
@@ -129,7 +149,7 @@ mod tests {
 
     #[test]
     fn sum_keep_dims() {
-        let x = Tensor::ones(&[2, 3]);
+        let x = Tensor::ones([2, 3]);
         let s = reduce(&x, ReduceOp::Sum, &[1], true);
         assert_eq!(s.dims(), &[2, 1]);
         assert_eq!(s.data(), &[3.0, 3.0]);
@@ -137,7 +157,7 @@ mod tests {
 
     #[test]
     fn mean_and_max() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
         let m = reduce(&x, ReduceOp::Mean, &[1], false);
         assert_eq!(m.data(), &[2.0, 5.0]);
         let mx = reduce(&x, ReduceOp::Max, &[0], false);
@@ -146,7 +166,7 @@ mod tests {
 
     #[test]
     fn reduce_multiple_axes() {
-        let x = Tensor::ones(&[2, 3, 4]);
+        let x = Tensor::ones([2, 3, 4]);
         let s = reduce(&x, ReduceOp::Sum, &[0, 2], false);
         assert_eq!(s.dims(), &[3]);
         assert_eq!(s.data(), &[8.0, 8.0, 8.0]);
@@ -154,13 +174,13 @@ mod tests {
 
     #[test]
     fn reduce_all_to_scalar() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
         assert_eq!(reduce_all_sum(&x).data(), &[6.0]);
     }
 
     #[test]
     fn sum_grad_broadcasts() {
-        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
         let g = reduce_grad(&dy, ReduceOp::Sum, &[2, 3], &[0]);
         assert_eq!(g.dims(), &[2, 3]);
         assert_eq!(g.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
@@ -168,7 +188,7 @@ mod tests {
 
     #[test]
     fn mean_grad_scales() {
-        let dy = Tensor::from_vec(vec![4.0, 8.0], &[2]);
+        let dy = Tensor::from_vec(vec![4.0, 8.0], [2]);
         let g = reduce_grad(&dy, ReduceOp::Mean, &[2, 4], &[1]);
         assert_eq!(g.dims(), &[2, 4]);
         assert_eq!(g.data()[0], 1.0);
@@ -178,6 +198,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_axis_panics() {
-        reduce(&Tensor::zeros(&[2]), ReduceOp::Sum, &[3], false);
+        reduce(&Tensor::zeros([2]), ReduceOp::Sum, &[3], false);
     }
 }

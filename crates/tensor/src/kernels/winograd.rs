@@ -30,14 +30,28 @@ impl WinogradWeight {
     /// # Panics
     ///
     /// Panics unless the kernel is 3x3 with a single group.
+    // Index-based loops keep the matrix algebra readable here.
+    #[allow(clippy::needless_range_loop)]
     pub fn from_dense(weight: &Tensor) -> Self {
-        let [cout, cin, kh, kw] =
-            [weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]];
-        assert_eq!((kh, kw), (3, 3), "winograd F(2x2,3x3) requires a 3x3 kernel");
+        let [cout, cin, kh, kw] = [
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        ];
+        assert_eq!(
+            (kh, kw),
+            (3, 3),
+            "winograd F(2x2,3x3) requires a 3x3 kernel"
+        );
         // G is 4x3.
-        const G: [[f32; 3]; 4] =
-            [[1.0, 0.0, 0.0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0.0, 0.0, 1.0]];
-        let mut u = Tensor::zeros(&[cout, cin, 4, 4]);
+        const G: [[f32; 3]; 4] = [
+            [1.0, 0.0, 0.0],
+            [0.5, 0.5, 0.5],
+            [0.5, -0.5, 0.5],
+            [0.0, 0.0, 1.0],
+        ];
+        let mut u = Tensor::zeros([cout, cin, 4, 4]);
         for oc in 0..cout {
             for ic in 0..cin {
                 let base = (oc * cin + ic) * 9;
@@ -93,7 +107,11 @@ impl WinogradWeight {
 pub fn conv2d_winograd(x: &Tensor, weight: &WinogradWeight, padding: usize) -> Tensor {
     let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
     assert_eq!(cin, weight.cin, "winograd channel mismatch");
-    let p = Conv2dParams { stride: 1, padding, groups: 1 };
+    let p = Conv2dParams {
+        stride: 1,
+        padding,
+        groups: 1,
+    };
     let od = conv2d_out_dims(x.dims(), &[weight.cout, weight.cin, 3, 3], p);
     let (cout, oh, ow) = (od[1], od[2], od[3]);
     let mut out = Tensor::zeros(&od[..]);
@@ -202,7 +220,11 @@ pub fn conv2d_winograd(x: &Tensor, weight: &WinogradWeight, padding: usize) -> T
 /// model): 16 multiplies per 2x2 output tile per (Cin x Cout) pair, i.e.
 /// 4 multiplies per output element versus 9 for direct convolution.
 pub fn winograd_flops(x_dims: &[usize], cout: usize, padding: usize) -> u64 {
-    let p = Conv2dParams { stride: 1, padding, groups: 1 };
+    let p = Conv2dParams {
+        stride: 1,
+        padding,
+        groups: 1,
+    };
     let od = conv2d_out_dims(x_dims, &[cout, x_dims[1], 3, 3], p);
     let tiles = (od[2].div_ceil(2) * od[3].div_ceil(2)) as u64;
     // 16 elementwise multiplies per tile per channel pair, x2 for MAC convention.
@@ -218,8 +240,8 @@ mod tests {
     #[test]
     fn matches_direct_convolution_no_padding() {
         let mut rng = Rng::seed_from_u64(1);
-        let x = Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
-        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        let x = Tensor::randn([1, 3, 8, 8], 1.0, &mut rng);
+        let w = Tensor::randn([4, 3, 3, 3], 0.5, &mut rng);
         let direct = conv2d(&x, &w, Conv2dParams::new(1, 0));
         let wino = conv2d_winograd(&x, &WinogradWeight::from_dense(&w), 0);
         assert!(wino.allclose(&direct, 1e-3), "max diff too large");
@@ -228,8 +250,8 @@ mod tests {
     #[test]
     fn matches_direct_convolution_with_padding() {
         let mut rng = Rng::seed_from_u64(2);
-        let x = Tensor::randn(&[2, 2, 7, 9], 1.0, &mut rng);
-        let w = Tensor::randn(&[3, 2, 3, 3], 0.5, &mut rng);
+        let x = Tensor::randn([2, 2, 7, 9], 1.0, &mut rng);
+        let w = Tensor::randn([3, 2, 3, 3], 0.5, &mut rng);
         let direct = conv2d(&x, &w, Conv2dParams::new(1, 1));
         let wino = conv2d_winograd(&x, &WinogradWeight::from_dense(&w), 1);
         assert_eq!(wino.dims(), direct.dims());
@@ -239,8 +261,8 @@ mod tests {
     #[test]
     fn odd_output_sizes_are_handled() {
         let mut rng = Rng::seed_from_u64(3);
-        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, &mut rng);
-        let w = Tensor::randn(&[1, 1, 3, 3], 1.0, &mut rng);
+        let x = Tensor::randn([1, 1, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn([1, 1, 3, 3], 1.0, &mut rng);
         let direct = conv2d(&x, &w, Conv2dParams::new(1, 0));
         let wino = conv2d_winograd(&x, &WinogradWeight::from_dense(&w), 0);
         assert_eq!(direct.dims(), &[1, 1, 3, 3]);
@@ -250,7 +272,8 @@ mod tests {
     #[test]
     fn fewer_multiplies_than_direct() {
         let x_dims = [1, 16, 32, 32];
-        let direct = super::super::conv::conv2d_flops(&x_dims, &[16, 16, 3, 3], Conv2dParams::new(1, 1));
+        let direct =
+            super::super::conv::conv2d_flops(&x_dims, &[16, 16, 3, 3], Conv2dParams::new(1, 1));
         let wino = winograd_flops(&x_dims, 16, 1);
         assert!(wino < direct, "winograd {wino} should be < direct {direct}");
     }
@@ -258,6 +281,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "3x3 kernel")]
     fn rejects_non_3x3() {
-        WinogradWeight::from_dense(&Tensor::zeros(&[1, 1, 5, 5]));
+        WinogradWeight::from_dense(&Tensor::zeros([1, 1, 5, 5]));
     }
 }

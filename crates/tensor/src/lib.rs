@@ -63,7 +63,10 @@ impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TensorError::DataLengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for tensor of rank {rank}")
@@ -80,7 +83,10 @@ mod tests {
 
     #[test]
     fn error_display_is_nonempty() {
-        let e = TensorError::DataLengthMismatch { expected: 4, actual: 3 };
+        let e = TensorError::DataLengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(!e.to_string().is_empty());
         let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
         assert!(e.to_string().contains("axis 5"));

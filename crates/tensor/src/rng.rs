@@ -34,7 +34,10 @@ impl Rng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Rng { state: [next(), next(), next(), next()], cached_normal: None }
+        Rng {
+            state: [next(), next(), next(), next()],
+            cached_normal: None,
+        }
     }
 
     /// Next raw 64-bit output.

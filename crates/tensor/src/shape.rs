@@ -73,9 +73,18 @@ impl Shape {
     pub fn broadcast_with(&self, other: &Shape) -> Option<Shape> {
         let r = self.rank().max(other.rank());
         let mut out = vec![0usize; r];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..r {
-            let a = if i < r - self.rank() { 1 } else { self.dims[i - (r - self.rank())] };
-            let b = if i < r - other.rank() { 1 } else { other.dims[i - (r - other.rank())] };
+            let a = if i < r - self.rank() {
+                1
+            } else {
+                self.dims[i - (r - self.rank())]
+            };
+            let b = if i < r - other.rank() {
+                1
+            } else {
+                other.dims[i - (r - other.rank())]
+            };
             if a == b || a == 1 || b == 1 {
                 out[i] = a.max(b);
             } else {

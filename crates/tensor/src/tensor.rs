@@ -33,7 +33,11 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n], dtype: DType::F32 }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+            dtype: DType::F32,
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -45,17 +49,25 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n], dtype: DType::F32 }
+        Tensor {
+            shape,
+            data: vec![value; n],
+            dtype: DType::F32,
+        }
     }
 
     /// Creates a rank-0 scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value], dtype: DType::F32 }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+            dtype: DType::F32,
+        }
     }
 
     /// Creates an identity matrix of size `n x n`.
     pub fn eye(n: usize) -> Self {
-        let mut t = Tensor::zeros(&[n, n]);
+        let mut t = Tensor::zeros([n, n]);
         for i in 0..n {
             t.data[i * n + i] = 1.0;
         }
@@ -81,23 +93,40 @@ impl Tensor {
     pub fn try_from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self, TensorError> {
         let shape = shape.into();
         if data.len() != shape.numel() {
-            return Err(TensorError::DataLengthMismatch { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::DataLengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
-        Ok(Tensor { shape, data, dtype: DType::F32 })
+        Ok(Tensor {
+            shape,
+            data,
+            dtype: DType::F32,
+        })
     }
 
     /// Creates a tensor with values drawn from `N(0, std^2)`.
     pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut Rng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(|_| rng.normal_with(0.0, std)).collect();
-        Tensor { shape, data, dtype: DType::F32 }
+        let data = (0..shape.numel())
+            .map(|_| rng.normal_with(0.0, std))
+            .collect();
+        Tensor {
+            shape,
+            data,
+            dtype: DType::F32,
+        }
     }
 
     /// Creates a tensor with values drawn uniformly from `[lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
-        Tensor { shape, data, dtype: DType::F32 }
+        Tensor {
+            shape,
+            data,
+            dtype: DType::F32,
+        }
     }
 
     /// Kaiming/He initialisation for a weight of the given shape, where
@@ -180,7 +209,11 @@ impl Tensor {
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         assert_eq!(shape.numel(), self.numel(), "reshape volume mismatch");
-        Tensor { shape, data: self.data.clone(), dtype: self.dtype }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+            dtype: self.dtype,
+        }
     }
 
     /// Applies `f` elementwise, returning a new tensor.
@@ -260,7 +293,7 @@ mod tests {
 
     #[test]
     fn construction_and_accessors() {
-        let t = Tensor::full(&[2, 3], 2.5);
+        let t = Tensor::full([2, 3], 2.5);
         assert_eq!(t.numel(), 6);
         assert_eq!(t.dims(), &[2, 3]);
         assert_eq!(t.at(&[1, 2]), 2.5);
@@ -269,8 +302,14 @@ mod tests {
 
     #[test]
     fn try_from_vec_rejects_bad_length() {
-        let err = Tensor::try_from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
-        assert_eq!(err, TensorError::DataLengthMismatch { expected: 6, actual: 5 });
+        let err = Tensor::try_from_vec(vec![1.0; 5], [2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::DataLengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
     }
 
     #[test]
@@ -283,7 +322,7 @@ mod tests {
 
     #[test]
     fn set_and_get() {
-        let mut t = Tensor::zeros(&[2, 2]);
+        let mut t = Tensor::zeros([2, 2]);
         t.set(&[1, 0], 7.0);
         assert_eq!(t.at(&[1, 0]), 7.0);
         assert_eq!(t.sum(), 7.0);
@@ -291,8 +330,8 @@ mod tests {
 
     #[test]
     fn reshape_preserves_data() {
-        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
-        let r = t.reshape(&[3, 2]);
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let r = t.reshape([3, 2]);
         assert_eq!(r.dims(), &[3, 2]);
         assert_eq!(r.data(), t.data());
     }
@@ -300,12 +339,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "reshape volume mismatch")]
     fn reshape_wrong_volume_panics() {
-        Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+        Tensor::zeros([2, 3]).reshape([4, 2]);
     }
 
     #[test]
     fn map_and_stats() {
-        let t = Tensor::from_vec(vec![-1.0, 2.0, -3.0], &[3]);
+        let t = Tensor::from_vec(vec![-1.0, 2.0, -3.0], [3]);
         let m = t.map(|x| x * x);
         assert_eq!(m.data(), &[1.0, 4.0, 9.0]);
         assert_eq!(t.max_abs(), 3.0);
@@ -316,7 +355,7 @@ mod tests {
     #[test]
     fn randn_is_reasonable() {
         let mut rng = Rng::seed_from_u64(0);
-        let t = Tensor::randn(&[64, 64], 1.0, &mut rng);
+        let t = Tensor::randn([64, 64], 1.0, &mut rng);
         assert!(t.mean().abs() < 0.05);
         let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.numel() as f32;
         assert!((var - 1.0).abs() < 0.1);
@@ -325,23 +364,23 @@ mod tests {
     #[test]
     fn kaiming_scale_shrinks_with_fan_in() {
         let mut rng = Rng::seed_from_u64(0);
-        let small = Tensor::kaiming(&[32, 32], 8, &mut rng);
-        let big = Tensor::kaiming(&[32, 32], 8192, &mut rng);
+        let small = Tensor::kaiming([32, 32], 8, &mut rng);
+        let big = Tensor::kaiming([32, 32], 8192, &mut rng);
         assert!(small.max_abs() > big.max_abs());
     }
 
     #[test]
     fn allclose_tolerance() {
-        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
-        let b = Tensor::from_vec(vec![1.0 + 1e-7, 2.0 - 1e-7], &[2]);
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![1.0 + 1e-7, 2.0 - 1e-7], [2]);
         assert!(a.allclose(&b, 1e-5));
-        let c = Tensor::from_vec(vec![1.1, 2.0], &[2]);
+        let c = Tensor::from_vec(vec![1.1, 2.0], [2]);
         assert!(!a.allclose(&c, 1e-5));
     }
 
     #[test]
     fn argmax_rows_picks_max_per_row() {
-        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1], &[2, 3]);
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1], [2, 3]);
         assert_eq!(t.argmax_rows(), vec![1, 0]);
     }
 }

@@ -12,8 +12,16 @@ use pockengine::pe_data::{generate_instruct_dataset, response_accuracy, Instruct
 use pockengine::prelude::*;
 
 fn main() {
-    let cfg = InstructConfig { batch: 8, train_batches: 24, test_batches: 4, ..InstructConfig::default() };
-    let llama_cfg = LlamaConfig { vocab: cfg.vocab, ..LlamaConfig::tiny(cfg.batch, cfg.seq_len) };
+    let cfg = InstructConfig {
+        batch: 8,
+        train_batches: 24,
+        test_batches: 4,
+        ..InstructConfig::default()
+    };
+    let llama_cfg = LlamaConfig {
+        vocab: cfg.vocab,
+        ..LlamaConfig::tiny(cfg.batch, cfg.seq_len)
+    };
 
     // The paper's Llama scheme: attention + first FFN linear of the last
     // blocks; layer norms frozen. Scaled to the tiny model's 2 blocks.
@@ -21,15 +29,27 @@ fn main() {
         name: "llama-tiny".to_string(),
         bias_last_blocks: 1,
         weight_rules: vec![
-            pockengine::pe_sparse::WeightRule::full("attn.", pockengine::pe_sparse::BlockSelector::LastK(1)),
-            pockengine::pe_sparse::WeightRule::full("ffn.gate", pockengine::pe_sparse::BlockSelector::LastK(1)),
+            pockengine::pe_sparse::WeightRule::full(
+                "attn.",
+                pockengine::pe_sparse::BlockSelector::LastK(1),
+            ),
+            pockengine::pe_sparse::WeightRule::full(
+                "ffn.gate",
+                pockengine::pe_sparse::BlockSelector::LastK(1),
+            ),
         ],
         train_head: true,
         train_norm: false,
     };
 
-    println!("{:<10} {:>12} {:>12} {:>22} {:>16}", "method", "loss", "latency/step", "instruction accuracy", "trainable elems");
-    for (label, rule) in [("FT-Full", UpdateRule::Full), ("Sparse", UpdateRule::Sparse(sparse))] {
+    println!(
+        "{:<10} {:>12} {:>12} {:>22} {:>16}",
+        "method", "loss", "latency/step", "instruction accuracy", "trainable elems"
+    );
+    for (label, rule) in [
+        ("FT-Full", UpdateRule::Full),
+        ("Sparse", UpdateRule::Sparse(sparse)),
+    ] {
         let mut rng = Rng::seed_from_u64(11);
         let data = generate_instruct_dataset(cfg, &mut rng);
         let model = build_llama(&llama_cfg, &mut rng);
@@ -54,7 +74,11 @@ fn main() {
                     ("ids".to_string(), ids.clone()),
                     ("labels".to_string(), labels.clone()),
                 ]);
-                loss = exec.run_step(&inputs).expect("training step").loss.unwrap_or(f32::NAN);
+                loss = exec
+                    .run_step(&inputs)
+                    .expect("training step")
+                    .loss
+                    .unwrap_or(f32::NAN);
                 steps += 1;
             }
         }
@@ -62,8 +86,10 @@ fn main() {
 
         let mut accs = Vec::new();
         for (ids, labels) in &data.test {
-            let inputs =
-                HashMap::from([("ids".to_string(), ids.clone()), ("labels".to_string(), labels.clone())]);
+            let inputs = HashMap::from([
+                ("ids".to_string(), ids.clone()),
+                ("labels".to_string(), labels.clone()),
+            ]);
             let out = exec.run_eval(&inputs).expect("evaluation");
             let logits = out.outputs.get(&logits_name).expect("logits");
             accs.push(response_accuracy(logits, ids, labels, cfg.num_args));

@@ -26,16 +26,32 @@ fn main() {
     );
 
     println!("MobileNetV2 (batch {batch}) — training memory");
-    println!("  full-bp  : {:>8.1} MiB", full.memory.total_bytes() as f64 / (1024.0 * 1024.0));
-    println!("  sparse-bp: {:>8.1} MiB\n", sparse.memory.total_bytes() as f64 / (1024.0 * 1024.0));
+    println!(
+        "  full-bp  : {:>8.1} MiB",
+        full.memory.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  sparse-bp: {:>8.1} MiB\n",
+        sparse.memory.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
 
     println!(
         "{:<26} {:>14} {:>14} {:>18} {:>10}",
         "device", "TF (img/s)", "PyTorch", "PockEngine sparse", "fits?"
     );
     for device in DeviceProfile::all_paper_devices() {
-        let tf = estimate_step_latency(&full.training_graph.graph, &full.schedule.order, &device, &FrameworkProfile::tensorflow());
-        let pt = estimate_step_latency(&full.training_graph.graph, &full.schedule.order, &device, &FrameworkProfile::pytorch());
+        let tf = estimate_step_latency(
+            &full.training_graph.graph,
+            &full.schedule.order,
+            &device,
+            &FrameworkProfile::tensorflow(),
+        );
+        let pt = estimate_step_latency(
+            &full.training_graph.graph,
+            &full.schedule.order,
+            &device,
+            &FrameworkProfile::pytorch(),
+        );
         let pe = estimate_step_latency(
             &sparse.training_graph.graph,
             &sparse.schedule.order,

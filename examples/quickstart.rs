@@ -16,7 +16,12 @@ fn main() {
     let mut data_rng = Rng::seed_from_u64(1);
     let task = generate_vision_task(
         "quickstart",
-        VisionTaskConfig { num_classes: 4, resolution: 16, batch: 16, ..VisionTaskConfig::default() },
+        VisionTaskConfig {
+            num_classes: 4,
+            resolution: 16,
+            batch: 16,
+            ..VisionTaskConfig::default()
+        },
         &mut data_rng,
     );
 
@@ -63,11 +68,22 @@ fn main() {
 
     // 4. Train and evaluate.
     let mut trainer = program.into_trainer();
-    let train: Vec<Batch> = task.train.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect();
-    let test: Vec<Batch> = task.test.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect();
+    let train: Vec<Batch> = task
+        .train
+        .iter()
+        .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+        .collect();
+    let test: Vec<Batch> = task
+        .test
+        .iter()
+        .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+        .collect();
     for epoch in 0..5 {
         let loss = trainer.train_epoch(&train).expect("training epoch");
         let acc = trainer.evaluate(&test).expect("evaluation");
-        println!("epoch {epoch}: mean loss {loss:.3}, held-out accuracy {:.1}%", acc * 100.0);
+        println!(
+            "epoch {epoch}: mean loss {loss:.3}, held-out accuracy {:.1}%",
+            acc * 100.0
+        );
     }
 }

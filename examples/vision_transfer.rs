@@ -9,7 +9,10 @@
 use pockengine::prelude::*;
 
 fn batches(pairs: &[(Tensor, Tensor)]) -> Vec<Batch> {
-    pairs.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect()
+    pairs
+        .iter()
+        .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+        .collect()
 }
 
 fn main() {
@@ -22,7 +25,12 @@ fn main() {
     let mut source_rng = Rng::seed_from_u64(100);
     let source = generate_vision_task(
         "source",
-        VisionTaskConfig { num_classes: classes, resolution: 16, batch, ..VisionTaskConfig::default() },
+        VisionTaskConfig {
+            num_classes: classes,
+            resolution: 16,
+            batch,
+            ..VisionTaskConfig::default()
+        },
         &mut source_rng,
     );
     let mut task_rng = Rng::seed_from_u64(7);
@@ -41,18 +49,32 @@ fn main() {
     // Pretrain with full backpropagation on the source task.
     let pre = compile(
         &model,
-        &CompileOptions { optimizer: Optimizer::sgd(0.08), ..CompileOptions::default() },
+        &CompileOptions {
+            optimizer: Optimizer::sgd(0.08),
+            ..CompileOptions::default()
+        },
     );
     let mut pre_trainer = pre.into_trainer();
     for _ in 0..3 {
-        pre_trainer.train_epoch(&batches(&source.train)).expect("pretraining");
+        pre_trainer
+            .train_epoch(&batches(&source.train))
+            .expect("pretraining");
     }
     let pretrained: Vec<(String, Tensor)> = model
         .named_params()
         .into_iter()
-        .filter_map(|(_, name)| pre_trainer.executor().param_by_name(&name).map(|t| (name, t.clone())))
+        .filter_map(|(_, name)| {
+            pre_trainer
+                .executor()
+                .param_by_name(&name)
+                .map(|t| (name, t.clone()))
+        })
         .collect();
-    println!("pretrained backbone on '{}' ({} params)\n", source.name, model.param_count());
+    println!(
+        "pretrained backbone on '{}' ({} params)\n",
+        source.name,
+        model.param_count()
+    );
 
     let scheme = SparseScheme {
         name: "mbv2-style".to_string(),
@@ -70,11 +92,18 @@ fn main() {
         ("Sparse BP", UpdateRule::Sparse(scheme), 0.09),
     ];
 
-    println!("{:<10} {:>12} {:>18} {:>20}", "method", "accuracy", "trainable elems", "peak transient KiB");
+    println!(
+        "{:<10} {:>12} {:>18} {:>20}",
+        "method", "accuracy", "trainable elems", "peak transient KiB"
+    );
     for (label, rule, lr) in methods {
         let mut program = compile(
             &model,
-            &CompileOptions { update_rule: rule, optimizer: Optimizer::sgd(lr), ..CompileOptions::default() },
+            &CompileOptions {
+                update_rule: rule,
+                optimizer: Optimizer::sgd(lr),
+                ..CompileOptions::default()
+            },
         );
         // Start every method from the same pretrained backbone.
         for (name, value) in &pretrained {
@@ -86,9 +115,13 @@ fn main() {
         let peak = program.analysis.memory.transient_peak_bytes;
         let mut trainer = program.into_trainer();
         for _ in 0..4 {
-            trainer.train_epoch(&batches(&downstream.train)).expect("fine-tuning");
+            trainer
+                .train_epoch(&batches(&downstream.train))
+                .expect("fine-tuning");
         }
-        let acc = trainer.evaluate(&batches(&downstream.test)).expect("evaluation");
+        let acc = trainer
+            .evaluate(&batches(&downstream.test))
+            .expect("evaluation");
         println!(
             "{:<10} {:>11.1}% {:>18} {:>20.1}",
             label,

@@ -6,20 +6,28 @@
 
 use std::collections::HashMap;
 
-use pockengine::pe_data::{generate_nlp_task, generate_vision_task, NlpTaskConfig, VisionTaskConfig};
+use pockengine::pe_data::{
+    generate_nlp_task, generate_vision_task, NlpTaskConfig, VisionTaskConfig,
+};
 use pockengine::pe_runtime::EagerEngine;
 use pockengine::prelude::*;
+
+/// Per-parameter `(name, compiled_value, eager_value)` snapshots after training.
+type ParamPairs = Vec<(String, Tensor, Tensor)>;
 
 fn run_both(
     model: &BuiltModel,
     inputs: &HashMap<String, Tensor>,
     steps: usize,
     lr: f32,
-) -> (Vec<f32>, Vec<f32>, Vec<(String, Tensor, Tensor)>) {
+) -> (Vec<f32>, Vec<f32>, ParamPairs) {
     // Compiled engine with every optimisation enabled.
     let program = compile(
         model,
-        &CompileOptions { optimizer: Optimizer::sgd(lr), ..CompileOptions::default() },
+        &CompileOptions {
+            optimizer: Optimizer::sgd(lr),
+            ..CompileOptions::default()
+        },
     );
     let mut exec = program.executor;
     // Eager baseline: runtime autodiff, no optimisations, updates at the end.
@@ -63,14 +71,20 @@ fn cnn_training_is_equivalent_to_eager_baseline() {
         &mut data_rng,
     );
     let (x, y) = &task.train[0];
-    let inputs = HashMap::from([("x".to_string(), x.clone()), ("labels".to_string(), y.clone())]);
+    let inputs = HashMap::from([
+        ("x".to_string(), x.clone()),
+        ("labels".to_string(), y.clone()),
+    ]);
 
     let (compiled, eager, params) = run_both(&model, &inputs, 3, 0.05);
     for (a, b) in compiled.iter().zip(&eager) {
         assert!((a - b).abs() < 1e-4, "loss mismatch: {a} vs {b}");
     }
     for (name, a, b) in params {
-        assert!(a.allclose(&b, 1e-3), "parameter '{name}' diverged after training");
+        assert!(
+            a.allclose(&b, 1e-3),
+            "parameter '{name}' diverged after training"
+        );
     }
 }
 
@@ -93,15 +107,20 @@ fn transformer_training_is_equivalent_to_eager_baseline() {
         &mut data_rng,
     );
     let (ids, labels) = &task.train[0];
-    let inputs =
-        HashMap::from([("ids".to_string(), ids.clone()), ("labels".to_string(), labels.clone())]);
+    let inputs = HashMap::from([
+        ("ids".to_string(), ids.clone()),
+        ("labels".to_string(), labels.clone()),
+    ]);
 
     let (compiled, eager, params) = run_both(&model, &inputs, 2, 0.01);
     for (a, b) in compiled.iter().zip(&eager) {
         assert!((a - b).abs() < 1e-4, "loss mismatch: {a} vs {b}");
     }
     for (name, a, b) in params {
-        assert!(a.allclose(&b, 1e-3), "parameter '{name}' diverged after training");
+        assert!(
+            a.allclose(&b, 1e-3),
+            "parameter '{name}' diverged after training"
+        );
     }
 }
 
@@ -124,9 +143,12 @@ fn compiled_gradients_match_finite_differences_through_the_whole_stack() {
     let graph = b.finish(vec![loss, logits]);
 
     let mut data_rng = Rng::seed_from_u64(5);
-    let xs = Tensor::randn(&[4, 6], 1.0, &mut data_rng);
-    let ys = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], &[4]);
-    let inputs = HashMap::from([("x".to_string(), xs.clone()), ("labels".to_string(), ys.clone())]);
+    let xs = Tensor::randn([4, 6], 1.0, &mut data_rng);
+    let ys = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], [4]);
+    let inputs = HashMap::from([
+        ("x".to_string(), xs.clone()),
+        ("labels".to_string(), ys.clone()),
+    ]);
 
     // The model handle for compile() comes from the zoo normally; build one
     // by hand for this synthetic graph.
@@ -143,7 +165,10 @@ fn compiled_gradients_match_finite_differences_through_the_whole_stack() {
     // Loss at theta, via an eval-only pass.
     let program = compile(
         &model,
-        &CompileOptions { optimizer: Optimizer::sgd(1.0), ..CompileOptions::default() },
+        &CompileOptions {
+            optimizer: Optimizer::sgd(1.0),
+            ..CompileOptions::default()
+        },
     );
     let mut exec = program.executor;
     let w_before = exec.param_by_name("fc1.weight").unwrap().clone();
@@ -160,9 +185,17 @@ fn compiled_gradients_match_finite_differences_through_the_whole_stack() {
         // Perturb and re-evaluate through a fresh program.
         let mut perturbed = compile(
             &model,
-            &CompileOptions { optimizer: Optimizer::sgd(1.0), ..CompileOptions::default() },
+            &CompileOptions {
+                optimizer: Optimizer::sgd(1.0),
+                ..CompileOptions::default()
+            },
         );
-        let wid = perturbed.executor.training_graph().graph.find_param("fc1.weight").unwrap();
+        let wid = perturbed
+            .executor
+            .training_graph()
+            .graph
+            .find_param("fc1.weight")
+            .unwrap();
         let mut w = w_before.clone();
         w.data_mut()[idx] += eps;
         perturbed.executor.set_param(wid, w);

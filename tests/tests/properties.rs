@@ -15,7 +15,11 @@ use pockengine::pe_tensor::kernels::winograd::{conv2d_winograd, WinogradWeight};
 use pockengine::pe_tensor::{Rng, Tensor};
 
 /// Builds a random MLP training graph from a shape description.
-fn random_mlp(widths: &[usize], batch: usize, frozen_prefix: usize) -> pockengine::pe_graph::TrainingGraph {
+fn random_mlp(
+    widths: &[usize],
+    batch: usize,
+    frozen_prefix: usize,
+) -> pockengine::pe_graph::TrainingGraph {
     let mut rng = Rng::seed_from_u64(9);
     let mut b = GraphBuilder::new();
     let x = b.input("x", [batch, widths[0]]);
@@ -54,8 +58,8 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let mut rng = Rng::seed_from_u64(seed);
-        let x = Tensor::randn(&[1, cin, h, w], 1.0, &mut rng);
-        let weight = Tensor::randn(&[cout, cin, 3, 3], 0.5, &mut rng);
+        let x = Tensor::randn([1, cin, h, w], 1.0, &mut rng);
+        let weight = Tensor::randn([cout, cin, 3, 3], 0.5, &mut rng);
         let direct = conv2d(&x, &weight, Conv2dParams::new(1, padding));
         let wino = conv2d_winograd(&x, &WinogradWeight::from_dense(&weight), padding);
         prop_assert!(wino.allclose(&direct, 1e-2), "winograd diverged from direct convolution");
@@ -70,8 +74,8 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let mut rng = Rng::seed_from_u64(seed);
-        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
-        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
         let left = transpose2d(&matmul(&a, &b, false, false));
         let right = matmul(&transpose2d(&b), &transpose2d(&a), false, false);
         prop_assert!(left.allclose(&right, 1e-4));
@@ -147,12 +151,12 @@ proptest! {
     ) {
         use pockengine::pe_tensor::kernels::elementwise::{add, reduce_to_shape};
         let mut rng = Rng::seed_from_u64(seed);
-        let big = Tensor::randn(&[rows, cols], 1.0, &mut rng);
-        let small = Tensor::randn(&[cols], 1.0, &mut rng);
+        let big = Tensor::randn([rows, cols], 1.0, &mut rng);
+        let small = Tensor::randn([cols], 1.0, &mut rng);
         let sum = add(&big, &small);
         prop_assert_eq!(sum.dims(), big.dims());
         // The VJP of broadcasting `small` is a row-sum: check linearity.
-        let reduced = reduce_to_shape(&Tensor::ones(&[rows, cols]), small.shape());
+        let reduced = reduce_to_shape(&Tensor::ones([rows, cols]), small.shape());
         prop_assert!(reduced.data().iter().all(|&v| (v - rows as f32).abs() < 1e-5));
     }
 }

@@ -24,14 +24,25 @@ fn task() -> (Vec<Batch>, Vec<Batch>) {
         &mut rng,
     );
     (
-        t.train.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect(),
-        t.test.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect(),
+        t.train
+            .iter()
+            .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+            .collect(),
+        t.test
+            .iter()
+            .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+            .collect(),
     )
 }
 
 /// Fine-tunes with only `trainable` tensors unfrozen and returns held-out
 /// accuracy.
-fn accuracy_with_spec(model: &BuiltModel, spec: &TrainSpec, train: &[Batch], test: &[Batch]) -> f32 {
+fn accuracy_with_spec(
+    model: &BuiltModel,
+    spec: &TrainSpec,
+    train: &[Batch],
+    test: &[Batch],
+) -> f32 {
     let program = compile(
         model,
         &CompileOptions {
@@ -44,7 +55,8 @@ fn accuracy_with_spec(model: &BuiltModel, spec: &TrainSpec, train: &[Batch], tes
     // pipeline directly.
     drop(program);
     let tg = pockengine::pe_graph::build_training_graph(model.graph.clone(), model.loss, spec);
-    let (tg, schedule, _) = pockengine::pe_passes::optimize(tg, pockengine::pe_passes::OptimizeOptions::default());
+    let (tg, schedule, _) =
+        pockengine::pe_passes::optimize(tg, pockengine::pe_passes::OptimizeOptions::default());
     let exec = Executor::new(tg, schedule, Optimizer::sgd(0.1));
     let mut trainer = Trainer::new(exec, "x", "labels", model.logits_name());
     for _ in 0..2 {
@@ -76,24 +88,35 @@ fn searched_scheme_respects_budget_and_beats_frozen_baseline() {
     let head_only: TrainSpec = model
         .named_params()
         .into_iter()
-        .map(|(id, n)| (id, if n.starts_with("head.") { TrainKind::Full } else { TrainKind::Frozen }))
+        .map(|(id, n)| {
+            (
+                id,
+                if n.starts_with("head.") {
+                    TrainKind::Full
+                } else {
+                    TrainKind::Frozen
+                },
+            )
+        })
         .collect();
     let baseline = accuracy_with_spec(&model, &head_only, &train, &test);
 
     // Sensitivity analysis: accuracy when additionally unfreezing one tensor.
-    let candidates: Vec<Candidate> =
-        sensitivity_analysis(&candidates_meta, baseline, |param| {
-            let mut spec = head_only.clone();
-            spec.insert(param, TrainKind::Full);
-            accuracy_with_spec(&model, &spec, &train, &test)
-        });
+    let candidates: Vec<Candidate> = sensitivity_analysis(&candidates_meta, baseline, |param| {
+        let mut spec = head_only.clone();
+        spec.insert(param, TrainKind::Full);
+        accuracy_with_spec(&model, &spec, &train, &test)
+    });
 
     // Budget: half of the total candidate memory.
     let total: usize = candidates.iter().map(|c| c.memory_cost).sum();
     let budget = total / 2;
     let mut search_rng = Rng::seed_from_u64(1);
     let result = evolutionary_search(&candidates, budget, 40, 24, &mut search_rng);
-    assert!(result.total_memory <= budget, "search must respect the memory constraint");
+    assert!(
+        result.total_memory <= budget,
+        "search must respect the memory constraint"
+    );
 
     // The searched scheme (selected tensors + head) should not be worse than
     // the head-only baseline.

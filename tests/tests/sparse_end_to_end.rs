@@ -23,8 +23,14 @@ fn tiny_task(seed: u64) -> (Vec<Batch>, Vec<Batch>) {
         &mut rng,
     );
     (
-        task.train.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect(),
-        task.test.iter().map(|(x, y)| Batch::new(x.clone(), y.clone())).collect(),
+        task.train
+            .iter()
+            .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+            .collect(),
+        task.test
+            .iter()
+            .map(|(x, y)| Batch::new(x.clone(), y.clone()))
+            .collect(),
     )
 }
 
@@ -86,7 +92,12 @@ fn frozen_parameters_never_change_and_sparse_still_learns() {
     assert!(!frozen_names.is_empty());
     let before: HashMap<String, Tensor> = frozen_names
         .iter()
-        .map(|n| (n.clone(), program.executor.param_by_name(n).unwrap().clone()))
+        .map(|n| {
+            (
+                n.clone(),
+                program.executor.param_by_name(n).unwrap().clone(),
+            )
+        })
         .collect();
 
     let mut trainer = program.into_trainer();
@@ -96,11 +107,17 @@ fn frozen_parameters_never_change_and_sparse_still_learns() {
         trainer.train_epoch(&train).unwrap();
     }
     let acc_after = trainer.evaluate(&test).unwrap();
-    assert!(acc_after > acc_before, "sparse scheme should learn: {acc_before} -> {acc_after}");
+    assert!(
+        acc_after > acc_before,
+        "sparse scheme should learn: {acc_before} -> {acc_after}"
+    );
 
     for name in &frozen_names {
         let now = trainer.executor().param_by_name(name).unwrap();
-        assert!(before[name].allclose(now, 0.0), "frozen parameter '{name}' changed during training");
+        assert!(
+            before[name].allclose(now, 0.0),
+            "frozen parameter '{name}' changed during training"
+        );
     }
 }
 
@@ -152,8 +169,14 @@ fn channel_sparse_update_touches_only_selected_rows() {
             changed_frozen += 1;
         }
     }
-    assert!(changed_updated > 0, "the selected channels must receive updates");
-    assert_eq!(changed_frozen, 0, "channels outside the scheme must stay frozen");
+    assert!(
+        changed_updated > 0,
+        "the selected channels must receive updates"
+    );
+    assert_eq!(
+        changed_frozen, 0,
+        "channels outside the scheme must stay frozen"
+    );
 }
 
 #[test]
@@ -163,11 +186,18 @@ fn bias_only_memory_is_much_smaller_with_adam_state() {
     let adam = Optimizer::adam(1e-3);
     let full = pockengine::analyze(
         &model,
-        &CompileOptions { optimizer: adam, ..CompileOptions::default() },
+        &CompileOptions {
+            optimizer: adam,
+            ..CompileOptions::default()
+        },
     );
     let bias = pockengine::analyze(
         &model,
-        &CompileOptions { update_rule: UpdateRule::BiasOnly, optimizer: adam, ..CompileOptions::default() },
+        &CompileOptions {
+            update_rule: UpdateRule::BiasOnly,
+            optimizer: adam,
+            ..CompileOptions::default()
+        },
     );
     assert!(
         bias.memory.optimizer_bytes < full.memory.optimizer_bytes / 5,

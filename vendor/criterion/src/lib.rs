@@ -1,0 +1,193 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! [criterion](https://docs.rs/criterion) API used by the `pe_bench`
+//! benchmarks.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the real `criterion` crate cannot be fetched. This stub
+//! keeps the three bench targets (`kernels`, `compile`, `training_step`)
+//! compiling and producing wall-clock measurements with the same source
+//! code, so they can be swapped to upstream criterion unchanged once a
+//! registry is available.
+//!
+//! Supported surface: [`Criterion`] (with `sample_size`,
+//! `measurement_time`, `warm_up_time`, `bench_function`), [`Bencher`]
+//! (`iter`, `iter_batched`), [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both the plain and the
+//! `name/config/targets` forms).
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How much memory a batched-setup input occupies; only used as a sizing
+/// hint by real criterion, accepted and ignored here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: setup runs per batch of many iterations.
+    SmallInput,
+    /// Large input: setup runs per small batch.
+    LargeInput,
+    /// Input per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark driver: registers and runs named benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    run: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // real criterion treats that as "check, don't measure" and so do we.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            run: !test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Cap the total measurement time for one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Set the warm-up time before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run `f` under the timing loop and print a one-line report.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.run {
+            return self;
+        }
+        // Warm-up / calibration: run single iterations until the warm-up
+        // budget is spent so caches and branch predictors settle.
+        let warm_start = Instant::now();
+        let mut calib = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            f(&mut calib);
+            warm_iters += 1;
+            if warm_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Pick an iteration count that keeps the measurement inside the
+        // budget while honouring the requested sample size.
+        let budget_iters = if per_iter > 0.0 {
+            (self.measurement_time.as_secs_f64() / per_iter) as u64
+        } else {
+            self.sample_size as u64
+        };
+        let iters = budget_iters.clamp(1, self.sample_size as u64 * 10);
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        println!(
+            "{name:<50} {:>12}   ({} iterations)",
+            format_time(mean),
+            bencher.iters
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a benchmark group — a function that runs each target against a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the `main` function that runs every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
