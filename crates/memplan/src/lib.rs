@@ -29,11 +29,54 @@ pub struct MemoryPlan {
     pub lifetimes: Vec<Option<Lifetime>>,
     /// Arena byte offset for each transient buffer.
     pub offsets: Vec<Option<usize>>,
+    /// In-place aliasing hints: `aliases[n] == Some(i)` means node `n`'s
+    /// output shares its arena range with input `i`, whose last use is `n`
+    /// itself; the executor may run such a node in place. Always all-`None`
+    /// unless [`MemPlanOptions::inplace`] was set.
+    pub aliases: Vec<Option<NodeId>>,
     /// Size of the activation arena produced by best-fit assignment.
     pub arena_bytes: usize,
     /// Peak of the sum of simultaneously-live transient buffers (a lower
     /// bound on any arena assignment).
     pub peak_transient_bytes: usize,
+}
+
+/// Options for [`plan_memory_with`].
+///
+/// The defaults reproduce [`plan_memory`] exactly: logical dtype sizes, no
+/// alignment, position-granular lifetimes and no in-place aliasing.
+#[derive(Debug, Clone, Default)]
+pub struct MemPlanOptions {
+    /// Round every buffer offset up to this many bytes (0 or 1 = none).
+    pub align_bytes: usize,
+    /// Coarsens schedule positions into parallel dispatch levels: entry `p`
+    /// is the level of schedule position `p`. Lifetimes are widened to whole
+    /// levels so that nodes executing concurrently within a level never
+    /// share arena memory with each other's operands.
+    pub coarsen: Option<Vec<usize>>,
+    /// Size every buffer by its runtime representation (4-byte `f32`)
+    /// instead of the logical dtype, which may be narrower (f16/i8). The
+    /// executor computes in `f32` regardless of the logical dtype, so arena
+    /// plans meant for execution must set this.
+    pub runtime_f32_sizes: bool,
+    /// Alias the output of safe same-index unary ops (activations, scale,
+    /// reshape) onto their input when this node is the input's last use,
+    /// eliminating the copy and the extra arena range.
+    pub inplace: bool,
+}
+
+impl MemPlanOptions {
+    /// The configuration the arena executor uses: runtime `f32` sizes,
+    /// 64-byte alignment, in-place aliasing, and level-coarsened lifetimes
+    /// when a parallel dispatch level map is provided.
+    pub fn for_execution(coarsen: Option<Vec<usize>>) -> Self {
+        MemPlanOptions {
+            align_bytes: 64,
+            coarsen,
+            runtime_f32_sizes: true,
+            inplace: true,
+        }
+    }
 }
 
 impl MemoryPlan {
@@ -127,14 +170,142 @@ pub fn analyze_lifetimes(graph: &Graph, schedule: &Schedule) -> Vec<Option<Lifet
 /// lowest offset that does not overlap (in both address range and lifetime)
 /// any previously placed buffer.
 pub fn plan_memory(graph: &Graph, schedule: &Schedule) -> MemoryPlan {
-    let lifetimes = analyze_lifetimes(graph, schedule);
+    plan_memory_with(graph, schedule, &MemPlanOptions::default())
+}
 
-    // Peak of simultaneously live bytes.
+/// Whether a node may execute in place on its first input's buffer: every
+/// output element depends only on the input element at the same index.
+fn is_inplace_safe(op: &OpKind) -> bool {
+    matches!(
+        op,
+        OpKind::Relu
+            | OpKind::Relu6
+            | OpKind::Gelu
+            | OpKind::Silu
+            | OpKind::Sigmoid
+            | OpKind::Tanh
+            | OpKind::Scale { .. }
+            | OpKind::Reshape { .. }
+    )
+}
+
+/// [`plan_memory`] with explicit [`MemPlanOptions`] (alignment, runtime
+/// sizes, level-coarsened lifetimes for parallel dispatch, and in-place
+/// aliasing of safe unary ops).
+///
+/// # Panics
+///
+/// Panics if `opts.coarsen` is provided but shorter than the schedule.
+pub fn plan_memory_with(graph: &Graph, schedule: &Schedule, opts: &MemPlanOptions) -> MemoryPlan {
+    let lifetimes = analyze_lifetimes(graph, schedule);
+    let n = graph.len();
+    let positions = schedule.positions(n);
+    let size_of = |idx: usize| -> usize {
+        let node = graph.node(NodeId(idx));
+        if opts.runtime_f32_sizes {
+            node.shape.numel() * 4
+        } else {
+            node.size_bytes()
+        }
+    };
+    // Lifetimes in planning time units (schedule positions, or dispatch
+    // levels when coarsened): overlap at this granularity is what forbids
+    // sharing an arena range.
+    let coarse = |pos: usize| -> usize {
+        match &opts.coarsen {
+            Some(levels) => levels[pos],
+            None => pos,
+        }
+    };
+    let consumers = graph.consumers();
+    // Schedule position is not monotone in level, so a coarsened last-use
+    // must be the maximum *level* over all consumers — mapping the
+    // positionally-last consumer's level would free a buffer while a
+    // higher-level (but earlier-scheduled) reader still needs it.
+    let eff: Vec<Option<Lifetime>> = match &opts.coarsen {
+        None => lifetimes.clone(),
+        Some(levels) => {
+            let max_level = levels.iter().copied().max().unwrap_or(0);
+            lifetimes
+                .iter()
+                .enumerate()
+                .map(|(idx, lt)| {
+                    lt.map(|(def, _)| {
+                        let d = levels[def];
+                        let mut l = d;
+                        for &c in &consumers[idx] {
+                            let p = positions[c.index()];
+                            if p != usize::MAX {
+                                l = l.max(levels[p]);
+                            }
+                        }
+                        if graph.outputs().contains(&NodeId(idx)) {
+                            l = max_level;
+                        }
+                        (d, l)
+                    })
+                })
+                .collect()
+        }
+    };
+
+    // In-place aliasing: a safe unary op whose first input dies at this very
+    // node may write straight into the input's range. Chains (e.g.
+    // relu -> reshape) collapse onto one root buffer whose lifetime is
+    // extended to the end of the chain.
+    let mut aliases: Vec<Option<NodeId>> = vec![None; n];
+    let mut alias_root: Vec<usize> = (0..n).collect();
+    // Planning lifetime per chain root, extended as members join.
+    let mut chain: Vec<Option<Lifetime>> = eff.clone();
+    if opts.inplace {
+        for &id in &schedule.order {
+            let idx = id.index();
+            let node = graph.node(id);
+            if !is_inplace_safe(&node.op) || lifetimes[idx].is_none() {
+                continue;
+            }
+            let input = node.inputs[0];
+            let i = input.index();
+            let Some((_, input_last)) = lifetimes[i] else {
+                continue; // persistent or unscheduled input
+            };
+            let pos = positions[idx];
+            if input_last != pos || graph.outputs().contains(&input) {
+                continue;
+            }
+            if size_of(idx) != size_of(i) {
+                continue;
+            }
+            // Under coarsened (parallel) planning every other consumer of
+            // the input must finish in a strictly earlier level, otherwise a
+            // concurrent reader could observe the in-place overwrite.
+            if opts.coarsen.is_some()
+                && consumers[i].iter().any(|c| {
+                    *c != id
+                        && positions[c.index()] != usize::MAX
+                        && coarse(positions[c.index()]) >= coarse(pos)
+                })
+            {
+                continue;
+            }
+            let root = alias_root[i];
+            aliases[idx] = Some(input);
+            alias_root[idx] = root;
+            let (rd, rl) = chain[root].expect("alias root must have a lifetime");
+            let (_, nl) = eff[idx].expect("aliased node is scheduled");
+            chain[root] = Some((rd, rl.max(nl)));
+        }
+    }
+
+    // Peak of simultaneously live bytes over chain roots.
     let mut events: Vec<(usize, isize)> = Vec::new();
-    for (idx, lt) in lifetimes.iter().enumerate() {
-        if let Some((def, last)) = lt {
-            let sz = graph.node(NodeId(idx)).size_bytes() as isize;
-            events.push((*def, sz));
+    for idx in 0..n {
+        if lifetimes[idx].is_none() || alias_root[idx] != idx {
+            continue;
+        }
+        if let Some((def, last)) = chain[idx] {
+            let sz = size_of(idx) as isize;
+            events.push((def, sz));
             events.push((last + 1, -sz));
         }
     }
@@ -147,22 +318,24 @@ pub fn plan_memory(graph: &Graph, schedule: &Schedule) -> MemoryPlan {
     }
     let peak_transient_bytes = peak as usize;
 
-    // Best-fit offsets.
-    let mut order: Vec<usize> = (0..graph.len())
-        .filter(|&i| lifetimes[i].is_some())
+    // Best-fit offsets over chain roots.
+    let align = opts.align_bytes.max(1);
+    let round_up = |v: usize| v.div_ceil(align) * align;
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&i| lifetimes[i].is_some() && alias_root[i] == i)
         .collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(graph.node(NodeId(i)).size_bytes()));
+    order.sort_by_key(|&i| std::cmp::Reverse(size_of(i)));
     let mut placed: Vec<(usize, usize, Lifetime)> = Vec::new(); // (offset, size, lifetime)
-    let mut offsets: Vec<Option<usize>> = vec![None; graph.len()];
+    let mut offsets: Vec<Option<usize>> = vec![None; n];
     let mut arena_bytes = 0usize;
 
     for idx in order {
-        let size = graph.node(NodeId(idx)).size_bytes();
+        let size = size_of(idx);
         if size == 0 {
             offsets[idx] = Some(0);
             continue;
         }
-        let (def, last) = lifetimes[idx].expect("filtered to Some");
+        let (def, last) = chain[idx].expect("filtered to Some");
         // Collect blocking intervals that overlap in time.
         let mut blockers: Vec<(usize, usize)> = placed
             .iter()
@@ -170,22 +343,30 @@ pub fn plan_memory(graph: &Graph, schedule: &Schedule) -> MemoryPlan {
             .map(|(off, sz, _)| (*off, *sz))
             .collect();
         blockers.sort();
-        // First gap that fits.
+        // First aligned gap that fits.
         let mut candidate = 0usize;
         for (off, sz) in blockers {
             if candidate + size <= off {
                 break;
             }
-            candidate = candidate.max(off + sz);
+            candidate = round_up(candidate.max(off + sz));
         }
         offsets[idx] = Some(candidate);
         arena_bytes = arena_bytes.max(candidate + size);
         placed.push((candidate, size, (def, last)));
     }
 
+    // Aliased nodes inherit their chain root's offset.
+    for idx in 0..n {
+        if lifetimes[idx].is_some() && alias_root[idx] != idx {
+            offsets[idx] = offsets[alias_root[idx]];
+        }
+    }
+
     MemoryPlan {
         lifetimes,
         offsets,
+        aliases,
         arena_bytes,
         peak_transient_bytes,
     }
@@ -384,6 +565,103 @@ mod tests {
             2,
         );
         assert!(r_bias.optimizer_bytes < r_full.optimizer_bytes / 10);
+    }
+
+    #[test]
+    fn execution_options_align_offsets_and_alias_activations() {
+        let tg = mlp(4, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let plan = plan_memory_with(&tg.graph, &schedule, &MemPlanOptions::for_execution(None));
+        let mut aliased = 0;
+        for idx in 0..tg.graph.len() {
+            if let Some(off) = plan.offsets[idx] {
+                if plan.aliases[idx].is_none() && plan.lifetimes[idx].is_some() {
+                    assert_eq!(off % 64, 0, "offset of node {idx} not 64-byte aligned");
+                }
+            }
+            if let Some(input) = plan.aliases[idx] {
+                aliased += 1;
+                assert_eq!(
+                    plan.offsets[idx],
+                    plan.offsets[input.index()],
+                    "aliased node must share its input's offset"
+                );
+                // The input must die exactly at the aliasing node.
+                let (_, input_last) = plan.lifetimes[input.index()].unwrap();
+                let pos = schedule.positions(tg.graph.len())[idx];
+                assert_eq!(input_last, pos);
+            }
+        }
+        assert!(
+            aliased > 0,
+            "an MLP has ReLU ops that should alias in place"
+        );
+    }
+
+    #[test]
+    fn non_aliased_execution_buffers_never_overlap() {
+        let tg = mlp(3, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let plan = plan_memory_with(&tg.graph, &schedule, &MemPlanOptions::for_execution(None));
+        let n = tg.graph.len();
+        let size = |i: usize| tg.graph.node(NodeId(i)).shape.numel() * 4;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (Some((da, la)), Some((db, lb))) = (plan.lifetimes[a], plan.lifetimes[b])
+                else {
+                    continue;
+                };
+                if la < db || lb < da {
+                    continue;
+                }
+                // Members of one alias chain intentionally share a range.
+                let root = |mut i: usize| {
+                    while let Some(p) = plan.aliases[i] {
+                        i = p.index();
+                    }
+                    i
+                };
+                if root(a) == root(b) {
+                    continue;
+                }
+                let (sa, sb) = (size(a), size(b));
+                if sa == 0 || sb == 0 {
+                    continue;
+                }
+                let (oa, ob) = (plan.offsets[a].unwrap(), plan.offsets[b].unwrap());
+                assert!(
+                    oa + sa <= ob || ob + sb <= oa,
+                    "buffers {a} and {b} overlap in time and space"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_sizes_account_f32_for_narrow_dtypes() {
+        use pe_tensor::DType;
+        let mut tg = mlp(2, |_, _| TrainKind::Full);
+        // Pretend an activation is stored as f16 for accounting purposes.
+        let id = tg
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| !n.op.is_leaf())
+            .map(|n| n.id)
+            .unwrap();
+        tg.graph.node_mut(id).dtype = DType::F16;
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let logical = plan_memory(&tg.graph, &schedule);
+        let runtime = plan_memory_with(
+            &tg.graph,
+            &schedule,
+            &MemPlanOptions {
+                runtime_f32_sizes: true,
+                ..MemPlanOptions::default()
+            },
+        );
+        assert!(runtime.arena_bytes >= logical.arena_bytes);
+        assert_eq!(runtime.arena_bytes % 4, 0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! * [`backend_switch`] — Winograd kernel binding for frozen convolutions;
 //! * [`schedule`] — execution scheduling, including operator reordering that
 //!   applies parameter updates as soon as their gradients are available;
+//! * [`wavefront`] — partitioning a schedule into dependency levels for the
+//!   runtime's parallel kernel dispatch;
 //! * [`manager`] — the fixed pipeline combining all of the above.
 //!
 //! # Example
@@ -38,9 +40,11 @@ pub mod dce;
 pub mod fusion;
 pub mod manager;
 pub mod schedule;
+pub mod wavefront;
 
 pub use backend_switch::{switch_frozen_convs_to_winograd, BackendSwitchStats};
 pub use dce::{eliminate_dead_code, DceStats};
 pub use fusion::{fuse_operators, launch_count, FusionStats};
 pub use manager::{optimize, OptimizeOptions, OptimizeStats};
 pub use schedule::{build_schedule, update_latencies, Schedule, ScheduleStrategy};
+pub use wavefront::{partition_wavefronts, Wavefront};

@@ -81,9 +81,30 @@ fn reordered(graph: &Graph) -> Schedule {
     // Greedy list scheduling: maintain the ready set; always prefer a ready
     // ApplyUpdate node, otherwise pick the ready node with the smallest id
     // (stable, close to program order).
+    //
+    // An update mutates its parameter in place, so it carries implicit
+    // anti-dependency edges from every other reader of the parameter (the
+    // backward pass reads weights for input gradients): the update becomes
+    // ready only once those readers are scheduled. This keeps the compiled
+    // semantics identical to the eager baseline (no gradient is ever
+    // computed from a half-updated parameter) and leaves the reader free to
+    // run in parallel with the weight-gradient node during wavefront
+    // dispatch, while still issuing the update as early as memory-wise
+    // possible.
     let n = graph.len();
-    let consumers = graph.consumers();
+    let base_consumers = graph.consumers();
+    let mut consumers = base_consumers.clone();
     let mut indegree: Vec<usize> = graph.nodes().iter().map(|node| node.inputs.len()).collect();
+    for node in graph.nodes() {
+        if let OpKind::ApplyUpdate { param, .. } = node.op {
+            for &reader in &base_consumers[param.index()] {
+                if reader != node.id {
+                    consumers[reader.index()].push(node.id);
+                    indegree[node.id.index()] += 1;
+                }
+            }
+        }
+    }
 
     // Max-heap over (is_update, Reverse(id)) — we pop the "largest", so being
     // an update wins, then the smallest id.

@@ -1,0 +1,248 @@
+//! Wavefront partitioning: grouping schedule positions into dependency
+//! levels for parallel kernel dispatch.
+//!
+//! The compiled schedule is a total order, but many of its nodes are
+//! schedule-independent: within the backward pass, for instance, a layer's
+//! input gradient and weight gradient depend on the same upstream gradient
+//! and can run concurrently. The wavefront partitioner computes, ahead of
+//! time, a partition of the schedule into *levels* such that every node's
+//! producers sit in strictly earlier levels; the runtime's worker pool then
+//! dispatches all nodes of a level in parallel and barriers between levels.
+//!
+//! Beyond dataflow edges, the partition preserves the sequential schedule's
+//! *parameter-update semantics*: an `ApplyUpdate` node mutates its parameter
+//! in place, so any node that reads the parameter and is scheduled before
+//! the update must land in an earlier level (it reads the old value), and
+//! any reader scheduled after the update must land in a later level (it
+//! reads the new value). With these anti-dependency edges, parallel
+//! execution is observationally identical to walking the schedule one node
+//! at a time — which is what the differential tests assert, bit for bit.
+
+use pe_graph::{Graph, NodeId, OpKind};
+
+use crate::schedule::Schedule;
+
+/// A partition of a schedule into parallel dispatch levels.
+#[derive(Debug, Clone)]
+pub struct Wavefront {
+    /// The nodes of each level, in ascending schedule order within a level.
+    /// Level 0 holds the leaves (inputs, parameters, constants); compute
+    /// nodes start at level 1.
+    pub levels: Vec<Vec<NodeId>>,
+    /// Level of each schedule position (`level_of_position[p]` is the level
+    /// of `schedule.order[p]`). Suitable as the `coarsen` map for
+    /// `pe_memplan::MemPlanOptions`.
+    pub level_of_position: Vec<usize>,
+}
+
+impl Wavefront {
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The widest level (maximum nodes dispatched concurrently).
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Partitions a scheduled graph into dependency levels (see the module
+/// docs for the exact guarantees).
+///
+/// # Panics
+///
+/// Panics if the schedule is not a valid topological order of the graph.
+pub fn partition_wavefronts(graph: &Graph, schedule: &Schedule) -> Wavefront {
+    let n = graph.len();
+    let positions = schedule.positions(n);
+    let consumers = graph.consumers();
+
+    // Schedule position of the ApplyUpdate node of each parameter (if any).
+    let mut update_pos: Vec<Option<(usize, NodeId)>> = vec![None; n];
+    for node in graph.nodes() {
+        if let OpKind::ApplyUpdate { param, .. } = node.op {
+            if positions[node.id.index()] != usize::MAX {
+                update_pos[param.index()] = Some((positions[node.id.index()], node.id));
+            }
+        }
+    }
+
+    let mut level_of: Vec<usize> = vec![usize::MAX; n];
+    let mut level_of_position: Vec<usize> = vec![0; schedule.len()];
+    let mut levels: Vec<Vec<NodeId>> = Vec::new();
+
+    for (pos, &id) in schedule.order.iter().enumerate() {
+        let node = graph.node(id);
+        let mut level = 0usize;
+        if !node.op.is_leaf() {
+            // Dataflow edges: strictly after every producer.
+            for &input in &node.inputs {
+                let li = level_of[input.index()];
+                assert!(
+                    li != usize::MAX,
+                    "schedule is not topological: {id} runs before its input {input}"
+                );
+                level = level.max(li + 1);
+            }
+            // Anti-dependencies around in-place parameter updates.
+            if let OpKind::ApplyUpdate { param, .. } = node.op {
+                // The update must wait for every earlier-scheduled reader of
+                // the parameter (they read the pre-update value).
+                for &reader in &consumers[param.index()] {
+                    let rp = positions[reader.index()];
+                    if rp != usize::MAX && rp < pos {
+                        level = level.max(level_of[reader.index()] + 1);
+                    }
+                }
+            } else {
+                // A reader scheduled after a parameter's update observes the
+                // post-update value, so it must wait for the update.
+                for &input in &node.inputs {
+                    if let Some((up, uid)) = update_pos[input.index()] {
+                        if up < pos {
+                            level = level.max(level_of[uid.index()] + 1);
+                        }
+                    }
+                }
+            }
+        }
+        level_of[id.index()] = level;
+        level_of_position[pos] = level;
+        if levels.len() <= level {
+            levels.resize_with(level + 1, Vec::new);
+        }
+        levels[level].push(id);
+    }
+
+    Wavefront {
+        levels,
+        level_of_position,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{build_schedule, ScheduleStrategy};
+    use pe_graph::{build_training_graph, GraphBuilder, TrainSpec};
+    use pe_tensor::Rng;
+
+    fn fixture() -> pe_graph::TrainingGraph {
+        let mut rng = Rng::seed_from_u64(0);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [4, 16]);
+        let labels = b.input("labels", [4]);
+        let mut h = x;
+        for i in 0..3 {
+            let w = b.weight(&format!("fc{i}.weight"), [16, 16], &mut rng);
+            let bias = b.bias(&format!("fc{i}.bias"), 16);
+            h = b.linear(h, w, Some(bias));
+            h = b.relu(h);
+        }
+        let wout = b.weight("head.weight", [4, 16], &mut rng);
+        let logits = b.linear(h, wout, None);
+        let loss = b.cross_entropy(logits, labels);
+        let g = b.finish(vec![loss]);
+        build_training_graph(g, loss, &TrainSpec::new())
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_level() {
+        let tg = fixture();
+        for strategy in [ScheduleStrategy::Conventional, ScheduleStrategy::Reordered] {
+            let schedule = build_schedule(&tg.graph, strategy);
+            let wf = partition_wavefronts(&tg.graph, &schedule);
+            let mut seen = vec![0usize; tg.graph.len()];
+            for level in &wf.levels {
+                for id in level {
+                    seen[id.index()] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{strategy:?}: every scheduled node must appear in exactly one level"
+            );
+        }
+    }
+
+    #[test]
+    fn producers_precede_consumers_by_level() {
+        let tg = fixture();
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let wf = partition_wavefronts(&tg.graph, &schedule);
+        let mut level_of = vec![usize::MAX; tg.graph.len()];
+        for (l, level) in wf.levels.iter().enumerate() {
+            for id in level {
+                level_of[id.index()] = l;
+            }
+        }
+        for node in tg.graph.nodes() {
+            if node.op.is_leaf() {
+                continue;
+            }
+            for input in &node.inputs {
+                assert!(
+                    level_of[input.index()] < level_of[node.id.index()],
+                    "node {} must run strictly after producer {}",
+                    node.id,
+                    input
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn updates_are_ordered_against_parameter_readers() {
+        let tg = fixture();
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let wf = partition_wavefronts(&tg.graph, &schedule);
+        let positions = schedule.positions(tg.graph.len());
+        let mut level_of = vec![usize::MAX; tg.graph.len()];
+        for (l, level) in wf.levels.iter().enumerate() {
+            for id in level {
+                level_of[id.index()] = l;
+            }
+        }
+        let consumers = tg.graph.consumers();
+        for node in tg.graph.nodes() {
+            let pe_graph::OpKind::ApplyUpdate { param, .. } = node.op else {
+                continue;
+            };
+            for &reader in &consumers[param.index()] {
+                let (rp, up) = (positions[reader.index()], positions[node.id.index()]);
+                if rp == usize::MAX || up == usize::MAX {
+                    continue;
+                }
+                let (rl, ul) = (level_of[reader.index()], level_of[node.id.index()]);
+                if rp < up {
+                    assert!(rl < ul, "pre-update reader must finish before the update");
+                } else {
+                    assert!(ul < rl, "post-update reader must wait for the update");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_pass_has_parallel_width() {
+        let tg = fixture();
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let wf = partition_wavefronts(&tg.graph, &schedule);
+        assert!(
+            wf.max_width() >= 2,
+            "an MLP backward pass exposes dx/dw parallelism, got width {}",
+            wf.max_width()
+        );
+        assert!(wf.depth() > 2);
+    }
+
+    #[test]
+    fn level_map_covers_every_position() {
+        let tg = fixture();
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let wf = partition_wavefronts(&tg.graph, &schedule);
+        assert_eq!(wf.level_of_position.len(), schedule.len());
+        assert!(wf.level_of_position.iter().all(|&l| l < wf.depth()));
+    }
+}

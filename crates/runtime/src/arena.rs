@@ -1,0 +1,746 @@
+//! The arena-backed zero-allocation executor.
+//!
+//! At construction time the memory planner assigns every transient buffer an
+//! offset in one slab ([`pe_memplan::plan_memory_with`] with runtime `f32`
+//! sizes, 64-byte alignment and in-place aliasing); execution then walks the
+//! schedule handing each node a [`TensorView`] at its precomputed offset and
+//! dispatching to the kernels' `_into` variants. Parameters, optimizer
+//! state, constants and step-input staging buffers are materialised once and
+//! reused, so a steady-state training step performs **zero transient heap
+//! allocations** (asserted by the counting-allocator test in `tests/`).
+//!
+//! With `threads > 1` the executor additionally partitions the schedule into
+//! wavefront levels ([`pe_passes::partition_wavefronts`]) and dispatches the
+//! nodes of each level across a persistent worker pool. The plan is then
+//! coarsened to level granularity so concurrently running nodes never share
+//! arena ranges, and the wavefront's anti-dependency edges keep in-place
+//! parameter updates ordered against every reader — parallel execution is
+//! bit-identical to the sequential walk.
+//!
+//! # Safety
+//!
+//! The arena is accessed through raw slices carved out of one `UnsafeCell`
+//! slab. The invariant making that sound is exactly the planner's: two
+//! buffers whose lifetimes (position-granular when sequential,
+//! level-granular when parallel) intersect never overlap in `[offset,
+//! offset + size)` — except an in-place alias, which is executed with a
+//! single mutable slice. The property-test suite pins this invariant down
+//! for randomized graphs and schedules.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pe_graph::{NodeId, OpKind, TrainingGraph};
+use pe_memplan::{plan_memory_with, MemPlanOptions};
+use pe_passes::{partition_wavefronts, Schedule};
+use pe_tensor::kernels::elementwise::{UnaryGradOp, UnaryOp};
+use pe_tensor::kernels::{
+    conv, elementwise as ew, embedding, gemm, layout, norm, pool as poolk, reduce, winograd,
+};
+use pe_tensor::{Tensor, TensorView};
+
+use crate::executor::{check_input, ExecError, StepResult};
+use crate::optimizer::Optimizer;
+use crate::pool::Pool;
+
+/// Where a node's value lives at runtime.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    /// `(offset, len)` in `f32` elements inside the arena slab.
+    Arena(usize, usize),
+    /// Index into the parameter store.
+    Param(usize),
+    /// Index into the constant store.
+    Const(usize),
+    /// Index into the step-input staging buffers.
+    Input(usize),
+}
+
+/// A resolved operand: where it lives plus its static dims.
+#[derive(Debug, Clone)]
+struct Arg {
+    id: NodeId,
+    loc: Loc,
+    dims: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+enum Task {
+    /// Inputs, parameters, constants: nothing to execute.
+    Leaf,
+    /// Ordinary kernel dispatch into the arena.
+    Compute,
+    /// In-place parameter update.
+    Update { slot: usize, rows: Option<usize> },
+}
+
+/// One schedule position, fully resolved at construction.
+#[derive(Debug, Clone)]
+struct StepNode {
+    op: OpKind,
+    ins: Vec<Arg>,
+    /// Arena placement of the output (`None` for leaves/updates).
+    out: Option<(usize, usize)>,
+    /// Whether the output aliases `ins[0]`'s buffer (in-place execution).
+    inplace: bool,
+    task: Task,
+}
+
+/// Persistent parameter value plus its optimizer state rows.
+struct ParamCell {
+    value: Tensor,
+    state: Vec<Vec<f32>>,
+}
+
+/// The arena slab. Interior mutability with hand-checked disjointness (see
+/// the module-level safety discussion).
+struct ArenaBuf(UnsafeCell<Box<[f32]>>);
+
+impl ArenaBuf {
+    /// # Safety
+    ///
+    /// The range must not be concurrently written (plan invariant).
+    unsafe fn slice(&self, off: usize, len: usize) -> &[f32] {
+        std::slice::from_raw_parts((*self.0.get()).as_ptr().add(off), len)
+    }
+
+    /// # Safety
+    ///
+    /// The range must not be concurrently read or written (plan invariant).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, off: usize, len: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut((*self.0.get()).as_mut_ptr().add(off), len)
+    }
+}
+
+/// Executor state shared with the worker pool.
+pub(crate) struct Shared {
+    steps: Vec<StepNode>,
+    /// Schedule positions per wavefront level (non-leaf tasks only);
+    /// populated only in parallel mode.
+    pub(crate) levels: Vec<Vec<u32>>,
+    arena: ArenaBuf,
+    /// Per-parameter cells: each worker only ever forms a reference to the
+    /// single cell it touches, never to the containing `Vec`.
+    params: Vec<UnsafeCell<ParamCell>>,
+    consts: Vec<Tensor>,
+    /// Step-input staging, one cell per graph input.
+    inputs: Vec<UnsafeCell<Tensor>>,
+    winograd: UnsafeCell<HashMap<NodeId, winograd::WinogradWeight>>,
+    optimizer: Optimizer,
+    /// 1-based step count for Adam bias correction, set before each step.
+    step: AtomicUsize,
+    fallbacks: AtomicU64,
+}
+
+// SAFETY: concurrent access to the UnsafeCell state is confined to
+// `exec_position` under the plan/wavefront invariants described in the
+// module docs; everything else happens with `&mut ArenaExec` while the pool
+// is quiescent.
+unsafe impl Sync for Shared {}
+unsafe impl Send for Shared {}
+
+/// The arena-backed executor (see the module docs).
+pub(crate) struct ArenaExec {
+    tg: TrainingGraph,
+    schedule: Schedule,
+    shared: Arc<Shared>,
+    pool: Option<Pool>,
+    threads: usize,
+    step: usize,
+    param_slots: HashMap<NodeId, usize>,
+    /// Non-update graph outputs: `(name, value location)`.
+    outputs: Vec<(String, Arg)>,
+    loss_arg: Arg,
+    eval_live: Vec<bool>,
+}
+
+impl std::fmt::Debug for ArenaExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaExec")
+            .field("nodes", &self.schedule.len())
+            .field("threads", &self.threads)
+            .field("steps_completed", &self.step)
+            .finish()
+    }
+}
+
+impl ArenaExec {
+    pub fn new(
+        tg: TrainingGraph,
+        schedule: Schedule,
+        optimizer: Optimizer,
+        threads: usize,
+    ) -> Self {
+        let threads = threads.max(1);
+        let graph = &tg.graph;
+        let n = graph.len();
+
+        // Parameter store (sorted ids for deterministic slots), with
+        // optimizer state preallocated for every updated parameter.
+        let param_ids = graph.param_ids();
+        let param_slots: HashMap<NodeId, usize> = param_ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i))
+            .collect();
+        let mut updated: Vec<bool> = vec![false; n];
+        for node in graph.nodes() {
+            if let OpKind::ApplyUpdate { param, .. } = node.op {
+                updated[param.index()] = true;
+            }
+        }
+        let params: Vec<ParamCell> = param_ids
+            .iter()
+            .map(|id| {
+                let value = graph.params()[id].init.materialize(&graph.node(*id).shape);
+                let state = if updated[id.index()] {
+                    (0..optimizer.state_slots())
+                        .map(|_| vec![0.0f32; value.numel()])
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                ParamCell { value, state }
+            })
+            .collect();
+
+        // Constant and input staging stores.
+        let mut const_slots: HashMap<NodeId, usize> = HashMap::new();
+        let mut consts: Vec<Tensor> = Vec::new();
+        for (id, value) in graph.constants() {
+            const_slots.insert(*id, consts.len());
+            consts.push(value.clone());
+        }
+        let mut input_slots: HashMap<NodeId, usize> = HashMap::new();
+        let mut inputs: Vec<Tensor> = Vec::new();
+        for (i, id) in graph.inputs().iter().enumerate() {
+            input_slots.insert(*id, i);
+            inputs.push(Tensor::zeros(graph.node(*id).shape.clone()));
+        }
+
+        // Memory plan: level-coarsened when dispatching in parallel.
+        let wavefront = partition_wavefronts(graph, &schedule);
+        let coarsen = (threads > 1).then(|| wavefront.level_of_position.clone());
+        let plan = plan_memory_with(graph, &schedule, &MemPlanOptions::for_execution(coarsen));
+        let arena = ArenaBuf(UnsafeCell::new(
+            vec![0.0f32; plan.arena_bytes.div_ceil(4)].into_boxed_slice(),
+        ));
+
+        // Resolve every schedule position.
+        let resolve = |id: NodeId| -> Arg {
+            let node = graph.node(id);
+            let loc = if let Some(&slot) = param_slots.get(&id) {
+                Loc::Param(slot)
+            } else if let Some(&slot) = const_slots.get(&id) {
+                Loc::Const(slot)
+            } else if let Some(&slot) = input_slots.get(&id) {
+                Loc::Input(slot)
+            } else {
+                let off = plan.offsets[id.index()]
+                    .unwrap_or_else(|| panic!("transient node {id} has no arena offset"));
+                Loc::Arena(off / 4, node.shape.numel())
+            };
+            Arg {
+                id,
+                loc,
+                dims: node.shape.dims().to_vec(),
+            }
+        };
+        let steps: Vec<StepNode> = schedule
+            .order
+            .iter()
+            .map(|&id| {
+                let node = graph.node(id);
+                let task = match node.op {
+                    OpKind::Input | OpKind::Parameter | OpKind::Constant => Task::Leaf,
+                    OpKind::ApplyUpdate { param, rows } => Task::Update {
+                        slot: param_slots[&param],
+                        rows,
+                    },
+                    _ => Task::Compute,
+                };
+                let out = match task {
+                    Task::Compute => {
+                        let off = plan.offsets[id.index()]
+                            .unwrap_or_else(|| panic!("compute node {id} has no arena offset"));
+                        Some((off / 4, node.shape.numel()))
+                    }
+                    _ => None,
+                };
+                StepNode {
+                    op: node.op.clone(),
+                    ins: node.inputs.iter().map(|&i| resolve(i)).collect(),
+                    out,
+                    inplace: plan.aliases[id.index()].is_some(),
+                    task,
+                }
+            })
+            .collect();
+
+        // Wavefront levels as schedule positions (parallel mode only).
+        // Within a level, heaviest node first (LPT): workers claim in list
+        // order, so the most expensive kernels overlap first and the level's
+        // makespan shrinks.
+        let positions = schedule.positions(n);
+        let levels: Vec<Vec<u32>> = if threads > 1 {
+            wavefront
+                .levels
+                .iter()
+                .map(|level| {
+                    let mut tasks: Vec<NodeId> = level
+                        .iter()
+                        .copied()
+                        .filter(|id| !graph.node(*id).op.is_leaf())
+                        .collect();
+                    tasks
+                        .sort_by_key(|id| std::cmp::Reverse(pe_graph::node_cost(graph, *id).flops));
+                    tasks
+                        .into_iter()
+                        .map(|id| positions[id.index()] as u32)
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Winograd weights for frozen convolutions, transformed once.
+        let mut wino: HashMap<NodeId, winograd::WinogradWeight> = HashMap::new();
+        for node in graph.nodes() {
+            if let OpKind::WinogradConv2d { .. } = node.op {
+                let wid = node.inputs[1];
+                let weight = param_slots
+                    .get(&wid)
+                    .map(|&s| &params[s].value)
+                    .or_else(|| graph.constants().get(&wid))
+                    .expect("winograd weight must be a parameter or constant");
+                wino.entry(wid)
+                    .or_insert_with(|| winograd::WinogradWeight::from_dense(weight));
+            }
+        }
+
+        // Static eval-mode liveness: ancestors of the non-update outputs.
+        let roots: Vec<NodeId> = graph
+            .outputs()
+            .iter()
+            .copied()
+            .filter(|&o| !graph.node(o).op.is_update())
+            .collect();
+        let eval_live = graph.ancestors_of(&roots);
+
+        let outputs: Vec<(String, Arg)> = graph
+            .outputs()
+            .iter()
+            .filter(|&&o| !graph.node(o).op.is_update())
+            .map(|&o| (graph.node(o).name.clone(), resolve(o)))
+            .collect();
+        let loss_arg = resolve(tg.loss);
+
+        let shared = Arc::new(Shared {
+            steps,
+            levels,
+            arena,
+            params: params.into_iter().map(UnsafeCell::new).collect(),
+            consts,
+            inputs: inputs.into_iter().map(UnsafeCell::new).collect(),
+            winograd: UnsafeCell::new(wino),
+            optimizer,
+            step: AtomicUsize::new(0),
+            fallbacks: AtomicU64::new(0),
+        });
+        let pool = (threads > 1).then(|| Pool::new(Arc::clone(&shared), threads - 1));
+
+        ArenaExec {
+            tg,
+            schedule,
+            shared,
+            pool,
+            threads,
+            step: 0,
+            param_slots,
+            outputs,
+            loss_arg,
+            eval_live,
+        }
+    }
+
+    pub fn training_graph(&self) -> &TrainingGraph {
+        &self.tg
+    }
+
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    pub fn optimizer(&self) -> Optimizer {
+        self.shared.optimizer
+    }
+
+    pub fn steps_completed(&self) -> usize {
+        self.step
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn fallback_dispatches(&self) -> u64 {
+        self.shared.fallbacks.load(Ordering::Relaxed)
+    }
+
+    pub fn param(&self, id: NodeId) -> Option<&Tensor> {
+        let slot = *self.param_slots.get(&id)?;
+        // SAFETY: `&self` access with the pool quiescent; no step running.
+        Some(unsafe { &(*self.shared.params[slot].get()).value })
+    }
+
+    pub fn set_param(&mut self, id: NodeId, value: Tensor) {
+        let slot = *self.param_slots.get(&id).expect("unknown parameter");
+        // SAFETY: `&mut self` — exclusive access, pool quiescent.
+        unsafe {
+            let cell = &mut *self.shared.params[slot].get();
+            assert_eq!(
+                cell.value.shape(),
+                value.shape(),
+                "parameter shape mismatch"
+            );
+            cell.value = value;
+            let wino = &mut *self.shared.winograd.get();
+            if let std::collections::hash_map::Entry::Occupied(mut e) = wino.entry(id) {
+                e.insert(winograd::WinogradWeight::from_dense(&cell.value));
+            }
+        }
+    }
+
+    fn bind_inputs(&mut self, inputs: &HashMap<String, Tensor>) -> Result<(), ExecError> {
+        for (i, &id) in self.tg.graph.inputs().iter().enumerate() {
+            let node = self.tg.graph.node(id);
+            let provided = check_input(node, inputs)?;
+            // SAFETY: `&mut self` — exclusive access, pool quiescent.
+            unsafe {
+                (*self.shared.inputs[i].get())
+                    .data_mut()
+                    .copy_from_slice(provided.data());
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a value (post-execution) as a borrowed view.
+    fn value_view<'a>(&'a self, arg: &'a Arg) -> TensorView<'a> {
+        // SAFETY: called between steps / after execution; no writers active.
+        unsafe { arg_view(&self.shared, arg) }
+    }
+
+    fn execute_train(&mut self) {
+        self.shared.step.store(self.step, Ordering::Relaxed);
+        if let Some(pool) = &self.pool {
+            for level in 0..self.shared.levels.len() {
+                pool.run_level(level);
+            }
+        } else {
+            for pos in 0..self.shared.steps.len() {
+                // SAFETY: sequential walk of a position-granular plan.
+                unsafe { exec_position(&self.shared, pos, true) };
+            }
+        }
+    }
+
+    fn execute_eval(&mut self) {
+        self.shared.step.store(self.step.max(1), Ordering::Relaxed);
+        for (pos, &id) in self.schedule.order.iter().enumerate() {
+            if !self.eval_live[id.index()] {
+                continue;
+            }
+            // SAFETY: sequential walk; eval runs a subset of the schedule in
+            // order, which only shortens lifetimes.
+            unsafe { exec_position(&self.shared, pos, false) };
+        }
+    }
+
+    /// Zero-allocation training step returning only the loss.
+    pub fn train_step(
+        &mut self,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<Option<f32>, ExecError> {
+        self.bind_inputs(inputs)?;
+        self.step += 1;
+        self.execute_train();
+        Ok(Some(self.value_view(&self.loss_arg).data()[0]))
+    }
+
+    pub fn run_step(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
+        self.bind_inputs(inputs)?;
+        self.step += 1;
+        self.execute_train();
+        Ok(self.collect())
+    }
+
+    pub fn run_eval(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
+        self.bind_inputs(inputs)?;
+        self.execute_eval();
+        Ok(self.collect())
+    }
+
+    fn collect(&self) -> StepResult {
+        let mut outputs = HashMap::new();
+        let mut loss = None;
+        for (name, arg) in &self.outputs {
+            let value = self.value_view(arg).to_tensor();
+            if arg.id == self.tg.loss {
+                loss = Some(value.data()[0]);
+            }
+            outputs.insert(name.clone(), value);
+        }
+        StepResult { loss, outputs }
+    }
+}
+
+/// Resolves an operand to a borrowed view.
+///
+/// # Safety
+///
+/// The caller must guarantee no concurrent writer to the operand's storage
+/// (plan and wavefront invariants).
+unsafe fn arg_view<'a>(shared: &'a Shared, arg: &'a Arg) -> TensorView<'a> {
+    match arg.loc {
+        Loc::Arena(off, len) => TensorView::new(&arg.dims, shared.arena.slice(off, len)),
+        Loc::Param(i) => (*shared.params[i].get()).value.view(),
+        Loc::Const(i) => shared.consts[i].view(),
+        Loc::Input(i) => (*shared.inputs[i].get()).view(),
+    }
+}
+
+/// A fallback operand for kernels that still take `&Tensor` (Winograd,
+/// generic reductions): borrows persistent storage, copies arena views.
+enum FallbackOperand<'a> {
+    Borrowed(&'a Tensor),
+    Owned(Tensor),
+}
+
+impl FallbackOperand<'_> {
+    fn tensor(&self) -> &Tensor {
+        match self {
+            FallbackOperand::Borrowed(t) => t,
+            FallbackOperand::Owned(t) => t,
+        }
+    }
+}
+
+unsafe fn fallback_operand<'a>(shared: &'a Shared, arg: &'a Arg) -> FallbackOperand<'a> {
+    match arg.loc {
+        Loc::Arena(..) => FallbackOperand::Owned(arg_view(shared, arg).to_tensor()),
+        Loc::Param(i) => FallbackOperand::Borrowed(&(*shared.params[i].get()).value),
+        Loc::Const(i) => FallbackOperand::Borrowed(&shared.consts[i]),
+        Loc::Input(i) => FallbackOperand::Borrowed(&*shared.inputs[i].get()),
+    }
+}
+
+/// Executes the node at schedule position `pos`.
+///
+/// # Safety
+///
+/// The caller must guarantee that no other thread concurrently touches any
+/// arena range overlapping this node's operands or output, and that
+/// parameter updates are exclusive with every reader of the parameter. Both
+/// follow from the plan/wavefront invariants (module docs).
+pub(crate) unsafe fn exec_position(shared: &Shared, pos: usize, train: bool) {
+    let step = &shared.steps[pos];
+    match step.task {
+        Task::Leaf => {}
+        Task::Update { slot, rows } => {
+            if !train {
+                return;
+            }
+            let grad = arg_view(shared, &step.ins[0]);
+            let cell = &mut *shared.params[slot].get();
+            let updated_len = match rows {
+                Some(k) => {
+                    let row_elems: usize = cell.value.dims()[1..].iter().product::<usize>().max(1);
+                    k * row_elems
+                }
+                None => cell.value.numel(),
+            };
+            assert_eq!(
+                grad.numel(),
+                updated_len,
+                "gradient size mismatch for update"
+            );
+            let global_step = shared.step.load(Ordering::Relaxed).max(1);
+            shared.optimizer.apply(
+                &mut cell.value.data_mut()[..updated_len],
+                grad.data(),
+                &mut cell.state,
+                global_step,
+            );
+        }
+        Task::Compute => dispatch(shared, step),
+    }
+}
+
+/// Maps an activation-style op to its in-place-safe unary kernel.
+fn unary_of(op: &OpKind) -> Option<UnaryOp> {
+    Some(match op {
+        OpKind::Relu => UnaryOp::Relu,
+        OpKind::Relu6 => UnaryOp::Relu6,
+        OpKind::Gelu => UnaryOp::Gelu,
+        OpKind::Silu => UnaryOp::Silu,
+        OpKind::Sigmoid => UnaryOp::Sigmoid,
+        OpKind::Tanh => UnaryOp::Tanh,
+        OpKind::Scale { factor } => UnaryOp::Scale(*factor),
+        _ => return None,
+    })
+}
+
+unsafe fn dispatch(shared: &Shared, step: &StepNode) {
+    let (off, len) = step.out.expect("compute node has an arena slot");
+    // In-place nodes: the output range *is* the first input's range, so only
+    // one (mutable) slice may exist.
+    if step.inplace {
+        let buf = shared.arena.slice_mut(off, len);
+        match unary_of(&step.op) {
+            Some(op) => ew::unary_inplace(op, buf),
+            None => debug_assert!(
+                matches!(step.op, OpKind::Reshape { .. }),
+                "unexpected in-place op {:?}",
+                step.op
+            ), // Reshape in place: the data is already there.
+        }
+        return;
+    }
+
+    let v = |i: usize| arg_view(shared, &step.ins[i]);
+    let out = shared.arena.slice_mut(off, len);
+
+    match &step.op {
+        OpKind::MatMul { trans_a, trans_b } => {
+            gemm::matmul_into(v(0), v(1), *trans_a, *trans_b, out)
+        }
+        OpKind::BatchMatMul { trans_a, trans_b } => {
+            gemm::batched_matmul_into(v(0), v(1), *trans_a, *trans_b, out)
+        }
+        OpKind::Conv2d(p) => conv::conv2d_into(v(0), v(1), *p, out),
+        OpKind::Conv2dGradInput { params, x_dims } => {
+            conv::conv2d_grad_input_into(v(0), v(1), x_dims, *params, out)
+        }
+        OpKind::Conv2dGradWeight { params, w_dims } => {
+            conv::conv2d_grad_weight_into(v(0), v(1), w_dims, *params, out)
+        }
+        OpKind::WinogradConv2d { padding } => {
+            shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+            let x = fallback_operand(shared, &step.ins[0]);
+            let ww = (&*shared.winograd.get())
+                .get(&step.ins[1].id)
+                .expect("winograd weight transformed at construction");
+            let y = winograd::conv2d_winograd(x.tensor(), ww, *padding);
+            out.copy_from_slice(y.data());
+        }
+        OpKind::Add => ew::binary_into(ew::BinaryOp::Add, v(0), v(1), out),
+        OpKind::Sub => ew::binary_into(ew::BinaryOp::Sub, v(0), v(1), out),
+        OpKind::Mul => ew::binary_into(ew::BinaryOp::Mul, v(0), v(1), out),
+        OpKind::Div => ew::binary_into(ew::BinaryOp::Div, v(0), v(1), out),
+        OpKind::Scale { .. }
+        | OpKind::Relu
+        | OpKind::Relu6
+        | OpKind::Gelu
+        | OpKind::Silu
+        | OpKind::Sigmoid
+        | OpKind::Tanh => {
+            let op = unary_of(&step.op).expect("activation maps to a unary kernel");
+            ew::unary_into(op, v(0), out)
+        }
+        OpKind::AddBias => ew::add_bias_into(v(0), v(1), None, out),
+        OpKind::BiasGrad => ew::bias_grad_into(v(0), out),
+        OpKind::ReluGrad => ew::unary_grad_into(UnaryGradOp::Relu, v(0), v(1), out),
+        OpKind::Relu6Grad => ew::unary_grad_into(UnaryGradOp::Relu6, v(0), v(1), out),
+        OpKind::GeluGrad => ew::unary_grad_into(UnaryGradOp::Gelu, v(0), v(1), out),
+        OpKind::SiluGrad => ew::unary_grad_into(UnaryGradOp::Silu, v(0), v(1), out),
+        OpKind::SigmoidGrad => ew::unary_grad_into(UnaryGradOp::Sigmoid, v(0), v(1), out),
+        OpKind::TanhGrad => ew::unary_grad_into(UnaryGradOp::Tanh, v(0), v(1), out),
+        OpKind::BroadcastGradTo { dims } => ew::reduce_to_shape_into(v(0), dims, out),
+        OpKind::BiasRelu => ew::add_bias_into(v(0), v(1), Some(UnaryOp::Relu), out),
+        OpKind::BiasRelu6 => ew::add_bias_into(v(0), v(1), Some(UnaryOp::Relu6), out),
+        OpKind::BiasGelu => ew::add_bias_into(v(0), v(1), Some(UnaryOp::Gelu), out),
+        OpKind::AddRelu => ew::add_relu_into(v(0), v(1), out),
+        OpKind::Reduce {
+            op,
+            axes,
+            keep_dims,
+        } => {
+            shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+            let x = fallback_operand(shared, &step.ins[0]);
+            let y = reduce::reduce(x.tensor(), *op, axes, *keep_dims);
+            out.copy_from_slice(y.data());
+        }
+        OpKind::ReduceGrad {
+            op,
+            axes,
+            input_dims,
+        } => {
+            shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+            let x = fallback_operand(shared, &step.ins[0]);
+            let y = reduce::reduce_grad(x.tensor(), *op, input_dims, axes);
+            out.copy_from_slice(y.data());
+        }
+        OpKind::Reshape { .. } => out.copy_from_slice(v(0).data()),
+        OpKind::Transpose2d => layout::transpose2d_into(v(0), out),
+        OpKind::Permute { perm } => layout::permute_into(v(0), perm, out),
+        OpKind::Slice { axis, start, len } => {
+            layout::slice_axis_into(v(0), *axis, *start, *len, out)
+        }
+        OpKind::Unslice {
+            axis,
+            start,
+            full_dims,
+        } => layout::unslice_axis_into(v(0), *axis, *start, full_dims, out),
+        OpKind::Concat { axis } => {
+            // Views collected on the stack (TensorView is Copy) so the
+            // shared concat kernel runs without a heap allocation.
+            const MAX_CONCAT: usize = 16;
+            assert!(
+                step.ins.len() <= MAX_CONCAT,
+                "concat fan-in exceeds MAX_CONCAT"
+            );
+            let mut views = [v(0); MAX_CONCAT];
+            for (i, slot) in views.iter_mut().enumerate().take(step.ins.len()).skip(1) {
+                *slot = v(i);
+            }
+            layout::concat_into(&views[..step.ins.len()], *axis, out)
+        }
+        OpKind::AvgPool2d(p) => poolk::avg_pool2d_into(v(0), *p, out),
+        OpKind::AvgPool2dGrad { params, x_dims } => {
+            poolk::avg_pool2d_grad_into(v(0), x_dims, *params, out)
+        }
+        OpKind::MaxPool2d(p) => poolk::max_pool2d_into(v(0), *p, out),
+        OpKind::MaxPool2dGrad { params } => {
+            poolk::max_pool2d_grad_from_input_into(v(0), v(1), *params, out)
+        }
+        OpKind::GlobalAvgPool => poolk::global_avg_pool_into(v(0), out),
+        OpKind::GlobalAvgPoolGrad { x_dims } => poolk::global_avg_pool_grad_into(v(0), x_dims, out),
+        OpKind::Softmax => norm::softmax_into(v(0), out),
+        OpKind::SoftmaxGrad => norm::softmax_grad_into(v(0), v(1), out),
+        OpKind::LayerNorm { eps } => norm::layer_norm_into(v(0), v(1), v(2), *eps, out),
+        OpKind::LayerNormGradX { eps } => norm::layer_norm_grad_x_into(v(0), v(1), v(2), *eps, out),
+        OpKind::LayerNormGradGamma { eps } => {
+            norm::layer_norm_grad_gamma_into(v(0), v(1), *eps, out)
+        }
+        OpKind::RmsNorm { eps } => norm::rms_norm_into(v(0), v(1), *eps, out),
+        OpKind::RmsNormGradX { eps } => norm::rms_norm_grad_x_into(v(0), v(1), v(2), *eps, out),
+        OpKind::RmsNormGradGamma { eps } => norm::rms_norm_grad_gamma_into(v(0), v(1), *eps, out),
+        OpKind::Embedding => embedding::gather_into(v(0), v(1), out),
+        OpKind::EmbeddingGrad { vocab, dim } => {
+            embedding::gather_grad_into(v(0), v(1), *vocab, *dim, out)
+        }
+        OpKind::CrossEntropyLoss => norm::cross_entropy_loss_into(v(0), v(1), out),
+        OpKind::CrossEntropyGrad => {
+            let dloss = v(2).data()[0];
+            norm::cross_entropy_grad_into(v(0), v(1), dloss, out)
+        }
+        OpKind::Input | OpKind::Parameter | OpKind::Constant | OpKind::ApplyUpdate { .. } => {
+            unreachable!("leaf/update nodes are handled by the task kind")
+        }
+    }
+}

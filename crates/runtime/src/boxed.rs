@@ -1,0 +1,382 @@
+//! The original boxed-value executor, kept behind `PE_EXECUTOR=boxed` as the
+//! differential-testing baseline for the arena executor.
+//!
+//! Every node's output is an owned [`Tensor`] slot that is allocated when
+//! the node runs and dropped at its compile-time free position. The arena
+//! executor must be bit-identical to this path; the property suite in
+//! `tests/` asserts exactly that.
+
+use std::collections::HashMap;
+
+use pe_graph::{NodeId, OpKind, TrainingGraph};
+use pe_memplan::analyze_lifetimes;
+use pe_passes::Schedule;
+use pe_tensor::kernels::{
+    conv, elementwise as ew, embedding, gemm, layout, norm, pool, reduce, winograd,
+};
+use pe_tensor::{Shape, Tensor};
+
+use crate::executor::{check_input, ExecError, StepResult};
+use crate::optimizer::Optimizer;
+
+/// Executes a compiled training program with per-node boxed buffers.
+#[derive(Debug)]
+pub struct BoxedExec {
+    tg: TrainingGraph,
+    schedule: Schedule,
+    optimizer: Optimizer,
+    /// Persistent parameter values keyed by parameter node id.
+    params: HashMap<NodeId, Tensor>,
+    /// Optimizer state per parameter.
+    opt_state: HashMap<NodeId, Vec<Vec<f32>>>,
+    /// Cached Winograd-transformed weights for frozen convolutions.
+    winograd_cache: HashMap<NodeId, winograd::WinogradWeight>,
+    /// Free positions: node ids whose buffer can be dropped after executing
+    /// the node at a given schedule position.
+    frees: Vec<Vec<NodeId>>,
+    step: usize,
+}
+
+impl BoxedExec {
+    /// Builds an executor for an optimized training graph and schedule.
+    pub fn new(tg: TrainingGraph, schedule: Schedule, optimizer: Optimizer) -> Self {
+        let params: HashMap<NodeId, Tensor> = tg
+            .graph
+            .params()
+            .iter()
+            .map(|(id, info)| (*id, info.init.materialize(&tg.graph.node(*id).shape)))
+            .collect();
+        let opt_state = HashMap::new();
+
+        // Precompute buffer free positions from the lifetime analysis.
+        let lifetimes = analyze_lifetimes(&tg.graph, &schedule);
+        let mut frees: Vec<Vec<NodeId>> = vec![Vec::new(); schedule.len().max(1)];
+        for (idx, lt) in lifetimes.iter().enumerate() {
+            if let Some((_, last)) = lt {
+                frees[*last].push(NodeId(idx));
+            }
+        }
+
+        BoxedExec {
+            tg,
+            schedule,
+            optimizer,
+            params,
+            opt_state,
+            winograd_cache: HashMap::new(),
+            frees,
+            step: 0,
+        }
+    }
+
+    /// The training graph being executed.
+    pub fn training_graph(&self) -> &TrainingGraph {
+        &self.tg
+    }
+
+    /// The execution schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The optimizer configuration.
+    pub fn optimizer(&self) -> Optimizer {
+        self.optimizer
+    }
+
+    /// Number of completed optimisation steps.
+    pub fn steps_completed(&self) -> usize {
+        self.step
+    }
+
+    /// Current value of a parameter.
+    pub fn param(&self, id: NodeId) -> Option<&Tensor> {
+        self.params.get(&id)
+    }
+
+    /// Overwrites a parameter value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is unknown or the shapes do not match.
+    pub fn set_param(&mut self, id: NodeId, value: Tensor) {
+        let current = self.params.get(&id).expect("unknown parameter");
+        assert_eq!(current.shape(), value.shape(), "parameter shape mismatch");
+        self.winograd_cache.remove(&id);
+        self.params.insert(id, value);
+    }
+
+    /// Runs one full training step: forward, backward, parameter updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a step input is missing or has the wrong shape or
+    /// dtype.
+    pub fn run_step(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
+        self.step += 1;
+        self.execute(inputs, true)
+    }
+
+    /// Runs the forward part only (no parameter updates), for evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a step input is missing or has the wrong shape or
+    /// dtype.
+    pub fn run_eval(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
+        self.execute(inputs, false)
+    }
+
+    fn execute(
+        &mut self,
+        inputs: &HashMap<String, Tensor>,
+        train: bool,
+    ) -> Result<StepResult, ExecError> {
+        let n = self.tg.graph.len();
+        let mut values: Vec<Option<Tensor>> = vec![None; n];
+
+        // Bind step inputs.
+        for &input_id in &self.tg.graph.inputs().to_vec() {
+            let node = self.tg.graph.node(input_id);
+            let provided = check_input(node, inputs)?;
+            values[input_id.index()] = Some(provided.clone());
+        }
+
+        // In evaluation mode only the ancestors of non-update outputs run.
+        let eval_live = if train {
+            None
+        } else {
+            let graph = &self.tg.graph;
+            let roots: Vec<NodeId> = graph
+                .outputs()
+                .iter()
+                .copied()
+                .filter(|&o| !graph.node(o).op.is_update())
+                .collect();
+            Some(graph.ancestors_of(&roots))
+        };
+        let output_ids: Vec<NodeId> = self.tg.graph.outputs().to_vec();
+
+        for pos in 0..self.schedule.len() {
+            let id = self.schedule.order[pos];
+            let node = self.tg.graph.node(id).clone();
+            if let Some(live) = &eval_live {
+                if !live[id.index()] {
+                    continue;
+                }
+            }
+            match node.op {
+                OpKind::Input => {}
+                OpKind::Parameter | OpKind::Constant => {}
+                OpKind::ApplyUpdate { param, rows } => {
+                    if train {
+                        let grad = values[node.inputs[0].index()]
+                            .as_ref()
+                            .expect("gradient must be computed before its update")
+                            .clone();
+                        self.apply_update(param, rows, &grad);
+                    }
+                }
+                _ => {
+                    let out = self.compute_node(&node, &values);
+                    values[id.index()] = Some(out);
+                }
+            }
+            // Free buffers whose last use has passed (only in training mode;
+            // eval skips nodes so positions are conservative there too).
+            for &dead in &self.frees[pos] {
+                if !output_ids.contains(&dead) {
+                    values[dead.index()] = None;
+                }
+            }
+        }
+
+        // Collect outputs.
+        let mut outputs = HashMap::new();
+        let mut loss = None;
+        for &out in &output_ids {
+            let node = self.tg.graph.node(out);
+            if node.op.is_update() {
+                continue;
+            }
+            if let Some(v) = &values[out.index()] {
+                if out == self.tg.loss {
+                    loss = Some(v.data()[0]);
+                }
+                outputs.insert(node.name.clone(), v.clone());
+            }
+        }
+        Ok(StepResult { loss, outputs })
+    }
+
+    fn apply_update(&mut self, param: NodeId, rows: Option<usize>, grad: &Tensor) {
+        let slots = self.optimizer.state_slots();
+        let p = self
+            .params
+            .get_mut(&param)
+            .expect("unknown parameter in update");
+        let state = self
+            .opt_state
+            .entry(param)
+            .or_insert_with(|| (0..slots).map(|_| vec![0.0f32; p.numel()]).collect());
+
+        let updated_len = match rows {
+            Some(k) => {
+                let row_elems: usize = p.dims()[1..].iter().product::<usize>().max(1);
+                k * row_elems
+            }
+            None => p.numel(),
+        };
+        assert_eq!(
+            grad.numel(),
+            updated_len,
+            "gradient size mismatch for update"
+        );
+
+        let opt = self.optimizer;
+        // Optimizer::apply only touches the first `param.len()` elements of
+        // each state row, so the full-length rows can be passed directly.
+        opt.apply(
+            &mut p.data_mut()[..updated_len],
+            grad.data(),
+            state,
+            self.step.max(1),
+        );
+    }
+
+    fn value<'a>(&'a self, values: &'a [Option<Tensor>], id: NodeId) -> &'a Tensor {
+        if let Some(p) = self.params.get(&id) {
+            return p;
+        }
+        if let Some(c) = self.tg.graph.constants().get(&id) {
+            return c;
+        }
+        values[id.index()].as_ref().unwrap_or_else(|| {
+            panic!("value {id} requested before being computed or after being freed")
+        })
+    }
+
+    fn compute_node(&mut self, node: &pe_graph::Node, values: &[Option<Tensor>]) -> Tensor {
+        let graph = &self.tg.graph;
+        let inp = |slot: usize| self.value(values, node.inputs[slot]);
+
+        match &node.op {
+            OpKind::MatMul { trans_a, trans_b } => gemm::matmul(inp(0), inp(1), *trans_a, *trans_b),
+            OpKind::BatchMatMul { trans_a, trans_b } => {
+                gemm::batched_matmul(inp(0), inp(1), *trans_a, *trans_b)
+            }
+            OpKind::Conv2d(p) => conv::conv2d(inp(0), inp(1), *p),
+            OpKind::Conv2dGradInput { params, x_dims } => {
+                conv::conv2d_grad_input(inp(0), inp(1), x_dims, *params)
+            }
+            OpKind::Conv2dGradWeight { params, w_dims } => {
+                conv::conv2d_grad_weight(inp(0), inp(1), w_dims, *params)
+            }
+            OpKind::WinogradConv2d { padding } => {
+                let weight_id = node.inputs[1];
+                let w = self.value(values, weight_id).clone();
+                let ww = self
+                    .winograd_cache
+                    .entry(weight_id)
+                    .or_insert_with(|| winograd::WinogradWeight::from_dense(&w));
+                let x = values[node.inputs[0].index()]
+                    .as_ref()
+                    .or_else(|| self.params.get(&node.inputs[0]))
+                    .or_else(|| graph.constants().get(&node.inputs[0]))
+                    .expect("winograd input missing");
+                winograd::conv2d_winograd(x, ww, *padding)
+            }
+            OpKind::Add => ew::add(inp(0), inp(1)),
+            OpKind::Sub => ew::sub(inp(0), inp(1)),
+            OpKind::Mul => ew::mul(inp(0), inp(1)),
+            OpKind::Div => ew::div(inp(0), inp(1)),
+            OpKind::Scale { factor } => ew::scale(inp(0), *factor),
+            OpKind::AddBias => ew::add_bias(inp(0), inp(1)),
+            OpKind::BiasGrad => ew::bias_grad(inp(0)),
+            OpKind::Relu => ew::relu(inp(0)),
+            OpKind::Relu6 => ew::relu6(inp(0)),
+            OpKind::Gelu => ew::gelu(inp(0)),
+            OpKind::Silu => ew::silu(inp(0)),
+            OpKind::Sigmoid => ew::sigmoid(inp(0)),
+            OpKind::Tanh => ew::tanh(inp(0)),
+            OpKind::ReluGrad => ew::relu_grad(inp(0), inp(1)),
+            OpKind::Relu6Grad => ew::relu6_grad(inp(0), inp(1)),
+            OpKind::GeluGrad => ew::gelu_grad(inp(0), inp(1)),
+            OpKind::SiluGrad => ew::silu_grad(inp(0), inp(1)),
+            OpKind::SigmoidGrad => ew::sigmoid_grad_from_output(inp(0), inp(1)),
+            OpKind::TanhGrad => ew::tanh_grad_from_output(inp(0), inp(1)),
+            OpKind::BroadcastGradTo { dims } => {
+                ew::reduce_to_shape(inp(0), &Shape::new(dims.clone()))
+            }
+            OpKind::BiasRelu => ew::relu(&ew::add_bias(inp(0), inp(1))),
+            OpKind::BiasRelu6 => ew::relu6(&ew::add_bias(inp(0), inp(1))),
+            OpKind::BiasGelu => ew::gelu(&ew::add_bias(inp(0), inp(1))),
+            OpKind::AddRelu => ew::relu(&ew::add(inp(0), inp(1))),
+            OpKind::Reduce {
+                op,
+                axes,
+                keep_dims,
+            } => reduce::reduce(inp(0), *op, axes, *keep_dims),
+            OpKind::ReduceGrad {
+                op,
+                axes,
+                input_dims,
+            } => reduce::reduce_grad(inp(0), *op, input_dims, axes),
+            OpKind::Reshape { dims } => inp(0).reshape(dims.clone()),
+            OpKind::Transpose2d => layout::transpose2d(inp(0)),
+            OpKind::Permute { perm } => layout::permute(inp(0), perm),
+            OpKind::Slice { axis, start, len } => layout::slice_axis(inp(0), *axis, *start, *len),
+            OpKind::Unslice {
+                axis,
+                start,
+                full_dims,
+            } => layout::unslice_axis(inp(0), *axis, *start, full_dims),
+            OpKind::Concat { axis } => {
+                let tensors: Vec<&Tensor> =
+                    node.inputs.iter().map(|&i| self.value(values, i)).collect();
+                layout::concat(&tensors, *axis)
+            }
+            OpKind::AvgPool2d(p) => pool::avg_pool2d(inp(0), *p),
+            OpKind::AvgPool2dGrad { params, x_dims } => {
+                pool::avg_pool2d_grad(inp(0), x_dims, *params)
+            }
+            OpKind::MaxPool2d(p) => pool::max_pool2d_with_indices(inp(0), *p).0,
+            OpKind::MaxPool2dGrad { params } => {
+                let x = inp(0);
+                let (_, indices) = pool::max_pool2d_with_indices(x, *params);
+                pool::max_pool2d_grad(inp(1), &indices, x.dims())
+            }
+            OpKind::GlobalAvgPool => pool::global_avg_pool(inp(0)),
+            OpKind::GlobalAvgPoolGrad { x_dims } => pool::global_avg_pool_grad(inp(0), x_dims),
+            OpKind::Softmax => norm::softmax(inp(0)),
+            OpKind::SoftmaxGrad => norm::softmax_grad_from_output(inp(0), inp(1)),
+            OpKind::LayerNorm { eps } => norm::layer_norm(inp(0), inp(1), inp(2), *eps),
+            OpKind::LayerNormGradX { eps } => norm::layer_norm_grad(inp(0), inp(1), inp(2), *eps).0,
+            OpKind::LayerNormGradGamma { eps } => {
+                // gamma does not influence dgamma; pass a ones vector.
+                let cols = *inp(0).dims().last().expect("rank >= 1");
+                let ones = Tensor::ones([cols]);
+                norm::layer_norm_grad(inp(0), &ones, inp(1), *eps).1
+            }
+            OpKind::RmsNorm { eps } => norm::rms_norm(inp(0), inp(1), *eps),
+            OpKind::RmsNormGradX { eps } => norm::rms_norm_grad(inp(0), inp(1), inp(2), *eps).0,
+            OpKind::RmsNormGradGamma { eps } => {
+                let cols = *inp(0).dims().last().expect("rank >= 1");
+                let ones = Tensor::ones([cols]);
+                norm::rms_norm_grad(inp(0), &ones, inp(1), *eps).1
+            }
+            OpKind::Embedding => embedding::gather(inp(0), inp(1)),
+            OpKind::EmbeddingGrad { vocab, dim } => {
+                embedding::gather_grad(inp(0), inp(1), *vocab, *dim)
+            }
+            OpKind::CrossEntropyLoss => norm::cross_entropy_loss(inp(0), inp(1)),
+            OpKind::CrossEntropyGrad => {
+                let dloss = inp(2).data()[0];
+                norm::cross_entropy_grad(inp(0), inp(1), dloss)
+            }
+            OpKind::Input | OpKind::Parameter | OpKind::Constant | OpKind::ApplyUpdate { .. } => {
+                unreachable!("leaf/update nodes are handled by the schedule loop")
+            }
+        }
+    }
+}

@@ -2,21 +2,30 @@
 //!
 //! The executor is the slim runtime the compilation workflow targets: it
 //! walks a pre-computed schedule, dispatches each node to the shared kernel
-//! library, frees buffers at their last use (positions known at compile
-//! time), and applies parameter updates in place when it reaches
+//! library, and applies parameter updates in place when it reaches
 //! `ApplyUpdate` nodes. There is no graph construction, autodiff, or shape
 //! inference at runtime.
+//!
+//! Two backends implement that contract:
+//!
+//! * the **arena** backend (default) executes out of one preallocated slab
+//!   sized by the memory planner — every transient buffer is a view at a
+//!   compile-time offset, so a steady-state training step performs no heap
+//!   allocation — and can dispatch schedule-independent nodes across a
+//!   worker pool (`PE_EXECUTOR_THREADS`);
+//! * the **boxed** backend allocates an owned tensor per node and frees it
+//!   at its compile-time free position; it is kept as the differential
+//!   baseline (`PE_EXECUTOR=boxed`) that the arena backend must match bit
+//!   for bit.
 
 use std::collections::HashMap;
 
-use pe_graph::{NodeId, OpKind, TrainingGraph};
-use pe_memplan::analyze_lifetimes;
+use pe_graph::{NodeId, TrainingGraph};
 use pe_passes::Schedule;
-use pe_tensor::kernels::{
-    conv, elementwise as ew, embedding, gemm, layout, norm, pool, reduce, winograd,
-};
-use pe_tensor::{Shape, Tensor};
+use pe_tensor::{DType, Tensor};
 
+use crate::arena::ArenaExec;
+use crate::boxed::BoxedExec;
 use crate::optimizer::Optimizer;
 
 /// Error raised when step inputs do not match the program signature.
@@ -32,6 +41,15 @@ pub enum ExecError {
         expected: Vec<usize>,
         /// Provided dims.
         actual: Vec<usize>,
+    },
+    /// A provided step input has the wrong logical dtype.
+    InputDTypeMismatch {
+        /// Input name.
+        name: String,
+        /// Expected dtype.
+        expected: DType,
+        /// Provided dtype.
+        actual: DType,
     },
 }
 
@@ -49,11 +67,43 @@ impl std::fmt::Display for ExecError {
                     "input '{name}' has shape {actual:?}, expected {expected:?}"
                 )
             }
+            ExecError::InputDTypeMismatch {
+                name,
+                expected,
+                actual,
+            } => {
+                write!(f, "input '{name}' has dtype {actual}, expected {expected}")
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Validates one step input against its graph node: presence, shape, dtype.
+pub(crate) fn check_input<'a>(
+    node: &pe_graph::Node,
+    inputs: &'a HashMap<String, Tensor>,
+) -> Result<&'a Tensor, ExecError> {
+    let provided = inputs
+        .get(&node.name)
+        .ok_or_else(|| ExecError::MissingInput(node.name.clone()))?;
+    if provided.shape() != &node.shape {
+        return Err(ExecError::InputShapeMismatch {
+            name: node.name.clone(),
+            expected: node.shape.dims().to_vec(),
+            actual: provided.dims().to_vec(),
+        });
+    }
+    if provided.dtype() != node.dtype {
+        return Err(ExecError::InputDTypeMismatch {
+            name: node.name.clone(),
+            expected: node.dtype,
+            actual: provided.dtype(),
+        });
+    }
+    Ok(provided)
+}
 
 /// Result of executing one training (or evaluation) step.
 #[derive(Debug, Clone)]
@@ -71,379 +121,188 @@ impl StepResult {
     }
 }
 
+#[derive(Debug)]
+enum Inner {
+    Boxed(Box<BoxedExec>),
+    Arena(Box<ArenaExec>),
+}
+
 /// Executes a compiled training program.
 ///
 /// Parameters and optimizer state persist across steps inside the executor.
+/// [`Executor::new`] picks the backend from the environment (see the module
+/// docs); [`Executor::arena`] and [`Executor::boxed`] select explicitly.
 #[derive(Debug)]
 pub struct Executor {
-    tg: TrainingGraph,
-    schedule: Schedule,
-    optimizer: Optimizer,
-    /// Persistent parameter values keyed by parameter node id.
-    params: HashMap<NodeId, Tensor>,
-    /// Optimizer state per parameter.
-    opt_state: HashMap<NodeId, Vec<Vec<f32>>>,
-    /// Cached Winograd-transformed weights for frozen convolutions.
-    winograd_cache: HashMap<NodeId, winograd::WinogradWeight>,
-    /// Free positions: node ids whose buffer can be dropped after executing
-    /// the node at a given schedule position.
-    frees: Vec<Vec<NodeId>>,
-    step: usize,
+    inner: Inner,
 }
 
 impl Executor {
-    /// Builds an executor for an optimized training graph and schedule.
+    /// Builds an executor for an optimized training graph and schedule,
+    /// selecting the backend from the environment:
+    ///
+    /// * `PE_EXECUTOR=boxed` picks the boxed baseline (default: arena);
+    /// * `PE_EXECUTOR_THREADS=N` sets the arena worker count (default 1).
     pub fn new(tg: TrainingGraph, schedule: Schedule, optimizer: Optimizer) -> Self {
-        let params: HashMap<NodeId, Tensor> = tg
-            .graph
-            .params()
-            .iter()
-            .map(|(id, info)| (*id, info.init.materialize(&tg.graph.node(*id).shape)))
-            .collect();
-        let opt_state = HashMap::new();
-
-        // Precompute buffer free positions from the lifetime analysis.
-        let lifetimes = analyze_lifetimes(&tg.graph, &schedule);
-        let mut frees: Vec<Vec<NodeId>> = vec![Vec::new(); schedule.len().max(1)];
-        for (idx, lt) in lifetimes.iter().enumerate() {
-            if let Some((_, last)) = lt {
-                frees[*last].push(NodeId(idx));
-            }
+        let backend = std::env::var("PE_EXECUTOR").unwrap_or_default();
+        if backend.eq_ignore_ascii_case("boxed") || backend.eq_ignore_ascii_case("hashmap") {
+            return Executor::boxed(tg, schedule, optimizer);
         }
+        let threads = std::env::var("PE_EXECUTOR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1);
+        Executor::arena(tg, schedule, optimizer, threads)
+    }
 
+    /// Builds the arena-backed executor with `threads` workers (1 = fully
+    /// sequential dispatch, no pool).
+    pub fn arena(
+        tg: TrainingGraph,
+        schedule: Schedule,
+        optimizer: Optimizer,
+        threads: usize,
+    ) -> Self {
         Executor {
-            tg,
-            schedule,
-            optimizer,
-            params,
-            opt_state,
-            winograd_cache: HashMap::new(),
-            frees,
-            step: 0,
+            inner: Inner::Arena(Box::new(ArenaExec::new(tg, schedule, optimizer, threads))),
+        }
+    }
+
+    /// Builds the boxed per-node-buffer executor (differential baseline).
+    pub fn boxed(tg: TrainingGraph, schedule: Schedule, optimizer: Optimizer) -> Self {
+        Executor {
+            inner: Inner::Boxed(Box::new(BoxedExec::new(tg, schedule, optimizer))),
+        }
+    }
+
+    /// Short name of the active backend (`"arena"` or `"boxed"`).
+    pub fn backend_name(&self) -> &'static str {
+        match &self.inner {
+            Inner::Boxed(_) => "boxed",
+            Inner::Arena(_) => "arena",
+        }
+    }
+
+    /// Number of dispatch threads (1 for the boxed backend).
+    pub fn threads(&self) -> usize {
+        match &self.inner {
+            Inner::Boxed(_) => 1,
+            Inner::Arena(a) => a.threads(),
         }
     }
 
     /// The training graph being executed.
     pub fn training_graph(&self) -> &TrainingGraph {
-        &self.tg
+        match &self.inner {
+            Inner::Boxed(e) => e.training_graph(),
+            Inner::Arena(e) => e.training_graph(),
+        }
     }
 
     /// The execution schedule.
     pub fn schedule(&self) -> &Schedule {
-        &self.schedule
+        match &self.inner {
+            Inner::Boxed(e) => e.schedule(),
+            Inner::Arena(e) => e.schedule(),
+        }
     }
 
     /// The optimizer configuration.
     pub fn optimizer(&self) -> Optimizer {
-        self.optimizer
+        match &self.inner {
+            Inner::Boxed(e) => e.optimizer(),
+            Inner::Arena(e) => e.optimizer(),
+        }
     }
 
     /// Number of completed optimisation steps.
     pub fn steps_completed(&self) -> usize {
-        self.step
+        match &self.inner {
+            Inner::Boxed(e) => e.steps_completed(),
+            Inner::Arena(e) => e.steps_completed(),
+        }
     }
 
     /// Current value of a parameter.
     pub fn param(&self, id: NodeId) -> Option<&Tensor> {
-        self.params.get(&id)
+        match &self.inner {
+            Inner::Boxed(e) => e.param(id),
+            Inner::Arena(e) => e.param(id),
+        }
     }
 
     /// Current value of a parameter looked up by name.
     pub fn param_by_name(&self, name: &str) -> Option<&Tensor> {
-        let id = self.tg.graph.find_param(name)?;
-        self.params.get(&id)
+        let id = self.training_graph().graph.find_param(name)?;
+        self.param(id)
     }
 
     /// Overwrites a parameter value (e.g. to load a pre-trained checkpoint).
     ///
     /// # Panics
     ///
-    /// Panics if the shapes do not match.
+    /// Panics if the parameter is unknown or the shapes do not match.
     pub fn set_param(&mut self, id: NodeId, value: Tensor) {
-        let current = self.params.get(&id).expect("unknown parameter");
-        assert_eq!(current.shape(), value.shape(), "parameter shape mismatch");
-        self.params.insert(id, value);
+        match &mut self.inner {
+            Inner::Boxed(e) => e.set_param(id, value),
+            Inner::Arena(e) => e.set_param(id, value),
+        }
     }
 
     /// Runs one full training step: forward, backward, parameter updates.
     ///
     /// # Errors
     ///
-    /// Returns an error if a step input is missing or has the wrong shape.
+    /// Returns an error if a step input is missing or has the wrong shape or
+    /// dtype.
     pub fn run_step(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
-        self.step += 1;
-        self.execute(inputs, true)
+        match &mut self.inner {
+            Inner::Boxed(e) => e.run_step(inputs),
+            Inner::Arena(e) => e.run_step(inputs),
+        }
+    }
+
+    /// Runs one full training step and returns only the loss value.
+    ///
+    /// On the arena backend this is the zero-allocation hot path: no output
+    /// tensors are materialised and, once winograd caches are warm, the step
+    /// touches the heap not at all. The boxed backend falls back to
+    /// [`Executor::run_step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a step input is missing or has the wrong shape or
+    /// dtype.
+    pub fn train_step(
+        &mut self,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<Option<f32>, ExecError> {
+        match &mut self.inner {
+            Inner::Boxed(e) => Ok(e.run_step(inputs)?.loss),
+            Inner::Arena(e) => e.train_step(inputs),
+        }
     }
 
     /// Runs the forward part only (no parameter updates), for evaluation.
     ///
     /// # Errors
     ///
-    /// Returns an error if a step input is missing or has the wrong shape.
+    /// Returns an error if a step input is missing or has the wrong shape or
+    /// dtype.
     pub fn run_eval(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
-        self.execute(inputs, false)
-    }
-
-    fn execute(
-        &mut self,
-        inputs: &HashMap<String, Tensor>,
-        train: bool,
-    ) -> Result<StepResult, ExecError> {
-        let n = self.tg.graph.len();
-        let mut values: Vec<Option<Tensor>> = vec![None; n];
-
-        // Bind step inputs.
-        for &input_id in &self.tg.graph.inputs().to_vec() {
-            let node = self.tg.graph.node(input_id);
-            let provided = inputs
-                .get(&node.name)
-                .ok_or_else(|| ExecError::MissingInput(node.name.clone()))?;
-            if provided.shape() != &node.shape {
-                return Err(ExecError::InputShapeMismatch {
-                    name: node.name.clone(),
-                    expected: node.shape.dims().to_vec(),
-                    actual: provided.dims().to_vec(),
-                });
-            }
-            values[input_id.index()] = Some(provided.clone());
-        }
-
-        // In evaluation mode only the ancestors of non-update outputs run.
-        let eval_live = if train {
-            None
-        } else {
-            let graph = &self.tg.graph;
-            let roots: Vec<NodeId> = graph
-                .outputs()
-                .iter()
-                .copied()
-                .filter(|&o| !graph.node(o).op.is_update())
-                .collect();
-            Some(graph.ancestors_of(&roots))
-        };
-        let output_ids: Vec<NodeId> = self.tg.graph.outputs().to_vec();
-
-        for pos in 0..self.schedule.len() {
-            let id = self.schedule.order[pos];
-            let node = self.tg.graph.node(id).clone();
-            if let Some(live) = &eval_live {
-                if !live[id.index()] {
-                    continue;
-                }
-            }
-            match node.op {
-                OpKind::Input => {}
-                OpKind::Parameter | OpKind::Constant => {}
-                OpKind::ApplyUpdate { param, rows } => {
-                    if train {
-                        let grad = values[node.inputs[0].index()]
-                            .as_ref()
-                            .expect("gradient must be computed before its update")
-                            .clone();
-                        self.apply_update(param, rows, &grad);
-                    }
-                }
-                _ => {
-                    let out = self.compute_node(&node, &values);
-                    values[id.index()] = Some(out);
-                }
-            }
-            // Free buffers whose last use has passed (only in training mode;
-            // eval skips nodes so positions are conservative there too).
-            for &dead in &self.frees[pos] {
-                if !output_ids.contains(&dead) {
-                    values[dead.index()] = None;
-                }
-            }
-        }
-
-        // Collect outputs.
-        let mut outputs = HashMap::new();
-        let mut loss = None;
-        for &out in &output_ids {
-            let node = self.tg.graph.node(out);
-            if node.op.is_update() {
-                continue;
-            }
-            if let Some(v) = &values[out.index()] {
-                if out == self.tg.loss {
-                    loss = Some(v.data()[0]);
-                }
-                outputs.insert(node.name.clone(), v.clone());
-            }
-        }
-        Ok(StepResult { loss, outputs })
-    }
-
-    fn apply_update(&mut self, param: NodeId, rows: Option<usize>, grad: &Tensor) {
-        let slots = self.optimizer.state_slots();
-        let p = self
-            .params
-            .get_mut(&param)
-            .expect("unknown parameter in update");
-        let state = self
-            .opt_state
-            .entry(param)
-            .or_insert_with(|| (0..slots).map(|_| vec![0.0f32; p.numel()]).collect());
-
-        let updated_len = match rows {
-            Some(k) => {
-                let row_elems: usize = p.dims()[1..].iter().product::<usize>().max(1);
-                k * row_elems
-            }
-            None => p.numel(),
-        };
-        assert_eq!(
-            grad.numel(),
-            updated_len,
-            "gradient size mismatch for update"
-        );
-
-        let opt = self.optimizer;
-        let pdata = &mut p.data_mut()[..updated_len];
-        let mut slices: Vec<&mut [f32]> = state.iter_mut().map(|s| &mut s[..updated_len]).collect();
-        // Optimizer::apply expects Vec<Vec<f32>>; operate on temporary copies
-        // of the active slices to keep the kernel simple.
-        let mut state_views: Vec<Vec<f32>> = slices.iter().map(|s| s.to_vec()).collect();
-        opt.apply(pdata, grad.data(), &mut state_views, self.step.max(1));
-        for (dst, src) in slices.iter_mut().zip(&state_views) {
-            dst.copy_from_slice(src);
+        match &mut self.inner {
+            Inner::Boxed(e) => e.run_eval(inputs),
+            Inner::Arena(e) => e.run_eval(inputs),
         }
     }
 
-    fn value<'a>(&'a self, values: &'a [Option<Tensor>], id: NodeId) -> &'a Tensor {
-        if let Some(p) = self.params.get(&id) {
-            return p;
-        }
-        if let Some(c) = self.tg.graph.constants().get(&id) {
-            return c;
-        }
-        values[id.index()].as_ref().unwrap_or_else(|| {
-            panic!("value {id} requested before being computed or after being freed")
-        })
-    }
-
-    fn compute_node(&mut self, node: &pe_graph::Node, values: &[Option<Tensor>]) -> Tensor {
-        let graph = &self.tg.graph;
-        let inp = |slot: usize| self.value(values, node.inputs[slot]);
-
-        match &node.op {
-            OpKind::MatMul { trans_a, trans_b } => gemm::matmul(inp(0), inp(1), *trans_a, *trans_b),
-            OpKind::BatchMatMul { trans_a, trans_b } => {
-                gemm::batched_matmul(inp(0), inp(1), *trans_a, *trans_b)
-            }
-            OpKind::Conv2d(p) => conv::conv2d(inp(0), inp(1), *p),
-            OpKind::Conv2dGradInput { params, x_dims } => {
-                conv::conv2d_grad_input(inp(0), inp(1), x_dims, *params)
-            }
-            OpKind::Conv2dGradWeight { params, w_dims } => {
-                conv::conv2d_grad_weight(inp(0), inp(1), w_dims, *params)
-            }
-            OpKind::WinogradConv2d { padding } => {
-                let weight_id = node.inputs[1];
-                let w = self.value(values, weight_id).clone();
-                let ww = self
-                    .winograd_cache
-                    .entry(weight_id)
-                    .or_insert_with(|| winograd::WinogradWeight::from_dense(&w));
-                let x = values[node.inputs[0].index()]
-                    .as_ref()
-                    .or_else(|| self.params.get(&node.inputs[0]))
-                    .or_else(|| graph.constants().get(&node.inputs[0]))
-                    .expect("winograd input missing");
-                winograd::conv2d_winograd(x, ww, *padding)
-            }
-            OpKind::Add => ew::add(inp(0), inp(1)),
-            OpKind::Sub => ew::sub(inp(0), inp(1)),
-            OpKind::Mul => ew::mul(inp(0), inp(1)),
-            OpKind::Div => ew::div(inp(0), inp(1)),
-            OpKind::Scale { factor } => ew::scale(inp(0), *factor),
-            OpKind::AddBias => ew::add_bias(inp(0), inp(1)),
-            OpKind::BiasGrad => ew::bias_grad(inp(0)),
-            OpKind::Relu => ew::relu(inp(0)),
-            OpKind::Relu6 => ew::relu6(inp(0)),
-            OpKind::Gelu => ew::gelu(inp(0)),
-            OpKind::Silu => ew::silu(inp(0)),
-            OpKind::Sigmoid => ew::sigmoid(inp(0)),
-            OpKind::Tanh => ew::tanh(inp(0)),
-            OpKind::ReluGrad => ew::relu_grad(inp(0), inp(1)),
-            OpKind::Relu6Grad => ew::relu6_grad(inp(0), inp(1)),
-            OpKind::GeluGrad => ew::gelu_grad(inp(0), inp(1)),
-            OpKind::SiluGrad => ew::silu_grad(inp(0), inp(1)),
-            OpKind::SigmoidGrad => ew::sigmoid_grad_from_output(inp(0), inp(1)),
-            OpKind::TanhGrad => ew::tanh_grad_from_output(inp(0), inp(1)),
-            OpKind::BroadcastGradTo { dims } => {
-                ew::reduce_to_shape(inp(0), &Shape::new(dims.clone()))
-            }
-            OpKind::BiasRelu => ew::relu(&ew::add_bias(inp(0), inp(1))),
-            OpKind::BiasRelu6 => ew::relu6(&ew::add_bias(inp(0), inp(1))),
-            OpKind::BiasGelu => ew::gelu(&ew::add_bias(inp(0), inp(1))),
-            OpKind::AddRelu => ew::relu(&ew::add(inp(0), inp(1))),
-            OpKind::Reduce {
-                op,
-                axes,
-                keep_dims,
-            } => reduce::reduce(inp(0), *op, axes, *keep_dims),
-            OpKind::ReduceGrad {
-                op,
-                axes,
-                input_dims,
-            } => reduce::reduce_grad(inp(0), *op, input_dims, axes),
-            OpKind::Reshape { dims } => inp(0).reshape(dims.clone()),
-            OpKind::Transpose2d => layout::transpose2d(inp(0)),
-            OpKind::Permute { perm } => layout::permute(inp(0), perm),
-            OpKind::Slice { axis, start, len } => layout::slice_axis(inp(0), *axis, *start, *len),
-            OpKind::Unslice {
-                axis,
-                start,
-                full_dims,
-            } => layout::unslice_axis(inp(0), *axis, *start, full_dims),
-            OpKind::Concat { axis } => {
-                let tensors: Vec<&Tensor> =
-                    node.inputs.iter().map(|&i| self.value(values, i)).collect();
-                layout::concat(&tensors, *axis)
-            }
-            OpKind::AvgPool2d(p) => pool::avg_pool2d(inp(0), *p),
-            OpKind::AvgPool2dGrad { params, x_dims } => {
-                pool::avg_pool2d_grad(inp(0), x_dims, *params)
-            }
-            OpKind::MaxPool2d(p) => pool::max_pool2d_with_indices(inp(0), *p).0,
-            OpKind::MaxPool2dGrad { params } => {
-                let x = inp(0);
-                let (_, indices) = pool::max_pool2d_with_indices(x, *params);
-                pool::max_pool2d_grad(inp(1), &indices, x.dims())
-            }
-            OpKind::GlobalAvgPool => pool::global_avg_pool(inp(0)),
-            OpKind::GlobalAvgPoolGrad { x_dims } => pool::global_avg_pool_grad(inp(0), x_dims),
-            OpKind::Softmax => norm::softmax(inp(0)),
-            OpKind::SoftmaxGrad => norm::softmax_grad_from_output(inp(0), inp(1)),
-            OpKind::LayerNorm { eps } => norm::layer_norm(inp(0), inp(1), inp(2), *eps),
-            OpKind::LayerNormGradX { eps } => norm::layer_norm_grad(inp(0), inp(1), inp(2), *eps).0,
-            OpKind::LayerNormGradGamma { eps } => {
-                // gamma does not influence dgamma; pass a ones vector.
-                let cols = *inp(0).dims().last().expect("rank >= 1");
-                let ones = Tensor::ones([cols]);
-                norm::layer_norm_grad(inp(0), &ones, inp(1), *eps).1
-            }
-            OpKind::RmsNorm { eps } => norm::rms_norm(inp(0), inp(1), *eps),
-            OpKind::RmsNormGradX { eps } => norm::rms_norm_grad(inp(0), inp(1), inp(2), *eps).0,
-            OpKind::RmsNormGradGamma { eps } => {
-                let cols = *inp(0).dims().last().expect("rank >= 1");
-                let ones = Tensor::ones([cols]);
-                norm::rms_norm_grad(inp(0), &ones, inp(1), *eps).1
-            }
-            OpKind::Embedding => embedding::gather(inp(0), inp(1)),
-            OpKind::EmbeddingGrad { vocab, dim } => {
-                embedding::gather_grad(inp(0), inp(1), *vocab, *dim)
-            }
-            OpKind::CrossEntropyLoss => norm::cross_entropy_loss(inp(0), inp(1)),
-            OpKind::CrossEntropyGrad => {
-                let dloss = inp(2).data()[0];
-                norm::cross_entropy_grad(inp(0), inp(1), dloss)
-            }
-            OpKind::Input | OpKind::Parameter | OpKind::Constant | OpKind::ApplyUpdate { .. } => {
-                unreachable!("leaf/update nodes are handled by the schedule loop")
-            }
+    /// Number of kernel dispatches that fell back to an allocating kernel
+    /// because no `_into` variant exists (0 on the boxed backend; on the
+    /// arena backend only Winograd and generic Reduce ops fall back).
+    pub fn fallback_dispatches(&self) -> u64 {
+        match &self.inner {
+            Inner::Boxed(_) => 0,
+            Inner::Arena(e) => e.fallback_dispatches(),
         }
     }
 }
@@ -456,7 +315,10 @@ mod tests {
     use pe_tensor::Rng;
 
     /// Builds a small linear-regression-style training program.
-    fn compile_mlp(spec_for: impl Fn(&str) -> TrainKind) -> Executor {
+    fn compile_mlp_with(
+        spec_for: impl Fn(&str) -> TrainKind,
+        make: impl Fn(TrainingGraph, Schedule, Optimizer) -> Executor,
+    ) -> Executor {
         let mut rng = Rng::seed_from_u64(0);
         let mut b = GraphBuilder::new();
         let x = b.input("x", [8, 4]);
@@ -476,7 +338,11 @@ mod tests {
         }
         let tg = build_training_graph(g, loss, &spec);
         let (tg, schedule, _) = optimize(tg, OptimizeOptions::default());
-        Executor::new(tg, schedule, Optimizer::sgd(0.1))
+        make(tg, schedule, Optimizer::sgd(0.1))
+    }
+
+    fn compile_mlp(spec_for: impl Fn(&str) -> TrainKind) -> Executor {
+        compile_mlp_with(spec_for, Executor::new)
     }
 
     fn batch(rng: &mut Rng) -> HashMap<String, Tensor> {
@@ -569,6 +435,26 @@ mod tests {
     }
 
     #[test]
+    fn wrong_dtype_is_reported_not_panicked() {
+        for make in [
+            (|tg, s, o| Executor::boxed(tg, s, o)) as fn(_, _, _) -> Executor,
+            |tg, s, o| Executor::arena(tg, s, o, 1),
+        ] {
+            let mut exec = compile_mlp_with(|_| TrainKind::Full, make);
+            let inputs = HashMap::from([
+                (
+                    "x".to_string(),
+                    Tensor::zeros([8, 4]).with_dtype(DType::F16),
+                ),
+                ("labels".to_string(), Tensor::zeros([8])),
+            ]);
+            let err = exec.run_step(&inputs).unwrap_err();
+            assert!(matches!(err, ExecError::InputDTypeMismatch { .. }));
+            assert!(err.to_string().contains("dtype"));
+        }
+    }
+
+    #[test]
     fn outputs_contain_logits() {
         let mut exec = compile_mlp(|_| TrainKind::Full);
         let mut rng = Rng::seed_from_u64(10);
@@ -580,5 +466,48 @@ mod tests {
             "expected a [8, 3] logits output, got {:?}",
             result.outputs.keys().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn arena_and_boxed_backends_agree_bit_for_bit() {
+        let mut rng = Rng::seed_from_u64(11);
+        let batches: Vec<_> = (0..5).map(|_| batch(&mut rng)).collect();
+        let mut execs = [
+            compile_mlp_with(|_| TrainKind::Full, Executor::boxed),
+            compile_mlp_with(|_| TrainKind::Full, |tg, s, o| Executor::arena(tg, s, o, 1)),
+            compile_mlp_with(|_| TrainKind::Full, |tg, s, o| Executor::arena(tg, s, o, 3)),
+        ];
+        for b in &batches {
+            let losses: Vec<f32> = execs
+                .iter_mut()
+                .map(|e| e.run_step(b).unwrap().loss.unwrap())
+                .collect();
+            assert_eq!(losses[0].to_bits(), losses[1].to_bits(), "boxed vs arena");
+            assert_eq!(losses[0].to_bits(), losses[2].to_bits(), "boxed vs pool");
+        }
+        for name in ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"] {
+            let reference = execs[0].param_by_name(name).unwrap().clone();
+            for e in &execs[1..] {
+                assert_eq!(
+                    reference.data(),
+                    e.param_by_name(name).unwrap().data(),
+                    "parameter '{name}' diverged across backends"
+                );
+            }
+        }
+        assert_eq!(execs[1].fallback_dispatches(), 0, "MLP must not fall back");
+    }
+
+    #[test]
+    fn train_step_loss_matches_run_step() {
+        let mut a = compile_mlp_with(|_| TrainKind::Full, |tg, s, o| Executor::arena(tg, s, o, 1));
+        let mut b = compile_mlp_with(|_| TrainKind::Full, |tg, s, o| Executor::arena(tg, s, o, 1));
+        let mut rng = Rng::seed_from_u64(12);
+        for _ in 0..4 {
+            let data = batch(&mut rng);
+            let la = a.train_step(&data).unwrap().unwrap();
+            let lb = b.run_step(&data).unwrap().loss.unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits());
+        }
     }
 }

@@ -7,7 +7,11 @@
 //! * [`Executor`] walks a pre-computed schedule over the training graph,
 //!   dispatching nodes to the shared kernel library and applying parameter
 //!   updates in place — no autodiff, shape inference or graph work at
-//!   runtime.
+//!   runtime. The default **arena** backend executes out of one
+//!   planner-sized slab (zero transient heap allocations per step) and can
+//!   dispatch schedule-independent nodes across a worker pool
+//!   (`PE_EXECUTOR_THREADS=N`); the original per-node-buffer path remains
+//!   available as the differential baseline (`PE_EXECUTOR=boxed`).
 //! * [`EagerEngine`] is the PyTorch/TensorFlow-style baseline: it re-derives
 //!   the backward graph every step and applies all updates at the end, which
 //!   is what the compilation-first design is measured against (Figure 7).
@@ -45,9 +49,12 @@
 
 #![deny(missing_docs)]
 
+mod arena;
+mod boxed;
 pub mod eager;
 pub mod executor;
 pub mod optimizer;
+mod pool;
 pub mod trainer;
 
 pub use eager::EagerEngine;

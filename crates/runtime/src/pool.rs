@@ -1,0 +1,256 @@
+//! A persistent scoped worker pool for parallel kernel dispatch.
+//!
+//! The pool is created once per executor and lives for its lifetime; a
+//! training step walks the wavefront levels, and for each level the main
+//! thread publishes the level's task list, wakes the workers, joins in the
+//! work itself, and barriers until the level is drained. All bookkeeping is
+//! preallocated — dispatching a level performs no heap allocation, which is
+//! what keeps the parallel arena executor's steady state allocation-free on
+//! the coordination side.
+//!
+//! # Barrier protocol
+//!
+//! Claiming work through a shared counter is only sound if no thread can
+//! claim against a *stale* level after the counter has been reset for the
+//! next one. The pool therefore tracks *registration*, not just task
+//! completion: a worker registers for the currently published level under
+//! the gate lock (and only while registration is `open`), and the main
+//! thread's barrier waits until every claimed task completed **and** every
+//! registered worker has deregistered — after closing registration, so a
+//! late-waking worker can no longer join a finished level. Only then are
+//! the claim counters reset and the next level published.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::arena::Shared;
+
+struct Gate {
+    /// Bumped once per dispatched multi-task level.
+    epoch: u64,
+    /// Level currently published.
+    level: usize,
+    /// Whether workers may still register for the published level.
+    open: bool,
+    /// Number of workers currently registered (inside the claim loop).
+    active: usize,
+    shutdown: bool,
+}
+
+/// Coordination state shared between the main thread and the workers.
+struct Ctrl {
+    gate: Mutex<Gate>,
+    start: Condvar,
+    done: Condvar,
+    /// Next unclaimed index into the active level's task list.
+    next: AtomicUsize,
+    /// Tasks of the active level not yet completed.
+    remaining: AtomicUsize,
+    /// Set when a worker panicked; the main thread re-panics after the
+    /// barrier instead of deadlocking.
+    poisoned: AtomicBool,
+    /// Lock-free mirror of `Gate::epoch` that idle workers spin on briefly
+    /// before falling back to the condvar: wavefront levels arrive in rapid
+    /// succession within a step, and a futex wake-up costs tens of
+    /// microseconds — longer than many levels take to execute.
+    epoch_hint: AtomicU64,
+}
+
+/// Spin iterations an idle worker burns watching for the next level before
+/// it blocks on the condvar (roughly a few microseconds). Spinning only
+/// pays when there are spare hardware threads; on a machine whose core
+/// count does not exceed the worker count it would steal cycles from the
+/// kernels themselves, so it is disabled there.
+fn spin_budget(workers: usize) -> u32 {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores > workers {
+        20_000
+    } else {
+        0
+    }
+}
+
+/// Persistent worker pool bound to one executor's [`Shared`] state.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    ctrl: Arc<Ctrl>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Claims and runs tasks of `level` until the list is drained. Runs on both
+/// the workers and the main thread.
+fn drain_level(shared: &Shared, ctrl: &Ctrl, level: usize) {
+    let tasks = &shared.levels[level];
+    loop {
+        let i = ctrl.next.fetch_add(1, Ordering::AcqRel);
+        let Some(&pos) = tasks.get(i) else {
+            return;
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the memory plan used to build `shared` is
+            // level-coarsened, so concurrently dispatched nodes never share
+            // arena ranges with each other's operands, and the wavefront's
+            // anti-dependency edges serialise parameter updates against
+            // every reader of the parameter.
+            unsafe { crate::arena::exec_position(shared, pos as usize, true) }
+        }));
+        if result.is_err() {
+            ctrl.poisoned.store(true, Ordering::SeqCst);
+        }
+        if ctrl.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task of the level: wake the main thread. Taking the lock
+            // orders the notify after the main thread's wait registration.
+            let _gate = ctrl.gate.lock().unwrap();
+            ctrl.done.notify_all();
+        }
+    }
+}
+
+impl Pool {
+    /// Spawns `workers` background threads bound to `shared`.
+    pub(crate) fn new(shared: Arc<Shared>, workers: usize) -> Self {
+        let ctrl = Arc::new(Ctrl {
+            gate: Mutex::new(Gate {
+                epoch: 0,
+                level: 0,
+                open: false,
+                active: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            epoch_hint: AtomicU64::new(0),
+        });
+        let spin = spin_budget(workers + 1); // workers plus the main thread
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let ctrl = Arc::clone(&ctrl);
+                std::thread::Builder::new()
+                    .name(format!("pe-exec-{i}"))
+                    .spawn(move || {
+                        let mut seen_epoch = 0u64;
+                        loop {
+                            // Spin briefly for the next level before
+                            // parking on the condvar.
+                            let mut spins = 0u32;
+                            while ctrl.epoch_hint.load(Ordering::Acquire) == seen_epoch
+                                && spins < spin
+                            {
+                                std::hint::spin_loop();
+                                spins += 1;
+                            }
+                            // Register for a freshly published level, or
+                            // skip epochs whose registration already closed.
+                            let level = {
+                                let mut gate = ctrl.gate.lock().unwrap();
+                                loop {
+                                    if gate.shutdown {
+                                        return;
+                                    }
+                                    if gate.epoch > seen_epoch {
+                                        seen_epoch = gate.epoch;
+                                        if gate.open {
+                                            gate.active += 1;
+                                            break gate.level;
+                                        }
+                                        // Level already drained without us.
+                                        continue;
+                                    }
+                                    gate = ctrl.start.wait(gate).unwrap();
+                                }
+                            };
+                            drain_level(&shared, &ctrl, level);
+                            let mut gate = ctrl.gate.lock().unwrap();
+                            gate.active -= 1;
+                            drop(gate);
+                            ctrl.done.notify_all();
+                        }
+                    })
+                    .expect("failed to spawn executor worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            ctrl,
+            workers: handles,
+        }
+    }
+
+    /// Dispatches every task of `level` across the pool (the calling thread
+    /// participates) and barriers until the level is fully drained and all
+    /// registered workers have left the claim loop.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic on the caller) any panic that occurred on a
+    /// worker thread while draining the level.
+    pub(crate) fn run_level(&self, level: usize) {
+        let tasks = self.shared.levels[level].len();
+        if tasks == 0 {
+            return;
+        }
+        if tasks == 1 {
+            // Chain levels are the common case; no counters are touched, so
+            // this is safe even if a late worker is still deciding whether
+            // to register (registration is closed, it cannot claim).
+            let pos = self.shared.levels[level][0] as usize;
+            // SAFETY: single task, no concurrency; plan invariants as above.
+            unsafe { crate::arena::exec_position(&self.shared, pos, true) };
+            return;
+        }
+        // Publish the level. The barrier below guarantees `active == 0` and
+        // registration closed, so no thread can observe the counter reset
+        // through a stale level's claim loop.
+        {
+            let mut gate = self.ctrl.gate.lock().unwrap();
+            debug_assert_eq!(gate.active, 0, "previous level still draining");
+            self.ctrl.remaining.store(tasks, Ordering::SeqCst);
+            self.ctrl.next.store(0, Ordering::SeqCst);
+            gate.epoch += 1;
+            gate.level = level;
+            gate.open = true;
+            self.ctrl.epoch_hint.store(gate.epoch, Ordering::Release);
+        }
+        self.ctrl.start.notify_all();
+        drain_level(&self.shared, &self.ctrl, level);
+        // Barrier: close registration, then wait for every claimed task to
+        // complete and every registered worker to deregister.
+        {
+            let mut gate = self.ctrl.gate.lock().unwrap();
+            gate.open = false;
+            while self.ctrl.remaining.load(Ordering::Acquire) > 0 || gate.active > 0 {
+                gate = self.ctrl.done.wait(gate).unwrap();
+            }
+        }
+        if self.ctrl.poisoned.swap(false, Ordering::SeqCst) {
+            panic!("executor worker thread panicked during parallel dispatch");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut gate = self.ctrl.gate.lock().unwrap();
+            gate.shutdown = true;
+        }
+        self.ctrl.start.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

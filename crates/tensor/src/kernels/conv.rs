@@ -1,7 +1,7 @@
 //! 2-D convolution kernels (NCHW) with grouped/depthwise support, plus the
 //! input- and weight-gradient kernels used by the compiled backward graph.
 
-use crate::Tensor;
+use crate::{Tensor, TensorView};
 
 /// Static convolution geometry shared by the forward and backward kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +61,20 @@ pub fn conv2d_out_dims(x_dims: &[usize], w_dims: &[usize], p: Conv2dParams) -> [
 ///
 /// Panics if the channel counts are inconsistent with the group count.
 pub fn conv2d(x: &Tensor, weight: &Tensor, p: Conv2dParams) -> Tensor {
+    let od = conv2d_out_dims(x.dims(), weight.dims(), p);
+    let mut out = Tensor::zeros(&od[..]);
+    conv2d_into(x.view(), weight.view(), p, out.data_mut());
+    out
+}
+
+/// Allocation-free forward convolution writing into a preallocated `out`.
+///
+/// `out` is fully overwritten.
+///
+/// # Panics
+///
+/// Panics on channel/group mismatches or a wrong `out` length.
+pub fn conv2d_into(x: TensorView, weight: TensorView, p: Conv2dParams, out: &mut [f32]) {
     let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
     let [cout, cing, kh, kw] = [
         weight.dims()[0],
@@ -78,10 +92,14 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, p: Conv2dParams) -> Tensor {
     let (oh, ow) = (od[2], od[3]);
     let cout_g = cout / p.groups;
 
-    let mut out = Tensor::zeros(&od[..]);
+    assert_eq!(
+        out.len(),
+        od.iter().product::<usize>(),
+        "conv2d output length mismatch"
+    );
     let xd = x.data();
     let wd = weight.data();
-    let outd = out.data_mut();
+    let outd = out;
 
     for ni in 0..n {
         for oc in 0..cout {
@@ -112,7 +130,6 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, p: Conv2dParams) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Gradient of a convolution with respect to its input (`dL/dX`).
@@ -125,6 +142,24 @@ pub fn conv2d_grad_input(
     x_dims: &[usize],
     p: Conv2dParams,
 ) -> Tensor {
+    let mut dx = Tensor::zeros(x_dims.to_vec());
+    conv2d_grad_input_into(dy.view(), weight.view(), x_dims, p, dx.data_mut());
+    dx
+}
+
+/// Allocation-free convolution input gradient writing into a preallocated
+/// `out` (zero-filled first, then accumulated).
+///
+/// # Panics
+///
+/// Panics if `out` does not match `x_dims`.
+pub fn conv2d_grad_input_into(
+    dy: TensorView,
+    weight: TensorView,
+    x_dims: &[usize],
+    p: Conv2dParams,
+    out: &mut [f32],
+) {
     let [n, cin, h, w] = [x_dims[0], x_dims[1], x_dims[2], x_dims[3]];
     let [cout, cing, kh, kw] = [
         weight.dims()[0],
@@ -135,10 +170,15 @@ pub fn conv2d_grad_input(
     let (oh, ow) = (dy.dims()[2], dy.dims()[3]);
     let cout_g = cout / p.groups;
 
-    let mut dx = Tensor::zeros([n, cin, h, w]);
+    assert_eq!(
+        out.len(),
+        n * cin * h * w,
+        "conv2d_dx output length mismatch"
+    );
+    out.fill(0.0);
     let dyd = dy.data();
     let wd = weight.data();
-    let dxd = dx.data_mut();
+    let dxd = out;
 
     for ni in 0..n {
         for oc in 0..cout {
@@ -171,7 +211,6 @@ pub fn conv2d_grad_input(
             }
         }
     }
-    dx
 }
 
 /// Gradient of a convolution with respect to its weight (`dL/dW`).
@@ -181,6 +220,26 @@ pub fn conv2d_grad_input(
 /// sub-layer (channel-sparse) backpropagation scheme computes gradients for
 /// only the first `k` output channels.
 pub fn conv2d_grad_weight(x: &Tensor, dy: &Tensor, w_dims: &[usize], p: Conv2dParams) -> Tensor {
+    let grad_cout = dy.dims()[1];
+    let mut dw = Tensor::zeros([grad_cout, w_dims[1], w_dims[2], w_dims[3]]);
+    conv2d_grad_weight_into(x.view(), dy.view(), w_dims, p, dw.data_mut());
+    dw
+}
+
+/// Allocation-free convolution weight gradient writing into a preallocated
+/// `out` (zero-filled first, then accumulated). `out` covers only the
+/// `dy.dims()[1]` gradient channels, as in [`conv2d_grad_weight`].
+///
+/// # Panics
+///
+/// Panics on channel mismatches or a wrong `out` length.
+pub fn conv2d_grad_weight_into(
+    x: TensorView,
+    dy: TensorView,
+    w_dims: &[usize],
+    p: Conv2dParams,
+    out: &mut [f32],
+) {
     let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
     let [full_cout, cing, kh, kw] = [w_dims[0], w_dims[1], w_dims[2], w_dims[3]];
     let grad_cout = dy.dims()[1];
@@ -191,10 +250,15 @@ pub fn conv2d_grad_weight(x: &Tensor, dy: &Tensor, w_dims: &[usize], p: Conv2dPa
     let (oh, ow) = (dy.dims()[2], dy.dims()[3]);
     let cout_g = full_cout / p.groups;
 
-    let mut dw = Tensor::zeros([grad_cout, cing, kh, kw]);
+    assert_eq!(
+        out.len(),
+        grad_cout * cing * kh * kw,
+        "conv2d_dw output length mismatch"
+    );
+    out.fill(0.0);
     let xd = x.data();
     let dyd = dy.data();
-    let dwd = dw.data_mut();
+    let dwd = out;
 
     for ni in 0..n {
         for oc in 0..grad_cout {
@@ -227,7 +291,6 @@ pub fn conv2d_grad_weight(x: &Tensor, dy: &Tensor, w_dims: &[usize], p: Conv2dPa
             }
         }
     }
-    dw
 }
 
 /// FLOP count of a forward convolution (multiply-add = 2 FLOPs).

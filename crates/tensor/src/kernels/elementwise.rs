@@ -1,7 +1,10 @@
 //! Element-wise kernels: arithmetic with broadcasting, activations and their
 //! vector-Jacobian products.
 
-use crate::{Shape, Tensor};
+use crate::{Shape, Tensor, TensorView};
+
+/// Maximum tensor rank supported by the allocation-free broadcast helpers.
+pub const MAX_RANK: usize = 8;
 
 /// A binary element-wise arithmetic operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,46 +46,76 @@ pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Tensor {
             b.shape()
         )
     });
-    if a.shape() == b.shape() {
-        // Fast path: same shape, no index arithmetic.
-        let data = a
-            .data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| op.apply(x, y))
-            .collect();
-        return Tensor::from_vec(data, out_shape);
-    }
-    let mut out = Tensor::zeros(out_shape.clone());
-    let r = out_shape.rank();
-    let a_dims = pad_dims(a.shape(), r);
-    let b_dims = pad_dims(b.shape(), r);
-    let a_strides = padded_strides(&a_dims);
-    let b_strides = padded_strides(&b_dims);
-    for flat in 0..out.numel() {
-        let idx = out_shape.unravel(flat);
-        let mut ai = 0;
-        let mut bi = 0;
-        for d in 0..r {
-            let ia = if a_dims[d] == 1 { 0 } else { idx[d] };
-            let ib = if b_dims[d] == 1 { 0 } else { idx[d] };
-            ai += ia * a_strides[d];
-            bi += ib * b_strides[d];
-        }
-        out.data_mut()[flat] = op.apply(a.data()[ai], b.data()[bi]);
-    }
+    let mut out = Tensor::zeros(out_shape);
+    binary_into(op, a.view(), b.view(), out.data_mut());
     out
 }
 
-fn pad_dims(shape: &Shape, rank: usize) -> Vec<usize> {
-    let mut dims = vec![1usize; rank - shape.rank()];
-    dims.extend_from_slice(shape.dims());
-    dims
+/// Allocation-free broadcasting binary op writing into a preallocated `out`.
+///
+/// `out` must have the length of the broadcast result shape; it is fully
+/// overwritten. Supports ranks up to [`MAX_RANK`].
+///
+/// # Panics
+///
+/// Panics if the shapes are not broadcast-compatible, the rank exceeds
+/// [`MAX_RANK`], or `out` has the wrong length.
+pub fn binary_into(op: BinaryOp, a: TensorView, b: TensorView, out: &mut [f32]) {
+    if a.dims() == b.dims() {
+        // Fast path: same shape, no index arithmetic.
+        assert_eq!(out.len(), a.numel(), "binary output length mismatch");
+        for (o, (&x, &y)) in out.iter_mut().zip(a.data().iter().zip(b.data())) {
+            *o = op.apply(x, y);
+        }
+        return;
+    }
+    let r = a.rank().max(b.rank());
+    assert!(r <= MAX_RANK, "binary broadcast rank exceeds MAX_RANK");
+    let a_dims = pad_dims(a.dims(), r);
+    let b_dims = pad_dims(b.dims(), r);
+    let mut out_dims = [1usize; MAX_RANK];
+    for d in 0..r {
+        let (da, db) = (a_dims[d], b_dims[d]);
+        assert!(
+            da == db || da == 1 || db == 1,
+            "shapes {:?} and {:?} are not broadcastable",
+            a.dims(),
+            b.dims()
+        );
+        out_dims[d] = da.max(db);
+    }
+    let a_strides = padded_strides(&a_dims, r);
+    let b_strides = padded_strides(&b_dims, r);
+    let out_strides = padded_strides(&out_dims, r);
+    let n: usize = out_dims[..r].iter().product();
+    assert_eq!(out.len(), n, "binary output length mismatch");
+    for (flat, o) in out.iter_mut().enumerate() {
+        let mut ai = 0;
+        let mut bi = 0;
+        let mut rem = flat;
+        for d in 0..r {
+            let id = rem / out_strides[d];
+            rem %= out_strides[d];
+            if a_dims[d] != 1 {
+                ai += id * a_strides[d];
+            }
+            if b_dims[d] != 1 {
+                bi += id * b_strides[d];
+            }
+        }
+        *o = op.apply(a.data()[ai], b.data()[bi]);
+    }
 }
 
-fn padded_strides(dims: &[usize]) -> Vec<usize> {
-    let mut strides = vec![1usize; dims.len()];
-    for i in (0..dims.len().saturating_sub(1)).rev() {
+fn pad_dims(dims: &[usize], rank: usize) -> [usize; MAX_RANK] {
+    let mut out = [1usize; MAX_RANK];
+    out[rank - dims.len()..rank].copy_from_slice(dims);
+    out
+}
+
+fn padded_strides(dims: &[usize; MAX_RANK], rank: usize) -> [usize; MAX_RANK] {
+    let mut strides = [1usize; MAX_RANK];
+    for i in (0..rank.saturating_sub(1)).rev() {
         strides[i] = strides[i + 1] * dims[i + 1];
     }
     strides
@@ -108,6 +141,64 @@ pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
     binary(BinaryOp::Div, a, b)
 }
 
+/// A unary element-wise operation (activations and constant scaling).
+///
+/// Every variant reads and writes the same element index, so all of them are
+/// safe to execute in place on an aliased buffer (the arena executor's
+/// in-place hint relies on this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryOp {
+    /// `max(x, 0)`.
+    Relu,
+    /// `clamp(x, 0, 6)`.
+    Relu6,
+    /// GELU (tanh approximation).
+    Gelu,
+    /// `x * sigmoid(x)`.
+    Silu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Multiplication by a constant.
+    Scale(f32),
+}
+
+impl UnaryOp {
+    /// Applies the op to one element.
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            UnaryOp::Relu => v.max(0.0),
+            UnaryOp::Relu6 => v.clamp(0.0, 6.0),
+            UnaryOp::Gelu => gelu_scalar(v),
+            UnaryOp::Silu => v * sigmoid_scalar(v),
+            UnaryOp::Sigmoid => sigmoid_scalar(v),
+            UnaryOp::Tanh => v.tanh(),
+            UnaryOp::Scale(factor) => v * factor,
+        }
+    }
+}
+
+/// Allocation-free unary op writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if `out` and the input differ in length.
+pub fn unary_into(op: UnaryOp, x: TensorView, out: &mut [f32]) {
+    assert_eq!(out.len(), x.numel(), "unary output length mismatch");
+    for (o, &v) in out.iter_mut().zip(x.data()) {
+        *o = op.apply(v);
+    }
+}
+
+/// In-place unary op over a single buffer (used when the memory planner
+/// aliases an op's output onto its dying input).
+pub fn unary_inplace(op: UnaryOp, buf: &mut [f32]) {
+    for v in buf.iter_mut() {
+        *v = op.apply(*v);
+    }
+}
+
 /// Scales every element by a constant.
 pub fn scale(a: &Tensor, factor: f32) -> Tensor {
     a.map(|x| x * factor)
@@ -119,20 +210,45 @@ pub fn reduce_to_shape(grad: &Tensor, target: &Shape) -> Tensor {
     if grad.shape() == target {
         return grad.clone();
     }
-    let r = grad.shape().rank();
-    let t_dims = pad_dims(target, r);
-    let mut out = Tensor::zeros(Shape::new(t_dims.clone()));
-    let t_strides = padded_strides(&t_dims);
-    for flat in 0..grad.numel() {
-        let idx = grad.shape().unravel(flat);
-        let mut ti = 0;
-        for d in 0..r {
-            let i = if t_dims[d] == 1 { 0 } else { idx[d] };
-            ti += i * t_strides[d];
-        }
-        out.data_mut()[ti] += grad.data()[flat];
+    let mut out = Tensor::zeros(target.clone());
+    reduce_to_shape_into(grad.view(), target.dims(), out.data_mut());
+    out
+}
+
+/// Allocation-free [`reduce_to_shape`] writing into a preallocated `out`.
+///
+/// `out` is fully overwritten (zero-filled first, then accumulated).
+///
+/// # Panics
+///
+/// Panics if the target is not obtainable from the gradient by broadcasting
+/// or if `out` has the wrong length.
+pub fn reduce_to_shape_into(grad: TensorView, target: &[usize], out: &mut [f32]) {
+    let t_numel: usize = target.iter().product();
+    assert_eq!(out.len(), t_numel, "reduce_to_shape output length mismatch");
+    if grad.dims() == target {
+        out.copy_from_slice(grad.data());
+        return;
     }
-    out.reshape(target.clone())
+    let r = grad.rank();
+    assert!(r <= MAX_RANK, "reduce_to_shape rank exceeds MAX_RANK");
+    let g_dims = pad_dims(grad.dims(), r);
+    let t_dims = pad_dims(target, r);
+    let g_strides = padded_strides(&g_dims, r);
+    let t_strides = padded_strides(&t_dims, r);
+    out.fill(0.0);
+    for (flat, &g) in grad.data().iter().enumerate() {
+        let mut ti = 0;
+        let mut rem = flat;
+        for d in 0..r {
+            let id = rem / g_strides[d];
+            rem %= g_strides[d];
+            if t_dims[d] != 1 {
+                ti += id * t_strides[d];
+            }
+        }
+        out[ti] += g;
+    }
 }
 
 /// Rectified linear unit.
@@ -256,6 +372,76 @@ pub fn tanh_grad_from_output(y: &Tensor, dy: &Tensor) -> Tensor {
     Tensor::from_vec(data, y.shape().clone())
 }
 
+/// The VJP corresponding to a [`UnaryOp`] activation.
+///
+/// `Relu`/`Relu6`/`Gelu`/`Silu` gradients take the forward *input* as the
+/// first operand; `Sigmoid`/`Tanh` gradients take the forward *output*.
+/// `Scale` multiplies the upstream gradient by the constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryGradOp {
+    /// VJP of ReLU (from the forward input).
+    Relu,
+    /// VJP of ReLU6 (from the forward input).
+    Relu6,
+    /// VJP of GELU (from the forward input).
+    Gelu,
+    /// VJP of SiLU (from the forward input).
+    Silu,
+    /// VJP of sigmoid (from the forward output).
+    Sigmoid,
+    /// VJP of tanh (from the forward output).
+    Tanh,
+}
+
+impl UnaryGradOp {
+    /// Applies the VJP to one `(x_or_y, dy)` pair.
+    pub fn apply(self, v: f32, g: f32) -> f32 {
+        match self {
+            UnaryGradOp::Relu => {
+                if v > 0.0 {
+                    g
+                } else {
+                    0.0
+                }
+            }
+            UnaryGradOp::Relu6 => {
+                if v > 0.0 && v < 6.0 {
+                    g
+                } else {
+                    0.0
+                }
+            }
+            UnaryGradOp::Gelu => {
+                const C: f32 = 0.797_884_6;
+                let inner = C * (v + 0.044_715 * v * v * v);
+                let t = inner.tanh();
+                let sech2 = 1.0 - t * t;
+                let d_inner = C * (1.0 + 3.0 * 0.044_715 * v * v);
+                g * (0.5 * (1.0 + t) + 0.5 * v * sech2 * d_inner)
+            }
+            UnaryGradOp::Silu => {
+                let s = sigmoid_scalar(v);
+                g * (s + v * s * (1.0 - s))
+            }
+            UnaryGradOp::Sigmoid => g * v * (1.0 - v),
+            UnaryGradOp::Tanh => g * (1.0 - v * v),
+        }
+    }
+}
+
+/// Allocation-free activation VJP writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if the operand and output lengths disagree.
+pub fn unary_grad_into(op: UnaryGradOp, x_or_y: TensorView, dy: TensorView, out: &mut [f32]) {
+    assert_eq!(x_or_y.numel(), dy.numel(), "unary grad shape mismatch");
+    assert_eq!(out.len(), dy.numel(), "unary grad output length mismatch");
+    for (o, (&v, &g)) in out.iter_mut().zip(x_or_y.data().iter().zip(dy.data())) {
+        *o = op.apply(v, g);
+    }
+}
+
 /// Adds a per-channel bias to an activation.
 ///
 /// For rank-4 activations `[N, C, H, W]` the bias has shape `[C]`; for rank-2
@@ -314,6 +500,84 @@ pub fn bias_grad(dy: &Tensor) -> Tensor {
             Tensor::from_vec(out, [c])
         }
         r => panic!("bias_grad unsupported rank {r}"),
+    }
+}
+
+/// Allocation-free [`add_bias`] writing into a preallocated `out`, with an
+/// optional fused activation applied to each element (the fused
+/// bias+activation kernels the fusion pass emits).
+///
+/// # Panics
+///
+/// Panics on unsupported ranks or bias/output length mismatches.
+pub fn add_bias_into(x: TensorView, bias: TensorView, act: Option<UnaryOp>, out: &mut [f32]) {
+    assert_eq!(out.len(), x.numel(), "add_bias output length mismatch");
+    let dims = x.dims();
+    let finish = |v: f32| match act {
+        Some(op) => op.apply(v),
+        None => v,
+    };
+    match dims.len() {
+        2 | 3 => {
+            let f = *dims.last().expect("rank >= 2");
+            assert_eq!(bias.numel(), f, "bias length mismatch");
+            for (i, (o, &v)) in out.iter_mut().zip(x.data()).enumerate() {
+                *o = finish(v + bias.data()[i % f]);
+            }
+        }
+        4 => {
+            let (c, h, w) = (dims[1], dims[2], dims[3]);
+            assert_eq!(bias.numel(), c, "bias length mismatch");
+            let hw = h * w;
+            for (i, (o, &v)) in out.iter_mut().zip(x.data()).enumerate() {
+                *o = finish(v + bias.data()[(i / hw) % c]);
+            }
+        }
+        r => panic!("add_bias unsupported rank {r}"),
+    }
+}
+
+/// Allocation-free [`bias_grad`] writing into a preallocated `out`.
+///
+/// `out` is fully overwritten (zero-filled first, then accumulated).
+///
+/// # Panics
+///
+/// Panics on unsupported ranks or a wrong `out` length.
+pub fn bias_grad_into(dy: TensorView, out: &mut [f32]) {
+    let dims = dy.dims();
+    out.fill(0.0);
+    match dims.len() {
+        2 | 3 => {
+            let f = *dims.last().expect("rank >= 2");
+            assert_eq!(out.len(), f, "bias_grad output length mismatch");
+            for (i, &g) in dy.data().iter().enumerate() {
+                out[i % f] += g;
+            }
+        }
+        4 => {
+            let (c, h, w) = (dims[1], dims[2], dims[3]);
+            assert_eq!(out.len(), c, "bias_grad output length mismatch");
+            let hw = h * w;
+            for (i, &g) in dy.data().iter().enumerate() {
+                out[(i / hw) % c] += g;
+            }
+        }
+        r => panic!("bias_grad unsupported rank {r}"),
+    }
+}
+
+/// Allocation-free fused residual `relu(a + b)` for same-shape operands,
+/// writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if the operand shapes differ or `out` has the wrong length.
+pub fn add_relu_into(a: TensorView, b: TensorView, out: &mut [f32]) {
+    assert_eq!(a.dims(), b.dims(), "add_relu shape mismatch");
+    assert_eq!(out.len(), a.numel(), "add_relu output length mismatch");
+    for (o, (&x, &y)) in out.iter_mut().zip(a.data().iter().zip(b.data())) {
+        *o = (x + y).max(0.0);
     }
 }
 

@@ -1,6 +1,6 @@
 //! Embedding lookup (gather) and its scatter-add gradient.
 
-use crate::Tensor;
+use crate::{Tensor, TensorView};
 
 /// Embedding lookup.
 ///
@@ -37,6 +37,50 @@ pub fn gather_grad(ids: &Tensor, dy: &Tensor, vocab: usize, dim: usize) -> Tenso
         }
     }
     dtable
+}
+
+/// Allocation-free embedding lookup writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or `out` has the wrong length.
+pub fn gather_into(table: TensorView, ids: TensorView, out: &mut [f32]) {
+    let (vocab, dim) = (table.dims()[0], table.dims()[1]);
+    assert_eq!(
+        out.len(),
+        ids.numel() * dim,
+        "gather output length mismatch"
+    );
+    for (i, &idf) in ids.data().iter().enumerate() {
+        let id = idf as usize;
+        assert!(id < vocab, "token id {id} out of range for vocab {vocab}");
+        out[i * dim..(i + 1) * dim].copy_from_slice(&table.data()[id * dim..(id + 1) * dim]);
+    }
+}
+
+/// Allocation-free embedding-gradient scatter-add writing into a
+/// preallocated `out` (zero-filled first, then accumulated).
+///
+/// # Panics
+///
+/// Panics if `out` does not match `vocab * dim`.
+pub fn gather_grad_into(
+    ids: TensorView,
+    dy: TensorView,
+    vocab: usize,
+    dim: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), vocab * dim, "gather_grad output length mismatch");
+    out.fill(0.0);
+    for (i, &idf) in ids.data().iter().enumerate() {
+        let id = idf as usize;
+        let src = &dy.data()[i * dim..(i + 1) * dim];
+        let dst = &mut out[id * dim..(id + 1) * dim];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,35 @@
 //! in the paper's Figure 3 where `dY/dW = X^T · G` and `dY/dX = G · W^T` are
 //! expressed with the same MatMul primitive.
 
-use crate::Tensor;
+use crate::{Tensor, TensorView};
+
+/// Output dimensions `[m, n]` of `op(A) · op(B)` for rank-2 operand dims.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or the contraction dimensions do not
+/// agree.
+pub fn matmul_out_dims(
+    a_dims: &[usize],
+    b_dims: &[usize],
+    trans_a: bool,
+    trans_b: bool,
+) -> [usize; 2] {
+    assert_eq!(a_dims.len(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b_dims.len(), 2, "matmul rhs must be rank 2");
+    let (m, k) = if trans_a {
+        (a_dims[1], a_dims[0])
+    } else {
+        (a_dims[0], a_dims[1])
+    };
+    let (kb, n) = if trans_b {
+        (b_dims[1], b_dims[0])
+    } else {
+        (b_dims[0], b_dims[1])
+    };
+    assert_eq!(k, kb, "matmul contraction dimension mismatch: {k} vs {kb}");
+    [m, n]
+}
 
 /// 2-D matrix multiplication with optional transposes: `C = op(A) · op(B)`.
 ///
@@ -17,23 +45,39 @@ use crate::Tensor;
 /// Panics if the operands are not rank-2 or the contraction dimensions do not
 /// agree.
 pub fn matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
-    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2");
-    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2");
-    let (m, k) = if trans_a {
-        (a.dims()[1], a.dims()[0])
-    } else {
-        (a.dims()[0], a.dims()[1])
-    };
-    let (kb, n) = if trans_b {
-        (b.dims()[1], b.dims()[0])
-    } else {
-        (b.dims()[0], b.dims()[1])
-    };
-    assert_eq!(k, kb, "matmul contraction dimension mismatch: {k} vs {kb}");
+    let [m, n] = matmul_out_dims(a.dims(), b.dims(), trans_a, trans_b);
+    let mut out = Tensor::zeros([m, n]);
+    matmul_into(a.view(), b.view(), trans_a, trans_b, out.data_mut());
+    out
+}
 
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
+/// Allocation-free matmul writing into a preallocated `out` of length `m * n`.
+///
+/// `out` is fully overwritten; its previous contents are ignored.
+///
+/// # Panics
+///
+/// Panics on rank/contraction mismatches or if `out` has the wrong length.
+pub fn matmul_into(a: TensorView, b: TensorView, trans_a: bool, trans_b: bool, out: &mut [f32]) {
+    let [m, n] = matmul_out_dims(a.dims(), b.dims(), trans_a, trans_b);
+    let k = if trans_a { a.dims()[0] } else { a.dims()[1] };
+    assert_eq!(out.len(), m * n, "matmul output length mismatch");
+    matmul_core(a.data(), b.data(), trans_a, trans_b, m, k, n, out);
+}
+
+/// Shared slice-level GEMM core; `out` is zero-filled before accumulation.
+#[allow(clippy::too_many_arguments)]
+fn matmul_core(
+    ad: &[f32],
+    bd: &[f32],
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    out.fill(0.0);
 
     match (trans_a, trans_b) {
         (false, false) => {
@@ -97,8 +141,6 @@ pub fn matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
             }
         }
     }
-
-    Tensor::from_vec(out, [m, n])
 }
 
 /// Batched matrix multiplication over the leading dimensions.
@@ -110,46 +152,85 @@ pub fn matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
 ///
 /// Panics on rank < 2 or mismatched batch/contraction dimensions.
 pub fn batched_matmul(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
-    let ra = a.shape().rank();
-    let rb = b.shape().rank();
+    let dims = batched_matmul_out_dims(a.dims(), b.dims(), trans_a, trans_b);
+    let mut out = Tensor::zeros(dims);
+    batched_matmul_into(a.view(), b.view(), trans_a, trans_b, out.data_mut());
+    out
+}
+
+/// Output dimensions of a (batched) matmul for the given operand dims.
+///
+/// # Panics
+///
+/// Panics on rank < 2 or mismatched batch/contraction dimensions.
+pub fn batched_matmul_out_dims(
+    a_dims: &[usize],
+    b_dims: &[usize],
+    trans_a: bool,
+    trans_b: bool,
+) -> Vec<usize> {
+    let (ra, rb) = (a_dims.len(), b_dims.len());
     assert!(ra >= 2 && rb >= 2, "batched_matmul needs rank >= 2");
     if ra == 2 && rb == 2 {
-        return matmul(a, b, trans_a, trans_b);
+        return matmul_out_dims(a_dims, b_dims, trans_a, trans_b).to_vec();
     }
     assert_eq!(
         ra, rb,
         "batched_matmul requires equal ranks (after broadcasting in the compiler)"
     );
-    let batch_dims = &a.dims()[..ra - 2];
-    assert_eq!(batch_dims, &b.dims()[..rb - 2], "batch dimensions mismatch");
-    let batch: usize = batch_dims.iter().product();
-
-    let (am, ak) = (a.dims()[ra - 2], a.dims()[ra - 1]);
-    let (bm, bk) = (b.dims()[rb - 2], b.dims()[rb - 1]);
+    let batch_dims = &a_dims[..ra - 2];
+    assert_eq!(batch_dims, &b_dims[..rb - 2], "batch dimensions mismatch");
+    let (am, ak) = (a_dims[ra - 2], a_dims[ra - 1]);
+    let (bm, bk) = (b_dims[rb - 2], b_dims[rb - 1]);
     let (m, k) = if trans_a { (ak, am) } else { (am, ak) };
     let (kb, n) = if trans_b { (bk, bm) } else { (bm, bk) };
     assert_eq!(k, kb, "batched_matmul contraction mismatch");
-
-    let mut out = vec![0.0f32; batch * m * n];
-    let a_stride = am * ak;
-    let b_stride = bm * bk;
-    for bi in 0..batch {
-        let asub = Tensor::from_vec(
-            a.data()[bi * a_stride..(bi + 1) * a_stride].to_vec(),
-            [am, ak],
-        );
-        let bsub = Tensor::from_vec(
-            b.data()[bi * b_stride..(bi + 1) * b_stride].to_vec(),
-            [bm, bk],
-        );
-        let c = matmul(&asub, &bsub, trans_a, trans_b);
-        out[bi * m * n..(bi + 1) * m * n].copy_from_slice(c.data());
-    }
-
     let mut out_dims = batch_dims.to_vec();
     out_dims.push(m);
     out_dims.push(n);
-    Tensor::from_vec(out, out_dims)
+    out_dims
+}
+
+/// Allocation-free batched matmul writing into a preallocated `out`.
+///
+/// `out` is fully overwritten; its previous contents are ignored.
+///
+/// # Panics
+///
+/// Panics on rank/batch/contraction mismatches or a wrong `out` length.
+pub fn batched_matmul_into(
+    a: TensorView,
+    b: TensorView,
+    trans_a: bool,
+    trans_b: bool,
+    out: &mut [f32],
+) {
+    let ra = a.rank();
+    if ra == 2 && b.rank() == 2 {
+        return matmul_into(a, b, trans_a, trans_b, out);
+    }
+    let out_dims = batched_matmul_out_dims(a.dims(), b.dims(), trans_a, trans_b);
+    let r = out_dims.len();
+    let (m, n) = (out_dims[r - 2], out_dims[r - 1]);
+    let batch: usize = out_dims[..r - 2].iter().product();
+    assert_eq!(out.len(), batch * m * n, "batched_matmul output mismatch");
+
+    let (am, ak) = (a.dims()[ra - 2], a.dims()[ra - 1]);
+    let k = if trans_a { am } else { ak };
+    let a_stride = am * ak;
+    let b_stride = b.dims()[ra - 2] * b.dims()[ra - 1];
+    for bi in 0..batch {
+        matmul_core(
+            &a.data()[bi * a_stride..(bi + 1) * a_stride],
+            &b.data()[bi * b_stride..(bi + 1) * b_stride],
+            trans_a,
+            trans_b,
+            m,
+            k,
+            n,
+            &mut out[bi * m * n..(bi + 1) * m * n],
+        );
+    }
 }
 
 /// Floating-point operation count of a (batched) matmul with the given

@@ -6,7 +6,10 @@
 //! is faster on mobile CPUs/DSPs, so the compiler rewrites layouts before
 //! code generation.
 
-use crate::{Shape, Tensor};
+use crate::{Shape, Tensor, TensorView};
+
+/// Maximum rank supported by the allocation-free permute helper.
+const MAX_RANK: usize = 8;
 
 /// Transposes a rank-2 tensor.
 ///
@@ -171,6 +174,169 @@ pub fn unslice_axis(src: &Tensor, axis: usize, start: usize, full_dims: &[usize]
         }
     }
     out
+}
+
+/// Allocation-free rank-2 transpose writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 2 or `out` has the wrong length.
+pub fn transpose2d_into(x: TensorView, out: &mut [f32]) {
+    assert_eq!(x.rank(), 2, "transpose2d requires rank 2");
+    assert_eq!(out.len(), x.numel(), "transpose2d output length mismatch");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = x.data()[i * n + j];
+        }
+    }
+}
+
+/// Allocation-free dimension permutation writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of the axes, the rank exceeds the
+/// supported maximum, or `out` has the wrong length.
+pub fn permute_into(x: TensorView, perm: &[usize], out: &mut [f32]) {
+    let r = x.rank();
+    assert_eq!(perm.len(), r, "perm length must equal rank");
+    assert!(r <= MAX_RANK, "permute rank exceeds MAX_RANK");
+    assert_eq!(out.len(), x.numel(), "permute output length mismatch");
+    let mut seen = [false; MAX_RANK];
+    for &p in perm {
+        assert!(p < r && !seen[p], "perm must be a permutation of 0..rank");
+        seen[p] = true;
+    }
+    // Row-major strides of input and output.
+    let mut in_strides = [1usize; MAX_RANK];
+    for i in (0..r.saturating_sub(1)).rev() {
+        in_strides[i] = in_strides[i + 1] * x.dims()[i + 1];
+    }
+    let mut out_dims = [1usize; MAX_RANK];
+    for (d, &p) in perm.iter().enumerate() {
+        out_dims[d] = x.dims()[p];
+    }
+    let mut out_strides = [1usize; MAX_RANK];
+    for i in (0..r.saturating_sub(1)).rev() {
+        out_strides[i] = out_strides[i + 1] * out_dims[i + 1];
+    }
+    for (flat, &v) in x.data().iter().enumerate() {
+        let mut rem = flat;
+        let mut oi = 0;
+        // in_idx[p] contributes to the output position of the axis d with
+        // perm[d] == p; scan output axes directly.
+        let mut in_idx = [0usize; MAX_RANK];
+        for (d, idx) in in_idx.iter_mut().enumerate().take(r) {
+            *idx = rem / in_strides[d];
+            rem %= in_strides[d];
+        }
+        for d in 0..r {
+            oi += in_idx[perm[d]] * out_strides[d];
+        }
+        out[oi] = v;
+    }
+}
+
+/// Allocation-free concatenation writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics on empty input, rank/dim mismatches, or a wrong `out` length.
+pub fn concat_into(inputs: &[TensorView], axis: usize, out: &mut [f32]) {
+    assert!(!inputs.is_empty(), "concat requires at least one input");
+    let r = inputs[0].rank();
+    assert!(axis < r, "concat axis out of range");
+    let mut axis_total = 0;
+    for t in inputs {
+        assert_eq!(t.rank(), r, "concat rank mismatch");
+        for (d, (&td, &od)) in t.dims().iter().zip(inputs[0].dims()).enumerate() {
+            if d != axis {
+                assert_eq!(td, od, "concat non-axis dim mismatch");
+            }
+        }
+        axis_total += t.dims()[axis];
+    }
+    let outer: usize = inputs[0].dims()[..axis].iter().product();
+    let inner: usize = inputs[0].dims()[axis + 1..].iter().product();
+    assert_eq!(
+        out.len(),
+        outer * axis_total * inner,
+        "concat output length mismatch"
+    );
+    let mut axis_off = 0;
+    for t in inputs {
+        let a = t.dims()[axis];
+        for o in 0..outer {
+            for ai in 0..a {
+                let src = (o * a + ai) * inner;
+                let dst = (o * axis_total + axis_off + ai) * inner;
+                out[dst..dst + inner].copy_from_slice(&t.data()[src..src + inner]);
+            }
+        }
+        axis_off += a;
+    }
+}
+
+/// Allocation-free axis slice writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if the slice is out of bounds or `out` has the wrong length.
+pub fn slice_axis_into(x: TensorView, axis: usize, start: usize, len: usize, out: &mut [f32]) {
+    let r = x.rank();
+    assert!(axis < r, "slice axis out of range");
+    assert!(start + len <= x.dims()[axis], "slice out of bounds");
+    let outer: usize = x.dims()[..axis].iter().product();
+    let inner: usize = x.dims()[axis + 1..].iter().product();
+    assert_eq!(
+        out.len(),
+        outer * len * inner,
+        "slice output length mismatch"
+    );
+    let a = x.dims()[axis];
+    for o in 0..outer {
+        for ai in 0..len {
+            let src = (o * a + start + ai) * inner;
+            let dst = (o * len + ai) * inner;
+            out[dst..dst + inner].copy_from_slice(&x.data()[src..src + inner]);
+        }
+    }
+}
+
+/// Allocation-free [`unslice_axis`] writing into a preallocated `out`.
+///
+/// `out` is fully overwritten (zero-filled first, then scatter-added).
+///
+/// # Panics
+///
+/// Panics if `out` does not match `full_dims`.
+pub fn unslice_axis_into(
+    src: TensorView,
+    axis: usize,
+    start: usize,
+    full_dims: &[usize],
+    out: &mut [f32],
+) {
+    assert_eq!(
+        out.len(),
+        full_dims.iter().product::<usize>(),
+        "unslice output length mismatch"
+    );
+    out.fill(0.0);
+    let len = src.dims()[axis];
+    let outer: usize = full_dims[..axis].iter().product();
+    let inner: usize = full_dims[axis + 1..].iter().product();
+    let a = full_dims[axis];
+    for o in 0..outer {
+        for ai in 0..len {
+            let dst = (o * a + start + ai) * inner;
+            let srci = (o * len + ai) * inner;
+            for k in 0..inner {
+                out[dst + k] += src.data()[srci + k];
+            }
+        }
+    }
 }
 
 #[cfg(test)]

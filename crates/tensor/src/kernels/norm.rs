@@ -7,16 +7,31 @@
 //! Conv/Linear/activation ops for CNNs and LayerNorm/RMSNorm for
 //! transformers.
 
-use crate::Tensor;
+use crate::{Tensor, TensorView};
 
 /// Softmax along the last axis.
 pub fn softmax(x: &Tensor) -> Tensor {
-    let dims = x.dims().to_vec();
-    let cols = *dims.last().expect("softmax requires rank >= 1");
-    let rows = x.numel() / cols;
     let mut out = x.clone();
+    softmax_rows(out.data_mut(), *x.dims().last().expect("rank >= 1"));
+    out
+}
+
+/// Allocation-free softmax writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if `out` and the input differ in length.
+pub fn softmax_into(x: TensorView, out: &mut [f32]) {
+    assert_eq!(out.len(), x.numel(), "softmax output length mismatch");
+    out.copy_from_slice(x.data());
+    softmax_rows(out, *x.dims().last().expect("rank >= 1"));
+}
+
+/// In-place row softmax over a buffer of `rows * cols` elements.
+fn softmax_rows(buf: &mut [f32], cols: usize) {
+    let rows = buf.len() / cols.max(1);
     for r in 0..rows {
-        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        let row = &mut buf[r * cols..(r + 1) * cols];
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -28,26 +43,35 @@ pub fn softmax(x: &Tensor) -> Tensor {
             *v *= inv;
         }
     }
-    out
 }
 
 /// VJP of softmax given the forward *output* `y`:
 /// `dx = y * (dy - sum(dy * y, last_axis))`.
 pub fn softmax_grad_from_output(y: &Tensor, dy: &Tensor) -> Tensor {
-    assert_eq!(y.shape(), dy.shape(), "softmax_grad shape mismatch");
+    let mut dx = Tensor::zeros(y.shape().clone());
+    softmax_grad_into(y.view(), dy.view(), dx.data_mut());
+    dx
+}
+
+/// Allocation-free softmax VJP writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics on shape or output-length mismatches.
+pub fn softmax_grad_into(y: TensorView, dy: TensorView, out: &mut [f32]) {
+    assert_eq!(y.dims(), dy.dims(), "softmax_grad shape mismatch");
+    assert_eq!(out.len(), y.numel(), "softmax_grad output length mismatch");
     let cols = *y.dims().last().expect("rank >= 1");
     let rows = y.numel() / cols;
-    let mut dx = Tensor::zeros(y.shape().clone());
     for r in 0..rows {
         let ys = &y.data()[r * cols..(r + 1) * cols];
         let gs = &dy.data()[r * cols..(r + 1) * cols];
         let dot: f32 = ys.iter().zip(gs).map(|(a, b)| a * b).sum();
-        let out = &mut dx.data_mut()[r * cols..(r + 1) * cols];
+        let os = &mut out[r * cols..(r + 1) * cols];
         for j in 0..cols {
-            out[j] = ys[j] * (gs[j] - dot);
+            os[j] = ys[j] * (gs[j] - dot);
         }
     }
-    dx
 }
 
 /// Numerically-stable log-softmax along the last axis.
@@ -75,33 +99,64 @@ pub fn log_softmax(x: &Tensor) -> Tensor {
 ///
 /// Panics if the number of targets does not equal the number of logit rows.
 pub fn cross_entropy_loss(logits: &Tensor, targets: &Tensor) -> Tensor {
+    let mut out = Tensor::scalar(0.0);
+    cross_entropy_loss_into(logits.view(), targets.view(), out.data_mut());
+    out
+}
+
+/// Allocation-free mean cross-entropy loss writing the scalar result into
+/// `out[0]`.
+///
+/// # Panics
+///
+/// Panics if the number of targets does not equal the number of logit rows
+/// or `out` is empty.
+pub fn cross_entropy_loss_into(logits: TensorView, targets: TensorView, out: &mut [f32]) {
     let cols = *logits.dims().last().expect("rank >= 1");
     let rows = logits.numel() / cols;
     assert_eq!(targets.numel(), rows, "one target per logit row required");
-    let ls = log_softmax(logits);
+    assert_eq!(out.len(), 1, "cross_entropy_loss output must be scalar");
     let mut loss = 0.0;
     for r in 0..rows {
+        let xs = &logits.data()[r * cols..(r + 1) * cols];
+        let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let logsum = xs.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
         let t = targets.data()[r] as usize;
-        loss -= ls.data()[r * cols + t];
+        loss -= xs[t] - logsum;
     }
-    Tensor::scalar(loss / rows as f32)
+    out[0] = loss / rows as f32;
 }
 
 /// Gradient of the mean cross-entropy loss with respect to the logits,
 /// scaled by the upstream scalar gradient `dloss`.
 pub fn cross_entropy_grad(logits: &Tensor, targets: &Tensor, dloss: f32) -> Tensor {
+    let mut grad = Tensor::zeros(logits.shape().clone());
+    cross_entropy_grad_into(logits.view(), targets.view(), dloss, grad.data_mut());
+    grad
+}
+
+/// Allocation-free cross-entropy gradient writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if `out` and the logits differ in length.
+pub fn cross_entropy_grad_into(
+    logits: TensorView,
+    targets: TensorView,
+    dloss: f32,
+    out: &mut [f32],
+) {
     let cols = *logits.dims().last().expect("rank >= 1");
     let rows = logits.numel() / cols;
-    let mut grad = softmax(logits);
+    softmax_into(logits, out);
     let scale = dloss / rows as f32;
     for r in 0..rows {
         let t = targets.data()[r] as usize;
-        grad.data_mut()[r * cols + t] -= 1.0;
+        out[r * cols + t] -= 1.0;
     }
-    for v in grad.data_mut() {
+    for v in out.iter_mut() {
         *v *= scale;
     }
-    grad
 }
 
 /// Layer normalisation along the last axis with affine parameters.
@@ -164,6 +219,93 @@ pub fn layer_norm_grad(
     (dx, dgamma, dbeta)
 }
 
+/// Allocation-free layer normalisation writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics on gamma/beta/output size mismatches.
+pub fn layer_norm_into(
+    x: TensorView,
+    gamma: TensorView,
+    beta: TensorView,
+    eps: f32,
+    out: &mut [f32],
+) {
+    let cols = *x.dims().last().expect("rank >= 1");
+    assert_eq!(gamma.numel(), cols, "gamma size mismatch");
+    assert_eq!(beta.numel(), cols, "beta size mismatch");
+    assert_eq!(out.len(), x.numel(), "layer_norm output length mismatch");
+    let rows = x.numel() / cols;
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let mean = xs.iter().sum::<f32>() / cols as f32;
+        let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let os = &mut out[r * cols..(r + 1) * cols];
+        for j in 0..cols {
+            os[j] = (xs[j] - mean) * inv_std * gamma.data()[j] + beta.data()[j];
+        }
+    }
+}
+
+/// Allocation-free LayerNorm input gradient writing into a preallocated
+/// `out` (the `dx` component of [`layer_norm_grad`]).
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+pub fn layer_norm_grad_x_into(
+    x: TensorView,
+    gamma: TensorView,
+    dy: TensorView,
+    eps: f32,
+    out: &mut [f32],
+) {
+    let cols = *x.dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    assert_eq!(out.len(), x.numel(), "layer_norm_grad_x output mismatch");
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let gs = &dy.data()[r * cols..(r + 1) * cols];
+        let mean = xs.iter().sum::<f32>() / cols as f32;
+        let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let xhat = |j: usize| (xs[j] - mean) * inv_std;
+        let dxhat = |j: usize| gs[j] * gamma.data()[j];
+        let mean_dxhat = (0..cols).map(&dxhat).sum::<f32>() / cols as f32;
+        let mean_dxhat_xhat = (0..cols).map(|j| dxhat(j) * xhat(j)).sum::<f32>() / cols as f32;
+        let os = &mut out[r * cols..(r + 1) * cols];
+        for (j, o) in os.iter_mut().enumerate() {
+            *o = inv_std * (dxhat(j) - mean_dxhat - xhat(j) * mean_dxhat_xhat);
+        }
+    }
+}
+
+/// Allocation-free LayerNorm gamma gradient writing into a preallocated
+/// `out` (gamma does not influence its own gradient, so it is not taken).
+///
+/// `out` is fully overwritten (zero-filled first, then accumulated).
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+pub fn layer_norm_grad_gamma_into(x: TensorView, dy: TensorView, eps: f32, out: &mut [f32]) {
+    let cols = *x.dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    assert_eq!(out.len(), cols, "layer_norm_grad_gamma output mismatch");
+    out.fill(0.0);
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let gs = &dy.data()[r * cols..(r + 1) * cols];
+        let mean = xs.iter().sum::<f32>() / cols as f32;
+        let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for j in 0..cols {
+            out[j] += gs[j] * (xs[j] - mean) * inv_std;
+        }
+    }
+}
+
 /// RMS normalisation along the last axis (as used by Llama blocks).
 pub fn rms_norm(x: &Tensor, gamma: &Tensor, eps: f32) -> Tensor {
     let cols = *x.dims().last().expect("rank >= 1");
@@ -205,6 +347,79 @@ pub fn rms_norm_grad(x: &Tensor, gamma: &Tensor, dy: &Tensor, eps: f32) -> (Tens
         }
     }
     (dx, dgamma)
+}
+
+/// Allocation-free RMS normalisation writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics on gamma/output size mismatches.
+pub fn rms_norm_into(x: TensorView, gamma: TensorView, eps: f32, out: &mut [f32]) {
+    let cols = *x.dims().last().expect("rank >= 1");
+    assert_eq!(gamma.numel(), cols, "gamma size mismatch");
+    assert_eq!(out.len(), x.numel(), "rms_norm output length mismatch");
+    let rows = x.numel() / cols;
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let ms = xs.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        let os = &mut out[r * cols..(r + 1) * cols];
+        for j in 0..cols {
+            os[j] = xs[j] * inv * gamma.data()[j];
+        }
+    }
+}
+
+/// Allocation-free RMSNorm input gradient writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+pub fn rms_norm_grad_x_into(
+    x: TensorView,
+    gamma: TensorView,
+    dy: TensorView,
+    eps: f32,
+    out: &mut [f32],
+) {
+    let cols = *x.dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    assert_eq!(out.len(), x.numel(), "rms_norm_grad_x output mismatch");
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let gs = &dy.data()[r * cols..(r + 1) * cols];
+        let ms = xs.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        let dot: f32 = (0..cols).map(|k| gs[k] * gamma.data()[k] * xs[k]).sum();
+        let os = &mut out[r * cols..(r + 1) * cols];
+        for j in 0..cols {
+            os[j] = inv * gs[j] * gamma.data()[j] - inv * inv * inv / cols as f32 * xs[j] * dot;
+        }
+    }
+}
+
+/// Allocation-free RMSNorm gamma gradient writing into a preallocated `out`
+/// (gamma does not influence its own gradient, so it is not taken).
+///
+/// `out` is fully overwritten (zero-filled first, then accumulated).
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+pub fn rms_norm_grad_gamma_into(x: TensorView, dy: TensorView, eps: f32, out: &mut [f32]) {
+    let cols = *x.dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    assert_eq!(out.len(), cols, "rms_norm_grad_gamma output mismatch");
+    out.fill(0.0);
+    for r in 0..rows {
+        let xs = &x.data()[r * cols..(r + 1) * cols];
+        let gs = &dy.data()[r * cols..(r + 1) * cols];
+        let ms = xs.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for j in 0..cols {
+            out[j] += gs[j] * xs[j] * inv;
+        }
+    }
 }
 
 #[cfg(test)]

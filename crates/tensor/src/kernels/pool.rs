@@ -1,6 +1,6 @@
 //! Pooling kernels (average, max, global average) and their gradients.
 
-use crate::Tensor;
+use crate::{Tensor, TensorView};
 
 /// Pooling geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +171,195 @@ pub fn global_avg_pool_grad(dy: &Tensor, x_dims: &[usize]) -> Tensor {
         }
     }
     dx
+}
+
+/// Allocation-free average pooling writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if `out` has the wrong length.
+pub fn avg_pool2d_into(x: TensorView, p: Pool2dParams, out: &mut [f32]) {
+    let [n, c, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    assert_eq!(
+        out.len(),
+        n * c * oh * ow,
+        "avg_pool output length mismatch"
+    );
+    let norm = 1.0 / (p.kernel * p.kernel) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = 0.0;
+                    for kh in 0..p.kernel {
+                        let ih = (ohi * p.stride + kh) as isize - p.padding as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kw in 0..p.kernel {
+                            let iw = (owi * p.stride + kw) as isize - p.padding as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            acc += x.data()[((ni * c + ci) * h + ih as usize) * w + iw as usize];
+                        }
+                    }
+                    out[((ni * c + ci) * oh + ohi) * ow + owi] = acc * norm;
+                }
+            }
+        }
+    }
+}
+
+/// Allocation-free average-pooling gradient writing into a preallocated
+/// `out` (zero-filled first, then accumulated).
+///
+/// # Panics
+///
+/// Panics if `out` does not match `x_dims`.
+pub fn avg_pool2d_grad_into(dy: TensorView, x_dims: &[usize], p: Pool2dParams, out: &mut [f32]) {
+    let [n, c, h, w] = [x_dims[0], x_dims[1], x_dims[2], x_dims[3]];
+    let (oh, ow) = (dy.dims()[2], dy.dims()[3]);
+    assert_eq!(out.len(), n * c * h * w, "avg_pool_grad output mismatch");
+    out.fill(0.0);
+    let norm = 1.0 / (p.kernel * p.kernel) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let g = dy.data()[((ni * c + ci) * oh + ohi) * ow + owi] * norm;
+                    for kh in 0..p.kernel {
+                        let ih = (ohi * p.stride + kh) as isize - p.padding as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kw in 0..p.kernel {
+                            let iw = (owi * p.stride + kw) as isize - p.padding as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            out[((ni * c + ci) * h + ih as usize) * w + iw as usize] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Allocation-free max pooling (output only, no index buffer) writing into a
+/// preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if `out` has the wrong length.
+pub fn max_pool2d_into(x: TensorView, p: Pool2dParams, out: &mut [f32]) {
+    let out_len = out.len();
+    max_pool_core(x, p, |o, best, _| out[o] = best, out_len);
+}
+
+/// Allocation-free max-pooling gradient that recomputes the argmax per
+/// window from the forward input `x` (no index buffer), scatter-adding the
+/// upstream gradient into `out` (zero-filled first).
+///
+/// The tie-breaking (first strictly-greater element wins) is identical to
+/// [`max_pool2d_with_indices`], so the result matches the two-step kernel
+/// bit for bit.
+///
+/// # Panics
+///
+/// Panics if `out` does not match the forward input size.
+pub fn max_pool2d_grad_from_input_into(
+    x: TensorView,
+    dy: TensorView,
+    p: Pool2dParams,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), x.numel(), "max_pool_grad output length mismatch");
+    out.fill(0.0);
+    let dyd = dy.data();
+    max_pool_core(x, p, |o, _, best_idx| out[best_idx] += dyd[o], dyd.len());
+}
+
+/// Shared window scan for max pooling: calls `emit(flat_out, best, best_idx)`
+/// for every output position.
+fn max_pool_core(
+    x: TensorView,
+    p: Pool2dParams,
+    mut emit: impl FnMut(usize, f32, usize),
+    out_len: usize,
+) {
+    let [n, c, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    assert_eq!(out_len, n * c * oh * ow, "max_pool output length mismatch");
+    for ni in 0..n {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for kh in 0..p.kernel {
+                        let ih = (ohi * p.stride + kh) as isize - p.padding as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kw in 0..p.kernel {
+                            let iw = (owi * p.stride + kw) as isize - p.padding as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            let idx = ((ni * c + ci) * h + ih as usize) * w + iw as usize;
+                            if x.data()[idx] > best {
+                                best = x.data()[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    emit(((ni * c + ci) * oh + ohi) * ow + owi, best, best_idx);
+                }
+            }
+        }
+    }
+}
+
+/// Allocation-free global average pooling writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if `out` has the wrong length.
+pub fn global_avg_pool_into(x: TensorView, out: &mut [f32]) {
+    let [n, c, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+    assert_eq!(out.len(), n * c, "global_avg_pool output length mismatch");
+    let norm = 1.0 / (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let s: f32 = x.data()[base..base + h * w].iter().sum();
+            out[ni * c + ci] = s * norm;
+        }
+    }
+}
+
+/// Allocation-free global-average-pooling gradient writing into a
+/// preallocated `out`.
+///
+/// # Panics
+///
+/// Panics if `out` does not match `x_dims`.
+pub fn global_avg_pool_grad_into(dy: TensorView, x_dims: &[usize], out: &mut [f32]) {
+    let [n, c, h, w] = [x_dims[0], x_dims[1], x_dims[2], x_dims[3]];
+    assert_eq!(out.len(), n * c * h * w, "gap_grad output length mismatch");
+    let norm = 1.0 / (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = dy.data()[ni * c + ci] * norm;
+            let base = (ni * c + ci) * h * w;
+            for v in &mut out[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -29,11 +29,13 @@ pub mod kernels;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
+pub mod view;
 
 pub use dtype::DType;
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use view::TensorView;
 
 /// Error type for tensor-level operations.
 ///

@@ -9,8 +9,11 @@ use std::collections::HashMap;
 use pockengine::pe_data::{
     generate_nlp_task, generate_vision_task, NlpTaskConfig, VisionTaskConfig,
 };
+use pockengine::pe_graph::{build_training_graph, TrainKind, TrainSpec};
+use pockengine::pe_passes::optimize;
 use pockengine::pe_runtime::EagerEngine;
 use pockengine::prelude::*;
+use proptest::prelude::*;
 
 /// Per-parameter `(name, compiled_value, eager_value)` snapshots after training.
 type ParamPairs = Vec<(String, Tensor, Tensor)>;
@@ -205,5 +208,108 @@ fn compiled_gradients_match_finite_differences_through_the_whole_stack() {
             (fd - grad_engine).abs() < 0.05,
             "gradient mismatch at element {idx}: finite-difference {fd} vs engine {grad_engine}"
         );
+    }
+}
+
+/// Builds a random MLP training graph plus matching inputs from a compact
+/// parameter tuple, for the executor-parity property below.
+#[allow(clippy::type_complexity)]
+fn random_program(
+    depth: usize,
+    width: usize,
+    batch: usize,
+    frozen_prefix: usize,
+    seed: u64,
+) -> (
+    pockengine::pe_graph::TrainingGraph,
+    pockengine::pe_passes::Schedule,
+    EagerEngine,
+    HashMap<String, Tensor>,
+) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", [batch, width]);
+    let labels = b.input("labels", [batch]);
+    let mut h = x;
+    let mut spec = TrainSpec::new();
+    for i in 0..depth {
+        let w = b.weight(&format!("fc{i}.weight"), [width, width], &mut rng);
+        let bias = b.bias(&format!("fc{i}.bias"), width);
+        if i < frozen_prefix {
+            spec.insert(w, TrainKind::Frozen);
+            spec.insert(bias, TrainKind::Frozen);
+        }
+        h = b.linear(h, w, Some(bias));
+        h = if i % 2 == 0 { b.relu(h) } else { b.gelu(h) };
+    }
+    let head = b.weight("head.weight", [3, width], &mut rng);
+    let logits = b.linear(h, head, None);
+    let loss = b.cross_entropy(logits, labels);
+    let g = b.finish(vec![loss, logits]);
+    let eager = EagerEngine::new(g.clone(), loss, spec.clone(), Optimizer::sgd(0.05));
+    let tg = build_training_graph(g, loss, &spec);
+    let (tg, schedule, _) = optimize(tg, OptimizeOptions::default());
+
+    let mut data_rng = Rng::seed_from_u64(seed ^ 0x5bd1_e995);
+    let xs = Tensor::randn([batch, width], 1.0, &mut data_rng);
+    let mut ys = Tensor::zeros([batch]);
+    for i in 0..batch {
+        ys.data_mut()[i] = data_rng.next_usize(3) as f32;
+    }
+    let inputs = HashMap::from([("x".to_string(), xs), ("labels".to_string(), ys)]);
+    (tg, schedule, eager, inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random small graphs the arena executor (sequential and pooled)
+    /// is bit-identical to the boxed executor, and matches runtime-autodiff
+    /// eager mode to tight numeric tolerance (eager runs an unfused graph,
+    /// so bitwise equality is not defined for it).
+    #[test]
+    fn arena_executor_matches_boxed_and_eager_on_random_graphs(
+        depth in 1usize..4,
+        width in 3usize..12,
+        batch in 1usize..5,
+        frozen_prefix in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let frozen_prefix = frozen_prefix.min(depth.saturating_sub(1));
+        let (tg, schedule, mut eager, inputs) =
+            random_program(depth, width, batch, frozen_prefix, seed);
+        let lr = 0.05;
+        let mut boxed = Executor::boxed(tg.clone(), schedule.clone(), Optimizer::sgd(lr));
+        let mut arena = Executor::arena(tg.clone(), schedule.clone(), Optimizer::sgd(lr), 1);
+        let mut pooled = Executor::arena(tg.clone(), schedule.clone(), Optimizer::sgd(lr), 3);
+
+        for _ in 0..3 {
+            let lb = boxed.run_step(&inputs).unwrap().loss.unwrap();
+            let la = arena.run_step(&inputs).unwrap().loss.unwrap();
+            let lp = pooled.run_step(&inputs).unwrap().loss.unwrap();
+            let le = eager.run_step(&inputs).unwrap().loss.unwrap();
+            prop_assert_eq!(lb.to_bits(), la.to_bits(), "arena loss != boxed loss");
+            prop_assert_eq!(lb.to_bits(), lp.to_bits(), "pooled loss != boxed loss");
+            prop_assert!((lb - le).abs() <= 1e-4 + 1e-4 * lb.abs(), "eager loss diverged: {} vs {}", lb, le);
+        }
+        for id in tg.graph.param_ids() {
+            let name = tg.graph.node(id).name.clone();
+            let reference = boxed.param(id).unwrap();
+            prop_assert_eq!(
+                reference.data(), arena.param(id).unwrap().data(),
+                "parameter '{}' differs between boxed and arena", name
+            );
+            prop_assert_eq!(
+                reference.data(), pooled.param(id).unwrap().data(),
+                "parameter '{}' differs between boxed and pooled arena", name
+            );
+            if let Some(eager_value) = eager.param_by_name(&name) {
+                prop_assert!(
+                    reference.allclose(eager_value, 1e-3),
+                    "parameter '{}' diverged from eager", name
+                );
+            }
+        }
+        prop_assert_eq!(arena.fallback_dispatches(), 0, "MLP graphs must not hit fallback kernels");
     }
 }

@@ -5,9 +5,13 @@
 
 use proptest::prelude::*;
 
-use pockengine::pe_graph::{build_training_graph, graph_cost, GraphBuilder, TrainKind, TrainSpec};
-use pockengine::pe_memplan::{analyze_lifetimes, plan_memory};
-use pockengine::pe_passes::{build_schedule, optimize, OptimizeOptions, ScheduleStrategy};
+use pockengine::pe_graph::{
+    build_training_graph, graph_cost, GraphBuilder, NodeId, TrainKind, TrainSpec,
+};
+use pockengine::pe_memplan::{analyze_lifetimes, plan_memory, plan_memory_with, MemPlanOptions};
+use pockengine::pe_passes::{
+    build_schedule, optimize, partition_wavefronts, OptimizeOptions, Schedule, ScheduleStrategy,
+};
 use pockengine::pe_tensor::kernels::conv::{conv2d, Conv2dParams};
 use pockengine::pe_tensor::kernels::gemm::matmul;
 use pockengine::pe_tensor::kernels::layout::transpose2d;
@@ -41,6 +45,36 @@ fn random_mlp(
     let loss = b.cross_entropy(logits, labels);
     let g = b.finish(vec![loss, logits]);
     build_training_graph(g, loss, &spec)
+}
+
+/// Builds a random topological order by Kahn's algorithm with a seeded
+/// random tie-break — a "randomized schedule" distinct from both built-in
+/// strategies.
+fn random_topo_schedule(graph: &pockengine::pe_graph::Graph, seed: u64) -> Schedule {
+    let mut rng = Rng::seed_from_u64(seed);
+    let consumers = graph.consumers();
+    let mut indegree: Vec<usize> = graph.nodes().iter().map(|n| n.inputs.len()).collect();
+    let mut ready: Vec<NodeId> = (0..graph.len())
+        .filter(|&i| indegree[i] == 0)
+        .map(NodeId)
+        .collect();
+    let mut order = Vec::with_capacity(graph.len());
+    while !ready.is_empty() {
+        let pick = rng.next_usize(ready.len());
+        let id = ready.swap_remove(pick);
+        order.push(id);
+        for &c in &consumers[id.index()] {
+            indegree[c.index()] -= 1;
+            if indegree[c.index()] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    assert_eq!(order.len(), graph.len(), "graph must be acyclic");
+    Schedule {
+        order,
+        strategy: ScheduleStrategy::Reordered,
+    }
 }
 
 proptest! {
@@ -139,6 +173,136 @@ proptest! {
         let (opt, schedule, _) = optimize(frozen, OptimizeOptions::default());
         prop_assert!(opt.graph.validate().is_empty());
         prop_assert_eq!(schedule.len(), opt.graph.len());
+    }
+
+    /// `plan_memory` never assigns overlapping `[offset, offset + size)`
+    /// ranges to buffers with intersecting lifetimes — across *randomized*
+    /// topological schedules, not just the two built-in strategies.
+    #[test]
+    fn planner_never_overlaps_across_random_schedules(
+        depth in 1usize..5,
+        width in 4usize..20,
+        batch in 1usize..5,
+        frozen_prefix in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let widths: Vec<usize> = std::iter::repeat_n(width, depth + 1).collect();
+        let tg = random_mlp(&widths, batch, frozen_prefix.min(depth));
+        let schedule = random_topo_schedule(&tg.graph, seed);
+        // The random order must itself be a valid schedule.
+        let pos = schedule.positions(tg.graph.len());
+        for node in tg.graph.nodes() {
+            for input in &node.inputs {
+                prop_assert!(pos[input.index()] < pos[node.id.index()], "random schedule not topological");
+            }
+        }
+        let plan = plan_memory(&tg.graph, &schedule);
+        prop_assert!(plan.arena_bytes >= plan.peak_transient_bytes);
+        prop_assert!(plan.aliases.iter().all(Option::is_none), "default plan must not alias");
+        for a in 0..tg.graph.len() {
+            for b in (a + 1)..tg.graph.len() {
+                let (Some((da, la)), Some((db, lb))) = (plan.lifetimes[a], plan.lifetimes[b]) else { continue };
+                if la < db || lb < da { continue; }
+                let (sa, sb) = (
+                    tg.graph.node(NodeId(a)).size_bytes(),
+                    tg.graph.node(NodeId(b)).size_bytes(),
+                );
+                if sa == 0 || sb == 0 { continue; }
+                let (oa, ob) = (plan.offsets[a].unwrap(), plan.offsets[b].unwrap());
+                prop_assert!(
+                    oa + sa <= ob || ob + sb <= oa,
+                    "buffers {} and {} overlap under a randomized schedule", a, b
+                );
+            }
+        }
+    }
+
+    /// The wavefront partition is a true partition (every scheduled node in
+    /// exactly one level) and no node's level precedes a producer's level;
+    /// the execution-grade (coarsened, aliasing) plan built on top of it
+    /// keeps concurrently-live buffers disjoint outside alias chains.
+    #[test]
+    fn wavefront_levels_are_valid_and_level_plans_are_disjoint(
+        depth in 1usize..5,
+        width in 4usize..20,
+        batch in 1usize..5,
+        frozen_prefix in 0usize..3,
+        seed in 0u64..10_000,
+        reorder in proptest::bool::ANY,
+    ) {
+        let widths: Vec<usize> = std::iter::repeat_n(width, depth + 1).collect();
+        let tg = random_mlp(&widths, batch, frozen_prefix.min(depth));
+        let schedule = if reorder {
+            build_schedule(&tg.graph, ScheduleStrategy::Reordered)
+        } else {
+            random_topo_schedule(&tg.graph, seed)
+        };
+        let wf = partition_wavefronts(&tg.graph, &schedule);
+
+        // Partition: every scheduled node appears in exactly one level.
+        let mut count = vec![0usize; tg.graph.len()];
+        let mut level_of = vec![usize::MAX; tg.graph.len()];
+        for (l, level) in wf.levels.iter().enumerate() {
+            for id in level {
+                count[id.index()] += 1;
+                level_of[id.index()] = l;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1), "node missing or duplicated in levels");
+
+        // No node's level precedes (or equals) a producer's level.
+        for node in tg.graph.nodes() {
+            if node.op.is_leaf() { continue; }
+            for input in &node.inputs {
+                prop_assert!(
+                    level_of[input.index()] < level_of[node.id.index()],
+                    "level of {} does not follow its producer {}", node.id, input
+                );
+            }
+        }
+
+        // The parallel-execution plan: level-granular lifetimes must never
+        // overlap in the arena, except along an in-place alias chain.
+        let plan = plan_memory_with(
+            &tg.graph,
+            &schedule,
+            &MemPlanOptions::for_execution(Some(wf.level_of_position.clone())),
+        );
+        let root = |mut i: usize| { while let Some(p) = plan.aliases[i] { i = p.index(); } i };
+        // Level-granular liveness: def at the producer's level, last at the
+        // maximum level over all consumers (position order is not monotone
+        // in level), graph outputs alive to the last level.
+        let pos = schedule.positions(tg.graph.len());
+        let consumers = tg.graph.consumers();
+        let level_range = |i: usize| -> Option<(usize, usize)> {
+            let (def, _) = plan.lifetimes[i]?;
+            let d = wf.level_of_position[def];
+            let mut l = d;
+            for c in &consumers[i] {
+                if pos[c.index()] != usize::MAX {
+                    l = l.max(wf.level_of_position[pos[c.index()]]);
+                }
+            }
+            if tg.graph.outputs().contains(&NodeId(i)) {
+                l = wf.depth() - 1;
+            }
+            Some((d, l))
+        };
+        for a in 0..tg.graph.len() {
+            for b in (a + 1)..tg.graph.len() {
+                let (Some((da, la)), Some((db, lb))) = (level_range(a), level_range(b)) else { continue };
+                if la < db || lb < da { continue; }
+                if root(a) == root(b) { continue; }
+                let size = |i: usize| tg.graph.node(NodeId(i)).shape.numel() * 4;
+                let (sa, sb) = (size(a), size(b));
+                if sa == 0 || sb == 0 { continue; }
+                let (oa, ob) = (plan.offsets[a].unwrap(), plan.offsets[b].unwrap());
+                prop_assert!(
+                    oa + sa <= ob || ob + sb <= oa,
+                    "level-concurrent buffers {} and {} overlap", a, b
+                );
+            }
+        }
     }
 
     /// Broadcast-add then reduce-to-shape is the identity on the gradient
