@@ -1,0 +1,31 @@
+//! Engine serving benchmark: writes `BENCH_engine_serving.json` (path
+//! overridable as the first CLI argument) and prints a human summary.
+
+use pe_bench::report::write_report;
+use pe_bench::serving::{run_serving_bench, ServingBenchConfig};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine_serving.json".to_string());
+    let result = run_serving_bench(&ServingBenchConfig::default());
+    println!(
+        "engine serving [{} backend, {} threads]: {} requests ({} train steps, {} eval \
+         micro-batches) in {:.3}s -> {:.0} req/s, {:.0} rows/s; cache {} hits / {} misses \
+         across {} specializations; {} padded rows",
+        result.backend,
+        result.threads,
+        result.requests,
+        result.train_steps,
+        result.eval_batches,
+        result.elapsed_secs,
+        result.requests_per_sec,
+        result.rows_per_sec,
+        result.cache_hits,
+        result.cache_misses,
+        result.specializations,
+        result.padded_rows,
+    );
+    write_report(&path, &result.to_json()).expect("failed to write report");
+    println!("wrote {path}");
+}

@@ -123,6 +123,7 @@ pub fn mcu_reordering_saving() -> (usize, usize) {
             optimizer: Optimizer::sgd(0.01),
             optimize: OptimizeOptions::default(),
             schedule: ScheduleStrategy::Reordered,
+            ..CompileOptions::default()
         },
     );
     let conventional = pockengine::analyze(
@@ -135,6 +136,7 @@ pub fn mcu_reordering_saving() -> (usize, usize) {
                 ..OptimizeOptions::default()
             },
             schedule: ScheduleStrategy::Conventional,
+            ..CompileOptions::default()
         },
     );
     (

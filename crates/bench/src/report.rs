@@ -1,0 +1,131 @@
+//! Minimal machine-readable bench reports.
+//!
+//! The perf trajectory of this repository is tracked by JSON files
+//! (`BENCH_training_step.json`, `BENCH_engine_serving.json`) written by the
+//! bench binaries. The container has no serde, so this module hand-rolls the
+//! tiny subset of JSON the reports need: flat objects of numbers, strings
+//! and arrays of objects.
+
+use std::fmt::Write as _;
+
+/// A JSON value (numbers, strings, arrays, objects — what a report needs).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float rendered with full precision.
+    Num(f64),
+    /// An integer.
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience object constructor.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, s: &mut String) {
+        match self {
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(s, "{v}");
+                } else {
+                    s.push_str("null");
+                }
+            }
+            Json::Int(v) => {
+                let _ = write!(s, "{v}");
+            }
+            Json::Str(v) => {
+                s.push('"');
+                for c in v.chars() {
+                    match c {
+                        '"' => s.push_str("\\\""),
+                        '\\' => s.push_str("\\\\"),
+                        '\n' => s.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(s, "\\u{:04x}", c as u32);
+                        }
+                        c => s.push(c),
+                    }
+                }
+                s.push('"');
+            }
+            Json::Arr(items) => {
+                s.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    item.write(s);
+                }
+                s.push(']');
+            }
+            Json::Obj(fields) => {
+                s.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    Json::Str(k.clone()).write(s);
+                    s.push(':');
+                    v.write(s);
+                }
+                s.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a report to disk (pretty enough for diffs: one trailing newline).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_report(path: &str, json: &Json) -> std::io::Result<()> {
+    std::fs::write(path, json.render() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_report() {
+        let j = Json::obj(vec![
+            ("name", Json::Str("bench \"x\"".into())),
+            ("value", Json::Num(1.5)),
+            ("count", Json::Int(3)),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj(vec![("a", Json::Int(1))])]),
+            ),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"bench \"x\"","value":1.5,"count":3,"rows":[{"a":1}]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+}

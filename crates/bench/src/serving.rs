@@ -1,0 +1,207 @@
+//! Engine serving benchmark: throughput and latency of mixed-size
+//! train/eval traffic over one shared `ParamStore`, plus specialization
+//! cache accounting.
+//!
+//! Run via the `bench_serving` binary, which writes
+//! `BENCH_engine_serving.json` next to the working directory so the perf
+//! trajectory accumulates across commits:
+//!
+//! ```text
+//! cargo run --release -p pe_bench --bin bench_serving
+//! ```
+
+use std::time::Instant;
+
+use pockengine::pe_data::serving::{generate_request_stream, RequestStreamConfig};
+use pockengine::pe_graph::GraphBuilder;
+use pockengine::pe_models::BuiltModel;
+use pockengine::pe_runtime::{ExecutorConfig, Optimizer};
+use pockengine::pe_tensor::Rng;
+use pockengine::{CompileOptions, Compiler, Engine, EngineConfig};
+
+use crate::report::Json;
+
+/// Configuration of one serving-bench run.
+#[derive(Debug, Clone)]
+pub struct ServingBenchConfig {
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Request row counts (uniformly drawn).
+    pub batch_sizes: Vec<usize>,
+    /// Pre-specialized batch ladder.
+    pub warm_batches: Vec<usize>,
+    /// Fraction of training requests.
+    pub train_fraction: f64,
+    /// Executor backend/threads.
+    pub executor: ExecutorConfig,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for ServingBenchConfig {
+    fn default() -> Self {
+        ServingBenchConfig {
+            requests: 256,
+            batch_sizes: vec![1, 2, 4, 8],
+            warm_batches: vec![4, 8],
+            train_fraction: 0.5,
+            executor: ExecutorConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Measured outcome of one serving-bench run.
+#[derive(Debug, Clone)]
+pub struct ServingBenchResult {
+    /// Requests served.
+    pub requests: u64,
+    /// Training steps executed.
+    pub train_steps: u64,
+    /// Evaluation micro-batches executed after coalescing.
+    pub eval_batches: u64,
+    /// Real rows processed.
+    pub rows: u64,
+    /// Padding rows added by the pad-to-nearest policy.
+    pub padded_rows: u64,
+    /// Specialization-cache hits (including steady-state serving).
+    pub cache_hits: u64,
+    /// Specialization-cache misses (including ladder warmup).
+    pub cache_misses: u64,
+    /// Distinct batch sizes specialized.
+    pub specializations: usize,
+    /// Wall-clock serving time (excludes warmup/compilation).
+    pub elapsed_secs: f64,
+    /// Requests per second.
+    pub requests_per_sec: f64,
+    /// Real rows per second.
+    pub rows_per_sec: f64,
+    /// Executor backend name.
+    pub backend: &'static str,
+    /// Executor worker threads.
+    pub threads: usize,
+}
+
+/// The bench model: a small MLP classifier family (feature dim 32).
+fn mlp_factory(batch: usize) -> BuiltModel {
+    let mut rng = Rng::seed_from_u64(7);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", [batch, 32]);
+    let labels = b.input("labels", [batch]);
+    let w1 = b.weight("fc1.weight", [64, 32], &mut rng);
+    let b1 = b.bias("fc1.bias", 64);
+    let h = b.linear(x, w1, Some(b1));
+    let h = b.relu(h);
+    let w2 = b.weight("fc2.weight", [8, 64], &mut rng);
+    let b2 = b.bias("fc2.bias", 8);
+    let logits = b.linear(h, w2, Some(b2));
+    let loss = b.cross_entropy(logits, labels);
+    let graph = b.finish(vec![loss, logits]);
+    BuiltModel {
+        graph,
+        loss,
+        logits,
+        feature_input: "x".to_string(),
+        label_input: "labels".to_string(),
+        num_blocks: 2,
+        name: "serving-mlp".to_string(),
+    }
+}
+
+/// Runs the serving benchmark: compile the generic program, warm the ladder,
+/// then time the engine over a mixed request stream.
+pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchResult {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let stream = generate_request_stream(
+        &RequestStreamConfig {
+            num_requests: cfg.requests,
+            batch_sizes: cfg.batch_sizes.clone(),
+            train_fraction: cfg.train_fraction,
+            num_classes: 8,
+            feature_dim: 32,
+            ..RequestStreamConfig::default()
+        },
+        &mut rng,
+    );
+
+    let program = Compiler::new(CompileOptions {
+        optimizer: Optimizer::sgd(0.05),
+        executor: cfg.executor,
+        ..CompileOptions::default()
+    })
+    .compile(mlp_factory);
+    let mut engine = Engine::new(
+        program,
+        EngineConfig {
+            executor: cfg.executor,
+            warm_batches: cfg.warm_batches.clone(),
+            max_coalesced_rows: None,
+        },
+    );
+
+    let start = Instant::now();
+    let responses = engine.serve(&stream).expect("stream must be well-formed");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(responses.len(), stream.len());
+
+    let m = engine.metrics();
+    let stats = engine.cache_stats();
+    ServingBenchResult {
+        requests: m.requests,
+        train_steps: m.train_steps,
+        eval_batches: m.eval_batches,
+        rows: m.rows,
+        padded_rows: m.padded_rows,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        specializations: engine.program().cached_batches().len(),
+        elapsed_secs: elapsed,
+        requests_per_sec: m.requests as f64 / elapsed.max(1e-9),
+        rows_per_sec: m.rows as f64 / elapsed.max(1e-9),
+        backend: cfg.executor.backend.name(),
+        threads: cfg.executor.threads,
+    }
+}
+
+impl ServingBenchResult {
+    /// The JSON representation written to `BENCH_engine_serving.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str("engine_serving".into())),
+            ("backend", Json::Str(self.backend.into())),
+            ("threads", Json::Int(self.threads as u64)),
+            ("requests", Json::Int(self.requests)),
+            ("train_steps", Json::Int(self.train_steps)),
+            ("eval_batches", Json::Int(self.eval_batches)),
+            ("rows", Json::Int(self.rows)),
+            ("padded_rows", Json::Int(self.padded_rows)),
+            ("cache_hits", Json::Int(self.cache_hits)),
+            ("cache_misses", Json::Int(self.cache_misses)),
+            ("specializations", Json::Int(self.specializations as u64)),
+            ("elapsed_secs", Json::Num(self.elapsed_secs)),
+            ("requests_per_sec", Json::Num(self.requests_per_sec)),
+            ("rows_per_sec", Json::Num(self.rows_per_sec)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_bench_runs_and_hits_the_cache() {
+        let result = run_serving_bench(&ServingBenchConfig {
+            requests: 24,
+            executor: ExecutorConfig::arena(1),
+            ..ServingBenchConfig::default()
+        });
+        assert_eq!(result.requests, 24);
+        assert!(result.train_steps > 0, "stream should contain train steps");
+        assert!(result.cache_hits > 0, "steady state must hit the cache");
+        assert!(result.requests_per_sec > 0.0);
+        let json = result.to_json().render();
+        assert!(json.contains("\"requests_per_sec\""));
+        assert!(json.contains("\"cache_hits\""));
+    }
+}

@@ -96,6 +96,7 @@ pub fn analyze_model(
             optimizer,
             optimize: OptimizeOptions::default(),
             schedule: ScheduleStrategy::Reordered,
+            ..CompileOptions::default()
         },
     )
 }
@@ -367,6 +368,7 @@ pub fn graph_optimization_ablation() -> Vec<AblationRow> {
                     optimizer: Optimizer::sgd(0.01),
                     optimize: opts,
                     schedule: sched,
+                    ..CompileOptions::default()
                 },
             );
             let lat = estimate_step_latency(

@@ -1,0 +1,189 @@
+//! Machine-readable training-step benchmark (the JSON companion to the
+//! Criterion `training_step` bench).
+//!
+//! Run via the `bench_training_step` binary, which writes
+//! `BENCH_training_step.json`:
+//!
+//! ```text
+//! cargo run --release -p pe_bench --bin bench_training_step
+//! ```
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use pockengine::pe_data::{generate_vision_task, VisionTaskConfig};
+use pockengine::pe_models::{build_mobilenet, MobileNetV2Config};
+use pockengine::pe_runtime::{EagerEngine, ExecutorConfig, Optimizer};
+use pockengine::pe_sparse::{apply_rule, UpdateRule};
+use pockengine::pe_tensor::{Rng, Tensor};
+use pockengine::{compile, CompileOptions};
+
+use crate::report::Json;
+
+/// One measured executor variant.
+#[derive(Debug, Clone)]
+pub struct StepVariant {
+    /// Variant label (`"arena_2threads"`, `"eager"`, ...).
+    pub name: String,
+    /// Mean wall-clock per training step, microseconds.
+    pub micros_per_step: f64,
+    /// Heap allocations per step over the measured window, if the caller
+    /// provided an allocation counter (the binary installs one; library
+    /// tests do not).
+    pub allocs_per_step: Option<f64>,
+}
+
+/// Result of [`measure_training_steps`].
+#[derive(Debug, Clone)]
+pub struct TrainingStepBenchResult {
+    /// Steps measured per variant (after warmup).
+    pub steps: usize,
+    /// Measured variants.
+    pub variants: Vec<StepVariant>,
+}
+
+fn inputs() -> HashMap<String, Tensor> {
+    let mut rng = Rng::seed_from_u64(1);
+    let task = generate_vision_task(
+        "bench",
+        VisionTaskConfig {
+            num_classes: 3,
+            resolution: 16,
+            batch: 4,
+            train_batches: 1,
+            test_batches: 1,
+            noise: 0.5,
+            signal: 1.0,
+        },
+        &mut rng,
+    );
+    let (x, y) = &task.train[0];
+    HashMap::from([
+        ("x".to_string(), x.clone()),
+        ("labels".to_string(), y.clone()),
+    ])
+}
+
+/// Measures the per-step latency (and optionally allocations) of the
+/// compiled executor backends, the bias-only sparse variant, and the eager
+/// runtime-autodiff baseline on a tiny MobileNetV2 workload.
+///
+/// `alloc_count` samples the process-wide allocation counter; pass a
+/// constant closure when no counting allocator is installed.
+pub fn measure_training_steps(
+    steps: usize,
+    count_allocs: bool,
+    alloc_count: &dyn Fn() -> u64,
+) -> TrainingStepBenchResult {
+    let mut rng = Rng::seed_from_u64(0);
+    let model = build_mobilenet(&MobileNetV2Config::tiny(4, 3), &mut rng);
+    let data = inputs();
+    let options = |rule: UpdateRule, exec: ExecutorConfig| CompileOptions {
+        update_rule: rule,
+        optimizer: Optimizer::sgd(0.01),
+        executor: exec,
+        ..CompileOptions::default()
+    };
+
+    let mut variants = Vec::new();
+    let mut measure = |name: &str, f: &mut dyn FnMut()| {
+        for _ in 0..3 {
+            f(); // warmup
+        }
+        let allocs_before = alloc_count();
+        let start = Instant::now();
+        for _ in 0..steps {
+            f();
+        }
+        let micros = start.elapsed().as_secs_f64() * 1e6 / steps as f64;
+        let allocs = (alloc_count() - allocs_before) as f64 / steps as f64;
+        variants.push(StepVariant {
+            name: name.to_string(),
+            micros_per_step: micros,
+            allocs_per_step: count_allocs.then_some(allocs),
+        });
+    };
+
+    let backends = [
+        ("boxed", ExecutorConfig::boxed()),
+        ("arena_1thread", ExecutorConfig::arena(1)),
+        ("arena_2threads", ExecutorConfig::arena(2)),
+        ("arena_4threads", ExecutorConfig::arena(4)),
+    ];
+    for (name, exec) in backends {
+        let mut e = compile(&model, &options(UpdateRule::Full, exec)).executor;
+        measure(&format!("step_{name}"), &mut || {
+            std::hint::black_box(e.train_step(&data).unwrap());
+        });
+    }
+
+    let mut bias = compile(
+        &model,
+        &options(UpdateRule::BiasOnly, ExecutorConfig::arena(1)),
+    )
+    .executor;
+    measure("step_bias_only", &mut || {
+        std::hint::black_box(bias.train_step(&data).unwrap());
+    });
+
+    let spec = apply_rule(&model, &UpdateRule::Full);
+    let mut eager = EagerEngine::with_config(
+        model.graph.clone(),
+        model.loss,
+        spec,
+        Optimizer::sgd(0.01),
+        ExecutorConfig::arena(1),
+    );
+    measure("step_eager_runtime_autodiff", &mut || {
+        std::hint::black_box(eager.run_step(&data).unwrap());
+    });
+
+    TrainingStepBenchResult { steps, variants }
+}
+
+impl TrainingStepBenchResult {
+    /// The JSON representation written to `BENCH_training_step.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str("training_step".into())),
+            ("steps", Json::Int(self.steps as u64)),
+            (
+                "variants",
+                Json::Arr(
+                    self.variants
+                        .iter()
+                        .map(|v| {
+                            let mut fields = vec![
+                                ("name", Json::Str(v.name.clone())),
+                                ("micros_per_step", Json::Num(v.micros_per_step)),
+                            ];
+                            if let Some(a) = v.allocs_per_step {
+                                fields.push(("allocs_per_step", Json::Num(a)));
+                            }
+                            Json::obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_all_variants() {
+        let result = measure_training_steps(2, false, &|| 0);
+        let names: Vec<&str> = result.variants.iter().map(|v| v.name.as_str()).collect();
+        assert!(names.contains(&"step_boxed"));
+        assert!(names.contains(&"step_arena_1thread"));
+        assert!(names.contains(&"step_eager_runtime_autodiff"));
+        assert!(result
+            .variants
+            .iter()
+            .all(|v| v.micros_per_step > 0.0 && v.allocs_per_step.is_none()));
+        assert!(result.to_json().render().contains("micros_per_step"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The serving facade: one [`Program`] (and therefore one shared
+//! `ParamStore`), many batch-size specializations, mixed train/eval traffic.
+//!
+//! An [`Engine`] accepts requests whose row counts vary freely and maps them
+//! onto the program's specialization cache:
+//!
+//! * **Evaluation** requests are micro-batched: consecutive eval requests
+//!   coalesce (up to the largest warm batch size) and the packed batch is
+//!   padded up to the *nearest cached* batch size — the pad-to-nearest
+//!   policy trades a few wasted rows for never recompiling. Only if no
+//!   cached size fits is a new specialization compiled. Per-request losses
+//!   are computed on the real (unpadded) rows, so padding never leaks into
+//!   reported numbers.
+//! * **Training** requests always run at their *exact* row count
+//!   (specializing on first sight): padding a training batch would change
+//!   the loss normalisation and therefore the gradients, silently training
+//!   on fabricated rows. Exactness is what makes the engine bit-identical
+//!   to a dedicated single executor fed the same batches.
+//!
+//! Because every specialization borrows the program's canonical parameter
+//! store, a training request immediately improves subsequent evaluation
+//! requests — at any batch size — without any parameter copying.
+
+use std::collections::HashMap;
+
+use pe_data::serving::{ServingKind, ServingRequest};
+use pe_runtime::{ExecError, ExecutorConfig};
+use pe_tensor::kernels::{layout, norm};
+use pe_tensor::Tensor;
+
+use crate::program::{CacheStats, Program};
+
+/// Engine policy knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Executor backend/threads used for every specialization the engine
+    /// compiles.
+    pub executor: ExecutorConfig,
+    /// Batch sizes pre-specialized at engine construction; also the pad
+    /// ladder for evaluation requests. Sorted internally.
+    pub warm_batches: Vec<usize>,
+    /// Upper bound on rows packed into one evaluation micro-batch. Defaults
+    /// to the largest warm batch.
+    pub max_coalesced_rows: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            executor: ExecutorConfig::default(),
+            warm_batches: vec![1, 4, 8],
+            max_coalesced_rows: None,
+        }
+    }
+}
+
+/// Result of serving one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Index of the request in the submitted stream.
+    pub id: usize,
+    /// Whether the request trained or evaluated.
+    pub kind: ServingKind,
+    /// Rows the request actually carried.
+    pub rows: usize,
+    /// Batch size of the specialization that served it (≥ `rows` for padded
+    /// evaluation; == `rows` for training).
+    pub batch: usize,
+    /// Loss over the request's real rows (training: the step loss;
+    /// evaluation: cross-entropy of the sliced logits), when the program
+    /// exposes classification-shaped logits.
+    pub loss: Option<f32>,
+    /// Logits restricted to the request's rows, when available.
+    pub logits: Option<Tensor>,
+}
+
+/// Serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Requests served.
+    pub requests: u64,
+    /// Training steps executed.
+    pub train_steps: u64,
+    /// Evaluation micro-batches executed (after coalescing).
+    pub eval_batches: u64,
+    /// Real rows processed (excludes padding).
+    pub rows: u64,
+    /// Zero rows added by the pad-to-nearest-cached policy.
+    pub padded_rows: u64,
+}
+
+/// Serves mixed-size training and inference traffic over one compiled
+/// [`Program`] — see the module docs for the batching policy.
+#[derive(Debug)]
+pub struct Engine {
+    program: Program,
+    config: EngineConfig,
+    metrics: EngineMetrics,
+}
+
+impl Engine {
+    /// Wraps a program, pre-specializing every warm batch size.
+    pub fn new(mut program: Program, mut config: EngineConfig) -> Self {
+        config.warm_batches.sort_unstable();
+        config.warm_batches.dedup();
+        for &batch in &config.warm_batches {
+            program.specialize_with(batch, config.executor);
+        }
+        Engine {
+            program,
+            config,
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    /// The wrapped program (parameter store, specialization cache).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Mutable access to the wrapped program.
+    pub fn program_mut(&mut self) -> &mut Program {
+        &mut self.program
+    }
+
+    /// Serving counters so far.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// Specialization-cache accounting (including warmup misses).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.program.cache_stats()
+    }
+
+    /// Serves a stream of requests in order, coalescing consecutive
+    /// evaluation requests into padded micro-batches and running training
+    /// requests individually at their exact size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first executor input error encountered (malformed
+    /// features/labels for the program's graph).
+    pub fn serve(&mut self, requests: &[ServingRequest]) -> Result<Vec<Response>, ExecError> {
+        let mut responses = Vec::with_capacity(requests.len());
+        let limit = self.max_coalesced_rows();
+        let mut i = 0;
+        while i < requests.len() {
+            match requests[i].kind {
+                ServingKind::Train => {
+                    responses.push(self.train_one(i, &requests[i])?);
+                    i += 1;
+                }
+                ServingKind::Eval => {
+                    // Greedily coalesce the run of eval requests while the
+                    // packed row count stays within the micro-batch limit.
+                    let mut j = i + 1;
+                    let mut rows = requests[i].rows();
+                    while j < requests.len()
+                        && requests[j].kind == ServingKind::Eval
+                        && rows + requests[j].rows() <= limit
+                    {
+                        rows += requests[j].rows();
+                        j += 1;
+                    }
+                    self.eval_group(i, &requests[i..j], rows, &mut responses)?;
+                    i = j;
+                }
+            }
+        }
+        Ok(responses)
+    }
+
+    /// Serves a single request (no coalescing across calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns executor input errors (malformed features/labels).
+    pub fn submit(&mut self, request: &ServingRequest) -> Result<Response, ExecError> {
+        let id = self.metrics.requests as usize;
+        match request.kind {
+            ServingKind::Train => self.train_one(id, request),
+            ServingKind::Eval => {
+                let mut out = Vec::with_capacity(1);
+                self.eval_group(id, std::slice::from_ref(request), request.rows(), &mut out)?;
+                Ok(out.pop().expect("one response per request"))
+            }
+        }
+    }
+
+    fn max_coalesced_rows(&self) -> usize {
+        self.config
+            .max_coalesced_rows
+            .unwrap_or_else(|| self.config.warm_batches.last().copied().unwrap_or(1))
+            .max(1)
+    }
+
+    /// Smallest cached batch ≥ `rows` under the engine's executor config.
+    /// (Specializations compiled for other backends/thread counts do not
+    /// count: padding up to them would still pay a compile.)
+    fn nearest_cached(&self, rows: usize) -> Option<usize> {
+        self.program
+            .cached_batches_for(self.config.executor)
+            .into_iter()
+            .find(|&b| b >= rows)
+    }
+
+    fn train_one(&mut self, id: usize, request: &ServingRequest) -> Result<Response, ExecError> {
+        let rows = request.rows();
+        let feature_input = self.program.feature_input().to_string();
+        let label_input = self.program.label_input().to_string();
+        let logits_name = self.program.logits_name().to_string();
+        let exec_cfg = self.config.executor;
+        let spec = self.program.specialize_with(rows, exec_cfg);
+        let inputs = HashMap::from([
+            (feature_input, request.features.clone()),
+            (label_input, request.labels.clone()),
+        ]);
+        let result = spec.executor.run_step(&inputs)?;
+        self.metrics.requests += 1;
+        self.metrics.train_steps += 1;
+        self.metrics.rows += rows as u64;
+        Ok(Response {
+            id,
+            kind: ServingKind::Train,
+            rows,
+            batch: rows,
+            loss: result.loss,
+            logits: result.outputs.get(&logits_name).cloned(),
+        })
+    }
+
+    fn eval_group(
+        &mut self,
+        first_id: usize,
+        group: &[ServingRequest],
+        rows: usize,
+        responses: &mut Vec<Response>,
+    ) -> Result<(), ExecError> {
+        // Pad to the nearest cached size; compile an exact specialization
+        // only when the ladder has no rung big enough.
+        let batch = self.nearest_cached(rows).unwrap_or(rows);
+        let feature_input = self.program.feature_input().to_string();
+        let label_input = self.program.label_input().to_string();
+        let logits_name = self.program.logits_name().to_string();
+        let exec_cfg = self.config.executor;
+
+        let features = pack_rows(group.iter().map(|r| &r.features), rows, batch);
+        let labels = pack_rows(group.iter().map(|r| &r.labels), rows, batch);
+        let inputs = HashMap::from([(feature_input, features), (label_input, labels)]);
+
+        let spec = self.program.specialize_with(batch, exec_cfg);
+        let result = spec.executor.run_eval(&inputs)?;
+        let logits = result.outputs.get(&logits_name);
+
+        self.metrics.eval_batches += 1;
+        self.metrics.padded_rows += (batch - rows) as u64;
+        let mut offset = 0usize;
+        for (k, request) in group.iter().enumerate() {
+            let n = request.rows();
+            let sliced = logits.and_then(|l| slice_rows(l, offset, n));
+            let loss = sliced
+                .as_ref()
+                .filter(|l| l.dims().len() == 2 && request.labels.dims().len() == 1)
+                .map(|l| norm::cross_entropy_loss(l, &request.labels).data()[0]);
+            responses.push(Response {
+                id: first_id + k,
+                kind: ServingKind::Eval,
+                rows: n,
+                batch,
+                loss,
+                logits: sliced,
+            });
+            self.metrics.requests += 1;
+            self.metrics.rows += n as u64;
+            offset += n;
+        }
+        Ok(())
+    }
+}
+
+/// Concatenates tensors along axis 0 (via the shared `concat` kernel) and
+/// zero-pads to `batch` rows.
+///
+/// # Panics
+///
+/// Panics if the tensors disagree on trailing dimensions.
+fn pack_rows<'a>(parts: impl Iterator<Item = &'a Tensor>, rows: usize, batch: usize) -> Tensor {
+    let mut parts: Vec<&Tensor> = parts.collect();
+    let mut pad_dims = parts.first().expect("at least one request").dims().to_vec();
+    pad_dims[0] = batch - rows;
+    let pad = (batch > rows).then(|| Tensor::zeros(pad_dims));
+    if let Some(p) = &pad {
+        parts.push(p);
+    }
+    layout::concat(&parts, 0)
+}
+
+/// Rows `[offset, offset + n)` of a tensor whose axis 0 is the batch (the
+/// shared `slice_axis` kernel behind a bounds check).
+fn slice_rows(t: &Tensor, offset: usize, n: usize) -> Option<Tensor> {
+    let dims = t.dims();
+    if dims.is_empty() || dims[0] < offset + n {
+        return None;
+    }
+    Some(layout::slice_axis(t, 0, offset, n))
+}

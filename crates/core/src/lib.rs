@@ -36,6 +36,9 @@
 
 #![deny(missing_docs)]
 
+pub mod engine;
+pub mod program;
+
 pub use pe_backends;
 pub use pe_data;
 pub use pe_graph;
@@ -50,8 +53,12 @@ use pe_graph::{build_training_graph, TrainingGraph};
 use pe_memplan::{memory_report, MemoryReport};
 use pe_models::BuiltModel;
 use pe_passes::{optimize, OptimizeOptions, OptimizeStats, Schedule, ScheduleStrategy};
-use pe_runtime::{Executor, Optimizer, Trainer};
+use pe_runtime::{Executor, ExecutorConfig, Optimizer, Trainer};
 use pe_sparse::{apply_rule, trainable_elements, UpdateRule};
+
+pub use engine::{Engine, EngineConfig, EngineMetrics, Response};
+pub use pe_data::serving::{ServingKind, ServingRequest};
+pub use program::{CacheStats, Compiler, ModelFactory, Program, Specialization};
 
 /// Everything most users need, in one import.
 ///
@@ -100,19 +107,25 @@ use pe_sparse::{apply_rule, trainable_elements, UpdateRule};
 /// assert!(last < first, "loss should decrease: {first} -> {last}");
 /// ```
 pub mod prelude {
-    pub use crate::{analyze, compile, CompileOptions, CompiledProgram, ProgramAnalysis};
+    pub use crate::{
+        analyze, compile, CacheStats, CompileOptions, CompiledProgram, Compiler, Engine,
+        EngineConfig, EngineMetrics, Program, ProgramAnalysis, Response, Specialization,
+    };
     pub use pe_backends::{DeviceProfile, FrameworkProfile};
     pub use pe_data::{
-        generate_instruct_dataset, generate_nlp_task, generate_vision_task, InstructConfig,
-        NlpTaskConfig, VisionTaskConfig,
+        generate_instruct_dataset, generate_nlp_task, generate_request_stream,
+        generate_vision_task, InstructConfig, NlpTaskConfig, RequestStreamConfig, ServingKind,
+        ServingRequest, VisionTaskConfig,
     };
-    pub use pe_graph::{GraphBuilder, TrainKind, TrainSpec};
+    pub use pe_graph::{GraphBuilder, ParamKey, TrainKind, TrainSpec};
     pub use pe_models::{
         build_bert, build_llama, build_mobilenet, build_resnet, mcunet_5fps_config,
         mcunet_tiny_config, BertConfig, BuiltModel, LlamaConfig, MobileNetV2Config, ResNetConfig,
     };
     pub use pe_passes::{OptimizeOptions, ScheduleStrategy};
-    pub use pe_runtime::{Batch, Executor, Optimizer, Trainer};
+    pub use pe_runtime::{
+        Backend, Batch, Executor, ExecutorConfig, Optimizer, ParamStore, Trainer,
+    };
     pub use pe_sparse::{
         apply_rule, paper_scheme_bert, paper_scheme_distilbert, paper_scheme_llama,
         paper_scheme_mcunet, paper_scheme_mobilenetv2, paper_scheme_resnet50, SparseScheme,
@@ -132,6 +145,9 @@ pub struct CompileOptions {
     pub optimize: OptimizeOptions,
     /// Execution order policy (reordered updates vs conventional).
     pub schedule: ScheduleStrategy,
+    /// Executor backend and thread count. Defaults to the `PE_EXECUTOR` /
+    /// `PE_EXECUTOR_THREADS` environment fallback.
+    pub executor: ExecutorConfig,
 }
 
 impl Default for CompileOptions {
@@ -141,6 +157,7 @@ impl Default for CompileOptions {
             optimizer: Optimizer::sgd(0.01),
             optimize: OptimizeOptions::default(),
             schedule: ScheduleStrategy::Reordered,
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -221,10 +238,11 @@ pub fn analyze(model: &BuiltModel, options: &CompileOptions) -> ProgramAnalysis 
 /// returned program's executor performs no graph work at runtime.
 pub fn compile(model: &BuiltModel, options: &CompileOptions) -> CompiledProgram {
     let analysis = analyze(model, options);
-    let executor = Executor::new(
+    let executor = Executor::with_config(
         analysis.training_graph.clone(),
         analysis.schedule.clone(),
         options.optimizer,
+        options.executor,
     );
     CompiledProgram {
         analysis,

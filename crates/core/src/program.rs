@@ -1,0 +1,322 @@
+//! The staged compilation pipeline: a batch-size–generic [`Program`] with a
+//! lazily filled, content-keyed specialization cache.
+//!
+//! PockEngine pays its graph work at compile time — but the seed compiler
+//! welded that payment to a single batch size: `compile(&model, ..)`
+//! produced one executor owning one private copy of every parameter.
+//! Serving mixed request shapes (or running train and eval concurrently)
+//! meant duplicating all weights and optimizer state per shape.
+//!
+//! The staged pipeline splits compilation in two:
+//!
+//! 1. **Generic stage** ([`Compiler::compile`]): bind a *model factory*
+//!    (batch size → forward graph) and materialise the canonical
+//!    [`ParamStore`] once. Parameter identity uses `pe_graph::ParamKey`
+//!    (canonical names), which is batch-independent, so every later
+//!    specialization resolves the same store slots.
+//! 2. **Specialization stage** ([`Program::specialize`]): per requested
+//!    batch size, run the batch-*dependent* tail of the pipeline — autodiff
+//!    → optimisation passes → scheduling → memory planning → executor —
+//!    and cache the result under a key derived from the request content
+//!    (batch size + executor backend + thread count). Cache hits return the
+//!    pooled executor; every specialization borrows the one store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pe_models::BuiltModel;
+use pe_runtime::{Backend, Executor, ExecutorConfig, ParamStore};
+
+use crate::{analyze, CompileOptions, ProgramAnalysis};
+
+/// Builds the forward graph of one model family at a requested batch size.
+///
+/// Implementations must be deterministic and batch-consistent: the same
+/// batch always yields the same graph, and graphs built at different batch
+/// sizes carry identical parameter names, shapes and initial values (the
+/// model zoo's builders satisfy this — parameter initialisation never
+/// depends on the batch dimension).
+pub trait ModelFactory: Send {
+    /// Builds the model with `batch` baked into its input shapes.
+    fn build(&self, batch: usize) -> BuiltModel;
+}
+
+impl<F> ModelFactory for F
+where
+    F: Fn(usize) -> BuiltModel + Send,
+{
+    fn build(&self, batch: usize) -> BuiltModel {
+        self(batch)
+    }
+}
+
+/// Content key of one specialization request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SpecKey {
+    batch: usize,
+    backend: Backend,
+    threads: usize,
+}
+
+impl SpecKey {
+    fn new(batch: usize, exec: ExecutorConfig) -> Self {
+        SpecKey {
+            batch,
+            backend: exec.backend,
+            threads: exec.threads.max(1),
+        }
+    }
+}
+
+/// Specialization-cache hit/miss accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered by an already-compiled specialization.
+    pub hits: u64,
+    /// Requests that ran the specialization pipeline.
+    pub misses: u64,
+}
+
+/// One batch-size specialization: the compiled analysis plus the pooled
+/// executor borrowing the program's shared parameter store.
+#[derive(Debug)]
+pub struct Specialization {
+    /// The batch size baked into this specialization's graph.
+    pub batch: usize,
+    /// Compile-time analysis (graph, schedule, memory breakdown).
+    pub analysis: ProgramAnalysis,
+    /// The executor; borrows the program's [`ParamStore`].
+    pub executor: Executor,
+}
+
+/// The staged compiler: fixes the compilation options, then binds a model
+/// factory to produce a batch-size–generic [`Program`].
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    options: CompileOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler with the given options.
+    pub fn new(options: CompileOptions) -> Self {
+        Compiler { options }
+    }
+
+    /// Runs the generic stage: builds the model once (at batch size 1) to
+    /// materialise the canonical parameter store and capture the family's
+    /// input/output names, and returns a [`Program`] whose batch-dependent
+    /// pipeline runs lazily per specialization.
+    pub fn compile<F: ModelFactory + 'static>(self, factory: F) -> Program {
+        let base = factory.build(1);
+        let store = Arc::new(ParamStore::from_graph(&base.graph, self.options.optimizer));
+        Program {
+            factory: Box::new(factory),
+            options: self.options,
+            store,
+            feature_input: base.feature_input.clone(),
+            label_input: base.label_input.clone(),
+            logits_name: base.logits_name(),
+            model_name: base.name,
+            cache: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+/// A batch-size–generic compiled program: one canonical [`ParamStore`] plus
+/// a cache of batch-size specializations that all borrow it.
+///
+/// See the module docs for the staging model. Obtain one via
+/// [`Compiler::compile`].
+pub struct Program {
+    factory: Box<dyn ModelFactory>,
+    options: CompileOptions,
+    store: Arc<ParamStore>,
+    feature_input: String,
+    label_input: String,
+    logits_name: String,
+    model_name: String,
+    cache: HashMap<SpecKey, Specialization>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("model", &self.model_name)
+            .field("params", &self.store.len())
+            .field("specializations", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Program {
+    /// The shared canonical parameter store.
+    pub fn store(&self) -> &Arc<ParamStore> {
+        &self.store
+    }
+
+    /// The compilation options the program was created with.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Name of the model family's feature input node.
+    pub fn feature_input(&self) -> &str {
+        &self.feature_input
+    }
+
+    /// Name of the model family's label input node.
+    pub fn label_input(&self) -> &str {
+        &self.label_input
+    }
+
+    /// Name of the logits output node.
+    pub fn logits_name(&self) -> &str {
+        &self.logits_name
+    }
+
+    /// Human-readable model family name.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Cache hit/miss counts so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Batch sizes with at least one cached specialization (under any
+    /// executor configuration), sorted.
+    pub fn cached_batches(&self) -> Vec<usize> {
+        let mut batches: Vec<usize> = self.cache.keys().map(|k| k.batch).collect();
+        batches.sort_unstable();
+        batches.dedup();
+        batches
+    }
+
+    /// Batch sizes cached under a *specific* executor configuration, sorted.
+    /// This is the set a caller can actually reuse without compiling — a
+    /// batch specialized for a different backend/thread count would still be
+    /// a cache miss.
+    pub fn cached_batches_for(&self, exec: ExecutorConfig) -> Vec<usize> {
+        let probe = SpecKey::new(0, exec);
+        let mut batches: Vec<usize> = self
+            .cache
+            .keys()
+            .filter(|k| k.backend == probe.backend && k.threads == probe.threads)
+            .map(|k| k.batch)
+            .collect();
+        batches.sort_unstable();
+        batches
+    }
+
+    /// Whether a specialization for `batch` under the program's default
+    /// executor configuration is already compiled.
+    pub fn is_cached(&self, batch: usize) -> bool {
+        self.cache
+            .contains_key(&SpecKey::new(batch, self.options.executor))
+    }
+
+    /// Returns the specialization for `batch` under the program's default
+    /// executor configuration, compiling it on a cache miss.
+    pub fn specialize(&mut self, batch: usize) -> &mut Specialization {
+        self.specialize_with(batch, self.options.executor)
+    }
+
+    /// Returns the specialization for `batch` under an explicit executor
+    /// configuration, running the batch-dependent pipeline (autodiff →
+    /// passes → scheduling → memory planning → executor) on a cache miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory produces a model whose parameters disagree
+    /// with the canonical store (a non-conforming [`ModelFactory`]).
+    pub fn specialize_with(&mut self, batch: usize, exec: ExecutorConfig) -> &mut Specialization {
+        let key = SpecKey::new(batch, exec);
+        if self.cache.contains_key(&key) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            let model = self.factory.build(batch);
+            let analysis = analyze(&model, &self.options);
+            let executor = Executor::with_store(
+                analysis.training_graph.clone(),
+                analysis.schedule.clone(),
+                Arc::clone(&self.store),
+                exec,
+            );
+            self.cache.insert(
+                key,
+                Specialization {
+                    batch,
+                    analysis,
+                    executor,
+                },
+            );
+        }
+        self.cache.get_mut(&key).expect("just inserted or present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_models::{build_mobilenet, MobileNetV2Config};
+    use pe_runtime::Optimizer;
+    use pe_tensor::Rng;
+
+    fn program() -> Program {
+        Compiler::new(CompileOptions {
+            optimizer: Optimizer::sgd(0.05),
+            executor: ExecutorConfig::arena(1),
+            ..CompileOptions::default()
+        })
+        .compile(|batch: usize| {
+            let mut rng = Rng::seed_from_u64(0);
+            build_mobilenet(&MobileNetV2Config::tiny(batch, 3), &mut rng)
+        })
+    }
+
+    #[test]
+    fn specializations_share_one_store() {
+        let mut p = program();
+        let params = p.store().len();
+        assert!(params > 0);
+        let a = p.specialize(2).executor.param_store().clone();
+        let b = p.specialize(4).executor.param_store().clone();
+        assert!(Arc::ptr_eq(&a, &b), "specializations must share the store");
+        assert!(Arc::ptr_eq(&a, p.store()));
+        assert_eq!(p.cached_batches(), vec![2, 4]);
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let mut p = program();
+        assert_eq!(p.cache_stats(), CacheStats { hits: 0, misses: 0 });
+        p.specialize(2);
+        p.specialize(2);
+        p.specialize(4);
+        assert_eq!(p.cache_stats(), CacheStats { hits: 1, misses: 2 });
+        assert!(p.is_cached(2) && p.is_cached(4) && !p.is_cached(8));
+        // A different executor config is different content: separate entry.
+        p.specialize_with(2, ExecutorConfig::boxed());
+        assert_eq!(p.cache_stats(), CacheStats { hits: 1, misses: 3 });
+    }
+
+    #[test]
+    fn specialized_graphs_bake_the_batch() {
+        let mut p = program();
+        let spec = p.specialize(4);
+        assert_eq!(spec.batch, 4);
+        let graph = &spec.analysis.training_graph.graph;
+        let feature = graph
+            .inputs()
+            .iter()
+            .map(|&id| graph.node(id))
+            .find(|n| n.name == "x")
+            .expect("feature input");
+        assert_eq!(feature.shape.dims()[0], 4);
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! Synthetic workload generators standing in for the datasets used in the
 //! paper's evaluation: vision transfer-learning tasks (Table 2), GLUE-style
-//! sequence classification (Table 3, Figure 8), and an Alpaca-style
-//! instruction-tuning corpus (Table 5). See `DESIGN.md` for the substitution
+//! sequence classification (Table 3, Figure 8), an Alpaca-style
+//! instruction-tuning corpus (Table 5), and mixed-size serving request
+//! streams for the engine facade. See `DESIGN.md` for the substitution
 //! rationale: every generator preserves the *relative* comparison the paper
 //! makes (full vs bias-only vs sparse backpropagation) rather than absolute
 //! dataset-specific accuracy.
@@ -12,8 +13,10 @@
 
 pub mod instruct;
 pub mod nlp;
+pub mod serving;
 pub mod vision;
 
 pub use instruct::{generate_instruct_dataset, response_accuracy, InstructConfig, InstructDataset};
 pub use nlp::{generate_nlp_task, table3_nlp_tasks, NlpTask, NlpTaskConfig};
+pub use serving::{generate_request_stream, RequestStreamConfig, ServingKind, ServingRequest};
 pub use vision::{generate_vision_task, table2_vision_tasks, VisionTask, VisionTaskConfig};

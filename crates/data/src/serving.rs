@@ -1,0 +1,183 @@
+//! Synthetic serving workloads: mixed-size streams of training and
+//! evaluation requests.
+//!
+//! The engine facade in `pockengine` serves heterogeneous traffic — requests
+//! arrive with different batch sizes and mix on-device fine-tuning steps
+//! with inference. This generator stands in for that traffic: a reproducible
+//! stream of requests over one underlying classification task (shared class
+//! templates, so training requests actually improve later evaluation
+//! requests), with per-request row counts drawn from a configurable ladder.
+
+use pe_tensor::{Rng, Tensor};
+
+/// Whether a serving request asks for a training step or an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServingKind {
+    /// Run one optimisation step on the request's batch.
+    Train,
+    /// Run inference only.
+    Eval,
+}
+
+/// One request of a synthetic serving stream.
+#[derive(Debug, Clone)]
+pub struct ServingRequest {
+    /// Train or eval.
+    pub kind: ServingKind,
+    /// Feature tensor, `[rows, feature_dim]`.
+    pub features: Tensor,
+    /// Integer class labels stored as floats, `[rows]`.
+    pub labels: Tensor,
+}
+
+impl ServingRequest {
+    /// Number of examples in the request.
+    pub fn rows(&self) -> usize {
+        self.labels.numel()
+    }
+}
+
+/// Configuration for [`generate_request_stream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestStreamConfig {
+    /// Number of requests in the stream.
+    pub num_requests: usize,
+    /// Row counts drawn uniformly per request.
+    pub batch_sizes: Vec<usize>,
+    /// Fraction of requests that are training steps (0.0..=1.0).
+    pub train_fraction: f64,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Flat feature dimensionality.
+    pub feature_dim: usize,
+    /// Strength of the class signal.
+    pub signal: f32,
+    /// Noise standard deviation (higher = harder).
+    pub noise: f32,
+}
+
+impl Default for RequestStreamConfig {
+    fn default() -> Self {
+        RequestStreamConfig {
+            num_requests: 64,
+            batch_sizes: vec![2, 4, 8],
+            train_fraction: 0.5,
+            num_classes: 4,
+            feature_dim: 16,
+            signal: 1.5,
+            noise: 0.3,
+        }
+    }
+}
+
+/// Generates a reproducible mixed train/eval request stream.
+///
+/// All requests sample the same underlying task (per-class feature
+/// templates), so the stream is coherent: training requests move the model
+/// toward higher accuracy on subsequent evaluation requests.
+///
+/// # Panics
+///
+/// Panics if `batch_sizes` is empty or contains 0.
+pub fn generate_request_stream(cfg: &RequestStreamConfig, rng: &mut Rng) -> Vec<ServingRequest> {
+    assert!(
+        cfg.batch_sizes.iter().all(|&b| b > 0) && !cfg.batch_sizes.is_empty(),
+        "batch_sizes must be non-empty and positive"
+    );
+    let d = cfg.feature_dim;
+    let templates: Vec<Tensor> = (0..cfg.num_classes)
+        .map(|_| Tensor::randn([d], 1.0, rng))
+        .collect();
+
+    (0..cfg.num_requests)
+        .map(|_| {
+            let rows = cfg.batch_sizes[rng.next_usize(cfg.batch_sizes.len())];
+            let kind = if (rng.next_usize(1_000_000) as f64) < cfg.train_fraction * 1_000_000.0 {
+                ServingKind::Train
+            } else {
+                ServingKind::Eval
+            };
+            let mut features = Tensor::zeros([rows, d]);
+            let mut labels = Tensor::zeros([rows]);
+            for i in 0..rows {
+                let cls = rng.next_usize(cfg.num_classes);
+                labels.data_mut()[i] = cls as f32;
+                for j in 0..d {
+                    features.data_mut()[i * d + j] =
+                        cfg.signal * templates[cls].data()[j] + cfg.noise * rng.normal();
+                }
+            }
+            ServingRequest {
+                kind,
+                features,
+                labels,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_respects_config() {
+        let cfg = RequestStreamConfig {
+            num_requests: 40,
+            batch_sizes: vec![2, 8],
+            train_fraction: 0.5,
+            ..RequestStreamConfig::default()
+        };
+        let mut rng = Rng::seed_from_u64(0);
+        let stream = generate_request_stream(&cfg, &mut rng);
+        assert_eq!(stream.len(), 40);
+        for req in &stream {
+            let rows = req.rows();
+            assert!(rows == 2 || rows == 8);
+            assert_eq!(req.features.dims(), &[rows, cfg.feature_dim]);
+            assert!(req
+                .labels
+                .data()
+                .iter()
+                .all(|&l| (l as usize) < cfg.num_classes));
+        }
+        let trains = stream
+            .iter()
+            .filter(|r| r.kind == ServingKind::Train)
+            .count();
+        assert!(trains > 5 && trains < 35, "train mix should be near half");
+    }
+
+    #[test]
+    fn all_train_and_all_eval_extremes() {
+        let mut rng = Rng::seed_from_u64(1);
+        let all_train = generate_request_stream(
+            &RequestStreamConfig {
+                num_requests: 10,
+                train_fraction: 1.0,
+                ..RequestStreamConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(all_train.iter().all(|r| r.kind == ServingKind::Train));
+        let all_eval = generate_request_stream(
+            &RequestStreamConfig {
+                num_requests: 10,
+                train_fraction: 0.0,
+                ..RequestStreamConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(all_eval.iter().all(|r| r.kind == ServingKind::Eval));
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let cfg = RequestStreamConfig::default();
+        let a = generate_request_stream(&cfg, &mut Rng::seed_from_u64(9));
+        let b = generate_request_stream(&cfg, &mut Rng::seed_from_u64(9));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].features.data(), b[0].features.data());
+        assert_eq!(a[0].kind, b[0].kind);
+    }
+}

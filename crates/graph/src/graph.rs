@@ -68,6 +68,41 @@ impl From<Tensor> for ParamInit {
     }
 }
 
+/// Stable identity of a parameter across graph rebuilds.
+///
+/// Node ids are positional and change whenever a model is rebuilt (for
+/// example at a different batch size) or re-optimized, but the canonical
+/// parameter *name* does not: the model builders derive it from the layer
+/// structure, which is batch-independent. A `ParamKey` wraps that name so a
+/// shared parameter store can resolve the same logical parameter from every
+/// specialization of a model family.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamKey(String);
+
+impl ParamKey {
+    /// Creates a key from a canonical parameter name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ParamKey(name.into())
+    }
+
+    /// The canonical parameter name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ParamKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ParamKey {
+    fn from(name: &str) -> Self {
+        ParamKey::new(name)
+    }
+}
+
 /// Metadata for a parameter node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParamInfo {
@@ -168,6 +203,23 @@ impl Graph {
         let mut ids: Vec<NodeId> = self.params.keys().copied().collect();
         ids.sort();
         ids
+    }
+
+    /// Stable identity key for a parameter node (its canonical name).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn param_key(&self, id: NodeId) -> ParamKey {
+        ParamKey::new(&self.node(id).name)
+    }
+
+    /// `(id, key)` pairs for every parameter, sorted by node id.
+    pub fn param_keys(&self) -> Vec<(NodeId, ParamKey)> {
+        self.param_ids()
+            .into_iter()
+            .map(|id| (id, self.param_key(id)))
+            .collect()
     }
 
     /// Looks up a parameter node by name.

@@ -44,7 +44,7 @@ pub mod op;
 pub use autodiff::{build_training_graph, TrainSpec, TrainingGraph};
 pub use builder::GraphBuilder;
 pub use cost::{graph_cost, node_cost, total_cost, NodeCost};
-pub use graph::{Graph, Node, ParamInfo, ParamInit};
+pub use graph::{Graph, Node, ParamInfo, ParamInit, ParamKey};
 pub use op::{NodeId, OpKind, ParamRole, TrainKind};
 
 #[cfg(test)]

@@ -122,6 +122,22 @@ impl MemoryReport {
     pub fn total_mib(&self) -> f64 {
         self.total_bytes() as f64 / (1024.0 * 1024.0)
     }
+
+    /// Total memory for `specializations` executors sharing one canonical
+    /// parameter store.
+    ///
+    /// Parameters and optimizer state are *not* part of a specialization's
+    /// transient arena — they live once in the shared `ParamStore` no matter
+    /// how many batch-size specializations borrow them — so only the step
+    /// inputs and the arena multiply. (This approximates every
+    /// specialization with this report's shapes; batch-dependent arenas of
+    /// different specializations differ in practice, but the params-shared
+    /// vs params-duplicated comparison is what matters.)
+    pub fn shared_store_total_bytes(&self, specializations: usize) -> usize {
+        self.params_bytes
+            + self.optimizer_bytes
+            + specializations * (self.input_bytes + self.arena_bytes)
+    }
 }
 
 fn is_persistent(graph: &Graph, id: NodeId) -> bool {
@@ -543,6 +559,20 @@ mod tests {
         );
         assert!(report.optimizer_bytes > 0);
         assert!(report.total_mib() > 0.0);
+    }
+
+    #[test]
+    fn shared_store_totals_pay_params_once() {
+        let tg = mlp(2, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let report = memory_report(&tg.graph, &schedule, tg.trainable_element_count(), 2);
+        assert_eq!(report.shared_store_total_bytes(1), report.total_bytes());
+        let three = report.shared_store_total_bytes(3);
+        // Sharing beats three private copies by exactly two params+opt sets.
+        assert_eq!(
+            3 * report.total_bytes() - three,
+            2 * (report.params_bytes + report.optimizer_bytes)
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! parameter updates ordered against every reader — parallel execution is
 //! bit-identical to the sequential walk.
 //!
+//! Parameters and optimizer state are **not** owned here: they live in a
+//! shared [`ParamStore`] that several specialized executors may borrow at
+//! once. A training step runs under the store's exclusive guard, an
+//! evaluation step under its shared guard, so cross-executor interleavings
+//! stay sound while this executor's intra-step worker accesses follow the
+//! wavefront invariant below.
+//!
 //! # Safety
 //!
 //! The arena is accessed through raw slices carved out of one `UnsafeCell`
@@ -29,7 +36,7 @@
 
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pe_graph::{NodeId, OpKind, TrainingGraph};
@@ -44,13 +51,14 @@ use pe_tensor::{Tensor, TensorView};
 use crate::executor::{check_input, ExecError, StepResult};
 use crate::optimizer::Optimizer;
 use crate::pool::Pool;
+use crate::store::{resolve_param_slots, ParamStore};
 
 /// Where a node's value lives at runtime.
 #[derive(Debug, Clone, Copy)]
 enum Loc {
     /// `(offset, len)` in `f32` elements inside the arena slab.
     Arena(usize, usize),
-    /// Index into the parameter store.
+    /// Slot index into the shared [`ParamStore`].
     Param(usize),
     /// Index into the constant store.
     Const(usize),
@@ -72,7 +80,7 @@ enum Task {
     Leaf,
     /// Ordinary kernel dispatch into the arena.
     Compute,
-    /// In-place parameter update.
+    /// In-place parameter update (`slot` indexes the shared store).
     Update { slot: usize, rows: Option<usize> },
 }
 
@@ -86,12 +94,6 @@ struct StepNode {
     /// Whether the output aliases `ins[0]`'s buffer (in-place execution).
     inplace: bool,
     task: Task,
-}
-
-/// Persistent parameter value plus its optimizer state rows.
-struct ParamCell {
-    value: Tensor,
-    state: Vec<Vec<f32>>,
 }
 
 /// The arena slab. Interior mutability with hand-checked disjointness (see
@@ -122,23 +124,24 @@ pub(crate) struct Shared {
     /// populated only in parallel mode.
     pub(crate) levels: Vec<Vec<u32>>,
     arena: ArenaBuf,
-    /// Per-parameter cells: each worker only ever forms a reference to the
-    /// single cell it touches, never to the containing `Vec`.
-    params: Vec<UnsafeCell<ParamCell>>,
+    /// The shared canonical parameters; workers only ever form a reference
+    /// to the single cell an update touches, never to the store's backing
+    /// vector.
+    store: Arc<ParamStore>,
     consts: Vec<Tensor>,
     /// Step-input staging, one cell per graph input.
     inputs: Vec<UnsafeCell<Tensor>>,
-    winograd: UnsafeCell<HashMap<NodeId, winograd::WinogradWeight>>,
-    optimizer: Optimizer,
-    /// 1-based step count for Adam bias correction, set before each step.
-    step: AtomicUsize,
+    /// Winograd-transformed weights tagged with the store-cell version they
+    /// were derived from.
+    winograd: UnsafeCell<HashMap<NodeId, (u64, winograd::WinogradWeight)>>,
     fallbacks: AtomicU64,
 }
 
 // SAFETY: concurrent access to the UnsafeCell state is confined to
 // `exec_position` under the plan/wavefront invariants described in the
-// module docs; everything else happens with `&mut ArenaExec` while the pool
-// is quiescent.
+// module docs (store cells additionally under the store's step guard held
+// by the owning executor); everything else happens with `&mut ArenaExec`
+// while the pool is quiescent.
 unsafe impl Sync for Shared {}
 unsafe impl Send for Shared {}
 
@@ -149,8 +152,13 @@ pub(crate) struct ArenaExec {
     shared: Arc<Shared>,
     pool: Option<Pool>,
     threads: usize,
+    /// Steps completed by this executor (the store counts globally).
     step: usize,
+    /// Store slot of each parameter node in this graph.
     param_slots: HashMap<NodeId, usize>,
+    /// Winograd weight nodes and their store slots (`None` = constant),
+    /// checked for staleness at the start of every step.
+    wino_weights: Vec<(NodeId, Option<usize>)>,
     /// Non-update graph outputs: `(name, value location)`.
     outputs: Vec<(String, Arg)>,
     loss_arg: Arg,
@@ -171,41 +179,22 @@ impl ArenaExec {
     pub fn new(
         tg: TrainingGraph,
         schedule: Schedule,
-        optimizer: Optimizer,
+        store: Arc<ParamStore>,
         threads: usize,
     ) -> Self {
         let threads = threads.max(1);
         let graph = &tg.graph;
         let n = graph.len();
 
-        // Parameter store (sorted ids for deterministic slots), with
-        // optimizer state preallocated for every updated parameter.
-        let param_ids = graph.param_ids();
-        let param_slots: HashMap<NodeId, usize> = param_ids
-            .iter()
-            .enumerate()
-            .map(|(i, id)| (*id, i))
-            .collect();
-        let mut updated: Vec<bool> = vec![false; n];
+        // Resolve every graph parameter to its slot in the shared store and
+        // register optimizer state for the updated ones (allocated exactly
+        // once per parameter across all executors sharing the store).
+        let param_slots = resolve_param_slots(&tg, &store);
         for node in graph.nodes() {
             if let OpKind::ApplyUpdate { param, .. } = node.op {
-                updated[param.index()] = true;
+                store.ensure_state(param_slots[&param]);
             }
         }
-        let params: Vec<ParamCell> = param_ids
-            .iter()
-            .map(|id| {
-                let value = graph.params()[id].init.materialize(&graph.node(*id).shape);
-                let state = if updated[id.index()] {
-                    (0..optimizer.state_slots())
-                        .map(|_| vec![0.0f32; value.numel()])
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                ParamCell { value, state }
-            })
-            .collect();
 
         // Constant and input staging stores.
         let mut const_slots: HashMap<NodeId, usize> = HashMap::new();
@@ -307,18 +296,37 @@ impl ArenaExec {
             Vec::new()
         };
 
-        // Winograd weights for frozen convolutions, transformed once.
-        let mut wino: HashMap<NodeId, winograd::WinogradWeight> = HashMap::new();
-        for node in graph.nodes() {
-            if let OpKind::WinogradConv2d { .. } = node.op {
-                let wid = node.inputs[1];
-                let weight = param_slots
-                    .get(&wid)
-                    .map(|&s| &params[s].value)
-                    .or_else(|| graph.constants().get(&wid))
-                    .expect("winograd weight must be a parameter or constant");
-                wino.entry(wid)
-                    .or_insert_with(|| winograd::WinogradWeight::from_dense(weight));
+        // Winograd weights for frozen convolutions, transformed once and
+        // refreshed whenever the store-cell version moves (e.g. another
+        // executor loaded a checkpoint into the shared store).
+        let mut wino: HashMap<NodeId, (u64, winograd::WinogradWeight)> = HashMap::new();
+        let mut wino_weights: Vec<(NodeId, Option<usize>)> = Vec::new();
+        {
+            let _g = store.lock_shared();
+            for node in graph.nodes() {
+                if let OpKind::WinogradConv2d { .. } = node.op {
+                    let wid = node.inputs[1];
+                    if wino.contains_key(&wid) {
+                        continue;
+                    }
+                    let slot = param_slots.get(&wid).copied();
+                    let (version, weight) = match slot {
+                        // SAFETY: shared guard held; no writer can be active.
+                        Some(s) => unsafe {
+                            let cell = &*store.cell(s);
+                            (cell.version, &cell.value)
+                        },
+                        None => (
+                            0,
+                            graph
+                                .constants()
+                                .get(&wid)
+                                .expect("winograd weight must be a parameter or constant"),
+                        ),
+                    };
+                    wino.insert(wid, (version, winograd::WinogradWeight::from_dense(weight)));
+                    wino_weights.push((wid, slot));
+                }
             }
         }
 
@@ -343,12 +351,10 @@ impl ArenaExec {
             steps,
             levels,
             arena,
-            params: params.into_iter().map(UnsafeCell::new).collect(),
+            store,
             consts,
             inputs: inputs.into_iter().map(UnsafeCell::new).collect(),
             winograd: UnsafeCell::new(wino),
-            optimizer,
-            step: AtomicUsize::new(0),
             fallbacks: AtomicU64::new(0),
         });
         let pool = (threads > 1).then(|| Pool::new(Arc::clone(&shared), threads - 1));
@@ -361,6 +367,7 @@ impl ArenaExec {
             threads,
             step: 0,
             param_slots,
+            wino_weights,
             outputs,
             loss_arg,
             eval_live,
@@ -376,7 +383,11 @@ impl ArenaExec {
     }
 
     pub fn optimizer(&self) -> Optimizer {
-        self.shared.optimizer
+        self.shared.store.optimizer()
+    }
+
+    pub fn param_store(&self) -> &Arc<ParamStore> {
+        &self.shared.store
     }
 
     pub fn steps_completed(&self) -> usize {
@@ -391,26 +402,41 @@ impl ArenaExec {
         self.shared.fallbacks.load(Ordering::Relaxed)
     }
 
-    pub fn param(&self, id: NodeId) -> Option<&Tensor> {
+    pub fn param(&self, id: NodeId) -> Option<Tensor> {
         let slot = *self.param_slots.get(&id)?;
-        // SAFETY: `&self` access with the pool quiescent; no step running.
-        Some(unsafe { &(*self.shared.params[slot].get()).value })
+        let _g = self.shared.store.lock_shared();
+        // SAFETY: shared guard held — no training step or set can be
+        // mutating the cell, so a snapshot clone is sound even while other
+        // executors share the store.
+        Some(unsafe { (*self.shared.store.cell(slot)).value.clone() })
     }
 
     pub fn set_param(&mut self, id: NodeId, value: Tensor) {
         let slot = *self.param_slots.get(&id).expect("unknown parameter");
-        // SAFETY: `&mut self` — exclusive access, pool quiescent.
-        unsafe {
-            let cell = &mut *self.shared.params[slot].get();
-            assert_eq!(
-                cell.value.shape(),
-                value.shape(),
-                "parameter shape mismatch"
-            );
-            cell.value = value;
-            let wino = &mut *self.shared.winograd.get();
-            if let std::collections::hash_map::Entry::Occupied(mut e) = wino.entry(id) {
-                e.insert(winograd::WinogradWeight::from_dense(&cell.value));
+        // The store resets the parameter's optimizer state and bumps the
+        // cell version; the Winograd cache (ours and every other sharing
+        // executor's) refreshes on the next step via that version.
+        self.shared.store.set_slot(slot, value);
+    }
+
+    /// Re-transforms any cached Winograd weight whose store cell changed
+    /// since the transform (cheap no-op when versions match). Must run under
+    /// the store guard with this executor's pool quiescent.
+    fn refresh_winograd(&mut self) {
+        for &(wid, slot) in &self.wino_weights {
+            let Some(slot) = slot else { continue }; // constants never change
+                                                     // SAFETY: store guard held by the caller; pool quiescent, so the
+                                                     // winograd map has no concurrent reader.
+            unsafe {
+                let cell = &*self.shared.store.cell(slot);
+                let wino = &mut *self.shared.winograd.get();
+                let entry = wino.get_mut(&wid).expect("transformed at construction");
+                if entry.0 != cell.version {
+                    *entry = (
+                        cell.version,
+                        winograd::WinogradWeight::from_dense(&cell.value),
+                    );
+                }
             }
         }
     }
@@ -435,28 +461,33 @@ impl ArenaExec {
         unsafe { arg_view(&self.shared, arg) }
     }
 
+    /// Runs the full schedule. Caller must hold the store's exclusive guard.
     fn execute_train(&mut self) {
-        self.shared.step.store(self.step, Ordering::Relaxed);
+        self.shared.store.begin_step();
+        self.refresh_winograd();
         if let Some(pool) = &self.pool {
             for level in 0..self.shared.levels.len() {
                 pool.run_level(level);
             }
         } else {
             for pos in 0..self.shared.steps.len() {
-                // SAFETY: sequential walk of a position-granular plan.
+                // SAFETY: sequential walk of a position-granular plan;
+                // exclusive store guard held by the caller.
                 unsafe { exec_position(&self.shared, pos, true) };
             }
         }
     }
 
+    /// Runs the forward subset. Caller must hold (at least) the store's
+    /// shared guard.
     fn execute_eval(&mut self) {
-        self.shared.step.store(self.step.max(1), Ordering::Relaxed);
+        self.refresh_winograd();
         for (pos, &id) in self.schedule.order.iter().enumerate() {
             if !self.eval_live[id.index()] {
                 continue;
             }
             // SAFETY: sequential walk; eval runs a subset of the schedule in
-            // order, which only shortens lifetimes.
+            // order, which only shortens lifetimes. Parameters are only read.
             unsafe { exec_position(&self.shared, pos, false) };
         }
     }
@@ -467,6 +498,8 @@ impl ArenaExec {
         inputs: &HashMap<String, Tensor>,
     ) -> Result<Option<f32>, ExecError> {
         self.bind_inputs(inputs)?;
+        let store = Arc::clone(&self.shared.store);
+        let _guard = store.lock_exclusive();
         self.step += 1;
         self.execute_train();
         Ok(Some(self.value_view(&self.loss_arg).data()[0]))
@@ -474,6 +507,8 @@ impl ArenaExec {
 
     pub fn run_step(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
         self.bind_inputs(inputs)?;
+        let store = Arc::clone(&self.shared.store);
+        let _guard = store.lock_exclusive();
         self.step += 1;
         self.execute_train();
         Ok(self.collect())
@@ -481,6 +516,8 @@ impl ArenaExec {
 
     pub fn run_eval(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
         self.bind_inputs(inputs)?;
+        let store = Arc::clone(&self.shared.store);
+        let _guard = store.lock_shared();
         self.execute_eval();
         Ok(self.collect())
     }
@@ -508,7 +545,7 @@ impl ArenaExec {
 unsafe fn arg_view<'a>(shared: &'a Shared, arg: &'a Arg) -> TensorView<'a> {
     match arg.loc {
         Loc::Arena(off, len) => TensorView::new(&arg.dims, shared.arena.slice(off, len)),
-        Loc::Param(i) => (*shared.params[i].get()).value.view(),
+        Loc::Param(i) => (*shared.store.cell(i)).value.view(),
         Loc::Const(i) => shared.consts[i].view(),
         Loc::Input(i) => (*shared.inputs[i].get()).view(),
     }
@@ -533,7 +570,7 @@ impl FallbackOperand<'_> {
 unsafe fn fallback_operand<'a>(shared: &'a Shared, arg: &'a Arg) -> FallbackOperand<'a> {
     match arg.loc {
         Loc::Arena(..) => FallbackOperand::Owned(arg_view(shared, arg).to_tensor()),
-        Loc::Param(i) => FallbackOperand::Borrowed(&(*shared.params[i].get()).value),
+        Loc::Param(i) => FallbackOperand::Borrowed(&(*shared.store.cell(i)).value),
         Loc::Const(i) => FallbackOperand::Borrowed(&shared.consts[i]),
         Loc::Input(i) => FallbackOperand::Borrowed(&*shared.inputs[i].get()),
     }
@@ -556,7 +593,11 @@ pub(crate) unsafe fn exec_position(shared: &Shared, pos: usize, train: bool) {
                 return;
             }
             let grad = arg_view(shared, &step.ins[0]);
-            let cell = &mut *shared.params[slot].get();
+            // SAFETY (store cell): the owning executor holds the store's
+            // exclusive guard for the whole training step, and the wavefront
+            // anti-dependency edges order this update against every reader
+            // of the parameter within the step.
+            let cell = &mut *shared.store.cell(slot);
             let updated_len = match rows {
                 Some(k) => {
                     let row_elems: usize = cell.value.dims()[1..].iter().product::<usize>().max(1);
@@ -569,12 +610,14 @@ pub(crate) unsafe fn exec_position(shared: &Shared, pos: usize, train: bool) {
                 updated_len,
                 "gradient size mismatch for update"
             );
-            let global_step = shared.step.load(Ordering::Relaxed).max(1);
-            shared.optimizer.apply(
+            // Per-cell update count: restarts after set_param, so Adam bias
+            // correction behaves like a freshly initialized parameter.
+            cell.steps += 1;
+            shared.store.optimizer().apply(
                 &mut cell.value.data_mut()[..updated_len],
                 grad.data(),
                 &mut cell.state,
-                global_step,
+                cell.steps,
             );
         }
         Task::Compute => dispatch(shared, step),
@@ -632,7 +675,7 @@ unsafe fn dispatch(shared: &Shared, step: &StepNode) {
         OpKind::WinogradConv2d { padding } => {
             shared.fallbacks.fetch_add(1, Ordering::Relaxed);
             let x = fallback_operand(shared, &step.ins[0]);
-            let ww = (&*shared.winograd.get())
+            let (_, ww) = (&*shared.winograd.get())
                 .get(&step.ins[1].id)
                 .expect("winograd weight transformed at construction");
             let y = winograd::conv2d_winograd(x.tensor(), ww, *padding);

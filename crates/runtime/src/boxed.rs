@@ -5,8 +5,13 @@
 //! the node runs and dropped at its compile-time free position. The arena
 //! executor must be bit-identical to this path; the property suite in
 //! `tests/` asserts exactly that.
+//!
+//! Parameters and optimizer state are *borrowed* from a shared
+//! [`ParamStore`]; the executor only owns transient buffers and its
+//! Winograd weight cache.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pe_graph::{NodeId, OpKind, TrainingGraph};
 use pe_memplan::analyze_lifetimes;
@@ -18,35 +23,47 @@ use pe_tensor::{Shape, Tensor};
 
 use crate::executor::{check_input, ExecError, StepResult};
 use crate::optimizer::Optimizer;
+use crate::store::{resolve_param_slots, ParamStore};
 
 /// Executes a compiled training program with per-node boxed buffers.
 #[derive(Debug)]
 pub struct BoxedExec {
     tg: TrainingGraph,
     schedule: Schedule,
-    optimizer: Optimizer,
-    /// Persistent parameter values keyed by parameter node id.
-    params: HashMap<NodeId, Tensor>,
-    /// Optimizer state per parameter.
-    opt_state: HashMap<NodeId, Vec<Vec<f32>>>,
-    /// Cached Winograd-transformed weights for frozen convolutions.
-    winograd_cache: HashMap<NodeId, winograd::WinogradWeight>,
+    /// Shared canonical parameters and optimizer state.
+    store: Arc<ParamStore>,
+    /// Store slot of each parameter node in this graph.
+    slot_of: HashMap<NodeId, usize>,
+    /// Cached Winograd-transformed weights, tagged with the store-cell
+    /// version they were derived from.
+    winograd_cache: HashMap<NodeId, (u64, winograd::WinogradWeight)>,
     /// Free positions: node ids whose buffer can be dropped after executing
     /// the node at a given schedule position.
     frees: Vec<Vec<NodeId>>,
-    step: usize,
+    /// Steps completed by *this* executor (the store tracks the global
+    /// count across every executor sharing it).
+    steps_here: usize,
 }
 
 impl BoxedExec {
-    /// Builds an executor for an optimized training graph and schedule.
-    pub fn new(tg: TrainingGraph, schedule: Schedule, optimizer: Optimizer) -> Self {
-        let params: HashMap<NodeId, Tensor> = tg
-            .graph
-            .params()
-            .iter()
-            .map(|(id, info)| (*id, info.init.materialize(&tg.graph.node(*id).shape)))
-            .collect();
-        let opt_state = HashMap::new();
+    /// Builds an executor over an optimized training graph, schedule and
+    /// shared parameter store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a graph parameter is missing from the store or its shape
+    /// mismatches the store's canonical tensor.
+    pub fn new(tg: TrainingGraph, schedule: Schedule, store: Arc<ParamStore>) -> Self {
+        let slot_of = resolve_param_slots(&tg, &store);
+
+        // Register every updated parameter so its optimizer state exists
+        // (exactly once per parameter, no matter how many executors share
+        // the store).
+        for node in tg.graph.nodes() {
+            if let OpKind::ApplyUpdate { param, .. } = node.op {
+                store.ensure_state(slot_of[&param]);
+            }
+        }
 
         // Precompute buffer free positions from the lifetime analysis.
         let lifetimes = analyze_lifetimes(&tg.graph, &schedule);
@@ -60,12 +77,11 @@ impl BoxedExec {
         BoxedExec {
             tg,
             schedule,
-            optimizer,
-            params,
-            opt_state,
+            store,
+            slot_of,
             winograd_cache: HashMap::new(),
             frees,
-            step: 0,
+            steps_here: 0,
         }
     }
 
@@ -79,31 +95,40 @@ impl BoxedExec {
         &self.schedule
     }
 
+    /// The shared parameter store.
+    pub fn param_store(&self) -> &Arc<ParamStore> {
+        &self.store
+    }
+
     /// The optimizer configuration.
     pub fn optimizer(&self) -> Optimizer {
-        self.optimizer
+        self.store.optimizer()
     }
 
-    /// Number of completed optimisation steps.
+    /// Number of optimisation steps completed by this executor.
     pub fn steps_completed(&self) -> usize {
-        self.step
+        self.steps_here
     }
 
-    /// Current value of a parameter.
-    pub fn param(&self, id: NodeId) -> Option<&Tensor> {
-        self.params.get(&id)
+    /// Current value of a parameter (a snapshot taken under the store's
+    /// shared guard).
+    pub fn param(&self, id: NodeId) -> Option<Tensor> {
+        let slot = *self.slot_of.get(&id)?;
+        let _g = self.store.lock_shared();
+        // SAFETY: shared guard held — no training step or set can be
+        // mutating the cell, so a snapshot clone is sound even while other
+        // executors share the store.
+        Some(unsafe { (*self.store.cell(slot)).value.clone() })
     }
 
-    /// Overwrites a parameter value.
+    /// Overwrites a parameter value, resetting its optimizer state.
     ///
     /// # Panics
     ///
     /// Panics if the parameter is unknown or the shapes do not match.
     pub fn set_param(&mut self, id: NodeId, value: Tensor) {
-        let current = self.params.get(&id).expect("unknown parameter");
-        assert_eq!(current.shape(), value.shape(), "parameter shape mismatch");
-        self.winograd_cache.remove(&id);
-        self.params.insert(id, value);
+        let slot = *self.slot_of.get(&id).expect("unknown parameter");
+        self.store.set_slot(slot, value);
     }
 
     /// Runs one full training step: forward, backward, parameter updates.
@@ -113,7 +138,10 @@ impl BoxedExec {
     /// Returns an error if a step input is missing or has the wrong shape or
     /// dtype.
     pub fn run_step(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
-        self.step += 1;
+        let store = Arc::clone(&self.store);
+        let _guard = store.lock_exclusive();
+        store.begin_step();
+        self.steps_here += 1;
         self.execute(inputs, true)
     }
 
@@ -124,6 +152,8 @@ impl BoxedExec {
     /// Returns an error if a step input is missing or has the wrong shape or
     /// dtype.
     pub fn run_eval(&mut self, inputs: &HashMap<String, Tensor>) -> Result<StepResult, ExecError> {
+        let store = Arc::clone(&self.store);
+        let _guard = store.lock_shared();
         self.execute(inputs, false)
     }
 
@@ -210,22 +240,17 @@ impl BoxedExec {
     }
 
     fn apply_update(&mut self, param: NodeId, rows: Option<usize>, grad: &Tensor) {
-        let slots = self.optimizer.state_slots();
-        let p = self
-            .params
-            .get_mut(&param)
-            .expect("unknown parameter in update");
-        let state = self
-            .opt_state
-            .entry(param)
-            .or_insert_with(|| (0..slots).map(|_| vec![0.0f32; p.numel()]).collect());
+        let slot = self.slot_of[&param];
+        // SAFETY: the exclusive store guard is held by `run_step` for the
+        // duration of the step.
+        let cell = unsafe { &mut *self.store.cell(slot) };
 
         let updated_len = match rows {
             Some(k) => {
-                let row_elems: usize = p.dims()[1..].iter().product::<usize>().max(1);
+                let row_elems: usize = cell.value.dims()[1..].iter().product::<usize>().max(1);
                 k * row_elems
             }
-            None => p.numel(),
+            None => cell.value.numel(),
         };
         assert_eq!(
             grad.numel(),
@@ -233,20 +258,24 @@ impl BoxedExec {
             "gradient size mismatch for update"
         );
 
-        let opt = self.optimizer;
+        // Per-cell update count: restarts after set_param, so Adam bias
+        // correction behaves like a freshly initialized parameter.
+        cell.steps += 1;
         // Optimizer::apply only touches the first `param.len()` elements of
         // each state row, so the full-length rows can be passed directly.
-        opt.apply(
-            &mut p.data_mut()[..updated_len],
+        self.store.optimizer().apply(
+            &mut cell.value.data_mut()[..updated_len],
             grad.data(),
-            state,
-            self.step.max(1),
+            &mut cell.state,
+            cell.steps,
         );
     }
 
     fn value<'a>(&'a self, values: &'a [Option<Tensor>], id: NodeId) -> &'a Tensor {
-        if let Some(p) = self.params.get(&id) {
-            return p;
+        if let Some(&slot) = self.slot_of.get(&id) {
+            // SAFETY: the appropriate store guard is held by
+            // `run_step`/`run_eval` for the duration of the step.
+            return unsafe { &(*self.store.cell(slot)).value };
         }
         if let Some(c) = self.tg.graph.constants().get(&id) {
             return c;
@@ -257,7 +286,6 @@ impl BoxedExec {
     }
 
     fn compute_node(&mut self, node: &pe_graph::Node, values: &[Option<Tensor>]) -> Tensor {
-        let graph = &self.tg.graph;
         let inp = |slot: usize| self.value(values, node.inputs[slot]);
 
         match &node.op {
@@ -274,16 +302,30 @@ impl BoxedExec {
             }
             OpKind::WinogradConv2d { padding } => {
                 let weight_id = node.inputs[1];
-                let w = self.value(values, weight_id).clone();
-                let ww = self
-                    .winograd_cache
-                    .entry(weight_id)
-                    .or_insert_with(|| winograd::WinogradWeight::from_dense(&w));
-                let x = values[node.inputs[0].index()]
-                    .as_ref()
-                    .or_else(|| self.params.get(&node.inputs[0]))
-                    .or_else(|| graph.constants().get(&node.inputs[0]))
-                    .expect("winograd input missing");
+                // The cache entry must match the store-cell version: another
+                // executor sharing the store may have replaced the weight
+                // since we transformed it.
+                let version = self
+                    .slot_of
+                    .get(&weight_id)
+                    .map(|&slot| {
+                        // SAFETY: store guard held by run_step/run_eval.
+                        unsafe { (*self.store.cell(slot)).version }
+                    })
+                    .unwrap_or(0);
+                let stale = !matches!(
+                    self.winograd_cache.get(&weight_id),
+                    Some((v, _)) if *v == version
+                );
+                if stale {
+                    let w = self.value(values, weight_id).clone();
+                    self.winograd_cache.insert(
+                        weight_id,
+                        (version, winograd::WinogradWeight::from_dense(&w)),
+                    );
+                }
+                let ww = &self.winograd_cache[&weight_id].1;
+                let x = self.value(values, node.inputs[0]);
                 winograd::conv2d_winograd(x, ww, *padding)
             }
             OpKind::Add => ew::add(inp(0), inp(1)),

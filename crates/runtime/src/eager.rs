@@ -9,42 +9,56 @@
 //! at the end of the step.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pe_graph::{build_training_graph, Graph, NodeId, TrainSpec};
 use pe_passes::{build_schedule, ScheduleStrategy};
 use pe_tensor::Tensor;
 
-use crate::executor::{ExecError, Executor, StepResult};
+use crate::executor::{ExecError, Executor, ExecutorConfig, StepResult};
 use crate::optimizer::Optimizer;
+use crate::store::ParamStore;
 
 /// A deliberately conventional training engine: runtime autodiff, no graph
 /// optimisation, updates at the end of the step.
+///
+/// Parameters live in a shared [`ParamStore`] (like any executor); each step
+/// builds a throwaway executor that *borrows* the store, so values persist
+/// across steps without the copy-in/copy-out a private parameter map used to
+/// require. The expensive part — re-deriving the backward graph — is still
+/// paid on every step, which is the point of the baseline.
 #[derive(Debug)]
 pub struct EagerEngine {
     forward: Graph,
     loss: NodeId,
     spec: TrainSpec,
-    optimizer: Optimizer,
-    /// Parameter values carried across steps (re-seeded into each fresh
-    /// executor, mimicking a framework's parameter store).
-    params: HashMap<NodeId, Tensor>,
+    store: Arc<ParamStore>,
+    config: ExecutorConfig,
     steps: usize,
 }
 
 impl EagerEngine {
-    /// Creates an eager engine over a forward graph.
+    /// Creates an eager engine over a forward graph, selecting the executor
+    /// backend from the environment fallback.
     pub fn new(forward: Graph, loss: NodeId, spec: TrainSpec, optimizer: Optimizer) -> Self {
-        let params = forward
-            .params()
-            .iter()
-            .map(|(id, info)| (*id, info.init.materialize(&forward.node(*id).shape)))
-            .collect();
+        EagerEngine::with_config(forward, loss, spec, optimizer, ExecutorConfig::default())
+    }
+
+    /// Creates an eager engine with an explicit executor configuration.
+    pub fn with_config(
+        forward: Graph,
+        loss: NodeId,
+        spec: TrainSpec,
+        optimizer: Optimizer,
+        config: ExecutorConfig,
+    ) -> Self {
+        let store = Arc::new(ParamStore::from_graph(&forward, optimizer));
         EagerEngine {
             forward,
             loss,
             spec,
-            optimizer,
-            params,
+            store,
+            config,
             steps: 0,
         }
     }
@@ -54,10 +68,15 @@ impl EagerEngine {
         self.steps
     }
 
+    /// The shared parameter store backing this engine.
+    pub fn param_store(&self) -> &Arc<ParamStore> {
+        &self.store
+    }
+
     /// Current value of a parameter looked up by name.
-    pub fn param_by_name(&self, name: &str) -> Option<&Tensor> {
+    pub fn param_by_name(&self, name: &str) -> Option<Tensor> {
         let id = self.forward.find_param(name)?;
-        self.params.get(&id)
+        self.store.get(&self.forward.param_key(id))
     }
 
     /// Runs one training step, re-deriving the backward graph (runtime
@@ -71,20 +90,8 @@ impl EagerEngine {
         // exactly the overhead the compilation-first design removes.
         let tg = build_training_graph(self.forward.clone(), self.loss, &self.spec);
         let schedule = build_schedule(&tg.graph, ScheduleStrategy::Conventional);
-        let mut exec = Executor::new(tg, schedule, self.optimizer);
-
-        // Load the persistent parameter values into the fresh executor.
-        let ids: Vec<NodeId> = self.params.keys().copied().collect();
-        for id in ids {
-            exec.set_param(id, self.params[&id].clone());
-        }
+        let mut exec = Executor::with_store(tg, schedule, Arc::clone(&self.store), self.config);
         let result = exec.run_step(inputs)?;
-        // Persist updated parameters back.
-        for id in self.params.keys().copied().collect::<Vec<_>>() {
-            if let Some(v) = exec.param(id) {
-                self.params.insert(id, v.clone());
-            }
-        }
         self.steps += 1;
         Ok(result)
     }
@@ -155,7 +162,7 @@ mod tests {
         let w_eager = eager.param_by_name("fc.weight").unwrap();
         let w_compiled = compiled.param_by_name("fc.weight").unwrap();
         assert!(
-            w_eager.allclose(w_compiled, 1e-5),
+            w_eager.allclose(&w_compiled, 1e-5),
             "parameters diverge after one step"
         );
     }

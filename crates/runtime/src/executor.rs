@@ -19,6 +19,7 @@
 //!   for bit.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pe_graph::{NodeId, TrainingGraph};
 use pe_passes::Schedule;
@@ -27,6 +28,83 @@ use pe_tensor::{DType, Tensor};
 use crate::arena::ArenaExec;
 use crate::boxed::BoxedExec;
 use crate::optimizer::Optimizer;
+use crate::store::ParamStore;
+
+/// Which executor backend runs the compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The arena-slab executor (zero transient allocations, optional worker
+    /// pool). The default.
+    #[default]
+    Arena,
+    /// The per-node-buffer executor kept as the differential baseline.
+    Boxed,
+}
+
+impl Backend {
+    /// Short lowercase name (`"arena"` / `"boxed"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Arena => "arena",
+            Backend::Boxed => "boxed",
+        }
+    }
+}
+
+/// Explicit executor selection, threaded through [`Executor::with_config`],
+/// the trainer and the engine instead of ambient environment variables.
+///
+/// [`ExecutorConfig::default`] (and therefore [`Executor::new`]) still honours
+/// `PE_EXECUTOR` / `PE_EXECUTOR_THREADS` as *fallback defaults* via
+/// [`ExecutorConfig::from_env`], so existing workflows keep working; code
+/// that wants a specific backend passes a config explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecutorConfig {
+    /// The backend to execute with.
+    pub backend: Backend,
+    /// Worker count for the arena backend (1 = fully sequential dispatch;
+    /// ignored by the boxed backend).
+    pub threads: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig::from_env()
+    }
+}
+
+impl ExecutorConfig {
+    /// Arena backend with `threads` workers.
+    pub fn arena(threads: usize) -> Self {
+        ExecutorConfig {
+            backend: Backend::Arena,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Boxed differential-baseline backend.
+    pub fn boxed() -> Self {
+        ExecutorConfig {
+            backend: Backend::Boxed,
+            threads: 1,
+        }
+    }
+
+    /// Reads the fallback defaults from the environment: `PE_EXECUTOR=boxed`
+    /// selects the boxed baseline and `PE_EXECUTOR_THREADS=N` sets the arena
+    /// worker count (default: arena, 1 worker).
+    pub fn from_env() -> Self {
+        let backend = std::env::var("PE_EXECUTOR").unwrap_or_default();
+        if backend.eq_ignore_ascii_case("boxed") || backend.eq_ignore_ascii_case("hashmap") {
+            return ExecutorConfig::boxed();
+        }
+        let threads = std::env::var("PE_EXECUTOR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1);
+        ExecutorConfig::arena(threads)
+    }
+}
 
 /// Error raised when step inputs do not match the program signature.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,49 +207,87 @@ enum Inner {
 
 /// Executes a compiled training program.
 ///
-/// Parameters and optimizer state persist across steps inside the executor.
-/// [`Executor::new`] picks the backend from the environment (see the module
-/// docs); [`Executor::arena`] and [`Executor::boxed`] select explicitly.
+/// Parameters and optimizer state live in a shared [`ParamStore`] that the
+/// executor *borrows*: [`Executor::new`] / [`Executor::with_config`] create a
+/// private store, while [`Executor::with_store`] attaches to an existing one
+/// so several batch-size specializations train one canonical set of weights.
+/// [`Executor::new`] picks the backend from the environment fallback
+/// ([`ExecutorConfig::from_env`]); the other constructors take an explicit
+/// [`ExecutorConfig`].
 #[derive(Debug)]
 pub struct Executor {
     inner: Inner,
 }
 
 impl Executor {
-    /// Builds an executor for an optimized training graph and schedule,
-    /// selecting the backend from the environment:
+    /// Builds an executor with a private parameter store, selecting the
+    /// backend from the environment fallback ([`ExecutorConfig::from_env`]):
     ///
     /// * `PE_EXECUTOR=boxed` picks the boxed baseline (default: arena);
     /// * `PE_EXECUTOR_THREADS=N` sets the arena worker count (default 1).
     pub fn new(tg: TrainingGraph, schedule: Schedule, optimizer: Optimizer) -> Self {
-        let backend = std::env::var("PE_EXECUTOR").unwrap_or_default();
-        if backend.eq_ignore_ascii_case("boxed") || backend.eq_ignore_ascii_case("hashmap") {
-            return Executor::boxed(tg, schedule, optimizer);
-        }
-        let threads = std::env::var("PE_EXECUTOR_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(1);
-        Executor::arena(tg, schedule, optimizer, threads)
+        Executor::with_config(tg, schedule, optimizer, ExecutorConfig::default())
+    }
+
+    /// Builds an executor with a private parameter store and an explicit
+    /// backend configuration.
+    pub fn with_config(
+        tg: TrainingGraph,
+        schedule: Schedule,
+        optimizer: Optimizer,
+        config: ExecutorConfig,
+    ) -> Self {
+        let store = Arc::new(ParamStore::from_graph(&tg.graph, optimizer));
+        Executor::with_store(tg, schedule, store, config)
+    }
+
+    /// Builds an executor that borrows parameters and optimizer state from a
+    /// shared [`ParamStore`] instead of materialising its own copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter of the graph is missing from the store or has a
+    /// mismatched shape.
+    pub fn with_store(
+        tg: TrainingGraph,
+        schedule: Schedule,
+        store: Arc<ParamStore>,
+        config: ExecutorConfig,
+    ) -> Self {
+        let inner = match config.backend {
+            Backend::Boxed => Inner::Boxed(Box::new(BoxedExec::new(tg, schedule, store))),
+            Backend::Arena => Inner::Arena(Box::new(ArenaExec::new(
+                tg,
+                schedule,
+                store,
+                config.threads,
+            ))),
+        };
+        Executor { inner }
     }
 
     /// Builds the arena-backed executor with `threads` workers (1 = fully
-    /// sequential dispatch, no pool).
+    /// sequential dispatch, no pool) and a private parameter store.
     pub fn arena(
         tg: TrainingGraph,
         schedule: Schedule,
         optimizer: Optimizer,
         threads: usize,
     ) -> Self {
-        Executor {
-            inner: Inner::Arena(Box::new(ArenaExec::new(tg, schedule, optimizer, threads))),
-        }
+        Executor::with_config(tg, schedule, optimizer, ExecutorConfig::arena(threads))
     }
 
-    /// Builds the boxed per-node-buffer executor (differential baseline).
+    /// Builds the boxed per-node-buffer executor (differential baseline)
+    /// with a private parameter store.
     pub fn boxed(tg: TrainingGraph, schedule: Schedule, optimizer: Optimizer) -> Self {
-        Executor {
-            inner: Inner::Boxed(Box::new(BoxedExec::new(tg, schedule, optimizer))),
+        Executor::with_config(tg, schedule, optimizer, ExecutorConfig::boxed())
+    }
+
+    /// The shared parameter store backing this executor.
+    pub fn param_store(&self) -> &Arc<ParamStore> {
+        match &self.inner {
+            Inner::Boxed(e) => e.param_store(),
+            Inner::Arena(e) => e.param_store(),
         }
     }
 
@@ -223,8 +339,10 @@ impl Executor {
         }
     }
 
-    /// Current value of a parameter.
-    pub fn param(&self, id: NodeId) -> Option<&Tensor> {
+    /// Current value of a parameter: a snapshot cloned under the store's
+    /// shared guard, so it is safe to call while other executors sharing
+    /// the [`ParamStore`] are stepping concurrently.
+    pub fn param(&self, id: NodeId) -> Option<Tensor> {
         match &self.inner {
             Inner::Boxed(e) => e.param(id),
             Inner::Arena(e) => e.param(id),
@@ -232,12 +350,16 @@ impl Executor {
     }
 
     /// Current value of a parameter looked up by name.
-    pub fn param_by_name(&self, name: &str) -> Option<&Tensor> {
+    pub fn param_by_name(&self, name: &str) -> Option<Tensor> {
         let id = self.training_graph().graph.find_param(name)?;
         self.param(id)
     }
 
-    /// Overwrites a parameter value (e.g. to load a pre-trained checkpoint).
+    /// Overwrites a parameter value (e.g. to load a pre-trained checkpoint)
+    /// and resets that parameter's optimizer state: momentum and Adam
+    /// moments accumulated for the *old* trajectory would otherwise be
+    /// silently applied to the new value. Derived caches (Winograd weights)
+    /// are refreshed on the next step, in every executor sharing the store.
     ///
     /// # Panics
     ///
@@ -394,11 +516,11 @@ mod tests {
         let w_after = exec.param_by_name("fc1.weight").unwrap();
         let b_after = exec.param_by_name("fc2.bias").unwrap();
         assert!(
-            w_before.allclose(w_after, 0.0),
+            w_before.allclose(&w_after, 0.0),
             "frozen weight must not change"
         );
         assert!(
-            !b_before.allclose(b_after, 1e-7),
+            !b_before.allclose(&b_after, 1e-7),
             "trainable bias must change"
         );
     }
@@ -411,7 +533,7 @@ mod tests {
         let result = exec.run_eval(&batch(&mut rng)).unwrap();
         assert!(result.loss.is_some());
         let after = exec.param_by_name("fc1.weight").unwrap();
-        assert!(before.allclose(after, 0.0));
+        assert!(before.allclose(&after, 0.0));
         assert_eq!(exec.steps_completed(), 0);
     }
 

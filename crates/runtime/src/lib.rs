@@ -9,9 +9,13 @@
 //!   updates in place — no autodiff, shape inference or graph work at
 //!   runtime. The default **arena** backend executes out of one
 //!   planner-sized slab (zero transient heap allocations per step) and can
-//!   dispatch schedule-independent nodes across a worker pool
-//!   (`PE_EXECUTOR_THREADS=N`); the original per-node-buffer path remains
-//!   available as the differential baseline (`PE_EXECUTOR=boxed`).
+//!   dispatch schedule-independent nodes across a worker pool; backend and
+//!   thread count are selected explicitly with [`ExecutorConfig`]
+//!   (`PE_EXECUTOR` / `PE_EXECUTOR_THREADS` remain the fallback defaults).
+//! * [`ParamStore`] holds the canonical tensor and optimizer state of every
+//!   parameter, keyed by stable `pe_graph::ParamKey` identities. Executors
+//!   *borrow* a store (`Executor::with_store`), so many batch-size
+//!   specializations of one model train a single set of weights.
 //! * [`EagerEngine`] is the PyTorch/TensorFlow-style baseline: it re-derives
 //!   the backward graph every step and applies all updates at the end, which
 //!   is what the compilation-first design is measured against (Figure 7).
@@ -55,9 +59,11 @@ pub mod eager;
 pub mod executor;
 pub mod optimizer;
 mod pool;
+pub mod store;
 pub mod trainer;
 
 pub use eager::EagerEngine;
-pub use executor::{ExecError, Executor, StepResult};
+pub use executor::{Backend, ExecError, Executor, ExecutorConfig, StepResult};
 pub use optimizer::Optimizer;
+pub use store::ParamStore;
 pub use trainer::{Batch, Trainer, TrainingHistory};

@@ -1,0 +1,366 @@
+//! The shared parameter store.
+//!
+//! PockEngine's compile pipeline may specialize one model family into many
+//! executable programs (one per batch size, backend, or thread count), but
+//! the *parameters* of the family exist exactly once. [`ParamStore`] holds
+//! the canonical tensor and optimizer state for every parameter, keyed by
+//! the stable [`ParamKey`] identity from `pe-graph` (node ids are positional
+//! and change across rebuilds; canonical names do not). Executors *borrow*
+//! a store via `Arc` instead of materialising private copies, so N
+//! batch-size specializations train one set of weights — and pay one set of
+//! optimizer-state bytes — between them.
+//!
+//! # Concurrency contract
+//!
+//! The store serialises cross-executor access with a reader/writer guard:
+//!
+//! * a **training step** (which updates parameters in place) takes the
+//!   exclusive guard for the duration of the step;
+//! * an **evaluation step** (read-only parameter access) takes the shared
+//!   guard, so any number of evaluating executors may overlap with each
+//!   other but never with a writer.
+//!
+//! *Within* one training step the owning executor may still touch cells from
+//! its worker pool; that intra-step discipline is the arena executor's
+//! wavefront invariant, not the store's. The store only promises that two
+//! executors never interleave steps unsoundly.
+//!
+//! Each cell carries a monotonically increasing **version**, bumped whenever
+//! the value is replaced wholesale (checkpoint loading via `set`). Executors
+//! that cache derived forms of a parameter (e.g. Winograd-transformed
+//! convolution weights) compare versions at the start of a step and refresh
+//! stale entries — including entries invalidated by a *different* executor
+//! sharing the store.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use pe_graph::{Graph, NodeId, ParamKey, TrainingGraph};
+use pe_tensor::Tensor;
+
+use crate::optimizer::Optimizer;
+
+/// Maps every parameter node of a training graph to its slot in the shared
+/// store, validating presence and shape.
+pub(crate) fn resolve_param_slots(
+    tg: &TrainingGraph,
+    store: &ParamStore,
+) -> HashMap<NodeId, usize> {
+    let _g = store.lock_shared();
+    tg.graph
+        .param_keys()
+        .into_iter()
+        .map(|(id, key)| {
+            let slot = store
+                .slot(&key)
+                .unwrap_or_else(|| panic!("parameter '{key}' missing from the shared store"));
+            // SAFETY: shared guard held; no writer can be active.
+            let stored = unsafe { &(*store.cell(slot)).value };
+            assert_eq!(
+                stored.shape(),
+                &tg.graph.node(id).shape,
+                "parameter '{key}' shape differs from the store's canonical tensor"
+            );
+            (id, slot)
+        })
+        .collect()
+}
+
+/// Canonical value and optimizer state of one parameter.
+#[derive(Debug)]
+pub(crate) struct ParamCell {
+    /// The parameter tensor, updated in place by `ApplyUpdate` nodes.
+    pub value: Tensor,
+    /// Optimizer state rows ([`Optimizer::state_slots`] vectors), allocated
+    /// lazily the first time an executor registers the parameter as
+    /// trainable.
+    pub state: Vec<Vec<f32>>,
+    /// Optimizer updates applied to *this* parameter (drives Adam bias
+    /// correction). Tracked per cell rather than globally so a reset
+    /// parameter restarts its correction schedule like a freshly
+    /// initialized one.
+    pub steps: usize,
+    /// Bumped on wholesale replacement; lets executors invalidate caches
+    /// derived from the value (Winograd weights).
+    pub version: u64,
+}
+
+/// Shared, canonical storage for the parameters of one model family.
+///
+/// See the module docs for the ownership and concurrency model. Constructed
+/// from any graph of the family (parameter names, shapes and initial values
+/// are batch-independent) and then shared across every specialized executor
+/// via `Arc`.
+pub struct ParamStore {
+    cells: Vec<UnsafeCell<ParamCell>>,
+    slots: HashMap<ParamKey, usize>,
+    keys: Vec<ParamKey>,
+    optimizer: Optimizer,
+    /// 1-based count of completed optimisation steps across *all* executors
+    /// sharing the store (drives Adam bias correction).
+    steps: AtomicUsize,
+    /// Cross-executor step guard (see the module docs).
+    guard: RwLock<()>,
+}
+
+// SAFETY: all access to the `UnsafeCell` cells is mediated by the step
+// guard: mutation happens only under the exclusive guard (training steps,
+// `set`, `ensure_state`), shared references only under either guard. The
+// arena executor's worker threads touch cells exclusively inside a training
+// step whose owner holds the exclusive guard.
+unsafe impl Sync for ParamStore {}
+unsafe impl Send for ParamStore {}
+
+impl std::fmt::Debug for ParamStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParamStore")
+            .field("params", &self.cells.len())
+            .field("optimizer", &self.optimizer)
+            .field("steps", &self.steps.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ParamStore {
+    /// Materialises the canonical store from a graph's parameter table.
+    ///
+    /// Slots are assigned in sorted node-id order, which is deterministic
+    /// for a given builder run. Optimizer state is *not* allocated here —
+    /// executors register their trainable parameters via
+    /// [`ParamStore::ensure_state`], so frozen parameters never pay for
+    /// momentum/Adam rows.
+    pub fn from_graph(graph: &Graph, optimizer: Optimizer) -> Self {
+        let mut cells = Vec::new();
+        let mut slots = HashMap::new();
+        let mut keys = Vec::new();
+        for (id, key) in graph.param_keys() {
+            let info = &graph.params()[&id];
+            let value = info.init.materialize(&graph.node(id).shape);
+            slots.insert(key.clone(), cells.len());
+            keys.push(key);
+            cells.push(UnsafeCell::new(ParamCell {
+                value,
+                state: Vec::new(),
+                steps: 0,
+                version: 0,
+            }));
+        }
+        ParamStore {
+            cells,
+            slots,
+            keys,
+            optimizer,
+            steps: AtomicUsize::new(0),
+            guard: RwLock::new(()),
+        }
+    }
+
+    /// The optimizer whose state this store holds.
+    pub fn optimizer(&self) -> Optimizer {
+        self.optimizer
+    }
+
+    /// Number of parameters in the store.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// All parameter keys, in slot order.
+    pub fn keys(&self) -> &[ParamKey] {
+        &self.keys
+    }
+
+    /// Slot index of a parameter key, if present.
+    pub fn slot(&self, key: &ParamKey) -> Option<usize> {
+        self.slots.get(key).copied()
+    }
+
+    /// Completed optimisation steps across every executor sharing the store.
+    pub fn steps_completed(&self) -> usize {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Current value of a parameter (cloned under the shared guard).
+    pub fn get(&self, key: &ParamKey) -> Option<Tensor> {
+        let slot = self.slot(key)?;
+        let _g = self.lock_shared();
+        // SAFETY: shared guard held; no writer can be active.
+        Some(unsafe { (*self.cells[slot].get()).value.clone() })
+    }
+
+    /// Overwrites a parameter value (e.g. loading a checkpoint) and
+    /// **resets its optimizer state**: momentum/Adam moments accumulated for
+    /// the old trajectory are meaningless for the new value, so they are
+    /// zeroed — and the parameter's update count restarts, so Adam's bias
+    /// correction warms up again exactly as for a freshly initialized
+    /// parameter. The cell version is bumped so executors refresh caches
+    /// derived from the old value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is unknown or the shapes do not match.
+    pub fn set(&self, key: &ParamKey, value: Tensor) {
+        let slot = self.slot(key).expect("unknown parameter");
+        self.set_slot(slot, value);
+    }
+
+    /// [`ParamStore::set`] addressed by slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range or the shapes do not match.
+    pub fn set_slot(&self, slot: usize, value: Tensor) {
+        let _g = self.lock_exclusive();
+        // SAFETY: exclusive guard held.
+        let cell = unsafe { &mut *self.cells[slot].get() };
+        assert_eq!(
+            cell.value.shape(),
+            value.shape(),
+            "parameter shape mismatch"
+        );
+        cell.value = value;
+        for row in &mut cell.state {
+            row.fill(0.0);
+        }
+        cell.steps = 0;
+        cell.version += 1;
+    }
+
+    /// Allocates optimizer state rows for a slot if not yet present.
+    ///
+    /// Called by executors at construction for every parameter their program
+    /// updates, so state exists exactly once per trainable parameter no
+    /// matter how many specializations share the store.
+    pub fn ensure_state(&self, slot: usize) {
+        let slots_needed = self.optimizer.state_slots();
+        let _g = self.lock_exclusive();
+        // SAFETY: exclusive guard held.
+        let cell = unsafe { &mut *self.cells[slot].get() };
+        if cell.state.len() < slots_needed {
+            let n = cell.value.numel();
+            cell.state = (0..slots_needed).map(|_| vec![0.0f32; n]).collect();
+        }
+    }
+
+    /// Bytes held by parameter values plus allocated optimizer state.
+    pub fn resident_bytes(&self) -> usize {
+        let _g = self.lock_shared();
+        self.cells
+            .iter()
+            .map(|c| {
+                // SAFETY: shared guard held.
+                let cell = unsafe { &*c.get() };
+                (cell.value.numel() + cell.state.iter().map(Vec::len).sum::<usize>()) * 4
+            })
+            .sum()
+    }
+
+    /// Acquires the exclusive (training-step) guard.
+    pub fn lock_exclusive(&self) -> RwLockWriteGuard<'_, ()> {
+        self.guard.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires the shared (evaluation-step) guard.
+    pub fn lock_shared(&self) -> RwLockReadGuard<'_, ()> {
+        self.guard.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Increments the global step counter, returning the new 1-based count.
+    ///
+    /// Must be called under the exclusive guard, once per training step.
+    pub(crate) fn begin_step(&self) -> usize {
+        self.steps.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Raw pointer to a cell.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the appropriate guard for the access performed
+    /// through the pointer: the exclusive guard for any mutation, at least
+    /// the shared guard for reads — and must uphold Rust aliasing for the
+    /// references it forms (the arena executor's wavefront invariant orders
+    /// its intra-step accesses).
+    pub(crate) unsafe fn cell(&self, slot: usize) -> *mut ParamCell {
+        self.cells[slot].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_graph::{GraphBuilder, ParamKey};
+    use pe_tensor::Rng;
+
+    fn store() -> ParamStore {
+        let mut rng = Rng::seed_from_u64(0);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 4]);
+        let w = b.weight("fc.weight", [3, 4], &mut rng);
+        let logits = b.linear(x, w, None);
+        let g = b.finish(vec![logits]);
+        ParamStore::from_graph(
+            &g,
+            Optimizer::Momentum {
+                lr: 0.1,
+                momentum: 0.9,
+            },
+        )
+    }
+
+    #[test]
+    fn slots_and_keys_round_trip() {
+        let s = store();
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        let key = ParamKey::new("fc.weight");
+        assert_eq!(s.slot(&key), Some(0));
+        assert_eq!(s.keys(), std::slice::from_ref(&key));
+        assert!(s.get(&key).is_some());
+        assert!(s.get(&ParamKey::new("nope")).is_none());
+    }
+
+    #[test]
+    fn set_resets_state_and_bumps_version() {
+        let s = store();
+        s.ensure_state(0);
+        // SAFETY: single-threaded test, no guards needed for inspection.
+        unsafe {
+            let cell = &mut *s.cell(0);
+            assert_eq!(cell.state.len(), 1);
+            cell.state[0].fill(7.0);
+            assert_eq!(cell.version, 0);
+        }
+        s.set(&ParamKey::new("fc.weight"), Tensor::ones([3, 4]));
+        unsafe {
+            let cell = &*s.cell(0);
+            assert!(cell.state[0].iter().all(|&v| v == 0.0), "state must reset");
+            assert_eq!(cell.version, 1);
+            assert_eq!(cell.value.data()[0], 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_checks_shapes() {
+        let s = store();
+        s.set(&ParamKey::new("fc.weight"), Tensor::ones([2, 2]));
+    }
+
+    #[test]
+    fn resident_bytes_counts_state_once() {
+        let s = store();
+        let before = s.resident_bytes();
+        assert_eq!(before, 12 * 4);
+        s.ensure_state(0);
+        s.ensure_state(0); // idempotent
+        assert_eq!(s.resident_bytes(), 2 * 12 * 4);
+    }
+}

@@ -102,6 +102,13 @@ impl Trainer {
         &mut self.executor
     }
 
+    /// The shared parameter store behind the wrapped executor (useful for
+    /// snapshotting weights or attaching further executors to the same
+    /// store).
+    pub fn param_store(&self) -> &std::sync::Arc<crate::store::ParamStore> {
+        self.executor.param_store()
+    }
+
     fn bind(&self, batch: &Batch) -> HashMap<String, Tensor> {
         HashMap::from([
             (self.feature_input.clone(), batch.features.clone()),

@@ -295,17 +295,19 @@ proptest! {
         for id in tg.graph.param_ids() {
             let name = tg.graph.node(id).name.clone();
             let reference = boxed.param(id).unwrap();
+            let arena_value = arena.param(id).unwrap();
             prop_assert_eq!(
-                reference.data(), arena.param(id).unwrap().data(),
+                reference.data(), arena_value.data(),
                 "parameter '{}' differs between boxed and arena", name
             );
+            let pooled_value = pooled.param(id).unwrap();
             prop_assert_eq!(
-                reference.data(), pooled.param(id).unwrap().data(),
+                reference.data(), pooled_value.data(),
                 "parameter '{}' differs between boxed and pooled arena", name
             );
             if let Some(eager_value) = eager.param_by_name(&name) {
                 prop_assert!(
-                    reference.allclose(eager_value, 1e-3),
+                    reference.allclose(&eager_value, 1e-3),
                     "parameter '{}' diverged from eager", name
                 );
             }

@@ -115,7 +115,7 @@ fn frozen_parameters_never_change_and_sparse_still_learns() {
     for name in &frozen_names {
         let now = trainer.executor().param_by_name(name).unwrap();
         assert!(
-            before[name].allclose(now, 0.0),
+            before[name].allclose(&now, 0.0),
             "frozen parameter '{name}' changed during training"
         );
     }
