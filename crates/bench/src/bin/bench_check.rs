@@ -1,0 +1,68 @@
+//! The CI perf-regression gate. Compares freshly emitted bench reports
+//! against committed baselines and exits non-zero on a regression:
+//!
+//! ```text
+//! bench_check [--tolerance 0.25] <baseline.json> <fresh.json> [<baseline> <fresh> ...]
+//! ```
+//!
+//! Gate rules live in `pe_bench::check`: a throughput drop beyond the
+//! tolerance band fails, any `allocs_per_step` increase fails, and a
+//! variant vanishing from a fresh report fails.
+
+use pe_bench::check::{check_reports, CheckConfig};
+use pe_bench::report::Json;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_check: cannot read '{path}': {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("bench_check: cannot parse '{path}': {e}"))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = CheckConfig::default();
+    if let Some(i) = args.iter().position(|a| a == "--tolerance") {
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--tolerance needs a value"))
+            .parse::<f64>()
+            .expect("--tolerance must be a number in (0, 1)");
+        assert!(
+            value > 0.0 && value < 1.0,
+            "--tolerance must be in (0, 1), got {value}"
+        );
+        cfg.tolerance = value;
+        args.drain(i..=i + 1);
+    }
+    assert!(
+        !args.is_empty() && args.len().is_multiple_of(2),
+        "usage: bench_check [--tolerance 0.25] <baseline.json> <fresh.json> [...]"
+    );
+
+    let mut failed = false;
+    for pair in args.chunks(2) {
+        let (baseline_path, fresh_path) = (&pair[0], &pair[1]);
+        println!("bench_check: {baseline_path} vs {fresh_path}");
+        let outcome = check_reports(&load(baseline_path), &load(fresh_path), cfg);
+        for line in &outcome.passes {
+            println!("  PASS {line}");
+        }
+        for line in &outcome.notes {
+            println!("  NOTE {line}");
+        }
+        for line in &outcome.violations {
+            println!("  FAIL {line}");
+        }
+        failed |= !outcome.ok();
+    }
+    if failed {
+        eprintln!(
+            "bench_check: performance regression detected (tolerance {:.0}%). If the \
+             regression is intentional or the benchmark hardware changed, regenerate and \
+             commit the BENCH_*.json baselines.",
+            cfg.tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_check: all gates passed");
+}

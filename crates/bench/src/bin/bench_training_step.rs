@@ -34,8 +34,11 @@ fn main() {
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_training_step.json".to_string());
-    let result = measure_training_steps(20, true, &|| ALLOC.0.load(Ordering::SeqCst));
-    println!("training step ({} steps per variant):", result.steps);
+    let result = measure_training_steps(20, 5, true, &|| ALLOC.0.load(Ordering::SeqCst));
+    println!(
+        "training step ({} steps per window, best of {} windows):",
+        result.steps, result.trials
+    );
     for v in &result.variants {
         println!(
             "  {:>28}: {:>10.1} us/step  {:>8.1} allocs/step",

@@ -1,0 +1,294 @@
+//! The CI perf-regression gate: compares freshly emitted `BENCH_*.json`
+//! reports against the committed baselines.
+//!
+//! Nothing used to stop a PR from silently regressing the numbers the bench
+//! binaries accumulate. The `bench_check` binary (this module's logic)
+//! closes that gap: CI regenerates the reports into a scratch directory and
+//! fails the build if a gated metric regressed beyond tolerance:
+//!
+//! * **Throughput** (`requests_per_sec` for the serving report, the
+//!   per-variant `micros_per_step` inverse for the training-step report)
+//!   may not drop by more than the tolerance band (default **25%**).
+//! * **Allocations** (`allocs_per_step`) may not increase at all — the
+//!   arena executor's zero-allocation steady state is a hard invariant, so
+//!   the slack is one allocation per step (absorbing one-off harness noise
+//!   in the averaged counter), not a percentage.
+//! * A variant present in the baseline may not disappear from the fresh
+//!   report; a gated field present in the baseline must exist in the fresh
+//!   report.
+//!
+//! Gated fields missing from the *baseline* are skipped (with a note), so a
+//! report-format extension lands in the same PR that starts gating it.
+//! Baselines are machine-specific: refresh the committed files when the
+//! benchmark hardware changes.
+
+use crate::report::Json;
+
+/// Gate configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Allowed fractional throughput drop (0.25 = fail below 75% of the
+    /// baseline).
+    pub tolerance: f64,
+    /// Allowed absolute increase of averaged allocation counters.
+    pub alloc_slack: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            tolerance: 0.25,
+            alloc_slack: 1.0,
+        }
+    }
+}
+
+/// Outcome of checking one report pair.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Human-readable `metric: baseline -> fresh` lines that passed.
+    pub passes: Vec<String>,
+    /// Violations that must fail the build.
+    pub violations: Vec<String>,
+    /// Skipped comparisons (e.g. field not in the baseline yet).
+    pub notes: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn num(report: &Json, field: &str) -> Option<f64> {
+    report
+        .get(field)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite())
+}
+
+/// Checks one `lower is worse` throughput-style metric.
+fn check_throughput(
+    outcome: &mut CheckOutcome,
+    label: &str,
+    baseline: Option<f64>,
+    fresh: Option<f64>,
+    tolerance: f64,
+) {
+    match (baseline, fresh) {
+        (Some(base), Some(new)) => {
+            let floor = base * (1.0 - tolerance);
+            let line = format!("{label}: baseline {base:.1}, fresh {new:.1} (floor {floor:.1})");
+            if new < floor {
+                outcome
+                    .violations
+                    .push(format!("{line} — throughput regression"));
+            } else {
+                outcome.passes.push(line);
+            }
+        }
+        (Some(_), None) => outcome.violations.push(format!(
+            "{label}: gated metric missing from the fresh report"
+        )),
+        (None, _) => outcome
+            .notes
+            .push(format!("{label}: not in the baseline yet, skipped")),
+    }
+}
+
+/// Checks one `higher is worse` counter-style metric (allocations).
+fn check_alloc(
+    outcome: &mut CheckOutcome,
+    label: &str,
+    baseline: Option<f64>,
+    fresh: Option<f64>,
+    slack: f64,
+) {
+    match (baseline, fresh) {
+        (Some(base), Some(new)) => {
+            let line = format!("{label}: baseline {base:.1}, fresh {new:.1}");
+            if new > base + slack {
+                outcome
+                    .violations
+                    .push(format!("{line} — allocations increased"));
+            } else {
+                outcome.passes.push(line);
+            }
+        }
+        (Some(_), None) => outcome.violations.push(format!(
+            "{label}: gated metric missing from the fresh report"
+        )),
+        (None, _) => outcome
+            .notes
+            .push(format!("{label}: not in the baseline yet, skipped")),
+    }
+}
+
+/// Compares a fresh report against its committed baseline. Dispatches on
+/// the report's `bench` tag; unknown tags only check that the tags match.
+pub fn check_reports(baseline: &Json, fresh: &Json, cfg: CheckConfig) -> CheckOutcome {
+    let mut outcome = CheckOutcome::default();
+    let base_tag = baseline.get("bench").and_then(Json::as_str).unwrap_or("?");
+    let fresh_tag = fresh.get("bench").and_then(Json::as_str).unwrap_or("?");
+    if base_tag != fresh_tag {
+        outcome.violations.push(format!(
+            "bench tag mismatch: baseline '{base_tag}' vs fresh '{fresh_tag}'"
+        ));
+        return outcome;
+    }
+    match base_tag {
+        "engine_serving" => {
+            check_throughput(
+                &mut outcome,
+                "engine_serving.requests_per_sec",
+                num(baseline, "requests_per_sec"),
+                num(fresh, "requests_per_sec"),
+                cfg.tolerance,
+            );
+        }
+        "training_step" => {
+            let base_variants = baseline
+                .get("variants")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[]);
+            let fresh_variants = fresh.get("variants").and_then(Json::as_arr).unwrap_or(&[]);
+            for base_variant in base_variants {
+                let Some(name) = base_variant.get("name").and_then(Json::as_str) else {
+                    outcome
+                        .notes
+                        .push("baseline variant without a name, skipped".to_string());
+                    continue;
+                };
+                let Some(fresh_variant) = fresh_variants
+                    .iter()
+                    .find(|v| v.get("name").and_then(Json::as_str) == Some(name))
+                else {
+                    outcome.violations.push(format!(
+                        "training_step.{name}: variant disappeared from the fresh report"
+                    ));
+                    continue;
+                };
+                // micros_per_step is latency: invert the band so a >tol
+                // throughput drop (1/latency) fails.
+                let base_us = num(base_variant, "micros_per_step");
+                let fresh_us = num(fresh_variant, "micros_per_step");
+                check_throughput(
+                    &mut outcome,
+                    &format!("training_step.{name}.steps_per_sec"),
+                    base_us.map(|us| 1e6 / us.max(1e-9)),
+                    fresh_us.map(|us| 1e6 / us.max(1e-9)),
+                    cfg.tolerance,
+                );
+                check_alloc(
+                    &mut outcome,
+                    &format!("training_step.{name}.allocs_per_step"),
+                    num(base_variant, "allocs_per_step"),
+                    num(fresh_variant, "allocs_per_step"),
+                    cfg.alloc_slack,
+                );
+            }
+        }
+        other => outcome
+            .notes
+            .push(format!("no gate rules for bench tag '{other}'")),
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serving(rps: f64) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str("engine_serving".into())),
+            ("requests_per_sec", Json::Num(rps)),
+        ])
+    }
+
+    fn training(variants: Vec<(&str, f64, f64)>) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str("training_step".into())),
+            (
+                "variants",
+                Json::Arr(
+                    variants
+                        .into_iter()
+                        .map(|(name, us, allocs)| {
+                            Json::obj(vec![
+                                ("name", Json::Str(name.into())),
+                                ("micros_per_step", Json::Num(us)),
+                                ("allocs_per_step", Json::Num(allocs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn passes_within_the_band() {
+        let outcome = check_reports(&serving(1000.0), &serving(800.0), CheckConfig::default());
+        assert!(outcome.ok(), "{:?}", outcome.violations);
+        // Faster than baseline is trivially fine.
+        assert!(check_reports(&serving(1000.0), &serving(2000.0), CheckConfig::default()).ok());
+    }
+
+    #[test]
+    fn fails_on_a_throughput_drop_beyond_tolerance() {
+        let outcome = check_reports(&serving(1000.0), &serving(700.0), CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("throughput regression"));
+    }
+
+    #[test]
+    fn fails_on_any_alloc_increase_beyond_slack() {
+        let base = training(vec![("step_arena", 100.0, 0.0)]);
+        let ok = training(vec![("step_arena", 100.0, 0.5)]);
+        let bad = training(vec![("step_arena", 100.0, 3.0)]);
+        assert!(check_reports(&base, &ok, CheckConfig::default()).ok());
+        let outcome = check_reports(&base, &bad, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("allocations increased"));
+    }
+
+    #[test]
+    fn fails_on_slowdown_or_missing_variant() {
+        let base = training(vec![
+            ("step_arena", 100.0, 0.0),
+            ("step_boxed", 100.0, 700.0),
+        ]);
+        // 100µs -> 150µs is a 33% throughput drop: outside the 25% band.
+        let slow = training(vec![
+            ("step_arena", 150.0, 0.0),
+            ("step_boxed", 100.0, 700.0),
+        ]);
+        assert!(!check_reports(&base, &slow, CheckConfig::default()).ok());
+        // 100µs -> 120µs is a 17% drop: inside.
+        let fine = training(vec![
+            ("step_arena", 120.0, 0.0),
+            ("step_boxed", 100.0, 700.0),
+        ]);
+        assert!(check_reports(&base, &fine, CheckConfig::default()).ok());
+        let missing = training(vec![("step_arena", 100.0, 0.0)]);
+        let outcome = check_reports(&base, &missing, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("disappeared"));
+    }
+
+    #[test]
+    fn new_baseline_fields_are_skipped_with_a_note() {
+        let old_format = Json::obj(vec![("bench", Json::Str("engine_serving".into()))]);
+        let outcome = check_reports(&old_format, &serving(500.0), CheckConfig::default());
+        assert!(outcome.ok());
+        assert_eq!(outcome.notes.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        let outcome = check_reports(&serving(1.0), &training(vec![]), CheckConfig::default());
+        assert!(!outcome.ok());
+    }
+}

@@ -1,30 +1,47 @@
 //! Engine serving benchmark: throughput and latency of mixed-size
-//! train/eval traffic over one shared `ParamStore`, plus specialization
-//! cache accounting.
+//! train/eval traffic through the **queued ingestion path** (bounded
+//! submission queue + deadline-aware batcher), with the synchronous slice
+//! path measured alongside as the reference, plus specialization-cache and
+//! batcher accounting.
 //!
 //! Run via the `bench_serving` binary, which writes
-//! `BENCH_engine_serving.json` next to the working directory so the perf
-//! trajectory accumulates across commits:
+//! `BENCH_engine_serving.json` (the committed baseline the CI `bench_check`
+//! gate compares against):
 //!
 //! ```text
 //! cargo run --release -p pe_bench --bin bench_serving
 //! ```
+//!
+//! # Stability for gating
+//!
+//! The gated headline (`requests_per_sec`) must be reproducible within the
+//! gate's tolerance band, so the benchmark (a) scales the workload to
+//! thousands of requests — the original 256-request run finished in ~2 ms,
+//! which is timer-noise territory — and (b) runs `trials` independent
+//! passes and reports the **best**, which strips scheduler interference
+//! (the minimum-cost pass is the closest observation of the true cost of
+//! the work).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use pockengine::pe_data::serving::{generate_request_stream, RequestStreamConfig};
+use pockengine::pe_data::serving::{
+    generate_arrival_process, generate_request_stream, ArrivalProcessConfig, DeadlineDistribution,
+    RequestStreamConfig, ServingRequest,
+};
 use pockengine::pe_graph::GraphBuilder;
 use pockengine::pe_models::BuiltModel;
 use pockengine::pe_runtime::{ExecutorConfig, Optimizer};
 use pockengine::pe_tensor::Rng;
-use pockengine::{CompileOptions, Compiler, Engine, EngineConfig};
+use pockengine::{
+    BatcherStats, CompileOptions, Compiler, Engine, EngineConfig, EngineMetrics, QueueConfig,
+};
 
 use crate::report::Json;
 
 /// Configuration of one serving-bench run.
 #[derive(Debug, Clone)]
 pub struct ServingBenchConfig {
-    /// Number of requests in the stream.
+    /// Number of requests in the closed-loop stream.
     pub requests: usize,
     /// Request row counts (uniformly drawn).
     pub batch_sizes: Vec<usize>,
@@ -36,46 +53,104 @@ pub struct ServingBenchConfig {
     pub executor: ExecutorConfig,
     /// Stream seed.
     pub seed: u64,
+    /// Independent measurement passes; the best is reported.
+    pub trials: usize,
+    /// Submission-queue capacity for the queued path.
+    pub queue_capacity: usize,
+    /// Deadline budget per queued request (closed loop).
+    pub queue_deadline: Duration,
+    /// Requests in the open-loop arrival-process run.
+    pub open_loop_requests: usize,
+    /// Offered rate (requests/second) of the open-loop run.
+    pub open_loop_rate: f64,
 }
 
 impl Default for ServingBenchConfig {
     fn default() -> Self {
         ServingBenchConfig {
-            requests: 256,
+            requests: 2048,
             batch_sizes: vec![1, 2, 4, 8],
             warm_batches: vec![4, 8],
             train_fraction: 0.5,
             executor: ExecutorConfig::default(),
             seed: 0,
+            trials: 5,
+            queue_capacity: 256,
+            queue_deadline: Duration::from_micros(200),
+            open_loop_requests: 1024,
+            open_loop_rate: 25_000.0,
         }
+    }
+}
+
+/// Latency percentiles of one pass, in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyPercentiles {
+    /// Median submission-to-completion latency.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+}
+
+fn percentiles(mut latencies_us: Vec<f64>) -> LatencyPercentiles {
+    if latencies_us.is_empty() {
+        return LatencyPercentiles::default();
+    }
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pick = |q: f64| {
+        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
+        latencies_us[idx]
+    };
+    LatencyPercentiles {
+        p50_us: pick(0.50),
+        p95_us: pick(0.95),
+        p99_us: pick(0.99),
     }
 }
 
 /// Measured outcome of one serving-bench run.
 #[derive(Debug, Clone)]
 pub struct ServingBenchResult {
-    /// Requests served.
+    /// Requests served per pass.
     pub requests: u64,
-    /// Training steps executed.
-    pub train_steps: u64,
-    /// Evaluation micro-batches executed after coalescing.
-    pub eval_batches: u64,
-    /// Real rows processed.
-    pub rows: u64,
-    /// Padding rows added by the pad-to-nearest policy.
-    pub padded_rows: u64,
-    /// Specialization-cache hits (including steady-state serving).
+    /// Measurement passes taken.
+    pub trials: usize,
+    /// Engine metrics of the best queued pass.
+    pub metrics: EngineMetrics,
+    /// Batcher accounting of the best queued pass.
+    pub batcher: BatcherStats,
+    /// Specialization-cache dispatch hits of the best queued pass.
     pub cache_hits: u64,
-    /// Specialization-cache misses (including ladder warmup).
+    /// Specialization-cache dispatch misses (including ladder warmup).
     pub cache_misses: u64,
+    /// Per-request cache hits (coalesced members counted individually).
+    pub cache_request_hits: u64,
+    /// Per-request cache misses.
+    pub cache_request_misses: u64,
     /// Distinct batch sizes specialized.
     pub specializations: usize,
-    /// Wall-clock serving time (excludes warmup/compilation).
+    /// Wall-clock of the best queued pass (first submit → last completion).
     pub elapsed_secs: f64,
-    /// Requests per second.
+    /// **The gated headline**: queued-path throughput, best of `trials`.
     pub requests_per_sec: f64,
-    /// Real rows per second.
+    /// Real rows per second through the queue, best pass.
     pub rows_per_sec: f64,
+    /// Closed-loop submission-to-completion latency percentiles (measured
+    /// in a dedicated pass with a concurrent ticket waiter; includes
+    /// admission wait under backpressure).
+    pub latency: LatencyPercentiles,
+    /// Synchronous slice-path throughput (reference), best of `trials`.
+    pub sync_requests_per_sec: f64,
+    /// Synchronous slice-path rows per second, best pass.
+    pub sync_rows_per_sec: f64,
+    /// Offered rate of the open-loop arrival run.
+    pub open_loop_offered_per_sec: f64,
+    /// Achieved completion rate of the open-loop run.
+    pub open_loop_achieved_per_sec: f64,
+    /// Latency percentiles of the open-loop run.
+    pub open_loop_latency: LatencyPercentiles,
     /// Executor backend name.
     pub backend: &'static str,
     /// Executor worker threads.
@@ -108,56 +183,216 @@ fn mlp_factory(batch: usize) -> BuiltModel {
     }
 }
 
-/// Runs the serving benchmark: compile the generic program, warm the ladder,
-/// then time the engine over a mixed request stream.
-pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchResult {
-    let mut rng = Rng::seed_from_u64(cfg.seed);
-    let stream = generate_request_stream(
-        &RequestStreamConfig {
-            num_requests: cfg.requests,
-            batch_sizes: cfg.batch_sizes.clone(),
-            train_fraction: cfg.train_fraction,
-            num_classes: 8,
-            feature_dim: 32,
-            ..RequestStreamConfig::default()
-        },
-        &mut rng,
-    );
-
+fn fresh_engine(cfg: &ServingBenchConfig) -> Engine {
     let program = Compiler::new(CompileOptions {
         optimizer: Optimizer::sgd(0.05),
         executor: cfg.executor,
         ..CompileOptions::default()
     })
     .compile(mlp_factory);
-    let mut engine = Engine::new(
+    Engine::new(
         program,
         EngineConfig {
             executor: cfg.executor,
             warm_batches: cfg.warm_batches.clone(),
             max_coalesced_rows: None,
         },
-    );
+    )
+}
 
+struct QueuedPass {
+    elapsed: f64,
+    metrics: EngineMetrics,
+    batcher: BatcherStats,
+    cache: pockengine::CacheStats,
+    specializations: usize,
+}
+
+/// Redeems tickets on a dedicated thread *while* the producer submits, so
+/// each completion is observed when the drainer fulfills it — waiting only
+/// after the last submission would time-shift every completion to the end
+/// of the run and fabricate latencies.
+///
+/// Tickets resolve in dispatch order (single drainer, FIFO), so waiting in
+/// submission order observes each completion promptly. Returns the
+/// per-request submission-to-completion latencies (µs) and the instant the
+/// last response landed.
+fn redeem_concurrently(
+    producer: impl FnOnce(&std::sync::mpsc::Sender<(Instant, pockengine::Ticket)>),
+) -> (Vec<f64>, Instant) {
+    let (tx, rx) = std::sync::mpsc::channel::<(Instant, pockengine::Ticket)>();
+    std::thread::scope(|s| {
+        let waiter = s.spawn(move || {
+            let mut latencies_us = Vec::new();
+            let mut last = Instant::now();
+            for (submitted, ticket) in rx {
+                ticket.wait().expect("stream must be well-formed");
+                last = Instant::now();
+                latencies_us.push((last - submitted).as_secs_f64() * 1e6);
+            }
+            (latencies_us, last)
+        });
+        producer(&tx);
+        drop(tx);
+        waiter.join().expect("ticket waiter panicked")
+    })
+}
+
+/// One closed-loop **throughput** pass through the queue: submit the whole
+/// stream as fast as backpressure admits, then let `shutdown` drain. Only
+/// the producer and the drainer run — no ticket-waiter thread — so the
+/// measurement carries the minimum scheduling noise on small (1-core CI)
+/// containers; tickets are fulfilled but intentionally dropped unredeemed.
+/// Latency percentiles come from the separate [`latency_pass`].
+fn queued_pass(cfg: &ServingBenchConfig, stream: &[ServingRequest]) -> QueuedPass {
+    let engine = fresh_engine(cfg).into_async(QueueConfig {
+        capacity: cfg.queue_capacity,
+        default_deadline: cfg.queue_deadline,
+    });
     let start = Instant::now();
-    let responses = engine.serve(&stream).expect("stream must be well-formed");
+    for r in stream {
+        drop(engine.submit(r.clone()).expect("queue open"));
+    }
+    let (drained, batcher) = engine.shutdown_with_stats();
+    // shutdown() returns only after the drainer served everything in
+    // flight, so this instant bounds the last completion.
+    let elapsed = start.elapsed().as_secs_f64();
+    let metrics = drained.metrics();
+    assert_eq!(metrics.requests, stream.len() as u64);
+    QueuedPass {
+        elapsed,
+        metrics,
+        batcher,
+        cache: drained.cache_stats(),
+        specializations: drained.program().cached_batches().len(),
+    }
+}
+
+/// One closed-loop **latency** pass: same submission pattern, but a waiter
+/// thread redeems tickets concurrently so per-request completion times are
+/// observed when the drainer fulfills them.
+fn latency_pass(cfg: &ServingBenchConfig, stream: &[ServingRequest]) -> Vec<f64> {
+    let engine = fresh_engine(cfg).into_async(QueueConfig {
+        capacity: cfg.queue_capacity,
+        default_deadline: cfg.queue_deadline,
+    });
+    let (latencies_us, _) = redeem_concurrently(|tx| {
+        for r in stream {
+            let at = Instant::now();
+            let ticket = engine.submit(r.clone()).expect("queue open");
+            tx.send((at, ticket)).expect("waiter alive");
+        }
+    });
+    drop(engine.shutdown());
+    latencies_us
+}
+
+/// One pass over the synchronous slice path (the reference semantics).
+fn sync_pass(cfg: &ServingBenchConfig, stream: &[ServingRequest]) -> (f64, u64) {
+    let mut engine = fresh_engine(cfg);
+    let start = Instant::now();
+    let responses = engine.serve(stream).expect("stream must be well-formed");
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(responses.len(), stream.len());
+    (elapsed, engine.metrics().rows)
+}
 
-    let m = engine.metrics();
-    let stats = engine.cache_stats();
+/// Runs the serving benchmark; see the module docs for the methodology.
+pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchResult {
+    assert!(cfg.trials > 0, "at least one trial required");
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let stream_cfg = RequestStreamConfig {
+        num_requests: cfg.requests,
+        batch_sizes: cfg.batch_sizes.clone(),
+        train_fraction: cfg.train_fraction,
+        num_classes: 8,
+        feature_dim: 32,
+        ..RequestStreamConfig::default()
+    };
+    let stream = generate_request_stream(&stream_cfg, &mut rng);
+
+    // Queued path: best of N (producer + drainer only; see `queued_pass`).
+    let mut best: Option<QueuedPass> = None;
+    for _ in 0..cfg.trials {
+        let pass = queued_pass(cfg, &stream);
+        if best.as_ref().is_none_or(|b| pass.elapsed < b.elapsed) {
+            best = Some(pass);
+        }
+    }
+    let best = best.expect("trials > 0");
+
+    // Closed-loop latency percentiles (separate pass with a ticket waiter).
+    let closed_latencies = latency_pass(cfg, &stream);
+
+    // Sync slice path: best of N (reference).
+    let (mut sync_elapsed, mut sync_rows) = sync_pass(cfg, &stream);
+    for _ in 1..cfg.trials {
+        let (elapsed, rows) = sync_pass(cfg, &stream);
+        if elapsed < sync_elapsed {
+            (sync_elapsed, sync_rows) = (elapsed, rows);
+        }
+    }
+
+    // Open-loop arrival process: offered rate fixed up front, latency under
+    // deadline-diverse traffic.
+    let process = generate_arrival_process(
+        &ArrivalProcessConfig {
+            stream: RequestStreamConfig {
+                num_requests: cfg.open_loop_requests,
+                ..stream_cfg.clone()
+            },
+            rate_per_sec: cfg.open_loop_rate,
+            deadline: DeadlineDistribution::Uniform(
+                Duration::from_micros(100),
+                Duration::from_millis(1),
+            ),
+        },
+        &mut rng,
+    );
+    let engine = fresh_engine(cfg).into_async(QueueConfig {
+        capacity: cfg.queue_capacity,
+        default_deadline: cfg.queue_deadline,
+    });
+    let start = Instant::now();
+    let (open_latencies, open_last) = redeem_concurrently(|tx| {
+        for t in &process {
+            // Pace the producer to the arrival process. Sleeping (rather
+            // than spinning) keeps the producer off the drainer's core on
+            // single-CPU containers; sub-granularity gaps become small
+            // bursts, which an open queue absorbs.
+            let now = start.elapsed();
+            if now < t.arrival {
+                std::thread::sleep(t.arrival - now);
+            }
+            let at = Instant::now();
+            let ticket = engine
+                .submit_with_deadline(t.request.clone(), t.deadline)
+                .expect("queue open");
+            tx.send((at, ticket)).expect("waiter alive");
+        }
+    });
+    let open_elapsed = (open_last - start).as_secs_f64();
+    drop(engine.shutdown());
+
     ServingBenchResult {
-        requests: m.requests,
-        train_steps: m.train_steps,
-        eval_batches: m.eval_batches,
-        rows: m.rows,
-        padded_rows: m.padded_rows,
-        cache_hits: stats.hits,
-        cache_misses: stats.misses,
-        specializations: engine.program().cached_batches().len(),
-        elapsed_secs: elapsed,
-        requests_per_sec: m.requests as f64 / elapsed.max(1e-9),
-        rows_per_sec: m.rows as f64 / elapsed.max(1e-9),
+        requests: best.metrics.requests,
+        trials: cfg.trials,
+        metrics: best.metrics,
+        batcher: best.batcher,
+        cache_hits: best.cache.hits,
+        cache_misses: best.cache.misses,
+        cache_request_hits: best.cache.request_hits,
+        cache_request_misses: best.cache.request_misses,
+        specializations: best.specializations,
+        elapsed_secs: best.elapsed,
+        requests_per_sec: best.metrics.requests as f64 / best.elapsed.max(1e-9),
+        rows_per_sec: best.metrics.rows as f64 / best.elapsed.max(1e-9),
+        latency: percentiles(closed_latencies),
+        sync_requests_per_sec: stream.len() as f64 / sync_elapsed.max(1e-9),
+        sync_rows_per_sec: sync_rows as f64 / sync_elapsed.max(1e-9),
+        open_loop_offered_per_sec: cfg.open_loop_rate,
+        open_loop_achieved_per_sec: cfg.open_loop_requests as f64 / open_elapsed.max(1e-9),
+        open_loop_latency: percentiles(open_latencies),
         backend: cfg.executor.backend.name(),
         threads: cfg.executor.threads,
     }
@@ -165,22 +400,74 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchResult {
 
 impl ServingBenchResult {
     /// The JSON representation written to `BENCH_engine_serving.json`.
+    ///
+    /// `requests_per_sec` is the field the CI `bench_check` gate compares
+    /// against the committed baseline; `allocs`-style integer fields and
+    /// the latency percentiles are informational.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("bench", Json::Str("engine_serving".into())),
             ("backend", Json::Str(self.backend.into())),
             ("threads", Json::Int(self.threads as u64)),
             ("requests", Json::Int(self.requests)),
-            ("train_steps", Json::Int(self.train_steps)),
-            ("eval_batches", Json::Int(self.eval_batches)),
-            ("rows", Json::Int(self.rows)),
-            ("padded_rows", Json::Int(self.padded_rows)),
+            ("trials", Json::Int(self.trials as u64)),
+            ("train_steps", Json::Int(self.metrics.train_steps)),
+            ("eval_batches", Json::Int(self.metrics.eval_batches)),
+            ("rows", Json::Int(self.metrics.rows)),
+            ("padded_rows", Json::Int(self.metrics.padded_rows)),
             ("cache_hits", Json::Int(self.cache_hits)),
             ("cache_misses", Json::Int(self.cache_misses)),
+            ("cache_request_hits", Json::Int(self.cache_request_hits)),
+            ("cache_request_misses", Json::Int(self.cache_request_misses)),
             ("specializations", Json::Int(self.specializations as u64)),
+            ("batcher_eval_groups", Json::Int(self.batcher.eval_groups)),
+            (
+                "batcher_target_flushes",
+                Json::Int(self.batcher.target_flushes),
+            ),
+            (
+                "batcher_deadline_flushes",
+                Json::Int(self.batcher.deadline_flushes),
+            ),
+            (
+                "batcher_barrier_flushes",
+                Json::Int(self.batcher.barrier_flushes),
+            ),
+            (
+                "batcher_expired_dispatches",
+                Json::Int(self.batcher.expired_dispatches),
+            ),
             ("elapsed_secs", Json::Num(self.elapsed_secs)),
             ("requests_per_sec", Json::Num(self.requests_per_sec)),
             ("rows_per_sec", Json::Num(self.rows_per_sec)),
+            ("latency_p50_us", Json::Num(self.latency.p50_us)),
+            ("latency_p95_us", Json::Num(self.latency.p95_us)),
+            ("latency_p99_us", Json::Num(self.latency.p99_us)),
+            (
+                "sync_requests_per_sec",
+                Json::Num(self.sync_requests_per_sec),
+            ),
+            ("sync_rows_per_sec", Json::Num(self.sync_rows_per_sec)),
+            (
+                "open_loop_offered_per_sec",
+                Json::Num(self.open_loop_offered_per_sec),
+            ),
+            (
+                "open_loop_achieved_per_sec",
+                Json::Num(self.open_loop_achieved_per_sec),
+            ),
+            (
+                "open_loop_latency_p50_us",
+                Json::Num(self.open_loop_latency.p50_us),
+            ),
+            (
+                "open_loop_latency_p95_us",
+                Json::Num(self.open_loop_latency.p95_us),
+            ),
+            (
+                "open_loop_latency_p99_us",
+                Json::Num(self.open_loop_latency.p99_us),
+            ),
         ])
     }
 }
@@ -189,19 +476,49 @@ impl ServingBenchResult {
 mod tests {
     use super::*;
 
-    #[test]
-    fn serving_bench_runs_and_hits_the_cache() {
-        let result = run_serving_bench(&ServingBenchConfig {
-            requests: 24,
+    fn tiny_cfg() -> ServingBenchConfig {
+        ServingBenchConfig {
+            requests: 48,
+            trials: 2,
+            open_loop_requests: 24,
+            open_loop_rate: 100_000.0,
             executor: ExecutorConfig::arena(1),
             ..ServingBenchConfig::default()
-        });
-        assert_eq!(result.requests, 24);
-        assert!(result.train_steps > 0, "stream should contain train steps");
+        }
+    }
+
+    #[test]
+    fn serving_bench_runs_and_hits_the_cache() {
+        let result = run_serving_bench(&tiny_cfg());
+        assert_eq!(result.requests, 48);
+        assert!(
+            result.metrics.train_steps > 0,
+            "stream should contain train steps"
+        );
         assert!(result.cache_hits > 0, "steady state must hit the cache");
+        assert_eq!(
+            result.cache_request_hits + result.cache_request_misses,
+            48,
+            "every request attributed in the per-request accounting"
+        );
         assert!(result.requests_per_sec > 0.0);
+        assert!(result.sync_requests_per_sec > 0.0);
+        assert!(result.open_loop_achieved_per_sec > 0.0);
+        assert!(result.latency.p50_us <= result.latency.p99_us);
         let json = result.to_json().render();
         assert!(json.contains("\"requests_per_sec\""));
-        assert!(json.contains("\"cache_hits\""));
+        assert!(json.contains("\"latency_p99_us\""));
+        assert!(json.contains("\"batcher_eval_groups\""));
+        assert!(json.contains("\"cache_request_hits\""));
+    }
+
+    #[test]
+    fn percentiles_pick_the_right_ranks() {
+        let p = percentiles((1..=100).map(|i| i as f64).collect());
+        assert_eq!(p.p50_us, 51.0);
+        assert_eq!(p.p95_us, 95.0);
+        assert_eq!(p.p99_us, 99.0);
+        let empty = percentiles(Vec::new());
+        assert_eq!(empty.p50_us, 0.0);
     }
 }

@@ -1,0 +1,228 @@
+//! The deadline-aware batcher: the drainer loop between the submission
+//! queue and the engine.
+//!
+//! The synchronous slice path coalesces whatever evaluation requests happen
+//! to sit *next to each other* in a pre-materialised slice. The batcher
+//! works against an open queue instead, so it has a resource the slice path
+//! never had: **time**. Each request carries a deadline (the submitter's
+//! patience for companions), and the batcher grows an evaluation group
+//! toward the largest batch size a cached specialization can serve —
+//! waiting for more traffic only as long as *every* member's deadline
+//! permits:
+//!
+//! * an eval group is dispatched as soon as it **fills the target rung**
+//!   (the largest cached batch under the engine's executor config, capped by
+//!   `max_coalesced_rows`);
+//! * or when the **earliest deadline** in the group arrives — the group is
+//!   then padded to the nearest cached rung exactly like the sync path, so
+//!   a request never waits past its budget just to fill a batch;
+//! * a request popped with its deadline **already expired** is dispatched
+//!   immediately (solo if nothing else is pending) rather than waiting for
+//!   companions it has no budget for;
+//! * a **training request is a barrier**: it flushes the pending eval group
+//!   and then runs exclusively, at its exact row count, under the
+//!   `ParamStore` step guard — submission order between training steps is
+//!   execution order, which is what keeps the queued path bit-identical to
+//!   the synchronous baseline.
+//!
+//! Grouping differences between the two paths are invisible in the results:
+//! evaluation is read-only and padding/packing never leaks into per-request
+//! losses (`tests/tests/engine.rs::eval_padding_does_not_change_real_rows`),
+//! so only the train-step order matters — and that is FIFO on both paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::engine::Engine;
+use crate::queue::{Envelope, Pop, Receiver, ServeError};
+
+use pe_data::serving::ServingKind;
+
+/// Counters describing what the batcher did, updated live by the drainer.
+#[derive(Debug, Default)]
+pub(crate) struct BatcherCounters {
+    eval_groups: AtomicU64,
+    target_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    barrier_flushes: AtomicU64,
+    expired_dispatches: AtomicU64,
+    train_dispatches: AtomicU64,
+}
+
+/// A point-in-time snapshot of the batcher's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Evaluation micro-batches dispatched.
+    pub eval_groups: u64,
+    /// Groups dispatched because they filled the target rung.
+    pub target_flushes: u64,
+    /// Groups dispatched because a member's deadline arrived (includes
+    /// groups that timed out waiting for companions).
+    pub deadline_flushes: u64,
+    /// Groups flushed by a barrier: a training request, an incompatible
+    /// follow-up, or queue shutdown.
+    pub barrier_flushes: u64,
+    /// Requests whose deadline had already expired when popped; they
+    /// dispatch immediately (solo unless companions were already pending).
+    pub expired_dispatches: u64,
+    /// Training steps dispatched.
+    pub train_dispatches: u64,
+}
+
+impl BatcherCounters {
+    pub(crate) fn snapshot(&self) -> BatcherStats {
+        BatcherStats {
+            eval_groups: self.eval_groups.load(Ordering::Relaxed),
+            target_flushes: self.target_flushes.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            barrier_flushes: self.barrier_flushes.load(Ordering::Relaxed),
+            expired_dispatches: self.expired_dispatches.load(Ordering::Relaxed),
+            train_dispatches: self.train_dispatches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Why the accumulation loop stopped growing the current group.
+enum Flush {
+    /// The group reached the target rung.
+    Target,
+    /// The earliest member deadline arrived (or was already expired).
+    Deadline,
+    /// A request that cannot join the group arrived; it is carried into the
+    /// next iteration.
+    Barrier(Envelope),
+    /// The queue is closed and drained; serve what is held, then stop.
+    Shutdown,
+}
+
+/// Drains the queue into the engine until the queue is closed *and* empty.
+///
+/// Every popped envelope is fulfilled exactly once — with the served
+/// [`crate::engine::Response`] or with the executor's error — so producers
+/// blocked on tickets always resolve, including during shutdown drain.
+pub(crate) fn drain(engine: &mut Engine, rx: &Receiver, counters: &BatcherCounters) {
+    let mut carried: Option<Envelope> = None;
+    loop {
+        let head = match carried.take() {
+            Some(envelope) => envelope,
+            None => match rx.pop(None) {
+                Pop::Item(envelope) => envelope,
+                Pop::TimedOut => continue, // unreachable: no deadline given
+                Pop::Drained => return,
+            },
+        };
+        match head.request().kind {
+            ServingKind::Train => {
+                dispatch_train(engine, head, counters);
+            }
+            ServingKind::Eval => {
+                let target = engine.eval_target_rows();
+                let mut group = vec![head];
+                let mut rows = group[0].rows();
+                if group[0].deadline() <= Instant::now() {
+                    counters.expired_dispatches.fetch_add(1, Ordering::Relaxed);
+                    // No budget for companions: take only what is already
+                    // queued and compatible, without waiting.
+                    while rows < target {
+                        match rx.try_pop() {
+                            Some(e)
+                                if e.request().kind == ServingKind::Eval
+                                    && rows + e.rows() <= target =>
+                            {
+                                rows += e.rows();
+                                group.push(e);
+                            }
+                            Some(e) => {
+                                carried = Some(e);
+                                break;
+                            }
+                            None => break,
+                        }
+                    }
+                    counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
+                    dispatch_eval(engine, group, counters);
+                    continue;
+                }
+                let flush = accumulate(rx, &mut group, &mut rows, target);
+                match flush {
+                    Flush::Target => {
+                        counters.target_flushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Flush::Deadline => {
+                        counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Flush::Barrier(next) => {
+                        counters.barrier_flushes.fetch_add(1, Ordering::Relaxed);
+                        carried = Some(next);
+                    }
+                    Flush::Shutdown => {
+                        counters.barrier_flushes.fetch_add(1, Ordering::Relaxed);
+                        dispatch_eval(engine, group, counters);
+                        return;
+                    }
+                }
+                dispatch_eval(engine, group, counters);
+            }
+        }
+    }
+}
+
+/// Grows `group` until it fills `target` rows, the earliest member deadline
+/// arrives, or an incompatible request shows up.
+fn accumulate(rx: &Receiver, group: &mut Vec<Envelope>, rows: &mut usize, target: usize) -> Flush {
+    loop {
+        if *rows >= target {
+            return Flush::Target;
+        }
+        // Deadlines only shrink as members join, so the minimum is exact.
+        let earliest = group
+            .iter()
+            .map(Envelope::deadline)
+            .min()
+            .expect("group is never empty");
+        match rx.pop(Some(earliest)) {
+            Pop::Item(e) if e.request().kind == ServingKind::Eval && *rows + e.rows() <= target => {
+                *rows += e.rows();
+                group.push(e);
+            }
+            Pop::Item(e) => return Flush::Barrier(e),
+            Pop::TimedOut => return Flush::Deadline,
+            Pop::Drained => return Flush::Shutdown,
+        }
+    }
+}
+
+fn dispatch_train(engine: &mut Engine, mut envelope: Envelope, counters: &BatcherCounters) {
+    counters.train_dispatches.fetch_add(1, Ordering::Relaxed);
+    let request = envelope.take_request();
+    let result = engine
+        .train_one(envelope.seq(), &request)
+        .map_err(ServeError::from);
+    envelope.fulfill(result);
+}
+
+fn dispatch_eval(engine: &mut Engine, mut group: Vec<Envelope>, counters: &BatcherCounters) {
+    counters.eval_groups.fetch_add(1, Ordering::Relaxed);
+    let requests: Vec<_> = group
+        .iter_mut()
+        .map(|e| (e.seq(), e.take_request()))
+        .collect();
+    let pairs: Vec<(usize, &pe_data::serving::ServingRequest)> =
+        requests.iter().map(|(seq, r)| (*seq, r)).collect();
+    let rows = pairs.iter().map(|(_, r)| r.rows()).sum();
+    let mut responses = Vec::with_capacity(pairs.len());
+    match engine.eval_group(&pairs, rows, &mut responses) {
+        Ok(()) => {
+            debug_assert_eq!(responses.len(), group.len());
+            // eval_group answers in group order; zip envelopes back up.
+            for (envelope, response) in group.into_iter().zip(responses) {
+                envelope.fulfill(Ok(response));
+            }
+        }
+        Err(e) => {
+            for envelope in group {
+                envelope.fulfill(Err(ServeError::Exec(e.clone())));
+            }
+        }
+    }
+}

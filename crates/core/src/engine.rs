@@ -20,15 +20,30 @@
 //! Because every specialization borrows the program's canonical parameter
 //! store, a training request immediately improves subsequent evaluation
 //! requests — at any batch size — without any parameter copying.
+//!
+//! Two ingestion paths feed one engine:
+//!
+//! * the **synchronous slice path** ([`Engine::serve`]) walks a
+//!   pre-materialised request slice in order — the reference semantics;
+//! * the **asynchronous queue path** ([`Engine::into_async`]) accepts
+//!   requests through a bounded submission queue ([`crate::queue`]) drained
+//!   by a deadline-aware batcher ([`crate::batcher`]) on a dedicated
+//!   thread, and is proven bit-identical to the slice path
+//!   (`tests/tests/engine_async.rs`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use pe_data::serving::{ServingKind, ServingRequest};
 use pe_runtime::{ExecError, ExecutorConfig};
 use pe_tensor::kernels::{layout, norm};
 use pe_tensor::Tensor;
 
+use crate::batcher::{self, BatcherCounters, BatcherStats};
 use crate::program::{CacheStats, Program};
+use crate::queue::{self, QueueConfig, SubmitError, Submitter, Ticket};
 
 /// Engine policy knobs.
 #[derive(Debug, Clone)]
@@ -163,7 +178,9 @@ impl Engine {
                         rows += requests[j].rows();
                         j += 1;
                     }
-                    self.eval_group(i, &requests[i..j], rows, &mut responses)?;
+                    let group: Vec<(usize, &ServingRequest)> =
+                        (i..j).map(|k| (k, &requests[k])).collect();
+                    self.eval_group(&group, rows, &mut responses)?;
                     i = j;
                 }
             }
@@ -171,28 +188,58 @@ impl Engine {
         Ok(responses)
     }
 
-    /// Serves a single request (no coalescing across calls).
+    /// Serves a single request synchronously (no coalescing across calls).
+    ///
+    /// For queued ingestion with batching across producers, move the engine
+    /// behind a submission queue with [`Engine::into_async`].
     ///
     /// # Errors
     ///
     /// Returns executor input errors (malformed features/labels).
-    pub fn submit(&mut self, request: &ServingRequest) -> Result<Response, ExecError> {
+    pub fn serve_one(&mut self, request: &ServingRequest) -> Result<Response, ExecError> {
         let id = self.metrics.requests as usize;
         match request.kind {
             ServingKind::Train => self.train_one(id, request),
             ServingKind::Eval => {
                 let mut out = Vec::with_capacity(1);
-                self.eval_group(id, std::slice::from_ref(request), request.rows(), &mut out)?;
+                self.eval_group(&[(id, request)], request.rows(), &mut out)?;
                 Ok(out.pop().expect("one response per request"))
             }
         }
     }
 
-    fn max_coalesced_rows(&self) -> usize {
+    /// Moves the engine behind a bounded submission queue drained by a
+    /// dedicated batcher thread, returning the asynchronous facade.
+    ///
+    /// Producers submit through [`AsyncEngine`] (or cloned
+    /// [`AsyncEngine::submitter`] handles) and redeem [`Ticket`]s; the
+    /// drainer groups compatible evaluation requests under their deadline
+    /// budgets and runs training requests as exact-size exclusive steps.
+    /// [`AsyncEngine::shutdown`] drains in-flight requests and hands the
+    /// engine back.
+    pub fn into_async(self, config: QueueConfig) -> AsyncEngine {
+        AsyncEngine::spawn(self, config)
+    }
+
+    pub(crate) fn max_coalesced_rows(&self) -> usize {
         self.config
             .max_coalesced_rows
             .unwrap_or_else(|| self.config.warm_batches.last().copied().unwrap_or(1))
             .max(1)
+    }
+
+    /// The row count the deadline-aware batcher aims to fill: the largest
+    /// batch size already specialized for the engine's executor config,
+    /// capped by the coalescing limit (falls back to the limit itself before
+    /// anything is cached).
+    pub(crate) fn eval_target_rows(&self) -> usize {
+        let limit = self.max_coalesced_rows();
+        self.program
+            .cached_batches_for(self.config.executor)
+            .into_iter()
+            .filter(|&b| b <= limit)
+            .max()
+            .unwrap_or(limit)
     }
 
     /// Smallest cached batch ≥ `rows` under the engine's executor config.
@@ -205,13 +252,17 @@ impl Engine {
             .find(|&b| b >= rows)
     }
 
-    fn train_one(&mut self, id: usize, request: &ServingRequest) -> Result<Response, ExecError> {
+    pub(crate) fn train_one(
+        &mut self,
+        id: usize,
+        request: &ServingRequest,
+    ) -> Result<Response, ExecError> {
         let rows = request.rows();
         let feature_input = self.program.feature_input().to_string();
         let label_input = self.program.label_input().to_string();
         let logits_name = self.program.logits_name().to_string();
         let exec_cfg = self.config.executor;
-        let spec = self.program.specialize_with(rows, exec_cfg);
+        let spec = self.program.specialize_for_requests(rows, exec_cfg, 1);
         let inputs = HashMap::from([
             (feature_input, request.features.clone()),
             (label_input, request.labels.clone()),
@@ -230,10 +281,12 @@ impl Engine {
         })
     }
 
-    fn eval_group(
+    /// Runs one evaluation micro-batch over `group` (pairs of response id
+    /// and request), packing and padding to the nearest cached rung, and
+    /// appends one [`Response`] per request in group order.
+    pub(crate) fn eval_group(
         &mut self,
-        first_id: usize,
-        group: &[ServingRequest],
+        group: &[(usize, &ServingRequest)],
         rows: usize,
         responses: &mut Vec<Response>,
     ) -> Result<(), ExecError> {
@@ -245,18 +298,20 @@ impl Engine {
         let logits_name = self.program.logits_name().to_string();
         let exec_cfg = self.config.executor;
 
-        let features = pack_rows(group.iter().map(|r| &r.features), rows, batch);
-        let labels = pack_rows(group.iter().map(|r| &r.labels), rows, batch);
+        let features = pack_rows(group.iter().map(|(_, r)| &r.features), rows, batch);
+        let labels = pack_rows(group.iter().map(|(_, r)| &r.labels), rows, batch);
         let inputs = HashMap::from([(feature_input, features), (label_input, labels)]);
 
-        let spec = self.program.specialize_with(batch, exec_cfg);
+        let spec = self
+            .program
+            .specialize_for_requests(batch, exec_cfg, group.len() as u64);
         let result = spec.executor.run_eval(&inputs)?;
         let logits = result.outputs.get(&logits_name);
 
         self.metrics.eval_batches += 1;
         self.metrics.padded_rows += (batch - rows) as u64;
         let mut offset = 0usize;
-        for (k, request) in group.iter().enumerate() {
+        for &(id, request) in group {
             let n = request.rows();
             let sliced = logits.and_then(|l| slice_rows(l, offset, n));
             let loss = sliced
@@ -264,7 +319,7 @@ impl Engine {
                 .filter(|l| l.dims().len() == 2 && request.labels.dims().len() == 1)
                 .map(|l| norm::cross_entropy_loss(l, &request.labels).data()[0]);
             responses.push(Response {
-                id: first_id + k,
+                id,
                 kind: ServingKind::Eval,
                 rows: n,
                 batch,
@@ -276,6 +331,149 @@ impl Engine {
             offset += n;
         }
         Ok(())
+    }
+}
+
+// The drainer thread takes ownership of the engine, so the whole serving
+// stack (program, factory, specializations, executors, worker pools) must
+// stay `Send`. This fails to compile if a future field regresses that.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+};
+
+/// The asynchronous ingestion facade: one [`Engine`] behind a bounded
+/// submission queue, drained by a deadline-aware batcher thread.
+///
+/// Created by [`Engine::into_async`]. Producers submit [`ServingRequest`]s
+/// (from any number of threads, via [`AsyncEngine::submitter`] clones) and
+/// redeem the returned [`Ticket`]s for [`Response`]s. The batching policy —
+/// target rung, deadline semantics, training barriers — is documented in
+/// [`crate::batcher`].
+///
+/// # Backpressure contract
+///
+/// The queue is bounded by [`QueueConfig::capacity`]. [`AsyncEngine::submit`]
+/// blocks while the queue is full; [`AsyncEngine::try_submit`] instead hands
+/// the request back as [`SubmitError::Full`], so load shedding is the
+/// caller's explicit decision. Requests are never silently dropped: every
+/// accepted ticket resolves, even through [`AsyncEngine::shutdown`], which
+/// closes the queue and drains in-flight requests before returning the
+/// engine.
+#[derive(Debug)]
+pub struct AsyncEngine {
+    submitter: Submitter,
+    counters: Arc<BatcherCounters>,
+    drainer: Option<JoinHandle<Engine>>,
+}
+
+impl AsyncEngine {
+    fn spawn(engine: Engine, config: QueueConfig) -> Self {
+        let (submitter, receiver) = queue::channel(config);
+        let counters = Arc::new(BatcherCounters::default());
+        let drainer_counters = Arc::clone(&counters);
+        let mut engine = engine;
+        let drainer = std::thread::Builder::new()
+            .name("pe-engine-drainer".to_string())
+            .spawn(move || {
+                batcher::drain(&mut engine, &receiver, &drainer_counters);
+                engine
+            })
+            .expect("failed to spawn the engine drainer thread");
+        AsyncEngine {
+            submitter,
+            counters,
+            drainer: Some(drainer),
+        }
+    }
+
+    /// Enqueues a request with the queue's default deadline budget,
+    /// blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] after shutdown.
+    pub fn submit(&self, request: ServingRequest) -> Result<Ticket, SubmitError> {
+        self.submitter.submit(request)
+    }
+
+    /// [`AsyncEngine::submit`] with an explicit deadline budget: how long
+    /// the request may wait in the batcher for companions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] after shutdown.
+    pub fn submit_with_deadline(
+        &self,
+        request: ServingRequest,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submitter.submit_with_deadline(request, deadline)
+    }
+
+    /// Enqueues without blocking; a full queue is an explicit
+    /// [`SubmitError::Full`] rejection with the request handed back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Full`] on a full queue, [`SubmitError::Closed`]
+    /// after shutdown.
+    pub fn try_submit(&self, request: ServingRequest) -> Result<Ticket, SubmitError> {
+        self.submitter.try_submit(request)
+    }
+
+    /// A cloneable producer handle, for feeding the queue from other
+    /// threads. Handles outlive the facade but submissions fail with
+    /// [`SubmitError::Closed`] once the engine shuts down.
+    pub fn submitter(&self) -> Submitter {
+        self.submitter.clone()
+    }
+
+    /// Requests accepted but not yet dispatched.
+    pub fn queue_len(&self) -> usize {
+        self.submitter.len()
+    }
+
+    /// Live batcher accounting (groups formed, deadline/target/barrier
+    /// flushes, expired dispatches).
+    pub fn batcher_stats(&self) -> BatcherStats {
+        self.counters.snapshot()
+    }
+
+    /// Closes the queue, waits for the drainer to serve every in-flight
+    /// request, and returns the engine (metrics, cache stats and the
+    /// parameter store intact).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the drainer thread.
+    pub fn shutdown(self) -> Engine {
+        self.shutdown_with_stats().0
+    }
+
+    /// [`AsyncEngine::shutdown`], additionally returning the batcher's
+    /// final accounting (taken *after* the drain, so shutdown-flushed
+    /// groups are included).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the drainer thread.
+    pub fn shutdown_with_stats(mut self) -> (Engine, BatcherStats) {
+        self.submitter.close();
+        let drainer = self.drainer.take().expect("drainer joined twice");
+        let engine = drainer.join().expect("engine drainer thread panicked");
+        (engine, self.counters.snapshot())
+    }
+}
+
+impl Drop for AsyncEngine {
+    fn drop(&mut self) {
+        if let Some(drainer) = self.drainer.take() {
+            self.submitter.close();
+            // Dropping without `shutdown` still drains; swallow a drainer
+            // panic rather than aborting via double panic.
+            let _ = drainer.join();
+        }
     }
 }
 

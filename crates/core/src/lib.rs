@@ -36,8 +36,10 @@
 
 #![deny(missing_docs)]
 
+pub mod batcher;
 pub mod engine;
 pub mod program;
+pub mod queue;
 
 pub use pe_backends;
 pub use pe_data;
@@ -56,9 +58,11 @@ use pe_passes::{optimize, OptimizeOptions, OptimizeStats, Schedule, ScheduleStra
 use pe_runtime::{Executor, ExecutorConfig, Optimizer, Trainer};
 use pe_sparse::{apply_rule, trainable_elements, UpdateRule};
 
-pub use engine::{Engine, EngineConfig, EngineMetrics, Response};
+pub use batcher::BatcherStats;
+pub use engine::{AsyncEngine, Engine, EngineConfig, EngineMetrics, Response};
 pub use pe_data::serving::{ServingKind, ServingRequest};
 pub use program::{CacheStats, Compiler, ModelFactory, Program, Specialization};
+pub use queue::{QueueConfig, ServeError, SubmitError, Submitter, Ticket};
 
 /// Everything most users need, in one import.
 ///
@@ -108,14 +112,16 @@ pub use program::{CacheStats, Compiler, ModelFactory, Program, Specialization};
 /// ```
 pub mod prelude {
     pub use crate::{
-        analyze, compile, CacheStats, CompileOptions, CompiledProgram, Compiler, Engine,
-        EngineConfig, EngineMetrics, Program, ProgramAnalysis, Response, Specialization,
+        analyze, compile, AsyncEngine, BatcherStats, CacheStats, CompileOptions, CompiledProgram,
+        Compiler, Engine, EngineConfig, EngineMetrics, Program, ProgramAnalysis, QueueConfig,
+        Response, ServeError, Specialization, SubmitError, Submitter, Ticket,
     };
     pub use pe_backends::{DeviceProfile, FrameworkProfile};
     pub use pe_data::{
-        generate_instruct_dataset, generate_nlp_task, generate_request_stream,
-        generate_vision_task, InstructConfig, NlpTaskConfig, RequestStreamConfig, ServingKind,
-        ServingRequest, VisionTaskConfig,
+        generate_arrival_process, generate_instruct_dataset, generate_nlp_task,
+        generate_request_stream, generate_vision_task, ArrivalProcessConfig, DeadlineDistribution,
+        InstructConfig, NlpTaskConfig, RequestStreamConfig, ServingKind, ServingRequest,
+        TimedRequest, VisionTaskConfig,
     };
     pub use pe_graph::{GraphBuilder, ParamKey, TrainKind, TrainSpec};
     pub use pe_models::{

@@ -69,12 +69,27 @@ impl SpecKey {
 }
 
 /// Specialization-cache hit/miss accounting.
+///
+/// Counts exist at two granularities, because one executor **dispatch** may
+/// serve many coalesced requests:
+///
+/// * `hits` / `misses` are **per dispatch** — one count per
+///   [`Program::specialize_with`] call (a training step, an eval
+///   micro-batch, or a warmup compile);
+/// * `request_hits` / `request_misses` are **per request** — a coalesced
+///   eval group of five requests served by a cached specialization adds 5
+///   to `request_hits` but only 1 to `hits`. Warmup compiles serve no
+///   request and leave the request counts untouched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Requests answered by an already-compiled specialization.
+    /// Dispatches answered by an already-compiled specialization.
     pub hits: u64,
-    /// Requests that ran the specialization pipeline.
+    /// Dispatches that ran the specialization pipeline.
     pub misses: u64,
+    /// Requests served through an already-compiled specialization.
+    pub request_hits: u64,
+    /// Requests whose dispatch had to run the specialization pipeline.
+    pub request_misses: u64,
 }
 
 /// One batch-size specialization: the compiled analysis plus the pooled
@@ -234,11 +249,26 @@ impl Program {
     /// Panics if the factory produces a model whose parameters disagree
     /// with the canonical store (a non-conforming [`ModelFactory`]).
     pub fn specialize_with(&mut self, batch: usize, exec: ExecutorConfig) -> &mut Specialization {
+        self.specialize_for_requests(batch, exec, 0)
+    }
+
+    /// [`Program::specialize_with`], additionally attributing the dispatch
+    /// to `requests` serving requests in the per-request cache accounting
+    /// (see [`CacheStats`]). The engine passes the coalesced group size
+    /// here; warmup compiles pass 0.
+    pub fn specialize_for_requests(
+        &mut self,
+        batch: usize,
+        exec: ExecutorConfig,
+        requests: u64,
+    ) -> &mut Specialization {
         let key = SpecKey::new(batch, exec);
         if self.cache.contains_key(&key) {
             self.stats.hits += 1;
+            self.stats.request_hits += requests;
         } else {
             self.stats.misses += 1;
+            self.stats.request_misses += requests;
             let model = self.factory.build(batch);
             let analysis = analyze(&model, &self.options);
             let executor = Executor::with_store(
@@ -294,15 +324,49 @@ mod tests {
     #[test]
     fn cache_hits_and_misses_are_counted() {
         let mut p = program();
-        assert_eq!(p.cache_stats(), CacheStats { hits: 0, misses: 0 });
+        assert_eq!(p.cache_stats(), CacheStats::default());
         p.specialize(2);
         p.specialize(2);
         p.specialize(4);
-        assert_eq!(p.cache_stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(
+            p.cache_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                ..CacheStats::default()
+            }
+        );
         assert!(p.is_cached(2) && p.is_cached(4) && !p.is_cached(8));
         // A different executor config is different content: separate entry.
         p.specialize_with(2, ExecutorConfig::boxed());
-        assert_eq!(p.cache_stats(), CacheStats { hits: 1, misses: 3 });
+        assert_eq!(
+            p.cache_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 3,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn request_counts_track_coalesced_group_sizes() {
+        let mut p = program();
+        // Warmup-style dispatch: no requests attributed.
+        p.specialize_with(4, ExecutorConfig::arena(1));
+        // A coalesced group of 5 requests hits the cached specialization.
+        p.specialize_for_requests(4, ExecutorConfig::arena(1), 5);
+        // A train request misses at a new batch size.
+        p.specialize_for_requests(2, ExecutorConfig::arena(1), 1);
+        assert_eq!(
+            p.cache_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                request_hits: 5,
+                request_misses: 1,
+            }
+        );
     }
 
     #[test]

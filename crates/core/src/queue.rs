@@ -1,0 +1,638 @@
+//! The bounded submission queue feeding the asynchronous engine.
+//!
+//! Producers and the engine's drainer communicate through a classic bounded
+//! MPSC channel, built here on `Mutex` + `Condvar` (the container vendors no
+//! async runtime, and the drainer is a plain thread — see
+//! [`crate::engine::AsyncEngine`]):
+//!
+//! * [`channel`] creates a ([`Submitter`], [`Receiver`]) pair with a fixed
+//!   capacity. [`Submitter`] is cheaply cloneable, so any number of producer
+//!   threads can feed one queue.
+//! * [`Submitter::submit`] **blocks** while the queue is at capacity — the
+//!   backpressure a bounded queue exists to apply. [`Submitter::try_submit`]
+//!   never blocks: a full queue hands the request back as
+//!   [`SubmitError::Full`], so callers can shed load explicitly instead of
+//!   stalling.
+//! * Every accepted request yields a [`Ticket`], a future-style handle the
+//!   producer redeems for the request's [`Response`] once the drainer has
+//!   served it. Tickets never dangle: an [`Envelope`] dropped unserved (a
+//!   drainer torn down mid-flight) resolves its ticket with
+//!   [`ServeError::Cancelled`].
+//!
+//! Each request carries an absolute **deadline**: the instant by which the
+//! submitter wants the request dispatched. The batcher treats it as the
+//! request's patience for companions — see [`crate::batcher`] for how groups
+//! form under deadline budgets.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pe_data::serving::ServingRequest;
+use pe_runtime::ExecError;
+
+use crate::engine::Response;
+
+/// Submission-queue policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Maximum queued (accepted but not yet dispatched) requests. Submitting
+    /// beyond it blocks ([`Submitter::submit`]) or is rejected
+    /// ([`Submitter::try_submit`]).
+    pub capacity: usize,
+    /// Deadline budget given to requests submitted without an explicit one:
+    /// how long a request may wait in the batcher for companions before it
+    /// must be dispatched.
+    pub default_deadline: Duration,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            capacity: 64,
+            default_deadline: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue is at capacity (only [`Submitter::try_submit`] reports
+    /// this); the request is handed back untouched.
+    Full(ServingRequest),
+    /// The queue was closed (engine shut down); the request is handed back.
+    Closed(ServingRequest),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(_) => write!(f, "submission queue is full"),
+            SubmitError::Closed(_) => write!(f, "submission queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a ticket resolved without a [`Response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The executor rejected the request's inputs (shape/dtype/missing).
+    Exec(ExecError),
+    /// The request was accepted but its drainer went away before serving it.
+    /// The built-in [`crate::engine::AsyncEngine::shutdown`] drains the queue
+    /// first, so this surfaces only if a drainer is torn down abnormally.
+    Cancelled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Exec(e) => write!(f, "{e}"),
+            ServeError::Cancelled => write!(f, "request cancelled before being served"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+/// State of a ticket's completion slot.
+#[derive(Debug)]
+enum TicketSlot {
+    /// The drainer has not served the request yet.
+    Pending,
+    /// Served; the result awaits redemption.
+    Ready(Box<Result<Response, ServeError>>),
+    /// Served and already redeemed by [`Ticket::try_take`].
+    Taken,
+}
+
+/// Shared completion cell between a [`Ticket`] and its [`Envelope`].
+#[derive(Debug)]
+struct TicketCell {
+    slot: Mutex<TicketSlot>,
+    ready: Condvar,
+}
+
+impl TicketCell {
+    fn fulfill(&self, result: Result<Response, ServeError>) {
+        let mut slot = self.slot.lock().unwrap();
+        if matches!(*slot, TicketSlot::Pending) {
+            *slot = TicketSlot::Ready(Box::new(result));
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A future-style handle for one accepted request: redeem it with
+/// [`Ticket::wait`] once the drainer has served the request, or poll it with
+/// [`Ticket::try_take`].
+#[derive(Debug)]
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+    seq: usize,
+}
+
+impl Ticket {
+    /// The request's submission sequence number (the `id` its [`Response`]
+    /// will carry).
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Whether the request has been served (stays `true` after the result
+    /// was redeemed with [`Ticket::try_take`]).
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.cell.slot.lock().unwrap(), TicketSlot::Pending)
+    }
+
+    /// Takes the result without blocking, if the request has been served.
+    /// Returns `None` both while pending and after the result was already
+    /// taken.
+    pub fn try_take(&mut self) -> Option<Result<Response, ServeError>> {
+        let mut slot = self.cell.slot.lock().unwrap();
+        if matches!(*slot, TicketSlot::Ready(_)) {
+            if let TicketSlot::Ready(result) = std::mem::replace(&mut *slot, TicketSlot::Taken) {
+                return Some(*result);
+            }
+        }
+        None
+    }
+
+    /// Blocks until the request has been served and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already redeemed via [`Ticket::try_take`]
+    /// (rather than blocking forever on a result that cannot arrive again).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut slot = self.cell.slot.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *slot, TicketSlot::Taken) {
+                TicketSlot::Ready(result) => return *result,
+                TicketSlot::Taken => {
+                    panic!("ticket result was already taken via try_take")
+                }
+                TicketSlot::Pending => {
+                    *slot = TicketSlot::Pending;
+                    slot = self.cell.ready.wait(slot).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// One queued request on the drainer side: the request, its submission
+/// sequence number, its dispatch deadline, and the producer's ticket.
+///
+/// Dropping an envelope unserved resolves the ticket with
+/// [`ServeError::Cancelled`], so producers never wait on a request a drainer
+/// abandoned.
+#[derive(Debug)]
+pub struct Envelope {
+    seq: usize,
+    deadline: Instant,
+    request: Option<ServingRequest>,
+    cell: Arc<TicketCell>,
+}
+
+impl Envelope {
+    /// The submission sequence number.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// The instant by which the request wants to be dispatched.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// The queued request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Envelope::take_request`].
+    pub fn request(&self) -> &ServingRequest {
+        self.request.as_ref().expect("request already taken")
+    }
+
+    /// Moves the request out (for zero-copy dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn take_request(&mut self) -> ServingRequest {
+        self.request.take().expect("request already taken")
+    }
+
+    /// Number of rows the queued request carries.
+    pub fn rows(&self) -> usize {
+        self.request().rows()
+    }
+
+    /// Resolves the producer's ticket with the served result.
+    pub fn fulfill(self, result: Result<Response, ServeError>) {
+        self.cell.fulfill(result);
+        // Drop runs next but finds the cell already fulfilled.
+    }
+}
+
+impl Drop for Envelope {
+    fn drop(&mut self) {
+        self.cell.fulfill(Err(ServeError::Cancelled));
+    }
+}
+
+/// Queue state behind the mutex.
+#[derive(Debug)]
+struct State {
+    items: VecDeque<Envelope>,
+    closed: bool,
+    next_seq: usize,
+}
+
+/// The shared bounded MPSC queue.
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    default_deadline: Duration,
+}
+
+impl Shared {
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Creates a bounded submission queue: a cloneable producer handle and the
+/// single consumer end the drainer owns.
+///
+/// # Panics
+///
+/// Panics if the configured capacity is 0.
+pub fn channel(config: QueueConfig) -> (Submitter, Receiver) {
+    assert!(config.capacity > 0, "queue capacity must be positive");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            items: VecDeque::with_capacity(config.capacity),
+            closed: false,
+            next_seq: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity: config.capacity,
+        default_deadline: config.default_deadline,
+    });
+    (
+        Submitter {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Cloneable producer handle of a submission queue.
+#[derive(Debug, Clone)]
+pub struct Submitter {
+    shared: Arc<Shared>,
+}
+
+impl Submitter {
+    /// Enqueues a request with the queue's default deadline budget,
+    /// **blocking while the queue is full** (bounded-queue backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] (with the request handed back) if the
+    /// queue was closed.
+    pub fn submit(&self, request: ServingRequest) -> Result<Ticket, SubmitError> {
+        let deadline = self.shared.default_deadline;
+        self.submit_with_deadline(request, deadline)
+    }
+
+    /// [`Submitter::submit`] with an explicit deadline budget: the request
+    /// may wait at most `deadline` (from now) in the batcher for companions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] if the queue was closed.
+    pub fn submit_with_deadline(
+        &self,
+        request: ServingRequest,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed(request));
+            }
+            if state.items.len() < self.shared.capacity {
+                return Ok(push(&self.shared, &mut state, request, deadline));
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Enqueues without blocking: a full queue is an explicit
+    /// [`SubmitError::Full`] rejection with the request handed back, so the
+    /// caller decides whether to retry, redirect or shed the load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Full`] on a full queue and
+    /// [`SubmitError::Closed`] on a closed one.
+    pub fn try_submit(&self, request: ServingRequest) -> Result<Ticket, SubmitError> {
+        let deadline = self.shared.default_deadline;
+        self.try_submit_with_deadline(request, deadline)
+    }
+
+    /// [`Submitter::try_submit`] with an explicit deadline budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Full`] on a full queue and
+    /// [`SubmitError::Closed`] on a closed one.
+    pub fn try_submit_with_deadline(
+        &self,
+        request: ServingRequest,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed(request));
+        }
+        if state.items.len() >= self.shared.capacity {
+            return Err(SubmitError::Full(request));
+        }
+        Ok(push(&self.shared, &mut state, request, deadline))
+    }
+
+    /// Requests currently queued (accepted, not yet popped by the drainer).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending requests still drain, but every later
+    /// submission fails with [`SubmitError::Closed`].
+    pub fn close(&self) {
+        self.shared.close();
+    }
+}
+
+fn push(shared: &Shared, state: &mut State, request: ServingRequest, deadline: Duration) -> Ticket {
+    let seq = state.next_seq;
+    state.next_seq += 1;
+    let cell = Arc::new(TicketCell {
+        slot: Mutex::new(TicketSlot::Pending),
+        ready: Condvar::new(),
+    });
+    state.items.push_back(Envelope {
+        seq,
+        deadline: Instant::now() + deadline,
+        request: Some(request),
+        cell: Arc::clone(&cell),
+    });
+    shared.not_empty.notify_one();
+    Ticket { cell, seq }
+}
+
+/// Outcome of a [`Receiver::pop`].
+#[derive(Debug)]
+pub enum Pop {
+    /// The oldest queued request.
+    Item(Envelope),
+    /// `wait_until` passed with the queue still empty.
+    TimedOut,
+    /// The queue is closed and fully drained: no request will ever arrive.
+    Drained,
+}
+
+/// The consumer end of a submission queue (owned by the drainer).
+///
+/// Dropping the receiver closes the queue, so producers blocked in
+/// [`Submitter::submit`] unblock with [`SubmitError::Closed`] instead of
+/// waiting forever on a dead drainer.
+#[derive(Debug)]
+pub struct Receiver {
+    shared: Arc<Shared>,
+}
+
+impl Receiver {
+    /// Pops the oldest request, blocking until one arrives, `wait_until`
+    /// passes ([`Pop::TimedOut`]), or the queue is closed *and* empty
+    /// ([`Pop::Drained`]). `None` waits with no timeout.
+    pub fn pop(&self, wait_until: Option<Instant>) -> Pop {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(envelope) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Pop::Item(envelope);
+            }
+            if state.closed {
+                return Pop::Drained;
+            }
+            match wait_until {
+                None => state = self.shared.not_empty.wait(state).unwrap(),
+                Some(until) => {
+                    let now = Instant::now();
+                    if now >= until {
+                        return Pop::TimedOut;
+                    }
+                    let (s, timeout) = self
+                        .shared
+                        .not_empty
+                        .wait_timeout(state, until - now)
+                        .unwrap();
+                    state = s;
+                    if timeout.timed_out() && state.items.is_empty() {
+                        return if state.closed {
+                            Pop::Drained
+                        } else {
+                            Pop::TimedOut
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops the oldest request without blocking.
+    pub fn try_pop(&self) -> Option<Envelope> {
+        let envelope = self.shared.state.lock().unwrap().items.pop_front();
+        if envelope.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        envelope
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue (producers see [`SubmitError::Closed`]); already
+    /// queued requests still drain.
+    pub fn close(&self) {
+        self.shared.close();
+    }
+}
+
+impl Drop for Receiver {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_data::serving::ServingKind;
+    use pe_tensor::Tensor;
+
+    fn req(rows: usize) -> ServingRequest {
+        ServingRequest {
+            kind: ServingKind::Eval,
+            features: Tensor::zeros([rows, 4]),
+            labels: Tensor::zeros([rows]),
+        }
+    }
+
+    fn cfg(capacity: usize) -> QueueConfig {
+        QueueConfig {
+            capacity,
+            default_deadline: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn try_submit_rejects_when_full_and_hands_the_request_back() {
+        let (tx, rx) = channel(cfg(2));
+        tx.try_submit(req(1)).unwrap();
+        tx.try_submit(req(2)).unwrap();
+        assert_eq!(tx.len(), 2);
+        match tx.try_submit(req(3)) {
+            Err(SubmitError::Full(r)) => assert_eq!(r.rows(), 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining one slot makes room again.
+        let popped = rx.try_pop().unwrap();
+        assert_eq!(popped.seq(), 0);
+        tx.try_submit(req(3)).unwrap();
+    }
+
+    #[test]
+    fn fifo_order_and_seq_numbers() {
+        let (tx, rx) = channel(cfg(8));
+        let t0 = tx.submit(req(1)).unwrap();
+        let t1 = tx.submit(req(2)).unwrap();
+        assert_eq!((t0.seq(), t1.seq()), (0, 1));
+        assert_eq!(rx.try_pop().unwrap().rows(), 1);
+        assert_eq!(rx.try_pop().unwrap().rows(), 2);
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn submit_blocks_until_capacity_frees() {
+        let (tx, rx) = channel(cfg(1));
+        tx.submit(req(1)).unwrap();
+        let producer = std::thread::spawn(move || {
+            // Blocks until the main thread pops.
+            tx.submit(req(2)).unwrap();
+            tx
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.len(), 1, "producer must still be blocked");
+        let first = rx.pop(None);
+        assert!(matches!(first, Pop::Item(_)));
+        let tx = producer.join().unwrap();
+        assert_eq!(tx.len(), 1);
+    }
+
+    #[test]
+    fn closed_queue_rejects_submissions_but_drains() {
+        let (tx, rx) = channel(cfg(4));
+        tx.submit(req(1)).unwrap();
+        tx.close();
+        assert!(matches!(tx.submit(req(2)), Err(SubmitError::Closed(_))));
+        assert!(matches!(tx.try_submit(req(2)), Err(SubmitError::Closed(_))));
+        assert!(matches!(rx.pop(None), Pop::Item(_)));
+        assert!(matches!(rx.pop(None), Pop::Drained));
+    }
+
+    #[test]
+    fn pop_times_out_on_an_empty_open_queue() {
+        let (_tx, rx) = channel(cfg(4));
+        let start = Instant::now();
+        let outcome = rx.pop(Some(Instant::now() + Duration::from_millis(10)));
+        assert!(matches!(outcome, Pop::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn dropping_an_unserved_envelope_cancels_its_ticket() {
+        let (tx, rx) = channel(cfg(4));
+        let ticket = tx.submit(req(1)).unwrap();
+        drop(rx.try_pop().unwrap());
+        assert!(matches!(ticket.wait(), Err(ServeError::Cancelled)));
+    }
+
+    #[test]
+    fn try_take_redeems_once_and_is_ready_stays_true() {
+        let (tx, rx) = channel(cfg(4));
+        let mut ticket = tx.submit(req(1)).unwrap();
+        assert!(!ticket.is_ready());
+        assert!(ticket.try_take().is_none(), "pending: nothing to take");
+        // Serve it (cancellation counts as a result).
+        drop(rx.try_pop().unwrap());
+        assert!(ticket.is_ready());
+        assert!(matches!(
+            ticket.try_take(),
+            Some(Err(ServeError::Cancelled))
+        ));
+        assert!(ticket.is_ready(), "served state must not revert");
+        assert!(ticket.try_take().is_none(), "a result redeems only once");
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn wait_after_try_take_panics_instead_of_hanging() {
+        let (tx, rx) = channel(cfg(4));
+        let mut ticket = tx.submit(req(1)).unwrap();
+        drop(rx.try_pop().unwrap());
+        let _ = ticket.try_take();
+        let _ = ticket.wait();
+    }
+
+    #[test]
+    fn dropping_the_receiver_closes_the_queue() {
+        let (tx, rx) = channel(cfg(4));
+        drop(rx);
+        assert!(matches!(tx.submit(req(1)), Err(SubmitError::Closed(_))));
+    }
+}

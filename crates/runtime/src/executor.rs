@@ -219,6 +219,16 @@ pub struct Executor {
     inner: Inner,
 }
 
+// Executors are moved into drainer threads by the engine's async ingestion
+// path (and shared stores already promise `Sync`). Assert `Send` at compile
+// time so a future non-`Send` field (e.g. an `Rc` cache) cannot silently
+// break every consumer that owns executors on a background thread.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Executor>();
+    assert_send::<ParamStore>();
+};
+
 impl Executor {
     /// Builds an executor with a private parameter store, selecting the
     /// backend from the environment fallback ([`ExecutorConfig::from_env`]):

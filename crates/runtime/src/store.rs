@@ -25,6 +25,17 @@
 //! wavefront invariant, not the store's. The store only promises that two
 //! executors never interleave steps unsoundly.
 //!
+//! The guard is **thread-agnostic**: it does not matter *which* thread runs
+//! a step, only that the step holds the right guard. In particular the
+//! engine's queue-drainer thread (`pockengine`'s async ingestion path) is
+//! just another stepping thread — a queued training request acquires the
+//! exclusive guard through `run_step` exactly like a caller-thread step, so
+//! evaluation executors on other threads (and their derived-cache refresh
+//! logic) need no special case for drained traffic. The executor type
+//! asserts its own `Send`-ness at compile time for the same reason: a
+//! drainer owning executors outright must stay sound to move across
+//! threads.
+//!
 //! Each cell carries a monotonically increasing **version**, bumped whenever
 //! the value is replaced wholesale (checkpoint loading via `set`). Executors
 //! that cache derived forms of a parameter (e.g. Winograd-transformed

@@ -230,7 +230,7 @@ fn eval_padding_does_not_change_real_rows() {
             max_coalesced_rows: None,
         },
     );
-    let r_padded = padded.submit(&req).unwrap();
+    let r_padded = padded.serve_one(&req).unwrap();
     assert_eq!(r_padded.rows, 3);
     assert_eq!(r_padded.batch, 8, "must pad to the nearest cached size");
     assert_eq!(padded.metrics().padded_rows, 5);
@@ -243,7 +243,7 @@ fn eval_padding_does_not_change_real_rows() {
             max_coalesced_rows: None,
         },
     );
-    let r_exact = exact.submit(&req).unwrap();
+    let r_exact = exact.serve_one(&req).unwrap();
     assert_eq!(r_exact.batch, 3);
 
     let (a, b) = (r_padded.logits.unwrap(), r_exact.logits.unwrap());
@@ -289,12 +289,21 @@ fn specialization_cache_and_coalescing_accounting() {
     let stats = engine.cache_stats();
     assert_eq!(stats.misses, 2, "no new specialization needed");
     assert_eq!(stats.hits, 1);
+    // Per-request accounting: one cached dispatch served three requests;
+    // the two warmup compiles served none.
+    assert_eq!((stats.request_hits, stats.request_misses), (3, 0));
 
     // A train request at an uncached size is an exact-size miss.
     let train = request(ServingKind::Train, 5, &mut rng);
-    let r = engine.submit(&train).unwrap();
+    let r = engine.serve_one(&train).unwrap();
     assert_eq!(r.batch, 5, "training always runs exact");
-    assert_eq!(engine.cache_stats().misses, 3);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 3);
+    assert_eq!(
+        (stats.request_hits, stats.request_misses),
+        (3, 1),
+        "the exact-size train dispatch is a one-request miss"
+    );
     assert!(engine.program().is_cached(5));
 }
 
