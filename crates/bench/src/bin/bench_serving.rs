@@ -27,6 +27,16 @@ fn main() {
         result.latency.p99_us,
     );
     println!(
+        "  admission: {} rejected (DeadlineFeasible latency pass); per-priority p99 = {}",
+        result.rejected_requests,
+        result
+            .latency_by_priority
+            .iter()
+            .map(|(p, l)| format!("{}:{:.0}us", p.name(), l.p99_us))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    println!(
         "  sync ref:  {:.0} req/s, {:.0} rows/s",
         result.sync_requests_per_sec, result.sync_rows_per_sec,
     );

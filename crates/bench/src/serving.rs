@@ -1,8 +1,8 @@
 //! Engine serving benchmark: throughput and latency of mixed-size
 //! train/eval traffic through the **queued ingestion path** (bounded
 //! submission queue + deadline-aware batcher), with the synchronous slice
-//! path measured alongside as the reference, plus specialization-cache and
-//! batcher accounting.
+//! path measured alongside as the reference, plus specialization-cache,
+//! batcher and admission accounting.
 //!
 //! Run via the `bench_serving` binary, which writes
 //! `BENCH_engine_serving.json` (the committed baseline the CI `bench_check`
@@ -20,20 +20,26 @@
 //! which is timer-noise territory — and (b) runs `trials` independent
 //! passes and reports the **best**, which strips scheduler interference
 //! (the minimum-cost pass is the closest observation of the true cost of
-//! the work).
+//! the work). The throughput pass runs with admission disabled and no
+//! per-request deadlines, so its workload is identical release over
+//! release; admission-control numbers (`rejected_requests`) and the
+//! per-priority latency percentiles come from the separate latency pass,
+//! whose engine runs `AdmissionPolicy::DeadlineFeasible` with seeded
+//! latency estimates and a deterministic fraction of zero-budget requests.
 
 use std::time::{Duration, Instant};
 
 use pockengine::pe_data::serving::{
     generate_arrival_process, generate_request_stream, ArrivalProcessConfig, DeadlineDistribution,
-    RequestStreamConfig, ServingRequest,
+    Priority, Request, RequestStreamConfig,
 };
 use pockengine::pe_graph::GraphBuilder;
 use pockengine::pe_models::BuiltModel;
 use pockengine::pe_runtime::{ExecutorConfig, Optimizer};
 use pockengine::pe_tensor::Rng;
 use pockengine::{
-    BatcherStats, CompileOptions, Compiler, Engine, EngineConfig, EngineMetrics, QueueConfig,
+    AdmissionPolicy, BatcherStats, CompileOptions, Compiler, Engine, EngineConfig, EngineMetrics,
+    Outcome, QueueConfig,
 };
 
 use crate::report::Json;
@@ -57,8 +63,15 @@ pub struct ServingBenchConfig {
     pub trials: usize,
     /// Submission-queue capacity for the queued path.
     pub queue_capacity: usize,
-    /// Deadline budget per queued request (closed loop).
+    /// Default deadline budget per queued request (closed loop).
     pub queue_deadline: Duration,
+    /// In the latency/admission pass, every Nth request carries a
+    /// zero-duration deadline budget, which `DeadlineFeasible` admission
+    /// deterministically rejects (estimates are seeded). 0 disables.
+    pub tight_deadline_every: usize,
+    /// Seeded per-rung latency estimate arming admission control before
+    /// the first dispatch of the latency pass.
+    pub seeded_latency: Duration,
     /// Requests in the open-loop arrival-process run.
     pub open_loop_requests: usize,
     /// Offered rate (requests/second) of the open-loop run.
@@ -77,6 +90,8 @@ impl Default for ServingBenchConfig {
             trials: 5,
             queue_capacity: 256,
             queue_deadline: Duration::from_micros(200),
+            tight_deadline_every: 16,
+            seeded_latency: Duration::from_micros(50),
             open_loop_requests: 1024,
             open_loop_rate: 25_000.0,
         }
@@ -113,7 +128,7 @@ fn percentiles(mut latencies_us: Vec<f64>) -> LatencyPercentiles {
 /// Measured outcome of one serving-bench run.
 #[derive(Debug, Clone)]
 pub struct ServingBenchResult {
-    /// Requests served per pass.
+    /// Requests served per throughput pass.
     pub requests: u64,
     /// Measurement passes taken.
     pub trials: usize,
@@ -141,6 +156,11 @@ pub struct ServingBenchResult {
     /// in a dedicated pass with a concurrent ticket waiter; includes
     /// admission wait under backpressure).
     pub latency: LatencyPercentiles,
+    /// Latency percentiles split by request priority (same pass).
+    pub latency_by_priority: [(Priority, LatencyPercentiles); 3],
+    /// Requests rejected on arrival by `DeadlineFeasible` admission in the
+    /// latency pass (the deterministic zero-budget fraction).
+    pub rejected_requests: u64,
     /// Synchronous slice-path throughput (reference), best of `trials`.
     pub sync_requests_per_sec: f64,
     /// Synchronous slice-path rows per second, best pass.
@@ -183,7 +203,7 @@ fn mlp_factory(batch: usize) -> BuiltModel {
     }
 }
 
-fn fresh_engine(cfg: &ServingBenchConfig) -> Engine {
+fn fresh_engine(cfg: &ServingBenchConfig, admission: AdmissionPolicy) -> Engine {
     let program = Compiler::new(CompileOptions {
         optimizer: Optimizer::sgd(0.05),
         executor: cfg.executor,
@@ -195,9 +215,19 @@ fn fresh_engine(cfg: &ServingBenchConfig) -> Engine {
         EngineConfig {
             executor: cfg.executor,
             warm_batches: cfg.warm_batches.clone(),
-            max_coalesced_rows: None,
+            admission,
+            ..EngineConfig::default()
         },
     )
+}
+
+/// Seeds the engine's latency model for every rung the stream can touch
+/// (train rungs are exact row counts; eval rungs are the warm ladder), so
+/// `DeadlineFeasible` decisions are deterministic from the first request.
+fn seed_estimates(engine: &mut Engine, cfg: &ServingBenchConfig) {
+    for &batch in cfg.batch_sizes.iter().chain(&cfg.warm_batches) {
+        engine.seed_latency_estimate(batch, cfg.executor, cfg.seeded_latency);
+    }
 }
 
 struct QueuedPass {
@@ -208,29 +238,50 @@ struct QueuedPass {
     specializations: usize,
 }
 
+/// One latency observation from the concurrent ticket waiter.
+struct Observation {
+    priority: Priority,
+    latency_us: f64,
+}
+
+/// What the waiter thread collected over one pass.
+struct WaiterReport {
+    observations: Vec<Observation>,
+    rejected: u64,
+    last: Instant,
+}
+
 /// Redeems tickets on a dedicated thread *while* the producer submits, so
-/// each completion is observed when the drainer fulfills it — waiting only
-/// after the last submission would time-shift every completion to the end
-/// of the run and fabricate latencies.
-///
-/// Tickets resolve in dispatch order (single drainer, FIFO), so waiting in
-/// submission order observes each completion promptly. Returns the
-/// per-request submission-to-completion latencies (µs) and the instant the
-/// last response landed.
+/// the queue keeps draining at pace and memory stays bounded. Latencies
+/// use the resolve instant the drainer stamped into each ticket
+/// (`Ticket::wait_timed`), so per-request numbers are exact even when
+/// priority scheduling resolves tickets out of the waiter's
+/// submission-order redemption. Rejected requests resolve instantly and
+/// are counted instead of timed.
 fn redeem_concurrently(
-    producer: impl FnOnce(&std::sync::mpsc::Sender<(Instant, pockengine::Ticket)>),
-) -> (Vec<f64>, Instant) {
-    let (tx, rx) = std::sync::mpsc::channel::<(Instant, pockengine::Ticket)>();
+    producer: impl FnOnce(&std::sync::mpsc::Sender<(Instant, Priority, pockengine::Ticket)>),
+) -> WaiterReport {
+    let (tx, rx) = std::sync::mpsc::channel::<(Instant, Priority, pockengine::Ticket)>();
     std::thread::scope(|s| {
         let waiter = s.spawn(move || {
-            let mut latencies_us = Vec::new();
-            let mut last = Instant::now();
-            for (submitted, ticket) in rx {
-                ticket.wait().expect("stream must be well-formed");
-                last = Instant::now();
-                latencies_us.push((last - submitted).as_secs_f64() * 1e6);
+            let mut report = WaiterReport {
+                observations: Vec::new(),
+                rejected: 0,
+                last: Instant::now(),
+            };
+            for (submitted, priority, ticket) in rx {
+                let (outcome, resolved_at) = ticket.wait_timed();
+                report.last = report.last.max(resolved_at);
+                match outcome.expect("stream must be well-formed") {
+                    Outcome::Completed(_) => report.observations.push(Observation {
+                        priority,
+                        latency_us: (resolved_at - submitted).as_secs_f64() * 1e6,
+                    }),
+                    Outcome::Rejected(_) => report.rejected += 1,
+                    Outcome::Cancelled => panic!("request cancelled mid-bench"),
+                }
             }
-            (latencies_us, last)
+            report
         });
         producer(&tx);
         drop(tx);
@@ -244,8 +295,8 @@ fn redeem_concurrently(
 /// measurement carries the minimum scheduling noise on small (1-core CI)
 /// containers; tickets are fulfilled but intentionally dropped unredeemed.
 /// Latency percentiles come from the separate [`latency_pass`].
-fn queued_pass(cfg: &ServingBenchConfig, stream: &[ServingRequest]) -> QueuedPass {
-    let engine = fresh_engine(cfg).into_async(QueueConfig {
+fn queued_pass(cfg: &ServingBenchConfig, stream: &[Request]) -> QueuedPass {
+    let engine = fresh_engine(cfg, AdmissionPolicy::AcceptAll).into_async(QueueConfig {
         capacity: cfg.queue_capacity,
         default_deadline: cfg.queue_deadline,
     });
@@ -268,32 +319,42 @@ fn queued_pass(cfg: &ServingBenchConfig, stream: &[ServingRequest]) -> QueuedPas
     }
 }
 
-/// One closed-loop **latency** pass: same submission pattern, but a waiter
-/// thread redeems tickets concurrently so per-request completion times are
-/// observed when the drainer fulfills them.
-fn latency_pass(cfg: &ServingBenchConfig, stream: &[ServingRequest]) -> Vec<f64> {
-    let engine = fresh_engine(cfg).into_async(QueueConfig {
+/// One closed-loop **latency + admission** pass: same submission pattern,
+/// but a waiter thread redeems tickets concurrently so per-request
+/// completion times are observed when the drainer fulfills them. The
+/// engine runs `DeadlineFeasible` admission with seeded estimates; every
+/// `tight_deadline_every`-th request carries a zero budget and is
+/// deterministically rejected (counted, not timed).
+fn latency_pass(cfg: &ServingBenchConfig, stream: &[Request]) -> (WaiterReport, u64) {
+    let mut engine = fresh_engine(cfg, AdmissionPolicy::DeadlineFeasible);
+    seed_estimates(&mut engine, cfg);
+    let engine = engine.into_async(QueueConfig {
         capacity: cfg.queue_capacity,
         default_deadline: cfg.queue_deadline,
     });
-    let (latencies_us, _) = redeem_concurrently(|tx| {
-        for r in stream {
+    let report = redeem_concurrently(|tx| {
+        for (i, r) in stream.iter().enumerate() {
+            let mut request = r.clone();
+            if cfg.tight_deadline_every > 0 && i % cfg.tight_deadline_every == 0 {
+                request.meta.deadline = Some(Duration::ZERO);
+            }
+            let priority = request.meta.priority;
             let at = Instant::now();
-            let ticket = engine.submit(r.clone()).expect("queue open");
-            tx.send((at, ticket)).expect("waiter alive");
+            let ticket = engine.submit(request).expect("queue open");
+            tx.send((at, priority, ticket)).expect("waiter alive");
         }
     });
-    drop(engine.shutdown());
-    latencies_us
+    let rejected = engine.shutdown().metrics().rejected;
+    (report, rejected)
 }
 
 /// One pass over the synchronous slice path (the reference semantics).
-fn sync_pass(cfg: &ServingBenchConfig, stream: &[ServingRequest]) -> (f64, u64) {
-    let mut engine = fresh_engine(cfg);
+fn sync_pass(cfg: &ServingBenchConfig, stream: &[Request]) -> (f64, u64) {
+    let mut engine = fresh_engine(cfg, AdmissionPolicy::AcceptAll);
     let start = Instant::now();
-    let responses = engine.serve(stream).expect("stream must be well-formed");
+    let outcomes = engine.serve(stream).expect("stream must be well-formed");
     let elapsed = start.elapsed().as_secs_f64();
-    assert_eq!(responses.len(), stream.len());
+    assert_eq!(outcomes.len(), stream.len());
     (elapsed, engine.metrics().rows)
 }
 
@@ -305,6 +366,7 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchResult {
         num_requests: cfg.requests,
         batch_sizes: cfg.batch_sizes.clone(),
         train_fraction: cfg.train_fraction,
+        priorities: Priority::ALL.to_vec(),
         num_classes: 8,
         feature_dim: 32,
         ..RequestStreamConfig::default()
@@ -321,8 +383,27 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchResult {
     }
     let best = best.expect("trials > 0");
 
-    // Closed-loop latency percentiles (separate pass with a ticket waiter).
-    let closed_latencies = latency_pass(cfg, &stream);
+    // Closed-loop latency percentiles + admission accounting (separate
+    // pass with a ticket waiter and DeadlineFeasible admission).
+    let (closed_report, rejected_requests) = latency_pass(cfg, &stream);
+    let latency_by_priority = Priority::ALL.map(|p| {
+        (
+            p,
+            percentiles(
+                closed_report
+                    .observations
+                    .iter()
+                    .filter(|o| o.priority == p)
+                    .map(|o| o.latency_us)
+                    .collect(),
+            ),
+        )
+    });
+    let closed_latencies: Vec<f64> = closed_report
+        .observations
+        .iter()
+        .map(|o| o.latency_us)
+        .collect();
 
     // Sync slice path: best of N (reference).
     let (mut sync_elapsed, mut sync_rows) = sync_pass(cfg, &stream);
@@ -349,30 +430,36 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchResult {
         },
         &mut rng,
     );
-    let engine = fresh_engine(cfg).into_async(QueueConfig {
+    let engine = fresh_engine(cfg, AdmissionPolicy::AcceptAll).into_async(QueueConfig {
         capacity: cfg.queue_capacity,
         default_deadline: cfg.queue_deadline,
     });
     let start = Instant::now();
-    let (open_latencies, open_last) = redeem_concurrently(|tx| {
+    let open_report = redeem_concurrently(|tx| {
         for t in &process {
             // Pace the producer to the arrival process. Sleeping (rather
             // than spinning) keeps the producer off the drainer's core on
             // single-CPU containers; sub-granularity gaps become small
             // bursts, which an open queue absorbs.
+            let arrival = t.meta.arrival.expect("open-loop requests carry arrivals");
             let now = start.elapsed();
-            if now < t.arrival {
-                std::thread::sleep(t.arrival - now);
+            if now < arrival {
+                std::thread::sleep(arrival - now);
             }
+            let priority = t.meta.priority;
             let at = Instant::now();
-            let ticket = engine
-                .submit_with_deadline(t.request.clone(), t.deadline)
-                .expect("queue open");
-            tx.send((at, ticket)).expect("waiter alive");
+            // The request's own meta.deadline is its batching budget.
+            let ticket = engine.submit(t.clone()).expect("queue open");
+            tx.send((at, priority, ticket)).expect("waiter alive");
         }
     });
-    let open_elapsed = (open_last - start).as_secs_f64();
+    let open_elapsed = (open_report.last - start).as_secs_f64();
     drop(engine.shutdown());
+    let open_latencies: Vec<f64> = open_report
+        .observations
+        .iter()
+        .map(|o| o.latency_us)
+        .collect();
 
     ServingBenchResult {
         requests: best.metrics.requests,
@@ -388,6 +475,8 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchResult {
         requests_per_sec: best.metrics.requests as f64 / best.elapsed.max(1e-9),
         rows_per_sec: best.metrics.rows as f64 / best.elapsed.max(1e-9),
         latency: percentiles(closed_latencies),
+        latency_by_priority,
+        rejected_requests,
         sync_requests_per_sec: stream.len() as f64 / sync_elapsed.max(1e-9),
         sync_rows_per_sec: sync_rows as f64 / sync_elapsed.max(1e-9),
         open_loop_offered_per_sec: cfg.open_loop_rate,
@@ -402,10 +491,10 @@ impl ServingBenchResult {
     /// The JSON representation written to `BENCH_engine_serving.json`.
     ///
     /// `requests_per_sec` is the field the CI `bench_check` gate compares
-    /// against the committed baseline; `allocs`-style integer fields and
-    /// the latency percentiles are informational.
+    /// against the committed baseline; `rejected_requests`, the per-priority
+    /// latency percentiles and the other integer fields are informational.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let fields = vec![
             ("bench", Json::Str("engine_serving".into())),
             ("backend", Json::Str(self.backend.into())),
             ("threads", Json::Int(self.threads as u64)),
@@ -415,6 +504,7 @@ impl ServingBenchResult {
             ("eval_batches", Json::Int(self.metrics.eval_batches)),
             ("rows", Json::Int(self.metrics.rows)),
             ("padded_rows", Json::Int(self.metrics.padded_rows)),
+            ("rejected_requests", Json::Int(self.rejected_requests)),
             ("cache_hits", Json::Int(self.cache_hits)),
             ("cache_misses", Json::Int(self.cache_misses)),
             ("cache_request_hits", Json::Int(self.cache_request_hits)),
@@ -468,7 +558,16 @@ impl ServingBenchResult {
                 "open_loop_latency_p99_us",
                 Json::Num(self.open_loop_latency.p99_us),
             ),
-        ])
+        ];
+        let mut json = Json::obj(fields);
+        if let Json::Obj(fields) = &mut json {
+            for (priority, latency) in &self.latency_by_priority {
+                let name = priority.name();
+                fields.push((format!("latency_p50_{name}_us"), Json::Num(latency.p50_us)));
+                fields.push((format!("latency_p99_{name}_us"), Json::Num(latency.p99_us)));
+            }
+        }
+        json
     }
 }
 
@@ -505,11 +604,17 @@ mod tests {
         assert!(result.sync_requests_per_sec > 0.0);
         assert!(result.open_loop_achieved_per_sec > 0.0);
         assert!(result.latency.p50_us <= result.latency.p99_us);
+        // 48 requests with every 16th zero-budget: exactly 3 rejections.
+        assert_eq!(result.rejected_requests, 3);
         let json = result.to_json().render();
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"latency_p99_us\""));
         assert!(json.contains("\"batcher_eval_groups\""));
         assert!(json.contains("\"cache_request_hits\""));
+        assert!(json.contains("\"rejected_requests\""));
+        assert!(json.contains("\"latency_p99_high_us\""));
+        assert!(json.contains("\"latency_p99_normal_us\""));
+        assert!(json.contains("\"latency_p99_low_us\""));
     }
 
     #[test]

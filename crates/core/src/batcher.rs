@@ -10,8 +10,16 @@
 //! waiting for more traffic only as long as *every* member's deadline
 //! permits:
 //!
+//! * every popped request first passes **admission control** (the same
+//!   check the sync path runs on arrival — see [`crate::admission`]): a
+//!   rejected request resolves its ticket as [`Outcome::Rejected`] on the
+//!   spot, without executing, without flushing the pending group, and
+//!   without touching the specialization cache;
+//! * admitted requests are **routed** to an executor configuration
+//!   ([`crate::engine::Engine::route`]); an evaluation group is
+//!   backend-homogeneous, so a request routing elsewhere is a barrier;
 //! * an eval group is dispatched as soon as it **fills the target rung**
-//!   (the largest cached batch under the engine's executor config, capped by
+//!   (the largest cached batch under the group's executor config, capped by
 //!   `max_coalesced_rows`);
 //! * or when the **earliest deadline** in the group arrives — the group is
 //!   then padded to the nearest cached rung exactly like the sync path, so
@@ -22,8 +30,8 @@
 //! * a **training request is a barrier**: it flushes the pending eval group
 //!   and then runs exclusively, at its exact row count, under the
 //!   `ParamStore` step guard — submission order between training steps is
-//!   execution order, which is what keeps the queued path bit-identical to
-//!   the synchronous baseline.
+//!   execution order (the queue never reorders across a train), which is
+//!   what keeps the queued path bit-identical to the synchronous baseline.
 //!
 //! Grouping differences between the two paths are invisible in the results:
 //! evaluation is read-only and padding/packing never leaks into per-request
@@ -33,10 +41,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use crate::engine::Engine;
-use crate::queue::{Envelope, Pop, Receiver, ServeError};
+use crate::admission::{Outcome, RejectReason};
+use crate::engine::{Engine, GroupVerdict};
+use crate::queue::{Envelope, Pop, Receiver};
 
 use pe_data::serving::ServingKind;
+use pe_runtime::ExecutorConfig;
 
 /// Counters describing what the batcher did, updated live by the drainer.
 #[derive(Debug, Default)]
@@ -47,6 +57,7 @@ pub(crate) struct BatcherCounters {
     barrier_flushes: AtomicU64,
     expired_dispatches: AtomicU64,
     train_dispatches: AtomicU64,
+    admission_rejections: AtomicU64,
 }
 
 /// A point-in-time snapshot of the batcher's accounting.
@@ -60,13 +71,16 @@ pub struct BatcherStats {
     /// groups that timed out waiting for companions).
     pub deadline_flushes: u64,
     /// Groups flushed by a barrier: a training request, an incompatible
-    /// follow-up, or queue shutdown.
+    /// follow-up (wrong backend or no room), or queue shutdown.
     pub barrier_flushes: u64,
     /// Requests whose deadline had already expired when popped; they
     /// dispatch immediately (solo unless companions were already pending).
     pub expired_dispatches: u64,
     /// Training steps dispatched.
     pub train_dispatches: u64,
+    /// Requests rejected on arrival by admission control (resolved as
+    /// [`Outcome::Rejected`], never dispatched).
+    pub admission_rejections: u64,
 }
 
 impl BatcherCounters {
@@ -78,8 +92,22 @@ impl BatcherCounters {
             barrier_flushes: self.barrier_flushes.load(Ordering::Relaxed),
             expired_dispatches: self.expired_dispatches.load(Ordering::Relaxed),
             train_dispatches: self.train_dispatches.load(Ordering::Relaxed),
+            admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
         }
     }
+}
+
+fn reject(
+    engine: &mut Engine,
+    envelope: Envelope,
+    reason: RejectReason,
+    counters: &BatcherCounters,
+) {
+    counters
+        .admission_rejections
+        .fetch_add(1, Ordering::Relaxed);
+    engine.note_rejection();
+    envelope.fulfill(Ok(Outcome::Rejected(reason)));
 }
 
 /// Why the accumulation loop stopped growing the current group.
@@ -89,8 +117,8 @@ enum Flush {
     /// The earliest member deadline arrived (or was already expired).
     Deadline,
     /// A request that cannot join the group arrived; it is carried into the
-    /// next iteration.
-    Barrier(Envelope),
+    /// next iteration (boxed to keep the control-flow enum small).
+    Barrier(Box<Envelope>),
     /// The queue is closed and drained; serve what is held, then stop.
     Shutdown,
 }
@@ -98,25 +126,31 @@ enum Flush {
 /// Drains the queue into the engine until the queue is closed *and* empty.
 ///
 /// Every popped envelope is fulfilled exactly once — with the served
-/// [`crate::engine::Response`] or with the executor's error — so producers
-/// blocked on tickets always resolve, including during shutdown drain.
+/// [`crate::engine::Response`], an admission rejection, or the executor's
+/// error — so producers blocked on tickets always resolve, including during
+/// shutdown drain.
 pub(crate) fn drain(engine: &mut Engine, rx: &Receiver, counters: &BatcherCounters) {
     let mut carried: Option<Envelope> = None;
     loop {
         let head = match carried.take() {
             Some(envelope) => envelope,
             None => match rx.pop(None) {
-                Pop::Item(envelope) => envelope,
+                Pop::Item(envelope) => *envelope,
                 Pop::TimedOut => continue, // unreachable: no deadline given
                 Pop::Drained => return,
             },
         };
+        let exec = engine.route(head.request());
+        if let Err(reason) = engine.admit(head.request(), exec) {
+            reject(engine, head, reason, counters);
+            continue;
+        }
         match head.request().kind {
             ServingKind::Train => {
-                dispatch_train(engine, head, counters);
+                dispatch_train(engine, head, exec, counters);
             }
             ServingKind::Eval => {
-                let target = engine.eval_target_rows();
+                let target = engine.eval_target_rows(exec);
                 let mut group = vec![head];
                 let mut rows = group[0].rows();
                 if group[0].deadline() <= Instant::now() {
@@ -125,25 +159,29 @@ pub(crate) fn drain(engine: &mut Engine, rx: &Receiver, counters: &BatcherCounte
                     // queued and compatible, without waiting.
                     while rows < target {
                         match rx.try_pop() {
-                            Some(e)
-                                if e.request().kind == ServingKind::Eval
-                                    && rows + e.rows() <= target =>
-                            {
-                                rows += e.rows();
-                                group.push(e);
-                            }
                             Some(e) => {
-                                carried = Some(e);
-                                break;
+                                match engine.classify_for_group(e.request(), exec, rows, target) {
+                                    GroupVerdict::Join => {
+                                        rows += e.rows();
+                                        group.push(e);
+                                    }
+                                    GroupVerdict::Reject(reason) => {
+                                        reject(engine, e, reason, counters);
+                                    }
+                                    GroupVerdict::Barrier => {
+                                        carried = Some(e);
+                                        break;
+                                    }
+                                }
                             }
                             None => break,
                         }
                     }
                     counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
-                    dispatch_eval(engine, group, counters);
+                    dispatch_eval(engine, group, exec, counters);
                     continue;
                 }
-                let flush = accumulate(rx, &mut group, &mut rows, target);
+                let flush = accumulate(engine, rx, &mut group, &mut rows, target, exec, counters);
                 match flush {
                     Flush::Target => {
                         counters.target_flushes.fetch_add(1, Ordering::Relaxed);
@@ -153,23 +191,33 @@ pub(crate) fn drain(engine: &mut Engine, rx: &Receiver, counters: &BatcherCounte
                     }
                     Flush::Barrier(next) => {
                         counters.barrier_flushes.fetch_add(1, Ordering::Relaxed);
-                        carried = Some(next);
+                        carried = Some(*next);
                     }
                     Flush::Shutdown => {
                         counters.barrier_flushes.fetch_add(1, Ordering::Relaxed);
-                        dispatch_eval(engine, group, counters);
+                        dispatch_eval(engine, group, exec, counters);
                         return;
                     }
                 }
-                dispatch_eval(engine, group, counters);
+                dispatch_eval(engine, group, exec, counters);
             }
         }
     }
 }
 
 /// Grows `group` until it fills `target` rows, the earliest member deadline
-/// arrives, or an incompatible request shows up.
-fn accumulate(rx: &Receiver, group: &mut Vec<Envelope>, rows: &mut usize, target: usize) -> Flush {
+/// arrives, or an incompatible request shows up. Popped requests that fail
+/// admission resolve in place and never join (nor flush) the group.
+#[allow(clippy::too_many_arguments)]
+fn accumulate(
+    engine: &mut Engine,
+    rx: &Receiver,
+    group: &mut Vec<Envelope>,
+    rows: &mut usize,
+    target: usize,
+    exec: ExecutorConfig,
+    counters: &BatcherCounters,
+) -> Flush {
     loop {
         if *rows >= target {
             return Flush::Target;
@@ -181,47 +229,61 @@ fn accumulate(rx: &Receiver, group: &mut Vec<Envelope>, rows: &mut usize, target
             .min()
             .expect("group is never empty");
         match rx.pop(Some(earliest)) {
-            Pop::Item(e) if e.request().kind == ServingKind::Eval && *rows + e.rows() <= target => {
-                *rows += e.rows();
-                group.push(e);
-            }
-            Pop::Item(e) => return Flush::Barrier(e),
+            Pop::Item(e) => match engine.classify_for_group(e.request(), exec, *rows, target) {
+                GroupVerdict::Join => {
+                    *rows += e.rows();
+                    group.push(*e);
+                }
+                GroupVerdict::Reject(reason) => {
+                    reject(engine, *e, reason, counters);
+                }
+                GroupVerdict::Barrier => return Flush::Barrier(e),
+            },
             Pop::TimedOut => return Flush::Deadline,
             Pop::Drained => return Flush::Shutdown,
         }
     }
 }
 
-fn dispatch_train(engine: &mut Engine, mut envelope: Envelope, counters: &BatcherCounters) {
+fn dispatch_train(
+    engine: &mut Engine,
+    mut envelope: Envelope,
+    exec: ExecutorConfig,
+    counters: &BatcherCounters,
+) {
     counters.train_dispatches.fetch_add(1, Ordering::Relaxed);
     let request = envelope.take_request();
     let result = engine
-        .train_one(envelope.seq(), &request)
-        .map_err(ServeError::from);
+        .train_one(envelope.seq(), &request, exec)
+        .map(Outcome::Completed);
     envelope.fulfill(result);
 }
 
-fn dispatch_eval(engine: &mut Engine, mut group: Vec<Envelope>, counters: &BatcherCounters) {
+fn dispatch_eval(
+    engine: &mut Engine,
+    mut group: Vec<Envelope>,
+    exec: ExecutorConfig,
+    counters: &BatcherCounters,
+) {
     counters.eval_groups.fetch_add(1, Ordering::Relaxed);
     let requests: Vec<_> = group
         .iter_mut()
         .map(|e| (e.seq(), e.take_request()))
         .collect();
-    let pairs: Vec<(usize, &pe_data::serving::ServingRequest)> =
+    let pairs: Vec<(usize, &pe_data::serving::Request)> =
         requests.iter().map(|(seq, r)| (*seq, r)).collect();
     let rows = pairs.iter().map(|(_, r)| r.rows()).sum();
-    let mut responses = Vec::with_capacity(pairs.len());
-    match engine.eval_group(&pairs, rows, &mut responses) {
-        Ok(()) => {
+    match engine.eval_group(&pairs, rows, exec) {
+        Ok(responses) => {
             debug_assert_eq!(responses.len(), group.len());
             // eval_group answers in group order; zip envelopes back up.
             for (envelope, response) in group.into_iter().zip(responses) {
-                envelope.fulfill(Ok(response));
+                envelope.fulfill(Ok(Outcome::Completed(response)));
             }
         }
         Err(e) => {
             for envelope in group {
-                envelope.fulfill(Err(ServeError::Exec(e.clone())));
+                envelope.fulfill(Err(e.clone()));
             }
         }
     }

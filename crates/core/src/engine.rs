@@ -1,5 +1,6 @@
 //! The serving facade: one [`Program`] (and therefore one shared
-//! `ParamStore`), many batch-size specializations, mixed train/eval traffic.
+//! `ParamStore`), many batch-size specializations, mixed train/eval traffic
+//! carried by the canonical [`Request`] type.
 //!
 //! An [`Engine`] accepts requests whose row counts vary freely and maps them
 //! onto the program's specialization cache:
@@ -21,7 +22,23 @@
 //! store, a training request immediately improves subsequent evaluation
 //! requests — at any batch size — without any parameter copying.
 //!
-//! Two ingestion paths feed one engine:
+//! On top of batching, the engine is an **admission controller** and a
+//! **router**:
+//!
+//! * every request is checked on arrival against
+//!   [`EngineConfig::admission`]: under
+//!   [`AdmissionPolicy::DeadlineFeasible`], a request whose deadline budget
+//!   is below the engine's latency estimate for its target rung resolves as
+//!   [`Outcome::Rejected`] without executing (see [`crate::admission`]);
+//! * [`EngineConfig::route`] lets one engine own **heterogeneous executor
+//!   backends** per specialization ([`EngineConfig::alternates`]): requests
+//!   route via their [`crate::RequestMeta::backend`] hint or by cached-rung fit,
+//!   e.g. the pooled arena for hot batch sizes and the boxed executor for
+//!   rare shapes. Backends are bit-identical, so routing never changes
+//!   results — only where they are computed.
+//!
+//! Two ingestion paths feed one engine, sharing the [`Request`]/[`Outcome`]
+//! vocabulary:
 //!
 //! * the **synchronous slice path** ([`Engine::serve`]) walks a
 //!   pre-materialised request slice in order — the reference semantics;
@@ -29,42 +46,89 @@
 //!   requests through a bounded submission queue ([`crate::queue`]) drained
 //!   by a deadline-aware batcher ([`crate::batcher`]) on a dedicated
 //!   thread, and is proven bit-identical to the slice path
-//!   (`tests/tests/engine_async.rs`).
+//!   (`tests/tests/engine_async.rs`, `tests/tests/engine_routing.rs`).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use pe_data::serving::{ServingKind, ServingRequest};
+use pe_data::serving::{Request, ServingKind};
 use pe_runtime::{ExecError, ExecutorConfig};
 use pe_tensor::kernels::{layout, norm};
 use pe_tensor::Tensor;
 
+use crate::admission::{AdmissionPolicy, LatencyModel, Outcome, RejectReason};
 use crate::batcher::{self, BatcherCounters, BatcherStats};
 use crate::program::{CacheStats, Program};
 use crate::queue::{self, QueueConfig, SubmitError, Submitter, Ticket};
 
+/// How the engine picks an executor configuration for each request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendRoute {
+    /// Follow the request's [`crate::RequestMeta::backend`] hint when one of the
+    /// configured executors matches it; route unhinted requests to the
+    /// default executor unless only an alternate has a cached rung fitting
+    /// the row count. The default (with no alternates configured it
+    /// degenerates to always-default).
+    #[default]
+    HintOrFit,
+    /// Ignore hints and alternates; everything runs on
+    /// [`EngineConfig::executor`].
+    Pinned,
+}
+
+/// What to do with a candidate request relative to the evaluation group
+/// being built — the shared decision of [`Engine::classify_for_group`].
+#[derive(Debug)]
+pub(crate) enum GroupVerdict {
+    /// Admitted, same routed backend, fits: join the group.
+    Join,
+    /// Rejected by admission control: resolve in place, skip it, keep
+    /// accumulating (a rejection never breaks a group).
+    Reject(RejectReason),
+    /// Admitted but incompatible (a train, a different routed backend, or
+    /// no room left): the group flushes and the candidate starts the next
+    /// unit of work.
+    Barrier,
+}
+
 /// Engine policy knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Executor backend/threads used for every specialization the engine
-    /// compiles.
+    /// Default executor backend/threads: the target of unhinted requests
+    /// and the configuration warm batches are pre-specialized for.
     pub executor: ExecutorConfig,
+    /// Additional executor configurations this engine may route requests
+    /// to (e.g. a boxed executor for rare shapes next to a pooled arena
+    /// for hot ones). Empty by default.
+    pub alternates: Vec<ExecutorConfig>,
+    /// The routing policy across `executor` + `alternates`.
+    pub route: BackendRoute,
     /// Batch sizes pre-specialized at engine construction; also the pad
     /// ladder for evaluation requests. Sorted internally.
     pub warm_batches: Vec<usize>,
     /// Upper bound on rows packed into one evaluation micro-batch. Defaults
     /// to the largest warm batch.
     pub max_coalesced_rows: Option<usize>,
+    /// The admission policy (default: accept everything).
+    pub admission: AdmissionPolicy,
+    /// Size budget of the specialization cache (LRU eviction beyond it);
+    /// `None` (the default) keeps the cache unbounded. The warm ladder
+    /// counts toward the budget.
+    pub max_cached_specializations: Option<usize>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             executor: ExecutorConfig::default(),
+            alternates: Vec::new(),
+            route: BackendRoute::default(),
             warm_batches: vec![1, 4, 8],
             max_coalesced_rows: None,
+            admission: AdmissionPolicy::default(),
+            max_cached_specializations: None,
         }
     }
 }
@@ -72,8 +136,11 @@ impl Default for EngineConfig {
 /// Result of serving one request.
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// Index of the request in the submitted stream.
+    /// Engine-assigned id: the index of the request in the submitted slice
+    /// (sync path) or its submission sequence number (queue path).
     pub id: usize,
+    /// The caller-assigned [`crate::RequestMeta::id`], echoed back.
+    pub client_id: Option<u64>,
     /// Whether the request trained or evaluated.
     pub kind: ServingKind,
     /// Rows the request actually carried.
@@ -92,8 +159,12 @@ pub struct Response {
 /// Serving counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineMetrics {
-    /// Requests served.
+    /// Requests served (excludes rejections).
     pub requests: u64,
+    /// Requests rejected on arrival by admission control.
+    pub rejected: u64,
+    /// Requests served by a non-default executor backend (routing).
+    pub routed_alternate: u64,
     /// Training steps executed.
     pub train_steps: u64,
     /// Evaluation micro-batches executed (after coalescing).
@@ -105,19 +176,23 @@ pub struct EngineMetrics {
 }
 
 /// Serves mixed-size training and inference traffic over one compiled
-/// [`Program`] — see the module docs for the batching policy.
+/// [`Program`] — see the module docs for the batching, admission and
+/// routing policies.
 #[derive(Debug)]
 pub struct Engine {
     program: Program,
     config: EngineConfig,
     metrics: EngineMetrics,
+    latency: LatencyModel,
 }
 
 impl Engine {
-    /// Wraps a program, pre-specializing every warm batch size.
+    /// Wraps a program, pre-specializing every warm batch size for the
+    /// default executor and applying the specialization-cache budget.
     pub fn new(mut program: Program, mut config: EngineConfig) -> Self {
         config.warm_batches.sort_unstable();
         config.warm_batches.dedup();
+        program.set_max_specializations(config.max_cached_specializations);
         for &batch in &config.warm_batches {
             program.specialize_with(batch, config.executor);
         }
@@ -125,6 +200,7 @@ impl Engine {
             program,
             config,
             metrics: EngineMetrics::default(),
+            latency: LatencyModel::default(),
         }
     }
 
@@ -143,52 +219,104 @@ impl Engine {
         self.metrics
     }
 
-    /// Specialization-cache accounting (including warmup misses).
+    /// Specialization-cache accounting (including warmup misses and LRU
+    /// evictions).
     pub fn cache_stats(&self) -> CacheStats {
         self.program.cache_stats()
     }
 
-    /// Serves a stream of requests in order, coalescing consecutive
-    /// evaluation requests into padded micro-batches and running training
-    /// requests individually at their exact size.
+    /// The engine's dispatch-latency estimate for a specialization rung,
+    /// if that rung was ever dispatched (or seeded). This is the quantity
+    /// [`AdmissionPolicy::DeadlineFeasible`] compares deadline budgets
+    /// against.
+    pub fn latency_estimate(&self, batch: usize, exec: ExecutorConfig) -> Option<Duration> {
+        self.latency.estimate(batch, exec)
+    }
+
+    /// Seeds (overwrites) the latency estimate for a rung — from an
+    /// offline profile, so admission control is armed before the first
+    /// dispatch, or from a test that needs deterministic feasibility
+    /// decisions. Later dispatches keep blending into the seeded value.
+    pub fn seed_latency_estimate(&mut self, batch: usize, exec: ExecutorConfig, latency: Duration) {
+        self.latency.seed(batch, exec, latency);
+    }
+
+    /// Serves a stream of requests in order, returning one [`Outcome`] per
+    /// request (same order). Consecutive admitted evaluation requests that
+    /// route to the same executor coalesce into padded micro-batches;
+    /// training requests run individually at their exact size; rejected
+    /// requests resolve as [`Outcome::Rejected`] without executing and
+    /// without breaking the surrounding coalescing run (mirroring the
+    /// queue path, where a rejected envelope is discarded mid-stream).
+    ///
+    /// The slice *is* the execution order: priorities never reorder the
+    /// sync path (they order dispatch when the submission queue backs up);
+    /// deadlines here feed admission only, since a materialised slice has
+    /// no companions to wait for.
     ///
     /// # Errors
     ///
     /// Returns the first executor input error encountered (malformed
     /// features/labels for the program's graph).
-    pub fn serve(&mut self, requests: &[ServingRequest]) -> Result<Vec<Response>, ExecError> {
-        let mut responses = Vec::with_capacity(requests.len());
+    pub fn serve(&mut self, requests: &[Request]) -> Result<Vec<Outcome>, ExecError> {
+        let mut outcomes: Vec<Option<Outcome>> = requests.iter().map(|_| None).collect();
         let limit = self.max_coalesced_rows();
         let mut i = 0;
         while i < requests.len() {
-            match requests[i].kind {
+            let head = &requests[i];
+            let exec = self.route(head);
+            if let Err(reason) = self.admit(head, exec) {
+                self.metrics.rejected += 1;
+                outcomes[i] = Some(Outcome::Rejected(reason));
+                i += 1;
+                continue;
+            }
+            match head.kind {
                 ServingKind::Train => {
-                    responses.push(self.train_one(i, &requests[i])?);
+                    let response = self.train_one(i, head, exec)?;
+                    outcomes[i] = Some(Outcome::Completed(response));
                     i += 1;
                 }
                 ServingKind::Eval => {
-                    // Greedily coalesce the run of eval requests while the
-                    // packed row count stays within the micro-batch limit.
+                    // Greedily coalesce the run of admitted eval requests
+                    // routing to the same executor while the packed row
+                    // count stays within the micro-batch limit. Rejected
+                    // requests in the run resolve in place and are skipped.
+                    let mut group: Vec<(usize, &Request)> = vec![(i, head)];
+                    let mut rows = head.rows();
                     let mut j = i + 1;
-                    let mut rows = requests[i].rows();
-                    while j < requests.len()
-                        && requests[j].kind == ServingKind::Eval
-                        && rows + requests[j].rows() <= limit
-                    {
-                        rows += requests[j].rows();
-                        j += 1;
+                    while j < requests.len() {
+                        let next = &requests[j];
+                        match self.classify_for_group(next, exec, rows, limit) {
+                            GroupVerdict::Reject(reason) => {
+                                self.metrics.rejected += 1;
+                                outcomes[j] = Some(Outcome::Rejected(reason));
+                                j += 1;
+                            }
+                            GroupVerdict::Barrier => break,
+                            GroupVerdict::Join => {
+                                rows += next.rows();
+                                group.push((j, next));
+                                j += 1;
+                            }
+                        }
                     }
-                    let group: Vec<(usize, &ServingRequest)> =
-                        (i..j).map(|k| (k, &requests[k])).collect();
-                    self.eval_group(&group, rows, &mut responses)?;
+                    let responses = self.eval_group(&group, rows, exec)?;
+                    for ((idx, _), response) in group.iter().zip(responses) {
+                        outcomes[*idx] = Some(Outcome::Completed(response));
+                    }
                     i = j;
                 }
             }
         }
-        Ok(responses)
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every request resolves to an outcome"))
+            .collect())
     }
 
-    /// Serves a single request synchronously (no coalescing across calls).
+    /// Serves a single request synchronously (no coalescing across calls),
+    /// returning its [`Outcome`].
     ///
     /// For queued ingestion with batching across producers, move the engine
     /// behind a submission queue with [`Engine::into_async`].
@@ -196,14 +324,20 @@ impl Engine {
     /// # Errors
     ///
     /// Returns executor input errors (malformed features/labels).
-    pub fn serve_one(&mut self, request: &ServingRequest) -> Result<Response, ExecError> {
+    pub fn serve_one(&mut self, request: &Request) -> Result<Outcome, ExecError> {
+        let exec = self.route(request);
+        if let Err(reason) = self.admit(request, exec) {
+            self.metrics.rejected += 1;
+            return Ok(Outcome::Rejected(reason));
+        }
         let id = self.metrics.requests as usize;
         match request.kind {
-            ServingKind::Train => self.train_one(id, request),
+            ServingKind::Train => Ok(Outcome::Completed(self.train_one(id, request, exec)?)),
             ServingKind::Eval => {
-                let mut out = Vec::with_capacity(1);
-                self.eval_group(&[(id, request)], request.rows(), &mut out)?;
-                Ok(out.pop().expect("one response per request"))
+                let mut responses = self.eval_group(&[(id, request)], request.rows(), exec)?;
+                Ok(Outcome::Completed(
+                    responses.pop().expect("one response per request"),
+                ))
             }
         }
     }
@@ -221,6 +355,125 @@ impl Engine {
         AsyncEngine::spawn(self, config)
     }
 
+    /// Resolves the executor configuration a request runs on, per
+    /// [`EngineConfig::route`]. Pure: routing depends only on the request's
+    /// metadata and the current specialization cache.
+    pub fn route(&self, request: &Request) -> ExecutorConfig {
+        match self.config.route {
+            BackendRoute::Pinned => self.config.executor,
+            BackendRoute::HintOrFit => {
+                if let Some(hint) = request.meta.backend {
+                    return self.resolve_hint(hint.name());
+                }
+                if self.config.alternates.is_empty() {
+                    return self.config.executor;
+                }
+                let rows = request.rows();
+                let fits = |exec: ExecutorConfig| match request.kind {
+                    // Trains run exact-size: only an exact cached rung
+                    // avoids a compile.
+                    ServingKind::Train => self
+                        .program
+                        .cached_rungs_for(exec)
+                        .binary_search(&rows)
+                        .is_ok(),
+                    ServingKind::Eval => self.nearest_cached_for(rows, exec).is_some(),
+                };
+                if fits(self.config.executor) {
+                    self.config.executor
+                } else {
+                    self.config
+                        .alternates
+                        .iter()
+                        .copied()
+                        .find(|&exec| fits(exec))
+                        .unwrap_or(self.config.executor)
+                }
+            }
+        }
+    }
+
+    /// First configured executor (default first, then alternates) whose
+    /// backend kind matches the hint; the default when none matches.
+    fn resolve_hint(&self, hint_name: &str) -> ExecutorConfig {
+        std::iter::once(self.config.executor)
+            .chain(self.config.alternates.iter().copied())
+            .find(|exec| exec.backend.name() == hint_name)
+            .unwrap_or(self.config.executor)
+    }
+
+    /// The admission decision for a request routed to `exec`: `Err` when
+    /// the policy is [`AdmissionPolicy::DeadlineFeasible`], the request
+    /// carries a deadline budget, and the engine's latency estimate for
+    /// the target rung already exceeds that whole budget.
+    ///
+    /// The check is assessed against the full budget on both ingestion
+    /// paths (queue wait is *not* subtracted), so the decision depends only
+    /// on the request and the latency-model state — not on which path
+    /// carried it. Strict reject-set parity between a slice replay and the
+    /// queue therefore holds when the estimates agree: seed them
+    /// ([`Engine::seed_latency_estimate`]) or keep budgets decisively above
+    /// or below the estimates; live EWMA state drifts with dispatch timing
+    /// and grouping, so a budget *near* the estimate may tip differently
+    /// on the two paths.
+    pub(crate) fn admit(
+        &self,
+        request: &Request,
+        exec: ExecutorConfig,
+    ) -> Result<(), RejectReason> {
+        if self.config.admission == AdmissionPolicy::AcceptAll {
+            return Ok(());
+        }
+        let Some(budget) = request.meta.deadline else {
+            return Ok(());
+        };
+        let rung = match request.kind {
+            ServingKind::Train => request.rows(),
+            ServingKind::Eval => self
+                .nearest_cached_for(request.rows(), exec)
+                .unwrap_or_else(|| request.rows()),
+        };
+        match self.latency.estimate(rung, exec) {
+            Some(estimated) if estimated > budget => {
+                Err(RejectReason::DeadlineInfeasible { estimated, budget })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Records an admission rejection in the serving counters (the sync
+    /// path inlines this; the batcher calls it for queue-path rejections).
+    pub(crate) fn note_rejection(&mut self) {
+        self.metrics.rejected += 1;
+    }
+
+    /// The one join/reject/barrier decision both ingestion paths apply to
+    /// a candidate request relative to the evaluation group being built
+    /// (`group_exec` = the group's routed executor, `rows` = rows packed
+    /// so far, `capacity` = the group's row bound). Keeping this in one
+    /// place is what keeps the queue path bit-identical to the slice
+    /// path: admission is always checked first (a rejection never breaks
+    /// a group), then kind/backend/fit compatibility.
+    pub(crate) fn classify_for_group(
+        &self,
+        request: &Request,
+        group_exec: ExecutorConfig,
+        rows: usize,
+        capacity: usize,
+    ) -> GroupVerdict {
+        let exec = self.route(request);
+        if let Err(reason) = self.admit(request, exec) {
+            return GroupVerdict::Reject(reason);
+        }
+        if request.kind != ServingKind::Eval
+            || exec != group_exec
+            || rows + request.rows() > capacity
+        {
+            return GroupVerdict::Barrier;
+        }
+        GroupVerdict::Join
+    }
+
     pub(crate) fn max_coalesced_rows(&self) -> usize {
         self.config
             .max_coalesced_rows
@@ -228,51 +481,59 @@ impl Engine {
             .max(1)
     }
 
-    /// The row count the deadline-aware batcher aims to fill: the largest
-    /// batch size already specialized for the engine's executor config,
-    /// capped by the coalescing limit (falls back to the limit itself before
-    /// anything is cached).
-    pub(crate) fn eval_target_rows(&self) -> usize {
+    /// The row count the deadline-aware batcher aims to fill for a group
+    /// routed to `exec`: the largest batch size already specialized under
+    /// that executor config, capped by the coalescing limit (falls back to
+    /// the limit itself before anything is cached).
+    pub(crate) fn eval_target_rows(&self, exec: ExecutorConfig) -> usize {
         let limit = self.max_coalesced_rows();
         self.program
-            .cached_batches_for(self.config.executor)
-            .into_iter()
+            .cached_rungs_for(exec)
+            .iter()
+            .copied()
             .filter(|&b| b <= limit)
             .max()
             .unwrap_or(limit)
     }
 
-    /// Smallest cached batch ≥ `rows` under the engine's executor config.
+    /// Smallest cached batch ≥ `rows` under the given executor config.
     /// (Specializations compiled for other backends/thread counts do not
     /// count: padding up to them would still pay a compile.)
-    fn nearest_cached(&self, rows: usize) -> Option<usize> {
+    fn nearest_cached_for(&self, rows: usize, exec: ExecutorConfig) -> Option<usize> {
         self.program
-            .cached_batches_for(self.config.executor)
-            .into_iter()
+            .cached_rungs_for(exec)
+            .iter()
+            .copied()
             .find(|&b| b >= rows)
     }
 
     pub(crate) fn train_one(
         &mut self,
         id: usize,
-        request: &ServingRequest,
+        request: &Request,
+        exec: ExecutorConfig,
     ) -> Result<Response, ExecError> {
         let rows = request.rows();
         let feature_input = self.program.feature_input().to_string();
         let label_input = self.program.label_input().to_string();
         let logits_name = self.program.logits_name().to_string();
-        let exec_cfg = self.config.executor;
-        let spec = self.program.specialize_for_requests(rows, exec_cfg, 1);
+        let spec = self.program.specialize_for_requests(rows, exec, 1);
         let inputs = HashMap::from([
             (feature_input, request.features.clone()),
             (label_input, request.labels.clone()),
         ]);
+        let started = Instant::now();
         let result = spec.executor.run_step(&inputs)?;
+        self.latency.observe(rows, exec, started.elapsed());
         self.metrics.requests += 1;
         self.metrics.train_steps += 1;
         self.metrics.rows += rows as u64;
+        if exec != self.config.executor {
+            self.metrics.routed_alternate += 1;
+        }
         Ok(Response {
             id,
+            client_id: request.meta.id,
             kind: ServingKind::Train,
             rows,
             batch: rows,
@@ -282,21 +543,21 @@ impl Engine {
     }
 
     /// Runs one evaluation micro-batch over `group` (pairs of response id
-    /// and request), packing and padding to the nearest cached rung, and
-    /// appends one [`Response`] per request in group order.
+    /// and request) on the routed executor, packing and padding to the
+    /// nearest cached rung, and returns one [`Response`] per request in
+    /// group order.
     pub(crate) fn eval_group(
         &mut self,
-        group: &[(usize, &ServingRequest)],
+        group: &[(usize, &Request)],
         rows: usize,
-        responses: &mut Vec<Response>,
-    ) -> Result<(), ExecError> {
+        exec: ExecutorConfig,
+    ) -> Result<Vec<Response>, ExecError> {
         // Pad to the nearest cached size; compile an exact specialization
         // only when the ladder has no rung big enough.
-        let batch = self.nearest_cached(rows).unwrap_or(rows);
+        let batch = self.nearest_cached_for(rows, exec).unwrap_or(rows);
         let feature_input = self.program.feature_input().to_string();
         let label_input = self.program.label_input().to_string();
         let logits_name = self.program.logits_name().to_string();
-        let exec_cfg = self.config.executor;
 
         let features = pack_rows(group.iter().map(|(_, r)| &r.features), rows, batch);
         let labels = pack_rows(group.iter().map(|(_, r)| &r.labels), rows, batch);
@@ -304,12 +565,18 @@ impl Engine {
 
         let spec = self
             .program
-            .specialize_for_requests(batch, exec_cfg, group.len() as u64);
+            .specialize_for_requests(batch, exec, group.len() as u64);
+        let started = Instant::now();
         let result = spec.executor.run_eval(&inputs)?;
+        self.latency.observe(batch, exec, started.elapsed());
         let logits = result.outputs.get(&logits_name);
 
         self.metrics.eval_batches += 1;
         self.metrics.padded_rows += (batch - rows) as u64;
+        if exec != self.config.executor {
+            self.metrics.routed_alternate += group.len() as u64;
+        }
+        let mut responses = Vec::with_capacity(group.len());
         let mut offset = 0usize;
         for &(id, request) in group {
             let n = request.rows();
@@ -320,6 +587,7 @@ impl Engine {
                 .map(|l| norm::cross_entropy_loss(l, &request.labels).data()[0]);
             responses.push(Response {
                 id,
+                client_id: request.meta.id,
                 kind: ServingKind::Eval,
                 rows: n,
                 batch,
@@ -330,7 +598,7 @@ impl Engine {
             self.metrics.rows += n as u64;
             offset += n;
         }
-        Ok(())
+        Ok(responses)
     }
 }
 
@@ -345,11 +613,11 @@ const _: fn() = || {
 /// The asynchronous ingestion facade: one [`Engine`] behind a bounded
 /// submission queue, drained by a deadline-aware batcher thread.
 ///
-/// Created by [`Engine::into_async`]. Producers submit [`ServingRequest`]s
-/// (from any number of threads, via [`AsyncEngine::submitter`] clones) and
-/// redeem the returned [`Ticket`]s for [`Response`]s. The batching policy —
-/// target rung, deadline semantics, training barriers — is documented in
-/// [`crate::batcher`].
+/// Created by [`Engine::into_async`]. Producers submit [`Request`]s (from
+/// any number of threads, via [`AsyncEngine::submitter`] clones) and redeem
+/// the returned [`Ticket`]s for [`Outcome`]s. The batching policy — target
+/// rung, deadline semantics, priority ordering, training barriers — is
+/// documented in [`crate::batcher`] and [`crate::queue`].
 ///
 /// # Backpressure contract
 ///
@@ -357,7 +625,8 @@ const _: fn() = || {
 /// blocks while the queue is full; [`AsyncEngine::try_submit`] instead hands
 /// the request back as [`SubmitError::Full`], so load shedding is the
 /// caller's explicit decision. Requests are never silently dropped: every
-/// accepted ticket resolves, even through [`AsyncEngine::shutdown`], which
+/// accepted ticket resolves — with a [`Response`], an admission rejection,
+/// or [`Outcome::Cancelled`] — even through [`AsyncEngine::shutdown`], which
 /// closes the queue and drains in-flight requests before returning the
 /// engine.
 #[derive(Debug)]
@@ -387,25 +656,26 @@ impl AsyncEngine {
         }
     }
 
-    /// Enqueues a request with the queue's default deadline budget,
-    /// blocking while the queue is at capacity.
+    /// Enqueues a request, blocking while the queue is at capacity. The
+    /// batching deadline is the request's own [`crate::RequestMeta::deadline`]
+    /// budget, falling back to the queue's default.
     ///
     /// # Errors
     ///
     /// Returns [`SubmitError::Closed`] after shutdown.
-    pub fn submit(&self, request: ServingRequest) -> Result<Ticket, SubmitError> {
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
         self.submitter.submit(request)
     }
 
-    /// [`AsyncEngine::submit`] with an explicit deadline budget: how long
-    /// the request may wait in the batcher for companions.
+    /// [`AsyncEngine::submit`] with an explicit deadline budget (stored
+    /// into the request's metadata, so admission control sees it too).
     ///
     /// # Errors
     ///
     /// Returns [`SubmitError::Closed`] after shutdown.
     pub fn submit_with_deadline(
         &self,
-        request: ServingRequest,
+        request: Request,
         deadline: Duration,
     ) -> Result<Ticket, SubmitError> {
         self.submitter.submit_with_deadline(request, deadline)
@@ -418,7 +688,7 @@ impl AsyncEngine {
     ///
     /// Returns [`SubmitError::Full`] on a full queue, [`SubmitError::Closed`]
     /// after shutdown.
-    pub fn try_submit(&self, request: ServingRequest) -> Result<Ticket, SubmitError> {
+    pub fn try_submit(&self, request: Request) -> Result<Ticket, SubmitError> {
         self.submitter.try_submit(request)
     }
 
@@ -435,7 +705,7 @@ impl AsyncEngine {
     }
 
     /// Live batcher accounting (groups formed, deadline/target/barrier
-    /// flushes, expired dispatches).
+    /// flushes, expired dispatches, admission rejections).
     pub fn batcher_stats(&self) -> BatcherStats {
         self.counters.snapshot()
     }

@@ -36,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod batcher;
 pub mod engine;
 pub mod program;
@@ -58,11 +59,14 @@ use pe_passes::{optimize, OptimizeOptions, OptimizeStats, Schedule, ScheduleStra
 use pe_runtime::{Executor, ExecutorConfig, Optimizer, Trainer};
 use pe_sparse::{apply_rule, trainable_elements, UpdateRule};
 
+pub use admission::{AdmissionPolicy, Outcome, RejectReason};
 pub use batcher::BatcherStats;
-pub use engine::{AsyncEngine, Engine, EngineConfig, EngineMetrics, Response};
-pub use pe_data::serving::{ServingKind, ServingRequest};
+pub use engine::{AsyncEngine, BackendRoute, Engine, EngineConfig, EngineMetrics, Response};
+#[allow(deprecated)]
+pub use pe_data::serving::ServingRequest;
+pub use pe_data::serving::{BackendHint, Priority, Request, RequestMeta, ServingKind};
 pub use program::{CacheStats, Compiler, ModelFactory, Program, Specialization};
-pub use queue::{QueueConfig, ServeError, SubmitError, Submitter, Ticket};
+pub use queue::{QueueConfig, SubmitError, Submitter, Ticket};
 
 /// Everything most users need, in one import.
 ///
@@ -112,16 +116,19 @@ pub use queue::{QueueConfig, ServeError, SubmitError, Submitter, Ticket};
 /// ```
 pub mod prelude {
     pub use crate::{
-        analyze, compile, AsyncEngine, BatcherStats, CacheStats, CompileOptions, CompiledProgram,
-        Compiler, Engine, EngineConfig, EngineMetrics, Program, ProgramAnalysis, QueueConfig,
-        Response, ServeError, Specialization, SubmitError, Submitter, Ticket,
+        analyze, compile, AdmissionPolicy, AsyncEngine, BackendRoute, BatcherStats, CacheStats,
+        CompileOptions, CompiledProgram, Compiler, Engine, EngineConfig, EngineMetrics, Outcome,
+        Program, ProgramAnalysis, QueueConfig, RejectReason, Response, Specialization, SubmitError,
+        Submitter, Ticket,
     };
     pub use pe_backends::{DeviceProfile, FrameworkProfile};
+    #[allow(deprecated)]
+    pub use pe_data::ServingRequest;
     pub use pe_data::{
         generate_arrival_process, generate_instruct_dataset, generate_nlp_task,
-        generate_request_stream, generate_vision_task, ArrivalProcessConfig, DeadlineDistribution,
-        InstructConfig, NlpTaskConfig, RequestStreamConfig, ServingKind, ServingRequest,
-        TimedRequest, VisionTaskConfig,
+        generate_request_stream, generate_vision_task, ArrivalProcessConfig, BackendHint,
+        DeadlineDistribution, InstructConfig, NlpTaskConfig, Priority, Request, RequestMeta,
+        RequestStreamConfig, ServingKind, VisionTaskConfig,
     };
     pub use pe_graph::{GraphBuilder, ParamKey, TrainKind, TrainSpec};
     pub use pe_models::{

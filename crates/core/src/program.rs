@@ -89,7 +89,13 @@ pub struct CacheStats {
     /// Requests served through an already-compiled specialization.
     pub request_hits: u64,
     /// Requests whose dispatch had to run the specialization pipeline.
+    /// Requests rejected by admission control are **not** counted here (or
+    /// anywhere in this struct): a rejection never reaches the cache, so it
+    /// must not look like cache churn.
     pub request_misses: u64,
+    /// Specializations evicted by the size-budgeted LRU policy (see
+    /// [`Program::set_max_specializations`]).
+    pub evictions: u64,
 }
 
 /// One batch-size specialization: the compiled analysis plus the pooled
@@ -133,6 +139,10 @@ impl Compiler {
             logits_name: base.logits_name(),
             model_name: base.name,
             cache: HashMap::new(),
+            rungs: HashMap::new(),
+            lru: HashMap::new(),
+            clock: 0,
+            max_specializations: None,
             stats: CacheStats::default(),
         }
     }
@@ -152,6 +162,16 @@ pub struct Program {
     logits_name: String,
     model_name: String,
     cache: HashMap<SpecKey, Specialization>,
+    /// Sorted cached batch sizes per (backend, threads), maintained on
+    /// insert/evict so the serving hot path (routing, admission,
+    /// pad-to-nearest lookups) never rebuilds and sorts a key scan.
+    rungs: HashMap<(Backend, usize), Vec<usize>>,
+    /// Last-access tick per cached specialization (the LRU order).
+    lru: HashMap<SpecKey, u64>,
+    /// Monotonic access counter feeding `lru`.
+    clock: u64,
+    /// Size budget of the specialization cache; `None` is unbounded.
+    max_specializations: Option<usize>,
     stats: CacheStats,
 }
 
@@ -216,15 +236,17 @@ impl Program {
     /// batch specialized for a different backend/thread count would still be
     /// a cache miss.
     pub fn cached_batches_for(&self, exec: ExecutorConfig) -> Vec<usize> {
+        self.cached_rungs_for(exec).to_vec()
+    }
+
+    /// [`Program::cached_batches_for`] without the copy: the maintained
+    /// sorted rung index, for the serving hot path.
+    pub fn cached_rungs_for(&self, exec: ExecutorConfig) -> &[usize] {
         let probe = SpecKey::new(0, exec);
-        let mut batches: Vec<usize> = self
-            .cache
-            .keys()
-            .filter(|k| k.backend == probe.backend && k.threads == probe.threads)
-            .map(|k| k.batch)
-            .collect();
-        batches.sort_unstable();
-        batches
+        self.rungs
+            .get(&(probe.backend, probe.threads))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Whether a specialization for `batch` under the program's default
@@ -263,6 +285,7 @@ impl Program {
         requests: u64,
     ) -> &mut Specialization {
         let key = SpecKey::new(batch, exec);
+        self.clock += 1;
         if self.cache.contains_key(&key) {
             self.stats.hits += 1;
             self.stats.request_hits += requests;
@@ -285,8 +308,60 @@ impl Program {
                     executor,
                 },
             );
+            let rungs = self.rungs.entry((key.backend, key.threads)).or_default();
+            if let Err(at) = rungs.binary_search(&batch) {
+                rungs.insert(at, batch);
+            }
+            self.evict_beyond_budget(key);
         }
+        self.lru.insert(key, self.clock);
         self.cache.get_mut(&key).expect("just inserted or present")
+    }
+
+    /// Sets the size budget of the specialization cache: at most `max`
+    /// specializations stay resident, evicting least-recently-used entries
+    /// (the entry being served is never evicted). `None` (the default)
+    /// keeps the cache unbounded. Evictions are counted in
+    /// [`CacheStats::evictions`].
+    ///
+    /// Shrinking the budget below the current cache size evicts immediately
+    /// on the next specialization access, not eagerly.
+    pub fn set_max_specializations(&mut self, max: Option<usize>) {
+        assert!(
+            max.is_none_or(|m| m > 0),
+            "the specialization budget must be positive (use None for unbounded)"
+        );
+        self.max_specializations = max;
+    }
+
+    /// The configured specialization-cache budget.
+    pub fn max_specializations(&self) -> Option<usize> {
+        self.max_specializations
+    }
+
+    /// Evicts least-recently-used specializations until the cache fits the
+    /// budget, never evicting `keep` (the entry about to be returned).
+    fn evict_beyond_budget(&mut self, keep: SpecKey) {
+        let Some(max) = self.max_specializations else {
+            return;
+        };
+        while self.cache.len() > max.max(1) {
+            let victim = self
+                .lru
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, tick)| **tick)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            self.cache.remove(&victim);
+            self.lru.remove(&victim);
+            if let Some(rungs) = self.rungs.get_mut(&(victim.backend, victim.threads)) {
+                if let Ok(at) = rungs.binary_search(&victim.batch) {
+                    rungs.remove(at);
+                }
+            }
+            self.stats.evictions += 1;
+        }
     }
 }
 
@@ -365,8 +440,40 @@ mod tests {
                 misses: 2,
                 request_hits: 5,
                 request_misses: 1,
+                evictions: 0,
             }
         );
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_budget_and_counts() {
+        let mut p = program();
+        p.set_max_specializations(Some(2));
+        let exec = ExecutorConfig::arena(1);
+        p.specialize_with(2, exec);
+        p.specialize_with(4, exec);
+        assert_eq!(p.cached_batches(), vec![2, 4]);
+        assert_eq!(p.cache_stats().evictions, 0);
+
+        // Touch 2 so 4 becomes the LRU entry, then overflow the budget.
+        p.specialize_with(2, exec);
+        p.specialize_with(8, exec);
+        assert_eq!(p.cached_batches(), vec![2, 8], "4 was least recently used");
+        assert_eq!(p.cache_stats().evictions, 1);
+
+        // The evicted rung recompiles on demand (a miss), evicting again.
+        p.specialize_with(4, exec);
+        assert_eq!(p.cache_stats().evictions, 2);
+        assert!(p.cached_batches().len() <= 2);
+        let stats = p.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_specialization_budget_is_rejected() {
+        let mut p = program();
+        p.set_max_specializations(Some(0));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The bounded submission queue feeding the asynchronous engine.
 //!
-//! Producers and the engine's drainer communicate through a classic bounded
-//! MPSC channel, built here on `Mutex` + `Condvar` (the container vendors no
+//! Producers and the engine's drainer communicate through a bounded MPSC
+//! channel, built here on `Mutex` + `Condvar` (the container vendors no
 //! async runtime, and the drainer is a plain thread — see
 //! [`crate::engine::AsyncEngine`]):
 //!
@@ -14,24 +14,37 @@
 //!   [`SubmitError::Full`], so callers can shed load explicitly instead of
 //!   stalling.
 //! * Every accepted request yields a [`Ticket`], a future-style handle the
-//!   producer redeems for the request's [`Response`] once the drainer has
-//!   served it. Tickets never dangle: an [`Envelope`] dropped unserved (a
+//!   producer redeems for the request's [`Outcome`] once the drainer has
+//!   resolved it. Tickets never dangle: an [`Envelope`] dropped unserved (a
 //!   drainer torn down mid-flight) resolves its ticket with
-//!   [`ServeError::Cancelled`].
+//!   [`Outcome::Cancelled`].
 //!
-//! Each request carries an absolute **deadline**: the instant by which the
+//! # Priority ordering
+//!
+//! The queue dispenses requests by [`Priority`] when it is backed up: the
+//! drainer's pop returns the highest-priority queued request, FIFO within a
+//! priority class. **Training requests are strict fences** — a train pops
+//! only once it reaches the queue's front, and no request behind a queued
+//! train is eligible before it. Only read-only evaluations between the
+//! same two training steps ever reorder, which is why priority scheduling
+//! stays bit-identical to in-order execution (evaluation results do not
+//! depend on dispatch order between unchanged parameters). An empty-enough
+//! queue degenerates to plain FIFO.
+//!
+//! Each request's [`crate::RequestMeta::deadline`] budget (or the queue default)
+//! becomes an absolute **dispatch deadline**: the instant by which the
 //! submitter wants the request dispatched. The batcher treats it as the
-//! request's patience for companions — see [`crate::batcher`] for how groups
-//! form under deadline budgets.
+//! request's patience for companions — see [`crate::batcher`] for how
+//! groups form under deadline budgets.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use pe_data::serving::ServingRequest;
+use pe_data::serving::{Priority, Request, ServingKind};
 use pe_runtime::ExecError;
 
-use crate::engine::Response;
+use crate::admission::Outcome;
 
 /// Submission-queue policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,9 +53,9 @@ pub struct QueueConfig {
     /// beyond it blocks ([`Submitter::submit`]) or is rejected
     /// ([`Submitter::try_submit`]).
     pub capacity: usize,
-    /// Deadline budget given to requests submitted without an explicit one:
-    /// how long a request may wait in the batcher for companions before it
-    /// must be dispatched.
+    /// Deadline budget given to requests whose [`crate::RequestMeta::deadline`] is
+    /// unset: how long a request may wait in the batcher for companions
+    /// before it must be dispatched.
     pub default_deadline: Duration,
 }
 
@@ -59,10 +72,11 @@ impl Default for QueueConfig {
 #[derive(Debug)]
 pub enum SubmitError {
     /// The queue is at capacity (only [`Submitter::try_submit`] reports
-    /// this); the request is handed back untouched.
-    Full(ServingRequest),
+    /// this); the request is handed back untouched (boxed, so the error
+    /// path stays cheap to return).
+    Full(Box<Request>),
     /// The queue was closed (engine shut down); the request is handed back.
-    Closed(ServingRequest),
+    Closed(Box<Request>),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -76,42 +90,14 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Why a ticket resolved without a [`Response`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ServeError {
-    /// The executor rejected the request's inputs (shape/dtype/missing).
-    Exec(ExecError),
-    /// The request was accepted but its drainer went away before serving it.
-    /// The built-in [`crate::engine::AsyncEngine::shutdown`] drains the queue
-    /// first, so this surfaces only if a drainer is torn down abnormally.
-    Cancelled,
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::Exec(e) => write!(f, "{e}"),
-            ServeError::Cancelled => write!(f, "request cancelled before being served"),
-        }
-    }
-}
-
-impl std::error::Error for ServeError {}
-
-impl From<ExecError> for ServeError {
-    fn from(e: ExecError) -> Self {
-        ServeError::Exec(e)
-    }
-}
-
 /// State of a ticket's completion slot.
 #[derive(Debug)]
 enum TicketSlot {
-    /// The drainer has not served the request yet.
+    /// The drainer has not resolved the request yet.
     Pending,
-    /// Served; the result awaits redemption.
-    Ready(Box<Result<Response, ServeError>>),
-    /// Served and already redeemed by [`Ticket::try_take`].
+    /// Resolved at the recorded instant; the result awaits redemption.
+    Ready(Box<Result<Outcome, ExecError>>, Instant),
+    /// Resolved and already redeemed by [`Ticket::try_take`].
     Taken,
 }
 
@@ -123,18 +109,20 @@ struct TicketCell {
 }
 
 impl TicketCell {
-    fn fulfill(&self, result: Result<Response, ServeError>) {
+    fn fulfill(&self, result: Result<Outcome, ExecError>) {
         let mut slot = self.slot.lock().unwrap();
         if matches!(*slot, TicketSlot::Pending) {
-            *slot = TicketSlot::Ready(Box::new(result));
+            *slot = TicketSlot::Ready(Box::new(result), Instant::now());
             self.ready.notify_all();
         }
     }
 }
 
 /// A future-style handle for one accepted request: redeem it with
-/// [`Ticket::wait`] once the drainer has served the request, or poll it with
-/// [`Ticket::try_take`].
+/// [`Ticket::wait`] once the drainer has resolved the request, or poll it
+/// with [`Ticket::try_take`]. The resolved value is the same [`Outcome`]
+/// vocabulary the synchronous paths return — completed, rejected by
+/// admission control, or cancelled.
 #[derive(Debug)]
 pub struct Ticket {
     cell: Arc<TicketCell>,
@@ -142,47 +130,66 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// The request's submission sequence number (the `id` its [`Response`]
-    /// will carry).
+    /// The request's submission sequence number (the `id` its
+    /// [`crate::engine::Response`] will carry).
     pub fn seq(&self) -> usize {
         self.seq
     }
 
-    /// Whether the request has been served (stays `true` after the result
+    /// Whether the request has been resolved (stays `true` after the result
     /// was redeemed with [`Ticket::try_take`]).
     pub fn is_ready(&self) -> bool {
         !matches!(*self.cell.slot.lock().unwrap(), TicketSlot::Pending)
     }
 
-    /// Takes the result without blocking, if the request has been served.
+    /// Takes the result without blocking, if the request has been resolved.
     /// Returns `None` both while pending and after the result was already
     /// taken.
-    pub fn try_take(&mut self) -> Option<Result<Response, ServeError>> {
+    pub fn try_take(&mut self) -> Option<Result<Outcome, ExecError>> {
         let mut slot = self.cell.slot.lock().unwrap();
-        if matches!(*slot, TicketSlot::Ready(_)) {
-            if let TicketSlot::Ready(result) = std::mem::replace(&mut *slot, TicketSlot::Taken) {
+        if matches!(*slot, TicketSlot::Ready(..)) {
+            if let TicketSlot::Ready(result, _) = std::mem::replace(&mut *slot, TicketSlot::Taken) {
                 return Some(*result);
             }
         }
         None
     }
 
-    /// Blocks until the request has been served and returns its result.
+    /// Blocks until the request has been resolved and returns its
+    /// [`Outcome`] (or the executor's input error).
     ///
     /// # Panics
     ///
     /// Panics if the result was already redeemed via [`Ticket::try_take`]
     /// (rather than blocking forever on a result that cannot arrive again).
-    pub fn wait(self) -> Result<Response, ServeError> {
+    pub fn wait(self) -> Result<Outcome, ExecError> {
+        self.wait_timed().0
+    }
+
+    /// [`Ticket::wait`], additionally returning the instant the drainer
+    /// resolved the request. A latency measurement taken from this instant
+    /// is immune to redemption-order delays: a waiter draining tickets in
+    /// submission order observes the true completion time even when
+    /// priority scheduling resolved tickets out of that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already redeemed via [`Ticket::try_take`].
+    pub fn wait_timed(self) -> (Result<Outcome, ExecError>, Instant) {
         let mut slot = self.cell.slot.lock().unwrap();
         loop {
-            match std::mem::replace(&mut *slot, TicketSlot::Taken) {
-                TicketSlot::Ready(result) => return *result,
+            match &*slot {
+                TicketSlot::Ready(_, at) => {
+                    let at = *at;
+                    match std::mem::replace(&mut *slot, TicketSlot::Taken) {
+                        TicketSlot::Ready(result, _) => return (*result, at),
+                        _ => unreachable!("slot was just observed Ready"),
+                    }
+                }
                 TicketSlot::Taken => {
                     panic!("ticket result was already taken via try_take")
                 }
                 TicketSlot::Pending => {
-                    *slot = TicketSlot::Pending;
                     slot = self.cell.ready.wait(slot).unwrap();
                 }
             }
@@ -190,17 +197,18 @@ impl Ticket {
     }
 }
 
-/// One queued request on the drainer side: the request, its submission
-/// sequence number, its dispatch deadline, and the producer's ticket.
+/// One queued request on the drainer side: the request (payload + meta),
+/// its submission sequence number, its absolute dispatch deadline, and the
+/// producer's ticket.
 ///
 /// Dropping an envelope unserved resolves the ticket with
-/// [`ServeError::Cancelled`], so producers never wait on a request a drainer
+/// [`Outcome::Cancelled`], so producers never wait on a request a drainer
 /// abandoned.
 #[derive(Debug)]
 pub struct Envelope {
     seq: usize,
     deadline: Instant,
-    request: Option<ServingRequest>,
+    request: Option<Request>,
     cell: Arc<TicketCell>,
 }
 
@@ -220,7 +228,7 @@ impl Envelope {
     /// # Panics
     ///
     /// Panics if called after [`Envelope::take_request`].
-    pub fn request(&self) -> &ServingRequest {
+    pub fn request(&self) -> &Request {
         self.request.as_ref().expect("request already taken")
     }
 
@@ -229,7 +237,7 @@ impl Envelope {
     /// # Panics
     ///
     /// Panics if called twice.
-    pub fn take_request(&mut self) -> ServingRequest {
+    pub fn take_request(&mut self) -> Request {
         self.request.take().expect("request already taken")
     }
 
@@ -238,8 +246,18 @@ impl Envelope {
         self.request().rows()
     }
 
-    /// Resolves the producer's ticket with the served result.
-    pub fn fulfill(self, result: Result<Response, ServeError>) {
+    /// Whether the queued request trains or evaluates.
+    pub fn kind(&self) -> ServingKind {
+        self.request().kind
+    }
+
+    /// The queued request's scheduling priority.
+    pub fn priority(&self) -> Priority {
+        self.request().meta.priority
+    }
+
+    /// Resolves the producer's ticket.
+    pub fn fulfill(self, result: Result<Outcome, ExecError>) {
         self.cell.fulfill(result);
         // Drop runs next but finds the cell already fulfilled.
     }
@@ -247,7 +265,7 @@ impl Envelope {
 
 impl Drop for Envelope {
     fn drop(&mut self) {
-        self.cell.fulfill(Err(ServeError::Cancelled));
+        self.cell.fulfill(Ok(Outcome::Cancelled));
     }
 }
 
@@ -257,6 +275,36 @@ struct State {
     items: VecDeque<Envelope>,
     closed: bool,
     next_seq: usize,
+}
+
+impl State {
+    /// Index the drainer should pop next: the front train if one leads the
+    /// queue, else the highest-priority evaluation before the first queued
+    /// train (FIFO within a priority class). Trains are fences — nothing
+    /// behind one is eligible before it.
+    fn pop_index(&self) -> Option<usize> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, envelope) in self.items.iter().enumerate() {
+            if envelope.kind() == ServingKind::Train {
+                if i == 0 {
+                    return Some(0);
+                }
+                break;
+            }
+            if envelope.priority() > self.items[best].priority() {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    fn pop_next(&mut self) -> Option<Envelope> {
+        let index = self.pop_index()?;
+        self.items.remove(index)
+    }
 }
 
 /// The shared bounded MPSC queue.
@@ -313,36 +361,51 @@ pub struct Submitter {
 }
 
 impl Submitter {
-    /// Enqueues a request with the queue's default deadline budget,
-    /// **blocking while the queue is full** (bounded-queue backpressure).
+    /// Enqueues a request, **blocking while the queue is full**
+    /// (bounded-queue backpressure). The batching deadline is the request's
+    /// own [`crate::RequestMeta::deadline`] budget, or the queue default when the
+    /// request carries none.
     ///
     /// # Errors
     ///
     /// Returns [`SubmitError::Closed`] (with the request handed back) if the
     /// queue was closed.
-    pub fn submit(&self, request: ServingRequest) -> Result<Ticket, SubmitError> {
-        let deadline = self.shared.default_deadline;
-        self.submit_with_deadline(request, deadline)
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let budget = request
+            .meta
+            .deadline
+            .unwrap_or(self.shared.default_deadline);
+        self.submit_with_budget(request, budget)
     }
 
-    /// [`Submitter::submit`] with an explicit deadline budget: the request
-    /// may wait at most `deadline` (from now) in the batcher for companions.
+    /// [`Submitter::submit`] with an explicit deadline budget, which is
+    /// also written into the request's metadata so admission control and
+    /// the batcher agree on it.
     ///
     /// # Errors
     ///
     /// Returns [`SubmitError::Closed`] if the queue was closed.
     pub fn submit_with_deadline(
         &self,
-        request: ServingRequest,
+        mut request: Request,
         deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        request.meta.deadline = Some(deadline);
+        self.submit_with_budget(request, deadline)
+    }
+
+    fn submit_with_budget(
+        &self,
+        request: Request,
+        budget: Duration,
     ) -> Result<Ticket, SubmitError> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
             if state.closed {
-                return Err(SubmitError::Closed(request));
+                return Err(SubmitError::Closed(Box::new(request)));
             }
             if state.items.len() < self.shared.capacity {
-                return Ok(push(&self.shared, &mut state, request, deadline));
+                return Ok(push(&self.shared, &mut state, request, budget));
             }
             state = self.shared.not_full.wait(state).unwrap();
         }
@@ -356,12 +419,23 @@ impl Submitter {
     ///
     /// Returns [`SubmitError::Full`] on a full queue and
     /// [`SubmitError::Closed`] on a closed one.
-    pub fn try_submit(&self, request: ServingRequest) -> Result<Ticket, SubmitError> {
-        let deadline = self.shared.default_deadline;
-        self.try_submit_with_deadline(request, deadline)
+    pub fn try_submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let budget = request
+            .meta
+            .deadline
+            .unwrap_or(self.shared.default_deadline);
+        let mut state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed(Box::new(request)));
+        }
+        if state.items.len() >= self.shared.capacity {
+            return Err(SubmitError::Full(Box::new(request)));
+        }
+        Ok(push(&self.shared, &mut state, request, budget))
     }
 
-    /// [`Submitter::try_submit`] with an explicit deadline budget.
+    /// [`Submitter::try_submit`] with an explicit deadline budget (also
+    /// written into the request's metadata).
     ///
     /// # Errors
     ///
@@ -369,17 +443,11 @@ impl Submitter {
     /// [`SubmitError::Closed`] on a closed one.
     pub fn try_submit_with_deadline(
         &self,
-        request: ServingRequest,
+        mut request: Request,
         deadline: Duration,
     ) -> Result<Ticket, SubmitError> {
-        let mut state = self.shared.state.lock().unwrap();
-        if state.closed {
-            return Err(SubmitError::Closed(request));
-        }
-        if state.items.len() >= self.shared.capacity {
-            return Err(SubmitError::Full(request));
-        }
-        Ok(push(&self.shared, &mut state, request, deadline))
+        request.meta.deadline = Some(deadline);
+        self.try_submit(request)
     }
 
     /// Requests currently queued (accepted, not yet popped by the drainer).
@@ -399,7 +467,7 @@ impl Submitter {
     }
 }
 
-fn push(shared: &Shared, state: &mut State, request: ServingRequest, deadline: Duration) -> Ticket {
+fn push(shared: &Shared, state: &mut State, request: Request, budget: Duration) -> Ticket {
     let seq = state.next_seq;
     state.next_seq += 1;
     let cell = Arc::new(TicketCell {
@@ -408,7 +476,7 @@ fn push(shared: &Shared, state: &mut State, request: ServingRequest, deadline: D
     });
     state.items.push_back(Envelope {
         seq,
-        deadline: Instant::now() + deadline,
+        deadline: Instant::now() + budget,
         request: Some(request),
         cell: Arc::clone(&cell),
     });
@@ -419,8 +487,9 @@ fn push(shared: &Shared, state: &mut State, request: ServingRequest, deadline: D
 /// Outcome of a [`Receiver::pop`].
 #[derive(Debug)]
 pub enum Pop {
-    /// The oldest queued request.
-    Item(Envelope),
+    /// The next queued request by priority order (see the module docs;
+    /// boxed to keep the control-flow enum small).
+    Item(Box<Envelope>),
     /// `wait_until` passed with the queue still empty.
     TimedOut,
     /// The queue is closed and fully drained: no request will ever arrive.
@@ -438,16 +507,16 @@ pub struct Receiver {
 }
 
 impl Receiver {
-    /// Pops the oldest request, blocking until one arrives, `wait_until`
-    /// passes ([`Pop::TimedOut`]), or the queue is closed *and* empty
-    /// ([`Pop::Drained`]). `None` waits with no timeout.
+    /// Pops the next request by priority order, blocking until one
+    /// arrives, `wait_until` passes ([`Pop::TimedOut`]), or the queue is
+    /// closed *and* empty ([`Pop::Drained`]). `None` waits with no timeout.
     pub fn pop(&self, wait_until: Option<Instant>) -> Pop {
         let mut state = self.shared.state.lock().unwrap();
         loop {
-            if let Some(envelope) = state.items.pop_front() {
+            if let Some(envelope) = state.pop_next() {
                 drop(state);
                 self.shared.not_full.notify_one();
-                return Pop::Item(envelope);
+                return Pop::Item(Box::new(envelope));
             }
             if state.closed {
                 return Pop::Drained;
@@ -477,9 +546,9 @@ impl Receiver {
         }
     }
 
-    /// Pops the oldest request without blocking.
+    /// Pops the next request by priority order without blocking.
     pub fn try_pop(&self) -> Option<Envelope> {
-        let envelope = self.shared.state.lock().unwrap().items.pop_front();
+        let envelope = self.shared.state.lock().unwrap().pop_next();
         if envelope.is_some() {
             self.shared.not_full.notify_one();
         }
@@ -512,15 +581,14 @@ impl Drop for Receiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pe_data::serving::ServingKind;
     use pe_tensor::Tensor;
 
-    fn req(rows: usize) -> ServingRequest {
-        ServingRequest {
-            kind: ServingKind::Eval,
-            features: Tensor::zeros([rows, 4]),
-            labels: Tensor::zeros([rows]),
-        }
+    fn req(rows: usize) -> Request {
+        Request::eval(Tensor::zeros([rows, 4]), Tensor::zeros([rows]))
+    }
+
+    fn train(rows: usize) -> Request {
+        Request::train(Tensor::zeros([rows, 4]), Tensor::zeros([rows]))
     }
 
     fn cfg(capacity: usize) -> QueueConfig {
@@ -547,7 +615,7 @@ mod tests {
     }
 
     #[test]
-    fn fifo_order_and_seq_numbers() {
+    fn fifo_order_and_seq_numbers_at_equal_priority() {
         let (tx, rx) = channel(cfg(8));
         let t0 = tx.submit(req(1)).unwrap();
         let t1 = tx.submit(req(2)).unwrap();
@@ -555,6 +623,32 @@ mod tests {
         assert_eq!(rx.try_pop().unwrap().rows(), 1);
         assert_eq!(rx.try_pop().unwrap().rows(), 2);
         assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn higher_priority_evals_pop_first() {
+        let (tx, rx) = channel(cfg(8));
+        tx.submit(req(1).priority(Priority::Low)).unwrap();
+        tx.submit(req(2).priority(Priority::Normal)).unwrap();
+        tx.submit(req(3).priority(Priority::High)).unwrap();
+        tx.submit(req(4).priority(Priority::High)).unwrap();
+        let order: Vec<usize> = (0..4).map(|_| rx.try_pop().unwrap().rows()).collect();
+        // High first (FIFO within the class), then normal, then low.
+        assert_eq!(order, vec![3, 4, 2, 1]);
+    }
+
+    #[test]
+    fn trains_fence_priority_reordering() {
+        let (tx, rx) = channel(cfg(8));
+        tx.submit(req(1).priority(Priority::Low)).unwrap();
+        tx.submit(train(2).priority(Priority::Low)).unwrap();
+        tx.submit(req(3).priority(Priority::High)).unwrap();
+        // The high-priority eval sits behind the train: not eligible.
+        assert_eq!(rx.try_pop().unwrap().rows(), 1);
+        // The train pops only at the front, regardless of its priority.
+        let t = rx.try_pop().unwrap();
+        assert_eq!((t.rows(), t.kind()), (2, ServingKind::Train));
+        assert_eq!(rx.try_pop().unwrap().rows(), 3);
     }
 
     #[test]
@@ -595,11 +689,24 @@ mod tests {
     }
 
     #[test]
+    fn submitted_deadline_budget_lands_in_the_meta() {
+        let (tx, rx) = channel(cfg(4));
+        tx.submit_with_deadline(req(1), Duration::from_millis(7))
+            .unwrap();
+        let envelope = rx.try_pop().unwrap();
+        assert_eq!(
+            envelope.request().meta.deadline,
+            Some(Duration::from_millis(7)),
+            "explicit budgets must be visible to admission control"
+        );
+    }
+
+    #[test]
     fn dropping_an_unserved_envelope_cancels_its_ticket() {
         let (tx, rx) = channel(cfg(4));
         let ticket = tx.submit(req(1)).unwrap();
         drop(rx.try_pop().unwrap());
-        assert!(matches!(ticket.wait(), Err(ServeError::Cancelled)));
+        assert!(matches!(ticket.wait(), Ok(Outcome::Cancelled)));
     }
 
     #[test]
@@ -608,14 +715,11 @@ mod tests {
         let mut ticket = tx.submit(req(1)).unwrap();
         assert!(!ticket.is_ready());
         assert!(ticket.try_take().is_none(), "pending: nothing to take");
-        // Serve it (cancellation counts as a result).
+        // Resolve it (cancellation counts as a result).
         drop(rx.try_pop().unwrap());
         assert!(ticket.is_ready());
-        assert!(matches!(
-            ticket.try_take(),
-            Some(Err(ServeError::Cancelled))
-        ));
-        assert!(ticket.is_ready(), "served state must not revert");
+        assert!(matches!(ticket.try_take(), Some(Ok(Outcome::Cancelled))));
+        assert!(ticket.is_ready(), "resolved state must not revert");
         assert!(ticket.try_take().is_none(), "a result redeems only once");
     }
 

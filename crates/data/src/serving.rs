@@ -1,9 +1,15 @@
 //! Synthetic serving workloads: mixed-size streams of training and
-//! evaluation requests.
+//! evaluation requests, carried by the canonical [`Request`] type.
 //!
 //! The engine facade in `pockengine` serves heterogeneous traffic — requests
 //! arrive with different batch sizes and mix on-device fine-tuning steps
-//! with inference. This generator stands in for that traffic: a reproducible
+//! with inference. [`Request`] is the one request type both of the engine's
+//! ingestion paths (the synchronous slice path and the bounded submission
+//! queue) accept: a tensor payload plus [`RequestMeta`] — deadline budget,
+//! [`Priority`], an optional backend hint and a caller-assigned id — built
+//! via the `Request::eval(..)/train(..).deadline(..).priority(..)` builder.
+//!
+//! The generators here stand in for production traffic: a reproducible
 //! stream of requests over one underlying classification task (shared class
 //! templates, so training requests actually improve later evaluation
 //! requests), with per-request row counts drawn from a configurable ladder.
@@ -12,8 +18,9 @@
 //! enough: deadline-aware batching behaves differently under an open-loop
 //! arrival process (requests show up on their own clock, whether or not the
 //! engine kept up). [`generate_arrival_process`] decorates a stream with
-//! Poisson arrival offsets at a configurable mean rate and per-request
-//! deadline budgets drawn from a configurable distribution.
+//! Poisson arrival offsets at a configurable mean rate (stored in
+//! [`RequestMeta::arrival`]) and per-request deadline budgets drawn from a
+//! configurable distribution.
 
 use std::time::Duration;
 
@@ -28,7 +35,182 @@ pub enum ServingKind {
     Eval,
 }
 
-/// One request of a synthetic serving stream.
+/// Scheduling priority of a request.
+///
+/// Priorities order dispatch when the submission queue is backed up: the
+/// drainer pops the highest-priority request first, FIFO within a priority
+/// class. Training requests are strict fences — no request is ever
+/// reordered across a training request in either direction — which is what
+/// keeps priority scheduling bit-identical to in-order execution (only
+/// read-only evaluations reorder, and only between the same two training
+/// steps). The synchronous slice path never reorders: a slice *is* its
+/// order; priorities there only feed admission and accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Batch/background work: dispatched only when nothing more urgent
+    /// waits.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive traffic: jumps queued `Normal`/`Low` evaluations.
+    High,
+}
+
+impl Priority {
+    /// Short lowercase name (`"low"` / `"normal"` / `"high"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// All priorities, lowest first.
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+}
+
+/// An advisory executor-backend hint carried by [`RequestMeta`].
+///
+/// The hint names a backend *kind*; the engine resolves it against the
+/// concrete executor configurations it was built with (its default plus any
+/// alternates) and silently falls back to the default when no configured
+/// executor matches. Results are bit-identical across backends, so a hint
+/// only steers *where* a request runs, never what it computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendHint {
+    /// The pooled-arena executor (zero-allocation steady state).
+    Arena,
+    /// The per-node-buffer executor kept as the differential baseline.
+    Boxed,
+}
+
+impl BackendHint {
+    /// Short lowercase name matching `pe_runtime::Backend::name`.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendHint::Arena => "arena",
+            BackendHint::Boxed => "boxed",
+        }
+    }
+}
+
+/// Request metadata shared by both ingestion paths.
+///
+/// Every field is optional or defaulted: `Request::eval(..)` with no
+/// builder calls behaves exactly like the historical bare request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// Caller-assigned correlation id, echoed back on the response.
+    pub id: Option<u64>,
+    /// Deadline budget: how long the request tolerates waiting (in the
+    /// batcher, for companions) before it must be dispatched — and the
+    /// budget admission control checks estimated latency against. `None`
+    /// defers to the queue's default budget and is always admitted.
+    pub deadline: Option<Duration>,
+    /// Scheduling priority (see [`Priority`]).
+    pub priority: Priority,
+    /// Advisory backend hint (see [`BackendHint`]).
+    pub backend: Option<BackendHint>,
+    /// Arrival offset from the start of an open-loop replay, set by
+    /// [`generate_arrival_process`]. Replay harnesses pace submission to
+    /// it; the engine itself ignores it.
+    pub arrival: Option<Duration>,
+}
+
+/// One serving request: the tensor payload plus [`RequestMeta`].
+///
+/// This is the canonical request type of the serving API — the same value
+/// flows through `Engine::serve` (synchronous slices), `Engine::serve_one`
+/// and the bounded submission queue. Build one with the fluent builder:
+///
+/// ```
+/// use std::time::Duration;
+/// use pe_data::serving::{BackendHint, Priority, Request};
+/// use pe_tensor::Tensor;
+///
+/// let request = Request::eval(Tensor::zeros([2, 16]), Tensor::zeros([2]))
+///     .deadline(Duration::from_micros(500))
+///     .priority(Priority::High)
+///     .backend(BackendHint::Arena)
+///     .id(42);
+/// assert_eq!(request.rows(), 2);
+/// assert_eq!(request.meta.id, Some(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Train or eval.
+    pub kind: ServingKind,
+    /// Feature tensor, `[rows, feature_dim]`.
+    pub features: Tensor,
+    /// Integer class labels stored as floats, `[rows]`.
+    pub labels: Tensor,
+    /// Deadline budget, priority, backend hint, caller id.
+    pub meta: RequestMeta,
+}
+
+impl Request {
+    /// A request of the given kind with default metadata.
+    pub fn new(kind: ServingKind, features: Tensor, labels: Tensor) -> Self {
+        Request {
+            kind,
+            features,
+            labels,
+            meta: RequestMeta::default(),
+        }
+    }
+
+    /// An evaluation (inference-only) request with default metadata.
+    pub fn eval(features: Tensor, labels: Tensor) -> Self {
+        Request::new(ServingKind::Eval, features, labels)
+    }
+
+    /// A training-step request with default metadata.
+    pub fn train(features: Tensor, labels: Tensor) -> Self {
+        Request::new(ServingKind::Train, features, labels)
+    }
+
+    /// Sets the deadline budget (builder style).
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.meta.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the scheduling priority (builder style).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.meta.priority = priority;
+        self
+    }
+
+    /// Sets the advisory backend hint (builder style).
+    pub fn backend(mut self, hint: BackendHint) -> Self {
+        self.meta.backend = Some(hint);
+        self
+    }
+
+    /// Sets the caller-assigned correlation id (builder style).
+    pub fn id(mut self, id: u64) -> Self {
+        self.meta.id = Some(id);
+        self
+    }
+
+    /// Number of examples in the request.
+    pub fn rows(&self) -> usize {
+        self.labels.numel()
+    }
+}
+
+/// The pre-unification request type: a bare payload with no metadata.
+///
+/// Superseded by [`Request`], which both ingestion paths now accept
+/// directly; kept for one release so downstream code compiles. Convert
+/// with `Request::from(serving_request)` — the historical behaviour (no
+/// deadline, `Normal` priority, no hint) is exactly `RequestMeta::default`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `Request` (metadata-carrying) instead; `Request::from` converts"
+)]
 #[derive(Debug, Clone)]
 pub struct ServingRequest {
     /// Train or eval.
@@ -39,10 +221,29 @@ pub struct ServingRequest {
     pub labels: Tensor,
 }
 
+#[allow(deprecated)]
 impl ServingRequest {
     /// Number of examples in the request.
     pub fn rows(&self) -> usize {
         self.labels.numel()
+    }
+}
+
+#[allow(deprecated)]
+impl From<ServingRequest> for Request {
+    fn from(r: ServingRequest) -> Self {
+        Request::new(r.kind, r.features, r.labels)
+    }
+}
+
+#[allow(deprecated)]
+impl From<Request> for ServingRequest {
+    fn from(r: Request) -> Self {
+        ServingRequest {
+            kind: r.kind,
+            features: r.features,
+            labels: r.labels,
+        }
     }
 }
 
@@ -55,6 +256,8 @@ pub struct RequestStreamConfig {
     pub batch_sizes: Vec<usize>,
     /// Fraction of requests that are training steps (0.0..=1.0).
     pub train_fraction: f64,
+    /// Priorities drawn uniformly per request (default: all `Normal`).
+    pub priorities: Vec<Priority>,
     /// Number of classes.
     pub num_classes: usize,
     /// Flat feature dimensionality.
@@ -71,6 +274,7 @@ impl Default for RequestStreamConfig {
             num_requests: 64,
             batch_sizes: vec![2, 4, 8],
             train_fraction: 0.5,
+            priorities: vec![Priority::Normal],
             num_classes: 4,
             feature_dim: 16,
             signal: 1.5,
@@ -83,16 +287,21 @@ impl Default for RequestStreamConfig {
 ///
 /// All requests sample the same underlying task (per-class feature
 /// templates), so the stream is coherent: training requests move the model
-/// toward higher accuracy on subsequent evaluation requests.
+/// toward higher accuracy on subsequent evaluation requests. Priorities are
+/// drawn uniformly from `cfg.priorities`; deadlines are left unset (the
+/// closed-loop regime) — decorate with [`generate_arrival_process`] for
+/// deadline-diverse open-loop traffic.
 ///
 /// # Panics
 ///
-/// Panics if `batch_sizes` is empty or contains 0.
-pub fn generate_request_stream(cfg: &RequestStreamConfig, rng: &mut Rng) -> Vec<ServingRequest> {
+/// Panics if `batch_sizes` or `priorities` is empty, or if a batch size
+/// is 0.
+pub fn generate_request_stream(cfg: &RequestStreamConfig, rng: &mut Rng) -> Vec<Request> {
     assert!(
         cfg.batch_sizes.iter().all(|&b| b > 0) && !cfg.batch_sizes.is_empty(),
         "batch_sizes must be non-empty and positive"
     );
+    assert!(!cfg.priorities.is_empty(), "priorities must be non-empty");
     let d = cfg.feature_dim;
     let templates: Vec<Tensor> = (0..cfg.num_classes)
         .map(|_| Tensor::randn([d], 1.0, rng))
@@ -106,6 +315,7 @@ pub fn generate_request_stream(cfg: &RequestStreamConfig, rng: &mut Rng) -> Vec<
             } else {
                 ServingKind::Eval
             };
+            let priority = cfg.priorities[rng.next_usize(cfg.priorities.len())];
             let mut features = Tensor::zeros([rows, d]);
             let mut labels = Tensor::zeros([rows]);
             for i in 0..rows {
@@ -116,11 +326,7 @@ pub fn generate_request_stream(cfg: &RequestStreamConfig, rng: &mut Rng) -> Vec<
                         cfg.signal * templates[cls].data()[j] + cfg.noise * rng.normal();
                 }
             }
-            ServingRequest {
-                kind,
-                features,
-                labels,
-            }
+            Request::new(kind, features, labels).priority(priority)
         })
         .collect()
 }
@@ -176,21 +382,11 @@ impl Default for ArrivalProcessConfig {
     }
 }
 
-/// One request of an open-loop arrival process.
-#[derive(Debug, Clone)]
-pub struct TimedRequest {
-    /// Arrival offset from the start of the process.
-    pub arrival: Duration,
-    /// Deadline budget measured from the arrival instant.
-    pub deadline: Duration,
-    /// The request payload.
-    pub request: ServingRequest,
-}
-
-/// Generates a reproducible open-loop arrival process: the request stream of
-/// [`generate_request_stream`], decorated with Poisson arrival offsets
-/// (exponential inter-arrival times at `rate_per_sec`) and per-request
-/// deadline budgets.
+/// Generates a reproducible open-loop arrival process: the request stream
+/// of [`generate_request_stream`], with Poisson arrival offsets
+/// (exponential inter-arrival times at `rate_per_sec`) in
+/// [`RequestMeta::arrival`] and per-request deadline budgets in
+/// [`RequestMeta::deadline`].
 ///
 /// "Open loop" means arrival times are fixed up front, independent of how
 /// fast the server drains — the regime a bounded submission queue exists
@@ -201,7 +397,7 @@ pub struct TimedRequest {
 ///
 /// Panics if `rate_per_sec` is not strictly positive, or on an invalid
 /// stream/deadline configuration.
-pub fn generate_arrival_process(cfg: &ArrivalProcessConfig, rng: &mut Rng) -> Vec<TimedRequest> {
+pub fn generate_arrival_process(cfg: &ArrivalProcessConfig, rng: &mut Rng) -> Vec<Request> {
     assert!(
         cfg.rate_per_sec > 0.0 && cfg.rate_per_sec.is_finite(),
         "arrival rate must be positive and finite"
@@ -210,15 +406,13 @@ pub fn generate_arrival_process(cfg: &ArrivalProcessConfig, rng: &mut Rng) -> Ve
     let mut at = 0.0f64;
     requests
         .into_iter()
-        .map(|request| {
+        .map(|mut request| {
             // Exponential inter-arrival time: -ln(U) / rate, U ~ (0, 1].
             let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
             at += -u.ln() / cfg.rate_per_sec;
-            TimedRequest {
-                arrival: Duration::from_secs_f64(at),
-                deadline: cfg.deadline.sample(rng),
-                request,
-            }
+            request.meta.arrival = Some(Duration::from_secs_f64(at));
+            request.meta.deadline = Some(cfg.deadline.sample(rng));
+            request
         })
         .collect()
 }
@@ -228,11 +422,52 @@ mod tests {
     use super::*;
 
     #[test]
+    fn builder_sets_every_meta_field() {
+        let r = Request::train(Tensor::zeros([4, 8]), Tensor::zeros([4]))
+            .deadline(Duration::from_micros(250))
+            .priority(Priority::High)
+            .backend(BackendHint::Boxed)
+            .id(7);
+        assert_eq!(r.kind, ServingKind::Train);
+        assert_eq!(r.rows(), 4);
+        assert_eq!(r.meta.deadline, Some(Duration::from_micros(250)));
+        assert_eq!(r.meta.priority, Priority::High);
+        assert_eq!(r.meta.backend, Some(BackendHint::Boxed));
+        assert_eq!(r.meta.id, Some(7));
+        assert_eq!(r.meta.arrival, None);
+    }
+
+    #[test]
+    fn priorities_order_low_normal_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert_eq!(Priority::ALL.len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn serving_request_round_trips_through_request() {
+        let legacy = ServingRequest {
+            kind: ServingKind::Eval,
+            features: Tensor::zeros([2, 4]),
+            labels: Tensor::zeros([2]),
+        };
+        let unified = Request::from(legacy.clone());
+        assert_eq!(unified.kind, ServingKind::Eval);
+        assert_eq!(unified.meta, RequestMeta::default());
+        assert_eq!(unified.rows(), legacy.rows());
+        let back = ServingRequest::from(unified);
+        assert_eq!(back.rows(), 2);
+    }
+
+    #[test]
     fn stream_respects_config() {
         let cfg = RequestStreamConfig {
             num_requests: 40,
             batch_sizes: vec![2, 8],
             train_fraction: 0.5,
+            priorities: vec![Priority::Low, Priority::High],
             ..RequestStreamConfig::default()
         };
         let mut rng = Rng::seed_from_u64(0);
@@ -247,12 +482,19 @@ mod tests {
                 .data()
                 .iter()
                 .all(|&l| (l as usize) < cfg.num_classes));
+            assert!(req.meta.priority == Priority::Low || req.meta.priority == Priority::High);
+            assert_eq!(req.meta.deadline, None, "closed-loop streams carry none");
         }
         let trains = stream
             .iter()
             .filter(|r| r.kind == ServingKind::Train)
             .count();
         assert!(trains > 5 && trains < 35, "train mix should be near half");
+        let highs = stream
+            .iter()
+            .filter(|r| r.meta.priority == Priority::High)
+            .count();
+        assert!(highs > 5 && highs < 35, "priority mix should be near half");
     }
 
     #[test]
@@ -295,15 +537,19 @@ mod tests {
         let process = generate_arrival_process(&cfg, &mut rng);
         assert_eq!(process.len(), 400);
         for pair in process.windows(2) {
-            assert!(pair[0].arrival < pair[1].arrival, "arrivals must increase");
+            assert!(
+                pair[0].meta.arrival < pair[1].meta.arrival,
+                "arrivals must increase"
+            );
         }
         for t in &process {
-            assert!(t.deadline >= Duration::from_micros(100));
-            assert!(t.deadline <= Duration::from_micros(900));
+            let deadline = t.meta.deadline.expect("open-loop requests carry budgets");
+            assert!(deadline >= Duration::from_micros(100));
+            assert!(deadline <= Duration::from_micros(900));
         }
         // 400 arrivals at 1000/s should span roughly 0.4s (loose band: the
         // mean of 400 exponentials has ~5% relative std deviation).
-        let span = process.last().unwrap().arrival.as_secs_f64();
+        let span = process.last().unwrap().meta.arrival.unwrap().as_secs_f64();
         assert!(
             (0.25..0.6).contains(&span),
             "span {span} off the 1000/s rate"
@@ -317,9 +563,9 @@ mod tests {
         let b = generate_arrival_process(&cfg, &mut Rng::seed_from_u64(4));
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.arrival, y.arrival);
-            assert_eq!(x.deadline, y.deadline);
-            assert_eq!(x.request.features.data(), y.request.features.data());
+            assert_eq!(x.meta.arrival, y.meta.arrival);
+            assert_eq!(x.meta.deadline, y.meta.deadline);
+            assert_eq!(x.features.data(), y.features.data());
         }
     }
 
@@ -332,7 +578,7 @@ mod tests {
         let process = generate_arrival_process(&cfg, &mut Rng::seed_from_u64(5));
         assert!(process
             .iter()
-            .all(|t| t.deadline == Duration::from_millis(2)));
+            .all(|t| t.meta.deadline == Some(Duration::from_millis(2))));
     }
 
     #[test]

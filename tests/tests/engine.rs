@@ -15,7 +15,8 @@ use pockengine::pe_passes::{optimize, OptimizeOptions};
 use pockengine::pe_runtime::{Executor, ExecutorConfig, Optimizer, ParamStore};
 use pockengine::pe_tensor::{Rng, Tensor};
 use pockengine::{
-    compile, CompileOptions, Compiler, Engine, EngineConfig, Program, ServingKind, ServingRequest,
+    compile, CompileOptions, Compiler, Engine, EngineConfig, Outcome, Program, Request, Response,
+    ServingKind,
 };
 
 const DIM: usize = 16;
@@ -61,7 +62,7 @@ fn program(optimizer: Optimizer, executor: ExecutorConfig) -> Program {
 }
 
 /// A linearly-separable request: class signal at feature `c * 3`.
-fn request(kind: ServingKind, rows: usize, rng: &mut Rng) -> ServingRequest {
+fn request(kind: ServingKind, rows: usize, rng: &mut Rng) -> Request {
     let mut features = Tensor::zeros([rows, DIM]);
     let mut labels = Tensor::zeros([rows]);
     for i in 0..rows {
@@ -72,11 +73,15 @@ fn request(kind: ServingKind, rows: usize, rng: &mut Rng) -> ServingRequest {
         features.set(&[i, c * 3], 2.0);
         labels.data_mut()[i] = c as f32;
     }
-    ServingRequest {
-        kind,
-        features,
-        labels,
-    }
+    Request::new(kind, features, labels)
+}
+
+/// Unwraps a slice-serve outcome vector into completed responses.
+fn completed(outcomes: Vec<Outcome>) -> Vec<Response> {
+    outcomes
+        .into_iter()
+        .map(|o| o.expect_completed("request should complete"))
+        .collect()
 }
 
 /// Trains at batch 4 and evals at batches {2, 8} interleaved: the engine
@@ -97,10 +102,10 @@ fn engine_matches_single_executor_baseline_bit_for_bit() {
         EngineConfig {
             executor: ExecutorConfig::arena(1),
             warm_batches: vec![4, 8],
-            max_coalesced_rows: None,
+            ..EngineConfig::default()
         },
     );
-    let responses = engine.serve(&stream).unwrap();
+    let responses = completed(engine.serve(&stream).unwrap());
 
     // Baseline: the old world — compile() at batch 4, private parameters.
     let mut baseline = compile(
@@ -191,10 +196,10 @@ fn engine_backends_agree_bit_for_bit() {
             EngineConfig {
                 executor: exec_cfg,
                 warm_batches: vec![2, 4],
-                max_coalesced_rows: None,
+                ..EngineConfig::default()
             },
         );
-        let responses = engine.serve(&stream).unwrap();
+        let responses = completed(engine.serve(&stream).unwrap());
         let losses: Vec<u32> = responses
             .iter()
             .map(|r| r.loss.unwrap().to_bits())
@@ -227,10 +232,13 @@ fn eval_padding_does_not_change_real_rows() {
         EngineConfig {
             executor: ExecutorConfig::arena(1),
             warm_batches: vec![8],
-            max_coalesced_rows: None,
+            ..EngineConfig::default()
         },
     );
-    let r_padded = padded.serve_one(&req).unwrap();
+    let r_padded = padded
+        .serve_one(&req)
+        .unwrap()
+        .expect_completed("eval should complete");
     assert_eq!(r_padded.rows, 3);
     assert_eq!(r_padded.batch, 8, "must pad to the nearest cached size");
     assert_eq!(padded.metrics().padded_rows, 5);
@@ -240,10 +248,13 @@ fn eval_padding_does_not_change_real_rows() {
         EngineConfig {
             executor: ExecutorConfig::arena(1),
             warm_batches: vec![3],
-            max_coalesced_rows: None,
+            ..EngineConfig::default()
         },
     );
-    let r_exact = exact.serve_one(&req).unwrap();
+    let r_exact = exact
+        .serve_one(&req)
+        .unwrap()
+        .expect_completed("eval should complete");
     assert_eq!(r_exact.batch, 3);
 
     let (a, b) = (r_padded.logits.unwrap(), r_exact.logits.unwrap());
@@ -264,7 +275,7 @@ fn specialization_cache_and_coalescing_accounting() {
         EngineConfig {
             executor: ExecutorConfig::arena(1),
             warm_batches: vec![2, 8],
-            max_coalesced_rows: None,
+            ..EngineConfig::default()
         },
     );
     let warm = engine.cache_stats();
@@ -276,10 +287,10 @@ fn specialization_cache_and_coalescing_accounting() {
 
     let mut rng = Rng::seed_from_u64(5);
     // Three consecutive 2-row evals pack into one batch (6 rows -> pad 8).
-    let stream: Vec<ServingRequest> = (0..3)
+    let stream: Vec<Request> = (0..3)
         .map(|_| request(ServingKind::Eval, 2, &mut rng))
         .collect();
-    let responses = engine.serve(&stream).unwrap();
+    let responses = completed(engine.serve(&stream).unwrap());
     assert_eq!(responses.len(), 3);
     assert!(responses.iter().all(|r| r.batch == 8 && r.rows == 2));
     let m = engine.metrics();
@@ -295,7 +306,10 @@ fn specialization_cache_and_coalescing_accounting() {
 
     // A train request at an uncached size is an exact-size miss.
     let train = request(ServingKind::Train, 5, &mut rng);
-    let r = engine.serve_one(&train).unwrap();
+    let r = engine
+        .serve_one(&train)
+        .unwrap()
+        .expect_completed("train should complete");
     assert_eq!(r.batch, 5, "training always runs exact");
     let stats = engine.cache_stats();
     assert_eq!(stats.misses, 3);
@@ -323,11 +337,11 @@ fn concurrent_train_and_eval_are_deterministic() {
     };
 
     let mut rng = Rng::seed_from_u64(13);
-    let train_reqs: Vec<ServingRequest> = (0..20)
+    let train_reqs: Vec<Request> = (0..20)
         .map(|_| request(ServingKind::Train, 4, &mut rng))
         .collect();
     let eval_req = request(ServingKind::Eval, 8, &mut rng);
-    let bind = |req: &ServingRequest| {
+    let bind = |req: &Request| {
         HashMap::from([
             ("x".to_string(), req.features.clone()),
             ("labels".to_string(), req.labels.clone()),

@@ -17,8 +17,8 @@ use pockengine::pe_runtime::{ExecutorConfig, Optimizer};
 use pockengine::pe_tensor::{Rng, Tensor};
 use pockengine::queue;
 use pockengine::{
-    CompileOptions, Compiler, Engine, EngineConfig, Program, QueueConfig, ServingKind,
-    ServingRequest, SubmitError,
+    CompileOptions, Compiler, Engine, EngineConfig, Program, QueueConfig, Request, ServingKind,
+    SubmitError,
 };
 
 const DIM: usize = 16;
@@ -66,13 +66,13 @@ fn engine(executor: ExecutorConfig, warm: Vec<usize>) -> Engine {
         EngineConfig {
             executor,
             warm_batches: warm,
-            max_coalesced_rows: None,
+            ..EngineConfig::default()
         },
     )
 }
 
 /// A linearly-separable request: class signal at feature `c * 3`.
-fn request(kind: ServingKind, rows: usize, rng: &mut Rng) -> ServingRequest {
+fn request(kind: ServingKind, rows: usize, rng: &mut Rng) -> Request {
     let mut features = Tensor::zeros([rows, DIM]);
     let mut labels = Tensor::zeros([rows]);
     for i in 0..rows {
@@ -83,15 +83,11 @@ fn request(kind: ServingKind, rows: usize, rng: &mut Rng) -> ServingRequest {
         features.set(&[i, c * 3], 2.0);
         labels.data_mut()[i] = c as f32;
     }
-    ServingRequest {
-        kind,
-        features,
-        labels,
-    }
+    Request::new(kind, features, labels)
 }
 
 /// Mixed train/eval stream with varying row counts.
-fn mixed_stream(n: usize, seed: u64) -> Vec<ServingRequest> {
+fn mixed_stream(n: usize, seed: u64) -> Vec<Request> {
     let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
@@ -117,10 +113,16 @@ fn queued_stream_matches_sync_slice_baseline_bit_for_bit() {
 
     // Synchronous slice baseline.
     let mut sync_engine = engine(exec, vec![4, 8]);
-    let sync_responses = sync_engine.serve(&stream).unwrap();
-    let sync_losses: Vec<u32> = sync_responses
-        .iter()
-        .map(|r| r.loss.expect("classification loss").to_bits())
+    let sync_losses: Vec<u32> = sync_engine
+        .serve(&stream)
+        .unwrap()
+        .into_iter()
+        .map(|o| {
+            o.expect_completed("sync request must complete")
+                .loss
+                .expect("classification loss")
+                .to_bits()
+        })
         .collect();
 
     // Queued path: identical engine, single producer submitting in order.
@@ -137,7 +139,10 @@ fn queued_stream_matches_sync_slice_baseline_bit_for_bit() {
         .enumerate()
         .map(|(i, t)| {
             assert_eq!(t.seq(), i, "seq numbers follow submission order");
-            let response = t.wait().expect("request must be served");
+            let response = t
+                .wait()
+                .expect("request must be well-formed")
+                .expect_completed("request must be served");
             assert_eq!(response.id, i);
             assert_eq!(response.rows, stream[i].rows());
             response.loss.expect("classification loss").to_bits()
@@ -213,7 +218,10 @@ fn expired_deadline_dispatches_solo() {
     let ticket = async_engine
         .submit_with_deadline(request(ServingKind::Eval, 2, &mut rng), Duration::ZERO)
         .unwrap();
-    let response = ticket.wait().unwrap();
+    let response = ticket
+        .wait()
+        .unwrap()
+        .expect_completed("expired requests still serve under AcceptAll");
     assert!(
         start.elapsed() < Duration::from_secs(10),
         "an expired request must not wait for companions"
@@ -268,7 +276,10 @@ fn compatible_evals_fill_the_target_rung() {
     let t2 = async_engine
         .submit(request(ServingKind::Eval, 4, &mut rng))
         .unwrap();
-    let (r1, r2) = (t1.wait().unwrap(), t2.wait().unwrap());
+    let (r1, r2) = (
+        t1.wait().unwrap().expect_completed("eval completes"),
+        t2.wait().unwrap().expect_completed("eval completes"),
+    );
     assert!(
         start.elapsed() < Duration::from_secs(10),
         "a filled rung must dispatch without waiting for deadlines"
@@ -305,9 +316,10 @@ fn shutdown_drains_in_flight_requests() {
         "shutdown must flush pending groups, not wait out their deadlines"
     );
     for (i, ticket) in tickets.into_iter().enumerate() {
-        let response = ticket.wait().unwrap_or_else(|e| {
-            panic!("request {i} was dropped during shutdown drain: {e}");
-        });
+        let response = ticket
+            .wait()
+            .unwrap_or_else(|e| panic!("request {i} errored during shutdown drain: {e}"))
+            .expect_completed("request must survive shutdown drain");
         assert_eq!(response.id, i);
     }
     assert_eq!(drained.metrics().requests, stream.len() as u64);
@@ -362,7 +374,8 @@ fn concurrent_producers_all_resolve_under_backpressure() {
                     let mut served = 0usize;
                     for ticket in tickets {
                         assert!(ticket.seq() < PRODUCERS * PER_PRODUCER);
-                        ticket.wait().expect("must be served");
+                        let outcome = ticket.wait().expect("must be well-formed");
+                        assert!(outcome.is_completed(), "must be served: {outcome:?}");
                         served += 1;
                     }
                     (served, trains)
