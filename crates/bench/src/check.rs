@@ -146,6 +146,15 @@ pub fn check_reports(baseline: &Json, fresh: &Json, cfg: CheckConfig) -> CheckOu
                 num(fresh, "requests_per_sec"),
                 cfg.tolerance,
             );
+            // Registry-backed cold start is latency: invert to a rate so
+            // the same lower-is-worse band applies.
+            check_throughput(
+                &mut outcome,
+                "engine_serving.cold_starts_per_sec",
+                num(baseline, "cold_start_registry_us").map(|us| 1e6 / us.max(1e-9)),
+                num(fresh, "cold_start_registry_us").map(|us| 1e6 / us.max(1e-9)),
+                cfg.tolerance,
+            );
         }
         "training_step" => {
             let base_variants = baseline
@@ -204,6 +213,14 @@ mod tests {
         Json::obj(vec![
             ("bench", Json::Str("engine_serving".into())),
             ("requests_per_sec", Json::Num(rps)),
+        ])
+    }
+
+    fn serving_with_cold_start(rps: f64, cold_us: f64) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str("engine_serving".into())),
+            ("requests_per_sec", Json::Num(rps)),
+            ("cold_start_registry_us", Json::Num(cold_us)),
         ])
     }
 
@@ -283,7 +300,21 @@ mod tests {
         let old_format = Json::obj(vec![("bench", Json::Str("engine_serving".into()))]);
         let outcome = check_reports(&old_format, &serving(500.0), CheckConfig::default());
         assert!(outcome.ok());
-        assert_eq!(outcome.notes.len(), 1);
+        assert_eq!(outcome.notes.len(), 2, "both gated fields skipped");
+    }
+
+    #[test]
+    fn gates_the_registry_cold_start() {
+        // A slower cold start is a lower cold-starts-per-sec rate: 100µs
+        // -> 150µs is a 33% drop, outside the 25% band.
+        let base = serving_with_cold_start(1000.0, 100.0);
+        let slow = serving_with_cold_start(1000.0, 150.0);
+        let outcome = check_reports(&base, &slow, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("cold_starts_per_sec"));
+        // 100µs -> 120µs is a 17% drop: inside the band.
+        let fine = serving_with_cold_start(1000.0, 120.0);
+        assert!(check_reports(&base, &fine, CheckConfig::default()).ok());
     }
 
     #[test]

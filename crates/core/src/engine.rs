@@ -117,6 +117,14 @@ pub struct EngineConfig {
     /// `None` (the default) keeps the cache unbounded. The warm ladder
     /// counts toward the budget.
     pub max_cached_specializations: Option<usize>,
+    /// Directory of serialized program artifacts the engine's program
+    /// consults before JIT compiling (see [`crate::ArtifactRegistry`]).
+    /// `None` (the default) keeps whatever the program already has —
+    /// typically the `PE_PROGRAM_REGISTRY` environment attachment made at
+    /// compile time. With a warm registry the engine's warm-up loop loads
+    /// every rung instead of compiling it, and the artifacts' latency
+    /// profiles arm deadline admission before the first request.
+    pub registry: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +137,7 @@ impl Default for EngineConfig {
             max_coalesced_rows: None,
             admission: AdmissionPolicy::default(),
             max_cached_specializations: None,
+            registry: None,
         }
     }
 }
@@ -173,6 +182,12 @@ pub struct EngineMetrics {
     pub rows: u64,
     /// Zero rows added by the pad-to-nearest-cached policy.
     pub padded_rows: u64,
+    /// Specializations loaded from the artifact registry instead of
+    /// compiled (mirrors [`CacheStats::registry_hits`]).
+    pub registry_hits: u64,
+    /// Registry lookups that fell back to JIT compilation (mirrors
+    /// [`CacheStats::registry_misses`]).
+    pub registry_misses: u64,
 }
 
 /// Serves mixed-size training and inference traffic over one compiled
@@ -189,18 +204,31 @@ pub struct Engine {
 impl Engine {
     /// Wraps a program, pre-specializing every warm batch size for the
     /// default executor and applying the specialization-cache budget.
+    ///
+    /// With an artifact registry attached ([`EngineConfig::registry`], or
+    /// already on the program), warm rungs that resolve from the registry
+    /// skip compilation entirely and their latency profiles seed the
+    /// admission model — deadline feasibility is decided correctly from
+    /// the very first request.
     pub fn new(mut program: Program, mut config: EngineConfig) -> Self {
         config.warm_batches.sort_unstable();
         config.warm_batches.dedup();
+        if let Some(dir) = &config.registry {
+            program.attach_registry(Some(crate::ArtifactRegistry::new(dir.clone())));
+        }
         program.set_max_specializations(config.max_cached_specializations);
+        let mut latency = LatencyModel::default();
         for &batch in &config.warm_batches {
-            program.specialize_with(batch, config.executor);
+            let spec = program.specialize_with(batch, config.executor);
+            if let Some(profile) = spec.latency_profile {
+                latency.seed(batch, config.executor, profile);
+            }
         }
         Engine {
             program,
             config,
             metrics: EngineMetrics::default(),
-            latency: LatencyModel::default(),
+            latency,
         }
     }
 
@@ -214,9 +242,15 @@ impl Engine {
         &mut self.program
     }
 
-    /// Serving counters so far.
+    /// Serving counters so far. The registry counters mirror the
+    /// program's cache accounting, so warm-up loads are included.
     pub fn metrics(&self) -> EngineMetrics {
-        self.metrics
+        let stats = self.program.cache_stats();
+        EngineMetrics {
+            registry_hits: stats.registry_hits,
+            registry_misses: stats.registry_misses,
+            ..self.metrics
+        }
     }
 
     /// Specialization-cache accounting (including warmup misses and LRU
@@ -518,6 +552,14 @@ impl Engine {
         let label_input = self.program.label_input().to_string();
         let logits_name = self.program.logits_name().to_string();
         let spec = self.program.specialize_for_requests(rows, exec, 1);
+        // A registry-loaded specialization carries an offline latency
+        // profile; arm the admission model with it if this rung has never
+        // been timed (later dispatches keep blending toward reality).
+        if let Some(profile) = spec.latency_profile {
+            if self.latency.estimate(rows, exec).is_none() {
+                self.latency.seed(rows, exec, profile);
+            }
+        }
         let inputs = HashMap::from([
             (feature_input, request.features.clone()),
             (label_input, request.labels.clone()),
@@ -566,6 +608,11 @@ impl Engine {
         let spec = self
             .program
             .specialize_for_requests(batch, exec, group.len() as u64);
+        if let Some(profile) = spec.latency_profile {
+            if self.latency.estimate(batch, exec).is_none() {
+                self.latency.seed(batch, exec, profile);
+            }
+        }
         let started = Instant::now();
         let result = spec.executor.run_eval(&inputs)?;
         self.latency.observe(batch, exec, started.elapsed());

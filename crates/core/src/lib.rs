@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod artifact;
 pub mod batcher;
 pub mod engine;
 pub mod program;
@@ -60,6 +61,7 @@ use pe_runtime::{Executor, ExecutorConfig, Optimizer, Trainer};
 use pe_sparse::{apply_rule, trainable_elements, UpdateRule};
 
 pub use admission::{AdmissionPolicy, Outcome, RejectReason};
+pub use artifact::{ArtifactRegistry, ProgramArtifact, ARTIFACT_VERSION};
 pub use batcher::BatcherStats;
 pub use engine::{AsyncEngine, BackendRoute, Engine, EngineConfig, EngineMetrics, Response};
 #[allow(deprecated)]
@@ -116,10 +118,10 @@ pub use queue::{QueueConfig, SubmitError, Submitter, Ticket};
 /// ```
 pub mod prelude {
     pub use crate::{
-        analyze, compile, AdmissionPolicy, AsyncEngine, BackendRoute, BatcherStats, CacheStats,
-        CompileOptions, CompiledProgram, Compiler, Engine, EngineConfig, EngineMetrics, Outcome,
-        Program, ProgramAnalysis, QueueConfig, RejectReason, Response, Specialization, SubmitError,
-        Submitter, Ticket,
+        analyze, compile, AdmissionPolicy, ArtifactRegistry, AsyncEngine, BackendRoute,
+        BatcherStats, CacheStats, CompileOptions, CompiledProgram, Compiler, Engine, EngineConfig,
+        EngineMetrics, Outcome, Program, ProgramAnalysis, ProgramArtifact, QueueConfig,
+        RejectReason, Response, Specialization, SubmitError, Submitter, Ticket,
     };
     pub use pe_backends::{DeviceProfile, FrameworkProfile};
     #[allow(deprecated)]

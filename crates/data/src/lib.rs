@@ -12,11 +12,13 @@
 #![deny(missing_docs)]
 
 pub mod instruct;
+pub mod json;
 pub mod nlp;
 pub mod serving;
 pub mod vision;
 
 pub use instruct::{generate_instruct_dataset, response_accuracy, InstructConfig, InstructDataset};
+pub use json::{write_report, Json};
 pub use nlp::{generate_nlp_task, table3_nlp_tasks, NlpTask, NlpTaskConfig};
 #[allow(deprecated)]
 pub use serving::ServingRequest;

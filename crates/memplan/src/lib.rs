@@ -205,42 +205,35 @@ fn is_inplace_safe(op: &OpKind) -> bool {
     )
 }
 
-/// [`plan_memory`] with explicit [`MemPlanOptions`] (alignment, runtime
-/// sizes, level-coarsened lifetimes for parallel dispatch, and in-place
-/// aliasing of safe unary ops).
+/// Buffer size in planning units (runtime `f32` or logical dtype).
+fn plan_size_of(graph: &Graph, opts: &MemPlanOptions, idx: usize) -> usize {
+    let node = graph.node(NodeId(idx));
+    if opts.runtime_f32_sizes {
+        node.shape.numel() * 4
+    } else {
+        node.size_bytes()
+    }
+}
+
+/// Lifetimes in planning time units (schedule positions, or dispatch levels
+/// when coarsened): overlap at this granularity is what forbids sharing an
+/// arena range.
 ///
-/// # Panics
-///
-/// Panics if `opts.coarsen` is provided but shorter than the schedule.
-pub fn plan_memory_with(graph: &Graph, schedule: &Schedule, opts: &MemPlanOptions) -> MemoryPlan {
-    let lifetimes = analyze_lifetimes(graph, schedule);
-    let n = graph.len();
-    let positions = schedule.positions(n);
-    let size_of = |idx: usize| -> usize {
-        let node = graph.node(NodeId(idx));
-        if opts.runtime_f32_sizes {
-            node.shape.numel() * 4
-        } else {
-            node.size_bytes()
-        }
-    };
-    // Lifetimes in planning time units (schedule positions, or dispatch
-    // levels when coarsened): overlap at this granularity is what forbids
-    // sharing an arena range.
-    let coarse = |pos: usize| -> usize {
-        match &opts.coarsen {
-            Some(levels) => levels[pos],
-            None => pos,
-        }
-    };
-    let consumers = graph.consumers();
-    // Schedule position is not monotone in level, so a coarsened last-use
-    // must be the maximum *level* over all consumers — mapping the
-    // positionally-last consumer's level would free a buffer while a
-    // higher-level (but earlier-scheduled) reader still needs it.
-    let eff: Vec<Option<Lifetime>> = match &opts.coarsen {
-        None => lifetimes.clone(),
+/// Schedule position is not monotone in level, so a coarsened last-use must
+/// be the maximum *level* over all consumers — mapping the positionally-last
+/// consumer's level would free a buffer while a higher-level (but
+/// earlier-scheduled) reader still needs it.
+fn effective_lifetimes(
+    graph: &Graph,
+    schedule: &Schedule,
+    opts: &MemPlanOptions,
+    lifetimes: &[Option<Lifetime>],
+) -> Vec<Option<Lifetime>> {
+    match &opts.coarsen {
+        None => lifetimes.to_vec(),
         Some(levels) => {
+            let positions = schedule.positions(graph.len());
+            let consumers = graph.consumers();
             let max_level = levels.iter().copied().max().unwrap_or(0);
             lifetimes
                 .iter()
@@ -263,7 +256,29 @@ pub fn plan_memory_with(graph: &Graph, schedule: &Schedule, opts: &MemPlanOption
                 })
                 .collect()
         }
+    }
+}
+
+/// [`plan_memory`] with explicit [`MemPlanOptions`] (alignment, runtime
+/// sizes, level-coarsened lifetimes for parallel dispatch, and in-place
+/// aliasing of safe unary ops).
+///
+/// # Panics
+///
+/// Panics if `opts.coarsen` is provided but shorter than the schedule.
+pub fn plan_memory_with(graph: &Graph, schedule: &Schedule, opts: &MemPlanOptions) -> MemoryPlan {
+    let lifetimes = analyze_lifetimes(graph, schedule);
+    let n = graph.len();
+    let positions = schedule.positions(n);
+    let size_of = |idx: usize| plan_size_of(graph, opts, idx);
+    let coarse = |pos: usize| -> usize {
+        match &opts.coarsen {
+            Some(levels) => levels[pos],
+            None => pos,
+        }
     };
+    let consumers = graph.consumers();
+    let eff = effective_lifetimes(graph, schedule, opts, &lifetimes);
 
     // In-place aliasing: a safe unary op whose first input dies at this very
     // node may write straight into the input's range. Chains (e.g.
@@ -386,6 +401,152 @@ pub fn plan_memory_with(graph: &Graph, schedule: &Schedule, opts: &MemPlanOption
         arena_bytes,
         peak_transient_bytes,
     }
+}
+
+/// Structurally validates a [`MemoryPlan`] (e.g. one deserialized from a
+/// program artifact) against the graph and schedule it claims to plan.
+///
+/// The check is much cheaper than re-running best-fit placement, yet strong
+/// enough that a corrupted or mismatched plan cannot make the arena executor
+/// read or write out of bounds or share memory between concurrently-live
+/// buffers:
+///
+/// * every vector is node-indexed and full-length;
+/// * lifetimes equal a fresh [`analyze_lifetimes`] pass exactly;
+/// * every scheduled buffer has a 4-byte-aligned offset inside the arena;
+/// * aliases only chain safe in-place ops onto their first input with
+///   matching sizes and offsets;
+/// * no two alias-chain roots whose (level-coarsened) lifetimes overlap
+///   share an address range.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_plan(
+    graph: &Graph,
+    schedule: &Schedule,
+    opts: &MemPlanOptions,
+    plan: &MemoryPlan,
+) -> Result<(), String> {
+    let n = graph.len();
+    if plan.lifetimes.len() != n || plan.offsets.len() != n || plan.aliases.len() != n {
+        return Err(format!(
+            "plan vectors sized {}/{}/{} for a {n}-node graph",
+            plan.lifetimes.len(),
+            plan.offsets.len(),
+            plan.aliases.len()
+        ));
+    }
+    if let Some(levels) = &opts.coarsen {
+        if levels.len() < schedule.len() {
+            return Err(format!(
+                "coarsen map covers {} of {} schedule positions",
+                levels.len(),
+                schedule.len()
+            ));
+        }
+    }
+    let expected = analyze_lifetimes(graph, schedule);
+    if plan.lifetimes != expected {
+        return Err("plan lifetimes disagree with the schedule".to_string());
+    }
+    let size_of = |idx: usize| plan_size_of(graph, opts, idx);
+    for idx in 0..n {
+        if plan.lifetimes[idx].is_none() {
+            continue;
+        }
+        let Some(off) = plan.offsets[idx] else {
+            return Err(format!("scheduled node {idx} has no arena offset"));
+        };
+        let size = size_of(idx);
+        if size == 0 {
+            continue;
+        }
+        if off % 4 != 0 {
+            return Err(format!("offset {off} of node {idx} not 4-byte aligned"));
+        }
+        if off + size > plan.arena_bytes {
+            return Err(format!(
+                "node {idx} range [{off}, {}) exceeds arena of {} bytes",
+                off + size,
+                plan.arena_bytes
+            ));
+        }
+    }
+    for idx in 0..n {
+        let Some(input) = plan.aliases[idx] else {
+            continue;
+        };
+        let node = graph.node(NodeId(idx));
+        if !is_inplace_safe(&node.op) {
+            return Err(format!(
+                "node {idx} ({}) aliased but not in-place safe",
+                node.op.mnemonic()
+            ));
+        }
+        if node.inputs.first() != Some(&input) {
+            return Err(format!("node {idx} aliases {input}, not its first input"));
+        }
+        if plan.lifetimes[idx].is_none() || plan.lifetimes[input.index()].is_none() {
+            return Err(format!(
+                "alias {idx} -> {input} involves an unplanned buffer"
+            ));
+        }
+        if size_of(idx) != size_of(input.index()) {
+            return Err(format!("alias {idx} -> {input} with mismatched sizes"));
+        }
+        if plan.offsets[idx] != plan.offsets[input.index()] {
+            return Err(format!("alias {idx} -> {input} with different offsets"));
+        }
+    }
+    // Overlap safety over alias-chain roots at the coarsened granularity.
+    let root_of = |mut i: usize| -> Result<usize, String> {
+        let mut hops = 0;
+        while let Some(p) = plan.aliases[i] {
+            i = p.index();
+            hops += 1;
+            if hops > n {
+                return Err("alias cycle in plan".to_string());
+            }
+        }
+        Ok(i)
+    };
+    let eff = effective_lifetimes(graph, schedule, opts, &plan.lifetimes);
+    // Chain lifetime per root: union of the members' effective lifetimes.
+    let mut chain: Vec<Option<Lifetime>> = eff.clone();
+    for (idx, alias) in plan.aliases.iter().enumerate() {
+        if alias.is_none() {
+            continue;
+        }
+        let root = root_of(idx)?;
+        if let (Some((rd, rl)), Some((_, nl))) = (chain[root], eff[idx]) {
+            chain[root] = Some((rd, rl.max(nl)));
+        }
+    }
+    let mut roots: Vec<usize> = Vec::new();
+    for idx in 0..n {
+        if plan.lifetimes[idx].is_some() && root_of(idx)? == idx && size_of(idx) > 0 {
+            roots.push(idx);
+        }
+    }
+    for (i, &a) in roots.iter().enumerate() {
+        for &b in &roots[i + 1..] {
+            let (Some((da, la)), Some((db, lb))) = (chain[a], chain[b]) else {
+                continue;
+            };
+            if la < db || lb < da {
+                continue;
+            }
+            let (oa, ob) = (plan.offsets[a].unwrap(), plan.offsets[b].unwrap());
+            let (sa, sb) = (size_of(a), size_of(b));
+            if !(oa + sa <= ob || ob + sb <= oa) {
+                return Err(format!(
+                    "buffers {a} and {b} overlap in both lifetime and address"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Produces the full training-memory breakdown for a scheduled graph.
@@ -692,6 +853,57 @@ mod tests {
         );
         assert!(runtime.arena_bytes >= logical.arena_bytes);
         assert_eq!(runtime.arena_bytes % 4, 0);
+    }
+
+    #[test]
+    fn fresh_plans_validate_and_corrupted_plans_do_not() {
+        let tg = mlp(4, |_, _| TrainKind::Full);
+        let schedule = build_schedule(&tg.graph, ScheduleStrategy::Reordered);
+        let opts = MemPlanOptions::for_execution(None);
+        let plan = plan_memory_with(&tg.graph, &schedule, &opts);
+        assert_eq!(validate_plan(&tg.graph, &schedule, &opts, &plan), Ok(()));
+
+        // Truncated vectors.
+        let mut bad = plan.clone();
+        bad.offsets.pop();
+        assert!(validate_plan(&tg.graph, &schedule, &opts, &bad).is_err());
+
+        // An offset pushed past the arena end.
+        let mut bad = plan.clone();
+        let victim = (0..tg.graph.len())
+            .find(|&i| plan.lifetimes[i].is_some() && plan.offsets[i].is_some())
+            .unwrap();
+        bad.offsets[victim] = Some(bad.arena_bytes);
+        assert!(validate_plan(&tg.graph, &schedule, &opts, &bad).is_err());
+
+        // Two concurrently-live, non-aliased buffers forced onto one offset.
+        let concurrent = |i: usize, j: usize| {
+            let (di, li) = plan.lifetimes[i].unwrap();
+            let (dj, lj) = plan.lifetimes[j].unwrap();
+            !(li < dj || lj < di)
+        };
+        let live = |i: usize| plan.aliases[i].is_none() && plan.lifetimes[i].is_some();
+        let pair = (0..tg.graph.len())
+            .flat_map(|i| (0..tg.graph.len()).map(move |j| (i, j)))
+            .find(|&(i, j)| {
+                i != j
+                    && live(i)
+                    && live(j)
+                    && plan.offsets[i] != plan.offsets[j]
+                    && concurrent(i, j)
+            });
+        let (i, j) = pair.expect("an MLP step has concurrently-live buffers");
+        let mut bad = plan.clone();
+        bad.offsets[j] = bad.offsets[i];
+        assert!(validate_plan(&tg.graph, &schedule, &opts, &bad).is_err());
+
+        // Lifetimes that disagree with the schedule.
+        let mut bad = plan.clone();
+        let victim = (0..tg.graph.len())
+            .find(|&i| bad.lifetimes[i].is_some())
+            .unwrap();
+        bad.lifetimes[victim] = None;
+        assert!(validate_plan(&tg.graph, &schedule, &opts, &bad).is_err());
     }
 
     #[test]

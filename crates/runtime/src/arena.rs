@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pe_graph::{NodeId, OpKind, TrainingGraph};
-use pe_memplan::{plan_memory_with, MemPlanOptions};
+use pe_memplan::{plan_memory_with, validate_plan, MemPlanOptions, MemoryPlan};
 use pe_passes::{partition_wavefronts, Schedule};
 use pe_tensor::kernels::elementwise::{UnaryGradOp, UnaryOp};
 use pe_tensor::kernels::{
@@ -117,12 +117,30 @@ impl ArenaBuf {
     }
 }
 
+/// Below this many total flops, a wavefront level is cheaper to run inline
+/// on the dispatching thread than to fan out across the pool: waking the
+/// workers and barriering back costs a handful of microseconds, which small
+/// levels (bias updates, scalar glue, narrow gradients) cannot amortise.
+/// Overridable via `PE_POOL_SEQ_FLOPS`.
+const DEFAULT_POOL_SEQ_FLOPS: u64 = 262_144;
+
+fn pool_seq_flops() -> u64 {
+    std::env::var("PE_POOL_SEQ_FLOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_POOL_SEQ_FLOPS)
+}
+
 /// Executor state shared with the worker pool.
 pub(crate) struct Shared {
     steps: Vec<StepNode>,
     /// Schedule positions per wavefront level (non-leaf tasks only);
     /// populated only in parallel mode.
     pub(crate) levels: Vec<Vec<u32>>,
+    /// Levels whose total flops fall below the sequential-fallback
+    /// threshold: the dispatcher runs these inline instead of waking the
+    /// pool (parallel mode only; same length as `levels`).
+    pub(crate) seq_levels: Vec<bool>,
     arena: ArenaBuf,
     /// The shared canonical parameters; workers only ever form a reference
     /// to the single cell an update touches, never to the store's backing
@@ -176,11 +194,17 @@ impl std::fmt::Debug for ArenaExec {
 }
 
 impl ArenaExec {
-    pub fn new(
+    /// Builds an arena executor with an optional precomputed memory plan (e.g.
+    /// deserialized from a program artifact). The plan is structurally
+    /// validated against the graph and schedule; an invalid plan is
+    /// discarded and replanned from scratch, so a corrupted artifact can
+    /// cost time but never soundness.
+    pub fn new_with_plan(
         tg: TrainingGraph,
         schedule: Schedule,
         store: Arc<ParamStore>,
         threads: usize,
+        plan: Option<MemoryPlan>,
     ) -> Self {
         let threads = threads.max(1);
         let graph = &tg.graph;
@@ -210,10 +234,16 @@ impl ArenaExec {
             inputs.push(Tensor::zeros(graph.node(*id).shape.clone()));
         }
 
-        // Memory plan: level-coarsened when dispatching in parallel.
+        // Memory plan: level-coarsened when dispatching in parallel. A
+        // supplied (artifact) plan is used only if it validates against this
+        // exact graph/schedule/options combination.
         let wavefront = partition_wavefronts(graph, &schedule);
         let coarsen = (threads > 1).then(|| wavefront.level_of_position.clone());
-        let plan = plan_memory_with(graph, &schedule, &MemPlanOptions::for_execution(coarsen));
+        let opts = MemPlanOptions::for_execution(coarsen);
+        let plan = match plan {
+            Some(p) if validate_plan(graph, &schedule, &opts, &p).is_ok() => p,
+            _ => plan_memory_with(graph, &schedule, &opts),
+        };
         let arena = ArenaBuf(UnsafeCell::new(
             vec![0.0f32; plan.arena_bytes.div_ceil(4)].into_boxed_slice(),
         ));
@@ -272,29 +302,33 @@ impl ArenaExec {
         // Wavefront levels as schedule positions (parallel mode only).
         // Within a level, heaviest node first (LPT): workers claim in list
         // order, so the most expensive kernels overlap first and the level's
-        // makespan shrinks.
+        // makespan shrinks. Levels whose total work cannot amortise a pool
+        // wake-up are flagged for inline sequential execution.
         let positions = schedule.positions(n);
-        let levels: Vec<Vec<u32>> = if threads > 1 {
-            wavefront
-                .levels
-                .iter()
-                .map(|level| {
-                    let mut tasks: Vec<NodeId> = level
-                        .iter()
-                        .copied()
-                        .filter(|id| !graph.node(*id).op.is_leaf())
-                        .collect();
-                    tasks
-                        .sort_by_key(|id| std::cmp::Reverse(pe_graph::node_cost(graph, *id).flops));
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        let mut seq_levels: Vec<bool> = Vec::new();
+        if threads > 1 {
+            let seq_threshold = pool_seq_flops();
+            for level in &wavefront.levels {
+                let mut tasks: Vec<NodeId> = level
+                    .iter()
+                    .copied()
+                    .filter(|id| !graph.node(*id).op.is_leaf())
+                    .collect();
+                tasks.sort_by_key(|id| std::cmp::Reverse(pe_graph::node_cost(graph, *id).flops));
+                let total_flops: u64 = tasks
+                    .iter()
+                    .map(|id| pe_graph::node_cost(graph, *id).flops)
+                    .sum();
+                seq_levels.push(total_flops < seq_threshold);
+                levels.push(
                     tasks
                         .into_iter()
                         .map(|id| positions[id.index()] as u32)
-                        .collect()
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+                        .collect(),
+                );
+            }
+        }
 
         // Winograd weights for frozen convolutions, transformed once and
         // refreshed whenever the store-cell version moves (e.g. another
@@ -350,6 +384,7 @@ impl ArenaExec {
         let shared = Arc::new(Shared {
             steps,
             levels,
+            seq_levels,
             arena,
             store,
             consts,

@@ -264,13 +264,33 @@ impl Executor {
         store: Arc<ParamStore>,
         config: ExecutorConfig,
     ) -> Self {
+        Executor::with_store_and_plan(tg, schedule, store, config, None)
+    }
+
+    /// [`Executor::with_store`] with an optional precomputed memory plan
+    /// (deserialized from a program artifact). The arena backend validates
+    /// the plan against the graph/schedule and silently replans if it does
+    /// not hold up; the boxed backend allocates per node and ignores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter of the graph is missing from the store or has a
+    /// mismatched shape.
+    pub fn with_store_and_plan(
+        tg: TrainingGraph,
+        schedule: Schedule,
+        store: Arc<ParamStore>,
+        config: ExecutorConfig,
+        plan: Option<pe_memplan::MemoryPlan>,
+    ) -> Self {
         let inner = match config.backend {
             Backend::Boxed => Inner::Boxed(Box::new(BoxedExec::new(tg, schedule, store))),
-            Backend::Arena => Inner::Arena(Box::new(ArenaExec::new(
+            Backend::Arena => Inner::Arena(Box::new(ArenaExec::new_with_plan(
                 tg,
                 schedule,
                 store,
                 config.threads,
+                plan,
             ))),
         };
         Executor { inner }

@@ -212,6 +212,21 @@ impl Pool {
             unsafe { crate::arena::exec_position(&self.shared, pos, true) };
             return;
         }
+        if self.shared.seq_levels[level] {
+            // The level's total flops are below the fan-out threshold: run
+            // every task inline. Like the single-task path, no counters are
+            // touched and the epoch is not bumped, so a late-waking worker
+            // cannot join; the level's nodes are mutually independent by
+            // wavefront construction, so list order is a valid execution
+            // order.
+            for &pos in &self.shared.levels[level] {
+                // SAFETY: one thread, independent tasks; plan invariants as
+                // above (the coarsened plan is only more conservative than a
+                // sequential walk needs).
+                unsafe { crate::arena::exec_position(&self.shared, pos as usize, true) };
+            }
+            return;
+        }
         // Publish the level. The barrier below guarantees `active == 0` and
         // registration closed, so no thread can observe the counter reset
         // through a stale level's claim loop.
