@@ -30,6 +30,12 @@ pub struct CheckConfig {
     /// Allowed fractional throughput drop (0.25 = fail below 75% of the
     /// baseline).
     pub tolerance: f64,
+    /// Allowed fractional drop for the multi-worker drain throughput
+    /// fields (`requests_per_sec_workers_{N>1}`). Cross-worker scheduling
+    /// is at the mercy of the host's core count and load — on a small or
+    /// shared runner the parallel legs are noisier than the single-stream
+    /// headline — so they get a wider band.
+    pub multi_worker_tolerance: f64,
     /// Allowed absolute increase of averaged allocation counters.
     pub alloc_slack: f64,
 }
@@ -38,6 +44,7 @@ impl Default for CheckConfig {
     fn default() -> Self {
         CheckConfig {
             tolerance: 0.25,
+            multi_worker_tolerance: 0.40,
             alloc_slack: 1.0,
         }
     }
@@ -155,6 +162,29 @@ pub fn check_reports(baseline: &Json, fresh: &Json, cfg: CheckConfig) -> CheckOu
                 num(fresh, "cold_start_registry_us").map(|us| 1e6 / us.max(1e-9)),
                 cfg.tolerance,
             );
+            // Parallel-drain throughput: every `requests_per_sec_workers_N`
+            // field gated in the baseline must hold in the fresh report.
+            // The single-worker leg shares the headline band; the
+            // multi-worker legs get the wider one.
+            if let Json::Obj(fields) = baseline {
+                for (key, value) in fields {
+                    let Some(workers) = key.strip_prefix("requests_per_sec_workers_") else {
+                        continue;
+                    };
+                    let tolerance = if workers == "1" {
+                        cfg.tolerance
+                    } else {
+                        cfg.multi_worker_tolerance
+                    };
+                    check_throughput(
+                        &mut outcome,
+                        &format!("engine_serving.{key}"),
+                        value.as_f64().filter(|v| v.is_finite()),
+                        num(fresh, key),
+                        tolerance,
+                    );
+                }
+            }
         }
         "training_step" => {
             let base_variants = baseline
@@ -315,6 +345,46 @@ mod tests {
         // 100µs -> 120µs is a 17% drop: inside the band.
         let fine = serving_with_cold_start(1000.0, 120.0);
         assert!(check_reports(&base, &fine, CheckConfig::default()).ok());
+    }
+
+    fn serving_with_workers(rps: f64, workers: Vec<(u64, f64)>) -> Json {
+        let mut fields = vec![
+            ("bench".to_string(), Json::Str("engine_serving".into())),
+            ("requests_per_sec".to_string(), Json::Num(rps)),
+        ];
+        for (n, w_rps) in workers {
+            fields.push((format!("requests_per_sec_workers_{n}"), Json::Num(w_rps)));
+        }
+        Json::Obj(fields)
+    }
+
+    #[test]
+    fn gates_every_worker_count_in_the_baseline() {
+        let base = serving_with_workers(1000.0, vec![(1, 1000.0), (2, 1500.0), (4, 2000.0)]);
+        // One parallel leg collapses far beyond even the wide band.
+        let bad = serving_with_workers(1000.0, vec![(1, 1000.0), (2, 1500.0), (4, 900.0)]);
+        let outcome = check_reports(&base, &bad, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("requests_per_sec_workers_4"));
+        // A gated worker field may not disappear from the fresh report.
+        let gone = serving_with_workers(1000.0, vec![(1, 1000.0), (2, 1500.0)]);
+        let outcome = check_reports(&base, &gone, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("missing from the fresh report"));
+    }
+
+    #[test]
+    fn multi_worker_legs_use_the_wider_band() {
+        let base = serving_with_workers(1000.0, vec![(1, 1000.0), (4, 1000.0)]);
+        // A 30% drop: outside the 25% headline band, inside the 40%
+        // multi-worker band.
+        let noisy = serving_with_workers(1000.0, vec![(1, 1000.0), (4, 700.0)]);
+        assert!(check_reports(&base, &noisy, CheckConfig::default()).ok());
+        // The single-worker leg stays on the headline band.
+        let slow_inline = serving_with_workers(1000.0, vec![(1, 700.0), (4, 1000.0)]);
+        let outcome = check_reports(&base, &slow_inline, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("requests_per_sec_workers_1"));
     }
 
     #[test]

@@ -676,6 +676,7 @@ impl ProgramArtifact {
             analysis: self.analysis,
             executor,
             latency_profile: Some(latency),
+            fork_seed: None,
         })
     }
 }

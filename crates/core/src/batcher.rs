@@ -33,31 +33,52 @@
 //!   execution order (the queue never reorders across a train), which is
 //!   what keeps the queued path bit-identical to the synchronous baseline.
 //!
+//! # Parallel drain
+//!
+//! Group *formation* always happens here, on the single batcher thread, so
+//! group membership is a pure function of submission order and deadlines —
+//! independent of how many workers execute the groups. Group *execution*
+//! has two modes ([`crate::QueueConfig::drain_workers`]):
+//!
+//! * **inline** (1 worker, the default): the batcher executes each group
+//!   itself before popping further, exactly the historical single-threaded
+//!   drain;
+//! * **pooled** (N ≥ 2): each formed group is handed to a
+//!   `crate::dispatch::WorkerPool`; because evaluation holds the
+//!   `ParamStore` guard shared, groups execute concurrently. A training
+//!   request then *fences the pool*: the batcher waits for every in-flight
+//!   group to retire before running the step exclusively, so no eval ever
+//!   observes a half-stepped parameter and results stay bit-identical to
+//!   the inline drain.
+//!
 //! Grouping differences between the two paths are invisible in the results:
 //! evaluation is read-only and padding/packing never leaks into per-request
 //! losses (`tests/tests/engine.rs::eval_padding_does_not_change_real_rows`),
 //! so only the train-step order matters — and that is FIFO on both paths.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::admission::{Outcome, RejectReason};
+use crate::dispatch::WorkerPool;
 use crate::engine::{Engine, GroupVerdict};
 use crate::queue::{Envelope, Pop, Receiver};
 
 use pe_data::serving::ServingKind;
 use pe_runtime::ExecutorConfig;
 
-/// Counters describing what the batcher did, updated live by the drainer.
+/// The batcher's shared accounting: one mutex-guarded [`BatcherStats`] that
+/// the drainer and every pool worker merge whole-group deltas into.
+///
+/// Counters used to be independent atomics bumped at different points of the
+/// dispatch path, so a [`BatcherCounters::snapshot`] taken mid-dispatch could
+/// observe a group counted in `eval_groups` but not yet in any flush-cause
+/// counter (or vice versa). Deltas are now merged *atomically at retirement*
+/// — the whole group's accounting lands in one critical section — so every
+/// snapshot satisfies `eval_groups == target + deadline + barrier flushes`.
 #[derive(Debug, Default)]
 pub(crate) struct BatcherCounters {
-    eval_groups: AtomicU64,
-    target_flushes: AtomicU64,
-    deadline_flushes: AtomicU64,
-    barrier_flushes: AtomicU64,
-    expired_dispatches: AtomicU64,
-    train_dispatches: AtomicU64,
-    admission_rejections: AtomicU64,
+    stats: Mutex<BatcherStats>,
 }
 
 /// A point-in-time snapshot of the batcher's accounting.
@@ -81,19 +102,51 @@ pub struct BatcherStats {
     /// Requests rejected on arrival by admission control (resolved as
     /// [`Outcome::Rejected`], never dispatched).
     pub admission_rejections: u64,
+    /// Training fences that found eval groups still in flight on the drain
+    /// pool and had to wait for them to retire (always 0 for the inline
+    /// drain, which never has an in-flight window).
+    pub fence_waits: u64,
+    /// Total microseconds training fences spent waiting for in-flight eval
+    /// groups to retire.
+    pub fence_wait_us: u64,
+    /// Times a drain worker picked up a group while a *lower-priority*
+    /// group submitted *earlier* was still executing — PR 5's priority
+    /// classes genuinely overtaking a long-running group mid-flight.
+    pub priority_overtakes: u64,
+    /// High-water mark of eval groups handed to the drain pool and not yet
+    /// retired (0 for the inline drain).
+    pub max_in_flight: u64,
+}
+
+impl BatcherStats {
+    /// Adds `delta` into `self`; `max_in_flight` merges by maximum (it is a
+    /// high-water mark, not a sum).
+    pub(crate) fn absorb(&mut self, delta: &BatcherStats) {
+        self.eval_groups += delta.eval_groups;
+        self.target_flushes += delta.target_flushes;
+        self.deadline_flushes += delta.deadline_flushes;
+        self.barrier_flushes += delta.barrier_flushes;
+        self.expired_dispatches += delta.expired_dispatches;
+        self.train_dispatches += delta.train_dispatches;
+        self.admission_rejections += delta.admission_rejections;
+        self.fence_waits += delta.fence_waits;
+        self.fence_wait_us += delta.fence_wait_us;
+        self.priority_overtakes += delta.priority_overtakes;
+        self.max_in_flight = self.max_in_flight.max(delta.max_in_flight);
+    }
 }
 
 impl BatcherCounters {
+    /// Merges one retirement's whole delta in a single critical section.
+    pub(crate) fn merge(&self, delta: &BatcherStats) {
+        self.stats
+            .lock()
+            .expect("batcher stats lock poisoned")
+            .absorb(delta);
+    }
+
     pub(crate) fn snapshot(&self) -> BatcherStats {
-        BatcherStats {
-            eval_groups: self.eval_groups.load(Ordering::Relaxed),
-            target_flushes: self.target_flushes.load(Ordering::Relaxed),
-            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
-            barrier_flushes: self.barrier_flushes.load(Ordering::Relaxed),
-            expired_dispatches: self.expired_dispatches.load(Ordering::Relaxed),
-            train_dispatches: self.train_dispatches.load(Ordering::Relaxed),
-            admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
-        }
+        *self.stats.lock().expect("batcher stats lock poisoned")
     }
 }
 
@@ -103,9 +156,10 @@ fn reject(
     reason: RejectReason,
     counters: &BatcherCounters,
 ) {
-    counters
-        .admission_rejections
-        .fetch_add(1, Ordering::Relaxed);
+    counters.merge(&BatcherStats {
+        admission_rejections: 1,
+        ..BatcherStats::default()
+    });
     engine.note_rejection();
     envelope.fulfill(Ok(Outcome::Rejected(reason)));
 }
@@ -128,10 +182,23 @@ enum Flush {
 /// Every popped envelope is fulfilled exactly once — with the served
 /// [`crate::engine::Response`], an admission rejection, or the executor's
 /// error — so producers blocked on tickets always resolve, including during
-/// shutdown drain.
-pub(crate) fn drain(engine: &mut Engine, rx: &Receiver, counters: &BatcherCounters) {
+/// shutdown drain. With a `pool`, eval groups are handed off for concurrent
+/// execution and this function returns while the final groups may still be
+/// in flight; the caller quiesces the pool ([`WorkerPool::shutdown`]) before
+/// treating the engine as settled.
+pub(crate) fn drain(
+    engine: &mut Engine,
+    rx: &Receiver,
+    counters: &BatcherCounters,
+    pool: Option<&WorkerPool>,
+) {
     let mut carried: Option<Envelope> = None;
     loop {
+        // Fold retired groups back into the engine's metrics and latency
+        // model as they complete, not just at fences/shutdown.
+        if let Some(pool) = pool {
+            pool.drain_retired(engine);
+        }
         let head = match carried.take() {
             Some(envelope) => envelope,
             None => match rx.pop(None) {
@@ -147,14 +214,18 @@ pub(crate) fn drain(engine: &mut Engine, rx: &Receiver, counters: &BatcherCounte
         }
         match head.request().kind {
             ServingKind::Train => {
+                if let Some(pool) = pool {
+                    fence(pool, engine, counters);
+                }
                 dispatch_train(engine, head, exec, counters);
             }
             ServingKind::Eval => {
+                let mut delta = BatcherStats::default();
                 let target = engine.eval_target_rows(exec);
                 let mut group = vec![head];
                 let mut rows = group[0].rows();
                 if group[0].deadline() <= Instant::now() {
-                    counters.expired_dispatches.fetch_add(1, Ordering::Relaxed);
+                    delta.expired_dispatches = 1;
                     // No budget for companions: take only what is already
                     // queued and compatible, without waiting.
                     while rows < target {
@@ -177,32 +248,43 @@ pub(crate) fn drain(engine: &mut Engine, rx: &Receiver, counters: &BatcherCounte
                             None => break,
                         }
                     }
-                    counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
-                    dispatch_eval(engine, group, exec, counters);
+                    delta.deadline_flushes = 1;
+                    dispatch_eval(engine, group, rows, exec, counters, pool, delta);
                     continue;
                 }
                 let flush = accumulate(engine, rx, &mut group, &mut rows, target, exec, counters);
                 match flush {
                     Flush::Target => {
-                        counters.target_flushes.fetch_add(1, Ordering::Relaxed);
+                        delta.target_flushes = 1;
                     }
                     Flush::Deadline => {
-                        counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
+                        delta.deadline_flushes = 1;
                     }
                     Flush::Barrier(next) => {
-                        counters.barrier_flushes.fetch_add(1, Ordering::Relaxed);
+                        delta.barrier_flushes = 1;
                         carried = Some(*next);
                     }
                     Flush::Shutdown => {
-                        counters.barrier_flushes.fetch_add(1, Ordering::Relaxed);
-                        dispatch_eval(engine, group, exec, counters);
+                        delta.barrier_flushes = 1;
+                        dispatch_eval(engine, group, rows, exec, counters, pool, delta);
                         return;
                     }
                 }
-                dispatch_eval(engine, group, exec, counters);
+                dispatch_eval(engine, group, rows, exec, counters, pool, delta);
             }
         }
     }
+}
+
+/// Waits for every in-flight eval group to retire before a training step
+/// takes the exclusive `ParamStore` guard, merging fence accounting.
+fn fence(pool: &WorkerPool, engine: &mut Engine, counters: &BatcherCounters) {
+    let (waited, had_work) = pool.quiesce(engine);
+    counters.merge(&BatcherStats {
+        fence_waits: had_work as u64,
+        fence_wait_us: waited.as_micros() as u64,
+        ..BatcherStats::default()
+    });
 }
 
 /// Grows `group` until it fills `target` rows, the earliest member deadline
@@ -251,29 +333,50 @@ fn dispatch_train(
     exec: ExecutorConfig,
     counters: &BatcherCounters,
 ) {
-    counters.train_dispatches.fetch_add(1, Ordering::Relaxed);
     let request = envelope.take_request();
     let result = engine
         .train_one(envelope.seq(), &request, exec)
         .map(Outcome::Completed);
+    // Merge before fulfilling: a redeemed ticket implies its dispatch is
+    // already visible in the stats.
+    counters.merge(&BatcherStats {
+        train_dispatches: 1,
+        ..BatcherStats::default()
+    });
     envelope.fulfill(result);
 }
 
+/// Dispatches one formed eval group: inline when there is no pool (the
+/// group's whole stats delta merges after execution, i.e. at retirement),
+/// otherwise handed to the pool, which merges the delta when a worker
+/// retires the group.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_eval(
     engine: &mut Engine,
     mut group: Vec<Envelope>,
+    rows: usize,
     exec: ExecutorConfig,
     counters: &BatcherCounters,
+    pool: Option<&WorkerPool>,
+    mut delta: BatcherStats,
 ) {
-    counters.eval_groups.fetch_add(1, Ordering::Relaxed);
+    delta.eval_groups = 1;
+    if let Some(pool) = pool {
+        let job = engine.plan_parallel_eval(group, rows, exec, delta);
+        pool.submit(job);
+        return;
+    }
     let requests: Vec<_> = group
         .iter_mut()
         .map(|e| (e.seq(), e.take_request()))
         .collect();
     let pairs: Vec<(usize, &pe_data::serving::Request)> =
         requests.iter().map(|(seq, r)| (*seq, r)).collect();
-    let rows = pairs.iter().map(|(_, r)| r.rows()).sum();
-    match engine.eval_group(&pairs, rows, exec) {
+    let outcome = engine.eval_group(&pairs, rows, exec);
+    // Merge before fulfilling: a redeemed ticket implies its group is
+    // already visible in the stats.
+    counters.merge(&delta);
+    match outcome {
         Ok(responses) => {
             debug_assert_eq!(responses.len(), group.len());
             // eval_group answers in group order; zip envelopes back up.

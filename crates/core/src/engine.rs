@@ -60,6 +60,7 @@ use pe_tensor::Tensor;
 
 use crate::admission::{AdmissionPolicy, LatencyModel, Outcome, RejectReason};
 use crate::batcher::{self, BatcherCounters, BatcherStats};
+use crate::dispatch::{self, DispatchShared, WorkerDispatchStats, WorkerPool};
 use crate::program::{CacheStats, Program};
 use crate::queue::{self, QueueConfig, SubmitError, Submitter, Ticket};
 
@@ -597,13 +598,7 @@ impl Engine {
         // Pad to the nearest cached size; compile an exact specialization
         // only when the ladder has no rung big enough.
         let batch = self.nearest_cached_for(rows, exec).unwrap_or(rows);
-        let feature_input = self.program.feature_input().to_string();
-        let label_input = self.program.label_input().to_string();
-        let logits_name = self.program.logits_name().to_string();
-
-        let features = pack_rows(group.iter().map(|(_, r)| &r.features), rows, batch);
-        let labels = pack_rows(group.iter().map(|(_, r)| &r.labels), rows, batch);
-        let inputs = HashMap::from([(feature_input, features), (label_input, labels)]);
+        let io = self.eval_io();
 
         let spec = self
             .program
@@ -614,39 +609,129 @@ impl Engine {
             }
         }
         let started = Instant::now();
-        let result = spec.executor.run_eval(&inputs)?;
-        self.latency.observe(batch, exec, started.elapsed());
-        let logits = result.outputs.get(&logits_name);
-
-        self.metrics.eval_batches += 1;
-        self.metrics.padded_rows += (batch - rows) as u64;
-        if exec != self.config.executor {
-            self.metrics.routed_alternate += group.len() as u64;
-        }
-        let mut responses = Vec::with_capacity(group.len());
-        let mut offset = 0usize;
-        for &(id, request) in group {
-            let n = request.rows();
-            let sliced = logits.and_then(|l| slice_rows(l, offset, n));
-            let loss = sliced
-                .as_ref()
-                .filter(|l| l.dims().len() == 2 && request.labels.dims().len() == 1)
-                .map(|l| norm::cross_entropy_loss(l, &request.labels).data()[0]);
-            responses.push(Response {
-                id,
-                client_id: request.meta.id,
-                kind: ServingKind::Eval,
-                rows: n,
-                batch,
-                loss,
-                logits: sliced,
-            });
-            self.metrics.requests += 1;
-            self.metrics.rows += n as u64;
-            offset += n;
-        }
+        let responses = execute_eval_group(&mut spec.executor, &io, group, rows, batch)?;
+        self.note_eval_retirement(&dispatch::Retirement {
+            batch,
+            exec,
+            elapsed: started.elapsed(),
+            rows,
+            group_len: group.len(),
+        });
         Ok(responses)
     }
+
+    /// The program's input/output names needed to execute an eval group off
+    /// the engine thread.
+    pub(crate) fn eval_io(&self) -> EvalIo {
+        EvalIo {
+            feature_input: self.program.feature_input().to_string(),
+            label_input: self.program.label_input().to_string(),
+            logits_name: self.program.logits_name().to_string(),
+        }
+    }
+
+    /// Resolves everything an eval group needs to run on a drain worker —
+    /// padded rung, cached specialization (compiling if necessary, with the
+    /// usual cache accounting), admission latency seeding, and the shared
+    /// executor seed workers fork their private executors from — and wraps
+    /// the envelopes into an [`dispatch::EvalJob`]. Runs on the batcher
+    /// thread so specialization-cache state stays single-threaded and
+    /// worker-count independent.
+    pub(crate) fn plan_parallel_eval(
+        &mut self,
+        group: Vec<crate::queue::Envelope>,
+        rows: usize,
+        exec: ExecutorConfig,
+        delta: BatcherStats,
+    ) -> dispatch::EvalJob {
+        let batch = self.nearest_cached_for(rows, exec).unwrap_or(rows);
+        let spec = self
+            .program
+            .specialize_for_requests(batch, exec, group.len() as u64);
+        if let Some(profile) = spec.latency_profile {
+            if self.latency.estimate(batch, exec).is_none() {
+                self.latency.seed(batch, exec, profile);
+            }
+        }
+        let seed = spec.executor_seed();
+        let priority = group.iter().map(|e| e.priority()).max().unwrap_or_default();
+        dispatch::EvalJob {
+            group,
+            rows,
+            batch,
+            exec,
+            seed,
+            priority,
+            delta,
+        }
+    }
+
+    /// Merges the metrics and latency observation of one eval group retired
+    /// by a drain worker. The inline path funnels through this too, so both
+    /// drains account identically.
+    pub(crate) fn note_eval_retirement(&mut self, r: &dispatch::Retirement) {
+        self.latency.observe(r.batch, r.exec, r.elapsed);
+        self.metrics.eval_batches += 1;
+        self.metrics.padded_rows += (r.batch - r.rows) as u64;
+        if r.exec != self.config.executor {
+            self.metrics.routed_alternate += r.group_len as u64;
+        }
+        self.metrics.requests += r.group_len as u64;
+        self.metrics.rows += r.rows as u64;
+    }
+}
+
+/// The program input/output names an eval group needs at execution time,
+/// detached from the engine so drain workers can run groups without `&Engine`.
+#[derive(Debug, Clone)]
+pub(crate) struct EvalIo {
+    pub(crate) feature_input: String,
+    pub(crate) label_input: String,
+    pub(crate) logits_name: String,
+}
+
+/// Executes one packed evaluation micro-batch on the given executor: packs
+/// and zero-pads the group to `batch` rows, runs the forward pass, slices
+/// per-request logits back out and computes per-request losses. Pure with
+/// respect to the engine — metrics and latency accounting happen at
+/// retirement ([`Engine::note_eval_retirement`]) — so the inline drain and
+/// every pool worker produce bit-identical responses.
+pub(crate) fn execute_eval_group(
+    executor: &mut pe_runtime::Executor,
+    io: &EvalIo,
+    group: &[(usize, &Request)],
+    rows: usize,
+    batch: usize,
+) -> Result<Vec<Response>, ExecError> {
+    let features = pack_rows(group.iter().map(|(_, r)| &r.features), rows, batch);
+    let labels = pack_rows(group.iter().map(|(_, r)| &r.labels), rows, batch);
+    let inputs = HashMap::from([
+        (io.feature_input.clone(), features),
+        (io.label_input.clone(), labels),
+    ]);
+    let result = executor.run_eval(&inputs)?;
+    let logits = result.outputs.get(&io.logits_name);
+    let mut responses = Vec::with_capacity(group.len());
+    let mut offset = 0usize;
+    for &(id, request) in group {
+        let n = request.rows();
+        let sliced = logits.and_then(|l| slice_rows(l, offset, n));
+        let loss = sliced
+            .as_ref()
+            .filter(|l| l.dims().len() == 2 && request.labels.dims().len() == 1)
+            .map(|l| norm::cross_entropy_loss(l, &request.labels).data()[0]);
+        responses.push(Response {
+            id,
+            client_id: request.meta.id,
+            kind: ServingKind::Eval,
+            rows: n,
+            batch,
+            loss,
+            logits: sliced,
+        });
+        offset += n;
+    }
+    Ok(responses)
 }
 
 // The drainer thread takes ownership of the engine, so the whole serving
@@ -680,6 +765,7 @@ const _: fn() = || {
 pub struct AsyncEngine {
     submitter: Submitter,
     counters: Arc<BatcherCounters>,
+    dispatch: Option<Arc<DispatchShared>>,
     drainer: Option<JoinHandle<Engine>>,
 }
 
@@ -687,18 +773,38 @@ impl AsyncEngine {
     fn spawn(engine: Engine, config: QueueConfig) -> Self {
         let (submitter, receiver) = queue::channel(config);
         let counters = Arc::new(BatcherCounters::default());
+        let workers = config.drain_workers.max(1);
+        // With one drain worker, the batcher executes groups inline exactly
+        // as the historical single-threaded drain did: no pool threads, no
+        // cross-thread handoff on the 1-CPU baseline path.
+        let dispatch = (workers > 1).then(|| {
+            Arc::new(DispatchShared::new(
+                workers,
+                config.eval_group_sleep,
+                engine.eval_io(),
+                Arc::clone(&counters),
+            ))
+        });
         let drainer_counters = Arc::clone(&counters);
+        let drainer_dispatch = dispatch.clone();
         let mut engine = engine;
         let drainer = std::thread::Builder::new()
             .name("pe-engine-drainer".to_string())
             .spawn(move || {
-                batcher::drain(&mut engine, &receiver, &drainer_counters);
+                let pool = drainer_dispatch.map(WorkerPool::start);
+                batcher::drain(&mut engine, &receiver, &drainer_counters, pool.as_ref());
+                if let Some(pool) = pool {
+                    // Quiesce the workers (fulfilling every remaining
+                    // ticket), merge their retirements, and join them.
+                    pool.shutdown(&mut engine);
+                }
                 engine
             })
             .expect("failed to spawn the engine drainer thread");
         AsyncEngine {
             submitter,
             counters,
+            dispatch,
             drainer: Some(drainer),
         }
     }
@@ -752,9 +858,34 @@ impl AsyncEngine {
     }
 
     /// Live batcher accounting (groups formed, deadline/target/barrier
-    /// flushes, expired dispatches, admission rejections).
+    /// flushes, expired dispatches, admission rejections, fence waits,
+    /// priority overtakes). Snapshots are internally consistent: every
+    /// group's counters are merged atomically at retirement, so
+    /// `eval_groups` always equals the sum of the flush-cause counters.
     pub fn batcher_stats(&self) -> BatcherStats {
         self.counters.snapshot()
+    }
+
+    /// The number of drain workers evaluating groups behind the batcher
+    /// (1 = the historical inline drain).
+    pub fn drain_workers(&self) -> usize {
+        self.dispatch.as_ref().map_or(1, |d| d.workers())
+    }
+
+    /// Eval groups handed to the drain pool and not yet retired (always 0
+    /// for the inline single-worker drain, which never exposes an in-flight
+    /// window).
+    pub fn in_flight(&self) -> usize {
+        self.dispatch.as_ref().map_or(0, |d| d.in_flight())
+    }
+
+    /// Per-worker dispatch accounting for the drain pool: groups and
+    /// requests executed, executors built. Empty for the inline
+    /// single-worker drain.
+    pub fn worker_stats(&self) -> Vec<WorkerDispatchStats> {
+        self.dispatch
+            .as_ref()
+            .map_or_else(Vec::new, |d| d.worker_stats())
     }
 
     /// Closes the queue, waits for the drainer to serve every in-flight

@@ -39,6 +39,7 @@
 pub mod admission;
 pub mod artifact;
 pub mod batcher;
+pub mod dispatch;
 pub mod engine;
 pub mod program;
 pub mod queue;
@@ -63,6 +64,7 @@ use pe_sparse::{apply_rule, trainable_elements, UpdateRule};
 pub use admission::{AdmissionPolicy, Outcome, RejectReason};
 pub use artifact::{ArtifactRegistry, ProgramArtifact, ARTIFACT_VERSION};
 pub use batcher::BatcherStats;
+pub use dispatch::WorkerDispatchStats;
 pub use engine::{AsyncEngine, BackendRoute, Engine, EngineConfig, EngineMetrics, Response};
 #[allow(deprecated)]
 pub use pe_data::serving::ServingRequest;
@@ -122,6 +124,7 @@ pub mod prelude {
         BatcherStats, CacheStats, CompileOptions, CompiledProgram, Compiler, Engine, EngineConfig,
         EngineMetrics, Outcome, Program, ProgramAnalysis, ProgramArtifact, QueueConfig,
         RejectReason, Response, Specialization, SubmitError, Submitter, Ticket,
+        WorkerDispatchStats,
     };
     pub use pe_backends::{DeviceProfile, FrameworkProfile};
     #[allow(deprecated)]

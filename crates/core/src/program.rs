@@ -28,7 +28,7 @@ use std::time::Duration;
 use pe_memplan::{plan_memory_with, MemPlanOptions};
 use pe_models::BuiltModel;
 use pe_passes::partition_wavefronts;
-use pe_runtime::{Backend, Executor, ExecutorConfig, ParamStore};
+use pe_runtime::{Backend, Executor, ExecutorConfig, ExecutorSeed, ParamStore};
 
 use crate::artifact::{content_hash, derived_latency_us, ArtifactRegistry, ProgramArtifact};
 use crate::{analyze, CompileOptions, ProgramAnalysis};
@@ -125,6 +125,24 @@ pub struct Specialization {
     /// admission latency model from this, so a cold worker with a warm
     /// registry makes deadline decisions from the first request.
     pub latency_profile: Option<Duration>,
+    /// Lazily captured recipe for building sibling executors (the parallel
+    /// drain's per-worker executors) over the shared store; populated on the
+    /// first [`Specialization::executor_seed`] call.
+    pub(crate) fork_seed: Option<Arc<ExecutorSeed>>,
+}
+
+impl Specialization {
+    /// A shared recipe for constructing sibling executors of this
+    /// specialization — same compiled program, same shared [`ParamStore`],
+    /// private execution state. Captured from [`Specialization::executor`]
+    /// on first call and cached, so repeated dispatches of the same rung
+    /// hand workers one `Arc` instead of recloning the graph.
+    pub fn executor_seed(&mut self) -> Arc<ExecutorSeed> {
+        if self.fork_seed.is_none() {
+            self.fork_seed = Some(Arc::new(self.executor.seed()));
+        }
+        Arc::clone(self.fork_seed.as_ref().expect("fork_seed populated above"))
+    }
 }
 
 /// The staged compiler: fixes the compilation options, then binds a model
@@ -375,6 +393,7 @@ impl Program {
                         analysis,
                         executor,
                         latency_profile: None,
+                        fork_seed: None,
                     }
                 }
             };

@@ -205,6 +205,40 @@ enum Inner {
     Arena(Box<ArenaExec>),
 }
 
+/// A recipe for constructing sibling [`Executor`]s over one compiled program
+/// and one shared [`ParamStore`], captured with [`Executor::seed`].
+///
+/// Cloning the seed is cheap relative to recompilation: it holds the already
+/// optimized training graph, its schedule, and an `Arc` of the store. It is
+/// `Send + Sync`, so a drain pool can hand one seed to N worker threads and
+/// let each build its executor lazily on first use.
+#[derive(Debug, Clone)]
+pub struct ExecutorSeed {
+    tg: TrainingGraph,
+    schedule: Schedule,
+    store: Arc<ParamStore>,
+}
+
+impl ExecutorSeed {
+    /// Builds a new executor over the seed's program, attached to the shared
+    /// store, with the given backend configuration. The arena backend replans
+    /// its slab deterministically from the graph + schedule, so siblings are
+    /// bit-identical to the executor the seed was captured from.
+    pub fn executor(&self, config: ExecutorConfig) -> Executor {
+        Executor::with_store(
+            self.tg.clone(),
+            self.schedule.clone(),
+            Arc::clone(&self.store),
+            config,
+        )
+    }
+
+    /// The shared parameter store sibling executors will attach to.
+    pub fn param_store(&self) -> &Arc<ParamStore> {
+        &self.store
+    }
+}
+
 /// Executes a compiled training program.
 ///
 /// Parameters and optimizer state live in a shared [`ParamStore`] that the
@@ -225,8 +259,12 @@ pub struct Executor {
 // break every consumer that owns executors on a background thread.
 const _: fn() = || {
     fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
     assert_send::<Executor>();
     assert_send::<ParamStore>();
+    // The drain pool shares one seed across N worker threads.
+    assert_send::<ExecutorSeed>();
+    assert_sync::<ExecutorSeed>();
 };
 
 impl Executor {
@@ -335,6 +373,38 @@ impl Executor {
             Inner::Boxed(_) => 1,
             Inner::Arena(a) => a.threads(),
         }
+    }
+
+    /// The backend configuration this executor was built with.
+    pub fn config(&self) -> ExecutorConfig {
+        match &self.inner {
+            Inner::Boxed(_) => ExecutorConfig::boxed(),
+            Inner::Arena(a) => ExecutorConfig::arena(a.threads()),
+        }
+    }
+
+    /// Captures a recipe for constructing sibling executors over the same
+    /// compiled program and the *same shared* [`ParamStore`].
+    ///
+    /// The seed clones the (immutable) training graph and schedule once; each
+    /// [`ExecutorSeed::executor`] call then builds an independent executor —
+    /// its own arena slab or boxed buffers — that reads and writes the
+    /// original store. This is how the engine's parallel drain gives every
+    /// worker thread a private executor without recompiling: evaluation runs
+    /// take the store's shared guard, so sibling executors evaluate
+    /// concurrently and serialize only against exclusive training steps.
+    pub fn seed(&self) -> ExecutorSeed {
+        ExecutorSeed {
+            tg: self.training_graph().clone(),
+            schedule: self.schedule().clone(),
+            store: Arc::clone(self.param_store()),
+        }
+    }
+
+    /// Builds a sibling executor: same program, same shared store, same
+    /// backend configuration, but private execution state (slab/buffers).
+    pub fn fork(&self) -> Executor {
+        self.seed().executor(self.config())
     }
 
     /// The training graph being executed.

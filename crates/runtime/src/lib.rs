@@ -63,7 +63,7 @@ pub mod store;
 pub mod trainer;
 
 pub use eager::EagerEngine;
-pub use executor::{Backend, ExecError, Executor, ExecutorConfig, StepResult};
+pub use executor::{Backend, ExecError, Executor, ExecutorConfig, ExecutorSeed, StepResult};
 pub use optimizer::Optimizer;
 pub use store::ParamStore;
 pub use trainer::{Batch, Trainer, TrainingHistory};

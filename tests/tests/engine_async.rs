@@ -129,6 +129,7 @@ fn queued_stream_matches_sync_slice_baseline_bit_for_bit() {
     let async_engine = engine(exec, vec![4, 8]).into_async(QueueConfig {
         capacity: 8,
         default_deadline: Duration::from_millis(1),
+        ..QueueConfig::default()
     });
     let tickets: Vec<_> = stream
         .iter()
@@ -184,6 +185,7 @@ fn try_submit_rejects_on_a_full_queue() {
     let (tx, rx) = queue::channel(QueueConfig {
         capacity: 2,
         default_deadline: Duration::from_millis(1),
+        ..QueueConfig::default()
     });
     let mut rng = Rng::seed_from_u64(1);
     tx.try_submit(request(ServingKind::Eval, 2, &mut rng))
@@ -212,6 +214,7 @@ fn expired_deadline_dispatches_solo() {
     let async_engine = engine(exec, vec![8]).into_async(QueueConfig {
         capacity: 8,
         default_deadline: Duration::from_secs(30),
+        ..QueueConfig::default()
     });
     let mut rng = Rng::seed_from_u64(2);
     let start = Instant::now();
@@ -242,6 +245,7 @@ fn lone_request_is_flushed_when_its_deadline_arrives() {
     let async_engine = engine(exec, vec![8]).into_async(QueueConfig {
         capacity: 8,
         default_deadline: Duration::from_millis(40),
+        ..QueueConfig::default()
     });
     let mut rng = Rng::seed_from_u64(3);
     let start = Instant::now();
@@ -267,6 +271,7 @@ fn compatible_evals_fill_the_target_rung() {
     let async_engine = engine(exec, vec![8]).into_async(QueueConfig {
         capacity: 8,
         default_deadline: Duration::from_secs(30),
+        ..QueueConfig::default()
     });
     let mut rng = Rng::seed_from_u64(4);
     let start = Instant::now();
@@ -303,6 +308,7 @@ fn shutdown_drains_in_flight_requests() {
     let async_engine = engine(exec, vec![4, 8]).into_async(QueueConfig {
         capacity: 64,
         default_deadline: Duration::from_secs(30),
+        ..QueueConfig::default()
     });
     let stream = mixed_stream(20, 9);
     let start = Instant::now();
@@ -351,6 +357,7 @@ fn concurrent_producers_all_resolve_under_backpressure() {
     let async_engine = engine(exec, vec![4, 8]).into_async(QueueConfig {
         capacity: 4,
         default_deadline: Duration::from_micros(200),
+        ..QueueConfig::default()
     });
     let results = std::thread::scope(|s| {
         let handles: Vec<_> = (0..PRODUCERS)

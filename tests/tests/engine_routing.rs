@@ -172,6 +172,7 @@ fn admission_and_routing_parity_between_sync_and_queue_paths() {
     let async_engine = routed_engine(AdmissionPolicy::DeadlineFeasible).into_async(QueueConfig {
         capacity: stream.len(),
         default_deadline: Duration::from_millis(1),
+        ..QueueConfig::default()
     });
     let tickets: Vec<_> = stream
         .iter()
@@ -321,6 +322,7 @@ fn priority_orders_dispatch_under_a_full_queue() {
     let (tx, rx) = pockengine::queue::channel(QueueConfig {
         capacity: 6,
         default_deadline: Duration::from_millis(1),
+        ..QueueConfig::default()
     });
     let mut rng = Rng::seed_from_u64(3);
     // Fill the queue completely: [lo, hi, norm, TRAIN, lo, hi].
