@@ -47,6 +47,13 @@ fn main() {
             v.allocs_per_step.unwrap_or(f64::NAN)
         );
     }
+    println!(
+        "launches/step: {} unfused -> {} fused ({} fused regions, {} fallback dispatches)",
+        result.launch_count_unfused,
+        result.launch_count_fused,
+        result.fused_regions,
+        result.fallback_dispatches
+    );
     write_report(&path, &result.to_json()).expect("failed to write report");
     println!("wrote {path}");
 }

@@ -104,21 +104,21 @@ fn check_throughput(
     }
 }
 
-/// Checks one `higher is worse` counter-style metric (allocations).
-fn check_alloc(
+/// Checks one `higher is worse` counter-style metric (allocations, kernel
+/// launches, fallback dispatches). `failure` names the violation.
+fn check_counter(
     outcome: &mut CheckOutcome,
     label: &str,
     baseline: Option<f64>,
     fresh: Option<f64>,
     slack: f64,
+    failure: &str,
 ) {
     match (baseline, fresh) {
         (Some(base), Some(new)) => {
             let line = format!("{label}: baseline {base:.1}, fresh {new:.1}");
             if new > base + slack {
-                outcome
-                    .violations
-                    .push(format!("{line} — allocations increased"));
+                outcome.violations.push(format!("{line} — {failure}"));
             } else {
                 outcome.passes.push(line);
             }
@@ -187,6 +187,41 @@ pub fn check_reports(baseline: &Json, fresh: &Json, cfg: CheckConfig) -> CheckOu
             }
         }
         "training_step" => {
+            // Fusion invariants. The fused program may not launch more
+            // kernels than the committed baseline, the fused arena run may
+            // never dispatch an allocating fallback kernel, and within the
+            // fresh report region fusion must strictly beat the unfused
+            // ablation on launch count.
+            check_counter(
+                &mut outcome,
+                "training_step.launch_count_fused",
+                num(baseline, "launch_count_fused"),
+                num(fresh, "launch_count_fused"),
+                0.0,
+                "fused kernel launches increased",
+            );
+            check_counter(
+                &mut outcome,
+                "training_step.fallback_dispatches",
+                num(baseline, "fallback_dispatches"),
+                num(fresh, "fallback_dispatches"),
+                0.0,
+                "allocating fallback kernels dispatched",
+            );
+            if let (Some(unfused), Some(fused)) = (
+                num(fresh, "launch_count_unfused"),
+                num(fresh, "launch_count_fused"),
+            ) {
+                let line =
+                    format!("training_step.launch_count: unfused {unfused:.0}, fused {fused:.0}");
+                if fused < unfused {
+                    outcome.passes.push(line);
+                } else {
+                    outcome.violations.push(format!(
+                        "{line} — region fusion must strictly reduce kernel launches"
+                    ));
+                }
+            }
             let base_variants = baseline
                 .get("variants")
                 .and_then(Json::as_arr)
@@ -219,12 +254,13 @@ pub fn check_reports(baseline: &Json, fresh: &Json, cfg: CheckConfig) -> CheckOu
                     fresh_us.map(|us| 1e6 / us.max(1e-9)),
                     cfg.tolerance,
                 );
-                check_alloc(
+                check_counter(
                     &mut outcome,
                     &format!("training_step.{name}.allocs_per_step"),
                     num(base_variant, "allocs_per_step"),
                     num(fresh_variant, "allocs_per_step"),
                     cfg.alloc_slack,
+                    "allocations increased",
                 );
             }
         }
@@ -385,6 +421,35 @@ mod tests {
         let outcome = check_reports(&base, &slow_inline, CheckConfig::default());
         assert!(!outcome.ok());
         assert!(outcome.violations[0].contains("requests_per_sec_workers_1"));
+    }
+
+    #[test]
+    fn gates_the_fusion_launch_counts_and_fallbacks() {
+        let with = |unfused: f64, fused: f64, fallbacks: f64| {
+            Json::obj(vec![
+                ("bench", Json::Str("training_step".into())),
+                ("launch_count_unfused", Json::Num(unfused)),
+                ("launch_count_fused", Json::Num(fused)),
+                ("fallback_dispatches", Json::Num(fallbacks)),
+                ("variants", Json::Arr(vec![])),
+            ])
+        };
+        let base = with(100.0, 60.0, 0.0);
+        assert!(check_reports(&base, &with(100.0, 60.0, 0.0), CheckConfig::default()).ok());
+        // More fused launches than the committed baseline: fail.
+        let outcome = check_reports(&base, &with(100.0, 70.0, 0.0), CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("fused kernel launches increased"));
+        // Any allocating fallback dispatch: fail.
+        let outcome = check_reports(&base, &with(100.0, 60.0, 2.0), CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("fallback"));
+        // Fused launches not strictly below the unfused ablation: fail.
+        let outcome = check_reports(&base, &with(60.0, 60.0, 0.0), CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("strictly reduce"));
+        // Baselines predating the fields skip them with notes.
+        assert!(check_reports(&training(vec![]), &base, CheckConfig::default()).ok());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use pockengine::pe_models::{
     build_bert, build_llama, build_mobilenet, build_resnet, mcunet_5fps_config, BertConfig,
     BuiltModel, LlamaConfig, MobileNetV2Config, ResNetConfig,
 };
-use pockengine::pe_passes::{OptimizeOptions, ScheduleStrategy};
+use pockengine::pe_passes::{FusionLevel, OptimizeOptions, ScheduleStrategy};
 use pockengine::pe_runtime::Optimizer;
 use pockengine::pe_sparse::{
     paper_scheme_bert, paper_scheme_distilbert, paper_scheme_llama, paper_scheme_mcunet,
@@ -324,17 +324,27 @@ pub fn graph_optimization_ablation() -> Vec<AblationRow> {
     let model = PaperModel::MobileNetV2.build(8, &mut rng);
     let rule = UpdateRule::Sparse(PaperModel::MobileNetV2.paper_scheme());
 
+    // The ablation is a controlled comparison, so the full configuration
+    // pins region fusion explicitly instead of inheriting `PE_FUSION`.
+    let full = OptimizeOptions {
+        fusion: FusionLevel::Regions,
+        ..OptimizeOptions::default()
+    };
     let configs: Vec<(&str, OptimizeOptions, ScheduleStrategy)> = vec![
-        (
-            "all optimizations",
-            OptimizeOptions::default(),
-            ScheduleStrategy::Reordered,
-        ),
+        ("all optimizations", full, ScheduleStrategy::Reordered),
         (
             "no fusion",
             OptimizeOptions {
-                fuse: false,
-                ..OptimizeOptions::default()
+                fusion: FusionLevel::Off,
+                ..full
+            },
+            ScheduleStrategy::Reordered,
+        ),
+        (
+            "pair fusion only",
+            OptimizeOptions {
+                fusion: FusionLevel::Pairs,
+                ..full
             },
             ScheduleStrategy::Reordered,
         ),
@@ -342,15 +352,11 @@ pub fn graph_optimization_ablation() -> Vec<AblationRow> {
             "no winograd",
             OptimizeOptions {
                 winograd: false,
-                ..OptimizeOptions::default()
+                ..full
             },
             ScheduleStrategy::Reordered,
         ),
-        (
-            "no reordering",
-            OptimizeOptions::default(),
-            ScheduleStrategy::Conventional,
-        ),
+        ("no reordering", full, ScheduleStrategy::Conventional),
         (
             "none",
             OptimizeOptions::none(),

@@ -12,7 +12,9 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use pockengine::pe_data::{generate_vision_task, VisionTaskConfig};
+use pockengine::pe_graph::OpKind;
 use pockengine::pe_models::{build_mobilenet, MobileNetV2Config};
+use pockengine::pe_passes::{launch_count, FusionLevel};
 use pockengine::pe_runtime::{EagerEngine, ExecutorConfig, Optimizer};
 use pockengine::pe_sparse::{apply_rule, UpdateRule};
 use pockengine::pe_tensor::{Rng, Tensor};
@@ -42,6 +44,15 @@ pub struct TrainingStepBenchResult {
     pub trials: usize,
     /// Measured variants.
     pub variants: Vec<StepVariant>,
+    /// Kernel launches per step with fusion disabled (`PE_FUSION=off`).
+    pub launch_count_unfused: usize,
+    /// Kernel launches per step under region fusion (the default pipeline).
+    pub launch_count_fused: usize,
+    /// `FusedRegion` composite nodes in the region-fused program.
+    pub fused_regions: usize,
+    /// Allocating fallback dispatches observed over the whole fused arena
+    /// measurement — the executor invariant says this must be 0.
+    pub fallback_dispatches: u64,
 }
 
 fn inputs() -> HashMap<String, Tensor> {
@@ -90,11 +101,17 @@ pub fn measure_training_steps(
     let mut rng = Rng::seed_from_u64(0);
     let model = build_mobilenet(&MobileNetV2Config::tiny(4, 3), &mut rng);
     let data = inputs();
-    let options = |rule: UpdateRule, exec: ExecutorConfig| CompileOptions {
-        update_rule: rule,
-        optimizer: Optimizer::sgd(0.01),
-        executor: exec,
-        ..CompileOptions::default()
+    // Fusion is pinned explicitly per variant so the report is a controlled
+    // fused-vs-unfused comparison regardless of the ambient `PE_FUSION`.
+    let options = |rule: UpdateRule, exec: ExecutorConfig, fusion: FusionLevel| {
+        let mut o = CompileOptions {
+            update_rule: rule,
+            optimizer: Optimizer::sgd(0.01),
+            executor: exec,
+            ..CompileOptions::default()
+        };
+        o.optimize.fusion = fusion;
+        o
     };
 
     let mut variants = Vec::new();
@@ -128,16 +145,50 @@ pub fn measure_training_steps(
         ("arena_2threads", ExecutorConfig::arena(2)),
         ("arena_4threads", ExecutorConfig::arena(4)),
     ];
+    let mut launch_count_fused = 0;
+    let mut fused_regions = 0;
+    let mut fallback_dispatches = 0;
     for (name, exec) in backends {
-        let mut e = compile(&model, &options(UpdateRule::Full, exec)).executor;
+        let mut e = compile(
+            &model,
+            &options(UpdateRule::Full, exec, FusionLevel::Regions),
+        )
+        .executor;
         measure(&format!("step_{name}"), &mut || {
             std::hint::black_box(e.train_step(&data).unwrap());
         });
+        if name == "arena_1thread" {
+            let graph = &e.training_graph().graph;
+            launch_count_fused = launch_count(graph);
+            fused_regions = graph
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.op, OpKind::FusedRegion { .. }))
+                .count();
+            fallback_dispatches = e.fallback_dispatches();
+        }
     }
+
+    // Fusion ablation: the same model on the same backend with fusion off,
+    // so the report carries the launch-count and latency delta attributable
+    // to fusion alone.
+    let mut unfused = compile(
+        &model,
+        &options(UpdateRule::Full, ExecutorConfig::arena(1), FusionLevel::Off),
+    )
+    .executor;
+    let launch_count_unfused = launch_count(&unfused.training_graph().graph);
+    measure("step_arena_fusion_off", &mut || {
+        std::hint::black_box(unfused.train_step(&data).unwrap());
+    });
 
     let mut bias = compile(
         &model,
-        &options(UpdateRule::BiasOnly, ExecutorConfig::arena(1)),
+        &options(
+            UpdateRule::BiasOnly,
+            ExecutorConfig::arena(1),
+            FusionLevel::Regions,
+        ),
     )
     .executor;
     measure("step_bias_only", &mut || {
@@ -160,6 +211,10 @@ pub fn measure_training_steps(
         steps,
         trials,
         variants,
+        launch_count_unfused,
+        launch_count_fused,
+        fused_regions,
+        fallback_dispatches,
     }
 }
 
@@ -170,6 +225,16 @@ impl TrainingStepBenchResult {
             ("bench", Json::Str("training_step".into())),
             ("steps", Json::Int(self.steps as u64)),
             ("trials", Json::Int(self.trials as u64)),
+            (
+                "launch_count_unfused",
+                Json::Int(self.launch_count_unfused as u64),
+            ),
+            (
+                "launch_count_fused",
+                Json::Int(self.launch_count_fused as u64),
+            ),
+            ("fused_regions", Json::Int(self.fused_regions as u64)),
+            ("fallback_dispatches", Json::Int(self.fallback_dispatches)),
             (
                 "variants",
                 Json::Arr(
@@ -202,11 +267,34 @@ mod tests {
         let names: Vec<&str> = result.variants.iter().map(|v| v.name.as_str()).collect();
         assert!(names.contains(&"step_boxed"));
         assert!(names.contains(&"step_arena_1thread"));
+        assert!(names.contains(&"step_arena_fusion_off"));
         assert!(names.contains(&"step_eager_runtime_autodiff"));
         assert!(result
             .variants
             .iter()
             .all(|v| v.micros_per_step > 0.0 && v.allocs_per_step.is_none()));
         assert!(result.to_json().render().contains("micros_per_step"));
+    }
+
+    #[test]
+    fn reports_the_fusion_launch_reduction_and_zero_fallbacks() {
+        let result = measure_training_steps(1, 1, false, &|| 0);
+        assert!(
+            result.launch_count_fused < result.launch_count_unfused,
+            "region fusion must strictly reduce kernel launches: {} vs {}",
+            result.launch_count_fused,
+            result.launch_count_unfused
+        );
+        assert!(
+            result.fused_regions >= 1,
+            "the MobileNet program must contain fused regions"
+        );
+        assert_eq!(
+            result.fallback_dispatches, 0,
+            "the fused arena program must not dispatch allocating fallbacks"
+        );
+        let json = result.to_json().render();
+        assert!(json.contains("launch_count_unfused"));
+        assert!(json.contains("fallback_dispatches"));
     }
 }

@@ -47,7 +47,7 @@ use crate::{CompileOptions, ProgramAnalysis};
 /// Format version stamped into (and demanded from) every artifact. Bump it
 /// whenever the layout or any stable encoding changes; older files then
 /// decode as registry misses instead of misbehaving programs.
-pub const ARTIFACT_VERSION: u64 = 1;
+pub const ARTIFACT_VERSION: u64 = 2;
 
 /// Flops one worker thread is assumed to retire per microsecond when
 /// deriving the default (deterministic) latency profile. The profile only
@@ -79,8 +79,13 @@ pub fn content_hash(base_graph: &Graph, options: &CompileOptions) -> u64 {
     h.update(&graph_fingerprint(base_graph).to_le_bytes());
     hash_update_rule(&mut h, &options.update_rule);
     hash_optimizer(&mut h, options.optimizer);
+    let fusion = match options.optimize.fusion {
+        pe_passes::FusionLevel::Off => 0u8,
+        pe_passes::FusionLevel::Pairs => 1,
+        pe_passes::FusionLevel::Regions => 2,
+    };
     h.update(&[
-        u8::from(options.optimize.fuse),
+        fusion,
         u8::from(options.optimize.winograd),
         u8::from(options.optimize.dce),
         u8::from(options.optimize.reorder_updates),
@@ -393,6 +398,8 @@ impl ProgramArtifact {
                         Json::Int(stats.fusion.bias_activation as u64),
                     ),
                     ("add_relu", Json::Int(stats.fusion.add_relu as u64)),
+                    ("regions", Json::Int(stats.fusion.regions as u64)),
+                    ("region_ops", Json::Int(stats.fusion.region_ops as u64)),
                     (
                         "winograd_converted",
                         Json::Int(stats.backend.winograd_converted as u64),
@@ -586,6 +593,8 @@ impl ProgramArtifact {
             fusion: pe_passes::FusionStats {
                 bias_activation: usize_of(field(oj, "bias_activation")?)?,
                 add_relu: usize_of(field(oj, "add_relu")?)?,
+                regions: usize_of(field(oj, "regions")?)?,
+                region_ops: usize_of(field(oj, "region_ops")?)?,
             },
             backend: pe_passes::BackendSwitchStats {
                 winograd_converted: usize_of(field(oj, "winograd_converted")?)?,

@@ -351,6 +351,11 @@ mod tests {
         let o = CompileOptions::default();
         assert_eq!(o.update_rule, UpdateRule::Full);
         assert_eq!(o.schedule, ScheduleStrategy::Reordered);
-        assert!(o.optimize.fuse && o.optimize.dce);
+        // The fusion level follows `PE_FUSION`, defaulting to regions; this
+        // test only pins that fusion is not silently disabled by default.
+        if std::env::var("PE_FUSION").is_err() {
+            assert_eq!(o.optimize.fusion, pe_passes::FusionLevel::Regions);
+        }
+        assert!(o.optimize.dce);
     }
 }

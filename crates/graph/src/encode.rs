@@ -21,6 +21,8 @@
 //!   what lets a registry key artifacts by content.
 
 use pe_tensor::kernels::conv::Conv2dParams;
+use pe_tensor::kernels::elementwise::{BinaryOp, UnaryGradOp, UnaryOp};
+use pe_tensor::kernels::fused::MicroOp;
 use pe_tensor::kernels::pool::Pool2dParams;
 use pe_tensor::kernels::reduce::ReduceOp;
 use pe_tensor::DType;
@@ -101,6 +103,106 @@ fn f32_bits(v: f32) -> String {
     format!("{:08x}", v.to_bits())
 }
 
+fn binary_op_name(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Add => "add",
+        BinaryOp::Sub => "sub",
+        BinaryOp::Mul => "mul",
+        BinaryOp::Div => "div",
+        BinaryOp::Max => "max",
+    }
+}
+
+fn parse_binary_op(text: &str) -> Result<BinaryOp, String> {
+    match text {
+        "add" => Ok(BinaryOp::Add),
+        "sub" => Ok(BinaryOp::Sub),
+        "mul" => Ok(BinaryOp::Mul),
+        "div" => Ok(BinaryOp::Div),
+        "max" => Ok(BinaryOp::Max),
+        other => Err(format!("unknown binary micro-op '{other}'")),
+    }
+}
+
+fn unary_grad_op_name(op: UnaryGradOp) -> &'static str {
+    match op {
+        UnaryGradOp::Relu => "relu",
+        UnaryGradOp::Relu6 => "relu6",
+        UnaryGradOp::Gelu => "gelu",
+        UnaryGradOp::Silu => "silu",
+        UnaryGradOp::Sigmoid => "sigmoid",
+        UnaryGradOp::Tanh => "tanh",
+    }
+}
+
+fn parse_unary_grad_op(text: &str) -> Result<UnaryGradOp, String> {
+    match text {
+        "relu" => Ok(UnaryGradOp::Relu),
+        "relu6" => Ok(UnaryGradOp::Relu6),
+        "gelu" => Ok(UnaryGradOp::Gelu),
+        "silu" => Ok(UnaryGradOp::Silu),
+        "sigmoid" => Ok(UnaryGradOp::Sigmoid),
+        "tanh" => Ok(UnaryGradOp::Tanh),
+        other => Err(format!("unknown unary-grad micro-op '{other}'")),
+    }
+}
+
+fn push_micro_op(s: &mut String, op: &MicroOp) {
+    s.push(' ');
+    match op {
+        MicroOp::Unary(UnaryOp::Scale(factor)) => {
+            s.push_str("u scale ");
+            s.push_str(&f32_bits(*factor));
+        }
+        MicroOp::Unary(u) => {
+            s.push_str("u ");
+            s.push_str(match u {
+                UnaryOp::Relu => "relu",
+                UnaryOp::Relu6 => "relu6",
+                UnaryOp::Gelu => "gelu",
+                UnaryOp::Silu => "silu",
+                UnaryOp::Sigmoid => "sigmoid",
+                UnaryOp::Tanh => "tanh",
+                UnaryOp::Scale(_) => unreachable!("handled above"),
+            });
+        }
+        MicroOp::Binary(b, k) => {
+            s.push_str(&format!("b {} {k}", binary_op_name(*b)));
+        }
+        MicroOp::AddBias(k) => {
+            s.push_str(&format!("bias {k}"));
+        }
+        MicroOp::UnaryGrad(g, k) => {
+            s.push_str(&format!("g {} {k}", unary_grad_op_name(*g)));
+        }
+    }
+}
+
+fn parse_micro_op(t: &mut Toks) -> Result<MicroOp, String> {
+    match t.next()? {
+        "u" => match t.next()? {
+            "relu" => Ok(MicroOp::Unary(UnaryOp::Relu)),
+            "relu6" => Ok(MicroOp::Unary(UnaryOp::Relu6)),
+            "gelu" => Ok(MicroOp::Unary(UnaryOp::Gelu)),
+            "silu" => Ok(MicroOp::Unary(UnaryOp::Silu)),
+            "sigmoid" => Ok(MicroOp::Unary(UnaryOp::Sigmoid)),
+            "tanh" => Ok(MicroOp::Unary(UnaryOp::Tanh)),
+            "scale" => Ok(MicroOp::Unary(UnaryOp::Scale(t.f32_bits()?))),
+            other => Err(format!("unknown unary micro-op '{other}'")),
+        },
+        "b" => {
+            let op = parse_binary_op(t.next()?)?;
+            Ok(MicroOp::Binary(op, t.usize()?))
+        }
+        "bias" => Ok(MicroOp::AddBias(t.usize()?)),
+        "g" => {
+            let op = parse_unary_grad_op(t.next()?)?;
+            Ok(MicroOp::UnaryGrad(op, t.usize()?))
+        }
+        other => Err(format!("unknown micro-op tag '{other}'")),
+    }
+}
+
 fn push_usizes(s: &mut String, values: &[usize]) {
     for v in values {
         s.push(' ');
@@ -165,6 +267,12 @@ pub fn encode_op(op: &OpKind) -> String {
             push_usizes(&mut s, w_dims);
         }
         OpKind::WinogradConv2d { padding } => push_usizes(&mut s, &[*padding]),
+        OpKind::FusedRegion { prog } => {
+            push_usizes(&mut s, &[prog.len()]);
+            for op in prog {
+                push_micro_op(&mut s, op);
+            }
+        }
         OpKind::Scale { factor } => {
             s.push(' ');
             s.push_str(&f32_bits(*factor));
@@ -368,6 +476,13 @@ pub fn decode_op(text: &str) -> Result<OpKind, String> {
         "bias_relu6" => OpKind::BiasRelu6,
         "bias_gelu" => OpKind::BiasGelu,
         "add_relu" => OpKind::AddRelu,
+        "fused_region" => {
+            let n = t.usize()?;
+            let prog = (0..n)
+                .map(|_| parse_micro_op(&mut t))
+                .collect::<Result<Vec<_>, _>>()?;
+            OpKind::FusedRegion { prog }
+        }
         "reduce" => OpKind::Reduce {
             op: parse_reduce_op(t.next()?)?,
             keep_dims: t.flag()?,
@@ -599,6 +714,15 @@ mod tests {
             OpKind::BiasRelu6,
             OpKind::BiasGelu,
             OpKind::AddRelu,
+            OpKind::FusedRegion {
+                prog: vec![
+                    MicroOp::AddBias(1),
+                    MicroOp::Unary(UnaryOp::Relu),
+                    MicroOp::Unary(UnaryOp::Scale(-0.375)),
+                    MicroOp::Binary(BinaryOp::Add, 2),
+                    MicroOp::UnaryGrad(UnaryGradOp::Sigmoid, 3),
+                ],
+            },
             OpKind::Reduce {
                 op: ReduceOp::Mean,
                 axes: vec![0, 2],
@@ -691,6 +815,19 @@ mod tests {
         assert!(decode_op("matmul 1 0 5").is_err(), "trailing token");
         assert!(decode_op("scale zz").is_err(), "bad f32 bits");
         assert!(decode_op("slice 1 2").is_err());
+        assert!(decode_op("fused_region 1").is_err(), "truncated program");
+        assert!(
+            decode_op("fused_region 1 u frobnicate").is_err(),
+            "unknown unary micro-op"
+        );
+        assert!(
+            decode_op("fused_region 1 q 1").is_err(),
+            "unknown micro-op tag"
+        );
+        assert!(
+            decode_op("fused_region 2 u relu").is_err(),
+            "program shorter than its length prefix"
+        );
     }
 
     #[test]

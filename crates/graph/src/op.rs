@@ -6,6 +6,7 @@
 //! optimisations apply to training graphs.
 
 use pe_tensor::kernels::conv::Conv2dParams;
+use pe_tensor::kernels::fused::MicroOp;
 use pe_tensor::kernels::pool::Pool2dParams;
 use pe_tensor::kernels::reduce::ReduceOp;
 
@@ -173,6 +174,14 @@ pub enum OpKind {
     BiasGelu,
     /// Residual add followed by ReLU, inputs `[a, b]`.
     AddRelu,
+    /// A fused elementwise region: `inputs[0]` is the carrier the micro-op
+    /// program threads through; the remaining inputs are the extra operands
+    /// the program's indices reference. Executed as a single dispatch by
+    /// the region interpreter (`pe_tensor::kernels::fused`).
+    FusedRegion {
+        /// The ordered micro-op program.
+        prog: Vec<MicroOp>,
+    },
 
     // ----- reductions and shape ops -----
     /// Reduction over axes.
@@ -356,6 +365,7 @@ impl OpKind {
             OpKind::BiasRelu6 => "bias_relu6",
             OpKind::BiasGelu => "bias_gelu",
             OpKind::AddRelu => "add_relu",
+            OpKind::FusedRegion { .. } => "fused_region",
             OpKind::Reduce { .. } => "reduce",
             OpKind::ReduceGrad { .. } => "reduce_grad",
             OpKind::Reshape { .. } => "reshape",
@@ -392,7 +402,12 @@ impl OpKind {
     }
 
     /// Whether the op belongs to the backward part of a training graph.
+    /// A fused region counts as backward when its program carries an
+    /// activation VJP (it then sits on the gradient path).
     pub fn is_backward(&self) -> bool {
+        if let OpKind::FusedRegion { prog } = self {
+            return prog.iter().any(|op| matches!(op, MicroOp::UnaryGrad(..)));
+        }
         matches!(
             self,
             OpKind::Conv2dGradInput { .. }

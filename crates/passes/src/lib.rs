@@ -44,7 +44,7 @@ pub mod wavefront;
 
 pub use backend_switch::{switch_frozen_convs_to_winograd, BackendSwitchStats};
 pub use dce::{eliminate_dead_code, DceStats};
-pub use fusion::{fuse_operators, launch_count, FusionStats};
+pub use fusion::{fuse_operators, fuse_regions, launch_count, FusionLevel, FusionStats};
 pub use manager::{optimize, OptimizeOptions, OptimizeStats};
 pub use schedule::{build_schedule, update_latencies, Schedule, ScheduleStrategy};
 pub use wavefront::{partition_wavefronts, Wavefront};

@@ -4,15 +4,17 @@ use pe_graph::TrainingGraph;
 
 use crate::backend_switch::{switch_frozen_convs_to_winograd, BackendSwitchStats};
 use crate::dce::{eliminate_dead_code, DceStats};
-use crate::fusion::{fuse_operators, launch_count, FusionStats};
+use crate::fusion::{fuse_operators, fuse_regions, launch_count, FusionLevel, FusionStats};
 use crate::schedule::{build_schedule, Schedule, ScheduleStrategy};
 
 /// Which optimisations to run. The default enables everything, matching the
 /// full PockEngine pipeline; individual flags exist for the ablation study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptimizeOptions {
-    /// Fuse bias+activation and residual add+ReLU pairs.
-    pub fuse: bool,
+    /// How aggressively to fuse elementwise operators. The default follows
+    /// the `PE_FUSION` environment variable (`off` | `pairs` | `regions`),
+    /// falling back to [`FusionLevel::Regions`] when unset.
+    pub fusion: FusionLevel,
     /// Bind frozen 3x3 convolutions to Winograd kernels.
     pub winograd: bool,
     /// Remove dead nodes after pruning/fusion.
@@ -24,7 +26,7 @@ pub struct OptimizeOptions {
 impl Default for OptimizeOptions {
     fn default() -> Self {
         OptimizeOptions {
-            fuse: true,
+            fusion: FusionLevel::from_env(),
             winograd: true,
             dce: true,
             reorder_updates: true,
@@ -36,7 +38,7 @@ impl OptimizeOptions {
     /// Disables every optimisation (the "conventional framework" baseline).
     pub fn none() -> Self {
         OptimizeOptions {
-            fuse: false,
+            fusion: FusionLevel::Off,
             winograd: false,
             dce: false,
             reorder_updates: false,
@@ -81,8 +83,10 @@ pub fn optimize(
         ..Default::default()
     };
 
-    if opts.fuse {
-        stats.fusion = fuse_operators(&mut tg);
+    match opts.fusion {
+        FusionLevel::Off => {}
+        FusionLevel::Pairs => stats.fusion = fuse_operators(&mut tg),
+        FusionLevel::Regions => stats.fusion = fuse_regions(&mut tg),
     }
     if opts.winograd {
         stats.backend = switch_frozen_convs_to_winograd(&mut tg);
@@ -142,12 +146,42 @@ mod tests {
         spec.insert(weights[0], TrainKind::Frozen);
         spec.insert(weights[1], TrainKind::Frozen);
         let tg = build_training_graph(g, loss, &spec);
-        let (opt, schedule, stats) = optimize(tg, OptimizeOptions::default());
+        // Pin the fusion level so the test does not depend on `PE_FUSION`.
+        let opts = OptimizeOptions {
+            fusion: FusionLevel::Regions,
+            ..OptimizeOptions::default()
+        };
+        let (opt, schedule, stats) = optimize(tg, opts);
         assert!(opt.graph.validate().is_empty());
         assert_eq!(schedule.len(), opt.graph.len());
         assert!(stats.fusion.total() >= 3, "got {:?}", stats.fusion);
         assert!(stats.backend.winograd_converted >= 1);
         assert!(stats.launch_reduction() > 0.0);
+    }
+
+    #[test]
+    fn region_level_launches_no_more_than_pairs() {
+        let (g, loss, weights) = conv_classifier();
+        let mut spec = TrainSpec::new();
+        spec.insert(weights[0], TrainKind::Frozen);
+        spec.insert(weights[1], TrainKind::Frozen);
+        let tg = build_training_graph(g, loss, &spec);
+        let pairs = OptimizeOptions {
+            fusion: FusionLevel::Pairs,
+            ..OptimizeOptions::default()
+        };
+        let regions = OptimizeOptions {
+            fusion: FusionLevel::Regions,
+            ..OptimizeOptions::default()
+        };
+        let (_, _, pair_stats) = optimize(tg.clone(), pairs);
+        let (_, _, region_stats) = optimize(tg, regions);
+        assert!(
+            region_stats.launches_after <= pair_stats.launches_after,
+            "regions must never launch more than pairs ({} vs {})",
+            region_stats.launches_after,
+            pair_stats.launches_after
+        );
     }
 
     #[test]
@@ -170,7 +204,11 @@ mod tests {
         spec.insert(weights[0], TrainKind::Frozen);
         let tg = build_training_graph(g, loss, &spec);
         let launches_raw = crate::fusion::launch_count(&tg.graph);
-        let (_, _, stats) = optimize(tg, OptimizeOptions::default());
+        let opts = OptimizeOptions {
+            fusion: FusionLevel::Regions,
+            ..OptimizeOptions::default()
+        };
+        let (_, _, stats) = optimize(tg, opts);
         assert!(stats.launches_after < launches_raw);
     }
 }

@@ -44,7 +44,7 @@ use pe_memplan::{plan_memory_with, validate_plan, MemPlanOptions, MemoryPlan};
 use pe_passes::{partition_wavefronts, Schedule};
 use pe_tensor::kernels::elementwise::{UnaryGradOp, UnaryOp};
 use pe_tensor::kernels::{
-    conv, elementwise as ew, embedding, gemm, layout, norm, pool as poolk, reduce, winograd,
+    conv, elementwise as ew, embedding, fused, gemm, layout, norm, pool as poolk, reduce, winograd,
 };
 use pe_tensor::{Tensor, TensorView};
 
@@ -93,6 +93,10 @@ struct StepNode {
     out: Option<(usize, usize)>,
     /// Whether the output aliases `ins[0]`'s buffer (in-place execution).
     inplace: bool,
+    /// Private `(offset, len)` scratch range past the planner's region of
+    /// the slab (Winograd tile transforms). Disjoint per node, so wavefront
+    /// peers never share it.
+    scratch: Option<(usize, usize)>,
     task: Task,
 }
 
@@ -244,9 +248,6 @@ impl ArenaExec {
             Some(p) if validate_plan(graph, &schedule, &opts, &p).is_ok() => p,
             _ => plan_memory_with(graph, &schedule, &opts),
         };
-        let arena = ArenaBuf(UnsafeCell::new(
-            vec![0.0f32; plan.arena_bytes.div_ceil(4)].into_boxed_slice(),
-        ));
 
         // Resolve every schedule position.
         let resolve = |id: NodeId| -> Arg {
@@ -268,6 +269,10 @@ impl ArenaExec {
                 dims: node.shape.dims().to_vec(),
             }
         };
+        // Scratch ranges are carved past the planner's region: the slab
+        // grows by one disjoint window per Winograd node, so the tile
+        // transforms never heap-allocate and wavefront peers never collide.
+        let mut scratch_tail = plan.arena_bytes.div_ceil(4);
         let steps: Vec<StepNode> = schedule
             .order
             .iter()
@@ -289,15 +294,29 @@ impl ArenaExec {
                     }
                     _ => None,
                 };
+                let scratch = match node.op {
+                    OpKind::WinogradConv2d { .. } => {
+                        let cin = graph.node(node.inputs[0]).shape.dims()[1];
+                        let len = winograd::winograd_scratch_len(cin);
+                        let off = scratch_tail;
+                        scratch_tail += len;
+                        Some((off, len))
+                    }
+                    _ => None,
+                };
                 StepNode {
                     op: node.op.clone(),
                     ins: node.inputs.iter().map(|&i| resolve(i)).collect(),
                     out,
                     inplace: plan.aliases[id.index()].is_some(),
+                    scratch,
                     task,
                 }
             })
             .collect();
+        let arena = ArenaBuf(UnsafeCell::new(
+            vec![0.0f32; scratch_tail].into_boxed_slice(),
+        ));
 
         // Wavefront levels as schedule positions (parallel mode only).
         // Within a level, heaviest node first (LPT): workers claim in list
@@ -586,31 +605,6 @@ unsafe fn arg_view<'a>(shared: &'a Shared, arg: &'a Arg) -> TensorView<'a> {
     }
 }
 
-/// A fallback operand for kernels that still take `&Tensor` (Winograd,
-/// generic reductions): borrows persistent storage, copies arena views.
-enum FallbackOperand<'a> {
-    Borrowed(&'a Tensor),
-    Owned(Tensor),
-}
-
-impl FallbackOperand<'_> {
-    fn tensor(&self) -> &Tensor {
-        match self {
-            FallbackOperand::Borrowed(t) => t,
-            FallbackOperand::Owned(t) => t,
-        }
-    }
-}
-
-unsafe fn fallback_operand<'a>(shared: &'a Shared, arg: &'a Arg) -> FallbackOperand<'a> {
-    match arg.loc {
-        Loc::Arena(..) => FallbackOperand::Owned(arg_view(shared, arg).to_tensor()),
-        Loc::Param(i) => FallbackOperand::Borrowed(&(*shared.store.cell(i)).value),
-        Loc::Const(i) => FallbackOperand::Borrowed(&shared.consts[i]),
-        Loc::Input(i) => FallbackOperand::Borrowed(&*shared.inputs[i].get()),
-    }
-}
-
 /// Executes the node at schedule position `pos`.
 ///
 /// # Safety
@@ -678,6 +672,27 @@ unsafe fn dispatch(shared: &Shared, step: &StepNode) {
     // In-place nodes: the output range *is* the first input's range, so only
     // one (mutable) slice may exist.
     if step.inplace {
+        if let OpKind::FusedRegion { prog } = &step.op {
+            // Extras (operands past the carrier) live in planner-disjoint
+            // ranges or persistent storage, so their shared views cannot
+            // overlap the carrier buffer the region rewrites; the fusion
+            // pass never emits a program that re-reads the carrier.
+            let n_extras = step.ins.len() - 1;
+            assert!(n_extras < fused::MAX_REGION_INPUTS, "region fan-in");
+            if n_extras == 0 {
+                let buf = shared.arena.slice_mut(off, len);
+                fused::fused_region_inplace(prog, &[], &step.ins[0].dims, buf);
+            } else {
+                let ev = |i: usize| arg_view(shared, &step.ins[i]);
+                let mut extras = [ev(1); fused::MAX_REGION_INPUTS];
+                for (i, slot) in extras.iter_mut().enumerate().take(n_extras).skip(1) {
+                    *slot = ev(i + 1);
+                }
+                let buf = shared.arena.slice_mut(off, len);
+                fused::fused_region_inplace(prog, &extras[..n_extras], &step.ins[0].dims, buf);
+            }
+            return;
+        }
         let buf = shared.arena.slice_mut(off, len);
         match unary_of(&step.op) {
             Some(op) => ew::unary_inplace(op, buf),
@@ -708,13 +723,16 @@ unsafe fn dispatch(shared: &Shared, step: &StepNode) {
             conv::conv2d_grad_weight_into(v(0), v(1), w_dims, *params, out)
         }
         OpKind::WinogradConv2d { padding } => {
-            shared.fallbacks.fetch_add(1, Ordering::Relaxed);
-            let x = fallback_operand(shared, &step.ins[0]);
+            let (s_off, s_len) = step
+                .scratch
+                .expect("winograd scratch assigned at construction");
+            // SAFETY: the scratch window lies past the planner's region and
+            // is private to this node, so no concurrent access can touch it.
+            let scratch = shared.arena.slice_mut(s_off, s_len);
             let (_, ww) = (&*shared.winograd.get())
                 .get(&step.ins[1].id)
                 .expect("winograd weight transformed at construction");
-            let y = winograd::conv2d_winograd(x.tensor(), ww, *padding);
-            out.copy_from_slice(y.data());
+            winograd::conv2d_winograd_into(v(0), ww, *padding, scratch, out);
         }
         OpKind::Add => ew::binary_into(ew::BinaryOp::Add, v(0), v(1), out),
         OpKind::Sub => ew::binary_into(ew::BinaryOp::Sub, v(0), v(1), out),
@@ -743,26 +761,27 @@ unsafe fn dispatch(shared: &Shared, step: &StepNode) {
         OpKind::BiasRelu6 => ew::add_bias_into(v(0), v(1), Some(UnaryOp::Relu6), out),
         OpKind::BiasGelu => ew::add_bias_into(v(0), v(1), Some(UnaryOp::Gelu), out),
         OpKind::AddRelu => ew::add_relu_into(v(0), v(1), out),
-        OpKind::Reduce {
-            op,
-            axes,
-            keep_dims,
-        } => {
-            shared.fallbacks.fetch_add(1, Ordering::Relaxed);
-            let x = fallback_operand(shared, &step.ins[0]);
-            let y = reduce::reduce(x.tensor(), *op, axes, *keep_dims);
-            out.copy_from_slice(y.data());
+        OpKind::FusedRegion { prog } => {
+            // Views collected on the stack (TensorView is Copy) so the
+            // region interpreter runs without a heap allocation.
+            assert!(
+                step.ins.len() <= fused::MAX_REGION_INPUTS,
+                "region fan-in exceeds MAX_REGION_INPUTS"
+            );
+            let mut views = [v(0); fused::MAX_REGION_INPUTS];
+            for (i, slot) in views.iter_mut().enumerate().take(step.ins.len()).skip(1) {
+                *slot = v(i);
+            }
+            fused::fused_region_into(prog, &views[..step.ins.len()], &step.ins[0].dims, out)
         }
+        // The reduction output layout with kept dims is byte-identical to
+        // the squeezed one, so one `_into` kernel serves both modes.
+        OpKind::Reduce { op, axes, .. } => reduce::reduce_into(v(0), *op, axes, out),
         OpKind::ReduceGrad {
             op,
             axes,
             input_dims,
-        } => {
-            shared.fallbacks.fetch_add(1, Ordering::Relaxed);
-            let x = fallback_operand(shared, &step.ins[0]);
-            let y = reduce::reduce_grad(x.tensor(), *op, input_dims, axes);
-            out.copy_from_slice(y.data());
-        }
+        } => reduce::reduce_grad_into(v(0), *op, input_dims, axes, out),
         OpKind::Reshape { .. } => out.copy_from_slice(v(0).data()),
         OpKind::Transpose2d => layout::transpose2d_into(v(0), out),
         OpKind::Permute { perm } => layout::permute_into(v(0), perm, out),

@@ -17,7 +17,7 @@ use pe_graph::{NodeId, OpKind, TrainingGraph};
 use pe_memplan::analyze_lifetimes;
 use pe_passes::Schedule;
 use pe_tensor::kernels::{
-    conv, elementwise as ew, embedding, gemm, layout, norm, pool, reduce, winograd,
+    conv, elementwise as ew, embedding, fused, gemm, layout, norm, pool, reduce, winograd,
 };
 use pe_tensor::{Shape, Tensor};
 
@@ -354,6 +354,11 @@ impl BoxedExec {
             OpKind::BiasRelu6 => ew::relu6(&ew::add_bias(inp(0), inp(1))),
             OpKind::BiasGelu => ew::gelu(&ew::add_bias(inp(0), inp(1))),
             OpKind::AddRelu => ew::relu(&ew::add(inp(0), inp(1))),
+            OpKind::FusedRegion { prog } => {
+                let ins: Vec<&Tensor> =
+                    node.inputs.iter().map(|&i| self.value(values, i)).collect();
+                fused::fused_region(prog, &ins)
+            }
             OpKind::Reduce {
                 op,
                 axes,

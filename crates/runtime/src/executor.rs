@@ -519,8 +519,9 @@ impl Executor {
     }
 
     /// Number of kernel dispatches that fell back to an allocating kernel
-    /// because no `_into` variant exists (0 on the boxed backend; on the
-    /// arena backend only Winograd and generic Reduce ops fall back).
+    /// because no `_into` variant exists. Every op the compiler emits now has
+    /// an arena-resident `_into` kernel, so this is 0 on both backends; the
+    /// counter stays as a regression tripwire for future ops.
     pub fn fallback_dispatches(&self) -> u64 {
         match &self.inner {
             Inner::Boxed(_) => 0,

@@ -22,7 +22,8 @@ pub enum BinaryOp {
 }
 
 impl BinaryOp {
-    fn apply(self, a: f32, b: f32) -> f32 {
+    /// Applies the op to one element pair.
+    pub fn apply(self, a: f32, b: f32) -> f32 {
         match self {
             BinaryOp::Add => a + b,
             BinaryOp::Sub => a - b,
@@ -107,13 +108,13 @@ pub fn binary_into(op: BinaryOp, a: TensorView, b: TensorView, out: &mut [f32]) 
     }
 }
 
-fn pad_dims(dims: &[usize], rank: usize) -> [usize; MAX_RANK] {
+pub(crate) fn pad_dims(dims: &[usize], rank: usize) -> [usize; MAX_RANK] {
     let mut out = [1usize; MAX_RANK];
     out[rank - dims.len()..rank].copy_from_slice(dims);
     out
 }
 
-fn padded_strides(dims: &[usize; MAX_RANK], rank: usize) -> [usize; MAX_RANK] {
+pub(crate) fn padded_strides(dims: &[usize; MAX_RANK], rank: usize) -> [usize; MAX_RANK] {
     let mut strides = [1usize; MAX_RANK];
     for i in (0..rank.saturating_sub(1)).rev() {
         strides[i] = strides[i + 1] * dims[i + 1];

@@ -9,6 +9,7 @@
 pub mod conv;
 pub mod elementwise;
 pub mod embedding;
+pub mod fused;
 pub mod gemm;
 pub mod layout;
 pub mod norm;

@@ -1,6 +1,7 @@
 //! Reduction kernels: sum / mean / max along axes and their gradients.
 
-use crate::{Shape, Tensor};
+use crate::kernels::elementwise::{pad_dims, padded_strides, MAX_RANK};
+use crate::{Shape, Tensor, TensorView};
 
 /// Reduction operation kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,6 +88,123 @@ pub fn reduce(x: &Tensor, op: ReduceOp, axes: &[usize], keep_dims: bool) -> Tens
 /// Sums all elements to a scalar tensor.
 pub fn reduce_all_sum(x: &Tensor) -> Tensor {
     Tensor::scalar(x.sum())
+}
+
+/// Allocation-free [`reduce`] writing into a preallocated `out`.
+///
+/// The output layout is the kept-dims layout, which is byte-identical to
+/// the squeezed layout, so the same buffer serves both `keep_dims` modes.
+/// Accumulation visits input elements in flat order — exactly the order
+/// [`reduce`] uses — so results are bit-identical to the allocating kernel.
+///
+/// # Panics
+///
+/// Panics if any axis is out of range, the rank exceeds [`MAX_RANK`], or
+/// `out` has the wrong length.
+pub fn reduce_into(x: TensorView, op: ReduceOp, axes: &[usize], out: &mut [f32]) {
+    let r = x.rank();
+    assert!(r <= MAX_RANK, "reduce rank exceeds MAX_RANK");
+    for &a in axes {
+        assert!(a < r, "reduce axis {a} out of range for rank {r}");
+    }
+    let dims = pad_dims(x.dims(), r);
+    let mut kept = dims;
+    let mut count = 1usize;
+    for d in 0..r {
+        if axes.contains(&d) {
+            count *= dims[d];
+            kept[d] = 1;
+        }
+    }
+    let in_strides = padded_strides(&dims, r);
+    let kept_strides = padded_strides(&kept, r);
+    let out_len: usize = kept[..r].iter().product();
+    assert_eq!(out.len(), out_len, "reduce output length mismatch");
+
+    let init = match op {
+        ReduceOp::Sum | ReduceOp::Mean => 0.0,
+        ReduceOp::Max => f32::NEG_INFINITY,
+    };
+    out.fill(init);
+    for (flat, &v) in x.data().iter().enumerate() {
+        let mut o = 0usize;
+        let mut rem = flat;
+        for d in 0..r {
+            let id = rem / in_strides[d];
+            rem %= in_strides[d];
+            if kept[d] != 1 {
+                o += id * kept_strides[d];
+            }
+        }
+        match op {
+            ReduceOp::Sum | ReduceOp::Mean => out[o] += v,
+            ReduceOp::Max => {
+                if v > out[o] {
+                    out[o] = v;
+                }
+            }
+        }
+    }
+    if op == ReduceOp::Mean {
+        let scale = 1.0 / count.max(1) as f32;
+        for v in out.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+/// Allocation-free [`reduce_grad`] writing into a preallocated `out`.
+///
+/// # Panics
+///
+/// Panics on a max reduction, a rank above [`MAX_RANK`], or a wrong `out`
+/// length.
+pub fn reduce_grad_into(
+    dy: TensorView,
+    op: ReduceOp,
+    input_dims: &[usize],
+    axes: &[usize],
+    out: &mut [f32],
+) {
+    assert!(
+        op != ReduceOp::Max,
+        "max reduction gradient requires the forward input; not supported here"
+    );
+    let r = input_dims.len();
+    assert!(r <= MAX_RANK, "reduce_grad rank exceeds MAX_RANK");
+    let dims = pad_dims(input_dims, r);
+    let mut kept = dims;
+    let mut count = 1usize;
+    for d in 0..r {
+        if axes.contains(&d) {
+            count *= dims[d];
+            kept[d] = 1;
+        }
+    }
+    let in_strides = padded_strides(&dims, r);
+    let kept_strides = padded_strides(&kept, r);
+    let n: usize = dims[..r].iter().product();
+    assert_eq!(out.len(), n, "reduce_grad output length mismatch");
+    let kept_len: usize = kept[..r].iter().product();
+    assert_eq!(dy.numel(), kept_len, "reduce_grad dy length mismatch");
+    let scale = if op == ReduceOp::Mean {
+        1.0 / count.max(1) as f32
+    } else {
+        1.0
+    };
+
+    for (flat, o) in out.iter_mut().enumerate() {
+        let mut k = 0usize;
+        let mut rem = flat;
+        for d in 0..r {
+            let id = rem / in_strides[d];
+            rem %= in_strides[d];
+            if kept[d] != 1 {
+                k += id * kept_strides[d];
+            }
+        }
+        *o = dy.data()[k] * scale;
+    }
 }
 
 /// Gradient of a sum/mean reduction: broadcasts `dy` back to `input_dims`,
@@ -199,5 +317,41 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_axis_panics() {
         reduce(&Tensor::zeros([2]), ReduceOp::Sum, &[3], false);
+    }
+
+    #[test]
+    fn reduce_into_matches_allocating_kernel() {
+        use crate::Rng;
+        let mut rng = Rng::seed_from_u64(7);
+        let x = Tensor::randn([2, 3, 4], 1.0, &mut rng);
+        for op in [ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Max] {
+            for axes in [vec![0], vec![1], vec![0, 2], vec![0, 1, 2]] {
+                let expect = reduce(&x, op, &axes, false);
+                let mut out = vec![0.0f32; expect.numel()];
+                reduce_into(x.view(), op, &axes, &mut out);
+                assert_eq!(&out[..], expect.data(), "{op:?} over {axes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_grad_into_matches_allocating_kernel() {
+        use crate::Rng;
+        let mut rng = Rng::seed_from_u64(8);
+        let input_dims = [2usize, 3, 4];
+        for op in [ReduceOp::Sum, ReduceOp::Mean] {
+            for axes in [vec![0], vec![2], vec![0, 2]] {
+                let kept: usize = input_dims
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &s)| if axes.contains(&d) { 1 } else { s })
+                    .product();
+                let dy = Tensor::randn([kept], 1.0, &mut rng);
+                let expect = reduce_grad(&dy, op, &input_dims, &axes);
+                let mut out = vec![0.0f32; expect.numel()];
+                reduce_grad_into(dy.view(), op, &input_dims, &axes, &mut out);
+                assert_eq!(&out[..], expect.data(), "{op:?} over {axes:?}");
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! representation that the pass targets.
 
 use super::conv::{conv2d_out_dims, Conv2dParams};
-use crate::Tensor;
+use crate::{Tensor, TensorView};
 
 /// A weight tensor pre-transformed into the Winograd domain
 /// (`U = G·g·Gᵀ` per output/input channel pair).
@@ -105,8 +105,54 @@ impl WinogradWeight {
 ///
 /// Panics if the input channel count does not match the weight.
 pub fn conv2d_winograd(x: &Tensor, weight: &WinogradWeight, padding: usize) -> Tensor {
+    let od = conv2d_out_dims(
+        x.dims(),
+        &[weight.cout, weight.cin, 3, 3],
+        Conv2dParams {
+            stride: 1,
+            padding,
+            groups: 1,
+        },
+    );
+    let mut out = Tensor::zeros(&od[..]);
+    let mut scratch = vec![0.0f32; winograd_scratch_len(weight.cin)];
+    conv2d_winograd_into(x.view(), weight, padding, &mut scratch, out.data_mut());
+    out
+}
+
+/// Scratch length (in `f32` elements) required by [`conv2d_winograd_into`]:
+/// one transformed 4x4 input tile per input channel.
+pub fn winograd_scratch_len(cin: usize) -> usize {
+    cin * 16
+}
+
+/// Allocation-free Winograd F(2x2,3x3) convolution writing into a
+/// preallocated `out`.
+///
+/// `scratch` holds the per-tile transformed input tiles (`V = BᵀdB`) for
+/// every input channel — at least [`winograd_scratch_len`] elements, carved
+/// from the arena slab by the executor. Every output element is written, so
+/// `out` need not be zeroed. The per-channel accumulation order matches the
+/// historical allocating kernel exactly (input channels ascending per
+/// output channel), keeping results bit-identical across executors.
+///
+/// # Panics
+///
+/// Panics if the input channel count does not match the weight, or
+/// `scratch`/`out` are too short.
+pub fn conv2d_winograd_into(
+    x: TensorView,
+    weight: &WinogradWeight,
+    padding: usize,
+    scratch: &mut [f32],
+    out: &mut [f32],
+) {
     let [n, cin, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
     assert_eq!(cin, weight.cin, "winograd channel mismatch");
+    assert!(
+        scratch.len() >= winograd_scratch_len(cin),
+        "winograd scratch too small"
+    );
     let p = Conv2dParams {
         stride: 1,
         padding,
@@ -114,7 +160,11 @@ pub fn conv2d_winograd(x: &Tensor, weight: &WinogradWeight, padding: usize) -> T
     };
     let od = conv2d_out_dims(x.dims(), &[weight.cout, weight.cin, 3, 3], p);
     let (cout, oh, ow) = (od[1], od[2], od[3]);
-    let mut out = Tensor::zeros(&od[..]);
+    assert_eq!(
+        out.len(),
+        od.iter().product::<usize>(),
+        "winograd output length mismatch"
+    );
 
     // Number of 2x2 output tiles in each direction.
     let tiles_h = oh.div_ceil(2);
@@ -166,8 +216,9 @@ pub fn conv2d_winograd(x: &Tensor, weight: &WinogradWeight, padding: usize) -> T
                 // Top-left corner of this tile in output coordinates.
                 let oh0 = th * 2;
                 let ow0 = tw * 2;
-                // Accumulate M per output channel over input channels.
-                let mut m_acc = vec![[[0.0f32; 4]; 4]; cout];
+                // Transform every input channel's tile into the scratch
+                // buffer, then accumulate per output channel on the stack —
+                // no per-tile heap allocation.
                 for ic in 0..cin {
                     // Gather the 4x4 input tile (with padding).
                     let mut d = [[0.0f32; 4]; 4];
@@ -179,23 +230,29 @@ pub fn conv2d_winograd(x: &Tensor, weight: &WinogradWeight, padding: usize) -> T
                         for (c, dval) in drow.iter_mut().enumerate() {
                             let iw = (ow0 + c) as isize - padding as isize;
                             if iw < 0 || iw >= w as isize {
+                                *dval = 0.0;
                                 continue;
                             }
                             *dval = xd[((ni * cin + ic) * h + ih as usize) * w + iw as usize];
                         }
                     }
                     let v = input_transform(&d);
-                    for (oc, m) in m_acc.iter_mut().enumerate() {
+                    for (i, vrow) in v.iter().enumerate() {
+                        scratch[ic * 16 + i * 4..ic * 16 + i * 4 + 4].copy_from_slice(vrow);
+                    }
+                }
+                for oc in 0..cout {
+                    let mut m = [[0.0f32; 4]; 4];
+                    for ic in 0..cin {
                         let ubase = (oc * cin + ic) * 16;
-                        for i in 0..4 {
-                            for j in 0..4 {
-                                m[i][j] += ud[ubase + i * 4 + j] * v[i][j];
+                        let vbase = ic * 16;
+                        for (i, mrow) in m.iter_mut().enumerate() {
+                            for (j, mv) in mrow.iter_mut().enumerate() {
+                                *mv += ud[ubase + i * 4 + j] * scratch[vbase + i * 4 + j];
                             }
                         }
                     }
-                }
-                for (oc, m) in m_acc.iter().enumerate() {
-                    let y = output_transform(m);
+                    let y = output_transform(&m);
                     for (r, yrow) in y.iter().enumerate() {
                         let ohi = oh0 + r;
                         if ohi >= oh {
@@ -206,14 +263,13 @@ pub fn conv2d_winograd(x: &Tensor, weight: &WinogradWeight, padding: usize) -> T
                             if owi >= ow {
                                 continue;
                             }
-                            out.data_mut()[((ni * cout + oc) * oh + ohi) * ow + owi] = yv;
+                            out[((ni * cout + oc) * oh + ohi) * ow + owi] = yv;
                         }
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Multiplication count of a Winograd F(2x2,3x3) convolution (for the cost

@@ -60,11 +60,15 @@ fn mlp(batch: usize) -> BuiltModel {
 }
 
 fn options(executor: ExecutorConfig) -> CompileOptions {
-    CompileOptions {
+    let mut o = CompileOptions {
         optimizer: Optimizer::sgd(0.1),
         executor,
         ..CompileOptions::default()
-    }
+    };
+    // Pin the fusion level so this suite's artifacts always carry a
+    // fused-region program, deterministically under any ambient `PE_FUSION`.
+    o.optimize.fusion = pockengine::pe_passes::FusionLevel::Regions;
+    o
 }
 
 /// A freshly-compiled program with any ambient `PE_PROGRAM_REGISTRY`
@@ -350,11 +354,26 @@ fn corrupted_artifacts_fall_back_to_jit() {
 #[test]
 fn version_bumped_artifacts_fall_back_to_jit() {
     assert_damage_falls_back("version", |text| {
-        text.replacen("{\"version\":1,", "{\"version\":999,", 1)
+        let current = format!("{{\"version\":{},", pockengine::ARTIFACT_VERSION);
+        assert!(text.starts_with(&current), "artifact version prefix moved");
+        text.replacen(&current, "{\"version\":999,", 1)
     });
 }
 
 #[test]
 fn non_json_artifacts_fall_back_to_jit() {
     assert_damage_falls_back("nonjson", |_| "not an artifact at all".to_string());
+}
+
+#[test]
+fn unknown_micro_op_artifacts_fall_back_to_jit() {
+    // A fused-region program naming a micro-op this build does not know
+    // (e.g. written by a future version) must decode as a registry miss.
+    assert_damage_falls_back("microop", |text| {
+        assert!(
+            text.contains("fused_region "),
+            "artifact must carry a fused-region program"
+        );
+        text.replacen("u relu", "u frobnicate", 1)
+    });
 }

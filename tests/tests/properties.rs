@@ -3,6 +3,8 @@
 //! identities), schedule validity, memory-planner non-overlap, and
 //! autodiff/DCE invariants over randomly shaped MLPs.
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
 
 use pockengine::pe_graph::{
@@ -10,8 +12,10 @@ use pockengine::pe_graph::{
 };
 use pockengine::pe_memplan::{analyze_lifetimes, plan_memory, plan_memory_with, MemPlanOptions};
 use pockengine::pe_passes::{
-    build_schedule, optimize, partition_wavefronts, OptimizeOptions, Schedule, ScheduleStrategy,
+    build_schedule, launch_count, optimize, partition_wavefronts, FusionLevel, OptimizeOptions,
+    Schedule, ScheduleStrategy,
 };
+use pockengine::pe_runtime::{Executor, Optimizer};
 use pockengine::pe_tensor::kernels::conv::{conv2d, Conv2dParams};
 use pockengine::pe_tensor::kernels::gemm::matmul;
 use pockengine::pe_tensor::kernels::layout::transpose2d;
@@ -75,6 +79,63 @@ fn random_topo_schedule(graph: &pockengine::pe_graph::Graph, seed: u64) -> Sched
         order,
         strategy: ScheduleStrategy::Reordered,
     }
+}
+
+/// Everything a training run produces, with floats captured as exact bit
+/// patterns: `(kernel launches, per-step losses, final graph outputs, final
+/// parameters)`.
+type BitSnapshot = (
+    usize,
+    Vec<u32>,
+    Vec<(String, Vec<u32>)>,
+    Vec<(String, Vec<u32>)>,
+);
+
+/// Compiles `random_mlp` at the given fusion level, trains it for three SGD
+/// steps on `inputs`, and snapshots the observable results bit-for-bit.
+fn train_at_fusion_level(
+    widths: &[usize],
+    batch: usize,
+    frozen_prefix: usize,
+    level: FusionLevel,
+    arena: bool,
+    inputs: &HashMap<String, Tensor>,
+) -> BitSnapshot {
+    let tg = random_mlp(widths, batch, frozen_prefix);
+    let options = OptimizeOptions {
+        fusion: level,
+        ..OptimizeOptions::default()
+    };
+    let (tg, schedule, _) = optimize(tg, options);
+    let launches = launch_count(&tg.graph);
+    let mut exec = if arena {
+        Executor::arena(tg, schedule, Optimizer::sgd(0.05), 1)
+    } else {
+        Executor::boxed(tg, schedule, Optimizer::sgd(0.05))
+    };
+    let bits = |t: &Tensor| -> Vec<u32> { t.data().iter().map(|f| f.to_bits()).collect() };
+    let mut losses = Vec::new();
+    let mut outputs: Vec<(String, Vec<u32>)> = Vec::new();
+    for step in 0..3 {
+        let result = exec.run_step(inputs).unwrap();
+        losses.push(result.loss.unwrap().to_bits());
+        if step == 2 {
+            outputs = result
+                .outputs
+                .iter()
+                .map(|(name, value)| (name.clone(), bits(value)))
+                .collect();
+            outputs.sort();
+        }
+    }
+    let graph = &exec.training_graph().graph;
+    let mut params: Vec<(String, Vec<u32>)> = graph
+        .param_ids()
+        .into_iter()
+        .map(|id| (graph.node(id).name.clone(), bits(&exec.param(id).unwrap())))
+        .collect();
+    params.sort();
+    (launches, losses, outputs, params)
 }
 
 proptest! {
@@ -322,5 +383,48 @@ proptest! {
         // The VJP of broadcasting `small` is a row-sum: check linearity.
         let reduced = reduce_to_shape(&Tensor::ones([rows, cols]), small.shape());
         prop_assert!(reduced.data().iter().all(|&v| (v - rows as f32).abs() < 1e-5));
+    }
+
+    /// Fusion is a pure dispatch-count optimisation: for random MLPs the
+    /// region-fused program produces bit-identical losses, outputs and trained
+    /// parameters to the completely unfused program, on both the arena and
+    /// boxed backends — while never launching more kernels than pair fusion,
+    /// which in turn never launches more than no fusion.
+    #[test]
+    fn region_fusion_is_bit_identical_to_unfused(
+        depth in 1usize..4,
+        width in 3usize..12,
+        batch in 1usize..5,
+        frozen_prefix in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let widths: Vec<usize> = std::iter::repeat_n(width, depth + 1).collect();
+        let frozen_prefix = frozen_prefix.min(depth);
+        let mut data_rng = Rng::seed_from_u64(seed);
+        let xs = Tensor::randn([batch, width], 1.0, &mut data_rng);
+        let mut ys = Tensor::zeros([batch]);
+        for i in 0..batch {
+            ys.data_mut()[i] = data_rng.next_usize(3) as f32;
+        }
+        let inputs = HashMap::from([("x".to_string(), xs), ("labels".to_string(), ys)]);
+
+        for arena in [true, false] {
+            let run = |level| train_at_fusion_level(
+                &widths, batch, frozen_prefix, level, arena, &inputs,
+            );
+            let off = run(FusionLevel::Off);
+            let pairs = run(FusionLevel::Pairs);
+            let regions = run(FusionLevel::Regions);
+            prop_assert!(
+                regions.0 <= pairs.0 && pairs.0 <= off.0,
+                "fusion must monotonically shrink launches: off={} pairs={} regions={}",
+                off.0, pairs.0, regions.0
+            );
+            prop_assert_eq!(&off.1, &regions.1, "losses diverged under region fusion (arena={})", arena);
+            prop_assert_eq!(&off.2, &regions.2, "outputs diverged under region fusion (arena={})", arena);
+            prop_assert_eq!(&off.3, &regions.3, "parameters diverged under region fusion (arena={})", arena);
+            prop_assert_eq!(&off.1, &pairs.1, "losses diverged under pair fusion (arena={})", arena);
+            prop_assert_eq!(&off.3, &pairs.3, "parameters diverged under pair fusion (arena={})", arena);
+        }
     }
 }
