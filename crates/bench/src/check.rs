@@ -264,6 +264,27 @@ pub fn check_reports(baseline: &Json, fresh: &Json, cfg: CheckConfig) -> CheckOu
                 );
             }
         }
+        "net_serving" => {
+            // The networked path stacks the host's TCP loopback and thread
+            // scheduler on top of the engine, so both gates use the wide
+            // multi-worker band: throughput as a floor, and tail latency as
+            // a ceiling by inverting to a rate so the same lower-is-worse
+            // comparison applies.
+            check_throughput(
+                &mut outcome,
+                "net_serving.requests_per_sec",
+                num(baseline, "requests_per_sec"),
+                num(fresh, "requests_per_sec"),
+                cfg.multi_worker_tolerance,
+            );
+            check_throughput(
+                &mut outcome,
+                "net_serving.p99_resolutions_per_sec",
+                num(baseline, "latency_p99_us").map(|us| 1e6 / us.max(1e-9)),
+                num(fresh, "latency_p99_us").map(|us| 1e6 / us.max(1e-9)),
+                cfg.multi_worker_tolerance,
+            );
+        }
         other => outcome
             .notes
             .push(format!("no gate rules for bench tag '{other}'")),
@@ -450,6 +471,35 @@ mod tests {
         assert!(outcome.violations[0].contains("strictly reduce"));
         // Baselines predating the fields skip them with notes.
         assert!(check_reports(&training(vec![]), &base, CheckConfig::default()).ok());
+    }
+
+    fn net(rps: f64, p99_us: f64) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str("net_serving".into())),
+            ("requests_per_sec", Json::Num(rps)),
+            ("latency_p99_us", Json::Num(p99_us)),
+        ])
+    }
+
+    #[test]
+    fn net_serving_gates_on_the_wide_band() {
+        let base = net(1000.0, 100.0);
+        // A 30% throughput drop and a 30% p99 increase both sit inside the
+        // 40% multi-worker band.
+        assert!(check_reports(&base, &net(700.0, 140.0), CheckConfig::default()).ok());
+        // A 50% throughput collapse fails the floor.
+        let outcome = check_reports(&base, &net(500.0, 100.0), CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("net_serving.requests_per_sec"));
+        // 100us -> 180us p99 is a 44% resolutions-per-sec drop: fails the
+        // ceiling.
+        let outcome = check_reports(&base, &net(1000.0, 180.0), CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("p99_resolutions_per_sec"));
+        // Gated fields may not disappear from the fresh report.
+        let gone = Json::obj(vec![("bench", Json::Str("net_serving".into()))]);
+        let outcome = check_reports(&base, &gone, CheckConfig::default());
+        assert_eq!(outcome.violations.len(), 2);
     }
 
     #[test]

@@ -19,17 +19,19 @@
 //!
 //! Beyond the paper artefacts, the perf trajectory of this repository is
 //! tracked by machine-readable reports: `bench_training_step` writes
-//! `BENCH_training_step.json` ([`stepbench`]) and `bench_serving` writes
-//! `BENCH_engine_serving.json` ([`serving`]) using the tiny JSON codec in
-//! [`report`]. The `bench_check` binary ([`check`]) is the CI gate that
-//! compares freshly emitted reports against the committed baselines and
-//! fails the build on a regression.
+//! `BENCH_training_step.json` ([`stepbench`]), `bench_serving` writes
+//! `BENCH_engine_serving.json` ([`serving`]) and `bench_net` writes
+//! `BENCH_net_serving.json` ([`net`], the multi-client TCP loopback run)
+//! using the tiny JSON codec in [`report`]. The `bench_check` binary
+//! ([`check`]) is the CI gate that compares freshly emitted reports
+//! against the committed baselines and fails the build on a regression.
 
 #![deny(missing_docs)]
 
 pub mod accuracy;
 pub mod check;
 pub mod memory;
+pub mod net;
 pub mod overhead;
 pub mod report;
 pub mod serving;

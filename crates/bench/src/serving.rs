@@ -114,7 +114,7 @@ pub struct LatencyPercentiles {
     pub p99_us: f64,
 }
 
-fn percentiles(mut latencies_us: Vec<f64>) -> LatencyPercentiles {
+pub(crate) fn percentiles(mut latencies_us: Vec<f64>) -> LatencyPercentiles {
     if latencies_us.is_empty() {
         return LatencyPercentiles::default();
     }
@@ -196,8 +196,10 @@ pub struct ServingBenchResult {
     pub threads: usize,
 }
 
-/// The bench model: a small MLP classifier family (feature dim 32).
-fn mlp_factory(batch: usize) -> BuiltModel {
+/// The bench model: a small MLP classifier family (feature dim 32). Shared
+/// with the network-serving bench ([`crate::net`]) so the two reports
+/// measure the same engine workload with and without the TCP transport.
+pub(crate) fn mlp_factory(batch: usize) -> BuiltModel {
     let mut rng = Rng::seed_from_u64(7);
     let mut b = GraphBuilder::new();
     let x = b.input("x", [batch, 32]);

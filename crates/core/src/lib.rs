@@ -43,6 +43,7 @@ pub mod dispatch;
 pub mod engine;
 pub mod program;
 pub mod queue;
+pub mod submit;
 
 pub use pe_backends;
 pub use pe_data;
@@ -66,11 +67,10 @@ pub use artifact::{ArtifactRegistry, ProgramArtifact, ARTIFACT_VERSION};
 pub use batcher::BatcherStats;
 pub use dispatch::WorkerDispatchStats;
 pub use engine::{AsyncEngine, BackendRoute, Engine, EngineConfig, EngineMetrics, Response};
-#[allow(deprecated)]
-pub use pe_data::serving::ServingRequest;
 pub use pe_data::serving::{BackendHint, Priority, Request, RequestMeta, ServingKind};
 pub use program::{CacheStats, Compiler, ModelFactory, Program, Specialization};
-pub use queue::{QueueConfig, SubmitError, Submitter, Ticket};
+pub use queue::{QueueConfig, SubmitError, Submitter, Ticket, TicketNotify};
+pub use submit::{Submit, SubmitHandle};
 
 /// Everything most users need, in one import.
 ///
@@ -123,12 +123,10 @@ pub mod prelude {
         analyze, compile, AdmissionPolicy, ArtifactRegistry, AsyncEngine, BackendRoute,
         BatcherStats, CacheStats, CompileOptions, CompiledProgram, Compiler, Engine, EngineConfig,
         EngineMetrics, Outcome, Program, ProgramAnalysis, ProgramArtifact, QueueConfig,
-        RejectReason, Response, Specialization, SubmitError, Submitter, Ticket,
-        WorkerDispatchStats,
+        RejectReason, Response, Specialization, Submit, SubmitError, SubmitHandle, Submitter,
+        Ticket, TicketNotify, WorkerDispatchStats,
     };
     pub use pe_backends::{DeviceProfile, FrameworkProfile};
-    #[allow(deprecated)]
-    pub use pe_data::ServingRequest;
     pub use pe_data::{
         generate_arrival_process, generate_instruct_dataset, generate_nlp_task,
         generate_request_stream, generate_vision_task, ArrivalProcessConfig, BackendHint,

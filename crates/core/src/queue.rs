@@ -140,6 +140,9 @@ enum TicketSlot {
 struct TicketCell {
     slot: Mutex<TicketSlot>,
     ready: Condvar,
+    /// One registered completion watcher (see [`Ticket::watch`]), poked
+    /// when the cell resolves.
+    watcher: Mutex<Option<Arc<TicketNotify>>>,
 }
 
 impl TicketCell {
@@ -148,7 +151,68 @@ impl TicketCell {
         if matches!(*slot, TicketSlot::Pending) {
             *slot = TicketSlot::Ready(Box::new(result), Instant::now());
             self.ready.notify_all();
+            drop(slot);
+            if let Some(notify) = self.watcher.lock().unwrap().as_ref() {
+                notify.notify();
+            }
         }
+    }
+}
+
+/// A shared completion signal many [`Ticket`]s can be registered on.
+///
+/// A consumer that multiplexes tickets (the per-connection writer in
+/// `pe_net`, say) cannot block in [`Ticket::wait`] — that commits the
+/// thread to one ticket while others may resolve first. Instead it
+/// registers every ticket on one `TicketNotify` via [`Ticket::watch`] and
+/// sleeps on [`TicketNotify::wait`]; any resolution (in whatever order the
+/// drainer fulfills tickets) bumps the generation counter and wakes it, so
+/// the consumer drains completions in *completion order*.
+#[derive(Debug, Default)]
+pub struct TicketNotify {
+    generation: Mutex<u64>,
+    bumped: Condvar,
+}
+
+impl TicketNotify {
+    /// A fresh signal at generation 0.
+    pub fn new() -> Self {
+        TicketNotify::default()
+    }
+
+    /// Bumps the generation and wakes every waiter. Public so producers
+    /// multiplexing tickets with other event sources (new submissions, a
+    /// shutdown flag) can share the one condvar.
+    pub fn notify(&self) {
+        *self.generation.lock().unwrap() += 1;
+        self.bumped.notify_all();
+    }
+
+    /// The current generation; pass it to [`TicketNotify::wait`] to sleep
+    /// until the next [`TicketNotify::notify`].
+    pub fn generation(&self) -> u64 {
+        *self.generation.lock().unwrap()
+    }
+
+    /// Blocks until the generation advances past `seen` or `timeout`
+    /// elapses, returning the current generation. The timeout makes the
+    /// wait robust against signals registered *after* a resolution already
+    /// fired — callers re-scan their tickets on every wakeup.
+    pub fn wait(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut generation = self.generation.lock().unwrap();
+        let deadline = Instant::now() + timeout;
+        while *generation == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, _) = self
+                .bumped
+                .wait_timeout(generation, deadline - now)
+                .unwrap();
+            generation = next;
+        }
+        *generation
     }
 }
 
@@ -174,6 +238,20 @@ impl Ticket {
     /// was redeemed with [`Ticket::try_take`]).
     pub fn is_ready(&self) -> bool {
         !matches!(*self.cell.slot.lock().unwrap(), TicketSlot::Pending)
+    }
+
+    /// Registers `notify` to be poked when this ticket resolves, replacing
+    /// any earlier watcher. If the ticket is already resolved the signal
+    /// fires immediately, so a watcher registered late never sleeps through
+    /// a completion. Poll with [`Ticket::try_take`] on each wakeup.
+    pub fn watch(&self, notify: Arc<TicketNotify>) {
+        *self.cell.watcher.lock().unwrap() = Some(notify);
+        if self.is_ready() {
+            let watcher = self.cell.watcher.lock().unwrap();
+            if let Some(notify) = watcher.as_ref() {
+                notify.notify();
+            }
+        }
     }
 
     /// Takes the result without blocking, if the request has been resolved.
@@ -507,6 +585,7 @@ fn push(shared: &Shared, state: &mut State, request: Request, budget: Duration) 
     let cell = Arc::new(TicketCell {
         slot: Mutex::new(TicketSlot::Pending),
         ready: Condvar::new(),
+        watcher: Mutex::new(None),
     });
     state.items.push_back(Envelope {
         seq,
@@ -766,6 +845,35 @@ mod tests {
         drop(rx.try_pop().unwrap());
         let _ = ticket.try_take();
         let _ = ticket.wait();
+    }
+
+    #[test]
+    fn watch_signals_on_resolution_and_immediately_when_late() {
+        let (tx, rx) = channel(cfg(4));
+        let notify = Arc::new(TicketNotify::new());
+        let mut early = tx.submit(req(1)).unwrap();
+        early.watch(Arc::clone(&notify));
+        let seen = notify.generation();
+        drop(rx.try_pop().unwrap()); // resolves the ticket as Cancelled
+        assert!(notify.wait(seen, Duration::from_secs(5)) > seen);
+        assert!(matches!(early.try_take(), Some(Ok(Outcome::Cancelled))));
+        // Watching a ticket that already resolved fires immediately, so a
+        // late watcher never sleeps through the completion.
+        let mut late = tx.submit(req(1)).unwrap();
+        drop(rx.try_pop().unwrap());
+        let seen = notify.generation();
+        late.watch(Arc::clone(&notify));
+        assert!(notify.wait(seen, Duration::from_secs(5)) > seen);
+        assert!(matches!(late.try_take(), Some(Ok(Outcome::Cancelled))));
+    }
+
+    #[test]
+    fn notify_wait_times_out_without_a_signal() {
+        let notify = TicketNotify::new();
+        let seen = notify.generation();
+        let start = Instant::now();
+        assert_eq!(notify.wait(seen, Duration::from_millis(10)), seen);
+        assert!(start.elapsed() >= Duration::from_millis(10));
     }
 
     #[test]

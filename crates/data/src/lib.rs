@@ -20,8 +20,6 @@ pub mod vision;
 pub use instruct::{generate_instruct_dataset, response_accuracy, InstructConfig, InstructDataset};
 pub use json::{write_report, Json};
 pub use nlp::{generate_nlp_task, table3_nlp_tasks, NlpTask, NlpTaskConfig};
-#[allow(deprecated)]
-pub use serving::ServingRequest;
 pub use serving::{
     generate_arrival_process, generate_request_stream, ArrivalProcessConfig, BackendHint,
     DeadlineDistribution, Priority, Request, RequestMeta, RequestStreamConfig, ServingKind,

@@ -201,52 +201,6 @@ impl Request {
     }
 }
 
-/// The pre-unification request type: a bare payload with no metadata.
-///
-/// Superseded by [`Request`], which both ingestion paths now accept
-/// directly; kept for one release so downstream code compiles. Convert
-/// with `Request::from(serving_request)` — the historical behaviour (no
-/// deadline, `Normal` priority, no hint) is exactly `RequestMeta::default`.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `Request` (metadata-carrying) instead; `Request::from` converts"
-)]
-#[derive(Debug, Clone)]
-pub struct ServingRequest {
-    /// Train or eval.
-    pub kind: ServingKind,
-    /// Feature tensor, `[rows, feature_dim]`.
-    pub features: Tensor,
-    /// Integer class labels stored as floats, `[rows]`.
-    pub labels: Tensor,
-}
-
-#[allow(deprecated)]
-impl ServingRequest {
-    /// Number of examples in the request.
-    pub fn rows(&self) -> usize {
-        self.labels.numel()
-    }
-}
-
-#[allow(deprecated)]
-impl From<ServingRequest> for Request {
-    fn from(r: ServingRequest) -> Self {
-        Request::new(r.kind, r.features, r.labels)
-    }
-}
-
-#[allow(deprecated)]
-impl From<Request> for ServingRequest {
-    fn from(r: Request) -> Self {
-        ServingRequest {
-            kind: r.kind,
-            features: r.features,
-            labels: r.labels,
-        }
-    }
-}
-
 /// Configuration for [`generate_request_stream`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestStreamConfig {
@@ -443,22 +397,6 @@ mod tests {
         assert!(Priority::Normal < Priority::High);
         assert_eq!(Priority::default(), Priority::Normal);
         assert_eq!(Priority::ALL.len(), 3);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn serving_request_round_trips_through_request() {
-        let legacy = ServingRequest {
-            kind: ServingKind::Eval,
-            features: Tensor::zeros([2, 4]),
-            labels: Tensor::zeros([2]),
-        };
-        let unified = Request::from(legacy.clone());
-        assert_eq!(unified.kind, ServingKind::Eval);
-        assert_eq!(unified.meta, RequestMeta::default());
-        assert_eq!(unified.rows(), legacy.rows());
-        let back = ServingRequest::from(unified);
-        assert_eq!(back.rows(), 2);
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! The TCP server: an accept loop over an [`AsyncEngine`], thread-per-
+//! connection readers feeding cloned [`Submitter`]s, and a per-connection
+//! writer that streams `Outcome` frames back **in completion order**
+//! (driven by [`TicketNotify`], not submission order).
+//!
+//! # Fault containment
+//!
+//! A connection's failures stay on that connection:
+//!
+//! * a malformed frame, an oversized length prefix, an unknown frame kind
+//!   or a handshake violation draws one `Error` frame and a close;
+//! * an abrupt client disconnect mid-burst simply ends the reader; the
+//!   writer drops the orphaned tickets (the engine still serves them into
+//!   the void — results are small) and exits;
+//! * a slow reader is bounded by the write timeout: when the client's
+//!   receive window stays full past [`ServerConfig::write_timeout`], the
+//!   connection is severed.
+//!
+//! None of these wedge the accept loop, the submission queue or any other
+//! connection. The engine never learns the connection existed.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pockengine::{AsyncEngine, Engine, SubmitError, Submitter, Ticket, TicketNotify};
+
+use crate::client::max_frame_from_env;
+use crate::proto::{self, FrameKind, NackReason, SubmitMode, DEFAULT_MAX_FRAME_BYTES};
+
+/// Server tuning knobs; [`ServerConfig::from_env`] reads the documented
+/// environment variables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`PE_SERVER_ADDR`, default `127.0.0.1:0` — an
+    /// ephemeral loopback port, reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Maximum frame length in bytes (`PE_NET_MAX_FRAME`, default 8 MiB).
+    /// Enforced on the declared length *before* any allocation.
+    pub max_frame: usize,
+    /// Maximum simultaneous connections (`PE_NET_MAX_CONNS`, default 64).
+    /// Excess connections are refused with an `Error` frame.
+    pub max_connections: usize,
+    /// How long one blocked socket write may stall before the connection
+    /// is severed (`PE_NET_WRITE_TIMEOUT_MS`, default 5000). This is the
+    /// slow-reader bound.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_frame: DEFAULT_MAX_FRAME_BYTES,
+            max_connections: 64,
+            write_timeout: Duration::from_millis(5000),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads every knob from its environment variable, using the defaults
+    /// for unset or unparsable values.
+    pub fn from_env() -> ServerConfig {
+        let default = ServerConfig::default();
+        let parse = |name: &str, fallback: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(fallback)
+        };
+        ServerConfig {
+            addr: std::env::var("PE_SERVER_ADDR").unwrap_or(default.addr),
+            max_frame: max_frame_from_env(),
+            max_connections: parse("PE_NET_MAX_CONNS", default.max_connections),
+            write_timeout: Duration::from_millis(parse(
+                "PE_NET_WRITE_TIMEOUT_MS",
+                default.write_timeout.as_millis() as usize,
+            ) as u64),
+        }
+    }
+}
+
+/// What the per-connection reader hands the writer.
+enum Cmd {
+    /// A submission was accepted into the queue; stream its outcome when
+    /// ready. `ack` marks try-mode submissions, which get an `Ack` frame.
+    Track {
+        corr: u64,
+        ticket: Ticket,
+        ack: bool,
+    },
+    /// A submission was refused; tell the client.
+    Nack { corr: u64, reason: NackReason },
+    /// The reader hit a protocol violation: send one `Error` frame, then
+    /// sever the connection.
+    Fatal(String),
+    /// The reader saw a clean EOF or an I/O error: sever without a frame.
+    Hangup,
+}
+
+struct Conn {
+    commands: Mutex<VecDeque<Cmd>>,
+    notify: Arc<TicketNotify>,
+}
+
+impl Conn {
+    fn push(&self, cmd: Cmd) {
+        self.commands.lock().unwrap().push_back(cmd);
+        self.notify.notify();
+    }
+}
+
+struct ServerState {
+    submitter: Submitter,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    /// Live connection sockets, keyed by a monotonic id — shutdown severs
+    /// them all so connection threads unblock and exit.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The network front door: owns the engine, the listener and every
+/// connection thread. Dropping without [`Server::shutdown`] also shuts
+/// down cleanly (the engine drains via [`AsyncEngine`]'s own drop).
+pub struct Server {
+    engine: Option<AsyncEngine>,
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts the accept loop over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures pass through.
+    pub fn spawn(engine: AsyncEngine, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            submitter: engine.submitter(),
+            config,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("pe-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))
+            .expect("spawn accept loop");
+        Ok(Server {
+            engine: Some(engine),
+            state,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of the default
+    /// `127.0.0.1:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Queue depth of the underlying engine (test/ops visibility).
+    pub fn queue_len(&self) -> usize {
+        self.state.submitter.len()
+    }
+
+    /// Stops accepting, severs every connection, joins all threads and
+    /// drains the engine, returning it for inspection.
+    pub fn shutdown(mut self) -> Engine {
+        self.stop();
+        let engine = self.engine.take().expect("engine present until shutdown");
+        engine.shutdown()
+    }
+
+    fn stop(&mut self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway self-connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        let conns: Vec<_> = self.state.conns.lock().unwrap().drain().collect();
+        for (_, stream) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let threads: Vec<_> = std::mem::take(&mut *self.state.conn_threads.lock().unwrap());
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.engine.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => continue,
+        };
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut conns = state.conns.lock().unwrap();
+            if conns.len() >= state.config.max_connections {
+                drop(conns);
+                refuse(stream, "connection limit reached");
+                continue;
+            }
+            if let Ok(clone) = stream.try_clone() {
+                conns.insert(conn_id, clone);
+            }
+        }
+        let conn_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name(format!("pe-net-conn-{conn_id}"))
+            .spawn(move || {
+                serve_connection(stream, conn_id, Arc::clone(&conn_state));
+                conn_state.conns.lock().unwrap().remove(&conn_id);
+            })
+            .expect("spawn connection thread");
+        state.conn_threads.lock().unwrap().push(handle);
+    }
+}
+
+/// Best-effort `Error` frame + close, for peers refused before the
+/// connection gets a writer thread.
+fn refuse(mut stream: TcpStream, message: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = proto::write_frame(&mut stream, FrameKind::Error, &proto::encode_error(message));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Runs one connection: version handshake, then this thread reads frames
+/// while a companion writer thread streams resolutions back.
+fn serve_connection(mut stream: TcpStream, conn_id: u64, state: Arc<ServerState>) {
+    let _ = stream.set_nodelay(true);
+    // The handshake is bounded: a silent peer may not hold the slot.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    match handshake(&mut stream, &state) {
+        Ok(()) => {}
+        Err(message) => {
+            refuse(stream, &message);
+            return;
+        }
+    }
+    let _ = stream.set_read_timeout(None);
+
+    let conn = Arc::new(Conn {
+        commands: Mutex::new(VecDeque::new()),
+        notify: Arc::new(TicketNotify::new()),
+    });
+    let writer_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let _ = writer_stream.set_write_timeout(Some(state.config.write_timeout));
+    let writer_conn = Arc::clone(&conn);
+    let writer = std::thread::Builder::new()
+        .name(format!("pe-net-conn-{conn_id}-writer"))
+        .spawn(move || writer_loop(writer_stream, writer_conn))
+        .expect("spawn connection writer");
+
+    read_loop(&mut stream, &state, &conn);
+
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn handshake(stream: &mut TcpStream, state: &ServerState) -> Result<(), String> {
+    let frame = proto::read_frame(stream, state.config.max_frame)
+        .map_err(|e| format!("handshake read failed: {e}"))?;
+    if FrameKind::from_u8(frame.kind) != Some(FrameKind::Hello) {
+        return Err(format!(
+            "expected a Hello frame, got frame kind {}",
+            frame.kind
+        ));
+    }
+    proto::decode_hello(&frame.payload).map_err(|e| e.to_string())?;
+    proto::write_frame(stream, FrameKind::HelloAck, &proto::encode_hello_ack())
+        .map_err(|e| format!("handshake write failed: {e}"))
+}
+
+/// Decodes `Submit` frames and feeds the queue until the connection dies.
+/// Block-mode submissions use the queue's blocking submit — a full queue
+/// stalls this reader and TCP backpressure propagates to the client.
+fn read_loop(stream: &mut TcpStream, state: &ServerState, conn: &Conn) {
+    loop {
+        let frame = match proto::read_frame(stream, state.config.max_frame) {
+            Ok(frame) => frame,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                conn.push(Cmd::Hangup);
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                conn.push(Cmd::Fatal(e.to_string()));
+                return;
+            }
+            Err(_) => {
+                conn.push(Cmd::Hangup);
+                return;
+            }
+        };
+        if FrameKind::from_u8(frame.kind) != Some(FrameKind::Submit) {
+            conn.push(Cmd::Fatal(format!(
+                "unexpected frame kind {} (only Submit is valid after the handshake)",
+                frame.kind
+            )));
+            return;
+        }
+        let (corr, mode, request) = match proto::decode_submit(&frame.payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                conn.push(Cmd::Fatal(e.to_string()));
+                return;
+            }
+        };
+        match mode {
+            SubmitMode::Block => match state.submitter.submit(request) {
+                Ok(ticket) => track(conn, corr, ticket, false),
+                Err(SubmitError::Closed(_)) | Err(SubmitError::Full(_)) => conn.push(Cmd::Nack {
+                    corr,
+                    reason: NackReason::Closed,
+                }),
+            },
+            SubmitMode::Try => match state.submitter.try_submit(request) {
+                Ok(ticket) => track(conn, corr, ticket, true),
+                Err(SubmitError::Full(_)) => conn.push(Cmd::Nack {
+                    corr,
+                    reason: NackReason::Full,
+                }),
+                Err(SubmitError::Closed(_)) => conn.push(Cmd::Nack {
+                    corr,
+                    reason: NackReason::Closed,
+                }),
+            },
+        }
+    }
+}
+
+fn track(conn: &Conn, corr: u64, ticket: Ticket, ack: bool) {
+    // Watch before handing over: resolution from here on pokes the
+    // writer's notify, including the already-resolved case.
+    ticket.watch(Arc::clone(&conn.notify));
+    conn.push(Cmd::Track { corr, ticket, ack });
+}
+
+/// Streams `Ack`/`Nack`/`Outcome` frames in completion order. Sleeps on
+/// the shared [`TicketNotify`] between bursts — one condvar covers every
+/// in-flight ticket of the connection, so resolutions wake it exactly
+/// when there is something to write.
+fn writer_loop(mut stream: TcpStream, conn: Arc<Conn>) {
+    let mut pending: Vec<(u64, Ticket)> = Vec::new();
+    let mut seen = conn.notify.generation();
+    loop {
+        let mut drained = Vec::new();
+        {
+            let mut commands = conn.commands.lock().unwrap();
+            drained.extend(commands.drain(..));
+        }
+        for cmd in drained {
+            match cmd {
+                Cmd::Track { corr, ticket, ack } => {
+                    if ack
+                        && proto::write_frame(&mut stream, FrameKind::Ack, &proto::encode_ack(corr))
+                            .is_err()
+                    {
+                        sever(&stream);
+                        return;
+                    }
+                    pending.push((corr, ticket));
+                }
+                Cmd::Nack { corr, reason } => {
+                    if proto::write_frame(
+                        &mut stream,
+                        FrameKind::Nack,
+                        &proto::encode_nack(corr, reason),
+                    )
+                    .is_err()
+                    {
+                        sever(&stream);
+                        return;
+                    }
+                }
+                Cmd::Fatal(message) => {
+                    let _ = proto::write_frame(
+                        &mut stream,
+                        FrameKind::Error,
+                        &proto::encode_error(&message),
+                    );
+                    sever(&stream);
+                    return;
+                }
+                Cmd::Hangup => {
+                    sever(&stream);
+                    return;
+                }
+            }
+        }
+        // Stream every resolved ticket, preserving arrival order among
+        // the ready (completion order overall).
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].1.is_ready() {
+                let (corr, mut ticket) = pending.remove(i);
+                let result = ticket
+                    .try_take()
+                    .expect("ready ticket yields a result exactly once");
+                if proto::write_frame(
+                    &mut stream,
+                    FrameKind::Outcome,
+                    &proto::encode_outcome(corr, &result),
+                )
+                .is_err()
+                {
+                    sever(&stream);
+                    return;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        seen = conn.notify.wait(seen, Duration::from_millis(50));
+    }
+}
+
+/// Severs both directions so the companion reader thread unblocks too.
+fn sever(stream: &TcpStream) {
+    let _ = stream.shutdown(Shutdown::Both);
+}

@@ -5,3 +5,5 @@
 //! execution — across crates, including numerical equivalence against the
 //! eager baseline, end-to-end sparse backpropagation behaviour, the scheme
 //! search, and property-based invariants.
+
+pub mod support;

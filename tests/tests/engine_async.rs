@@ -11,101 +11,21 @@
 
 use std::time::{Duration, Instant};
 
-use pockengine::pe_graph::GraphBuilder;
-use pockengine::pe_models::BuiltModel;
-use pockengine::pe_runtime::{ExecutorConfig, Optimizer};
-use pockengine::pe_tensor::{Rng, Tensor};
+use pe_tests::support::{engine, mixed_stream, request};
+use pockengine::pe_runtime::ExecutorConfig;
+use pockengine::pe_tensor::Rng;
 use pockengine::queue;
-use pockengine::{
-    CompileOptions, Compiler, Engine, EngineConfig, Program, QueueConfig, Request, ServingKind,
-    SubmitError,
-};
-
-const DIM: usize = 16;
-const CLASSES: usize = 4;
-
-/// A deterministic two-layer MLP family (the `ModelFactory` contract: same
-/// parameters at every batch size).
-fn mlp(batch: usize) -> BuiltModel {
-    let mut rng = Rng::seed_from_u64(42);
-    let mut b = GraphBuilder::new();
-    let x = b.input("x", [batch, DIM]);
-    let labels = b.input("labels", [batch]);
-    let w1 = b.weight("fc1.weight", [32, DIM], &mut rng);
-    let b1 = b.bias("fc1.bias", 32);
-    let h = b.linear(x, w1, Some(b1));
-    let h = b.relu(h);
-    let w2 = b.weight("fc2.weight", [CLASSES, 32], &mut rng);
-    let b2 = b.bias("fc2.bias", CLASSES);
-    let logits = b.linear(h, w2, Some(b2));
-    let loss = b.cross_entropy(logits, labels);
-    let graph = b.finish(vec![loss, logits]);
-    BuiltModel {
-        graph,
-        loss,
-        logits,
-        feature_input: "x".to_string(),
-        label_input: "labels".to_string(),
-        num_blocks: 2,
-        name: "mlp-async-test".to_string(),
-    }
-}
-
-fn program(optimizer: Optimizer, executor: ExecutorConfig) -> Program {
-    Compiler::new(CompileOptions {
-        optimizer,
-        executor,
-        ..CompileOptions::default()
-    })
-    .compile(mlp)
-}
-
-fn engine(executor: ExecutorConfig, warm: Vec<usize>) -> Engine {
-    Engine::new(
-        program(Optimizer::sgd(0.1), executor),
-        EngineConfig {
-            executor,
-            warm_batches: warm,
-            ..EngineConfig::default()
-        },
-    )
-}
-
-/// A linearly-separable request: class signal at feature `c * 3`.
-fn request(kind: ServingKind, rows: usize, rng: &mut Rng) -> Request {
-    let mut features = Tensor::zeros([rows, DIM]);
-    let mut labels = Tensor::zeros([rows]);
-    for i in 0..rows {
-        let c = rng.next_usize(CLASSES);
-        for j in 0..DIM {
-            features.set(&[i, j], rng.normal() * 0.2);
-        }
-        features.set(&[i, c * 3], 2.0);
-        labels.data_mut()[i] = c as f32;
-    }
-    Request::new(kind, features, labels)
-}
-
-/// Mixed train/eval stream with varying row counts.
-fn mixed_stream(n: usize, seed: u64) -> Vec<Request> {
-    let mut rng = Rng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| {
-            let kind = if i % 3 == 0 {
-                ServingKind::Train
-            } else {
-                ServingKind::Eval
-            };
-            let rows = [2, 4, 8, 3][i % 4];
-            request(kind, rows, &mut rng)
-        })
-        .collect()
-}
+use pockengine::{QueueConfig, ServingKind, SubmitError};
 
 /// The acceptance-criterion test: a queued mixed stream is bit-identical —
 /// per-request losses and final parameters — to `Engine::serve` over the
 /// same slice. Runs under the session's executor fallback so the CI matrix
 /// (default / 4 threads / boxed) exercises every backend.
+///
+/// The queued half is driven **through the generic `Submit` driver** in
+/// `pe_tests::support` — the exact driver the network suite runs against a
+/// TCP `pe_net::Client` — so this test doubles as the in-process baseline
+/// of the transport-independence claim.
 #[test]
 fn queued_stream_matches_sync_slice_baseline_bit_for_bit() {
     let exec = ExecutorConfig::default();
@@ -125,30 +45,14 @@ fn queued_stream_matches_sync_slice_baseline_bit_for_bit() {
         })
         .collect();
 
-    // Queued path: identical engine, single producer submitting in order.
+    // Queued path: identical engine, single producer submitting in order
+    // through the transport-generic driver.
     let async_engine = engine(exec, vec![4, 8]).into_async(QueueConfig {
         capacity: 8,
         default_deadline: Duration::from_millis(1),
         ..QueueConfig::default()
     });
-    let tickets: Vec<_> = stream
-        .iter()
-        .map(|r| async_engine.submit(r.clone()).expect("queue open"))
-        .collect();
-    let queued_losses: Vec<u32> = tickets
-        .into_iter()
-        .enumerate()
-        .map(|(i, t)| {
-            assert_eq!(t.seq(), i, "seq numbers follow submission order");
-            let response = t
-                .wait()
-                .expect("request must be well-formed")
-                .expect_completed("request must be served");
-            assert_eq!(response.id, i);
-            assert_eq!(response.rows, stream[i].rows());
-            response.loss.expect("classification loss").to_bits()
-        })
-        .collect();
+    let queued_losses = pe_tests::support::served_loss_bits(&async_engine, &stream);
     let drained = async_engine.shutdown();
 
     assert_eq!(

@@ -18,139 +18,17 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use pockengine::pe_graph::GraphBuilder;
-use pockengine::pe_models::BuiltModel;
+use pe_tests::support::{deadline_stream, rejected_set, request, routed_engine};
 use pockengine::pe_runtime::{ExecutorConfig, Optimizer};
-use pockengine::pe_tensor::{Rng, Tensor};
+use pockengine::pe_tensor::Rng;
 use pockengine::{
-    AdmissionPolicy, BackendHint, BackendRoute, CompileOptions, Compiler, Engine, EngineConfig,
-    Outcome, Priority, Program, QueueConfig, RejectReason, Request, ServingKind,
+    AdmissionPolicy, BackendHint, BackendRoute, Engine, EngineConfig, Outcome, Priority, Program,
+    QueueConfig, Request, ServingKind,
 };
 
-const DIM: usize = 16;
-const CLASSES: usize = 4;
-
-/// A deterministic two-layer MLP family (the `ModelFactory` contract: same
-/// parameters at every batch size).
-fn mlp(batch: usize) -> BuiltModel {
-    let mut rng = Rng::seed_from_u64(42);
-    let mut b = GraphBuilder::new();
-    let x = b.input("x", [batch, DIM]);
-    let labels = b.input("labels", [batch]);
-    let w1 = b.weight("fc1.weight", [32, DIM], &mut rng);
-    let b1 = b.bias("fc1.bias", 32);
-    let h = b.linear(x, w1, Some(b1));
-    let h = b.relu(h);
-    let w2 = b.weight("fc2.weight", [CLASSES, 32], &mut rng);
-    let b2 = b.bias("fc2.bias", CLASSES);
-    let logits = b.linear(h, w2, Some(b2));
-    let loss = b.cross_entropy(logits, labels);
-    let graph = b.finish(vec![loss, logits]);
-    BuiltModel {
-        graph,
-        loss,
-        logits,
-        feature_input: "x".to_string(),
-        label_input: "labels".to_string(),
-        num_blocks: 2,
-        name: "mlp-routing-test".to_string(),
-    }
-}
-
+/// The shared MLP program under this suite's optimizer (SGD 0.1).
 fn program(executor: ExecutorConfig) -> Program {
-    Compiler::new(CompileOptions {
-        optimizer: Optimizer::sgd(0.1),
-        executor,
-        ..CompileOptions::default()
-    })
-    .compile(mlp)
-}
-
-/// A linearly-separable request: class signal at feature `c * 3`.
-fn request(kind: ServingKind, rows: usize, rng: &mut Rng) -> Request {
-    let mut features = Tensor::zeros([rows, DIM]);
-    let mut labels = Tensor::zeros([rows]);
-    for i in 0..rows {
-        let c = rng.next_usize(CLASSES);
-        for j in 0..DIM {
-            features.set(&[i, j], rng.normal() * 0.2);
-        }
-        features.set(&[i, c * 3], 2.0);
-        labels.data_mut()[i] = c as f32;
-    }
-    Request::new(kind, features, labels)
-}
-
-/// A two-backend engine (arena default + boxed alternate) with seeded
-/// latency estimates for every rung either backend can dispatch, so
-/// `DeadlineFeasible` decisions are deterministic from the first request.
-fn routed_engine(admission: AdmissionPolicy) -> Engine {
-    let default = ExecutorConfig::arena(1);
-    let alternate = ExecutorConfig::boxed();
-    let mut engine = Engine::new(
-        program(default),
-        EngineConfig {
-            executor: default,
-            alternates: vec![alternate],
-            route: BackendRoute::HintOrFit,
-            warm_batches: vec![4, 8],
-            admission,
-            ..EngineConfig::default()
-        },
-    );
-    for batch in 1..=8 {
-        engine.seed_latency_estimate(batch, default, Duration::from_micros(100));
-        engine.seed_latency_estimate(batch, alternate, Duration::from_micros(100));
-    }
-    engine
-}
-
-/// The acceptance-criterion stream: mixed train/eval with deadlines,
-/// priorities and backend hints. Budgets are either absent, far above any
-/// realistic dispatch latency (always feasible), or zero (always
-/// infeasible once an estimate exists), so admission decisions do not
-/// depend on timing noise.
-fn deadline_stream(n: usize, seed: u64) -> Vec<Request> {
-    let mut rng = Rng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| {
-            let kind = if i % 3 == 0 {
-                ServingKind::Train
-            } else {
-                ServingKind::Eval
-            };
-            let rows = [2, 4, 8, 3][i % 4];
-            let mut r = request(kind, rows, &mut rng)
-                .priority([Priority::Low, Priority::Normal, Priority::High][i % 3]);
-            r = match i % 5 {
-                0 => r.backend(BackendHint::Boxed),
-                1 => r.backend(BackendHint::Arena),
-                _ => r,
-            };
-            match i % 7 {
-                // Provably infeasible: estimates are seeded > 0.
-                2 | 5 => r.deadline(Duration::ZERO),
-                // Trivially feasible.
-                3 => r.deadline(Duration::from_secs(3600)),
-                // No deadline: always admitted.
-                _ => r,
-            }
-        })
-        .collect()
-}
-
-/// Indices and budgets of the rejected outcomes (estimates are
-/// timing-dependent EWMA state, so the *set* — position + budget — is the
-/// parity contract, not the estimate values).
-fn rejected_set(outcomes: &[Outcome]) -> Vec<(usize, Duration)> {
-    outcomes
-        .iter()
-        .enumerate()
-        .filter_map(|(i, o)| {
-            o.rejection()
-                .map(|RejectReason::DeadlineInfeasible { budget, .. }| (i, *budget))
-        })
-        .collect()
+    pe_tests::support::program(Optimizer::sgd(0.1), executor)
 }
 
 /// The acceptance criterion: a mixed train/eval stream with deadlines and
@@ -400,30 +278,6 @@ fn client_ids_echo_back_on_responses() {
         .expect_completed("queued eval completes");
     assert_eq!(response.client_id, Some(777));
     drop(async_engine);
-}
-
-/// The deprecated `ServingRequest` keeps compiling for one release and
-/// converts losslessly into the unified type.
-#[test]
-#[allow(deprecated)]
-fn deprecated_serving_request_still_serves() {
-    use pockengine::ServingRequest;
-    let mut engine = routed_engine(AdmissionPolicy::AcceptAll);
-    let mut rng = Rng::seed_from_u64(23);
-    let unified = request(ServingKind::Eval, 2, &mut rng);
-    let legacy = ServingRequest::from(unified.clone());
-    let via_legacy = engine
-        .serve_one(&Request::from(legacy))
-        .unwrap()
-        .expect_completed("eval completes");
-    let direct = engine
-        .serve_one(&unified)
-        .unwrap()
-        .expect_completed("eval completes");
-    assert_eq!(
-        via_legacy.loss.unwrap().to_bits(),
-        direct.loss.unwrap().to_bits()
-    );
 }
 
 proptest! {

@@ -1,0 +1,538 @@
+//! Integration suite for the network front door (`pe_net`): the wire
+//! protocol must be a *transparent* transport over the async engine.
+//!
+//! The load-bearing claims:
+//!
+//! * **Transport independence** — the generic `Submit` driver in
+//!   `pe_tests::support` produces bit-identical losses, parameters and
+//!   rejected sets whether it runs against the in-process `AsyncEngine` or
+//!   a TCP `pe_net::Client`, including four concurrent clients with mixed
+//!   priorities, deadlines and backend hints.
+//! * **Fault containment** — malformed frames, oversized frames, version
+//!   mismatches and abrupt disconnects kill only the offending connection;
+//!   the server keeps serving and every outstanding ticket resolves
+//!   (`Cancelled`), never hangs.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use pe_net::proto::{self, FrameKind, NackReason, SubmitMode};
+use pe_net::{Client, Server, ServerConfig};
+use pe_tests::support::{
+    self, engine, mixed_stream, rejected_set, request, routed_engine, served_loss_bits,
+};
+use pockengine::pe_runtime::ExecutorConfig;
+use pockengine::pe_tensor::Rng;
+use pockengine::{
+    AdmissionPolicy, BackendHint, Outcome, Priority, QueueConfig, Request, ServingKind, Submit,
+    SubmitError,
+};
+
+/// A queue sized for the suite's bursts, with a short default deadline so
+/// groups flush promptly.
+fn queue_config(capacity: usize) -> QueueConfig {
+    QueueConfig {
+        capacity,
+        default_deadline: Duration::from_millis(1),
+        ..QueueConfig::default()
+    }
+}
+
+fn serve(engine: pockengine::Engine, capacity: usize) -> Server {
+    Server::spawn(
+        engine.into_async(queue_config(capacity)),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server")
+}
+
+/// The tentpole acceptance: a single client's mixed train/eval stream over
+/// TCP yields bit-identical losses and final parameters to the same stream
+/// through the in-process queue — same engine construction, same generic
+/// driver, only the transport differs.
+#[test]
+fn networked_stream_matches_the_in_process_engine_bit_for_bit() {
+    let exec = ExecutorConfig::default();
+    let stream = mixed_stream(24, 7);
+
+    let in_process = engine(exec, vec![4, 8]).into_async(queue_config(32));
+    let baseline_losses = served_loss_bits(&in_process, &stream);
+    let baseline = in_process.shutdown();
+
+    let server = serve(engine(exec, vec![4, 8]), 32);
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let net_losses = served_loss_bits(&client, &stream);
+    drop(client);
+    let drained = server.shutdown();
+
+    assert_eq!(
+        net_losses, baseline_losses,
+        "per-request losses must survive the wire bit-for-bit"
+    );
+    support::assert_params_identical(&drained, &baseline);
+    assert_eq!(drained.metrics().requests, stream.len() as u64);
+}
+
+/// One client's eval-only stream with mixed priorities, deadlines and
+/// backend hints; `salt` decorrelates the per-client contents.
+fn eval_stream(n: usize, salt: u64) -> Vec<Request> {
+    let mut rng = Rng::seed_from_u64(500 + salt);
+    (0..n)
+        .map(|i| {
+            let rows = [2, 4, 8, 3][i % 4];
+            let mut r = request(ServingKind::Eval, rows, &mut rng)
+                .priority([Priority::Low, Priority::Normal, Priority::High][i % 3])
+                .id(salt * 1000 + i as u64);
+            r = match (i + salt as usize) % 5 {
+                0 => r.backend(BackendHint::Boxed),
+                1 => r.backend(BackendHint::Arena),
+                _ => r,
+            };
+            match i % 4 {
+                // Provably infeasible: estimates are seeded > 0.
+                1 => r.deadline(Duration::ZERO),
+                // Decisively feasible (~20000× the seeded estimate) but
+                // bounded: the redeemer waits these groups out live, so a
+                // 3600 s budget would park the last partial group — and
+                // the test — until shutdown.
+                3 => r.deadline(Duration::from_secs(2)),
+                _ => r,
+            }
+        })
+        .collect()
+}
+
+/// Per-client fingerprint: the rejected set (index + budget) and the loss
+/// bits of the completed requests, in submission order.
+fn fingerprint<S: Submit>(transport: &S, stream: &[Request]) -> (Vec<(usize, Duration)>, Vec<u32>) {
+    let outcomes = support::serve_outcomes(transport, stream);
+    let rejected = rejected_set(&outcomes);
+    let losses = outcomes
+        .iter()
+        .filter_map(|o| o.as_response())
+        .map(|r| r.loss.expect("classification loss").to_bits())
+        .collect();
+    (rejected, losses)
+}
+
+/// The multi-client acceptance (issue criterion): four concurrent TCP
+/// clients with mixed priorities, deadlines and backend hints produce the
+/// same losses, the same rejected sets and the same final parameters as
+/// the identical four-producer run against the in-process engine.
+///
+/// Phased for determinism: training happens in a solo phase (concurrent
+/// trains interleave nondeterministically — true on the in-process queue
+/// too), then four concurrent eval-only clients hammer the frozen
+/// parameters. Evaluations are row-independent and read-only, so their
+/// losses depend only on each request's bytes, never on batching order;
+/// rejections are deterministic because estimates are seeded and budgets
+/// are zero-or-huge.
+#[test]
+fn four_concurrent_tcp_clients_match_the_in_process_run() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 16;
+    let train_phase: Vec<Request> = mixed_stream(12, 11);
+    let eval_phases: Vec<Vec<Request>> = (0..CLIENTS)
+        .map(|c| eval_stream(PER_CLIENT, c as u64))
+        .collect();
+
+    // ---- In-process baseline: same phases, Submitter transports. ----
+    let in_process = routed_engine(AdmissionPolicy::DeadlineFeasible).into_async(queue_config(128));
+    let base_train_losses = served_loss_bits(&in_process, &train_phase);
+    let base_prints: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = eval_phases
+            .iter()
+            .map(|stream| {
+                let submitter = in_process.submitter();
+                s.spawn(move || fingerprint(&submitter, stream))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let baseline = in_process.shutdown();
+
+    // ---- Networked run: identical engine behind the TCP front door. ----
+    let server = serve(routed_engine(AdmissionPolicy::DeadlineFeasible), 128);
+    let addr = server.local_addr();
+    let first = Client::connect(addr).expect("connect");
+    let net_train_losses = served_loss_bits(&first, &train_phase);
+    drop(first);
+    let net_prints: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = eval_phases
+            .iter()
+            .map(|stream| {
+                s.spawn(move || {
+                    let client = Client::connect(addr).expect("connect");
+                    fingerprint(&client, stream)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let drained = server.shutdown();
+
+    assert_eq!(net_train_losses, base_train_losses, "train-phase losses");
+    for (c, (net, base)) in net_prints.iter().zip(&base_prints).enumerate() {
+        assert!(
+            !net.0.is_empty(),
+            "client {c} must actually exercise admission control"
+        );
+        assert_eq!(net.0, base.0, "client {c}: rejected sets diverged");
+        assert_eq!(net.1, base.1, "client {c}: eval losses diverged");
+    }
+    support::assert_params_identical(&drained, &baseline);
+}
+
+/// `try_submit` round-trips over TCP: an accepted submission is explicitly
+/// acknowledged and then resolves with the served response.
+#[test]
+fn try_submit_over_tcp_serves_like_submit() {
+    let server = serve(engine(ExecutorConfig::default(), vec![4]), 64);
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let mut rng = Rng::seed_from_u64(3);
+    let handle = client
+        .try_submit(request(ServingKind::Eval, 4, &mut rng))
+        .expect("queue has room");
+    let response = handle
+        .wait()
+        .expect("well-formed")
+        .expect_completed("eval completes");
+    assert_eq!(response.rows, 4);
+    drop(client);
+    server.shutdown();
+}
+
+/// Satellite regression (issue): a client that disconnects after receiving
+/// half its stream leaves nothing hung — the unredeemed tickets resolve as
+/// `Cancelled` on the client side, the server sheds the connection, and
+/// the engine keeps serving new connections.
+#[test]
+fn disconnect_mid_burst_cancels_outstanding_tickets_and_server_keeps_serving() {
+    // Generous default deadline: the second half of the burst sits in the
+    // batcher, guaranteeing genuinely outstanding tickets at disconnect.
+    let server = Server::spawn(
+        engine(ExecutorConfig::default(), vec![8]).into_async(QueueConfig {
+            capacity: 64,
+            default_deadline: Duration::from_secs(30),
+            ..QueueConfig::default()
+        }),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let mut rng = Rng::seed_from_u64(4);
+
+    // First half: expired deadlines dispatch solo and immediately.
+    for i in 0..4 {
+        let handle = client
+            .submit_with_deadline(request(ServingKind::Eval, 2, &mut rng), Duration::ZERO)
+            .expect("queue open");
+        let outcome = handle.wait().expect("well-formed");
+        assert!(outcome.is_completed(), "request {i}: {outcome:?}");
+    }
+    // Second half: parked in the batcher behind 30-second deadlines
+    // (3 × 2 rows stays below the 8-row rung, so nothing dispatches).
+    let outstanding: Vec<_> = (0..3)
+        .map(|_| {
+            client
+                .submit(request(ServingKind::Eval, 2, &mut rng))
+                .expect("queue open")
+        })
+        .collect();
+    assert!(outstanding.iter().all(|t| !t.is_ready()));
+
+    // Abrupt disconnect: drop the only clone mid-burst.
+    drop(client);
+    for (i, ticket) in outstanding.into_iter().enumerate() {
+        match ticket.wait() {
+            Ok(Outcome::Cancelled) => {}
+            other => panic!("ticket {i} must cancel on disconnect, got {other:?}"),
+        }
+    }
+
+    // The server is still fully serving: a fresh connection completes.
+    let next = Client::connect(server.local_addr()).expect("reconnect");
+    let outcome = next
+        .submit_with_deadline(request(ServingKind::Eval, 2, &mut rng), Duration::ZERO)
+        .expect("queue open")
+        .wait()
+        .expect("well-formed");
+    assert!(outcome.is_completed(), "{outcome:?}");
+    drop(next);
+    server.shutdown();
+}
+
+/// Server shutdown mid-flight severs connections: the client's outstanding
+/// tickets cancel, and later submissions report `Closed`.
+#[test]
+fn server_shutdown_cancels_client_tickets_and_closes_the_transport() {
+    let server = Server::spawn(
+        engine(ExecutorConfig::default(), vec![8]).into_async(QueueConfig {
+            capacity: 64,
+            default_deadline: Duration::from_secs(30),
+            ..QueueConfig::default()
+        }),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let mut rng = Rng::seed_from_u64(5);
+    // 3 × 2 rows stays below the 8-row rung, so the batcher holds them.
+    let held: Vec<_> = (0..3)
+        .map(|_| {
+            client
+                .submit(request(ServingKind::Eval, 2, &mut rng))
+                .expect("queue open")
+        })
+        .collect();
+    server.shutdown();
+    for (i, ticket) in held.into_iter().enumerate() {
+        match ticket.wait() {
+            Ok(Outcome::Cancelled) => {}
+            other => panic!("ticket {i} must cancel on server shutdown, got {other:?}"),
+        }
+    }
+    match client.submit(request(ServingKind::Eval, 2, &mut rng)) {
+        Err(SubmitError::Closed(r)) => assert_eq!(r.rows(), 2),
+        other => panic!("expected Closed after shutdown, got {other:?}"),
+    }
+}
+
+/// Performs the raw handshake on a bare socket (for protocol-violation
+/// tests that a well-behaved `Client` cannot produce).
+fn raw_handshake(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    proto::write_frame(&mut stream, FrameKind::Hello, &proto::encode_hello()).unwrap();
+    let ack = proto::read_frame(&mut stream, 1 << 20).expect("handshake ack");
+    assert_eq!(FrameKind::from_u8(ack.kind), Some(FrameKind::HelloAck));
+    stream
+}
+
+/// Reads frames until the connection closes, returning the last `Error`
+/// frame's message (if any).
+fn drain_to_error(stream: &mut TcpStream) -> Option<String> {
+    let mut last = None;
+    while let Ok(frame) = proto::read_frame(stream, 1 << 20) {
+        if FrameKind::from_u8(frame.kind) == Some(FrameKind::Error) {
+            last = proto::decode_error(&frame.payload).ok();
+        }
+    }
+    last
+}
+
+/// Asserts the server still serves a full round trip.
+fn assert_still_serving(addr: std::net::SocketAddr, seed: u64) {
+    let client = Client::connect(addr).expect("server must still accept");
+    let mut rng = Rng::seed_from_u64(seed);
+    let outcome = client
+        .submit_with_deadline(request(ServingKind::Eval, 2, &mut rng), Duration::ZERO)
+        .expect("queue open")
+        .wait()
+        .expect("well-formed");
+    assert!(outcome.is_completed(), "{outcome:?}");
+}
+
+/// A malformed payload (undecodable Submit) draws an `Error` frame and a
+/// close for that connection only; the server keeps serving.
+#[test]
+fn malformed_frames_kill_only_the_offending_connection() {
+    let server = serve(engine(ExecutorConfig::default(), vec![8]), 64);
+    let addr = server.local_addr();
+
+    // Garbage Submit payload.
+    let mut bad = raw_handshake(addr);
+    proto::write_frame(&mut bad, FrameKind::Submit, &[0xde, 0xad, 0xbe, 0xef]).unwrap();
+    let message = drain_to_error(&mut bad).expect("an Error frame must come back");
+    assert!(message.contains("protocol error"), "{message}");
+    assert_still_serving(addr, 21);
+
+    // A frame kind clients may not send after the handshake.
+    let mut wrong = raw_handshake(addr);
+    proto::write_frame(&mut wrong, FrameKind::HelloAck, &proto::encode_hello_ack()).unwrap();
+    let message = drain_to_error(&mut wrong).expect("an Error frame must come back");
+    assert!(message.contains("unexpected frame kind"), "{message}");
+    assert_still_serving(addr, 22);
+
+    server.shutdown();
+}
+
+/// An oversized length prefix is refused before any allocation, with an
+/// `Error` frame naming the limit; the server keeps serving.
+#[test]
+fn oversized_frames_are_refused_without_wedging_the_server() {
+    let server = Server::spawn(
+        engine(ExecutorConfig::default(), vec![8]).into_async(queue_config(64)),
+        ServerConfig {
+            max_frame: 4096,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let mut hostile = raw_handshake(addr);
+    hostile.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let message = drain_to_error(&mut hostile).expect("an Error frame must come back");
+    assert!(message.contains("exceeds"), "{message}");
+
+    // A legitimately-encoded request over the limit is torn down the same
+    // way — and the still-open sibling connection keeps working.
+    let survivor = Client::connect(addr).expect("connect");
+    let mut rng = Rng::seed_from_u64(23);
+    let mut too_big = raw_handshake(addr);
+    let huge = request(ServingKind::Eval, 64, &mut rng); // 64×16 f32s > 4096 B
+    proto::write_frame(
+        &mut too_big,
+        FrameKind::Submit,
+        &proto::encode_submit(1, SubmitMode::Block, &huge),
+    )
+    .unwrap();
+    assert!(drain_to_error(&mut too_big).is_some());
+    let outcome = survivor
+        .submit_with_deadline(request(ServingKind::Eval, 2, &mut rng), Duration::ZERO)
+        .expect("queue open")
+        .wait()
+        .expect("well-formed");
+    assert!(outcome.is_completed(), "{outcome:?}");
+    drop(survivor);
+    server.shutdown();
+}
+
+/// A version-mismatched or magic-less peer is refused during the
+/// handshake with a descriptive `Error` frame.
+#[test]
+fn handshake_rejects_version_and_magic_mismatches() {
+    let server = serve(engine(ExecutorConfig::default(), vec![8]), 64);
+    let addr = server.local_addr();
+
+    // Wrong version.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut hello = proto::encode_hello();
+    hello[4] = 0xFF; // version low byte
+    proto::write_frame(&mut stream, FrameKind::Hello, &hello).unwrap();
+    let message = drain_to_error(&mut stream).expect("an Error frame must come back");
+    assert!(message.contains("version mismatch"), "{message}");
+
+    // Wrong magic.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut hello = proto::encode_hello();
+    hello[0] = b'X';
+    proto::write_frame(&mut stream, FrameKind::Hello, &hello).unwrap();
+    let message = drain_to_error(&mut stream).expect("an Error frame must come back");
+    assert!(message.contains("magic"), "{message}");
+
+    assert_still_serving(addr, 24);
+    server.shutdown();
+}
+
+/// The connection cap refuses excess peers with an `Error` frame and frees
+/// the slot when a connection ends.
+#[test]
+fn connection_limit_refuses_and_recovers() {
+    let server = Server::spawn(
+        engine(ExecutorConfig::default(), vec![8]).into_async(queue_config(64)),
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let holder = Client::connect(addr).expect("first connection fits");
+    let refused = Client::connect(addr);
+    match refused {
+        Err(e) => assert!(
+            e.to_string().contains("connection limit"),
+            "unexpected refusal: {e}"
+        ),
+        Ok(_) => panic!("second connection must be refused at limit 1"),
+    }
+
+    drop(holder);
+    // The slot frees asynchronously (the server must notice the EOF).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => {
+                drop(client);
+                break;
+            }
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("slot never freed after disconnect: {e}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// Client-side `try_submit` semantics against a spoofed raw-protocol
+/// server (the only way to force a deterministic `Nack`): `Full` hands the
+/// request back, an `Ack` yields a live handle, and a connection that dies
+/// afterwards cancels that handle.
+#[test]
+fn try_submit_full_hands_the_request_back_over_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let spoof = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let hello = proto::read_frame(&mut stream, 1 << 20).unwrap();
+        assert_eq!(FrameKind::from_u8(hello.kind), Some(FrameKind::Hello));
+        proto::decode_hello(&hello.payload).unwrap();
+        proto::write_frame(&mut stream, FrameKind::HelloAck, &proto::encode_hello_ack()).unwrap();
+        // First submission: refuse as Full.
+        let frame = proto::read_frame(&mut stream, 1 << 20).unwrap();
+        let (corr, mode, refused) = proto::decode_submit(&frame.payload).unwrap();
+        assert_eq!(mode, SubmitMode::Try);
+        proto::write_frame(
+            &mut stream,
+            FrameKind::Nack,
+            &proto::encode_nack(corr, NackReason::Full),
+        )
+        .unwrap();
+        // Second submission: accept, then die before the outcome.
+        let frame = proto::read_frame(&mut stream, 1 << 20).unwrap();
+        let (corr, _, _) = proto::decode_submit(&frame.payload).unwrap();
+        proto::write_frame(&mut stream, FrameKind::Ack, &proto::encode_ack(corr)).unwrap();
+        refused
+    });
+
+    let client = Client::connect(addr).expect("connect to spoof");
+    let mut rng = Rng::seed_from_u64(31);
+    let original = request(ServingKind::Eval, 3, &mut rng).id(42);
+    match client.try_submit(original.clone()) {
+        Err(SubmitError::Full(handed_back)) => {
+            assert_eq!(handed_back.rows(), 3);
+            assert_eq!(handed_back.meta.id, Some(42));
+            assert_eq!(
+                handed_back.features.data(),
+                original.features.data(),
+                "the refused request must come back intact"
+            );
+        }
+        other => panic!("expected Full, got {other:?}"),
+    }
+    let accepted = client
+        .try_submit(request(ServingKind::Eval, 2, &mut rng))
+        .expect("spoof acks the second submission");
+    // The spoof server hangs up after the Ack; the accepted-but-never-
+    // served handle must cancel, not hang.
+    let refused = spoof.join().unwrap();
+    assert_eq!(refused.rows(), 3, "spoof saw the request we sent");
+    match accepted.wait() {
+        Ok(Outcome::Cancelled) => {}
+        other => panic!("expected Cancelled after server death, got {other:?}"),
+    }
+    assert!(client.is_closed());
+}
