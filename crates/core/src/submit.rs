@@ -56,12 +56,14 @@ pub trait SubmitHandle: Send {
 ///
 /// * [`Submit::submit`] applies **backpressure**: it may block while the
 ///   transport is saturated, and fails only when the serving path is gone
-///   ([`SubmitError::Closed`]).
+///   ([`SubmitError::Closed`]) — the request is handed back, so a
+///   never-admitted request is always distinguishable from an in-flight
+///   one cancelled by teardown.
 /// * [`Submit::try_submit`] **never blocks indefinitely on capacity**: a
 ///   saturated transport is an explicit [`SubmitError::Full`] with the
 ///   request handed back, so shedding load is the caller's decision. (A
-///   networked implementation still performs one round trip to learn the
-///   verdict.)
+///   networked implementation performs one round trip to learn the
+///   admission verdict, in this and the blocking mode both.)
 /// * [`Submit::submit_with_deadline`] stamps the deadline budget into the
 ///   request's metadata before submitting, so admission control and the
 ///   batcher agree on it — identical to

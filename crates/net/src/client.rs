@@ -11,8 +11,8 @@
 //! **Disconnect guarantee:** when the connection dies for any reason —
 //! server shutdown, an `Error` frame, an abrupt TCP reset — every
 //! outstanding [`NetTicket`] resolves as [`Outcome::Cancelled`] and every
-//! in-flight `try_submit` decision resolves as [`SubmitError::Closed`].
-//! Nothing hangs.
+//! in-flight admission decision (either mode) resolves as
+//! [`SubmitError::Closed`] with the request handed back. Nothing hangs.
 
 use std::collections::HashMap;
 use std::io;
@@ -323,9 +323,12 @@ impl Client {
     }
 
     /// The submission path shared by both modes: register the ticket cell
-    /// *before* the frame hits the wire (the outcome can race back), write
-    /// the `Submit` frame, and unwind cleanly on a dead connection — the
-    /// caller keeps the request on every failure.
+    /// and the admission decision *before* the frame hits the wire (the
+    /// verdict can race back), write the `Submit` frame, then wait for the
+    /// server's `Ack`/`Nack`. A refused submission never hands out a
+    /// handle — the caller keeps the request on every failure, so a
+    /// never-admitted request surfaces as `SubmitError`, distinct from a
+    /// torn-down in-flight one (`Outcome::Cancelled`).
     fn send(&self, request: Request, mode: SubmitMode) -> Result<(u64, NetTicket), SubmitError> {
         let shared = &self.shared;
         if shared.closed.load(Ordering::SeqCst) {
@@ -338,15 +341,12 @@ impl Client {
             .lock()
             .unwrap()
             .insert(corr, Arc::clone(&cell));
-        let decision = matches!(mode, SubmitMode::Try).then(|| {
-            let decision = Decision::new();
-            shared
-                .decisions
-                .lock()
-                .unwrap()
-                .insert(corr, Arc::clone(&decision));
-            decision
-        });
+        let decision = Decision::new();
+        shared
+            .decisions
+            .lock()
+            .unwrap()
+            .insert(corr, Arc::clone(&decision));
         // Re-check after registering: the reader may have torn down and
         // drained the maps between our first check and the inserts.
         if shared.closed.load(Ordering::SeqCst) {
@@ -365,20 +365,19 @@ impl Client {
             shared.tear_down(Some("write failed: connection lost".into()));
             return Err(SubmitError::Closed(Box::new(request)));
         }
-        if let Some(decision) = decision {
-            match decision.wait() {
-                Ok(()) => {}
-                Err(NackReason::Full) => {
-                    shared.pending.lock().unwrap().remove(&corr);
-                    return Err(SubmitError::Full(Box::new(request)));
-                }
-                Err(NackReason::Closed) => {
-                    shared.pending.lock().unwrap().remove(&corr);
-                    return Err(SubmitError::Closed(Box::new(request)));
-                }
+        // Block-mode backpressure propagates through this wait: the server
+        // only acks once the queue admits the request.
+        match decision.wait() {
+            Ok(()) => Ok((corr, NetTicket { cell })),
+            Err(NackReason::Full) => {
+                shared.pending.lock().unwrap().remove(&corr);
+                Err(SubmitError::Full(Box::new(request)))
+            }
+            Err(NackReason::Closed) => {
+                shared.pending.lock().unwrap().remove(&corr);
+                Err(SubmitError::Closed(Box::new(request)))
             }
         }
-        Ok((corr, NetTicket { cell }))
     }
 }
 
@@ -429,10 +428,10 @@ fn reader_loop(shared: Arc<ClientShared>, mut stream: TcpStream) {
                     match decision {
                         Some(decision) => decision.decide(Err(reason)),
                         None => {
-                            // Block-mode submissions have no decision: the
-                            // handle is already out, so a refusal (the
-                            // engine shut down under it) resolves it as
-                            // Cancelled — the teardown vocabulary.
+                            // Both modes register a decision, so this is a
+                            // misbehaving server (duplicate or uncorrelated
+                            // Nack). If a handle is somehow out, cancel it
+                            // rather than leave it hanging.
                             let cell = shared.pending.lock().unwrap().remove(&corr);
                             if let Some(cell) = cell {
                                 cell.fulfill(Ok(Outcome::Cancelled));

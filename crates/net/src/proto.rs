@@ -19,7 +19,7 @@
 //! | 2    | `HelloAck` | server → client | version `u16` |
 //! | 3    | `Submit`   | client → server | corr `u64` + mode `u8` (0 block / 1 try) + request |
 //! | 4    | `Outcome`  | server → client | corr `u64` + result |
-//! | 5    | `Ack`      | server → client | corr `u64` (try-mode submission accepted) |
+//! | 5    | `Ack`      | server → client | corr `u64` (submission admitted to the queue) |
 //! | 6    | `Nack`     | server → client | corr `u64` + reason `u8` (0 full / 1 closed) |
 //! | 7    | `Error`    | either    | message string; the sender closes the connection after |
 //!
@@ -59,7 +59,7 @@ pub enum FrameKind {
     Submit = 3,
     /// One resolved result, correlated by id.
     Outcome = 4,
-    /// A try-mode submission was accepted into the queue.
+    /// A submission was admitted into the queue.
     Ack = 5,
     /// A submission was refused (queue full or closed).
     Nack = 6,
@@ -86,8 +86,9 @@ impl FrameKind {
 /// Submission mode carried by a `Submit` frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitMode {
-    /// Backpressure mode: the server's blocking submit; no acceptance
-    /// acknowledgement (the outcome frame is the only reply).
+    /// Backpressure mode: the server's blocking submit. The `Ack` is
+    /// delayed until the queue admits the request, so a saturated queue
+    /// stalls the submitting client, not just the socket.
     Block,
     /// Shedding mode: the server answers `Ack` (accepted) or `Nack`
     /// (full/closed) immediately after consulting the queue.
@@ -250,8 +251,13 @@ impl<'a> Bytes<'a> {
             dims.push(d);
         }
         // The volume must fit the remaining payload — checked before the
-        // allocation so a hostile header cannot balloon memory.
-        if self.data.len() - self.at < numel * 4 {
+        // allocation so a hostile header cannot balloon memory. The byte
+        // count is overflow-checked too: dims like [2^31, 2^31] pass the
+        // per-dim product but wrap `numel * 4` to 0 in release.
+        let bytes = numel
+            .checked_mul(4)
+            .ok_or_else(|| err("tensor volume overflows"))?;
+        if self.data.len() - self.at < bytes {
             return Err(err(format!(
                 "tensor claims {numel} elements but only {} payload bytes remain",
                 self.data.len() - self.at
@@ -687,7 +693,7 @@ pub fn decode_outcome(payload: &[u8]) -> Result<(u64, Result<Outcome, ExecError>
 // Ack / Nack / Error
 // ---------------------------------------------------------------------------
 
-/// Encodes an `Ack` payload (try-mode submission accepted).
+/// Encodes an `Ack` payload (submission admitted to the queue).
 pub fn encode_ack(corr: u64) -> Vec<u8> {
     corr.to_le_bytes().to_vec()
 }
@@ -917,6 +923,19 @@ mod tests {
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         let e = decode_submit(&payload).unwrap_err();
         assert!(e.0.contains("elements"), "{e}");
+        // Hostile tensor volume, overflow flavor: each dim fits usize but
+        // numel * 4 wraps past u64 — must error, not panic or pass.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u64.to_le_bytes()); // corr
+        payload.push(0); // mode: block
+        payload.push(KIND_EVAL);
+        payload.push(0); // flags
+        payload.push(1); // priority: normal
+        payload.push(2); // features rank 2
+        payload.extend_from_slice(&(1u32 << 31).to_le_bytes());
+        payload.extend_from_slice(&(1u32 << 31).to_le_bytes());
+        let e = decode_submit(&payload).unwrap_err();
+        assert!(e.0.contains("overflows"), "{e}");
         // Trailing garbage after a valid request.
         let request = Request::eval(Tensor::zeros([1, 2]), Tensor::zeros([1]));
         let mut payload = encode_submit(1, SubmitMode::Block, &request);

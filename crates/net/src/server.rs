@@ -87,13 +87,9 @@ impl ServerConfig {
 
 /// What the per-connection reader hands the writer.
 enum Cmd {
-    /// A submission was accepted into the queue; stream its outcome when
-    /// ready. `ack` marks try-mode submissions, which get an `Ack` frame.
-    Track {
-        corr: u64,
-        ticket: Ticket,
-        ack: bool,
-    },
+    /// A submission was admitted into the queue: send the `Ack` frame,
+    /// then stream the outcome when ready.
+    Track { corr: u64, ticket: Ticket },
     /// A submission was refused; tell the client.
     Nack { corr: u64, reason: NackReason },
     /// The reader hit a protocol violation: send one `Error` frame, then
@@ -223,11 +219,26 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     loop {
         let (stream, _) = match listener.accept() {
             Ok(accepted) => accepted,
-            Err(_) => continue,
+            Err(_) => {
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent accept failure (EMFILE, say) must back off,
+                // not spin hot on this core.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
         };
         if state.shutting_down.load(Ordering::SeqCst) {
             return;
         }
+        // Reap finished connection threads so churn over a long-lived
+        // server doesn't grow the handle list without bound.
+        state
+            .conn_threads
+            .lock()
+            .unwrap()
+            .retain(|handle| !handle.is_finished());
         let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
         {
             let mut conns = state.conns.lock().unwrap();
@@ -236,19 +247,46 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
                 refuse(stream, "connection limit reached");
                 continue;
             }
-            if let Ok(clone) = stream.try_clone() {
-                conns.insert(conn_id, clone);
-            }
+            // A connection that cannot be registered would be invisible to
+            // shutdown() and uncounted by the limit — refuse it instead.
+            match stream.try_clone() {
+                Ok(clone) => conns.insert(conn_id, clone),
+                Err(_) => {
+                    drop(conns);
+                    refuse(stream, "connection setup failed");
+                    continue;
+                }
+            };
         }
         let conn_state = Arc::clone(&state);
         let handle = std::thread::Builder::new()
             .name(format!("pe-net-conn-{conn_id}"))
             .spawn(move || {
-                serve_connection(stream, conn_id, Arc::clone(&conn_state));
-                conn_state.conns.lock().unwrap().remove(&conn_id);
+                let _slot = SlotGuard {
+                    state: conn_state.clone(),
+                    conn_id,
+                };
+                serve_connection(stream, conn_id, conn_state);
             })
             .expect("spawn connection thread");
         state.conn_threads.lock().unwrap().push(handle);
+    }
+}
+
+/// Frees a connection's `conns` slot when its thread ends — by drop, so a
+/// panic anywhere in `serve_connection` cannot leak the slot (a leaked
+/// slot counts toward `max_connections` forever).
+struct SlotGuard {
+    state: Arc<ServerState>,
+    conn_id: u64,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        // Ignore a poisoned lock rather than double-panic while unwinding.
+        if let Ok(mut conns) = self.state.conns.lock() {
+            conns.remove(&self.conn_id);
+        }
     }
 }
 
@@ -311,8 +349,10 @@ fn handshake(stream: &mut TcpStream, state: &ServerState) -> Result<(), String> 
 }
 
 /// Decodes `Submit` frames and feeds the queue until the connection dies.
-/// Block-mode submissions use the queue's blocking submit — a full queue
-/// stalls this reader and TCP backpressure propagates to the client.
+/// Every admitted submission is `Ack`ed (the client's `submit` returns on
+/// it); block-mode submissions use the queue's blocking submit, so a full
+/// queue stalls this reader, delays the `Ack`, and backpressure propagates
+/// to the submitting client.
 fn read_loop(stream: &mut TcpStream, state: &ServerState, conn: &Conn) {
     loop {
         let frame = match proto::read_frame(stream, state.config.max_frame) {
@@ -346,14 +386,14 @@ fn read_loop(stream: &mut TcpStream, state: &ServerState, conn: &Conn) {
         };
         match mode {
             SubmitMode::Block => match state.submitter.submit(request) {
-                Ok(ticket) => track(conn, corr, ticket, false),
+                Ok(ticket) => track(conn, corr, ticket),
                 Err(SubmitError::Closed(_)) | Err(SubmitError::Full(_)) => conn.push(Cmd::Nack {
                     corr,
                     reason: NackReason::Closed,
                 }),
             },
             SubmitMode::Try => match state.submitter.try_submit(request) {
-                Ok(ticket) => track(conn, corr, ticket, true),
+                Ok(ticket) => track(conn, corr, ticket),
                 Err(SubmitError::Full(_)) => conn.push(Cmd::Nack {
                     corr,
                     reason: NackReason::Full,
@@ -367,11 +407,11 @@ fn read_loop(stream: &mut TcpStream, state: &ServerState, conn: &Conn) {
     }
 }
 
-fn track(conn: &Conn, corr: u64, ticket: Ticket, ack: bool) {
+fn track(conn: &Conn, corr: u64, ticket: Ticket) {
     // Watch before handing over: resolution from here on pokes the
     // writer's notify, including the already-resolved case.
     ticket.watch(Arc::clone(&conn.notify));
-    conn.push(Cmd::Track { corr, ticket, ack });
+    conn.push(Cmd::Track { corr, ticket });
 }
 
 /// Streams `Ack`/`Nack`/`Outcome` frames in completion order. Sleeps on
@@ -389,10 +429,9 @@ fn writer_loop(mut stream: TcpStream, conn: Arc<Conn>) {
         }
         for cmd in drained {
             match cmd {
-                Cmd::Track { corr, ticket, ack } => {
-                    if ack
-                        && proto::write_frame(&mut stream, FrameKind::Ack, &proto::encode_ack(corr))
-                            .is_err()
+                Cmd::Track { corr, ticket } => {
+                    if proto::write_frame(&mut stream, FrameKind::Ack, &proto::encode_ack(corr))
+                        .is_err()
                     {
                         sever(&stream);
                         return;

@@ -536,3 +536,46 @@ fn try_submit_full_hands_the_request_back_over_tcp() {
     }
     assert!(client.is_closed());
 }
+
+/// Blocking-mode refusals honor the `Submit` contract too: a server whose
+/// queue has closed answers `Nack` and the client's `submit` returns
+/// `SubmitError::Closed` with the request handed back — never an `Ok`
+/// handle that cancels later, so a never-admitted request stays
+/// distinguishable from a torn-down in-flight one.
+#[test]
+fn blocking_submit_nacked_closed_hands_the_request_back_over_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let spoof = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let hello = proto::read_frame(&mut stream, 1 << 20).unwrap();
+        assert_eq!(FrameKind::from_u8(hello.kind), Some(FrameKind::Hello));
+        proto::decode_hello(&hello.payload).unwrap();
+        proto::write_frame(&mut stream, FrameKind::HelloAck, &proto::encode_hello_ack()).unwrap();
+        let frame = proto::read_frame(&mut stream, 1 << 20).unwrap();
+        let (corr, mode, _) = proto::decode_submit(&frame.payload).unwrap();
+        assert_eq!(mode, SubmitMode::Block);
+        proto::write_frame(
+            &mut stream,
+            FrameKind::Nack,
+            &proto::encode_nack(corr, NackReason::Closed),
+        )
+        .unwrap();
+    });
+
+    let client = Client::connect(addr).expect("connect to spoof");
+    let mut rng = Rng::seed_from_u64(32);
+    let original = request(ServingKind::Eval, 3, &mut rng).id(7);
+    match client.submit(original.clone()) {
+        Err(SubmitError::Closed(handed_back)) => {
+            assert_eq!(handed_back.meta.id, Some(7));
+            assert_eq!(
+                handed_back.features.data(),
+                original.features.data(),
+                "the refused request must come back intact"
+            );
+        }
+        other => panic!("expected Closed, got {other:?}"),
+    }
+    spoof.join().unwrap();
+}
