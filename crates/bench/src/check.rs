@@ -285,6 +285,40 @@ pub fn check_reports(baseline: &Json, fresh: &Json, cfg: CheckConfig) -> CheckOu
                 cfg.multi_worker_tolerance,
             );
         }
+        "fleet_serving" => {
+            // Every fleet metric crosses two TCP hops (client → balancer →
+            // worker) plus the balancer's routing threads, so all gates —
+            // the single-worker headline, every pool-size leg, and the
+            // inverted p99 ceiling — use the wide multi-worker band.
+            check_throughput(
+                &mut outcome,
+                "fleet_serving.requests_per_sec",
+                num(baseline, "requests_per_sec"),
+                num(fresh, "requests_per_sec"),
+                cfg.multi_worker_tolerance,
+            );
+            check_throughput(
+                &mut outcome,
+                "fleet_serving.p99_resolutions_per_sec",
+                num(baseline, "latency_p99_us").map(|us| 1e6 / us.max(1e-9)),
+                num(fresh, "latency_p99_us").map(|us| 1e6 / us.max(1e-9)),
+                cfg.multi_worker_tolerance,
+            );
+            if let Json::Obj(fields) = baseline {
+                for (key, value) in fields {
+                    if !key.starts_with("requests_per_sec_workers_") {
+                        continue;
+                    }
+                    check_throughput(
+                        &mut outcome,
+                        &format!("fleet_serving.{key}"),
+                        value.as_f64().filter(|v| v.is_finite()),
+                        num(fresh, key),
+                        cfg.multi_worker_tolerance,
+                    );
+                }
+            }
+        }
         other => outcome
             .notes
             .push(format!("no gate rules for bench tag '{other}'")),
@@ -500,6 +534,41 @@ mod tests {
         let gone = Json::obj(vec![("bench", Json::Str("net_serving".into()))]);
         let outcome = check_reports(&base, &gone, CheckConfig::default());
         assert_eq!(outcome.violations.len(), 2);
+    }
+
+    fn fleet(rps: f64, p99_us: f64, workers: Vec<(u64, f64)>) -> Json {
+        let mut fields = vec![
+            ("bench".to_string(), Json::Str("fleet_serving".into())),
+            ("requests_per_sec".to_string(), Json::Num(rps)),
+            ("latency_p99_us".to_string(), Json::Num(p99_us)),
+        ];
+        for (n, w_rps) in workers {
+            fields.push((format!("requests_per_sec_workers_{n}"), Json::Num(w_rps)));
+        }
+        Json::Obj(fields)
+    }
+
+    #[test]
+    fn fleet_serving_gates_every_pool_size_on_the_wide_band() {
+        let base = fleet(1000.0, 100.0, vec![(1, 1000.0), (2, 1500.0), (4, 2000.0)]);
+        // 30% off everywhere: inside the 40% band.
+        let noisy = fleet(700.0, 140.0, vec![(1, 700.0), (2, 1050.0), (4, 1400.0)]);
+        assert!(check_reports(&base, &noisy, CheckConfig::default()).ok());
+        // One pool leg collapses beyond the band.
+        let bad = fleet(1000.0, 100.0, vec![(1, 1000.0), (2, 1500.0), (4, 900.0)]);
+        let outcome = check_reports(&base, &bad, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("requests_per_sec_workers_4"));
+        // A p99 blow-up fails the inverted ceiling.
+        let slow_tail = fleet(1000.0, 180.0, vec![(1, 1000.0), (2, 1500.0), (4, 2000.0)]);
+        let outcome = check_reports(&base, &slow_tail, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("p99_resolutions_per_sec"));
+        // A gated pool leg may not disappear from the fresh report.
+        let gone = fleet(1000.0, 100.0, vec![(1, 1000.0), (2, 1500.0)]);
+        let outcome = check_reports(&base, &gone, CheckConfig::default());
+        assert!(!outcome.ok());
+        assert!(outcome.violations[0].contains("missing from the fresh report"));
     }
 
     #[test]

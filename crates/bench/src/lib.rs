@@ -20,9 +20,11 @@
 //! Beyond the paper artefacts, the perf trajectory of this repository is
 //! tracked by machine-readable reports: `bench_training_step` writes
 //! `BENCH_training_step.json` ([`stepbench`]), `bench_serving` writes
-//! `BENCH_engine_serving.json` ([`serving`]) and `bench_net` writes
+//! `BENCH_engine_serving.json` ([`serving`]), `bench_net` writes
 //! `BENCH_net_serving.json` ([`net`], the multi-client TCP loopback run)
-//! using the tiny JSON codec in [`report`]. The `bench_check` binary
+//! and `bench_fleet` writes `BENCH_fleet_serving.json` ([`fleet`], the
+//! balancer + worker-pool run at several pool sizes) using the tiny JSON
+//! codec in [`report`]. The `bench_check` binary
 //! ([`check`]) is the CI gate that compares freshly emitted reports
 //! against the committed baselines and fails the build on a regression.
 
@@ -30,6 +32,7 @@
 
 pub mod accuracy;
 pub mod check;
+pub mod fleet;
 pub mod memory;
 pub mod net;
 pub mod overhead;

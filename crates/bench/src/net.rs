@@ -124,7 +124,7 @@ pub struct NetBenchResult {
 /// The server engine: same model, optimizer and warm ladder as the
 /// in-process serving bench, admission wide open (`AcceptAll`) so the
 /// workload is identical release over release.
-fn net_engine(cfg: &NetBenchConfig) -> Engine {
+pub(crate) fn net_engine(cfg: &NetBenchConfig) -> Engine {
     let program = Compiler::new(CompileOptions {
         optimizer: Optimizer::sgd(0.05),
         executor: cfg.executor,
@@ -142,7 +142,11 @@ fn net_engine(cfg: &NetBenchConfig) -> Engine {
 }
 
 /// One eval-only stream per client, each deterministically seeded.
-fn client_streams(cfg: &NetBenchConfig, requests: usize, salt: u64) -> Vec<Vec<Request>> {
+pub(crate) fn client_streams(
+    cfg: &NetBenchConfig,
+    requests: usize,
+    salt: u64,
+) -> Vec<Vec<Request>> {
     (0..cfg.clients)
         .map(|client| {
             let stream_cfg = RequestStreamConfig {
@@ -164,7 +168,7 @@ fn client_streams(cfg: &NetBenchConfig, requests: usize, salt: u64) -> Vec<Vec<R
 /// connection, then redeems every ticket. Connections are established
 /// outside the timed region; the clock covers first submit through last
 /// resolution across all clients.
-fn closed_loop_pass(addr: SocketAddr, streams: &[Vec<Request>]) -> f64 {
+pub(crate) fn closed_loop_pass(addr: SocketAddr, streams: &[Vec<Request>]) -> f64 {
     let clients: Vec<Client> = streams
         .iter()
         .map(|_| Client::connect(addr).expect("loopback connect"))
@@ -199,7 +203,7 @@ fn closed_loop_pass(addr: SocketAddr, streams: &[Vec<Request>]) -> f64 {
 /// queue drains at pace and outstanding state stays bounded). Latencies
 /// use the resolve instant the client reader stamped into each ticket
 /// (`wait_timed`), measured from the submit call.
-fn open_loop_pass(
+pub(crate) fn open_loop_pass(
     addr: SocketAddr,
     streams: &[Vec<Request>],
     rate_per_client: f64,

@@ -54,7 +54,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pe_data::serving::{Request, ServingKind};
-use pe_runtime::{ExecError, ExecutorConfig};
+use pe_runtime::{ExecError, ExecutorConfig, ParamStore};
 use pe_tensor::kernels::{layout, norm};
 use pe_tensor::Tensor;
 
@@ -767,12 +767,14 @@ pub struct AsyncEngine {
     counters: Arc<BatcherCounters>,
     dispatch: Option<Arc<DispatchShared>>,
     drainer: Option<JoinHandle<Engine>>,
+    store: Arc<ParamStore>,
 }
 
 impl AsyncEngine {
     fn spawn(engine: Engine, config: QueueConfig) -> Self {
         let (submitter, receiver) = queue::channel(config);
         let counters = Arc::new(BatcherCounters::default());
+        let store = Arc::clone(engine.program().store());
         let workers = config.drain_workers.max(1);
         // With one drain worker, the batcher executes groups inline exactly
         // as the historical single-threaded drain did: no pool threads, no
@@ -806,6 +808,7 @@ impl AsyncEngine {
             counters,
             dispatch,
             drainer: Some(drainer),
+            store,
         }
     }
 
@@ -855,6 +858,15 @@ impl AsyncEngine {
     /// Requests accepted but not yet dispatched.
     pub fn queue_len(&self) -> usize {
         self.submitter.len()
+    }
+
+    /// The engine's shared parameter store — the same store every
+    /// specialization trains. Exposed so serving layers can take and apply
+    /// [`ParamStore::snapshot`] checkpoints; callers that mutate it must
+    /// quiesce submissions first (the store's step guard only orders
+    /// individual steps, not a checkpoint against a stream of them).
+    pub fn param_store(&self) -> Arc<ParamStore> {
+        Arc::clone(&self.store)
     }
 
     /// Live batcher accounting (groups formed, deadline/target/barrier

@@ -9,8 +9,13 @@
 //! sizes the drain pool. `PE_SERVER_ADMISSION=deadline` switches admission
 //! control to `DeadlineFeasible` (with seeded estimates, so rejection
 //! decisions are deterministic — the loopback suites depend on that).
+//!
+//! SIGINT / SIGTERM trigger a graceful stop: the listener closes, every
+//! in-flight request drains through `Server::shutdown`, and the process
+//! exits 0 — so a fleet supervisor (or CI) can stop workers cleanly.
 
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use pockengine::pe_graph::GraphBuilder;
 use pockengine::pe_models::BuiltModel;
@@ -47,7 +52,34 @@ fn mlp_factory(batch: usize) -> BuiltModel {
     }
 }
 
+/// Set from the signal handler; polled by the main loop.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGINT and SIGTERM via the raw libc `signal`
+/// entry point (the platform libc is already linked; no crate needed).
+/// Only the async-signal-safe atomic store happens in the handler.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
 fn main() {
+    install_signal_handlers();
     let executor = ExecutorConfig::from_env();
     let admission = match std::env::var("PE_SERVER_ADMISSION").as_deref() {
         Ok("deadline") => AdmissionPolicy::DeadlineFeasible,
@@ -80,8 +112,11 @@ fn main() {
     .expect("bind server");
     println!("listening on {}", server.local_addr());
     std::io::stdout().flush().expect("flush stdout");
-    // Serve until killed: park forever, keeping the server alive.
-    loop {
-        std::thread::park();
+    // Serve until signalled, then drain and exit cleanly.
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
     }
+    let engine = server.shutdown();
+    drop(engine);
+    std::process::exit(0);
 }

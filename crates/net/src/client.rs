@@ -16,13 +16,13 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pe_runtime::ExecError;
-use pockengine::{Outcome, Submit, SubmitError, SubmitHandle};
+use pockengine::{Outcome, Submit, SubmitError, SubmitHandle, TicketNotify};
 
 use pe_data::serving::Request;
 
@@ -48,6 +48,10 @@ enum NetSlot {
 struct NetCell {
     slot: Mutex<NetSlot>,
     ready: Condvar,
+    /// An optional external observer (see [`NetTicket::watch`]), poked
+    /// once on resolution — the wire counterpart of a queue ticket's
+    /// watcher.
+    watcher: Mutex<Option<Arc<TicketNotify>>>,
 }
 
 impl NetCell {
@@ -55,6 +59,7 @@ impl NetCell {
         Arc::new(NetCell {
             slot: Mutex::new(NetSlot::Pending),
             ready: Condvar::new(),
+            watcher: Mutex::new(None),
         })
     }
 
@@ -63,6 +68,10 @@ impl NetCell {
         if matches!(*slot, NetSlot::Pending) {
             *slot = NetSlot::Ready(Box::new(result), Instant::now());
             self.ready.notify_all();
+            drop(slot);
+            if let Some(watcher) = &*self.watcher.lock().unwrap() {
+                watcher.notify();
+            }
         }
     }
 }
@@ -105,6 +114,20 @@ impl NetTicket {
     /// Blocks until the submission resolves and returns the result.
     pub fn wait(self) -> Result<Outcome, ExecError> {
         self.wait_timed().0
+    }
+
+    /// Registers a notify handle poked when this ticket resolves (or
+    /// immediately, if it already has). One condvar can watch many tickets
+    /// — the idiom a balancer's reaper thread uses to sleep until *any*
+    /// in-flight submission on any worker resolves. A later `watch`
+    /// replaces the previous observer.
+    pub fn watch(&self, notify: Arc<TicketNotify>) {
+        // Publish the watcher before checking readiness, so a fulfill that
+        // races this call cannot slip between the check and the store.
+        *self.cell.watcher.lock().unwrap() = Some(Arc::clone(&notify));
+        if self.is_ready() {
+            notify.notify();
+        }
     }
 
     /// Blocks until the submission resolves; also returns the instant the
@@ -171,11 +194,67 @@ impl Decision {
     }
 }
 
+/// What a control-plane round trip resolved to.
+enum ControlReply {
+    /// `Pong`: the server's queue depth at probe time.
+    Pong(u32),
+    /// `Ack`: a pushed checkpoint was restored.
+    Ack,
+    /// `Checkpoint` answering a `SnapshotReq`: the store's snapshot bytes.
+    Snapshot(Vec<u8>),
+}
+
+/// A pending control-plane reply (ping / checkpoint push / snapshot
+/// fetch), resolved by the reader thread or by connection teardown.
+struct ControlCell {
+    slot: Mutex<Option<Result<ControlReply, String>>>,
+    ready: Condvar,
+}
+
+impl ControlCell {
+    fn new() -> Arc<ControlCell> {
+        Arc::new(ControlCell {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn resolve(&self, reply: Result<ControlReply, String>) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(reply);
+            self.ready.notify_all();
+        }
+    }
+
+    /// `None` on timeout (the reply may still arrive later; the caller
+    /// must deregister the cell so it is dropped instead).
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<ControlReply, String>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if slot.is_some() {
+                return slot.take();
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (next, timed_out) = self.ready.wait_timeout(slot, left).unwrap();
+            slot = next;
+            if timed_out.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
 struct ClientShared {
     stream: TcpStream,
     writer: Mutex<TcpStream>,
     pending: Mutex<HashMap<u64, Arc<NetCell>>>,
     decisions: Mutex<HashMap<u64, Arc<Decision>>>,
+    control: Mutex<HashMap<u64, Arc<ControlCell>>>,
     next_corr: AtomicU64,
     closed: AtomicBool,
     last_error: Mutex<Option<String>>,
@@ -202,6 +281,10 @@ impl ClientShared {
         let decisions: Vec<_> = self.decisions.lock().unwrap().drain().collect();
         for (_, decision) in decisions {
             decision.decide(Err(NackReason::Closed));
+        }
+        let controls: Vec<_> = self.control.lock().unwrap().drain().collect();
+        for (_, cell) in controls {
+            cell.resolve(Err("connection closed".to_string()));
         }
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
@@ -254,8 +337,73 @@ impl Client {
     /// an [`io::ErrorKind::InvalidData`] error carrying the server's
     /// message.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::with_stream(TcpStream::connect(addr)?, None)
+    }
+
+    /// [`Client::connect`] with an explicit bound on both the TCP connect
+    /// and the version handshake, instead of the OS default (which can
+    /// block for minutes against a dead address). Tries every resolved
+    /// address in order and returns the last failure.
+    ///
+    /// # Errors
+    ///
+    /// Connection and handshake failures pass through; exhausting the
+    /// timeout is [`io::ErrorKind::TimedOut`].
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut last = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Client::with_stream(stream, Some(timeout)),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    /// Retries [`Client::connect_timeout`] up to `attempts` times with
+    /// exponential backoff between attempts (doubling from
+    /// `initial_backoff`, capped at 5 s) — the reconnect idiom for a
+    /// worker that may be restarting. Returns the last failure when every
+    /// attempt is refused.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error, verbatim.
+    pub fn connect_with_backoff(
+        addr: impl ToSocketAddrs,
+        attempts: usize,
+        timeout: Duration,
+        initial_backoff: Duration,
+    ) -> io::Result<Client> {
+        let mut backoff = initial_backoff;
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(5));
+            }
+            // `&addr`: ToSocketAddrs is implemented for references, so one
+            // unresolved address serves every attempt.
+            match Client::connect_timeout(&addr, timeout) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// The shared tail of every constructor: handshake over an established
+    /// stream (bounded by `handshake_timeout` when given), then start the
+    /// reader thread.
+    fn with_stream(stream: TcpStream, handshake_timeout: Option<Duration>) -> io::Result<Client> {
         stream.set_nodelay(true)?;
+        if handshake_timeout.is_some() {
+            stream.set_read_timeout(handshake_timeout)?;
+            stream.set_write_timeout(handshake_timeout)?;
+        }
         let max_frame = max_frame_from_env();
         let mut writer = stream.try_clone()?;
         proto::write_frame(&mut writer, FrameKind::Hello, &proto::encode_hello())?;
@@ -284,11 +432,16 @@ impl Client {
                 )))
             }
         }
+        if handshake_timeout.is_some() {
+            stream.set_read_timeout(None)?;
+            stream.set_write_timeout(None)?;
+        }
         let shared = Arc::new(ClientShared {
             stream,
             writer: Mutex::new(writer),
             pending: Mutex::new(HashMap::new()),
             decisions: Mutex::new(HashMap::new()),
+            control: Mutex::new(HashMap::new()),
             next_corr: AtomicU64::new(1),
             closed: AtomicBool::new(false),
             last_error: Mutex::new(None),
@@ -379,6 +532,113 @@ impl Client {
             }
         }
     }
+
+    /// One control-plane round trip: register the reply cell, write the
+    /// frame, wait (bounded). A timeout deregisters the cell, so a late
+    /// reply is dropped instead of resolving into the void.
+    fn control(
+        &self,
+        kind: FrameKind,
+        payload: impl FnOnce(u64) -> Vec<u8>,
+        timeout: Duration,
+    ) -> io::Result<ControlReply> {
+        let shared = &self.shared;
+        let closed = || io::Error::new(io::ErrorKind::NotConnected, "connection closed");
+        if shared.closed.load(Ordering::SeqCst) {
+            return Err(closed());
+        }
+        let corr = shared.next_corr.fetch_add(1, Ordering::Relaxed);
+        let cell = ControlCell::new();
+        shared
+            .control
+            .lock()
+            .unwrap()
+            .insert(corr, Arc::clone(&cell));
+        if shared.closed.load(Ordering::SeqCst) {
+            shared.control.lock().unwrap().remove(&corr);
+            return Err(closed());
+        }
+        let payload = payload(corr);
+        let wrote = {
+            let mut writer = shared.writer.lock().unwrap();
+            proto::write_frame(&mut *writer, kind, &payload)
+        };
+        if wrote.is_err() {
+            shared.control.lock().unwrap().remove(&corr);
+            shared.tear_down(Some("write failed: connection lost".into()));
+            return Err(closed());
+        }
+        match cell.wait_timeout(timeout) {
+            Some(Ok(reply)) => Ok(reply),
+            Some(Err(message)) => Err(io::Error::new(io::ErrorKind::NotConnected, message)),
+            None => {
+                shared.control.lock().unwrap().remove(&corr);
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "control reply timed out",
+                ))
+            }
+        }
+    }
+
+    /// Health probe: sends `Ping`, returns the server's submission-queue
+    /// depth from the matching `Pong`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] when no reply lands within `timeout`;
+    /// [`io::ErrorKind::NotConnected`] on a dead connection.
+    pub fn ping(&self, timeout: Duration) -> io::Result<u32> {
+        match self.control(FrameKind::Ping, proto::encode_ping, timeout)? {
+            ControlReply::Pong(depth) => Ok(depth),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "mismatched control reply to Ping",
+            )),
+        }
+    }
+
+    /// Pushes a [`pe_runtime::ParamStore`] snapshot to the server, which
+    /// restores it and confirms with an `Ack`. The caller is responsible
+    /// for quiescing its own submissions around the push.
+    ///
+    /// # Errors
+    ///
+    /// A refused restore (incompatible snapshot, store-less server) kills
+    /// the connection server-side and surfaces here as
+    /// [`io::ErrorKind::NotConnected`]; timeouts as
+    /// [`io::ErrorKind::TimedOut`].
+    pub fn push_checkpoint(&self, snapshot: &[u8], timeout: Duration) -> io::Result<()> {
+        let reply = self.control(
+            FrameKind::Checkpoint,
+            |corr| proto::encode_checkpoint(corr, snapshot),
+            timeout,
+        )?;
+        match reply {
+            ControlReply::Ack => Ok(()),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "mismatched control reply to Checkpoint",
+            )),
+        }
+    }
+
+    /// Fetches the server's current parameter snapshot (a `SnapshotReq`
+    /// answered with a `Checkpoint` frame).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] when no reply lands within `timeout`;
+    /// [`io::ErrorKind::NotConnected`] on a dead connection.
+    pub fn fetch_snapshot(&self, timeout: Duration) -> io::Result<Vec<u8>> {
+        match self.control(FrameKind::SnapshotReq, proto::encode_snapshot_req, timeout)? {
+            ControlReply::Snapshot(bytes) => Ok(bytes),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "mismatched control reply to SnapshotReq",
+            )),
+        }
+    }
 }
 
 impl Submit for Client {
@@ -418,6 +678,30 @@ fn reader_loop(shared: Arc<ClientShared>, mut stream: TcpStream) {
                     let decision = shared.decisions.lock().unwrap().remove(&corr);
                     if let Some(decision) = decision {
                         decision.decide(Ok(()));
+                    } else {
+                        // An Ack may also confirm a pushed checkpoint.
+                        let cell = shared.control.lock().unwrap().remove(&corr);
+                        if let Some(cell) = cell {
+                            cell.resolve(Ok(ControlReply::Ack));
+                        }
+                    }
+                }
+                Err(e) => break Some(e.to_string()),
+            },
+            Some(FrameKind::Pong) => match proto::decode_pong(&frame.payload) {
+                Ok((corr, depth)) => {
+                    let cell = shared.control.lock().unwrap().remove(&corr);
+                    if let Some(cell) = cell {
+                        cell.resolve(Ok(ControlReply::Pong(depth)));
+                    }
+                }
+                Err(e) => break Some(e.to_string()),
+            },
+            Some(FrameKind::Checkpoint) => match proto::decode_checkpoint(&frame.payload) {
+                Ok((corr, bytes)) => {
+                    let cell = shared.control.lock().unwrap().remove(&corr);
+                    if let Some(cell) = cell {
+                        cell.resolve(Ok(ControlReply::Snapshot(bytes)));
                     }
                 }
                 Err(e) => break Some(e.to_string()),

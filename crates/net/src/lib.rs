@@ -31,7 +31,7 @@ pub mod server;
 
 pub use client::{max_frame_from_env, Client, NetTicket};
 pub use proto::{FrameKind, NackReason, ProtoError, SubmitMode, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerCore};
 
 // Re-export the traits a client binary needs, so depending on pe_net
 // alone is enough to drive a remote engine.

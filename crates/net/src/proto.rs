@@ -22,6 +22,18 @@
 //! | 5    | `Ack`      | server → client | corr `u64` (submission admitted to the queue) |
 //! | 6    | `Nack`     | server → client | corr `u64` + reason `u8` (0 full / 1 closed) |
 //! | 7    | `Error`    | either    | message string; the sender closes the connection after |
+//! | 8    | `Ping`     | client → server | corr `u64` (health probe) |
+//! | 9    | `Pong`     | server → client | corr `u64` + queue depth `u32` |
+//! | 10   | `Checkpoint` | either  | corr `u64` + opaque `ParamStore` snapshot bytes |
+//! | 11   | `SnapshotReq` | client → server | corr `u64` (answered with a `Checkpoint`) |
+//!
+//! `Ping`/`Pong` are the fleet balancer's health probes (any client may use
+//! them — the server answers with its submission-queue depth). `Checkpoint`
+//! carries a `pe_runtime::ParamStore` snapshot: sent *to* a server it is
+//! applied to the serving engine's store and acknowledged with an `Ack`
+//! carrying the same correlation id; sent *by* a server it answers a
+//! `SnapshotReq`. A server not backed by a parameter store (the balancer's
+//! own front door) refuses `Checkpoint`/`SnapshotReq` with an `Error`.
 //!
 //! # Version rules
 //!
@@ -65,6 +77,15 @@ pub enum FrameKind {
     Nack = 6,
     /// A fatal connection-level error; the sender closes after this.
     Error = 7,
+    /// A health probe, answered with `Pong`.
+    Ping = 8,
+    /// The health-probe answer: correlation id + queue depth.
+    Pong = 9,
+    /// A `ParamStore` snapshot: applied when received by a server (then
+    /// `Ack`ed), the answer to `SnapshotReq` when sent by one.
+    Checkpoint = 10,
+    /// Asks the server for a `Checkpoint` of its current parameters.
+    SnapshotReq = 11,
 }
 
 impl FrameKind {
@@ -78,6 +99,10 @@ impl FrameKind {
             5 => Some(FrameKind::Ack),
             6 => Some(FrameKind::Nack),
             7 => Some(FrameKind::Error),
+            8 => Some(FrameKind::Ping),
+            9 => Some(FrameKind::Pong),
+            10 => Some(FrameKind::Checkpoint),
+            11 => Some(FrameKind::SnapshotReq),
             _ => None,
         }
     }
@@ -756,6 +781,89 @@ pub fn decode_error(payload: &[u8]) -> Result<String, ProtoError> {
     Ok(message)
 }
 
+// ---------------------------------------------------------------------------
+// Ping / Pong / Checkpoint / SnapshotReq (fleet frames)
+// ---------------------------------------------------------------------------
+
+/// Encodes a `Ping` payload (a health probe's correlation id).
+pub fn encode_ping(corr: u64) -> Vec<u8> {
+    corr.to_le_bytes().to_vec()
+}
+
+/// Decodes a `Ping` payload.
+///
+/// # Errors
+///
+/// Truncated or oversized payloads are a [`ProtoError`].
+pub fn decode_ping(payload: &[u8]) -> Result<u64, ProtoError> {
+    let mut b = Bytes::new(payload);
+    let corr = b.u64()?;
+    b.finish()?;
+    Ok(corr)
+}
+
+/// Encodes a `Pong` payload: the probe's correlation id plus the server's
+/// current submission-queue depth.
+pub fn encode_pong(corr: u64, queue_depth: u32) -> Vec<u8> {
+    let mut buf = corr.to_le_bytes().to_vec();
+    buf.extend_from_slice(&queue_depth.to_le_bytes());
+    buf
+}
+
+/// Decodes a `Pong` payload into `(corr, queue_depth)`.
+///
+/// # Errors
+///
+/// Truncated or oversized payloads are a [`ProtoError`].
+pub fn decode_pong(payload: &[u8]) -> Result<(u64, u32), ProtoError> {
+    let mut b = Bytes::new(payload);
+    let corr = b.u64()?;
+    let depth = b.u32()?;
+    b.finish()?;
+    Ok((corr, depth))
+}
+
+/// Encodes a `Checkpoint` payload: correlation id + opaque snapshot bytes
+/// (the `pe_runtime::ParamStore` binary format; this layer does not parse
+/// it, the receiving store validates on restore).
+pub fn encode_checkpoint(corr: u64, snapshot: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + snapshot.len());
+    buf.extend_from_slice(&corr.to_le_bytes());
+    buf.extend_from_slice(snapshot);
+    buf
+}
+
+/// Decodes a `Checkpoint` payload into `(corr, snapshot_bytes)`.
+///
+/// # Errors
+///
+/// A payload too short to carry the correlation id is a [`ProtoError`].
+pub fn decode_checkpoint(payload: &[u8]) -> Result<(u64, Vec<u8>), ProtoError> {
+    let mut b = Bytes::new(payload);
+    let corr = b.u64()?;
+    let rest = b.data.len() - b.at;
+    let snapshot = b.take(rest)?.to_vec();
+    b.finish()?;
+    Ok((corr, snapshot))
+}
+
+/// Encodes a `SnapshotReq` payload (a correlation id).
+pub fn encode_snapshot_req(corr: u64) -> Vec<u8> {
+    corr.to_le_bytes().to_vec()
+}
+
+/// Decodes a `SnapshotReq` payload.
+///
+/// # Errors
+///
+/// Truncated or oversized payloads are a [`ProtoError`].
+pub fn decode_snapshot_req(payload: &[u8]) -> Result<u64, ProtoError> {
+    let mut b = Bytes::new(payload);
+    let corr = b.u64()?;
+    b.finish()?;
+    Ok(corr)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -941,5 +1049,37 @@ mod tests {
         let mut payload = encode_submit(1, SubmitMode::Block, &request);
         payload.push(0xAB);
         assert!(decode_submit(&payload).unwrap_err().0.contains("trailing"));
+    }
+
+    #[test]
+    fn fleet_frames_round_trip() {
+        assert_eq!(decode_ping(&encode_ping(u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!(decode_pong(&encode_pong(7, 12)).unwrap(), (7, 12));
+        assert_eq!(decode_snapshot_req(&encode_snapshot_req(99)).unwrap(), 99);
+
+        let blob = vec![0xDEu8, 0xAD, 0xBE, 0xEF];
+        let (corr, back) = decode_checkpoint(&encode_checkpoint(3, &blob)).unwrap();
+        assert_eq!(corr, 3);
+        assert_eq!(back, blob);
+        // An empty snapshot blob is a valid (if useless) checkpoint frame.
+        let (corr, back) = decode_checkpoint(&encode_checkpoint(4, &[])).unwrap();
+        assert_eq!(corr, 4);
+        assert!(back.is_empty());
+
+        // Truncation errors, never panics.
+        assert!(decode_ping(&[0u8; 7]).is_err());
+        assert!(decode_ping(&[0u8; 9]).is_err());
+        assert!(decode_pong(&[0u8; 11]).is_err());
+        assert!(decode_pong(&[0u8; 13]).is_err());
+        assert!(decode_checkpoint(&[0u8; 7]).is_err());
+        assert!(decode_snapshot_req(&[0u8; 9]).is_err());
+
+        for kind in [8u8, 9, 10, 11] {
+            assert!(FrameKind::from_u8(kind).is_some());
+        }
+        assert_eq!(FrameKind::Ping as u8, 8);
+        assert_eq!(FrameKind::Pong as u8, 9);
+        assert_eq!(FrameKind::Checkpoint as u8, 10);
+        assert_eq!(FrameKind::SnapshotReq as u8, 11);
     }
 }

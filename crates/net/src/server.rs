@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use pe_runtime::ParamStore;
 use pockengine::{AsyncEngine, Engine, SubmitError, Submitter, Ticket, TicketNotify};
 
 use crate::client::max_frame_from_env;
@@ -92,6 +93,15 @@ enum Cmd {
     Track { corr: u64, ticket: Ticket },
     /// A submission was refused; tell the client.
     Nack { corr: u64, reason: NackReason },
+    /// A health probe arrived: answer with the queue depth sampled at
+    /// probe time.
+    Pong { corr: u64, depth: u32 },
+    /// A `Checkpoint` frame was applied to the parameter store: confirm
+    /// with an `Ack` carrying the same correlation id.
+    CheckpointOk { corr: u64 },
+    /// A `SnapshotReq` was served: stream the snapshot back as a
+    /// `Checkpoint` frame.
+    Snapshot { corr: u64, bytes: Vec<u8> },
     /// The reader hit a protocol violation: send one `Error` frame, then
     /// sever the connection.
     Fatal(String),
@@ -113,6 +123,10 @@ impl Conn {
 
 struct ServerState {
     submitter: Submitter,
+    /// The parameter store behind the submitter, if this listener fronts
+    /// one engine directly. `Checkpoint` / `SnapshotReq` frames are served
+    /// from it; a store-less listener (a balancer front door) refuses them.
+    store: Option<Arc<ParamStore>>,
     config: ServerConfig,
     shutting_down: AtomicBool,
     /// Live connection sockets, keyed by a monotonic id — shutdown severs
@@ -122,35 +136,47 @@ struct ServerState {
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
-/// The network front door: owns the engine, the listener and every
-/// connection thread. Dropping without [`Server::shutdown`] also shuts
-/// down cleanly (the engine drains via [`AsyncEngine`]'s own drop).
-pub struct Server {
-    engine: Option<AsyncEngine>,
+/// The reusable wire-protocol front end: a listener, the accept loop and
+/// every connection thread, feeding an arbitrary [`Submitter`]. This is
+/// the machinery [`Server`] wraps around an in-process [`AsyncEngine`] and
+/// `pe_fleet`'s balancer wraps around its routing queue — both speak the
+/// identical protocol because both *are* this type.
+///
+/// `ServerCore` does not own whatever drains the submitter; dropping it
+/// stops the listener and severs connections, nothing more.
+pub struct ServerCore {
     state: Arc<ServerState>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for Server {
+impl std::fmt::Debug for ServerCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server")
+        f.debug_struct("ServerCore")
             .field("local_addr", &self.local_addr)
             .finish()
     }
 }
 
-impl Server {
-    /// Binds the listener and starts the accept loop over `engine`.
+impl ServerCore {
+    /// Binds the listener and starts the accept loop feeding `submitter`.
+    /// With a `store`, `Checkpoint` frames restore into it (then `Ack`)
+    /// and `SnapshotReq` frames answer with its snapshot; without one,
+    /// both draw an `Error` frame.
     ///
     /// # Errors
     ///
     /// Bind failures pass through.
-    pub fn spawn(engine: AsyncEngine, config: ServerConfig) -> io::Result<Server> {
+    pub fn spawn(
+        submitter: Submitter,
+        store: Option<Arc<ParamStore>>,
+        config: ServerConfig,
+    ) -> io::Result<ServerCore> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
-            submitter: engine.submitter(),
+            submitter,
+            store,
             config,
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
@@ -162,8 +188,7 @@ impl Server {
             .name("pe-net-accept".into())
             .spawn(move || accept_loop(listener, accept_state))
             .expect("spawn accept loop");
-        Ok(Server {
-            engine: Some(engine),
+        Ok(ServerCore {
             state,
             local_addr,
             accept_thread: Some(accept_thread),
@@ -176,20 +201,14 @@ impl Server {
         self.local_addr
     }
 
-    /// Queue depth of the underlying engine (test/ops visibility).
+    /// Depth of the submission queue behind this listener.
     pub fn queue_len(&self) -> usize {
         self.state.submitter.len()
     }
 
-    /// Stops accepting, severs every connection, joins all threads and
-    /// drains the engine, returning it for inspection.
-    pub fn shutdown(mut self) -> Engine {
-        self.stop();
-        let engine = self.engine.take().expect("engine present until shutdown");
-        engine.shutdown()
-    }
-
-    fn stop(&mut self) {
+    /// Stops accepting, severs every connection and joins all connection
+    /// threads. Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         // Wake the blocking accept() with a throwaway self-connection.
         let _ = TcpStream::connect(self.local_addr);
@@ -207,11 +226,54 @@ impl Server {
     }
 }
 
-impl Drop for Server {
+impl Drop for ServerCore {
     fn drop(&mut self) {
-        if self.engine.is_some() {
-            self.stop();
-        }
+        self.stop();
+    }
+}
+
+/// The network front door: owns the engine, the listener and every
+/// connection thread. Dropping without [`Server::shutdown`] also shuts
+/// down cleanly (the engine drains via [`AsyncEngine`]'s own drop).
+#[derive(Debug)]
+pub struct Server {
+    // Declared before `engine` so drop severs connections first, then
+    // drains the engine — the same order `shutdown` uses.
+    core: ServerCore,
+    engine: Option<AsyncEngine>,
+}
+
+impl Server {
+    /// Binds the listener and starts the accept loop over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures pass through.
+    pub fn spawn(engine: AsyncEngine, config: ServerConfig) -> io::Result<Server> {
+        let core = ServerCore::spawn(engine.submitter(), Some(engine.param_store()), config)?;
+        Ok(Server {
+            core,
+            engine: Some(engine),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of the default
+    /// `127.0.0.1:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.core.local_addr()
+    }
+
+    /// Queue depth of the underlying engine (test/ops visibility).
+    pub fn queue_len(&self) -> usize {
+        self.core.queue_len()
+    }
+
+    /// Stops accepting, severs every connection, joins all threads and
+    /// drains the engine, returning it for inspection.
+    pub fn shutdown(mut self) -> Engine {
+        self.core.stop();
+        let engine = self.engine.take().expect("engine present until shutdown");
+        engine.shutdown()
     }
 }
 
@@ -370,12 +432,80 @@ fn read_loop(stream: &mut TcpStream, state: &ServerState, conn: &Conn) {
                 return;
             }
         };
-        if FrameKind::from_u8(frame.kind) != Some(FrameKind::Submit) {
-            conn.push(Cmd::Fatal(format!(
-                "unexpected frame kind {} (only Submit is valid after the handshake)",
-                frame.kind
-            )));
-            return;
+        match FrameKind::from_u8(frame.kind) {
+            Some(FrameKind::Submit) => {}
+            Some(FrameKind::Ping) => {
+                match proto::decode_ping(&frame.payload) {
+                    Ok(corr) => conn.push(Cmd::Pong {
+                        corr,
+                        depth: state.submitter.len().min(u32::MAX as usize) as u32,
+                    }),
+                    Err(e) => {
+                        conn.push(Cmd::Fatal(e.to_string()));
+                        return;
+                    }
+                }
+                continue;
+            }
+            Some(FrameKind::Checkpoint) => {
+                let (corr, bytes) = match proto::decode_checkpoint(&frame.payload) {
+                    Ok(decoded) => decoded,
+                    Err(e) => {
+                        conn.push(Cmd::Fatal(e.to_string()));
+                        return;
+                    }
+                };
+                let Some(store) = &state.store else {
+                    conn.push(Cmd::Fatal(
+                        "this listener fronts no parameter store (checkpoints \
+                         go to workers, not the balancer)"
+                            .to_string(),
+                    ));
+                    return;
+                };
+                // Restores run inline on the reader: the sender has already
+                // quiesced its submissions (a checkpoint between a train
+                // fence and the next eval), and the store's exclusive guard
+                // orders the restore against any stragglers anyway.
+                match store.restore(&bytes) {
+                    Ok(()) => conn.push(Cmd::CheckpointOk { corr }),
+                    Err(e) => {
+                        conn.push(Cmd::Fatal(e.to_string()));
+                        return;
+                    }
+                }
+                continue;
+            }
+            Some(FrameKind::SnapshotReq) => {
+                let corr = match proto::decode_snapshot_req(&frame.payload) {
+                    Ok(corr) => corr,
+                    Err(e) => {
+                        conn.push(Cmd::Fatal(e.to_string()));
+                        return;
+                    }
+                };
+                let Some(store) = &state.store else {
+                    conn.push(Cmd::Fatal(
+                        "this listener fronts no parameter store (snapshots \
+                         come from workers, not the balancer)"
+                            .to_string(),
+                    ));
+                    return;
+                };
+                conn.push(Cmd::Snapshot {
+                    corr,
+                    bytes: store.snapshot(),
+                });
+                continue;
+            }
+            _ => {
+                conn.push(Cmd::Fatal(format!(
+                    "unexpected frame kind {} (expected Submit, Ping, Checkpoint \
+                     or SnapshotReq after the handshake)",
+                    frame.kind
+                )));
+                return;
+            }
         }
         let (corr, mode, request) = match proto::decode_submit(&frame.payload) {
             Ok(decoded) => decoded,
@@ -443,6 +573,38 @@ fn writer_loop(mut stream: TcpStream, conn: Arc<Conn>) {
                         &mut stream,
                         FrameKind::Nack,
                         &proto::encode_nack(corr, reason),
+                    )
+                    .is_err()
+                    {
+                        sever(&stream);
+                        return;
+                    }
+                }
+                Cmd::Pong { corr, depth } => {
+                    if proto::write_frame(
+                        &mut stream,
+                        FrameKind::Pong,
+                        &proto::encode_pong(corr, depth),
+                    )
+                    .is_err()
+                    {
+                        sever(&stream);
+                        return;
+                    }
+                }
+                Cmd::CheckpointOk { corr } => {
+                    if proto::write_frame(&mut stream, FrameKind::Ack, &proto::encode_ack(corr))
+                        .is_err()
+                    {
+                        sever(&stream);
+                        return;
+                    }
+                }
+                Cmd::Snapshot { corr, bytes } => {
+                    if proto::write_frame(
+                        &mut stream,
+                        FrameKind::Checkpoint,
+                        &proto::encode_checkpoint(corr, &bytes),
                     )
                     .is_err()
                     {

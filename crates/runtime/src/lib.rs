@@ -65,5 +65,5 @@ pub mod trainer;
 pub use eager::EagerEngine;
 pub use executor::{Backend, ExecError, Executor, ExecutorConfig, ExecutorSeed, StepResult};
 pub use optimizer::Optimizer;
-pub use store::ParamStore;
+pub use store::{ParamStore, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trainer::{Batch, Trainer, TrainingHistory};
