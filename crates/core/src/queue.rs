@@ -523,6 +523,45 @@ impl Submitter {
         }
     }
 
+    /// [`Submitter::submit`] bounded to `wait`: blocks on a full queue
+    /// like `submit`, but hands the request back as [`SubmitError::Full`]
+    /// when no room opened within the window. Admission is condvar-driven,
+    /// so room opening mid-wait admits immediately rather than on a poll
+    /// tick — `pe_net`'s reader interleaves these with socket polls so a
+    /// backpressure stall never makes the connection deaf to control
+    /// frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Full`] when the queue stayed full for the
+    /// whole window and [`SubmitError::Closed`] on a closed queue.
+    pub fn submit_for(&self, request: Request, wait: Duration) -> Result<Ticket, SubmitError> {
+        let budget = request
+            .meta
+            .deadline
+            .unwrap_or(self.shared.default_deadline);
+        let give_up = Instant::now() + wait;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed(Box::new(request)));
+            }
+            if state.items.len() < self.shared.capacity {
+                return Ok(push(&self.shared, &mut state, request, budget));
+            }
+            let now = Instant::now();
+            if now >= give_up {
+                return Err(SubmitError::Full(Box::new(request)));
+            }
+            state = self
+                .shared
+                .not_full
+                .wait_timeout(state, give_up - now)
+                .unwrap()
+                .0;
+        }
+    }
+
     /// Enqueues without blocking: a full queue is an explicit
     /// [`SubmitError::Full`] rejection with the request handed back, so the
     /// caller decides whether to retry, redirect or shed the load.
@@ -780,6 +819,32 @@ mod tests {
         assert!(matches!(first, Pop::Item(_)));
         let tx = producer.join().unwrap();
         assert_eq!(tx.len(), 1);
+    }
+
+    #[test]
+    fn bounded_submit_hands_the_request_back_on_timeout_and_admits_on_room() {
+        let (tx, rx) = channel(cfg(1));
+        tx.submit(req(1)).unwrap();
+        // Full for the whole window: Full, request intact.
+        match tx.submit_for(req(2), Duration::from_millis(10)) {
+            Err(SubmitError::Full(r)) => assert_eq!(r.rows(), 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Room opening mid-wait admits via the condvar, not a poll tick.
+        let producer = std::thread::spawn(move || {
+            tx.submit_for(req(3), Duration::from_secs(5)).unwrap();
+            tx
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(rx.try_pop().is_some());
+        let tx = producer.join().unwrap();
+        assert_eq!(tx.len(), 1);
+        // Closed queue: Closed, not Full, even while at capacity.
+        tx.close();
+        assert!(matches!(
+            tx.submit_for(req(4), Duration::from_millis(10)),
+            Err(SubmitError::Closed(_))
+        ));
     }
 
     #[test]

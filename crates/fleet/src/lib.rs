@@ -191,10 +191,43 @@ struct InFlight {
     attempts: usize,
 }
 
+/// A lost eval the reaper is re-homing but has not yet placed on a worker
+/// (every worker is down right now). Parked entries stay counted in
+/// [`Window::pending`], so the train fence waits for them too.
+struct Parked {
+    envelope: Envelope,
+    request: Request,
+    /// The worker that lost it — avoided on re-dispatch when a peer exists.
+    from: usize,
+    attempts: usize,
+    /// When the fleet gives up and resolves the eval `Cancelled`.
+    give_up: Instant,
+}
+
+/// The eval window the train fence waits on, under one mutex: dispatched
+/// entries awaiting resolution, plus the count of entries the reaper has
+/// pulled out but not yet fulfilled or re-dispatched. A train may only run
+/// once **both** are zero — a lost eval pending re-home is still "in
+/// flight" as far as the fence is concerned, otherwise the re-dispatched
+/// eval could execute against post-train params.
+#[derive(Default)]
+struct Window {
+    entries: HashMap<u64, InFlight>,
+    /// Entries removed by the reaper whose envelopes are not yet fulfilled
+    /// and that have not been re-inserted into `entries`.
+    pending: usize,
+}
+
+impl Window {
+    fn is_drained(&self) -> bool {
+        self.entries.is_empty() && self.pending == 0
+    }
+}
+
 struct FleetShared {
     config: BalancerConfig,
     workers: Vec<Worker>,
-    in_flight: Mutex<HashMap<u64, InFlight>>,
+    in_flight: Mutex<Window>,
     next_id: AtomicU64,
     /// Poked by every in-flight ticket's resolution (and by shutdown);
     /// the reaper sleeps on it.
@@ -247,6 +280,17 @@ impl FleetShared {
         self.workers
             .iter()
             .position(|w| w.up.load(Ordering::SeqCst))
+    }
+
+    /// Retires one reaper-held eval (its envelope was fulfilled, or it was
+    /// re-inserted into the window); wakes the train fence when the window
+    /// fully drains.
+    fn settle_pending(&self) {
+        let mut window = self.in_flight.lock().unwrap();
+        window.pending -= 1;
+        if window.is_drained() {
+            self.drained.notify_all();
+        }
     }
 }
 
@@ -305,7 +349,7 @@ impl Balancer {
         let shared = Arc::new(FleetShared {
             config,
             workers,
-            in_flight: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(Window::default()),
             next_id: AtomicU64::new(0),
             resolved: Arc::new(TicketNotify::new()),
             drained: Condvar::new(),
@@ -444,34 +488,26 @@ fn route(shared: &Arc<FleetShared>, mut envelope: Envelope) {
     match request.kind {
         ServingKind::Eval => {
             shared.evals_routed.fetch_add(1, Ordering::Relaxed);
-            dispatch_eval(shared, envelope, request, 0, None);
+            dispatch_eval(shared, envelope, request);
         }
         ServingKind::Train => route_train(shared, envelope, request),
     }
 }
 
-/// Submits an eval to the least-in-flight healthy worker, waiting out a
-/// total-outage window up to the configured grace before giving up. Called
-/// by the router for fresh evals and by the reaper for re-dispatches
-/// (`avoid` steers away from the worker that just lost the request).
-fn dispatch_eval(
+/// One routing pass: submits an eval to the least-in-flight healthy
+/// worker, marking dead workers down along the way. Hands the
+/// envelope/request back when no healthy worker remains — the caller
+/// decides whether to wait (router), park (reaper) or cancel.
+fn try_dispatch_eval(
     shared: &Arc<FleetShared>,
     envelope: Envelope,
     request: Request,
     attempts: usize,
     avoid: Option<usize>,
-) {
-    let give_up = Instant::now() + shared.config.no_worker_grace;
+) -> Result<(), Box<(Envelope, Request)>> {
     loop {
         let Some(idx) = shared.pick_eval_worker(avoid) else {
-            let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
-            if shutting_down || Instant::now() >= give_up {
-                shared.cancelled.fetch_add(1, Ordering::Relaxed);
-                envelope.fulfill(Ok(Outcome::Cancelled));
-                return;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
+            return Err(Box::new((envelope, request)));
         };
         let worker = &shared.workers[idx];
         let Some(client) = worker.client() else {
@@ -488,7 +524,7 @@ fn dispatch_eval(
                 // reaper re-scans after every notify).
                 let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
                 ticket.watch(Arc::clone(&shared.resolved));
-                shared.in_flight.lock().unwrap().insert(
+                shared.in_flight.lock().unwrap().entries.insert(
                     id,
                     InFlight {
                         envelope,
@@ -499,7 +535,7 @@ fn dispatch_eval(
                     },
                 );
                 shared.resolved.notify();
-                return;
+                return Ok(());
             }
             Err(SubmitError::Full(_)) | Err(SubmitError::Closed(_)) => {
                 // Block-mode submits only fail when the connection died.
@@ -510,20 +546,47 @@ fn dispatch_eval(
     }
 }
 
+/// Submits a fresh eval from the router, waiting out a total-outage window
+/// up to the configured grace before giving up. (The reaper never calls
+/// this — it must not block, so it parks unroutable evals instead.)
+fn dispatch_eval(shared: &Arc<FleetShared>, envelope: Envelope, request: Request) {
+    let give_up = Instant::now() + shared.config.no_worker_grace;
+    let (mut envelope, mut request) = (envelope, request);
+    loop {
+        match try_dispatch_eval(shared, envelope, request, 0, None) {
+            Ok(()) => return,
+            Err(back) => {
+                let (env, req) = *back;
+                let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+                if shutting_down || Instant::now() >= give_up {
+                    shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                    env.fulfill(Ok(Outcome::Cancelled));
+                    return;
+                }
+                (envelope, request) = (env, req);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
 /// The train fence: wait for the eval window to drain, run the train on
 /// the primary, then converge every follower on the primary's post-train
 /// checkpoint before the next eval can dispatch.
 fn route_train(shared: &Arc<FleetShared>, envelope: Envelope, request: Request) {
     // Fence: every in-flight eval resolves first (the queue already
-    // guarantees nothing *behind* the train popped early).
+    // guarantees nothing *behind* the train popped early). `is_drained`
+    // also counts evals the reaper pulled out but has not yet re-homed —
+    // a lost eval awaiting re-dispatch must run before the train, or it
+    // would execute against post-train params.
     {
-        let mut in_flight = shared.in_flight.lock().unwrap();
-        while !in_flight.is_empty() {
+        let mut window = shared.in_flight.lock().unwrap();
+        while !window.is_drained() {
             let (next, _) = shared
                 .drained
-                .wait_timeout(in_flight, Duration::from_millis(50))
+                .wait_timeout(window, Duration::from_millis(50))
                 .unwrap();
-            in_flight = next;
+            window = next;
         }
     }
     let give_up = Instant::now() + shared.config.no_worker_grace;
@@ -576,9 +639,17 @@ fn route_train(shared: &Arc<FleetShared>, envelope: Envelope, request: Request) 
 /// Pulls the primary's snapshot and pushes it to every healthy follower,
 /// caching it for workers that reconnect later. Runs inside the train
 /// fence, so followers are quiescent.
+///
+/// The checkpoint mutex is held across fetch + cache + pushes, and
+/// [`reconnect`] takes the same mutex around its cache-read + push +
+/// mark-up — so a rejoining worker can never converge on the stale
+/// snapshot and take traffic while a fresh one is mid-broadcast. The cache
+/// is written *before* the pushes for the same reason: a worker that
+/// reconnects right after the lock drops must see the post-train bits.
 fn broadcast_checkpoint(shared: &Arc<FleetShared>, primary: usize, client: &Client) {
-    let snapshot = match client.fetch_snapshot(shared.config.checkpoint_timeout) {
-        Ok(bytes) => bytes,
+    let mut cached = shared.checkpoint.lock().unwrap();
+    match client.fetch_snapshot(shared.config.checkpoint_timeout) {
+        Ok(bytes) => *cached = Some(bytes),
         Err(_) => {
             // The primary vanished between the outcome and the fetch.
             // Availability over convergence: the fleet keeps serving on the
@@ -588,7 +659,8 @@ fn broadcast_checkpoint(shared: &Arc<FleetShared>, primary: usize, client: &Clie
             shared.mark_down(primary);
             return;
         }
-    };
+    }
+    let snapshot = cached.as_deref().expect("checkpoint cached above");
     for (idx, worker) in shared.workers.iter().enumerate() {
         if idx == primary || !worker.up.load(Ordering::SeqCst) {
             continue;
@@ -598,7 +670,7 @@ fn broadcast_checkpoint(shared: &Arc<FleetShared>, primary: usize, client: &Clie
             continue;
         };
         if follower
-            .push_checkpoint(&snapshot, shared.config.checkpoint_timeout)
+            .push_checkpoint(snapshot, shared.config.checkpoint_timeout)
             .is_err()
         {
             // The follower lost the push; it re-converges on reconnect via
@@ -606,25 +678,36 @@ fn broadcast_checkpoint(shared: &Arc<FleetShared>, primary: usize, client: &Clie
             shared.mark_down(idx);
         }
     }
-    *shared.checkpoint.lock().unwrap() = Some(snapshot);
     shared.checkpoints_broadcast.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Collects resolved in-flight evals: completions fulfill their front-door
 /// envelope; `Cancelled` from a dead worker re-dispatches to a healthy
-/// peer. Exits once the router is done and the window is empty.
+/// peer. Exits once the router is done and the window is fully drained.
+///
+/// The reaper never blocks on routing: a lost eval with no healthy worker
+/// parks locally (still fenced via [`Window::pending`]) and is retried on
+/// every pass until the grace deadline — so one unroutable eval cannot
+/// head-of-line-block reaping the other workers' resolved tickets.
 fn reaper_loop(shared: &Arc<FleetShared>) {
     let mut seen = shared.resolved.generation();
+    let mut parked: Vec<Parked> = Vec::new();
     loop {
         let ready: Vec<InFlight> = {
-            let mut in_flight = shared.in_flight.lock().unwrap();
-            let ids: Vec<u64> = in_flight
+            let mut window = shared.in_flight.lock().unwrap();
+            let ids: Vec<u64> = window
+                .entries
                 .iter()
                 .filter(|(_, entry)| entry.ticket.is_ready())
                 .map(|(id, _)| *id)
                 .collect();
+            // Keep removed entries accounted until their envelope is
+            // fulfilled or they are re-inserted: the train fence must not
+            // observe an empty window while a lost eval awaits re-dispatch
+            // (it would then run against post-train params).
+            window.pending += ids.len();
             ids.into_iter()
-                .map(|id| in_flight.remove(&id).expect("scanned id present"))
+                .map(|id| window.entries.remove(&id).expect("scanned id present"))
                 .collect()
         };
         for mut entry in ready {
@@ -649,12 +732,16 @@ fn reaper_loop(shared: &Arc<FleetShared>) {
                 }
                 shared.redispatches.fetch_add(1, Ordering::Relaxed);
                 worker.redispatched.fetch_add(1, Ordering::Relaxed);
-                dispatch_eval(
+                redispatch(
                     shared,
-                    entry.envelope,
-                    entry.request,
-                    entry.attempts + 1,
-                    Some(entry.worker),
+                    &mut parked,
+                    Parked {
+                        envelope: entry.envelope,
+                        request: entry.request,
+                        from: entry.worker,
+                        attempts: entry.attempts + 1,
+                        give_up: Instant::now() + shared.config.no_worker_grace,
+                    },
                 );
             } else {
                 if worker_lost {
@@ -663,11 +750,17 @@ fn reaper_loop(shared: &Arc<FleetShared>) {
                     worker.completed.fetch_add(1, Ordering::Relaxed);
                 }
                 entry.envelope.fulfill(result);
+                shared.settle_pending();
             }
         }
+        // Retry parked evals every pass; each either lands on a worker,
+        // parks again, or cancels at its deadline.
+        for entry in std::mem::take(&mut parked) {
+            redispatch(shared, &mut parked, entry);
+        }
         {
-            let in_flight = shared.in_flight.lock().unwrap();
-            if in_flight.is_empty() {
+            let window = shared.in_flight.lock().unwrap();
+            if window.is_drained() {
                 shared.drained.notify_all();
                 if shared.router_done.load(Ordering::SeqCst) {
                     return;
@@ -675,6 +768,40 @@ fn reaper_loop(shared: &Arc<FleetShared>) {
             }
         }
         seen = shared.resolved.wait(seen, Duration::from_millis(50));
+    }
+}
+
+/// One non-blocking re-home attempt for a lost eval: place it on a healthy
+/// peer, park it for the next reaper pass, or — past its deadline or on
+/// shutdown — resolve it `Cancelled`. Settles the eval's `pending` slot
+/// whenever it leaves the reaper's hands.
+fn redispatch(shared: &Arc<FleetShared>, parked: &mut Vec<Parked>, entry: Parked) {
+    let Parked {
+        envelope,
+        request,
+        from,
+        attempts,
+        give_up,
+    } = entry;
+    match try_dispatch_eval(shared, envelope, request, attempts, Some(from)) {
+        Ok(()) => shared.settle_pending(),
+        Err(back) => {
+            let (envelope, request) = *back;
+            let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+            if shutting_down || Instant::now() >= give_up {
+                shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                envelope.fulfill(Ok(Outcome::Cancelled));
+                shared.settle_pending();
+            } else {
+                parked.push(Parked {
+                    envelope,
+                    request,
+                    from,
+                    attempts,
+                    give_up,
+                });
+            }
+        }
     }
 }
 
@@ -707,22 +834,31 @@ fn health_loop(shared: &Arc<FleetShared>) {
 
 /// One reconnect attempt: connect, converge on the cached checkpoint, then
 /// (and only then) mark the worker up. Failure doubles the backoff.
+///
+/// The checkpoint mutex is held from the cache read through mark-up,
+/// mutually exclusive with [`broadcast_checkpoint`]: without it, this
+/// thread could push a stale cache and mark the worker up while the router
+/// is mid-broadcast of a fresh post-train snapshot that skips down workers
+/// — the rejoiner would then serve evals on pre-train params until the
+/// next train. Holding the lock, the rejoiner either converges before the
+/// broadcast starts (and is up, so the broadcast includes it) or waits and
+/// reads the freshly cached post-train bits.
 fn reconnect(shared: &Arc<FleetShared>, idx: usize) {
     let worker = &shared.workers[idx];
     let attempt = Client::connect_timeout(worker.addr.as_str(), shared.config.connect_timeout)
         .and_then(|client| {
-            let checkpoint = shared.checkpoint.lock().unwrap().clone();
-            if let Some(bytes) = checkpoint {
-                client.push_checkpoint(&bytes, shared.config.checkpoint_timeout)?;
+            let cached = shared.checkpoint.lock().unwrap();
+            if let Some(bytes) = cached.as_deref() {
+                client.push_checkpoint(bytes, shared.config.checkpoint_timeout)?;
             }
-            Ok(client)
+            *worker.client.lock().unwrap() = Some(client);
+            worker.up.store(true, Ordering::SeqCst);
+            Ok(())
         });
     match attempt {
-        Ok(client) => {
-            *worker.client.lock().unwrap() = Some(client);
+        Ok(()) => {
             *worker.backoff.lock().unwrap() = shared.config.initial_backoff;
             worker.reconnects.fetch_add(1, Ordering::Relaxed);
-            worker.up.store(true, Ordering::SeqCst);
         }
         Err(_) => {
             let mut backoff = worker.backoff.lock().unwrap();

@@ -412,24 +412,33 @@ fn handshake(stream: &mut TcpStream, state: &ServerState) -> Result<(), String> 
 
 /// Decodes `Submit` frames and feeds the queue until the connection dies.
 /// Every admitted submission is `Ack`ed (the client's `submit` returns on
-/// it); block-mode submissions use the queue's blocking submit, so a full
-/// queue stalls this reader, delays the `Ack`, and backpressure propagates
-/// to the submitting client.
+/// it); a block-mode submission against a full queue delays its `Ack`, so
+/// backpressure propagates to the submitting client — but the reader does
+/// not go deaf while it waits: control frames (a balancer's health `Ping`)
+/// are still answered, and other frames read during the stall are deferred
+/// in arrival order (see [`block_submit`]).
 fn read_loop(stream: &mut TcpStream, state: &ServerState, conn: &Conn) {
+    // Frames read off the socket during a block-mode stall, replayed in
+    // order before reading fresh bytes.
+    let mut deferred: VecDeque<proto::Frame> = VecDeque::new();
     loop {
-        let frame = match proto::read_frame(stream, state.config.max_frame) {
-            Ok(frame) => frame,
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                conn.push(Cmd::Hangup);
-                return;
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                conn.push(Cmd::Fatal(e.to_string()));
-                return;
-            }
-            Err(_) => {
-                conn.push(Cmd::Hangup);
-                return;
+        let frame = if let Some(frame) = deferred.pop_front() {
+            frame
+        } else {
+            match proto::read_frame(stream, state.config.max_frame) {
+                Ok(frame) => frame,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    conn.push(Cmd::Hangup);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    conn.push(Cmd::Fatal(e.to_string()));
+                    return;
+                }
+                Err(_) => {
+                    conn.push(Cmd::Hangup);
+                    return;
+                }
             }
         };
         match FrameKind::from_u8(frame.kind) {
@@ -515,13 +524,11 @@ fn read_loop(stream: &mut TcpStream, state: &ServerState, conn: &Conn) {
             }
         };
         match mode {
-            SubmitMode::Block => match state.submitter.submit(request) {
-                Ok(ticket) => track(conn, corr, ticket),
-                Err(SubmitError::Closed(_)) | Err(SubmitError::Full(_)) => conn.push(Cmd::Nack {
-                    corr,
-                    reason: NackReason::Closed,
-                }),
-            },
+            SubmitMode::Block => {
+                if !block_submit(stream, state, conn, corr, request, &mut deferred) {
+                    return;
+                }
+            }
             SubmitMode::Try => match state.submitter.try_submit(request) {
                 Ok(ticket) => track(conn, corr, ticket),
                 Err(SubmitError::Full(_)) => conn.push(Cmd::Nack {
@@ -533,6 +540,125 @@ fn read_loop(stream: &mut TcpStream, state: &ServerState, conn: &Conn) {
                     reason: NackReason::Closed,
                 }),
             },
+        }
+    }
+}
+
+/// How long one bounded queue wait runs before the socket is polled while
+/// a block-mode submission is stalled on a full queue. Admission itself is
+/// condvar-driven inside [`Submitter::submit_for`], so room opening
+/// mid-wait admits immediately — this bounds only the worst-case `Ping`
+/// answer latency during a stall.
+const BLOCK_POLL: Duration = Duration::from_millis(10);
+
+/// How long one socket poll waits for bytes between bounded queue waits.
+const BLOCK_PEEK: Duration = Duration::from_millis(1);
+
+/// Admits a block-mode submission, waiting out a full queue **without
+/// going deaf**: bounded condvar waits on the queue alternate with socket
+/// polls, so arriving `Ping` frames are answered promptly and any other
+/// frame is deferred (replayed in order once the submission lands).
+/// Without this, a saturated-but-healthy worker would stop answering its
+/// balancer's health probe and be marked down — severing the connection
+/// and re-homing all its in-flight evals, a load-induced mark-down
+/// cascade.
+///
+/// Deferral is bounded in practice by the client's un-`Ack`ed window (a
+/// blocking client waits for the `Ack` before pipelining more), and every
+/// deferred frame already passed the `max_frame` bound.
+///
+/// Returns `false` when the connection must close.
+fn block_submit(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    conn: &Conn,
+    corr: u64,
+    request: pockengine::pe_data::serving::Request,
+    deferred: &mut VecDeque<proto::Frame>,
+) -> bool {
+    let mut request = request;
+    loop {
+        match state.submitter.submit_for(request, BLOCK_POLL) {
+            Ok(ticket) => {
+                track(conn, corr, ticket);
+                return true;
+            }
+            Err(SubmitError::Closed(_)) => {
+                conn.push(Cmd::Nack {
+                    corr,
+                    reason: NackReason::Closed,
+                });
+                return true;
+            }
+            Err(SubmitError::Full(r)) => request = *r,
+        }
+        match try_read_frame(stream, state.config.max_frame, BLOCK_PEEK) {
+            Ok(None) => {} // No bytes yet; retry the submission.
+            Ok(Some(frame)) => {
+                if FrameKind::from_u8(frame.kind) == Some(FrameKind::Ping) {
+                    match proto::decode_ping(&frame.payload) {
+                        Ok(ping_corr) => conn.push(Cmd::Pong {
+                            corr: ping_corr,
+                            depth: state.submitter.len().min(u32::MAX as usize) as u32,
+                        }),
+                        Err(e) => {
+                            conn.push(Cmd::Fatal(e.to_string()));
+                            return false;
+                        }
+                    }
+                } else {
+                    deferred.push_back(frame);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                conn.push(Cmd::Hangup);
+                return false;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                conn.push(Cmd::Fatal(e.to_string()));
+                return false;
+            }
+            Err(_) => {
+                conn.push(Cmd::Hangup);
+                return false;
+            }
+        }
+    }
+}
+
+/// Waits up to `wait` for the *first byte* of a frame (via `peek`, so
+/// nothing is consumed), then reads the whole frame in blocking mode —
+/// a poll timeout can therefore never land mid-frame and corrupt framing.
+/// Returns `Ok(None)` when no byte arrived within the window. Always
+/// restores the stream to blocking reads.
+fn try_read_frame(
+    stream: &mut TcpStream,
+    max_frame: usize,
+    wait: Duration,
+) -> io::Result<Option<proto::Frame>> {
+    stream.set_read_timeout(Some(wait))?;
+    let arrived = match stream.peek(&mut [0u8; 1]) {
+        Ok(0) => Err(io::Error::from(io::ErrorKind::UnexpectedEof)),
+        Ok(_) => Ok(true),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(false)
+        }
+        Err(e) => Err(e),
+    };
+    let restore = stream.set_read_timeout(None);
+    match arrived? {
+        true => {
+            restore?;
+            proto::read_frame(stream, max_frame).map(Some)
+        }
+        false => {
+            restore?;
+            Ok(None)
         }
     }
 }

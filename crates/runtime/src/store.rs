@@ -315,28 +315,47 @@ impl ParamStore {
     /// uninterrupted run — which is what lets fleet followers converge to a
     /// primary's exact parameters.
     pub fn snapshot(&self) -> Vec<u8> {
+        // Encoding a value wider than its wire field would truncate
+        // silently and produce a snapshot that restore() may accept with
+        // wrong shapes — assert instead. All of these sit orders of
+        // magnitude beyond any real store (u8 rank / state rows, u32
+        // dims / name length / parameter count).
+        let fits_u8 = |v: usize, what: &str| {
+            assert!(
+                v <= u8::MAX as usize,
+                "{what} {v} overflows the u8 snapshot field"
+            );
+            v as u8
+        };
+        let fits_u32 = |v: usize, what: &str| {
+            assert!(
+                v <= u32::MAX as usize,
+                "{what} {v} overflows the u32 snapshot field"
+            );
+            v as u32
+        };
         let _g = self.lock_shared();
         let mut buf = Vec::with_capacity(64 + self.resident_bytes_locked());
         buf.extend_from_slice(&SNAPSHOT_MAGIC);
         buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
         buf.push(optimizer_tag(self.optimizer));
         buf.extend_from_slice(&(self.steps.load(Ordering::Relaxed) as u64).to_le_bytes());
-        buf.extend_from_slice(&(self.cells.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fits_u32(self.cells.len(), "parameter count").to_le_bytes());
         for (slot, key) in self.keys.iter().enumerate() {
             // SAFETY: shared guard held; no writer can be active.
             let cell = unsafe { &*self.cells[slot].get() };
             let name = key.as_str().as_bytes();
-            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&fits_u32(name.len(), "parameter name length").to_le_bytes());
             buf.extend_from_slice(name);
             let dims = cell.value.dims();
-            buf.push(dims.len() as u8);
+            buf.push(fits_u8(dims.len(), "tensor rank"));
             for &d in dims {
-                buf.extend_from_slice(&(d as u32).to_le_bytes());
+                buf.extend_from_slice(&fits_u32(d, "tensor dimension").to_le_bytes());
             }
             for &v in cell.value.data() {
                 buf.extend_from_slice(&v.to_bits().to_le_bytes());
             }
-            buf.push(cell.state.len() as u8);
+            buf.push(fits_u8(cell.state.len(), "optimizer state rows"));
             for row in &cell.state {
                 for &v in row {
                     buf.extend_from_slice(&v.to_bits().to_le_bytes());

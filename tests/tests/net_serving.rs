@@ -579,3 +579,51 @@ fn blocking_submit_nacked_closed_hands_the_request_back_over_tcp() {
     }
     spoof.join().unwrap();
 }
+
+/// A saturated worker must keep answering health probes. A block-mode
+/// submit stalled on a full queue used to run inline on the connection's
+/// reader, so a `Ping` behind it went unanswered until the queue opened —
+/// and a balancer would mark the merely-busy worker down after its probe
+/// timeout, severing the connection and re-homing every in-flight eval.
+/// The reader now polls the socket while the submit waits and answers
+/// control frames immediately.
+#[test]
+fn ping_is_answered_while_a_blocking_submit_waits_on_a_full_queue() {
+    let (submitter, receiver) = pockengine::queue::channel(QueueConfig {
+        capacity: 1,
+        ..QueueConfig::default()
+    });
+    let core =
+        pe_net::ServerCore::spawn(submitter, None, ServerConfig::default()).expect("bind core");
+    let client = Client::connect(core.local_addr()).expect("connect");
+    let mut rng = Rng::seed_from_u64(77);
+
+    // Fill the queue (admitted and acked), then stall a second blocking
+    // submit behind it: nobody drains the receiver, so the server-side
+    // reader is now waiting for room.
+    let _first = client
+        .submit(request(ServingKind::Eval, 3, &mut rng))
+        .expect("first submit fills the queue");
+    let stalled_request = request(ServingKind::Eval, 3, &mut rng);
+    let stalled_client = client.clone();
+    let stalled = std::thread::spawn(move || stalled_client.submit(stalled_request));
+    // Let the stalled Submit frame reach the reader and start waiting.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let depth = client
+        .ping(Duration::from_secs(2))
+        .expect("probe must be answered during the stall");
+    assert_eq!(depth, 1, "the probe reports the full queue's depth");
+    assert!(!stalled.is_finished(), "the submit is still backpressured");
+
+    // Opening one slot lets the deferred submit through; its Ack releases
+    // the client-side blocking call.
+    assert!(matches!(
+        receiver.pop(Some(std::time::Instant::now() + Duration::from_secs(2))),
+        pockengine::queue::Pop::Item(_)
+    ));
+    stalled
+        .join()
+        .unwrap()
+        .expect("stalled submit admitted once room opened");
+}
